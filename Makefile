@@ -1,0 +1,29 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/compare_approaches.py
+	$(PYTHON) examples/data_mismatch.py
+	$(PYTHON) examples/speedup_structures.py
+	$(PYTHON) examples/turn_restrictions.py
+	$(PYTHON) examples/user_study.py --size small
+
+report:
+	$(PYTHON) -m repro report --size medium --out REPORT.md
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/output
+	find . -name __pycache__ -type d -exec rm -rf {} +

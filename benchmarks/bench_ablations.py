@@ -1,0 +1,254 @@
+"""Ablations over the paper's fixed parameters (DESIGN.md §4).
+
+The paper pins penalty factor 1.4, stretch bound 1.4, θ = 0.5 and the
+×1.3 non-freeway multiplier, noting only that "we tried several other
+values ... to confirm that the chosen values are appropriate".  These
+benchmarks sweep each knob and record the objective consequences, plus
+the §4.2 what-if: does the refinement filter chain change the route
+sets the approaches would have shown?
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DissimilarityPlanner,
+    PenaltyPlanner,
+    PlateauPlanner,
+    paper_refinement_chain,
+)
+from repro.metrics.quality import summarize_route_set
+from repro.metrics.similarity import average_pairwise_similarity
+from repro.osm.profile import RoutingProfile
+
+from conftest import write_artifact
+
+
+def _queries(network, count=5, seed=1):
+    rng = random.Random(f"ablation:{seed}")
+    queries = []
+    while len(queries) < count:
+        s = rng.randrange(network.num_nodes)
+        t = rng.randrange(network.num_nodes)
+        if s != t:
+            queries.append((s, t))
+    return queries
+
+
+def _mean_similarity(planner, queries):
+    values = []
+    for s, t in queries:
+        routes = list(planner.plan(s, t))
+        if len(routes) >= 2:
+            values.append(average_pairwise_similarity(routes))
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_bench_penalty_factor_sweep(benchmark, study_network):
+    queries = _queries(study_network)
+    factors = (1.1, 1.2, 1.4, 1.7, 2.0)
+
+    def sweep():
+        return {
+            factor: _mean_similarity(
+                PenaltyPlanner(study_network, k=3, penalty_factor=factor),
+                queries,
+            )
+            for factor in factors
+        }
+
+    similarity_by_factor = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Stronger penalties push the next search further from prior routes.
+    assert (
+        similarity_by_factor[2.0] <= similarity_by_factor[1.1] + 0.05
+    )
+    lines = [
+        f"penalty_factor={factor}: mean pairwise similarity "
+        f"{value:.3f}"
+        for factor, value in similarity_by_factor.items()
+    ]
+    write_artifact("ablation_penalty_factor.txt", "\n".join(lines))
+
+
+def test_bench_stretch_bound_sweep(benchmark, study_network):
+    queries = _queries(study_network)
+    bounds = (1.1, 1.2, 1.4, 1.8)
+
+    def sweep():
+        counts = {}
+        for bound in bounds:
+            planner = PlateauPlanner(
+                study_network, k=5, stretch_bound=bound
+            )
+            counts[bound] = sum(
+                len(planner.plan(s, t)) for s, t in queries
+            )
+        return counts
+
+    counts_by_bound = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Looser bounds can only admit more alternatives.
+    ordered = [counts_by_bound[b] for b in bounds]
+    assert ordered == sorted(ordered)
+    write_artifact(
+        "ablation_stretch_bound.txt",
+        "\n".join(
+            f"stretch_bound={b}: {counts_by_bound[b]} routes over "
+            f"{len(queries)} queries"
+            for b in bounds
+        ),
+    )
+
+
+def test_bench_theta_sweep(benchmark, study_network):
+    queries = _queries(study_network)
+    thetas = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+    def sweep():
+        table = {}
+        for theta in thetas:
+            planner = DissimilarityPlanner(study_network, k=3, theta=theta)
+            sims = []
+            count = 0
+            for s, t in queries:
+                routes = list(planner.plan(s, t))
+                count += len(routes)
+                if len(routes) >= 2:
+                    sims.append(average_pairwise_similarity(routes))
+            table[theta] = (
+                count,
+                sum(sims) / len(sims) if sims else 0.0,
+            )
+        return table
+
+    by_theta = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Stricter thresholds yield fewer but more dissimilar routes.
+    assert by_theta[0.9][0] <= by_theta[0.1][0]
+    assert by_theta[0.9][1] <= by_theta[0.1][1] + 1e-9
+    write_artifact(
+        "ablation_theta.txt",
+        "\n".join(
+            f"theta={theta}: routes={count}, mean similarity={sim:.3f}"
+            for theta, (count, sim) in by_theta.items()
+        ),
+    )
+
+
+def test_bench_intersection_delay_ablation(benchmark):
+    """The paper's x1.3 travel-time calibration trick."""
+    from repro.cities.generator import build_city_network
+    from repro.cities.profile import melbourne_profile
+    from repro.osm.constructor import RoadNetworkConstructor
+    from repro.cities.generator import CityGenerator
+    from repro.cities.profile import SIZE_FACTORS
+
+    profile = melbourne_profile().scaled(SIZE_FACTORS["small"])
+    document = CityGenerator(profile, seed=0).generate_document()
+
+    def build_both():
+        with_delay = RoadNetworkConstructor(
+            bbox=document.bounds,
+            profile=RoutingProfile(intersection_delay_factor=1.3),
+        ).construct(document)
+        without_delay = RoadNetworkConstructor(
+            bbox=document.bounds,
+            profile=RoutingProfile(intersection_delay_factor=1.0),
+        ).construct(document)
+        return with_delay, without_delay
+
+    with_delay, without_delay = benchmark.pedantic(
+        build_both, rounds=1, iterations=1
+    )
+    slowdowns = []
+    for edge_a, edge_b in zip(with_delay.edges(), without_delay.edges()):
+        slowdowns.append(edge_a.travel_time_s / edge_b.travel_time_s)
+    # Freeway edges are exempt; everything else slows by exactly 1.3.
+    assert min(slowdowns) == pytest.approx(1.0)
+    assert max(slowdowns) == pytest.approx(1.3)
+    freeway_like = sum(1 for s in slowdowns if abs(s - 1.0) < 1e-9)
+    assert 0 < freeway_like < len(slowdowns)
+    write_artifact(
+        "ablation_intersection_delay.txt",
+        f"edges={len(slowdowns)}, exempt (freeway) edges={freeway_like}, "
+        f"non-freeway slowdown=1.3",
+    )
+
+
+def test_bench_refinement_filters(benchmark, study_network):
+    """§4.2: the 'additional filtering/ranking criteria' what-if."""
+    queries = _queries(study_network)
+    planner = PenaltyPlanner(study_network, k=3)
+    chain = paper_refinement_chain()
+
+    def refine_all():
+        rows = []
+        for s, t in queries:
+            raw = planner.plan(s, t)
+            refined = chain.apply_to_set(raw)
+            rows.append((raw, refined))
+        return rows
+
+    rows = benchmark.pedantic(refine_all, rounds=1, iterations=1)
+    lines = []
+    for raw, refined in rows:
+        raw_summary = summarize_route_set(list(raw))
+        refined_summary = summarize_route_set(list(refined))
+        # Filters never drop the fastest route...
+        assert refined[0] == raw[0]
+        # ...never invent routes, and only drop or reorder.
+        assert len(refined) <= len(raw)
+        assert set(refined) <= set(raw)
+        lines.append(
+            f"{raw.source}->{raw.target}: routes {len(raw)} -> "
+            f"{len(refined)}, similarity "
+            f"{raw_summary.mean_pairwise_similarity:.3f} -> "
+            f"{refined_summary.mean_pairwise_similarity:.3f}"
+        )
+    write_artifact("ablation_refinement.txt", "\n".join(lines))
+
+
+def test_bench_mechanistic_control(benchmark, study_network):
+    """Control condition: uniform targets + uncentred features.
+
+    With every calibrated cell forced to the same mean and the feature
+    layer left uncentred, any between-approach rating gap is *emergent*
+    from the routes actually displayed.  Asserted: the commercial
+    engine still comes out lowest — the §4.2 data-mismatch and
+    apparent-detour mechanisms alone produce the sign of the paper's
+    headline gap.
+    """
+    from repro.experiments.setup import default_planners
+    from repro.study import StudyConfig, SurveyRunner, uniform_targets
+    from repro.study.rating import APPROACHES, RatingModel
+
+    quotas = {
+        (True, "small"): 10,
+        (True, "medium"): 20,
+        (True, "long"): 10,
+        (False, "small"): 8,
+        (False, "medium"): 8,
+        (False, "long"): 8,
+    }
+    config = StudyConfig(
+        quotas=quotas, seed=0, feature_baselines="none",
+        calibration_samples=60,
+    )
+    model = RatingModel(cell_targets=uniform_targets(3.5))
+    runner = SurveyRunner(
+        study_network, default_planners(study_network), config,
+        rating_model=model,
+    )
+
+    results = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+
+    means = {
+        approach: sum(results.ratings_for(approach))
+        / len(results.ratings_for(approach))
+        for approach in APPROACHES
+    }
+    lines = [
+        f"{approach}: {mean:.3f}" for approach, mean in means.items()
+    ]
+    write_artifact("ablation_mechanistic.txt", "\n".join(lines))
+    # Emergent sign of the paper's headline gap.
+    assert min(means, key=means.get) == "Google Maps"

@@ -1,0 +1,28 @@
+"""Experiment A1 — the §4.1 one-way ANOVAs.
+
+Paper: p = 0.16 (all respondents), 0.68 (residents), 0.18
+(non-residents); in every category the null hypothesis of equal mean
+ratings survives.  The shape target is the *conclusion* (all three
+non-significant at alpha = 0.05), not the exact p-values.
+"""
+
+from repro.experiments import anova_report
+
+from conftest import write_artifact
+
+
+def test_bench_anova(benchmark, study_results):
+    report = benchmark(anova_report, study_results)
+
+    assert set(report) == {"all", "residents", "non-residents"}
+    lines = []
+    for category, outcome in report.items():
+        lines.append(f"{category}: {outcome.formatted()}")
+        assert outcome.df_between == 3
+        # The paper's conclusion: no significant difference anywhere.
+        assert not outcome.significant(alpha=0.05), category
+    # Residents are the most homogeneous category in the paper
+    # (p = 0.68 vs 0.16/0.18); preserve that ordering.
+    assert report["residents"].p_value >= report["all"].p_value
+
+    write_artifact("anova.txt", "\n".join(lines))

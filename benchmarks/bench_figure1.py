@@ -1,0 +1,37 @@
+"""Experiment F1 — regenerate Figure 1 (the plateau construction).
+
+The figure's four panels as data: both shortest-path trees span the
+network, plateaus come out longest-first with the shortest path itself
+as the top plateau, and the routes assembled from the longest plateaus
+start with the optimal route and stay within the stretch bound.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+
+from conftest import write_artifact
+
+
+def test_bench_figure1(benchmark, study_network):
+    data = benchmark(figure1, study_network)
+
+    assert data.forward_tree_nodes == study_network.num_nodes
+    assert data.backward_tree_nodes == study_network.num_nodes
+    # Panel (c): a real city query yields many plateaus.
+    assert data.num_plateaus >= 5
+    assert len(data.top_plateaus) == 5
+    weights = [p.weight_s for p in data.top_plateaus]
+    assert weights == sorted(weights, reverse=True)
+    # The longest plateau IS the optimal route.
+    assert data.top_plateaus[0].weight_s == pytest.approx(
+        data.optimal_time_s
+    )
+    # Panel (d): assembled alternatives, fastest first, within 1.4x.
+    assert data.routes[0].travel_time_s == pytest.approx(
+        data.optimal_time_s
+    )
+    for route in data.routes:
+        assert route.travel_time_s <= 1.4 * data.optimal_time_s + 1e-6
+
+    write_artifact("figure1.txt", data.formatted())

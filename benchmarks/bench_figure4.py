@@ -1,0 +1,31 @@
+"""Experiment F4 — regenerate the Figure-4 data-mismatch case study.
+
+The paper's scenario: for one query the commercial engine and Plateaus
+agree on some routes but disagree on one; the disagreeing route looks
+worse on OSM data yet better on the commercial engine's own data.  The
+benchmark times the scan that finds such a case and asserts the flip.
+"""
+
+from repro.experiments import figure4
+
+from conftest import write_artifact
+
+
+def test_bench_figure4(benchmark, study_network):
+    case = benchmark.pedantic(
+        figure4,
+        args=(study_network,),
+        kwargs={"traffic_seed": 0, "max_queries": 500},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert case.flips
+    # On OSM data the plateau route wins ...
+    assert case.plateau_route_osm_s < case.commercial_route_osm_s
+    # ... on the private traffic data the commercial route wins.
+    assert case.commercial_route_private_s < case.plateau_route_private_s
+    # The two routes genuinely differ (not a pricing artefact).
+    assert case.commercial_route != case.plateau_route
+
+    write_artifact("figure4.txt", case.formatted())

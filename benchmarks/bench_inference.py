@@ -1,0 +1,58 @@
+"""Post-hoc inference over the pinned study run.
+
+The paper's statistical endpoint is the omnibus ANOVA; this benchmark
+extends it with the pairwise picture (Holm-adjusted Welch tests) and
+bootstrap confidence intervals, asserting the consistent conclusion:
+with ratings this noisy, *no* pairwise difference survives correction
+on the pinned run, and most bootstrap intervals cover zero.
+"""
+
+from repro.study.analysis import anova_by_category
+from repro.study.inference import (
+    bootstrap_report,
+    format_inference,
+    kruskal_report,
+    pairwise_report,
+)
+
+from conftest import write_artifact
+
+
+def test_bench_pairwise_inference(benchmark, study_results):
+    pairwise = benchmark(pairwise_report, study_results)
+
+    assert len(pairwise) == 6
+    significant = [
+        pair for pair, t in pairwise.items() if t.significant()
+    ]
+    # Paper-consistent: the omnibus test was non-significant, so after
+    # Holm correction at most the GMaps-vs-best gap may sneak through.
+    assert len(significant) <= 1
+
+    bootstrap = bootstrap_report(study_results, resamples=1000)
+    covering_zero = sum(
+        1 for interval in bootstrap.values() if interval.contains(0.0)
+    )
+    assert covering_zero >= 4
+
+    write_artifact(
+        "inference.txt", format_inference(pairwise, bootstrap)
+    )
+
+
+def test_bench_kruskal_vs_anova(benchmark, study_results):
+    """Ordinal-data sanity: the rank test agrees with the ANOVA."""
+    kruskal = benchmark(kruskal_report, study_results)
+    anova = anova_by_category(study_results)
+
+    lines = []
+    for category in ("all", "residents", "non-residents"):
+        k = kruskal[category]
+        a = anova[category]
+        # Same conclusion at alpha = 0.05 in every category.
+        assert k.significant() == a.significant(), category
+        lines.append(
+            f"{category}: ANOVA {a.formatted()} | "
+            f"Kruskal-Wallis {k.formatted()}"
+        )
+    write_artifact("kruskal.txt", "\n".join(lines))

@@ -1,0 +1,94 @@
+"""Experiment P1 — planner performance (paper §2 cost claims).
+
+§2.2: the plateau cost "is dominated by the two Dijkstra searches";
+§2.3: dissimilarity methods are slower ("many of these techniques still
+appear to be too slow"); §2.1: penalty costs one Dijkstra per retrieved
+(or filtered) path.  The shape target is the ordering
+    plateaus ≈ 2 x dijkstra  <  dissimilarity, penalty
+with Yen far behind everything.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core import (
+    DissimilarityPlanner,
+    LimitedOverlapPlanner,
+    PenaltyPlanner,
+    PlateauPlanner,
+    YenPlanner,
+)
+from repro.experiments import default_planners
+
+
+def _query_set(network, count=6, seed=0):
+    rng = random.Random(f"bench-queries:{seed}")
+    queries = []
+    while len(queries) < count:
+        s = rng.randrange(network.num_nodes)
+        t = rng.randrange(network.num_nodes)
+        if s != t:
+            queries.append((s, t))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def queries(study_network):
+    return _query_set(study_network)
+
+
+def _run_all(planner, queries):
+    return [planner.plan(s, t) for s, t in queries]
+
+
+def test_bench_dijkstra_baseline(benchmark, study_network, queries):
+    def run():
+        return [shortest_path(study_network, s, t) for s, t in queries]
+
+    paths = benchmark(run)
+    assert len(paths) == len(queries)
+
+
+def test_bench_plateaus(benchmark, study_network, queries):
+    planner = PlateauPlanner(study_network, k=3)
+    results = benchmark(_run_all, planner, queries)
+    assert all(len(rs) >= 1 for rs in results)
+
+
+def test_bench_dissimilarity(benchmark, study_network, queries):
+    planner = DissimilarityPlanner(study_network, k=3)
+    results = benchmark(_run_all, planner, queries)
+    assert all(len(rs) >= 1 for rs in results)
+
+
+def test_bench_penalty(benchmark, study_network, queries):
+    planner = PenaltyPlanner(study_network, k=3)
+    results = benchmark(_run_all, planner, queries)
+    assert all(len(rs) >= 1 for rs in results)
+
+
+def test_bench_commercial(benchmark, study_network, queries):
+    planner = default_planners(study_network)["Google Maps"]
+    results = benchmark(_run_all, planner, queries)
+    assert all(len(rs) >= 1 for rs in results)
+
+
+def test_bench_yen(benchmark, study_network):
+    # Yen is far slower; bench it on a single query.
+    planner = YenPlanner(study_network, k=3)
+    s, t = _query_set(study_network, count=1, seed=3)[0]
+    result = benchmark.pedantic(
+        planner.plan, args=(s, t), rounds=3, iterations=1
+    )
+    assert len(result) >= 1
+
+
+def test_bench_limited_overlap(benchmark, study_network):
+    planner = LimitedOverlapPlanner(study_network, k=3, max_candidates=40)
+    s, t = _query_set(study_network, count=1, seed=3)[0]
+    result = benchmark.pedantic(
+        planner.plan, args=(s, t), rounds=3, iterations=1
+    )
+    assert len(result) >= 1

@@ -1,0 +1,128 @@
+"""Objective route-set quality across every implemented planner.
+
+The user study measures subjective quality; this benchmark measures
+the objective counterpart the paper's §2 discusses qualitatively —
+diversity, stretch, local optimality — plus Bader et al.'s
+alternative-route-graph measures, for all nine planners on a common
+query set.  Asserted shape: raw Yen is the least diverse generator
+(the §2.4 warning), the three study approaches all stay within their
+stretch budgets, and plateau routes are locally optimal.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AdmissibleAlternativesPlanner,
+    AlternativeRouteGraph,
+    CommercialEngine,
+    DissimilarityPlanner,
+    LimitedOverlapPlanner,
+    OnePassPlanner,
+    ParetoPlanner,
+    PenaltyPlanner,
+    PlateauPlanner,
+    ViaNodePlanner,
+    YenPlanner,
+)
+from repro.metrics.quality import is_locally_optimal
+from repro.metrics.similarity import average_pairwise_similarity
+
+from conftest import write_artifact
+
+
+def planner_suite(network):
+    return [
+        CommercialEngine(network, k=3),
+        PlateauPlanner(network, k=3),
+        DissimilarityPlanner(network, k=3),
+        PenaltyPlanner(network, k=3),
+        AdmissibleAlternativesPlanner(network, k=3),
+        YenPlanner(network, k=3),
+        LimitedOverlapPlanner(network, k=3, max_candidates=60),
+        OnePassPlanner(network, k=3),
+        ParetoPlanner(network, k=3),
+        ViaNodePlanner(network, k=3),
+    ]
+
+
+@pytest.fixture(scope="module")
+def queries(study_network):
+    rng = random.Random("quality")
+    pairs = []
+    while len(pairs) < 5:
+        s = rng.randrange(study_network.num_nodes)
+        t = rng.randrange(study_network.num_nodes)
+        if s != t:
+            pairs.append((s, t))
+    return pairs
+
+
+def test_bench_quality_table(benchmark, study_network, queries):
+    def evaluate():
+        rows = {}
+        for planner in planner_suite(study_network):
+            sims, stretches, local, routes_total = [], [], 0, 0
+            arg_total_distance = []
+            for s, t in queries:
+                route_set = planner.plan(s, t)
+                routes = list(route_set)
+                if not routes:
+                    continue
+                routes_total += len(routes)
+                optimum = min(r.travel_time_s for r in routes)
+                stretches.append(
+                    max(r.travel_time_s for r in routes) / optimum
+                )
+                if len(routes) >= 2:
+                    sims.append(average_pairwise_similarity(routes))
+                local += sum(
+                    1
+                    for r in routes
+                    if is_locally_optimal(r, alpha=0.2)
+                )
+                arg_total_distance.append(
+                    AlternativeRouteGraph.from_route_set(
+                        route_set
+                    ).total_distance()
+                )
+            rows[planner.name] = {
+                "routes": routes_total,
+                "mean_similarity": (
+                    sum(sims) / len(sims) if sims else 0.0
+                ),
+                "max_stretch": max(stretches) if stretches else 1.0,
+                "locally_optimal": local,
+                "arg_total_distance": (
+                    sum(arg_total_distance) / len(arg_total_distance)
+                ),
+            }
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    # §2.4: raw Yen's k shortest paths are the most mutually similar.
+    yen_similarity = rows["Yen"]["mean_similarity"]
+    for name in ("Plateaus", "Dissimilarity", "Penalty"):
+        assert rows[name]["mean_similarity"] <= yen_similarity + 1e-9
+    # The 1.4-bounded approaches respect their budgets.
+    assert rows["Plateaus"]["max_stretch"] <= 1.4 + 1e-6
+    assert rows["Dissimilarity"]["max_stretch"] <= 1.4 + 1e-6
+    assert rows["Admissible"]["max_stretch"] <= 1.4 + 1e-6
+    # Plateau routes are all locally optimal (the [2] property).
+    assert rows["Plateaus"]["locally_optimal"] == rows["Plateaus"]["routes"]
+
+    lines = [
+        f"{'planner':16s} {'routes':>6s} {'similarity':>10s} "
+        f"{'max stretch':>11s} {'loc.opt':>8s} {'ARG dist':>9s}"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:16s} {row['routes']:>6d} "
+            f"{row['mean_similarity']:>10.3f} "
+            f"{row['max_stretch']:>11.3f} "
+            f"{row['locally_optimal']:>4d}/{row['routes']:<3d} "
+            f"{row['arg_total_distance']:>9.2f}"
+        )
+    write_artifact("quality.txt", "\n".join(lines))

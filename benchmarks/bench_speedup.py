@@ -1,0 +1,100 @@
+"""Speed-up structures (paper intro context: hub labels, indexes).
+
+The paper motivates alternative routing within the ecosystem of
+accelerated shortest-path computation (hub labelling [1], index
+maintenance [13]).  These benchmarks measure the classic trade-off on
+the study network: preprocessing cost vs per-query cost for plain
+Dijkstra, contraction hierarchies and CH-based hub labels — and verify
+that both indexes answer exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    ContractionHierarchy,
+    HubLabeling,
+    shortest_path,
+)
+
+from conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def queries(study_network):
+    rng = random.Random("speedup")
+    pairs = []
+    while len(pairs) < 30:
+        s = rng.randrange(study_network.num_nodes)
+        t = rng.randrange(study_network.num_nodes)
+        if s != t:
+            pairs.append((s, t))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def hierarchy(study_network):
+    return ContractionHierarchy(study_network)
+
+
+@pytest.fixture(scope="module")
+def labels(hierarchy):
+    return HubLabeling(hierarchy)
+
+
+def test_bench_ch_preprocessing(benchmark, study_network):
+    ch = benchmark.pedantic(
+        ContractionHierarchy, args=(study_network,), rounds=1,
+        iterations=1,
+    )
+    assert sorted(ch.rank) == list(range(study_network.num_nodes))
+    write_artifact(
+        "speedup_ch.txt",
+        f"nodes={study_network.num_nodes}, "
+        f"edges={study_network.num_edges}, "
+        f"shortcuts={ch.num_shortcuts}",
+    )
+
+
+def test_bench_hl_preprocessing(benchmark, hierarchy):
+    labels = benchmark.pedantic(
+        HubLabeling, args=(hierarchy,), rounds=1, iterations=1
+    )
+    write_artifact(
+        "speedup_hl.txt",
+        f"avg label size={labels.average_label_size():.1f}, "
+        f"max={labels.max_label_size()}",
+    )
+
+
+def test_bench_query_dijkstra(benchmark, study_network, queries):
+    def run():
+        return [
+            shortest_path(study_network, s, t).travel_time_s
+            for s, t in queries
+        ]
+
+    times = benchmark(run)
+    assert all(t > 0 for t in times)
+
+
+def test_bench_query_ch(benchmark, study_network, hierarchy, queries):
+    def run():
+        return [hierarchy.distance(s, t) for s, t in queries]
+
+    distances = benchmark(run)
+    # Exactness on the side.
+    for (s, t), got in zip(queries, distances):
+        reference = shortest_path(study_network, s, t).travel_time_s
+        assert got == pytest.approx(reference)
+
+
+def test_bench_query_hub_labels(benchmark, study_network, labels, queries):
+    def run():
+        return [labels.distance(s, t) for s, t in queries]
+
+    distances = benchmark(run)
+    for (s, t), got in zip(queries, distances):
+        reference = shortest_path(study_network, s, t).travel_time_s
+        assert got == pytest.approx(reference)

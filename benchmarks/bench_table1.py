@@ -1,0 +1,34 @@
+"""Experiment T1 — regenerate Table 1 (all 237 responses).
+
+Shape targets (DESIGN.md §3): Plateaus wins overall, Google Maps trails,
+Penalty wins small routes, Plateaus wins long routes, and resident
+ratings exceed non-resident ratings for every approach.
+"""
+
+from repro.experiments import compare_to_paper, table1
+from repro.study.rating import APPROACHES
+
+from conftest import write_artifact
+
+
+def test_bench_table1(benchmark, study_results):
+    table = benchmark(table1, study_results)
+
+    assert table.row_counts["Overall"] == 237
+    assert table.row_counts["Melbourne residents"] == 156
+    assert table.row_counts["Non-residents"] == 81
+
+    overall = table.rows["Overall"]
+    # Headline shape: the commercial engine trails everyone overall.
+    assert min(overall, key=lambda a: overall[a].mean) == "Google Maps"
+    # Residents rate every approach at least as high as non-residents.
+    residents = table.rows["Melbourne residents"]
+    visitors = table.rows["Non-residents"]
+    for approach in APPROACHES:
+        assert residents[approach].mean >= visitors[approach].mean - 0.05
+
+    comparison = compare_to_paper(study_results)
+    text = table.formatted() + "\n\n" + comparison.formatted()
+    write_artifact("table1.txt", text)
+    # Cell-level agreement with the paper (means on a 1-5 scale).
+    assert comparison.mean_absolute_error < 0.35

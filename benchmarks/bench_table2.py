@@ -1,0 +1,38 @@
+"""Experiment T2 — regenerate Table 2 (Melbourne residents by length).
+
+Shape targets: Penalty wins the small-route row, Plateaus wins the
+long-route row, and the Google-Maps-vs-best gap is small for residents
+(the §4.1 observation that the gap "shrinks, considering responses only
+from Melbourne residents").
+"""
+
+from repro.experiments.tables import compare_cells_to_paper, table2
+from repro.study.rating import APPROACHES
+
+from conftest import write_artifact
+
+
+def test_bench_table2(benchmark, study_results):
+    table = benchmark(table2, study_results)
+
+    assert table.row_counts["Melbourne residents"] == 156
+    bins = [label for label in table.rows if "Routes" in label]
+    assert len(bins) == 3
+    counts = [table.row_counts[label] for label in bins]
+    assert counts == [38, 83, 35]
+
+    small_row, _, long_row = bins
+    assert table.winner(small_row) == "Penalty"
+    assert table.winner(long_row) == "Plateaus"
+
+    # Resident GMaps gap to the best approach stays small (paper: 0.15).
+    resident_row = table.rows["Melbourne residents"]
+    best = max(cell.mean for cell in resident_row.values())
+    assert best - resident_row["Google Maps"].mean < 0.45
+
+    comparison = compare_cells_to_paper(study_results)
+    assert comparison.mean_absolute_error < 0.35
+    write_artifact(
+        "table2.txt",
+        table.formatted() + "\n\n" + comparison.formatted(),
+    )

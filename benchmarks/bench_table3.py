@@ -1,0 +1,37 @@
+"""Experiment T3 — regenerate Table 3 (non-residents by length).
+
+Shape targets: non-residents rate Google Maps hardest (the §4.2
+data-mismatch mechanism hits people who judge routes only by their look
+on the map), the medium-route row collapses for everyone (paper: all
+means < 3.01), and Plateaus dominates the long-route row by a wide
+margin (paper: 4.00 vs 2.74).
+"""
+
+from repro.experiments.tables import table3
+
+from conftest import write_artifact
+
+
+def test_bench_table3(benchmark, study_results):
+    table = benchmark(table3, study_results)
+
+    assert table.row_counts["Non-residents"] == 81
+    bins = [label for label in table.rows if "Routes" in label]
+    counts = [table.row_counts[label] for label in bins]
+    assert counts == [28, 26, 27]
+
+    headline = table.rows["Non-residents"]
+    assert (
+        min(headline, key=lambda a: headline[a].mean) == "Google Maps"
+    )
+
+    _, medium_row, long_row = bins
+    # Medium routes: every approach sinks for non-residents.
+    medium = table.rows[medium_row]
+    assert all(cell.mean < 3.4 for cell in medium.values())
+    # Long routes: Plateaus wins big over Google Maps.
+    long_ = table.rows[long_row]
+    assert table.winner(long_row) == "Plateaus"
+    assert long_["Plateaus"].mean - long_["Google Maps"].mean > 0.6
+
+    write_artifact("table3.txt", table.formatted())

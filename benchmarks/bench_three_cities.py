@@ -1,0 +1,74 @@
+"""Experiment X1 — the extended-abstract scope: three road networks.
+
+The ICDE extended abstract runs the comparison on Melbourne, Dhaka and
+Copenhagen.  This benchmark builds each synthetic network through the
+full OSM pipeline and runs a reduced-quota study on each, asserting the
+structural expectations: all four approaches produce alternatives on
+every network, and the rating machinery yields a complete table per
+city.
+"""
+
+import pytest
+
+from repro.cities import CITY_BUILDERS
+from repro.experiments import default_planners, run_study, table1
+from repro.study import StudyConfig
+from repro.study.rating import APPROACHES
+
+from conftest import write_artifact
+
+#: Reduced per-city quotas (same 156:81 resident ratio, ~1/5 scale).
+REDUCED_QUOTAS = {
+    (True, "small"): 8,
+    (True, "medium"): 16,
+    (True, "long"): 7,
+    (False, "small"): 6,
+    (False, "medium"): 5,
+    (False, "long"): 5,
+}
+
+
+@pytest.mark.parametrize("city", sorted(CITY_BUILDERS))
+def test_bench_city_network_build(benchmark, city):
+    network = benchmark.pedantic(
+        CITY_BUILDERS[city], kwargs={"size": "small"}, rounds=1,
+        iterations=1,
+    )
+    assert network.num_nodes > 100
+    assert network.num_edges > 300
+
+
+@pytest.mark.parametrize("city", sorted(CITY_BUILDERS))
+def test_bench_city_study(benchmark, city):
+    config = StudyConfig(
+        quotas=REDUCED_QUOTAS, seed=0, calibration_samples=60
+    )
+
+    def run():
+        return run_study(
+            city=city, size="small", seed=0, config=config,
+            use_cache=False,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results.count() == sum(REDUCED_QUOTAS.values())
+    table = table1(results)
+    for row in table.rows.values():
+        assert set(row) == set(APPROACHES)
+    write_artifact(f"three_cities_{city}.txt", table.formatted())
+
+
+@pytest.mark.parametrize("city", sorted(CITY_BUILDERS))
+def test_bench_city_planning(benchmark, city):
+    network = CITY_BUILDERS[city](size="small")
+    planners = default_planners(network)
+    s, t = 0, network.num_nodes - 1
+
+    def run():
+        return {
+            name: planner.plan(s, t)
+            for name, planner in planners.items()
+        }
+
+    route_sets = benchmark(run)
+    assert all(len(rs) >= 1 for rs in route_sets.values())

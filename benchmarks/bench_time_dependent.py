@@ -1,0 +1,54 @@
+"""Time-dependent routing: the traffic substrate's dose-response.
+
+The commercial engine's defining feature is routing on traffic data.
+This benchmark sweeps departure times over the day on the study network
+and asserts the expected shape: rush-hour departures are substantially
+slower than the 3 am departure the paper uses as its minimal-traffic
+reference, and the worst departure lands near a modelled peak.
+"""
+
+import pytest
+
+from repro.algorithms.time_dependent import TimeDependentRouter
+from repro.traffic import TrafficModel
+
+from conftest import write_artifact
+
+
+def test_bench_departure_sweep(benchmark, study_network):
+    router = TimeDependentRouter(
+        study_network, TrafficModel(study_network, seed=0)
+    )
+    s, t = 0, study_network.num_nodes - 1
+
+    sweep = benchmark.pedantic(
+        router.duration_by_departure, args=(s, t), rounds=1, iterations=1
+    )
+
+    durations = dict(sweep)
+    night = durations[3.0]
+    morning_peak = durations[8.0]
+    evening_peak = durations[18.0]
+    # Rush hour costs noticeably more than the paper's 3 am reference.
+    assert morning_peak > 1.15 * night
+    assert evening_peak > 1.15 * night
+    # The worst departure is near one of the modelled peaks.
+    worst_hour = max(sweep, key=lambda pair: pair[1])[0]
+    assert min(abs(worst_hour - 8.0), abs(worst_hour - 17.5)) <= 2.0
+
+    lines = [
+        f"{int(hour):02d}:00  {duration / 60:6.1f} min"
+        for hour, duration in sweep
+    ]
+    write_artifact("time_dependent.txt", "\n".join(lines))
+
+
+def test_bench_td_query(benchmark, study_network):
+    router = TimeDependentRouter(
+        study_network, TrafficModel(study_network, seed=0)
+    )
+    s, t = 0, study_network.num_nodes - 1
+
+    timed = benchmark(router.earliest_arrival, s, t, 8.0)
+    assert timed.path.source == s
+    assert timed.path.target == t

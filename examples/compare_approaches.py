@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Objective comparison of all implemented planners (paper §2).
+
+Runs the four study approaches plus the §2.4 baselines (Yen, limited
+overlap, Pareto, generic via-node) on the same queries and prints the
+objective route-set quality measures the paper discusses: stretch,
+pairwise similarity, turn counts and local optimality.  This is the
+quantitative side of the argument the user study makes subjectively —
+for instance, Yen's routes come out nearly identical, exactly as §2.4
+warns.
+
+Run with:  python examples/compare_approaches.py
+"""
+
+import random
+
+from repro import (
+    DissimilarityPlanner,
+    LimitedOverlapPlanner,
+    ParetoPlanner,
+    PenaltyPlanner,
+    PlateauPlanner,
+    ViaNodePlanner,
+    YenPlanner,
+    melbourne,
+)
+from repro.core import CommercialEngine
+from repro.metrics import (
+    average_pairwise_similarity,
+    is_locally_optimal,
+    summarize_route_set,
+    turn_count,
+)
+
+
+def planner_suite(network):
+    return [
+        CommercialEngine(network, k=3),
+        PlateauPlanner(network, k=3),
+        DissimilarityPlanner(network, k=3),
+        PenaltyPlanner(network, k=3),
+        YenPlanner(network, k=3),
+        LimitedOverlapPlanner(network, k=3, max_candidates=60),
+        ParetoPlanner(network, k=3),
+        ViaNodePlanner(network, k=3),
+    ]
+
+
+def main() -> None:
+    network = melbourne(size="small")
+    rng = random.Random(7)
+    queries = []
+    while len(queries) < 4:
+        s = rng.randrange(network.num_nodes)
+        t = rng.randrange(network.num_nodes)
+        if s != t:
+            queries.append((s, t))
+
+    header = (
+        f"{'approach':16s} {'routes':>6s} {'max stretch':>11s} "
+        f"{'similarity':>10s} {'turns/route':>11s} {'loc.opt':>8s}"
+    )
+    for s, t in queries:
+        print(f"\nquery {s} -> {t}")
+        print(header)
+        for planner in planner_suite(network):
+            route_set = planner.plan(s, t)
+            routes = list(route_set)
+            if not routes:
+                print(f"{planner.name:16s} {'0':>6s}")
+                continue
+            summary = summarize_route_set(routes)
+            turns = sum(turn_count(r) for r in routes) / len(routes)
+            locally_optimal = sum(
+                1 for r in routes if is_locally_optimal(r, alpha=0.2)
+            )
+            print(
+                f"{planner.name:16s} {len(routes):>6d} "
+                f"{summary.max_stretch:>11.2f} "
+                f"{average_pairwise_similarity(routes):>10.2f} "
+                f"{turns:>11.1f} "
+                f"{locally_optimal:>5d}/{len(routes)}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure-4 data-mismatch case study.
+
+Scans queries on the synthetic Melbourne network for the paper's
+Figure-4 scenario: the simulated commercial engine and the Plateaus
+planner agree on most routes, but the route they disagree on flips
+winner depending on whose travel-time data prices it.  Also shows how
+the size of the underlying data discrepancy controls how often the two
+engines disagree at all.
+
+Run with:  python examples/data_mismatch.py
+"""
+
+import random
+
+from repro import CommercialDataProvider, PlateauPlanner, melbourne
+from repro.core import CommercialEngine
+from repro.experiments import figure4
+
+
+def disagreement_rate(network, discrepancy_scale, queries=60, seed=1):
+    """Fraction of queries where the engines pick different best routes."""
+    provider = CommercialDataProvider(
+        network, seed=0, discrepancy_scale=discrepancy_scale
+    )
+    commercial = CommercialEngine(network, k=3, provider=provider)
+    plateau = PlateauPlanner(network, k=3)
+    rng = random.Random(f"mismatch:{seed}")
+    disagreements = 0
+    done = 0
+    while done < queries:
+        s = rng.randrange(network.num_nodes)
+        t = rng.randrange(network.num_nodes)
+        if s == t:
+            continue
+        done += 1
+        a = commercial.plan(s, t)[0].edge_ids
+        b = plateau.plan(s, t)[0].edge_ids
+        if a != b:
+            disagreements += 1
+    return disagreements / queries
+
+
+def main() -> None:
+    network = melbourne(size="small")
+    print(f"network: {network.name} ({network.num_nodes} nodes)\n")
+
+    print("How often does the commercial engine pick a different fastest")
+    print("route, as its private data drifts further from OSM?")
+    for scale in (0.0, 0.5, 1.0, 2.0):
+        rate = disagreement_rate(network, scale)
+        print(f"  discrepancy_scale={scale:3.1f}: "
+              f"{rate:5.1%} of queries: different fastest route")
+
+    print("\nSearching for a Figure-4 winner flip ...")
+    case = figure4(network, traffic_seed=0, max_queries=500)
+    print(case.formatted())
+    print(
+        "\nInterpretation: a participant comparing these two route sets "
+        "on the displayed (OSM) times would fault the commercial "
+        "engine's route, but on the engine's own data that route is the "
+        "faster one — the paper's §4.2 'different data' limitation."
+    )
+
+
+if __name__ == "__main__":
+    main()

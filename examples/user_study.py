@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Run the full user-study simulation and regenerate the paper's tables.
+
+Collects the paper's 237 blinded responses (156 Melbourne residents,
+81 non-residents) on the synthetic Melbourne network, prints Tables
+1-3, the three one-way ANOVAs, and the paper-vs-measured comparison.
+
+With ``--city dhaka`` or ``--city copenhagen`` the same study runs on
+the other extended-abstract networks.  ``--size small`` runs in a few
+seconds; ``medium`` (the default) matches the pinned EXPERIMENTS.md
+configuration.
+
+Run with:  python examples/user_study.py [--city melbourne] [--size small]
+"""
+
+import argparse
+
+from repro.experiments import (
+    anova_report,
+    compare_to_paper,
+    run_study,
+    table1,
+    table2,
+    table3,
+)
+from repro.study.inference import (
+    bootstrap_report,
+    format_inference,
+    kruskal_report,
+    pairwise_report,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--city",
+        default="melbourne",
+        choices=["melbourne", "dhaka", "copenhagen"],
+    )
+    parser.add_argument(
+        "--size", default="medium", choices=["small", "medium", "full"]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(
+        f"running 237-response study on {args.city} ({args.size}), "
+        f"seed {args.seed} ..."
+    )
+    results = run_study(city=args.city, size=args.size, seed=args.seed)
+    print(f"collected {results.count()} responses; bins:")
+    for length_bin in results.bins:
+        high = (
+            "inf"
+            if length_bin.high_min == float("inf")
+            else f"{length_bin.high_min:.1f}"
+        )
+        print(
+            f"  {length_bin.name}: ({length_bin.low_min:.1f}, {high}] min"
+        )
+
+    for table in (table1(results), table2(results), table3(results)):
+        print()
+        print(table.formatted())
+
+    print("\nOne-way ANOVA (paper: p=0.16 all, 0.68 residents, "
+          "0.18 non-residents):")
+    for category, outcome in anova_report(results).items():
+        verdict = (
+            "significant" if outcome.significant() else "not significant"
+        )
+        print(f"  {category}: {outcome.formatted()} -> {verdict}")
+
+    print("\nKruskal-Wallis (rank test on the ordinal ratings):")
+    for category, outcome in kruskal_report(results).items():
+        verdict = (
+            "significant" if outcome.significant() else "not significant"
+        )
+        print(f"  {category}: {outcome.formatted()} -> {verdict}")
+
+    print("\nPairwise Welch tests (Holm) + bootstrap 95% CIs:")
+    print(
+        format_inference(
+            pairwise_report(results),
+            bootstrap_report(results, resamples=500),
+        )
+    )
+
+    if args.city == "melbourne":
+        print("\nPaper-vs-measured (Table 1 cells):")
+        print(compare_to_paper(results).formatted())
+
+    if results.comments():
+        print("\nSample participant comments:")
+        for comment in results.comments()[:5]:
+            print(f'  "{comment}"')
+
+
+if __name__ == "__main__":
+    main()

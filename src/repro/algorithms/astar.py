@@ -1,0 +1,98 @@
+"""A* search with a great-circle travel-time lower bound.
+
+The heuristic divides the haversine distance to the target by the
+fastest speed present in the network, which keeps it admissible for
+travel-time weights derived from speed limits.  When a caller supplies
+custom weights the heuristic cannot know their semantics, so it is
+scaled by the caller-provided ``heuristic_speed_kmh`` (defaulting to the
+network's maximum speed limit); passing ``0`` degrades gracefully to
+plain Dijkstra.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.geometry import haversine_m
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+
+
+def _max_speed_kmh(network: RoadNetwork) -> float:
+    return max(edge.maxspeed_kmh for edge in network.edges())
+
+
+def astar(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weights: Optional[Sequence[float]] = None,
+    heuristic_speed_kmh: Optional[float] = None,
+) -> Path:
+    """Return the shortest s-t path using goal-directed A* search.
+
+    With default weights and the default heuristic speed the result is
+    exactly the Dijkstra shortest path.  Raises
+    :class:`DisconnectedError` when no path exists.
+    """
+    if source == target:
+        raise ConfigurationError("source and target must differ")
+    network.node(source)
+    target_node = network.node(target)
+    w = network.default_weights() if weights is None else weights
+    if heuristic_speed_kmh is None:
+        heuristic_speed_kmh = _max_speed_kmh(network)
+    if heuristic_speed_kmh < 0:
+        raise ConfigurationError("heuristic speed must be non-negative")
+    speed_ms = heuristic_speed_kmh / 3.6
+
+    def heuristic(node_id: int) -> float:
+        if speed_ms == 0:
+            return 0.0
+        node = network.node(node_id)
+        return (
+            haversine_m(node.lat, node.lon, target_node.lat, target_node.lon)
+            / speed_ms
+        )
+
+    n = network.num_nodes
+    g_score: List[float] = [math.inf] * n
+    parent: List[int] = [-1] * n
+    settled: List[bool] = [False] * n
+    g_score[source] = 0.0
+    heap: List[tuple[float, int]] = [(heuristic(source), source)]
+    edges = network._edges
+    adjacency = network._out
+
+    while heap:
+        _, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        if u == target:
+            break
+        base = g_score[u]
+        for edge_id in adjacency[u]:
+            edge = edges[edge_id]
+            v = edge.v
+            if settled[v]:
+                continue
+            nd = base + w[edge_id]
+            if nd < g_score[v]:
+                g_score[v] = nd
+                parent[v] = edge_id
+                heapq.heappush(heap, (nd + heuristic(v), v))
+
+    if not settled[target]:
+        raise DisconnectedError(source, target)
+    path_edges: List[int] = []
+    current = target
+    while current != source:
+        edge_id = parent[current]
+        path_edges.append(edge_id)
+        current = edges[edge_id].u
+    path_edges.reverse()
+    return Path.from_edges(network, path_edges, weights)

@@ -1,0 +1,104 @@
+"""Bidirectional Dijkstra for point-to-point queries.
+
+Searches forward from the source and backward from the target in
+lock-step, stopping once the frontiers guarantee the meeting-point path
+is optimal.  On metropolitan networks this settles roughly half the
+nodes plain Dijkstra does, which is why the demo back end uses it for
+single-route requests (the alternative-route planners still need full
+trees and use plain Dijkstra).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+
+
+def bidirectional_dijkstra(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weights: Optional[Sequence[float]] = None,
+) -> Path:
+    """Return the shortest s-t path via bidirectional search.
+
+    Equivalent to :func:`repro.algorithms.dijkstra.shortest_path` in
+    output (ties may be broken differently but the total weight is
+    identical); raises :class:`DisconnectedError` when s and t are in
+    different components.
+    """
+    if source == target:
+        raise ConfigurationError("source and target must differ")
+    network.node(source)
+    network.node(target)
+    w = network.default_weights() if weights is None else weights
+
+    n = network.num_nodes
+    dist: Tuple[List[float], List[float]] = (
+        [math.inf] * n,
+        [math.inf] * n,
+    )
+    parent: Tuple[List[int], List[int]] = ([-1] * n, [-1] * n)
+    settled: Tuple[List[bool], List[bool]] = ([False] * n, [False] * n)
+    heaps: Tuple[list, list] = ([(0.0, source)], [(0.0, target)])
+    dist[0][source] = 0.0
+    dist[1][target] = 0.0
+    adjacency = (network._out, network._in)
+    edges = network._edges
+
+    best_cost = math.inf
+    meeting_node = -1
+
+    while heaps[0] and heaps[1]:
+        # Always advance the side with the smaller frontier radius.
+        side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+        d, u = heapq.heappop(heaps[side])
+        if settled[side][u]:
+            continue
+        settled[side][u] = True
+        other = 1 - side
+        # Termination: once the two radii together exceed the best
+        # connection found, no better meeting point can appear.
+        if heaps[other] and d + heaps[other][0][0] >= best_cost:
+            break
+        for edge_id in adjacency[side][u]:
+            edge = edges[edge_id]
+            v = edge.v if side == 0 else edge.u
+            weight = w[edge_id]
+            if weight < 0:
+                raise ConfigurationError(
+                    f"negative weight {weight} on edge {edge_id}"
+                )
+            nd = d + weight
+            if nd < dist[side][v]:
+                dist[side][v] = nd
+                parent[side][v] = edge_id
+                heapq.heappush(heaps[side], (nd, v))
+            if dist[other][v] != math.inf:
+                total = nd if nd < dist[side][v] else dist[side][v]
+                candidate = total + dist[other][v]
+                if candidate < best_cost:
+                    best_cost = candidate
+                    meeting_node = v
+
+    if meeting_node < 0:
+        raise DisconnectedError(source, target)
+
+    forward_edges: List[int] = []
+    current = meeting_node
+    while current != source:
+        edge_id = parent[0][current]
+        forward_edges.append(edge_id)
+        current = edges[edge_id].u
+    forward_edges.reverse()
+    current = meeting_node
+    while current != target:
+        edge_id = parent[1][current]
+        forward_edges.append(edge_id)
+        current = edges[edge_id].v
+    return Path.from_edges(network, forward_edges, weights)

@@ -1,0 +1,380 @@
+"""Contraction Hierarchies (CH) — the speed-up substrate.
+
+The paper's introduction cites index-based shortest-path acceleration
+(hub labelling [1], index maintenance [13]) as the context its planners
+live in, and the alternative-routes literature it builds on (Abraham et
+al. [2]) computes alternatives *on top of* contraction hierarchies.
+This module implements the classic CH pipeline:
+
+* **Preprocessing** — contract nodes in increasing importance order
+  (edge-difference + deleted-neighbour heuristic with lazy updates),
+  inserting shortcut edges that preserve shortest-path distances among
+  the remaining nodes;
+* **Query** — a bidirectional upward Dijkstra over the augmented graph
+  where both searches only relax edges leading to more important nodes;
+* **Unpacking** — recursively expanding shortcuts back into original
+  edge ids so callers receive ordinary :class:`~repro.graph.Path`
+  objects.
+
+The implementation is deliberately index-on-the-side: the road network
+itself stays immutable, and the hierarchy stores shortcuts in its own
+arrays.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+
+#: Marker for "this arc is an original network edge".
+_ORIGINAL = -1
+
+
+@dataclass(frozen=True, slots=True)
+class _Arc:
+    """One arc of the augmented (shortcut-bearing) graph.
+
+    ``via`` is the contracted middle node for shortcuts and ``-1`` for
+    original edges; ``edge_id`` is the original edge id (or ``-1`` for
+    shortcuts, whose children are the two arcs it bypasses).
+    """
+
+    head: int
+    weight: float
+    via: int
+    edge_id: int
+    child_up: int = -1
+    child_down: int = -1
+
+
+class ContractionHierarchy:
+    """A CH index over one road network and one weight vector.
+
+    Parameters
+    ----------
+    network:
+        The road network to index.
+    weights:
+        Edge weights to preprocess with (defaults to the network's
+        travel times).  A hierarchy is only valid for the weights it
+        was built with.
+    hop_limit:
+        Witness searches are limited to this many settled nodes, the
+        usual preprocessing-time/shortcut-count trade-off.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        weights: Optional[Sequence[float]] = None,
+        hop_limit: int = 600,
+    ) -> None:
+        if hop_limit < 10:
+            raise ConfigurationError("hop_limit must be at least 10")
+        self.network = network
+        self._weights = (
+            list(network.default_weights()) if weights is None else list(weights)
+        )
+        if len(self._weights) < network.num_edges:
+            raise ConfigurationError("weight vector too short")
+        self._hop_limit = hop_limit
+        n = network.num_nodes
+        #: Contraction order: rank[v] = position at which v was contracted.
+        self.rank: List[int] = [0] * n
+        self._arcs: List[_Arc] = []
+        # Adjacency of the augmented graph during/after preprocessing:
+        # arc indices per node, forward and backward.
+        self._up_out: List[List[int]] = [[] for _ in range(n)]
+        self._up_in: List[List[int]] = [[] for _ in range(n)]
+        self._build()
+
+    # -- preprocessing --------------------------------------------------------
+
+    def _build(self) -> None:
+        network = self.network
+        n = network.num_nodes
+        # Working adjacency over the not-yet-contracted core:
+        # out_arcs[u] = {v: (weight, arc_index)} with the cheapest arc
+        # per neighbour.
+        out_arcs: List[Dict[int, Tuple[float, int]]] = [
+            {} for _ in range(n)
+        ]
+        in_arcs: List[Dict[int, Tuple[float, int]]] = [{} for _ in range(n)]
+
+        def add_arc(
+            u: int,
+            v: int,
+            weight: float,
+            via: int,
+            edge_id: int,
+            child_up: int = -1,
+            child_down: int = -1,
+        ) -> int:
+            index = len(self._arcs)
+            self._arcs.append(
+                _Arc(
+                    head=v,
+                    weight=weight,
+                    via=via,
+                    edge_id=edge_id,
+                    child_up=child_up,
+                    child_down=child_down,
+                )
+            )
+            existing = out_arcs[u].get(v)
+            if existing is None or weight < existing[0]:
+                out_arcs[u][v] = (weight, index)
+                in_arcs[v][u] = (weight, index)
+            return index
+
+        for edge in network.edges():
+            add_arc(
+                edge.u, edge.v, self._weights[edge.id], _ORIGINAL, edge.id
+            )
+
+        contracted = [False] * n
+        deleted_neighbours = [0] * n
+
+        def witness_limit_search(
+            source: int, targets: Dict[int, float], skip: int, cap: float
+        ) -> Dict[int, float]:
+            """Bounded Dijkstra over the core, avoiding ``skip``."""
+            dist: Dict[int, float] = {source: 0.0}
+            heap: List[Tuple[float, int]] = [(0.0, source)]
+            settled = 0
+            found: Dict[int, float] = {}
+            while heap and settled < self._hop_limit:
+                d, u = heapq.heappop(heap)
+                if d > dist.get(u, math.inf):
+                    continue
+                settled += 1
+                if u in targets and u not in found:
+                    found[u] = d
+                    if len(found) == len(targets):
+                        break
+                if d > cap:
+                    break
+                for v, (weight, _arc) in out_arcs[u].items():
+                    if v == skip or contracted[v]:
+                        continue
+                    nd = d + weight
+                    if nd < dist.get(v, math.inf):
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+            return found
+
+        def shortcuts_needed(node: int) -> List[Tuple[int, int, float]]:
+            """Return (u, v, weight) shortcuts required to contract node."""
+            preds = [
+                (u, w)
+                for u, (w, _a) in in_arcs[node].items()
+                if not contracted[u] and u != node
+            ]
+            succs = [
+                (v, w)
+                for v, (w, _a) in out_arcs[node].items()
+                if not contracted[v] and v != node
+            ]
+            needed: List[Tuple[int, int, float]] = []
+            for u, w_in in preds:
+                targets = {
+                    v: w_in + w_out for v, w_out in succs if v != u
+                }
+                if not targets:
+                    continue
+                cap = max(targets.values())
+                witnesses = witness_limit_search(u, targets, node, cap)
+                for v, through in targets.items():
+                    witness = witnesses.get(v, math.inf)
+                    if witness > through + 1e-12:
+                        needed.append((u, v, through))
+            return needed
+
+        def priority(node: int) -> float:
+            needed = shortcuts_needed(node)
+            degree = len(in_arcs[node]) + len(out_arcs[node])
+            return (
+                len(needed) - degree + 2 * deleted_neighbours[node]
+            )
+
+        queue: List[Tuple[float, int]] = [
+            (priority(v), v) for v in range(n)
+        ]
+        heapq.heapify(queue)
+        order = 0
+        while queue:
+            prio, node = heapq.heappop(queue)
+            if contracted[node]:
+                continue
+            # Lazy update: re-evaluate and requeue if stale.
+            current = priority(node)
+            if queue and current > queue[0][0] + 1e-12:
+                heapq.heappush(queue, (current, node))
+                continue
+            # Contract.
+            for u, v, weight in shortcuts_needed(node):
+                up_arc = out_arcs[u][node][1]
+                down_arc = out_arcs[node][v][1]
+                add_arc(
+                    u,
+                    v,
+                    weight,
+                    via=node,
+                    edge_id=_ORIGINAL,
+                    child_up=up_arc,
+                    child_down=down_arc,
+                )
+            contracted[node] = True
+            self.rank[node] = order
+            order += 1
+            for neighbour in set(in_arcs[node]) | set(out_arcs[node]):
+                if not contracted[neighbour]:
+                    deleted_neighbours[neighbour] += 1
+
+        # Freeze the upward/downward adjacency: an arc (u -> v) is
+        # upward from u when rank[v] > rank[u]; the backward search
+        # uses arcs that are upward from v's perspective.
+        best_up: List[Dict[int, int]] = [{} for _ in range(n)]
+        best_down: List[Dict[int, int]] = [{} for _ in range(n)]
+        tails = self._arc_tails(out_arcs_final=None)
+        for index, arc in enumerate(self._arcs):
+            u = tails[index]
+            v = arc.head
+            if self.rank[v] > self.rank[u]:
+                current = best_up[u].get(v)
+                if current is None or arc.weight < self._arcs[current].weight:
+                    best_up[u][v] = index
+            else:
+                current = best_down[v].get(u)
+                if current is None or arc.weight < self._arcs[current].weight:
+                    best_down[v][u] = index
+        self._up_out = [list(best_up[u].values()) for u in range(n)]
+        self._up_in = [list(best_down[v].values()) for v in range(n)]
+        self._tails = tails
+
+    def _arc_tails(self, out_arcs_final) -> List[int]:
+        """Recover each arc's tail node (arcs only store heads)."""
+        tails = [0] * len(self._arcs)
+        # Original arcs: tail from the network edge.
+        for index, arc in enumerate(self._arcs):
+            if arc.edge_id != _ORIGINAL:
+                tails[index] = self.network.edge(arc.edge_id).u
+        # Shortcut arcs: tail = tail of their upward child.
+        for index, arc in enumerate(self._arcs):
+            if arc.edge_id == _ORIGINAL:
+                child = arc.child_up
+                # Children were always created before parents.
+                tails[index] = tails[child]
+        return tails
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def num_shortcuts(self) -> int:
+        """Number of shortcut arcs the preprocessing inserted."""
+        return sum(1 for arc in self._arcs if arc.edge_id == _ORIGINAL)
+
+    # -- queries ------------------------------------------------------------------
+
+    def distance(self, source: int, target: int) -> float:
+        """Return the shortest-path distance (inf when disconnected)."""
+        result = self._bidirectional(source, target)
+        return result[0] if result is not None else math.inf
+
+    def shortest_path(self, source: int, target: int) -> Path:
+        """Return the shortest path, unpacked to original edges."""
+        if source == target:
+            raise ConfigurationError("source and target must differ")
+        result = self._bidirectional(source, target)
+        if result is None:
+            raise DisconnectedError(source, target)
+        _cost, forward_arcs, backward_arcs = result
+        edge_ids: List[int] = []
+        for arc_index in forward_arcs:
+            self._unpack(arc_index, edge_ids)
+        for arc_index in backward_arcs:
+            self._unpack(arc_index, edge_ids)
+        return Path.from_edges(self.network, edge_ids, self._weights)
+
+    def _bidirectional(
+        self, source: int, target: int
+    ) -> Optional[Tuple[float, List[int], List[int]]]:
+        """Upward bidirectional Dijkstra; returns (cost, fwd, bwd arcs)."""
+        self.network.node(source)
+        self.network.node(target)
+        if source == target:
+            return (0.0, [], [])
+        INF = math.inf
+        dist = ({source: 0.0}, {target: 0.0})
+        parent_arc: Tuple[Dict[int, int], Dict[int, int]] = ({}, {})
+        heaps = ([(0.0, source)], [(0.0, target)])
+        adjacency = (self._up_out, self._up_in)
+        best_cost = INF
+        meet = -1
+        settled: Tuple[set, set] = (set(), set())
+        while heaps[0] or heaps[1]:
+            side = 0 if (
+                heaps[0]
+                and (not heaps[1] or heaps[0][0][0] <= heaps[1][0][0])
+            ) else 1
+            d, u = heapq.heappop(heaps[side])
+            if u in settled[side] or d > dist[side].get(u, INF):
+                continue
+            settled[side].add(u)
+            if d >= best_cost:
+                # This side can no longer improve the meeting point;
+                # drain it.
+                heaps[side].clear()
+                continue
+            other = 1 - side
+            if u in dist[other]:
+                candidate = d + dist[other][u]
+                if candidate < best_cost:
+                    best_cost = candidate
+                    meet = u
+            for arc_index in adjacency[side][u]:
+                arc = self._arcs[arc_index]
+                v = arc.head if side == 0 else self._tails[arc_index]
+                nd = d + arc.weight
+                if nd < dist[side].get(v, INF):
+                    dist[side][v] = nd
+                    parent_arc[side][v] = arc_index
+                    heapq.heappush(heaps[side], (nd, v))
+        if meet < 0:
+            return None
+        forward_arcs: List[int] = []
+        current = meet
+        while current != source:
+            arc_index = parent_arc[0][current]
+            forward_arcs.append(arc_index)
+            current = self._tails[arc_index]
+        forward_arcs.reverse()
+        backward_arcs: List[int] = []
+        current = meet
+        while current != target:
+            arc_index = parent_arc[1][current]
+            backward_arcs.append(arc_index)
+            current = self._arcs[arc_index].head
+        return (best_cost, forward_arcs, backward_arcs)
+
+    def _unpack(self, arc_index: int, edge_ids: List[int]) -> None:
+        """Expand an arc into original edge ids, in travel order."""
+        stack = [arc_index]
+        # Iterative post-order: shortcuts expand to (up, down).
+        output: List[int] = []
+        while stack:
+            index = stack.pop()
+            arc = self._arcs[index]
+            if arc.edge_id != _ORIGINAL:
+                output.append(arc.edge_id)
+            else:
+                # Push down first so up is processed first (LIFO).
+                stack.append(arc.child_down)
+                stack.append(arc.child_up)
+        edge_ids.extend(output)

@@ -1,0 +1,154 @@
+"""Binary-heap Dijkstra over :class:`~repro.graph.network.RoadNetwork`.
+
+One implementation serves every caller: it can run forward or backward,
+stop early at a target, stop at a cost bound, and accept an arbitrary
+edge-weight vector.  That last point is the backbone of the whole
+library — the Penalty planner, the traffic model and the simulated
+commercial engine all express themselves as alternative weight vectors
+over an immutable network.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms.sp_tree import ShortestPathTree
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+
+
+def dijkstra(
+    network: RoadNetwork,
+    root: int,
+    weights: Optional[Sequence[float]] = None,
+    forward: bool = True,
+    target: Optional[int] = None,
+    max_dist: float = math.inf,
+) -> ShortestPathTree:
+    """Run Dijkstra from ``root`` and return the shortest-path tree.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    root:
+        Root node id.
+    weights:
+        Edge weight vector indexed by edge id; defaults to the network's
+        travel times.  Weights must be non-negative.
+    forward:
+        True explores out-edges (shortest paths *from* root); False
+        explores in-edges (shortest paths *to* root).
+    target:
+        When given, the search stops as soon as ``target`` is settled;
+        distances of unsettled nodes are upper bounds only, so trees
+        built with a target should only be used for the s-t path.
+    max_dist:
+        Nodes further than this are never settled; their ``dist`` stays
+        infinite.  Used for bounded explorations (via-node candidate
+        collection).
+
+    Returns the :class:`ShortestPathTree`; the caller checks
+    ``tree.reachable(...)`` for connectivity.
+    """
+    network.node(root)  # raises NodeNotFoundError for bad roots
+    w = network.default_weights() if weights is None else weights
+    if len(w) < network.num_edges:
+        raise ConfigurationError(
+            f"weight vector has {len(w)} entries for {network.num_edges} "
+            "edges"
+        )
+    n = network.num_nodes
+    dist: List[float] = [math.inf] * n
+    parent_edge: List[int] = [-1] * n
+    settled: List[bool] = [False] * n
+    dist[root] = 0.0
+    heap: List[tuple[float, int]] = [(0.0, root)]
+    edges = network._edges  # hot loop: avoid method-call overhead
+    adjacency = network._out if forward else network._in
+
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        if u == target:
+            break
+        if d > max_dist:
+            # Everything still on the heap is at least this far away.
+            dist[u] = math.inf
+            parent_edge[u] = -1
+            break
+        for edge_id in adjacency[u]:
+            edge = edges[edge_id]
+            v = edge.v if forward else edge.u
+            if settled[v]:
+                continue
+            weight = w[edge_id]
+            if weight < 0:
+                raise ConfigurationError(
+                    f"negative weight {weight} on edge {edge_id}"
+                )
+            nd = d + weight
+            if nd < dist[v]:
+                dist[v] = nd
+                parent_edge[v] = edge_id
+                heapq.heappush(heap, (nd, v))
+
+    if target is not None or max_dist != math.inf:
+        # Unsettled entries hold tentative (possibly non-optimal)
+        # distances; blank them so callers cannot mistake them for
+        # shortest-path distances.
+        for v in range(n):
+            if not settled[v]:
+                dist[v] = math.inf
+                parent_edge[v] = -1
+    return ShortestPathTree(
+        network=network,
+        root=root,
+        forward=forward,
+        dist=dist,
+        parent_edge=parent_edge,
+    )
+
+
+def shortest_path_nodes(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weights: Optional[Sequence[float]] = None,
+) -> List[int]:
+    """Return the node sequence of the shortest s-t path.
+
+    Raises :class:`DisconnectedError` when no path exists.
+    """
+    if source == target:
+        raise ConfigurationError("source and target must differ")
+    tree = dijkstra(network, source, weights=weights, target=target)
+    if not tree.reachable(target):
+        raise DisconnectedError(source, target)
+    nodes = [target]
+    current = target
+    while current != source:
+        edge = network.edge(tree.parent_edge[current])
+        current = edge.u
+        nodes.append(current)
+    nodes.reverse()
+    return nodes
+
+
+def shortest_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weights: Optional[Sequence[float]] = None,
+) -> Path:
+    """Return the shortest s-t path as a :class:`~repro.graph.Path`.
+
+    The returned path's ``travel_time_s`` is measured under ``weights``.
+    """
+    nodes = shortest_path_nodes(network, source, target, weights)
+    return Path.from_nodes(network, nodes, weights)

@@ -1,0 +1,186 @@
+"""Hub labelling (paper intro, ref [1]: Abraham et al., SEA 2011).
+
+A hub labelling assigns every node a *forward label* (hubs it can reach
+going up the contraction hierarchy, with distances) and a *backward
+label* (hubs that reach it); the s-t distance is then the minimum of
+``dist_f(s, h) + dist_b(h, t)`` over hubs shared by both labels — a
+merge of two sorted arrays, no graph traversal at all.
+
+This implementation derives the labels from a
+:class:`~repro.algorithms.contraction.ContractionHierarchy`: a node's
+forward label is the settled set of its upward search, pruned by the
+standard distance check (a label entry is kept only when the labelled
+distance equals the true distance).  Queries answer distances only; for
+full paths use the hierarchy itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms.contraction import ContractionHierarchy
+from repro.graph.network import RoadNetwork
+
+
+class HubLabeling:
+    """Two-sided hub labels computed from a contraction hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        A prebuilt CH; labels inherit its weights.
+    prune:
+        With pruning (default) each candidate label entry is verified
+        against the true distance (bootstrapped from already-final
+        labels, processed in descending rank order) and dropped when a
+        higher hub already covers it.  Without pruning the labels are
+        the raw upward search spaces — larger but faster to build.
+    """
+
+    def __init__(
+        self, hierarchy: ContractionHierarchy, prune: bool = True
+    ) -> None:
+        self.network: RoadNetwork = hierarchy.network
+        self._hierarchy = hierarchy
+        n = self.network.num_nodes
+        #: Sorted (hub, distance) tuples per node.
+        self.forward_labels: List[Tuple[Tuple[int, float], ...]] = [
+            ()
+        ] * n
+        self.backward_labels: List[Tuple[Tuple[int, float], ...]] = [
+            ()
+        ] * n
+        self._build(prune)
+
+    # -- construction -----------------------------------------------------------
+
+    def _upward_search(self, root: int, forward: bool) -> Dict[int, float]:
+        """Settle the upward search space of ``root``."""
+        hierarchy = self._hierarchy
+        adjacency = hierarchy._up_out if forward else hierarchy._up_in
+        arcs = hierarchy._arcs
+        tails = hierarchy._tails
+        dist: Dict[int, float] = {root: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, root)]
+        settled: Dict[int, float] = {}
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled[u] = d
+            for arc_index in adjacency[u]:
+                arc = arcs[arc_index]
+                v = arc.head if forward else tails[arc_index]
+                nd = d + arc.weight
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return settled
+
+    def _build(self, prune: bool) -> None:
+        n = self.network.num_nodes
+        # Process nodes from most to least important so that pruning
+        # can rely on already-final labels of higher-ranked hubs.
+        by_rank = sorted(
+            range(n), key=lambda v: -self._hierarchy.rank[v]
+        )
+        for node in by_rank:
+            raw_forward = self._upward_search(node, forward=True)
+            raw_backward = self._upward_search(node, forward=False)
+            if prune:
+                forward = {}
+                for hub, d in raw_forward.items():
+                    if hub == node:
+                        forward[hub] = d
+                        continue
+                    covered = self._query_labels(
+                        tuple(sorted(forward.items())),
+                        self.backward_labels[hub],
+                    )
+                    if covered is None or covered[0] > d - 1e-12:
+                        forward[hub] = d
+                backward = {}
+                for hub, d in raw_backward.items():
+                    if hub == node:
+                        backward[hub] = d
+                        continue
+                    covered = self._query_labels(
+                        self.forward_labels[hub],
+                        tuple(sorted(backward.items())),
+                    )
+                    if covered is None or covered[0] > d - 1e-12:
+                        backward[hub] = d
+            else:
+                forward = raw_forward
+                backward = raw_backward
+            self.forward_labels[node] = tuple(sorted(forward.items()))
+            self.backward_labels[node] = tuple(sorted(backward.items()))
+
+    # -- queries -------------------------------------------------------------------
+
+    @staticmethod
+    def _query_labels(
+        forward: Sequence[Tuple[int, float]],
+        backward: Sequence[Tuple[int, float]],
+    ) -> Optional[Tuple[float, int]]:
+        """Merge two sorted labels; return (distance, hub) or None."""
+        best: Optional[Tuple[float, int]] = None
+        i = j = 0
+        while i < len(forward) and j < len(backward):
+            hub_f, dist_f = forward[i]
+            hub_b, dist_b = backward[j]
+            if hub_f == hub_b:
+                total = dist_f + dist_b
+                if best is None or total < best[0]:
+                    best = (total, hub_f)
+                i += 1
+                j += 1
+            elif hub_f < hub_b:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    def distance(self, source: int, target: int) -> float:
+        """Return the shortest-path distance (inf when disconnected)."""
+        self.network.node(source)
+        self.network.node(target)
+        if source == target:
+            return 0.0
+        hit = self._query_labels(
+            self.forward_labels[source], self.backward_labels[target]
+        )
+        return hit[0] if hit is not None else math.inf
+
+    def meeting_hub(self, source: int, target: int) -> int:
+        """Return the hub realising the s-t distance.
+
+        Raises :class:`DisconnectedError` when no common hub exists.
+        """
+        hit = self._query_labels(
+            self.forward_labels[source], self.backward_labels[target]
+        )
+        if hit is None:
+            raise DisconnectedError(source, target)
+        return hit[1]
+
+    # -- statistics -----------------------------------------------------------------
+
+    def average_label_size(self) -> float:
+        """Mean entries per (forward + backward) label pair."""
+        n = self.network.num_nodes
+        total = sum(
+            len(self.forward_labels[v]) + len(self.backward_labels[v])
+            for v in range(n)
+        )
+        return total / n
+
+    def max_label_size(self) -> int:
+        """Largest single label in the index."""
+        return max(
+            max((len(label) for label in self.forward_labels), default=0),
+            max((len(label) for label in self.backward_labels), default=0),
+        )

@@ -1,0 +1,174 @@
+"""Time-dependent earliest-arrival routing over the traffic model.
+
+Google Maps "uses real-time and/or historical traffic data to compute
+the routes" — i.e. it solves the *time-dependent* shortest-path
+problem, where an edge's travel time depends on when you enter it.
+This module implements that substrate over
+:class:`~repro.traffic.TrafficModel`:
+
+* :class:`TimeDependentRouter` runs a label-setting earliest-arrival
+  Dijkstra where relaxing edge ``e`` at arrival time ``t`` uses the
+  traffic model's congestion level *at that moment*;
+* the model's smooth daily profile satisfies the FIFO property at road
+  scale (congestion changes over hours, edges take seconds), which is
+  what makes label-setting exact.
+
+This is how the reproduction can ask questions the static engines
+cannot: "when should I leave?", and "how much does departure time move
+the route choice?" (see ``benchmarks/bench_time_dependent.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+from repro.traffic.model import TrafficModel
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class TimedPath:
+    """A path with its departure and arrival clock times."""
+
+    path: Path
+    departure_hour: float
+    arrival_hour: float
+
+    @property
+    def duration_s(self) -> float:
+        """Door-to-door duration in seconds."""
+        return (
+            (self.arrival_hour - self.departure_hour) * _SECONDS_PER_HOUR
+        )
+
+
+class TimeDependentRouter:
+    """Earliest-arrival routing on a road network with daily traffic.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    traffic:
+        The traffic model supplying per-edge free-flow times and peak
+        slowdowns; defaults to a fresh seeded model.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        traffic: Optional[TrafficModel] = None,
+    ) -> None:
+        self.network = network
+        self.traffic = (
+            traffic if traffic is not None else TrafficModel(network)
+        )
+        if self.traffic.network is not network:
+            raise ConfigurationError(
+                "traffic model was built for a different network"
+            )
+        self._freeflow = self.traffic.freeflow_weights()
+        self._slowdowns = self.traffic._peak_slowdown
+
+    def edge_travel_time_s(self, edge_id: int, hour: float) -> float:
+        """Travel time of one edge when entered at clock time ``hour``."""
+        level = self.traffic.profile.level(hour)
+        return self._freeflow[edge_id] * (
+            1.0 + level * (self._slowdowns[edge_id] - 1.0)
+        )
+
+    def earliest_arrival(
+        self, source: int, target: int, departure_hour: float
+    ) -> TimedPath:
+        """Return the earliest-arrival s-t path for a departure time.
+
+        Raises :class:`DisconnectedError` when no route exists.
+        """
+        if source == target:
+            raise ConfigurationError("source and target must differ")
+        self.network.node(source)
+        self.network.node(target)
+        departure_hour = departure_hour % 24.0
+
+        n = self.network.num_nodes
+        arrival: List[float] = [math.inf] * n
+        parent: List[int] = [-1] * n
+        settled: List[bool] = [False] * n
+        arrival[source] = departure_hour
+        heap: List[Tuple[float, int]] = [(departure_hour, source)]
+        edges = self.network._edges
+        adjacency = self.network._out
+
+        while heap:
+            t, u = heapq.heappop(heap)
+            if settled[u]:
+                continue
+            settled[u] = True
+            if u == target:
+                break
+            for edge_id in adjacency[u]:
+                edge = edges[edge_id]
+                if settled[edge.v]:
+                    continue
+                delta_h = (
+                    self.edge_travel_time_s(edge_id, t)
+                    / _SECONDS_PER_HOUR
+                )
+                nt = t + delta_h
+                if nt < arrival[edge.v]:
+                    arrival[edge.v] = nt
+                    parent[edge.v] = edge_id
+                    heapq.heappush(heap, (nt, edge.v))
+
+        if not settled[target]:
+            raise DisconnectedError(source, target)
+        edge_ids: List[int] = []
+        current = target
+        while current != source:
+            edge_id = parent[current]
+            edge_ids.append(edge_id)
+            current = edges[edge_id].u
+        edge_ids.reverse()
+        path = Path(
+            network=self.network,
+            nodes=tuple(
+                [source]
+                + [edges[edge_id].v for edge_id in edge_ids]
+            ),
+            edge_ids=tuple(edge_ids),
+            travel_time_s=(
+                (arrival[target] - departure_hour) * _SECONDS_PER_HOUR
+            ),
+        )
+        return TimedPath(
+            path=path,
+            departure_hour=departure_hour,
+            arrival_hour=arrival[target],
+        )
+
+    def duration_by_departure(
+        self,
+        source: int,
+        target: int,
+        hours: Optional[List[float]] = None,
+    ) -> List[Tuple[float, float]]:
+        """Sweep departure times; return (hour, duration seconds) pairs.
+
+        Defaults to every hour of the day — the data behind a
+        "travel time by departure time" figure.
+        """
+        sweep = hours if hours is not None else [float(h) for h in range(24)]
+        return [
+            (
+                hour,
+                self.earliest_arrival(source, target, hour).duration_s,
+            )
+            for hour in sweep
+        ]

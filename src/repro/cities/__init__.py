@@ -1,0 +1,63 @@
+"""Synthetic study cities: Melbourne, Dhaka and Copenhagen.
+
+The quickest way to a routable network:
+
+>>> from repro.cities import melbourne
+>>> network = melbourne(size="small")   # doctest: +SKIP
+
+Each city function runs the full pipeline — seeded generation, OSM XML
+round trip, rectangle filter, routing profile, SCC cleanup — and the
+result is deterministic per ``(seed, size)``.
+"""
+
+from repro.cities.generator import (
+    CityGenerator,
+    build_city_network,
+    build_city_network_with_restrictions,
+)
+from repro.cities.profile import (
+    SIZE_FACTORS,
+    CityProfile,
+    copenhagen_profile,
+    dhaka_profile,
+    melbourne_profile,
+)
+from repro.graph.network import RoadNetwork
+
+
+def melbourne(size: str = "medium", seed: int = 0) -> RoadNetwork:
+    """Build the synthetic Melbourne network (the paper's study city)."""
+    return build_city_network(melbourne_profile(), size=size, seed=seed)
+
+
+def dhaka(size: str = "medium", seed: int = 0) -> RoadNetwork:
+    """Build the synthetic Dhaka network."""
+    return build_city_network(dhaka_profile(), size=size, seed=seed)
+
+
+def copenhagen(size: str = "medium", seed: int = 0) -> RoadNetwork:
+    """Build the synthetic Copenhagen network."""
+    return build_city_network(copenhagen_profile(), size=size, seed=seed)
+
+
+#: Name -> builder mapping used by the experiment harness.
+CITY_BUILDERS = {
+    "melbourne": melbourne,
+    "dhaka": dhaka,
+    "copenhagen": copenhagen,
+}
+
+__all__ = [
+    "CITY_BUILDERS",
+    "SIZE_FACTORS",
+    "CityGenerator",
+    "CityProfile",
+    "build_city_network",
+    "build_city_network_with_restrictions",
+    "copenhagen",
+    "copenhagen_profile",
+    "dhaka",
+    "dhaka_profile",
+    "melbourne",
+    "melbourne_profile",
+]

@@ -1,0 +1,557 @@
+"""Seeded synthetic-city generation, emitting genuine OSM documents.
+
+The generator lays an intersection lattice over the city extent,
+perturbs it (``irregularity``), knocks holes in it (``hole_fraction``),
+classifies rows/columns into residential / secondary / primary
+arterials, cuts a river band crossable only at bridges, threads freeway
+spines with ramp interchanges, and optionally adds a ring road.  The
+output is an :class:`~repro.osm.OSMDocument` with realistic highway /
+maxspeed / lanes / oneway / name tags, which the road-network
+constructor (:mod:`repro.osm.constructor`) turns into a routable
+network through exactly the code path the paper describes for real OSM
+data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.geometry import BoundingBox, LocalProjection
+from repro.graph.network import RoadNetwork
+from repro.osm.constructor import RoadNetworkConstructor
+from repro.osm.model import OSMDocument, OSMNode, OSMRestriction, OSMWay
+from repro.osm.parser import parse_osm_xml, write_osm_xml
+from repro.cities.profile import SIZE_FACTORS, CityProfile
+
+#: Id blocks keeping grid, ring and freeway node ids disjoint.
+_RING_ID_BASE = 1_000_000
+_FREEWAY_ID_BASE = 2_000_000
+_WAY_ID_BASE = 10_000_000
+
+# Road-class speed/lane templates, scaled by the profile's speed_scale.
+_CLASS_SPECS = {
+    "primary": (70.0, 3),
+    "secondary": (60.0, 2),
+    "residential": (40.0, 1),
+}
+_FREEWAY_SPEC = (100.0, 3)
+_RING_SPEC = (80.0, 2)
+_RAMP_SPEC = (60.0, 1)
+
+
+@dataclass(frozen=True, slots=True)
+class _Street:
+    """One maximal run of lattice nodes forming a single OSM way."""
+
+    node_ids: Tuple[int, ...]
+    highway: str
+    speed_kmh: float
+    lanes: int
+    name: str
+    oneway: str = ""  # "", "yes" or "-1"
+    bridge: bool = False
+
+
+class CityGenerator:
+    """Generates one synthetic city from a profile and a seed."""
+
+    def __init__(self, profile: CityProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+
+    # -- public API ----------------------------------------------------------
+
+    def generate_document(self) -> OSMDocument:
+        """Return the synthetic city as an OSM document."""
+        # Seed with a string: string seeding is hash-randomisation-free,
+        # so the same (seed, city) pair generates the same city in every
+        # process.
+        rng = random.Random(f"{self.seed}:{self.profile.name}")
+        profile = self.profile
+        projection = LocalProjection(profile.center_lat, profile.center_lon)
+
+        positions = self._lattice_positions(rng)
+        streets: List[_Street] = []
+        streets.extend(self._row_streets(rng, positions))
+        streets.extend(self._column_streets(rng, positions))
+
+        extra_nodes: Dict[int, Tuple[float, float]] = {}
+        if profile.has_ring_road:
+            streets.extend(self._ring_road(positions, extra_nodes))
+        streets.extend(self._freeways(rng, positions, extra_nodes))
+
+        nodes: List[OSMNode] = []
+        for node_id, (x, y) in sorted(positions.items()):
+            lat, lon = projection.to_latlon(x, y)
+            nodes.append(OSMNode(id=node_id, lat=lat, lon=lon))
+        for node_id, (x, y) in sorted(extra_nodes.items()):
+            lat, lon = projection.to_latlon(x, y)
+            nodes.append(OSMNode(id=node_id, lat=lat, lon=lon))
+
+        ways: List[OSMWay] = []
+        for index, street in enumerate(streets):
+            tags = {
+                "highway": street.highway,
+                "maxspeed": str(int(round(street.speed_kmh))),
+                "lanes": str(street.lanes),
+                "name": street.name,
+            }
+            if street.oneway:
+                tags["oneway"] = street.oneway
+            if street.bridge:
+                tags["bridge"] = "yes"
+            ways.append(
+                OSMWay(
+                    id=_WAY_ID_BASE + index,
+                    node_refs=street.node_ids,
+                    tags=tags,
+                )
+            )
+
+        restrictions = self._turn_restrictions(rng, streets)
+        document = OSMDocument(nodes, ways)
+        document = OSMDocument(
+            nodes,
+            ways,
+            bounds=document.computed_bounds().expanded(0.002),
+            restrictions=restrictions,
+        )
+        return document
+
+    # -- turn restrictions -----------------------------------------------------
+
+    def _turn_restrictions(
+        self, rng: random.Random, streets: List[_Street]
+    ) -> List[OSMRestriction]:
+        """Place no-turn relations at two-way street junctions.
+
+        Eligible junctions are interior nodes shared by two distinct
+        two-way streets (a turn from a street that *ends* at the node
+        is an end-of-road choice, not a turn the generator should
+        forbid — it could disconnect the node).
+        """
+        fraction = self.profile.turn_restriction_fraction
+        if fraction <= 0.0:
+            return []
+        # node -> list of street indexes passing through it (interior).
+        through: Dict[int, List[int]] = {}
+        for index, street in enumerate(streets):
+            if street.oneway:
+                continue
+            for node_id in street.node_ids[1:-1]:
+                through.setdefault(node_id, []).append(index)
+        restrictions: List[OSMRestriction] = []
+        next_id = 50_000_000
+        for node_id in sorted(through):
+            candidates = through[node_id]
+            if len(candidates) < 2:
+                continue
+            if rng.random() >= fraction:
+                continue
+            from_index, to_index = rng.sample(candidates, 2)
+            kind = rng.choice(("no_left_turn", "no_right_turn"))
+            restrictions.append(
+                OSMRestriction(
+                    id=next_id,
+                    from_way=_WAY_ID_BASE + from_index,
+                    via_node=node_id,
+                    to_way=_WAY_ID_BASE + to_index,
+                    kind=kind,
+                )
+            )
+            next_id += 1
+        return restrictions
+
+    def generate_xml(self) -> str:
+        """Return the synthetic city as an OSM XML string."""
+        return write_osm_xml(self.generate_document())
+
+    # -- lattice --------------------------------------------------------------
+
+    def _node_id(self, row: int, col: int) -> int:
+        return row * self.profile.cols + col + 1
+
+    def _row_class(self, row: int) -> str:
+        profile = self.profile
+        if row % profile.arterial_every == 0:
+            return "primary"
+        if (row + 1) % profile.secondary_every == 0:
+            return "secondary"
+        return "residential"
+
+    def _col_class(self, col: int) -> str:
+        profile = self.profile
+        if col % profile.arterial_every == 0:
+            return "primary"
+        if (col + 1) % profile.secondary_every == 0:
+            return "secondary"
+        return "residential"
+
+    def _river_row(self) -> Optional[int]:
+        """Row index below the river band (the river flows between this
+        row and the next)."""
+        if self.profile.river_rows < 1:
+            return None
+        return self.profile.rows // 2
+
+    def _bridge_columns(self) -> frozenset[int]:
+        """Columns whose river crossing survives as a bridge.
+
+        Bridges prefer arterial columns (real bridges carry arterials);
+        remaining slots are filled evenly across the extent.
+        """
+        profile = self.profile
+        if self._river_row() is None or profile.num_bridges == 0:
+            return frozenset()
+        arterials = [
+            c
+            for c in range(profile.cols)
+            if self._col_class(c) == "primary"
+        ]
+        chosen: List[int] = []
+        if arterials:
+            step = max(1, len(arterials) // profile.num_bridges)
+            chosen = arterials[::step][: profile.num_bridges]
+        missing = profile.num_bridges - len(chosen)
+        if missing > 0:
+            spacing = max(1, profile.cols // (missing + 1))
+            for index in range(1, missing + 1):
+                candidate = index * spacing
+                if candidate not in chosen and candidate < profile.cols:
+                    chosen.append(candidate)
+        return frozenset(chosen)
+
+    def _lattice_positions(
+        self, rng: random.Random
+    ) -> Dict[int, Tuple[float, float]]:
+        """Place the jittered lattice, honouring holes and bridge anchors."""
+        profile = self.profile
+        jitter_sigma = profile.irregularity * profile.spacing_m * 0.22
+        x0 = -(profile.cols - 1) * profile.spacing_m / 2.0
+        y0 = -(profile.rows - 1) * profile.spacing_m / 2.0
+        river_row = self._river_row()
+        bridge_cols = self._bridge_columns()
+        positions: Dict[int, Tuple[float, float]] = {}
+        for row in range(profile.rows):
+            for col in range(profile.cols):
+                is_arterial_junction = (
+                    self._row_class(row) == "primary"
+                    and self._col_class(col) == "primary"
+                )
+                anchors_bridge = river_row is not None and (
+                    col in bridge_cols and row in (river_row, river_row + 1)
+                )
+                dropped = (
+                    rng.random() < profile.hole_fraction
+                    and not is_arterial_junction
+                    and not anchors_bridge
+                )
+                dx = rng.gauss(0.0, jitter_sigma)
+                dy = rng.gauss(0.0, jitter_sigma)
+                if dropped:
+                    continue
+                positions[self._node_id(row, col)] = (
+                    x0 + col * profile.spacing_m + dx,
+                    y0 + row * profile.spacing_m + dy,
+                )
+        return positions
+
+    # -- streets ---------------------------------------------------------------
+
+    def _street_spec(self, road_class: str) -> Tuple[float, int]:
+        speed, lanes = _CLASS_SPECS[road_class]
+        return speed * self.profile.speed_scale, lanes
+
+    def _row_streets(
+        self, rng: random.Random, positions: Dict[int, Tuple[float, float]]
+    ) -> List[_Street]:
+        profile = self.profile
+        streets: List[_Street] = []
+        for row in range(profile.rows):
+            road_class = self._row_class(row)
+            speed, lanes = self._street_spec(road_class)
+            oneway = ""
+            if (
+                road_class == "residential"
+                and rng.random() < profile.oneway_fraction
+            ):
+                # Alternate one-way directions by row parity, the
+                # classic inner-city pattern.
+                oneway = "yes" if row % 2 == 0 else "-1"
+            name = f"{profile.name.title()} Street {row}"
+            run: List[int] = []
+            for col in range(profile.cols):
+                node_id = self._node_id(row, col)
+                if node_id in positions:
+                    run.append(node_id)
+                else:
+                    self._flush_run(
+                        streets, run, road_class, speed, lanes, name, oneway
+                    )
+                    run = []
+            self._flush_run(
+                streets, run, road_class, speed, lanes, name, oneway
+            )
+        return streets
+
+    def _column_streets(
+        self, rng: random.Random, positions: Dict[int, Tuple[float, float]]
+    ) -> List[_Street]:
+        profile = self.profile
+        river_row = self._river_row()
+        bridge_cols = self._bridge_columns()
+        streets: List[_Street] = []
+        for col in range(profile.cols):
+            road_class = self._col_class(col)
+            speed, lanes = self._street_spec(road_class)
+            oneway = ""
+            if (
+                road_class == "residential"
+                and rng.random() < profile.oneway_fraction
+            ):
+                oneway = "yes" if col % 2 == 0 else "-1"
+            name = f"{profile.name.title()} Avenue {col}"
+            run: List[int] = []
+            for row in range(profile.rows):
+                node_id = self._node_id(row, col)
+                crosses_river = (
+                    river_row is not None and row == river_row + 1
+                )
+                if crosses_river and col not in bridge_cols:
+                    # The river band severs this column; close the run
+                    # and start afresh north of the water.
+                    self._flush_run(
+                        streets, run, road_class, speed, lanes, name, oneway
+                    )
+                    run = []
+                if node_id not in positions:
+                    self._flush_run(
+                        streets, run, road_class, speed, lanes, name, oneway
+                    )
+                    run = []
+                    continue
+                if crosses_river and col in bridge_cols and run:
+                    # Emit the bridge as its own primary way so it is
+                    # visibly a distinct structure.
+                    self._flush_run(
+                        streets, run, road_class, speed, lanes, name, oneway
+                    )
+                    bridge_speed, bridge_lanes = self._street_spec("primary")
+                    streets.append(
+                        _Street(
+                            node_ids=(run[-1], node_id),
+                            highway="primary",
+                            speed_kmh=bridge_speed,
+                            lanes=bridge_lanes,
+                            name=f"{profile.name.title()} Bridge {col}",
+                            bridge=True,
+                        )
+                    )
+                    run = [node_id]
+                    continue
+                run.append(node_id)
+            self._flush_run(
+                streets, run, road_class, speed, lanes, name, oneway
+            )
+        return streets
+
+    @staticmethod
+    def _flush_run(
+        streets: List[_Street],
+        run: List[int],
+        road_class: str,
+        speed: float,
+        lanes: int,
+        name: str,
+        oneway: str,
+    ) -> None:
+        if len(run) >= 2:
+            streets.append(
+                _Street(
+                    node_ids=tuple(run),
+                    highway=road_class,
+                    speed_kmh=speed,
+                    lanes=lanes,
+                    name=name,
+                    oneway=oneway,
+                )
+            )
+
+    # -- ring road ---------------------------------------------------------------
+
+    def _ring_road(
+        self,
+        positions: Dict[int, Tuple[float, float]],
+        extra_nodes: Dict[int, Tuple[float, float]],
+    ) -> List[_Street]:
+        profile = self.profile
+        radius = 0.38 * min(profile.rows, profile.cols) * profile.spacing_m
+        segments = 28
+        ring_ids: List[int] = []
+        for index in range(segments):
+            angle = 2.0 * math.pi * index / segments
+            node_id = _RING_ID_BASE + index
+            extra_nodes[node_id] = (
+                radius * math.cos(angle),
+                radius * math.sin(angle),
+            )
+            ring_ids.append(node_id)
+        ring_ids.append(ring_ids[0])  # close the loop
+        speed, lanes = _RING_SPEC
+        streets = [
+            _Street(
+                node_ids=tuple(ring_ids),
+                highway="trunk",
+                speed_kmh=speed * profile.speed_scale,
+                lanes=lanes,
+                name=f"{profile.name.title()} Ring Road",
+            )
+        ]
+        # Connect every 4th ring node to the nearest lattice node.
+        ramp_speed, ramp_lanes = self._street_spec("secondary")
+        for index in range(0, segments, 4):
+            ring_id = _RING_ID_BASE + index
+            nearest = self._nearest_position(
+                extra_nodes[ring_id], positions
+            )
+            if nearest is not None:
+                streets.append(
+                    _Street(
+                        node_ids=(ring_id, nearest),
+                        highway="secondary",
+                        speed_kmh=ramp_speed,
+                        lanes=ramp_lanes,
+                        name=f"{profile.name.title()} Ring Access {index}",
+                    )
+                )
+        return streets
+
+    # -- freeways -----------------------------------------------------------------
+
+    def _freeways(
+        self,
+        rng: random.Random,
+        positions: Dict[int, Tuple[float, float]],
+        extra_nodes: Dict[int, Tuple[float, float]],
+    ) -> List[_Street]:
+        profile = self.profile
+        streets: List[_Street] = []
+        half_w = (profile.cols - 1) * profile.spacing_m / 2.0
+        half_h = (profile.rows - 1) * profile.spacing_m / 2.0
+        node_step = 2.0 * profile.spacing_m
+        speed, lanes = _FREEWAY_SPEC
+        speed *= profile.speed_scale
+        for f_index in range(profile.num_freeways):
+            # Alternate orientations; offset keeps spines apart.
+            vertical = f_index % 2 == 0
+            offset_frac = rng.uniform(-0.45, 0.45)
+            if vertical:
+                x = offset_frac * 2.0 * half_w
+                start, end = (x, -half_h * 1.05), (x, half_h * 1.05)
+            else:
+                y = offset_frac * 2.0 * half_h
+                start, end = (-half_w * 1.05, y), (half_w * 1.05, y)
+            length = math.hypot(end[0] - start[0], end[1] - start[1])
+            count = max(2, int(length / node_step) + 1)
+            ids: List[int] = []
+            for j in range(count):
+                t = j / (count - 1)
+                node_id = _FREEWAY_ID_BASE + f_index * 10_000 + j
+                extra_nodes[node_id] = (
+                    start[0] + t * (end[0] - start[0]),
+                    start[1] + t * (end[1] - start[1]),
+                )
+                ids.append(node_id)
+            freeway_name = f"{profile.name.title()} Freeway M{f_index + 1}"
+            streets.append(
+                _Street(
+                    node_ids=tuple(ids),
+                    highway="motorway",
+                    speed_kmh=speed,
+                    lanes=lanes,
+                    name=freeway_name,
+                    oneway="no",  # single carriageway, both directions
+                )
+            )
+            # Ramp interchanges to the street grid.
+            ramp_speed, ramp_lanes = _RAMP_SPEC
+            for j in range(0, count, profile.ramp_every):
+                freeway_id = ids[j]
+                nearest = self._nearest_position(
+                    extra_nodes[freeway_id], positions
+                )
+                if nearest is None:
+                    continue
+                streets.append(
+                    _Street(
+                        node_ids=(freeway_id, nearest),
+                        highway="motorway_link",
+                        speed_kmh=ramp_speed * profile.speed_scale,
+                        lanes=ramp_lanes,
+                        name=f"{freeway_name} Exit {j}",
+                        oneway="no",
+                    )
+                )
+        return streets
+
+    @staticmethod
+    def _nearest_position(
+        point: Tuple[float, float],
+        positions: Dict[int, Tuple[float, float]],
+    ) -> Optional[int]:
+        best_id: Optional[int] = None
+        best_d2 = math.inf
+        px, py = point
+        for node_id, (x, y) in positions.items():
+            d2 = (x - px) ** 2 + (y - py) ** 2
+            if d2 < best_d2:
+                best_d2 = d2
+                best_id = node_id
+        return best_id
+
+
+def build_city_network(
+    profile: CityProfile,
+    size: str = "medium",
+    seed: int = 0,
+    via_xml: bool = True,
+) -> RoadNetwork:
+    """Run the full paper pipeline for a synthetic city.
+
+    Generates the OSM document, optionally round-trips it through the
+    XML writer/parser (``via_xml=True`` exercises the exact code path
+    the paper describes; tests may skip it for speed), filters to the
+    document bounds and constructs the routable network.
+    """
+    network, _restrictions = build_city_network_with_restrictions(
+        profile, size=size, seed=seed, via_xml=via_xml
+    )
+    return network
+
+
+def build_city_network_with_restrictions(
+    profile: CityProfile,
+    size: str = "medium",
+    seed: int = 0,
+    via_xml: bool = True,
+):
+    """As :func:`build_city_network`, also returning the compiled
+    :class:`~repro.graph.turns.TurnRestrictionTable`."""
+    try:
+        factor = SIZE_FACTORS[size]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown size {size!r}; choose one of {sorted(SIZE_FACTORS)}"
+        ) from None
+    generator = CityGenerator(profile.scaled(factor), seed=seed)
+    document = generator.generate_document()
+    if via_xml:
+        document = parse_osm_xml(write_osm_xml(document))
+    constructor = RoadNetworkConstructor(bbox=document.bounds)
+    return constructor.construct_with_restrictions(
+        document, name=f"{profile.name}-{size}"
+    )

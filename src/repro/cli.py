@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``build-city``   generate a synthetic city and save it (CSV or JSON)
+``plan``         print the alternative routes for one query
+``study``        run the user-study simulation and print the tables
+``demo``         serve the web demonstration system
+``figure``       regenerate Figure 1 or the Figure 4 case study
+``stability``    seed-stability sweep of the reproduced conclusions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.cities import CITY_BUILDERS
+from repro.exceptions import ReproError
+
+_CITIES = sorted(CITY_BUILDERS)
+_SIZES = ["small", "medium", "full"]
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--city", default="melbourne", choices=_CITIES)
+    parser.add_argument("--size", default="small", choices=_SIZES)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_network(args):
+    return CITY_BUILDERS[args.city](size=args.size, seed=args.seed)
+
+
+def _cmd_build_city(args) -> int:
+    from repro.graph import save_network_csv, save_network_json
+
+    network = _build_network(args)
+    if args.format == "csv":
+        save_network_csv(network, args.out)
+        print(
+            f"wrote {args.out}.nodes.csv / {args.out}.edges.csv "
+            f"({network.num_nodes} nodes, {network.num_edges} edges)"
+        )
+    else:
+        save_network_json(network, args.out)
+        print(
+            f"wrote {args.out} ({network.num_nodes} nodes, "
+            f"{network.num_edges} edges)"
+        )
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.experiments import default_planners
+
+    network = _build_network(args)
+    planners = default_planners(network, traffic_seed=args.seed)
+    if args.approach != "all" and args.approach not in planners:
+        print(f"unknown approach {args.approach!r}", file=sys.stderr)
+        return 2
+    selected = (
+        planners
+        if args.approach == "all"
+        else {args.approach: planners[args.approach]}
+    )
+    display = network.default_weights()
+    for name, planner in selected.items():
+        route_set = planner.plan(args.source, args.target)
+        minutes = route_set.travel_times_minutes(display)
+        print(f"{name}:")
+        for rank, (route, mins) in enumerate(
+            zip(route_set, minutes), start=1
+        ):
+            print(
+                f"  {rank}. {mins} min, {route.length_m / 1000:.1f} km, "
+                f"{len(route.edge_ids)} segments"
+            )
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from repro.experiments import (
+        anova_report,
+        compare_to_paper,
+        run_study,
+        table1,
+        table2,
+        table3,
+    )
+
+    results = run_study(city=args.city, size=args.size, seed=args.seed)
+    for table in (table1(results), table2(results), table3(results)):
+        print(table.formatted())
+        print()
+    for category, outcome in anova_report(results).items():
+        print(f"ANOVA {category}: {outcome.formatted()}")
+    if args.city == "melbourne":
+        print()
+        print(compare_to_paper(results).formatted())
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.demo import DemoServer, QueryProcessor, ResponseStore
+    from repro.experiments import default_planners
+
+    network = _build_network(args)
+    processor = QueryProcessor(network, default_planners(network))
+    server = DemoServer(
+        processor,
+        store=ResponseStore(args.db),
+        port=args.port,
+        verbose=True,
+    )
+    print(f"demo running at {server.url} — Ctrl-C to stop")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import figure1, figure4
+
+    network = _build_network(args)
+    if args.number == 1:
+        print(figure1(network, seed=args.seed).formatted())
+    else:
+        print(
+            figure4(
+                network, traffic_seed=args.seed, max_queries=args.queries
+            ).formatted()
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    generate_report(
+        city=args.city, size=args.size, seed=args.seed,
+        output_path=args.out,
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_stability(args) -> int:
+    from repro.experiments.robustness import seed_stability
+
+    seeds = [int(s) for s in args.seeds.split(",")]
+    report = seed_stability(seeds=seeds, city=args.city, size=args.size)
+    print(report.formatted())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the configured argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Comparing Alternative Route Planning "
+            "Techniques' (ICDE 2022)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build_city = commands.add_parser(
+        "build-city", help="generate and save a synthetic city network"
+    )
+    _add_network_arguments(build_city)
+    build_city.add_argument("--format", choices=["csv", "json"],
+                            default="json")
+    build_city.add_argument("--out", required=True)
+    build_city.set_defaults(handler=_cmd_build_city)
+
+    plan = commands.add_parser(
+        "plan", help="plan alternative routes for one query"
+    )
+    _add_network_arguments(plan)
+    plan.add_argument("source", type=int)
+    plan.add_argument("target", type=int)
+    plan.add_argument(
+        "--approach",
+        default="all",
+        help='one of the four approaches, or "all"',
+    )
+    plan.set_defaults(handler=_cmd_plan)
+
+    study = commands.add_parser(
+        "study", help="run the 237-response user-study simulation"
+    )
+    _add_network_arguments(study)
+    study.set_defaults(handler=_cmd_study)
+
+    demo = commands.add_parser("demo", help="serve the web demo")
+    _add_network_arguments(demo)
+    demo.add_argument("--port", type=int, default=8080)
+    demo.add_argument("--db", default=":memory:")
+    demo.set_defaults(handler=_cmd_demo)
+
+    figure = commands.add_parser(
+        "figure", help="regenerate Figure 1 or Figure 4"
+    )
+    _add_network_arguments(figure)
+    figure.add_argument("number", type=int, choices=[1, 4])
+    figure.add_argument("--queries", type=int, default=400)
+    figure.set_defaults(handler=_cmd_figure)
+
+    stability = commands.add_parser(
+        "stability", help="seed-stability sweep of the conclusions"
+    )
+    _add_network_arguments(stability)
+    stability.add_argument("--seeds", default="0,1,2")
+    stability.set_defaults(handler=_cmd_stability)
+
+    report = commands.add_parser(
+        "report", help="run everything and write a markdown report"
+    )
+    _add_network_arguments(report)
+    report.add_argument("--out", default="REPORT.md")
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

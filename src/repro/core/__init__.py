@@ -1,0 +1,95 @@
+"""The compared alternative-route planners and their baselines.
+
+The four approaches of the user study:
+
+* :class:`~repro.core.commercial.CommercialEngine` — the simulated
+  commercial engine standing in for Google Maps (approach A);
+* :class:`~repro.core.plateaus.PlateauPlanner` — Choice-Routing-style
+  plateaus (approach B);
+* :class:`~repro.core.dissimilarity.DissimilarityPlanner` — SSVP-D+
+  θ-dissimilar via-paths (approach C);
+* :class:`~repro.core.penalty.PenaltyPlanner` — iterative edge
+  penalisation (approach D);
+
+plus the §2.4 baselines (:class:`~repro.core.yen.YenPlanner`,
+:class:`~repro.core.ksplo.LimitedOverlapPlanner`,
+:class:`~repro.core.pareto.ParetoPlanner`,
+:class:`~repro.core.via_node.ViaNodePlanner`) and the §4.2 post-filter
+stages in :mod:`repro.core.filters`.
+"""
+
+from repro.core.admissible import AdmissibleAlternativesPlanner
+from repro.core.base import (
+    DEFAULT_K,
+    DEFAULT_STRETCH_BOUND,
+    AlternativeRoutePlanner,
+    RouteSet,
+)
+from repro.core.commercial import CommercialEngine
+from repro.core.dissimilarity import DEFAULT_THETA, DissimilarityPlanner
+from repro.core.filters import (
+    DetourFilter,
+    FewerTurnsRanker,
+    FilterChain,
+    LocalOptimalityFilter,
+    RouteFilter,
+    SimilarityFilter,
+    StretchFilter,
+    WiderRoadsRanker,
+    paper_refinement_chain,
+)
+from repro.core.ksplo import LimitedOverlapPlanner, OnePassPlanner
+from repro.core.pareto import ParetoPlanner
+from repro.core.route_graph import AlternativeRouteGraph
+from repro.core.penalty import DEFAULT_PENALTY_FACTOR, PenaltyPlanner
+from repro.core.plateaus import (
+    Plateau,
+    PlateauPlanner,
+    find_plateaus,
+    plateau_route,
+)
+from repro.core.via_node import (
+    ViaNodePlanner,
+    admit_all,
+    combine_rules,
+    make_dissimilarity_rule,
+    make_local_optimality_rule,
+)
+from repro.core.yen import YenPlanner, yen_k_shortest_paths
+
+__all__ = [
+    "AdmissibleAlternativesPlanner",
+    "AlternativeRouteGraph",
+    "DEFAULT_K",
+    "DEFAULT_PENALTY_FACTOR",
+    "DEFAULT_STRETCH_BOUND",
+    "DEFAULT_THETA",
+    "AlternativeRoutePlanner",
+    "CommercialEngine",
+    "DetourFilter",
+    "DissimilarityPlanner",
+    "FewerTurnsRanker",
+    "FilterChain",
+    "LimitedOverlapPlanner",
+    "LocalOptimalityFilter",
+    "OnePassPlanner",
+    "ParetoPlanner",
+    "PenaltyPlanner",
+    "Plateau",
+    "PlateauPlanner",
+    "RouteFilter",
+    "RouteSet",
+    "SimilarityFilter",
+    "StretchFilter",
+    "ViaNodePlanner",
+    "WiderRoadsRanker",
+    "YenPlanner",
+    "admit_all",
+    "combine_rules",
+    "find_plateaus",
+    "make_dissimilarity_rule",
+    "make_local_optimality_rule",
+    "paper_refinement_chain",
+    "plateau_route",
+    "yen_k_shortest_paths",
+]

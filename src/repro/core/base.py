@@ -1,0 +1,134 @@
+"""Planner interface and the :class:`RouteSet` result type.
+
+Every compared approach — Penalty, Plateaus, Dissimilarity, the
+simulated commercial engine, and the §2.4 baselines — implements
+:class:`AlternativeRoutePlanner`: bind a planner to a road network once,
+then call :meth:`~AlternativeRoutePlanner.plan` per query.  The demo
+query processor and the user-study harness only ever talk to this
+interface, which is what lets the study blind the approaches behind
+labels A–D.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, QueryError
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+
+#: The demo displays "up to 3 routes" per approach.
+DEFAULT_K = 3
+
+#: Paper §3 "Parameter Details": alternatives may cost at most 1.4x the
+#: fastest route (Plateaus/Dissimilarity upper bound) and the Penalty
+#: factor is also 1.4.
+DEFAULT_STRETCH_BOUND = 1.4
+
+
+@dataclass(frozen=True)
+class RouteSet:
+    """The alternatives one approach returned for one s-t query.
+
+    ``routes`` is ordered the way the approach ranks them; by the
+    conventions of all four approaches the first route is the fastest.
+    ``travel times`` reported to users are re-priced on the *display*
+    weights (OSM travel times) even when the planner optimised something
+    else — exactly what the paper's query processor does for the
+    Google Maps routes.
+    """
+
+    approach: str
+    source: int
+    target: int
+    routes: Tuple[Path, ...]
+
+    def __post_init__(self) -> None:
+        for route in self.routes:
+            if route.source != self.source or route.target != self.target:
+                raise QueryError(
+                    f"route {route!r} does not connect "
+                    f"{self.source} -> {self.target}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def __iter__(self):
+        return iter(self.routes)
+
+    def __getitem__(self, index: int) -> Path:
+        return self.routes[index]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the approach produced no routes at all."""
+        return not self.routes
+
+    def fastest(self) -> Path:
+        """Return the lowest-travel-time route in the set."""
+        if not self.routes:
+            raise QueryError("route set is empty")
+        return min(self.routes, key=lambda p: p.travel_time_s)
+
+    def travel_times_minutes(
+        self, weights: Optional[Sequence[float]] = None
+    ) -> List[int]:
+        """Return per-route travel times in whole minutes.
+
+        With ``weights`` the routes are re-priced (the paper evaluates
+        every approach's routes on OSM data); otherwise the planner's
+        own times are used.
+        """
+        if weights is None:
+            return [route.travel_time_minutes() for route in self.routes]
+        return [
+            round(route.travel_time_on(weights) / 60.0)
+            for route in self.routes
+        ]
+
+
+class AlternativeRoutePlanner(abc.ABC):
+    """Base class for all alternative-route planners.
+
+    Sub-classes receive the network (and their parameters) at
+    construction and must implement :meth:`_plan_routes`; the public
+    :meth:`plan` adds the argument validation every planner needs.
+    """
+
+    #: Human-readable approach name, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, network: RoadNetwork, k: int = DEFAULT_K) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.network = network
+        self.k = k
+
+    def plan(self, source: int, target: int) -> RouteSet:
+        """Return up to ``k`` alternative routes from source to target.
+
+        Raises :class:`QueryError` for degenerate queries and
+        :class:`~repro.exceptions.DisconnectedError` when no route
+        exists at all.
+        """
+        if source == target:
+            raise QueryError("source and target must differ")
+        self.network.node(source)
+        self.network.node(target)
+        routes = self._plan_routes(source, target)
+        return RouteSet(
+            approach=self.name,
+            source=source,
+            target=target,
+            routes=tuple(routes[: self.k]),
+        )
+
+    @abc.abstractmethod
+    def _plan_routes(self, source: int, target: int) -> List[Path]:
+        """Compute the ranked alternatives (may exceed k; plan() trims)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k}, network={self.network.name!r})"

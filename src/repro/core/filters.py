@@ -1,0 +1,180 @@
+"""Composable post-filters and re-rankers for route sets.
+
+Paper §4.2, "Additional filtering/ranking criteria are not considered":
+the authors note they *could* have refined Penalty/Plateaus/
+Dissimilarity output by pruning near-duplicate routes, dropping routes
+that fail local optimality, or preferring routes with fewer turns and
+wider roads — and that participants' comments single out exactly those
+criteria.  This module implements each of them as a small composable
+stage so the ablation benchmarks can measure what the paper only
+hypothesises: whether such filters close the rating gap.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.core.base import RouteSet
+from repro.graph.path import Path
+from repro.metrics.quality import detour_score, is_locally_optimal
+from repro.metrics.similarity import dissimilarity_to_set
+from repro.metrics.turns import road_width_score, turn_count
+
+
+class RouteFilter(abc.ABC):
+    """A stage transforming an ordered route list into another.
+
+    Filters never add routes and never change route geometry; they drop
+    or reorder.  The first route of the input (the fastest) is always
+    preserved so a filter can never leave the user without the optimal
+    route.
+    """
+
+    @abc.abstractmethod
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        """Return the filtered/reordered routes."""
+
+    def apply_to_set(self, route_set: RouteSet) -> RouteSet:
+        """Return a new :class:`RouteSet` with this filter applied."""
+        return RouteSet(
+            approach=route_set.approach,
+            source=route_set.source,
+            target=route_set.target,
+            routes=tuple(self.apply(route_set.routes)),
+        )
+
+
+class SimilarityFilter(RouteFilter):
+    """Drop routes too similar to an earlier-ranked route.
+
+    The §2.1/§4.2 "prune the alternative routes that have very high
+    similarity to the other routes" criterion.
+    """
+
+    def __init__(self, min_dissimilarity: float = 0.3) -> None:
+        if not (0.0 <= min_dissimilarity < 1.0):
+            raise ConfigurationError("min_dissimilarity must be in [0, 1)")
+        self.min_dissimilarity = min_dissimilarity
+
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        kept: List[Path] = []
+        for index, route in enumerate(routes):
+            if index == 0:
+                kept.append(route)
+                continue
+            if dissimilarity_to_set(route, kept) > self.min_dissimilarity:
+                kept.append(route)
+        return kept
+
+
+class LocalOptimalityFilter(RouteFilter):
+    """Drop alternatives that fail Abraham et al.'s local optimality."""
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        kept: List[Path] = []
+        for index, route in enumerate(routes):
+            if index == 0 or is_locally_optimal(route, alpha=self.alpha):
+                kept.append(route)
+        return kept
+
+
+class DetourFilter(RouteFilter):
+    """Drop alternatives containing a sub-path detour above a bound."""
+
+    def __init__(self, max_detour: float = 1.3, samples: int = 6) -> None:
+        if max_detour < 1.0:
+            raise ConfigurationError("max_detour must be >= 1")
+        self.max_detour = max_detour
+        self.samples = samples
+
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        kept: List[Path] = []
+        for index, route in enumerate(routes):
+            if index == 0:
+                kept.append(route)
+                continue
+            if detour_score(route, samples=self.samples) <= self.max_detour:
+                kept.append(route)
+        return kept
+
+
+class StretchFilter(RouteFilter):
+    """Drop alternatives above a stretch bound relative to the fastest."""
+
+    def __init__(self, stretch_bound: float = 1.4) -> None:
+        if stretch_bound < 1.0:
+            raise ConfigurationError("stretch_bound must be >= 1")
+        self.stretch_bound = stretch_bound
+
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        if not routes:
+            return []
+        fastest = min(route.travel_time_s for route in routes)
+        limit = self.stretch_bound * fastest + 1e-9
+        return [
+            route
+            for index, route in enumerate(routes)
+            if index == 0 or route.travel_time_s <= limit
+        ]
+
+
+class FewerTurnsRanker(RouteFilter):
+    """Reorder alternatives by turn count (the "less turns" comment).
+
+    The first route keeps its place; the remaining routes are sorted by
+    (turn count, travel time).
+    """
+
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        if len(routes) <= 2:
+            return list(routes)
+        head, *rest = routes
+        rest.sort(key=lambda r: (turn_count(r), r.travel_time_s))
+        return [head, *rest]
+
+
+class WiderRoadsRanker(RouteFilter):
+    """Reorder alternatives preferring higher road-width scores."""
+
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        if len(routes) <= 2:
+            return list(routes)
+        head, *rest = routes
+        rest.sort(key=lambda r: (-road_width_score(r), r.travel_time_s))
+        return [head, *rest]
+
+
+class FilterChain(RouteFilter):
+    """Apply a sequence of filters left to right."""
+
+    def __init__(self, stages: Sequence[RouteFilter]) -> None:
+        self.stages = list(stages)
+
+    def apply(self, routes: Sequence[Path]) -> List[Path]:
+        current = list(routes)
+        for stage in self.stages:
+            current = stage.apply(current)
+        return current
+
+
+def paper_refinement_chain() -> FilterChain:
+    """Return the refinement pipeline §4.2 sketches.
+
+    Similarity pruning, then local-optimality filtering, then the
+    fewer-turns re-rank — the three concrete refinements the paper says
+    "can be easily included".
+    """
+    return FilterChain(
+        [
+            SimilarityFilter(min_dissimilarity=0.3),
+            LocalOptimalityFilter(alpha=0.2),
+            FewerTurnsRanker(),
+        ]
+    )

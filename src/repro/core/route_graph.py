@@ -1,0 +1,148 @@
+"""Alternative route graphs (Bader et al. [4], the paper's §3 source
+for the penalty factor 1.4).
+
+Bader et al. argue that a *set* of alternative routes is best viewed as
+a graph: the union of the routes' edges, in which every s-t path is a
+reasonable route.  This module builds that graph from any planner's
+:class:`~repro.core.base.RouteSet` and computes the quality measures
+the ARG literature uses:
+
+* **totalDistance** — how much route material the ARG contains,
+  relative to the shortest route (higher = more real alternatives);
+* **averageDistance** — the mean stretch of the contained routes;
+* **decisionEdges** — the number of branch choices a driver meets
+  (small is good: a clean ARG has a few meaningful splits rather than
+  constant weaving).
+
+These measures make planner output comparable *without* a user study —
+the objective counterpart of the paper's subjective ratings, used by
+``examples/compare_approaches.py`` and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.core.base import RouteSet
+from repro.exceptions import ConfigurationError
+from repro.graph.network import RoadNetwork
+
+
+@dataclass(frozen=True)
+class AlternativeRouteGraph:
+    """The union graph of one query's alternative routes.
+
+    Attributes
+    ----------
+    network:
+        The underlying road network.
+    source, target:
+        The query endpoints.
+    edge_ids:
+        All edges used by at least one route.
+    edge_multiplicity:
+        How many routes traverse each edge.
+    num_routes:
+        Number of routes merged in.
+    optimal_time_s:
+        Travel time of the fastest merged route.
+    """
+
+    network: RoadNetwork
+    source: int
+    target: int
+    edge_ids: FrozenSet[int]
+    edge_multiplicity: Dict[int, int]
+    num_routes: int
+    optimal_time_s: float
+    _route_times: Tuple[float, ...]
+    _fastest_route_length_m: float
+
+    @classmethod
+    def from_route_set(cls, route_set: RouteSet) -> "AlternativeRouteGraph":
+        """Build the ARG from a planner's result."""
+        if route_set.is_empty:
+            raise ConfigurationError(
+                "cannot build a route graph from an empty route set"
+            )
+        multiplicity: Dict[int, int] = {}
+        for route in route_set:
+            for edge_id in route.edge_ids:
+                multiplicity[edge_id] = multiplicity.get(edge_id, 0) + 1
+        fastest = route_set.fastest()
+        return cls(
+            network=fastest.network,
+            source=route_set.source,
+            target=route_set.target,
+            edge_ids=frozenset(multiplicity),
+            edge_multiplicity=multiplicity,
+            num_routes=len(route_set),
+            optimal_time_s=fastest.travel_time_s,
+            _route_times=tuple(r.travel_time_s for r in route_set),
+            _fastest_route_length_m=fastest.length_m,
+        )
+
+    # -- ARG quality measures --------------------------------------------------
+
+    def total_distance(self) -> float:
+        """Bader et al.'s totalDistance: route material in the ARG.
+
+        The total length of the ARG's edges divided by the length of
+        the fastest route.  1.0 means all routes coincide; 3.0 means
+        roughly three independent alternatives' worth of road.
+        """
+        if self._fastest_route_length_m <= 0:
+            return 1.0
+        arg_length = sum(
+            self.network.edge(edge_id).length_m for edge_id in self.edge_ids
+        )
+        return arg_length / self._fastest_route_length_m
+
+    def average_distance(self) -> float:
+        """Bader et al.'s averageDistance: mean stretch of the routes."""
+        return sum(self._route_times) / (
+            self.num_routes * self.optimal_time_s
+        )
+
+    def decision_edges(self) -> int:
+        """Number of branch choices a driver meets inside the ARG.
+
+        A node is a decision point when more than one ARG edge leaves
+        it; the count sums the excess branches over all such nodes.
+        """
+        out_degree: Dict[int, int] = {}
+        for edge_id in self.edge_ids:
+            edge = self.network.edge(edge_id)
+            out_degree[edge.u] = out_degree.get(edge.u, 0) + 1
+        return sum(degree - 1 for degree in out_degree.values() if degree > 1)
+
+    def shared_edge_fraction(self) -> float:
+        """Fraction of ARG edges used by every merged route."""
+        if not self.edge_multiplicity:
+            return 1.0
+        shared = sum(
+            1
+            for count in self.edge_multiplicity.values()
+            if count == self.num_routes
+        )
+        return shared / len(self.edge_multiplicity)
+
+    def nodes(self) -> Set[int]:
+        """All nodes touched by the ARG."""
+        touched: Set[int] = set()
+        for edge_id in self.edge_ids:
+            edge = self.network.edge(edge_id)
+            touched.add(edge.u)
+            touched.add(edge.v)
+        return touched
+
+    def summary(self) -> Dict[str, float]:
+        """The standard ARG report as a plain dict."""
+        return {
+            "num_routes": float(self.num_routes),
+            "total_distance": self.total_distance(),
+            "average_distance": self.average_distance(),
+            "decision_edges": float(self.decision_edges()),
+            "shared_edge_fraction": self.shared_edge_fraction(),
+        }

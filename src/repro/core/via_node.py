@@ -1,0 +1,135 @@
+"""Generic via-node alternative routes (paper §2.4).
+
+"Many techniques use via-nodes to generate alternative paths ...
+identify interesting via-nodes in the road network and then apply
+different filtering/ranking criteria."  This planner is that family's
+plain member: every node within the stretch bound is a candidate via,
+candidates are ranked by via-path cost, and a pluggable admission
+predicate decides which via-paths survive.  The SSVP-D+ planner in
+:mod:`repro.core.dissimilarity` is the specialised θ-dissimilarity
+instance of the same idea; this generic version exists for the §2.4
+comparison benchmarks and as an extension point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms.dijkstra import dijkstra
+from repro.core.base import (
+    DEFAULT_K,
+    DEFAULT_STRETCH_BOUND,
+    AlternativeRoutePlanner,
+)
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+from repro.metrics.quality import is_locally_optimal
+from repro.metrics.similarity import dissimilarity_to_set
+
+#: An admission predicate: (candidate, already-selected) -> keep?
+AdmissionRule = Callable[[Path, Sequence[Path]], bool]
+
+
+def admit_all(candidate: Path, selected: Sequence[Path]) -> bool:
+    """Admission rule that keeps every distinct simple via-path."""
+    return True
+
+
+def make_dissimilarity_rule(theta: float) -> AdmissionRule:
+    """Return the θ-dissimilarity admission rule (the SSVP-D+ criterion)."""
+
+    def rule(candidate: Path, selected: Sequence[Path]) -> bool:
+        return dissimilarity_to_set(candidate, selected) > theta
+
+    return rule
+
+
+def make_local_optimality_rule(alpha: float = 0.25) -> AdmissionRule:
+    """Return a rule admitting only α-locally-optimal via-paths.
+
+    This is the "filter the routes ... that did not satisfy local
+    optimality" refinement §4.2 proposes for the Dissimilarity
+    approach.
+    """
+
+    def rule(candidate: Path, selected: Sequence[Path]) -> bool:
+        return is_locally_optimal(candidate, alpha=alpha)
+
+    return rule
+
+
+def combine_rules(*rules: AdmissionRule) -> AdmissionRule:
+    """Return a rule that admits only when every given rule admits."""
+
+    def rule(candidate: Path, selected: Sequence[Path]) -> bool:
+        return all(r(candidate, selected) for r in rules)
+
+    return rule
+
+
+class ViaNodePlanner(AlternativeRoutePlanner):
+    """Top-k via-paths under a pluggable admission rule.
+
+    Parameters
+    ----------
+    network, k:
+        See :class:`AlternativeRoutePlanner`.
+    stretch_bound:
+        Via-nodes whose via-path exceeds this multiple of the shortest
+        path are never examined.
+    admission:
+        The filtering criterion; defaults to :func:`admit_all`.
+    """
+
+    name = "ViaNode"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        k: int = DEFAULT_K,
+        stretch_bound: float = DEFAULT_STRETCH_BOUND,
+        admission: AdmissionRule = admit_all,
+    ) -> None:
+        super().__init__(network, k)
+        if stretch_bound < 1.0:
+            raise ConfigurationError("stretch_bound must be >= 1")
+        self.stretch_bound = stretch_bound
+        self.admission = admission
+
+    def _plan_routes(self, source: int, target: int) -> List[Path]:
+        forward_tree = dijkstra(self.network, source, forward=True)
+        backward_tree = dijkstra(self.network, target, forward=False)
+        if not forward_tree.reachable(target):
+            raise DisconnectedError(source, target)
+        limit = self.stretch_bound * forward_tree.distance(target) + 1e-9
+
+        candidates = []
+        for node_id in range(self.network.num_nodes):
+            cost = (
+                forward_tree.distance(node_id)
+                + backward_tree.distance(node_id)
+            )
+            if cost <= limit:
+                candidates.append((cost, node_id))
+        candidates.sort()
+
+        selected: List[Path] = []
+        seen: set[frozenset[int]] = set()
+        for _, via in candidates:
+            edge_ids: List[int] = []
+            if via != source:
+                edge_ids.extend(forward_tree.edge_ids_to_root(via))
+            if via != target:
+                edge_ids.extend(backward_tree.edge_ids_to_root(via))
+            if not edge_ids:
+                continue
+            path = Path.from_edges(self.network, edge_ids)
+            if path.edge_id_set in seen or not path.is_simple():
+                continue
+            seen.add(path.edge_id_set)
+            if self.admission(path, selected):
+                selected.append(path)
+                if len(selected) >= self.k:
+                    break
+        return selected

@@ -1,0 +1,97 @@
+"""GPX export of routes.
+
+GPX is the interchange format navigation devices and fitness apps
+consume; exporting a planner's alternatives as one GPX document with a
+track per route lets the reproduction's output be inspected in any
+standard map viewer.  Writing uses the GPX 1.1 schema subset (tracks,
+segments, points, names); a matching reader supports round-trip tests.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.core.base import RouteSet
+from repro.exceptions import ReproError
+from repro.graph.path import Path
+
+_GPX_NS = "http://www.topografix.com/GPX/1/1"
+
+
+class GPXError(ReproError):
+    """The GPX document is malformed."""
+
+
+def route_to_gpx_track(route: Path, name: str) -> str:
+    """Render one route as a ``<trk>`` element string."""
+    points = "\n".join(
+        f'      <trkpt lat="{lat}" lon="{lon}"/>'
+        for lat, lon in route.coordinates()
+    )
+    return (
+        f"  <trk>\n"
+        f"    <name>{escape(name)}</name>\n"
+        f"    <trkseg>\n{points}\n    </trkseg>\n"
+        f"  </trk>"
+    )
+
+
+def route_set_to_gpx(route_set: RouteSet, creator: str = "repro") -> str:
+    """Render a route set as a GPX 1.1 document, one track per route.
+
+    Track names carry the blinded-friendly form
+    ``"<approach> route <rank> (<minutes> min)"``.
+    """
+    tracks: List[str] = []
+    for rank, route in enumerate(route_set, start=1):
+        name = (
+            f"{route_set.approach} route {rank} "
+            f"({route.travel_time_minutes()} min)"
+        )
+        tracks.append(route_to_gpx_track(route, name))
+    body = "\n".join(tracks)
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        f'<gpx version="1.1" creator={quoteattr(creator)} '
+        f'xmlns="{_GPX_NS}">\n'
+        f"{body}\n"
+        "</gpx>"
+    )
+
+
+def parse_gpx_tracks(
+    document: str,
+) -> List[Tuple[str, List[Tuple[float, float]]]]:
+    """Read a GPX document back into ``(name, [(lat, lon), ...])`` tracks.
+
+    Only the subset the writer produces is supported; malformed XML or
+    missing coordinates raise :class:`GPXError`.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise GPXError(f"malformed GPX: {exc}") from exc
+    ns = {"gpx": _GPX_NS}
+    tracks: List[Tuple[str, List[Tuple[float, float]]]] = []
+    for trk in root.findall("gpx:trk", ns):
+        name_el = trk.find("gpx:name", ns)
+        name = name_el.text if name_el is not None else ""
+        points: List[Tuple[float, float]] = []
+        for trkpt in trk.findall(".//gpx:trkpt", ns):
+            lat = trkpt.get("lat")
+            lon = trkpt.get("lon")
+            if lat is None or lon is None:
+                raise GPXError("trkpt without lat/lon")
+            points.append((float(lat), float(lon)))
+        tracks.append((name or "", points))
+    return tracks
+
+
+def save_route_set_gpx(
+    route_set: RouteSet, path, creator: str = "repro"
+) -> None:
+    """Write a route set to a ``.gpx`` file."""
+    with open(path, "w") as handle:
+        handle.write(route_set_to_gpx(route_set, creator=creator))

@@ -1,0 +1,144 @@
+"""Turn-by-turn driving instructions for a route.
+
+The demo shows routes as colored lines; a navigation system would also
+speak them.  This module converts a :class:`~repro.graph.Path` into the
+familiar instruction list — "head off on X", "continue for 1.2 km",
+"turn left onto Y", "arrive" — using street names from the OSM data and
+signed turn angles at junction boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.geometry import bearing_deg
+from repro.graph.path import Path
+
+#: Signed deviation thresholds (degrees) mapping to manoeuvre kinds.
+_SLIGHT_DEG = 20.0
+_TURN_DEG = 60.0
+_SHARP_DEG = 120.0
+
+
+def _signed_turn_deg(
+    lat_a, lon_a, lat_b, lon_b, lat_c, lon_c
+) -> float:
+    """Signed deviation at B for A -> B -> C: + right, - left."""
+    inbound = bearing_deg(lat_a, lon_a, lat_b, lon_b)
+    outbound = bearing_deg(lat_b, lon_b, lat_c, lon_c)
+    delta = (outbound - inbound + 180.0) % 360.0 - 180.0
+    return delta
+
+
+def _kind_for(delta: float) -> str:
+    magnitude = abs(delta)
+    side = "right" if delta > 0 else "left"
+    if magnitude < _SLIGHT_DEG:
+        return "continue"
+    if magnitude < _TURN_DEG:
+        return f"slight_{side}"
+    if magnitude < _SHARP_DEG:
+        return f"turn_{side}"
+    if magnitude < 170.0:
+        return f"sharp_{side}"
+    return "u_turn"
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One manoeuvre of a turn-by-turn itinerary."""
+
+    kind: str  # depart / continue / slight_* / turn_* / sharp_* / u_turn / arrive
+    street: str
+    distance_m: float
+
+    def spoken(self) -> str:
+        """Render as a navigation-style sentence."""
+        street = f"onto {self.street}" if self.street else "ahead"
+        km = self.distance_m / 1000.0
+        length = (
+            f"{km:.1f} km" if km >= 0.95 else f"{self.distance_m:.0f} m"
+        )
+        if self.kind == "depart":
+            where = f"on {self.street}" if self.street else ""
+            return f"Head off {where} and continue for {length}".replace(
+                "  ", " "
+            )
+        if self.kind == "arrive":
+            return "You have arrived at your destination"
+        if self.kind == "continue":
+            return f"Continue {street.replace('onto', 'on')} for {length}"
+        verb = {
+            "slight_left": "Bear left",
+            "slight_right": "Bear right",
+            "turn_left": "Turn left",
+            "turn_right": "Turn right",
+            "sharp_left": "Turn sharply left",
+            "sharp_right": "Turn sharply right",
+            "u_turn": "Make a U-turn",
+        }[self.kind]
+        return f"{verb} {street} and continue for {length}"
+
+
+def turn_instructions(route: Path) -> List[Instruction]:
+    """Return the itinerary for a route.
+
+    Consecutive edges are merged into one instruction while the street
+    name stays the same *and* the geometry continues roughly straight;
+    a new instruction starts at every named turn.  The list always
+    begins with a ``depart`` and ends with an ``arrive`` of distance 0.
+    """
+    if len(route.edge_ids) < 1:
+        raise ConfigurationError("route has no edges")
+    network = route.network
+    coords = route.coordinates()
+
+    instructions: List[Instruction] = []
+    current_kind = "depart"
+    current_street = network.edge(route.edge_ids[0]).name
+    current_distance = network.edge(route.edge_ids[0]).length_m
+
+    for index in range(1, len(route.edge_ids)):
+        edge = network.edge(route.edge_ids[index])
+        delta = _signed_turn_deg(
+            *coords[index - 1], *coords[index], *coords[index + 1]
+        )
+        kind = _kind_for(delta)
+        same_street = edge.name == current_street
+        if kind == "continue" and same_street:
+            current_distance += edge.length_m
+            continue
+        instructions.append(
+            Instruction(
+                kind=current_kind,
+                street=current_street,
+                distance_m=current_distance,
+            )
+        )
+        current_kind = "continue" if kind == "continue" else kind
+        current_street = edge.name
+        current_distance = edge.length_m
+
+    instructions.append(
+        Instruction(
+            kind=current_kind,
+            street=current_street,
+            distance_m=current_distance,
+        )
+    )
+    instructions.append(
+        Instruction(kind="arrive", street="", distance_m=0.0)
+    )
+    return instructions
+
+
+def format_itinerary(route: Path) -> str:
+    """Return the spoken itinerary, one numbered line per manoeuvre."""
+    return "\n".join(
+        f"{number}. {instruction.spoken()}"
+        for number, instruction in enumerate(
+            turn_instructions(route), start=1
+        )
+    )

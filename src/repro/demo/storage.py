@@ -1,0 +1,239 @@
+"""SQLite-backed storage for demo feedback (the paper's rating form).
+
+Each submitted form (Figure 3) stores one row: the query, whether the
+participant lives (or has lived) in Melbourne, a 1-5 rating for each of
+the four blinded approaches, and an optional free-text comment.  The
+store also answers the aggregate queries the analysis needs (counts,
+mean ratings per approach) directly in SQL.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path as FilePath
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import StorageError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS responses (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at TEXT NOT NULL DEFAULT (datetime('now')),
+    source_lat REAL NOT NULL,
+    source_lon REAL NOT NULL,
+    target_lat REAL NOT NULL,
+    target_lon REAL NOT NULL,
+    fastest_minutes REAL NOT NULL,
+    resident INTEGER NOT NULL CHECK (resident IN (0, 1)),
+    rating_a INTEGER NOT NULL CHECK (rating_a BETWEEN 1 AND 5),
+    rating_b INTEGER NOT NULL CHECK (rating_b BETWEEN 1 AND 5),
+    rating_c INTEGER NOT NULL CHECK (rating_c BETWEEN 1 AND 5),
+    rating_d INTEGER NOT NULL CHECK (rating_d BETWEEN 1 AND 5),
+    comment TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_responses_resident
+    ON responses (resident);
+"""
+
+#: Blinded label -> ratings column.
+_RATING_COLUMNS = {
+    "A": "rating_a",
+    "B": "rating_b",
+    "C": "rating_c",
+    "D": "rating_d",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FeedbackRecord:
+    """One feedback-form submission."""
+
+    source_lat: float
+    source_lon: float
+    target_lat: float
+    target_lon: float
+    fastest_minutes: float
+    resident: bool
+    ratings: Dict[str, int]  # blinded label -> 1..5
+    comment: str = ""
+
+    def validate(self) -> None:
+        """Raise :class:`StorageError` when the record is malformed."""
+        if set(self.ratings) != set(_RATING_COLUMNS):
+            raise StorageError(
+                f"ratings must cover labels {sorted(_RATING_COLUMNS)}, "
+                f"got {sorted(self.ratings)}"
+            )
+        for label, value in self.ratings.items():
+            if not (
+                isinstance(value, int) and 1 <= value <= 5
+            ):
+                raise StorageError(
+                    f"rating {label} must be an integer in 1..5, got "
+                    f"{value!r}"
+                )
+
+
+class ResponseStore:
+    """A small SQLite data-access layer for survey feedback.
+
+    ``path`` may be a filename or ``":memory:"``.  The store owns its
+    connection; use it as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: Union[str, FilePath] = ":memory:") -> None:
+        # The demo server handles requests on worker threads; a single
+        # connection guarded by a lock keeps SQLite happy without a
+        # connection pool.
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        self._lock = threading.Lock()
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA foreign_keys = ON")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def __enter__(self) -> "ResponseStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        with self._lock:
+            self._conn.close()
+
+    # -- writes ---------------------------------------------------------------
+
+    def save(self, record: FeedbackRecord) -> int:
+        """Persist one submission; returns its row id."""
+        record.validate()
+        with self._lock:
+            cursor = self._conn.execute(
+                """
+                INSERT INTO responses (
+                    source_lat, source_lon, target_lat, target_lon,
+                    fastest_minutes, resident,
+                    rating_a, rating_b, rating_c, rating_d, comment
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    record.source_lat,
+                    record.source_lon,
+                    record.target_lat,
+                    record.target_lon,
+                    record.fastest_minutes,
+                    int(record.resident),
+                    record.ratings["A"],
+                    record.ratings["B"],
+                    record.ratings["C"],
+                    record.ratings["D"],
+                    record.comment,
+                ),
+            )
+            self._conn.commit()
+            return int(cursor.lastrowid)
+
+    # -- reads -----------------------------------------------------------------
+
+    def count(self, resident: Optional[bool] = None) -> int:
+        """Return the number of stored responses, optionally filtered."""
+        with self._lock:
+            if resident is None:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) AS n FROM responses"
+                ).fetchone()
+            else:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) AS n FROM responses WHERE resident = ?",
+                    (int(resident),),
+                ).fetchone()
+        return int(row["n"])
+
+    def fetch_all(self) -> List[FeedbackRecord]:
+        """Return every stored submission, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM responses ORDER BY id"
+            ).fetchall()
+        return [
+            FeedbackRecord(
+                source_lat=row["source_lat"],
+                source_lon=row["source_lon"],
+                target_lat=row["target_lat"],
+                target_lon=row["target_lon"],
+                fastest_minutes=row["fastest_minutes"],
+                resident=bool(row["resident"]),
+                ratings={
+                    label: int(row[column])
+                    for label, column in _RATING_COLUMNS.items()
+                },
+                comment=row["comment"],
+            )
+            for row in rows
+        ]
+
+    def mean_ratings(
+        self, resident: Optional[bool] = None
+    ) -> Dict[str, float]:
+        """Return the mean rating per blinded label, straight from SQL.
+
+        Raises :class:`StorageError` when the store is empty (a mean of
+        nothing is undefined, and silently returning zeros would skew
+        reports).
+        """
+        where = ""
+        params: tuple = ()
+        if resident is not None:
+            where = "WHERE resident = ?"
+            params = (int(resident),)
+        selects = ", ".join(
+            f"AVG({column}) AS mean_{label.lower()}"
+            for label, column in _RATING_COLUMNS.items()
+        )
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {selects} FROM responses {where}", params
+            ).fetchone()
+        if row[f"mean_{'a'}"] is None:
+            raise StorageError("no responses stored")
+        return {
+            label: float(row[f"mean_{label.lower()}"])
+            for label in _RATING_COLUMNS
+        }
+
+    def ratings_by_label(
+        self, label: str, resident: Optional[bool] = None
+    ) -> List[int]:
+        """Return the ratings submitted for one blinded label.
+
+        ``resident`` filters by the respondent's residency; ``None``
+        returns every response.
+        """
+        try:
+            column = _RATING_COLUMNS[label]
+        except KeyError:
+            raise StorageError(f"unknown blinded label {label!r}") from None
+        where = ""
+        params: tuple = ()
+        if resident is not None:
+            where = "WHERE resident = ?"
+            params = (int(resident),)
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {column} AS r FROM responses {where} ORDER BY id",
+                params,
+            ).fetchall()
+        return [int(row["r"]) for row in rows]
+
+    def comments(self) -> List[str]:
+        """Return the non-empty comments, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT comment FROM responses WHERE comment <> '' "
+                "ORDER BY id"
+            ).fetchall()
+        return [row["comment"] for row in rows]

@@ -1,0 +1,96 @@
+"""Library-wide exception hierarchy.
+
+Every error raised intentionally by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries.  The sub-classes group errors by the subsystem that detects
+them, not by where they surface: for example a malformed OSM document
+raises :class:`OSMParseError` even when the parse was triggered through
+the demo web server.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for road-network construction and lookup errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node id is not present in the road network."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(node_id)
+        self.node_id = node_id
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep a sentence.
+        return f"node {self.node_id!r} is not in the road network"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge (or edge id) is not present in the road network."""
+
+    def __init__(self, edge: object) -> None:
+        super().__init__(edge)
+        self.edge = edge
+
+    def __str__(self) -> str:
+        return f"edge {self.edge!r} is not in the road network"
+
+
+class DisconnectedError(GraphError):
+    """No path exists between the requested source and target."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(source, target)
+        self.source = source
+        self.target = target
+
+    def __str__(self) -> str:
+        return f"no path from node {self.source!r} to node {self.target!r}"
+
+
+class OSMError(ReproError):
+    """Base class for OpenStreetMap data handling errors."""
+
+
+class OSMParseError(OSMError):
+    """The OSM XML document is malformed or violates referential rules."""
+
+
+class ProfileError(OSMError):
+    """A way cannot be interpreted by the routing profile."""
+
+
+class QueryError(ReproError):
+    """A routing query is invalid (outside the service area, s == t, ...)."""
+
+
+class OutsideServiceAreaError(QueryError):
+    """A query coordinate falls outside the configured service rectangle."""
+
+    def __init__(self, lat: float, lon: float) -> None:
+        super().__init__(lat, lon)
+        self.lat = lat
+        self.lon = lon
+
+    def __str__(self) -> str:
+        return (
+            f"coordinate ({self.lat:.6f}, {self.lon:.6f}) is outside the "
+            "service area"
+        )
+
+
+class StudyError(ReproError):
+    """The user-study simulation was configured inconsistently."""
+
+
+class StorageError(ReproError):
+    """The SQLite response store rejected an operation."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or component received invalid configuration."""

@@ -1,0 +1,43 @@
+"""The experiment harness: one entry point per paper table/figure.
+
+See DESIGN.md §3 for the experiment index.  Benchmarks under
+``benchmarks/`` call into this package so that interactive use,
+``examples/`` scripts and the pytest-benchmark harness all share one
+implementation.
+"""
+
+from repro.experiments.setup import (
+    PAPER_PARAMETERS,
+    build_study_network,
+    default_planners,
+)
+from repro.experiments.tables import (
+    CellComparison,
+    TableComparison,
+    compare_cells_to_paper,
+    anova_report,
+    compare_to_paper,
+    run_study,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.figures import apparent_detour_case, figure1, figure4
+
+__all__ = [
+    "CellComparison",
+    "PAPER_PARAMETERS",
+    "TableComparison",
+    "anova_report",
+    "apparent_detour_case",
+    "build_study_network",
+    "compare_cells_to_paper",
+    "compare_to_paper",
+    "default_planners",
+    "figure1",
+    "figure4",
+    "run_study",
+    "table1",
+    "table2",
+    "table3",
+]

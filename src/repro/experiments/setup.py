@@ -1,0 +1,76 @@
+"""Shared experiment setup: the paper's exact parameterisation.
+
+§3 "Parameter Details": penalty factor 1.4; stretch upper bound 1.4 for
+Plateaus and Dissimilarity; dissimilarity threshold θ = 0.5; up to k = 3
+routes per approach; commercial routes fetched at 3:00 am.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cities import CITY_BUILDERS
+from repro.core import (
+    AlternativeRoutePlanner,
+    CommercialEngine,
+    DissimilarityPlanner,
+    PenaltyPlanner,
+    PlateauPlanner,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.network import RoadNetwork
+from repro.traffic import CommercialDataProvider
+
+#: The paper's §3 parameter block, in one place.
+PAPER_PARAMETERS = {
+    "k": 3,
+    "penalty_factor": 1.4,
+    "stretch_bound": 1.4,
+    "theta": 0.5,
+    "commercial_hour": 3.0,
+}
+
+
+def build_study_network(
+    city: str = "melbourne", size: str = "medium", seed: int = 0
+) -> RoadNetwork:
+    """Build one of the three study cities through the full pipeline."""
+    try:
+        builder = CITY_BUILDERS[city]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown city {city!r}; choose one of {sorted(CITY_BUILDERS)}"
+        ) from None
+    return builder(size=size, seed=seed)
+
+
+def default_planners(
+    network: RoadNetwork, traffic_seed: int = 0
+) -> Dict[str, AlternativeRoutePlanner]:
+    """Return the four study approaches with the paper's parameters.
+
+    ``traffic_seed`` seeds the commercial engine's private data; the
+    Figure-4 experiment varies it to find illustrative disagreements.
+    """
+    params = PAPER_PARAMETERS
+    provider = CommercialDataProvider(network, seed=traffic_seed)
+    return {
+        "Google Maps": CommercialEngine(
+            network,
+            k=params["k"],
+            provider=provider,
+            departure_hour=params["commercial_hour"],
+        ),
+        "Plateaus": PlateauPlanner(
+            network, k=params["k"], stretch_bound=params["stretch_bound"]
+        ),
+        "Dissimilarity": DissimilarityPlanner(
+            network,
+            k=params["k"],
+            theta=params["theta"],
+            stretch_bound=params["stretch_bound"],
+        ),
+        "Penalty": PenaltyPlanner(
+            network, k=params["k"], penalty_factor=params["penalty_factor"]
+        ),
+    }

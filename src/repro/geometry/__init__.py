@@ -1,0 +1,41 @@
+"""Geospatial primitives shared by every other subsystem.
+
+The road networks in this library live in geographic coordinates
+(latitude / longitude, WGS84).  This package provides:
+
+* :mod:`repro.geometry.distance` — great-circle (haversine) and
+  equirectangular distances, bearings and turn angles;
+* :mod:`repro.geometry.bbox` — axis-aligned bounding boxes used for the
+  "rectangular area" extraction the paper's road-network constructor
+  performs;
+* :mod:`repro.geometry.polyline` — the Google encoded-polyline format the
+  demo front end uses to ship route geometry to the browser;
+* :mod:`repro.geometry.projection` — a local equirectangular projection
+  for converting to metric x/y, used by the synthetic city generators.
+"""
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.distance import (
+    EARTH_RADIUS_M,
+    bearing_deg,
+    equirectangular_m,
+    haversine_m,
+    turn_angle_deg,
+)
+from repro.geometry.polyline import decode_polyline, encode_polyline
+from repro.geometry.projection import LocalProjection
+from repro.geometry.simplify import max_deviation_m, simplify_polyline
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "BoundingBox",
+    "LocalProjection",
+    "bearing_deg",
+    "decode_polyline",
+    "encode_polyline",
+    "equirectangular_m",
+    "haversine_m",
+    "max_deviation_m",
+    "simplify_polyline",
+    "turn_angle_deg",
+]

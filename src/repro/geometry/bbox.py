@@ -1,0 +1,151 @@
+"""Axis-aligned geographic bounding boxes.
+
+The paper's road-network constructor "takes a rectangular area as input
+and extracts the road network data ... that lies within the input
+rectangle"; :class:`BoundingBox` is that rectangle.  The demo system also
+uses it as the service area inside which users may drop source/target
+markers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """A closed latitude/longitude rectangle.
+
+    Attributes
+    ----------
+    south, north:
+        Minimum and maximum latitude in degrees.
+    west, east:
+        Minimum and maximum longitude in degrees.  Boxes crossing the
+        antimeridian are not supported (no study city needs them).
+    """
+
+    south: float
+    west: float
+    north: float
+    east: float
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.south <= self.north <= 90.0):
+            raise ConfigurationError(
+                f"invalid latitude range [{self.south}, {self.north}]"
+            )
+        if not (-180.0 <= self.west <= self.east <= 180.0):
+            raise ConfigurationError(
+                f"invalid longitude range [{self.west}, {self.east}]"
+            )
+
+    @classmethod
+    def from_points(
+        cls, points: Iterable[Tuple[float, float]]
+    ) -> "BoundingBox":
+        """Return the tightest box containing ``(lat, lon)`` points."""
+        lats: list[float] = []
+        lons: list[float] = []
+        for lat, lon in points:
+            lats.append(lat)
+            lons.append(lon)
+        if not lats:
+            raise ConfigurationError("cannot build a bounding box of nothing")
+        return cls(min(lats), min(lons), max(lats), max(lons))
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Return True when the point lies inside or on the boundary."""
+        return (
+            self.south <= lat <= self.north and self.west <= lon <= self.east
+        )
+
+    def expanded(self, margin_deg: float) -> "BoundingBox":
+        """Return a copy grown by ``margin_deg`` degrees on every side."""
+        return BoundingBox(
+            max(-90.0, self.south - margin_deg),
+            max(-180.0, self.west - margin_deg),
+            min(90.0, self.north + margin_deg),
+            min(180.0, self.east + margin_deg),
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Return True when the two boxes overlap (boundaries count)."""
+        return not (
+            other.west > self.east
+            or other.east < self.west
+            or other.south > self.north
+            or other.north < self.south
+        )
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Return the ``(lat, lon)`` centre of the box."""
+        return (
+            (self.south + self.north) / 2.0,
+            (self.west + self.east) / 2.0,
+        )
+
+    @property
+    def width_deg(self) -> float:
+        """Longitudinal extent in degrees."""
+        return self.east - self.west
+
+    @property
+    def height_deg(self) -> float:
+        """Latitudinal extent in degrees."""
+        return self.north - self.south
+
+    def diagonal_m(self) -> float:
+        """Return the length of the box diagonal in metres."""
+        from repro.geometry.distance import haversine_m
+
+        return haversine_m(self.south, self.west, self.north, self.east)
+
+    def grid(self, rows: int, cols: int) -> Iterator["BoundingBox"]:
+        """Yield ``rows x cols`` equal sub-boxes, row-major from the SW."""
+        if rows < 1 or cols < 1:
+            raise ConfigurationError("grid needs at least one row and column")
+        dlat = self.height_deg / rows
+        dlon = self.width_deg / cols
+        for r in range(rows):
+            for c in range(cols):
+                yield BoundingBox(
+                    self.south + r * dlat,
+                    self.west + c * dlon,
+                    self.south + (r + 1) * dlat,
+                    self.west + (c + 1) * dlon,
+                )
+
+    def sample(self, rng) -> Tuple[float, float]:
+        """Return a uniform random ``(lat, lon)`` inside the box.
+
+        ``rng`` is a :class:`random.Random`; sampling is uniform in the
+        lat/lon plane, which is adequate at city scale.
+        """
+        return (
+            rng.uniform(self.south, self.north),
+            rng.uniform(self.west, self.east),
+        )
+
+    def clamp(self, lat: float, lon: float) -> Tuple[float, float]:
+        """Return the point moved to the nearest location inside the box."""
+        return (
+            min(max(lat, self.south), self.north),
+            min(max(lon, self.west), self.east),
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """Return ``(south, west, north, east)``."""
+        return (self.south, self.west, self.north, self.east)
+
+    def area_km2(self) -> float:
+        """Return the approximate area of the box in square kilometres."""
+        mid_lat = math.radians((self.south + self.north) / 2.0)
+        height_km = self.height_deg * 111.32
+        width_km = self.width_deg * 111.32 * math.cos(mid_lat)
+        return height_km * width_km

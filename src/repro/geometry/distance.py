@@ -1,0 +1,91 @@
+"""Great-circle distances, bearings and turn angles on the WGS84 sphere.
+
+The library measures road-segment lengths with the haversine formula and
+falls back to the cheaper equirectangular approximation inside tight
+loops (spatial-index scans) where the involved distances are a few
+kilometres at most and sub-metre accuracy is irrelevant.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Mean Earth radius in metres (IUGG value), the conventional constant for
+#: haversine distances.
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def haversine_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Return the great-circle distance between two points in metres.
+
+    Uses the haversine formula, which is numerically stable for the
+    short distances that dominate road networks.
+
+    >>> round(haversine_m(-37.8136, 144.9631, -37.8136, 144.9631))
+    0
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(min(1.0, a)))
+
+
+def equirectangular_m(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Return an equirectangular-approximation distance in metres.
+
+    Accurate to well under 0.1% for distances below ~100 km, and roughly
+    3x faster than :func:`haversine_m`.  Used by the spatial index where
+    only distance *ordering* matters.
+    """
+    x = math.radians(lon2 - lon1) * math.cos(math.radians((lat1 + lat2) / 2.0))
+    y = math.radians(lat2 - lat1)
+    return EARTH_RADIUS_M * math.hypot(x, y)
+
+
+def bearing_deg(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Return the initial bearing from point 1 to point 2 in degrees.
+
+    The bearing is measured clockwise from true north and normalised to
+    ``[0, 360)``.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dlam = math.radians(lon2 - lon1)
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(
+        phi2
+    ) * math.cos(dlam)
+    bearing = math.degrees(math.atan2(y, x)) % 360.0
+    # A tiny negative angle can round to exactly 360.0 after the modulo;
+    # keep the half-open [0, 360) contract.
+    return 0.0 if bearing >= 360.0 else bearing
+
+
+def turn_angle_deg(
+    lat_a: float,
+    lon_a: float,
+    lat_b: float,
+    lon_b: float,
+    lat_c: float,
+    lon_c: float,
+) -> float:
+    """Return the turn angle at B when travelling A -> B -> C, in degrees.
+
+    0 means the route continues perfectly straight; 180 means a full
+    U-turn.  The result is the absolute deviation from straight ahead in
+    ``[0, 180]``; the sign (left/right) is deliberately discarded because
+    the route-quality metrics only care about turn *sharpness*.
+    """
+    inbound = bearing_deg(lat_a, lon_a, lat_b, lon_b)
+    outbound = bearing_deg(lat_b, lon_b, lat_c, lon_c)
+    diff = abs(outbound - inbound) % 360.0
+    if diff > 180.0:
+        diff = 360.0 - diff
+    return diff

@@ -1,0 +1,92 @@
+"""Google encoded-polyline algorithm (precision 5).
+
+The paper's user interface passes route geometry to the Google Maps
+JavaScript API, whose native wire format for paths is the encoded
+polyline.  The demo web app in :mod:`repro.demo` does the same over its
+local map widget, so we implement the codec exactly as specified by the
+`Encoded Polyline Algorithm Format` documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+_PRECISION = 1e5
+
+
+class PolylineDecodeError(ReproError):
+    """The encoded polyline string is truncated or malformed."""
+
+
+def _encode_value(value: int, chunks: List[str]) -> None:
+    """Append the 5-bit chunk encoding of one zig-zagged integer."""
+    value = ~(value << 1) if value < 0 else (value << 1)
+    while value >= 0x20:
+        chunks.append(chr((0x20 | (value & 0x1F)) + 63))
+        value >>= 5
+    chunks.append(chr(value + 63))
+
+
+def encode_polyline(points: Sequence[Tuple[float, float]]) -> str:
+    """Encode ``(lat, lon)`` pairs into a polyline string.
+
+    Coordinates are rounded to 5 decimal places (about 1 metre), matching
+    Google's precision-5 convention.
+
+    >>> encode_polyline([(38.5, -120.2), (40.7, -120.95), (43.252, -126.453)])
+    '_p~iF~ps|U_ulLnnqC_mqNvxq`@'
+    """
+    chunks: List[str] = []
+    prev_lat = 0
+    prev_lon = 0
+    for lat, lon in points:
+        ilat = round(lat * _PRECISION)
+        ilon = round(lon * _PRECISION)
+        _encode_value(ilat - prev_lat, chunks)
+        _encode_value(ilon - prev_lon, chunks)
+        prev_lat = ilat
+        prev_lon = ilon
+    return "".join(chunks)
+
+
+def decode_polyline(encoded: str) -> List[Tuple[float, float]]:
+    """Decode a polyline string back into ``(lat, lon)`` pairs.
+
+    Raises :class:`PolylineDecodeError` if the string ends in the middle
+    of a value or contains characters outside the printable range used
+    by the format.
+    """
+    points: List[Tuple[float, float]] = []
+    index = 0
+    lat = 0
+    lon = 0
+    length = len(encoded)
+
+    def next_value() -> int:
+        nonlocal index
+        result = 0
+        shift = 0
+        while True:
+            if index >= length:
+                raise PolylineDecodeError(
+                    "polyline ended in the middle of a value"
+                )
+            byte = ord(encoded[index]) - 63
+            index += 1
+            if byte < 0:
+                raise PolylineDecodeError(
+                    f"invalid polyline character at offset {index - 1}"
+                )
+            result |= (byte & 0x1F) << shift
+            shift += 5
+            if byte < 0x20:
+                break
+        return ~(result >> 1) if result & 1 else (result >> 1)
+
+    while index < length:
+        lat += next_value()
+        lon += next_value()
+        points.append((lat / _PRECISION, lon / _PRECISION))
+    return points

@@ -1,0 +1,50 @@
+"""Local equirectangular projection between lat/lon and metric x/y.
+
+The synthetic city generators in :mod:`repro.cities` lay out street
+grids in metres and then place them on the globe at each city's real
+coordinates; this projection performs that placement.  It is exact
+enough over a metropolitan extent (tens of kilometres) for a study about
+route *shape*, where sub-metre georeferencing error is irrelevant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry.distance import EARTH_RADIUS_M
+
+
+@dataclass(frozen=True, slots=True)
+class LocalProjection:
+    """An equirectangular projection anchored at ``(origin_lat, origin_lon)``.
+
+    ``to_latlon`` maps metric offsets (x east, y north, in metres) from
+    the anchor to geographic coordinates; ``to_xy`` is its inverse.
+    """
+
+    origin_lat: float
+    origin_lon: float
+
+    def _metres_per_deg_lon(self) -> float:
+        return (
+            math.pi / 180.0
+        ) * EARTH_RADIUS_M * math.cos(math.radians(self.origin_lat))
+
+    def _metres_per_deg_lat(self) -> float:
+        return (math.pi / 180.0) * EARTH_RADIUS_M
+
+    def to_latlon(self, x_m: float, y_m: float) -> Tuple[float, float]:
+        """Return ``(lat, lon)`` for offsets of ``x_m`` east, ``y_m`` north."""
+        return (
+            self.origin_lat + y_m / self._metres_per_deg_lat(),
+            self.origin_lon + x_m / self._metres_per_deg_lon(),
+        )
+
+    def to_xy(self, lat: float, lon: float) -> Tuple[float, float]:
+        """Return metric ``(x, y)`` offsets of the point from the anchor."""
+        return (
+            (lon - self.origin_lon) * self._metres_per_deg_lon(),
+            (lat - self.origin_lat) * self._metres_per_deg_lat(),
+        )

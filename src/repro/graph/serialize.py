@@ -1,0 +1,160 @@
+"""Serialisation of road networks to CSV edge tuples and JSON.
+
+The CSV form mirrors the paper's description of the constructor output:
+"tuples where each tuple represents an edge of the road network along
+with its end vertices and edge weight (travel time)".  We store two
+files — ``<stem>.nodes.csv`` and ``<stem>.edges.csv`` — so the vertex
+coordinates survive the round trip.  The JSON form is a single
+self-describing document convenient for fixtures and the demo server.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path as FilePath
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.graph.network import RoadNetwork
+
+_NODE_FIELDS = ["id", "lat", "lon", "osm_id"]
+_EDGE_FIELDS = [
+    "u",
+    "v",
+    "length_m",
+    "travel_time_s",
+    "highway",
+    "maxspeed_kmh",
+    "lanes",
+    "name",
+    "way_id",
+]
+
+PathLike = Union[str, FilePath]
+
+
+def save_network_csv(network: RoadNetwork, stem: PathLike) -> None:
+    """Write ``<stem>.nodes.csv`` and ``<stem>.edges.csv``."""
+    stem = FilePath(stem)
+    with open(stem.with_suffix(".nodes.csv"), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_NODE_FIELDS)
+        for node in network.nodes():
+            writer.writerow([node.id, node.lat, node.lon, node.osm_id])
+    with open(stem.with_suffix(".edges.csv"), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_EDGE_FIELDS)
+        for edge in network.edges():
+            writer.writerow(
+                [
+                    edge.u,
+                    edge.v,
+                    edge.length_m,
+                    edge.travel_time_s,
+                    edge.highway,
+                    edge.maxspeed_kmh,
+                    edge.lanes,
+                    edge.name,
+                    edge.way_id,
+                ]
+            )
+
+
+def load_network_csv(stem: PathLike, name: str = "") -> RoadNetwork:
+    """Load a network written by :func:`save_network_csv`."""
+    stem = FilePath(stem)
+    builder = RoadNetworkBuilder(name=name or stem.name)
+    nodes_file = stem.with_suffix(".nodes.csv")
+    edges_file = stem.with_suffix(".edges.csv")
+    try:
+        with open(nodes_file, newline="") as handle:
+            for row in csv.DictReader(handle):
+                builder.add_node(
+                    int(row["id"]), float(row["lat"]), float(row["lon"])
+                )
+        with open(edges_file, newline="") as handle:
+            for row in csv.DictReader(handle):
+                builder.add_edge(
+                    int(row["u"]),
+                    int(row["v"]),
+                    float(row["length_m"]),
+                    float(row["travel_time_s"]),
+                    highway=row["highway"],
+                    maxspeed_kmh=float(row["maxspeed_kmh"]),
+                    lanes=int(row["lanes"]),
+                    name=row["name"],
+                    way_id=int(row.get("way_id", -1)),
+                )
+    except (KeyError, ValueError) as exc:
+        raise GraphError(f"malformed network CSV under {stem}: {exc}") from exc
+    return builder.build()
+
+
+def network_to_dict(network: RoadNetwork) -> dict:
+    """Return a JSON-serialisable dict describing the network."""
+    return {
+        "format": "repro-road-network",
+        "version": 1,
+        "name": network.name,
+        "nodes": [
+            [node.id, node.lat, node.lon, node.osm_id]
+            for node in network.nodes()
+        ],
+        "edges": [
+            [
+                edge.u,
+                edge.v,
+                edge.length_m,
+                edge.travel_time_s,
+                edge.highway,
+                edge.maxspeed_kmh,
+                edge.lanes,
+                edge.name,
+                edge.way_id,
+            ]
+            for edge in network.edges()
+        ],
+    }
+
+
+def network_from_dict(payload: dict) -> RoadNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    if payload.get("format") != "repro-road-network":
+        raise GraphError("not a repro road-network document")
+    builder = RoadNetworkBuilder(name=payload.get("name", "road-network"))
+    try:
+        for node_id, lat, lon, _osm_id in payload["nodes"]:
+            builder.add_node(int(node_id), float(lat), float(lon))
+        for entry in payload["edges"]:
+            # Version-1 documents carried 8 fields; way_id was appended
+            # later and defaults to -1 when absent.
+            u, v, length_m, tt, highway, maxspeed, lanes, name = entry[:8]
+            way_id = entry[8] if len(entry) > 8 else -1
+            builder.add_edge(
+                int(u),
+                int(v),
+                float(length_m),
+                float(tt),
+                highway=str(highway),
+                maxspeed_kmh=float(maxspeed),
+                lanes=int(lanes),
+                name=str(name),
+                way_id=int(way_id),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed network document: {exc}") from exc
+    return builder.build()
+
+
+def save_network_json(network: RoadNetwork, path: PathLike) -> None:
+    """Write the network as a single JSON document."""
+    with open(path, "w") as handle:
+        json.dump(network_to_dict(network), handle)
+
+
+def load_network_json(path: PathLike) -> RoadNetwork:
+    """Load a network written by :func:`save_network_json`."""
+    with open(path) as handle:
+        return network_from_dict(json.load(handle))

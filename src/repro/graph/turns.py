@@ -1,0 +1,70 @@
+"""Turn restrictions at the edge level.
+
+The paper's §4.2 discusses routes that "appear to have a detour" but
+are in fact forced by the road structure — "there is no left turn
+available near 'Shrine of Remembrance'".  A
+:class:`TurnRestrictionTable` is the routing-level representation of
+such rules: a set of forbidden (incoming edge, outgoing edge) pairs at
+shared junctions, compiled from OSM restriction relations by the
+road-network constructor and consumed by the turn-aware search in
+:mod:`repro.algorithms.turn_aware`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.network import RoadNetwork
+
+
+class TurnRestrictionTable:
+    """An immutable set of forbidden edge-to-edge transitions.
+
+    Pairs must share a junction (``head(from) == tail(to)``), which is
+    validated at construction so malformed compilations fail fast.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        forbidden_pairs: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        self.network = network
+        pairs = frozenset(forbidden_pairs)
+        for from_edge_id, to_edge_id in pairs:
+            from_edge = network.edge(from_edge_id)
+            to_edge = network.edge(to_edge_id)
+            if from_edge.v != to_edge.u:
+                raise GraphError(
+                    f"turn restriction ({from_edge_id} -> {to_edge_id}) "
+                    "does not share a junction"
+                )
+        self._pairs: FrozenSet[Tuple[int, int]] = pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        return pair in self._pairs
+
+    def allows(self, from_edge_id: int, to_edge_id: int) -> bool:
+        """Return True when the transition is permitted."""
+        return (from_edge_id, to_edge_id) not in self._pairs
+
+    def pairs(self) -> FrozenSet[Tuple[int, int]]:
+        """The forbidden pairs (frozen)."""
+        return self._pairs
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no turn is restricted."""
+        return not self._pairs
+
+    def merged_with(
+        self, extra_pairs: Iterable[Tuple[int, int]]
+    ) -> "TurnRestrictionTable":
+        """Return a new table with additional forbidden pairs."""
+        return TurnRestrictionTable(
+            self.network, self._pairs | set(extra_pairs)
+        )

@@ -1,0 +1,55 @@
+"""Route-quality metrics.
+
+Quantitative measures over paths and path sets:
+
+* :mod:`repro.metrics.similarity` — the shared-length similarity /
+  dissimilarity used by the Dissimilarity planner's θ-threshold and by
+  the post-filters §2.1 and §4.2 describe;
+* :mod:`repro.metrics.quality` — stretch, local optimality (the T-test
+  of Abraham et al.), detour detection;
+* :mod:`repro.metrics.turns` — turn counting, zig-zag score, and the
+  road-width score motivated by the participants' comments ("less
+  zig-zag is better", "highest rated path follows wide roads").
+"""
+
+from repro.metrics.quality import (
+    RouteSetSummary,
+    detour_score,
+    has_detour,
+    is_locally_optimal,
+    stretch,
+    summarize_route_set,
+)
+from repro.metrics.similarity import (
+    average_pairwise_similarity,
+    dissimilarity,
+    dissimilarity_to_set,
+    jaccard_similarity,
+    shared_length_m,
+    similarity,
+)
+from repro.metrics.turns import (
+    road_width_score,
+    sharp_turn_count,
+    turn_count,
+    zigzag_score,
+)
+
+__all__ = [
+    "RouteSetSummary",
+    "average_pairwise_similarity",
+    "detour_score",
+    "dissimilarity",
+    "dissimilarity_to_set",
+    "has_detour",
+    "is_locally_optimal",
+    "jaccard_similarity",
+    "road_width_score",
+    "shared_length_m",
+    "sharp_turn_count",
+    "similarity",
+    "stretch",
+    "summarize_route_set",
+    "turn_count",
+    "zigzag_score",
+]

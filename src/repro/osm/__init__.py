@@ -1,0 +1,40 @@
+"""OpenStreetMap data handling (paper §3, "Road Network Constructor").
+
+The paper's pipeline is: export raw OSM data (Geofabrik), filter to the
+input rectangle, parse, and emit edge tuples weighted by travel time
+(``length / maxspeed``, times 1.3 on non-freeways).  This package is
+that pipeline:
+
+* :mod:`repro.osm.model` — in-memory OSM documents (nodes/ways/tags);
+* :mod:`repro.osm.parser` — OSM XML reader and writer;
+* :mod:`repro.osm.profile` — the routing profile (routable classes,
+  speed defaults, maxspeed/oneway/lanes tag parsing, the 1.3
+  intersection-delay factor);
+* :mod:`repro.osm.constructor` — rectangle filtering + way splitting +
+  largest-component cleanup, producing a
+  :class:`~repro.graph.RoadNetwork`.
+
+The synthetic city generators in :mod:`repro.cities` emit documents
+through this same pipeline, so the parser and profile are exercised by
+every experiment.
+"""
+
+from repro.osm.constructor import RoadNetworkConstructor
+from repro.osm.model import OSMDocument, OSMNode, OSMRestriction, OSMWay
+from repro.osm.parser import parse_osm_xml, write_osm_xml
+from repro.osm.profile import (
+    INTERSECTION_DELAY_FACTOR,
+    RoutingProfile,
+)
+
+__all__ = [
+    "INTERSECTION_DELAY_FACTOR",
+    "OSMDocument",
+    "OSMNode",
+    "OSMRestriction",
+    "OSMWay",
+    "RoadNetworkConstructor",
+    "RoutingProfile",
+    "parse_osm_xml",
+    "write_osm_xml",
+]

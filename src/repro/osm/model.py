@@ -1,0 +1,243 @@
+"""In-memory OpenStreetMap documents.
+
+A deliberately small subset of the OSM data model — nodes, ways and
+their tags — because that is all a road-network constructor needs.
+Relations (turn restrictions, routes) are outside the paper's scope and
+are skipped by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import OSMParseError
+from repro.geometry import BoundingBox
+
+
+@dataclass(frozen=True, slots=True)
+class OSMNode:
+    """An OSM node: a tagged point with a global id."""
+
+    id: int
+    lat: float
+    lon: float
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class OSMWay:
+    """An OSM way: an ordered list of node references with tags."""
+
+    id: int
+    node_refs: Tuple[int, ...]
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+    def tag(self, key: str, default: str = "") -> str:
+        """Return a tag value, or ``default`` when absent."""
+        return self.tags.get(key, default)
+
+
+#: Restriction kinds the routing profile understands.
+RESTRICTION_KINDS = frozenset(
+    {
+        "no_left_turn",
+        "no_right_turn",
+        "no_straight_on",
+        "no_u_turn",
+        "only_left_turn",
+        "only_right_turn",
+        "only_straight_on",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class OSMRestriction:
+    """A turn restriction relation (from-way, via-node, to-way).
+
+    The §4.2 "Apparent detours that are not" mechanism lives here: a
+    forbidden turn forces routes that *look* like detours on the map.
+    Only the common node-via form is modelled (way-via restrictions are
+    rare and are skipped by the parser).
+    """
+
+    id: int
+    from_way: int
+    via_node: int
+    to_way: int
+    kind: str
+
+    @property
+    def is_only(self) -> bool:
+        """True for mandatory-turn ("only_*") restrictions."""
+        return self.kind.startswith("only_")
+
+
+class OSMDocument:
+    """A bag of OSM nodes, ways and turn restrictions.
+
+    Referential integrity is checked on demand
+    (:meth:`check_references`); restrictions referencing missing
+    ways/nodes are reported there too.
+    """
+
+    def __init__(
+        self,
+        nodes: List[OSMNode],
+        ways: List[OSMWay],
+        bounds: Optional[BoundingBox] = None,
+        restrictions: Optional[List[OSMRestriction]] = None,
+    ) -> None:
+        self._nodes: Dict[int, OSMNode] = {}
+        for node in nodes:
+            if node.id in self._nodes:
+                raise OSMParseError(f"duplicate node id {node.id}")
+            self._nodes[node.id] = node
+        self._ways: Dict[int, OSMWay] = {}
+        for way in ways:
+            if way.id in self._ways:
+                raise OSMParseError(f"duplicate way id {way.id}")
+            if len(way.node_refs) < 2:
+                raise OSMParseError(
+                    f"way {way.id} has fewer than two node refs"
+                )
+            self._ways[way.id] = way
+        self.bounds = bounds
+        self._restrictions: List[OSMRestriction] = list(
+            restrictions or []
+        )
+        for restriction in self._restrictions:
+            if restriction.kind not in RESTRICTION_KINDS:
+                raise OSMParseError(
+                    f"unknown restriction kind "
+                    f"{restriction.kind!r} (relation {restriction.id})"
+                )
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the document."""
+        return len(self._nodes)
+
+    @property
+    def num_ways(self) -> int:
+        """Number of ways in the document."""
+        return len(self._ways)
+
+    def node(self, node_id: int) -> OSMNode:
+        """Return the node with the given id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise OSMParseError(f"unknown node id {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        """Return True when the document contains the node."""
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[OSMNode]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._nodes.values())
+
+    def ways(self) -> Iterator[OSMWay]:
+        """Iterate over ways in insertion order."""
+        return iter(self._ways.values())
+
+    def way(self, way_id: int) -> OSMWay:
+        """Return the way with the given id."""
+        try:
+            return self._ways[way_id]
+        except KeyError:
+            raise OSMParseError(f"unknown way id {way_id}") from None
+
+    @property
+    def num_restrictions(self) -> int:
+        """Number of turn restrictions in the document."""
+        return len(self._restrictions)
+
+    def restrictions(self) -> Iterator[OSMRestriction]:
+        """Iterate over the turn restrictions."""
+        return iter(self._restrictions)
+
+    def check_references(self) -> None:
+        """Raise :class:`OSMParseError` on dangling references."""
+        for way in self._ways.values():
+            for ref in way.node_refs:
+                if ref not in self._nodes:
+                    raise OSMParseError(
+                        f"way {way.id} references missing node {ref}"
+                    )
+        for restriction in self._restrictions:
+            if restriction.from_way not in self._ways:
+                raise OSMParseError(
+                    f"restriction {restriction.id} references missing "
+                    f"from-way {restriction.from_way}"
+                )
+            if restriction.to_way not in self._ways:
+                raise OSMParseError(
+                    f"restriction {restriction.id} references missing "
+                    f"to-way {restriction.to_way}"
+                )
+            if restriction.via_node not in self._nodes:
+                raise OSMParseError(
+                    f"restriction {restriction.id} references missing "
+                    f"via-node {restriction.via_node}"
+                )
+
+    def computed_bounds(self) -> BoundingBox:
+        """Return the tight bounding box of all nodes."""
+        return BoundingBox.from_points(
+            (node.lat, node.lon) for node in self._nodes.values()
+        )
+
+    def filtered_to(self, bbox: BoundingBox) -> "OSMDocument":
+        """Return a copy containing only data inside ``bbox``.
+
+        Ways are clipped to their maximal runs of in-box nodes (a way
+        leaving and re-entering the box becomes two ways, suffixed ids),
+        mirroring how the paper "filters the data that lies in the input
+        rectangle".
+        """
+        kept_nodes = [
+            node
+            for node in self._nodes.values()
+            if bbox.contains(node.lat, node.lon)
+        ]
+        kept_ids = {node.id for node in kept_nodes}
+        kept_ways: List[OSMWay] = []
+        next_synthetic = (
+            max(self._ways) + 1 if self._ways else 1
+        )
+        for way in self._ways.values():
+            runs: List[List[int]] = []
+            current: List[int] = []
+            for ref in way.node_refs:
+                if ref in kept_ids:
+                    current.append(ref)
+                elif current:
+                    runs.append(current)
+                    current = []
+            if current:
+                runs.append(current)
+            runs = [run for run in runs if len(run) >= 2]
+            for index, run in enumerate(runs):
+                way_id = way.id if index == 0 else next_synthetic
+                if index > 0:
+                    next_synthetic += 1
+                kept_ways.append(
+                    OSMWay(id=way_id, node_refs=tuple(run), tags=way.tags)
+                )
+        kept_way_ids = {way.id for way in kept_ways}
+        kept_restrictions = [
+            restriction
+            for restriction in self._restrictions
+            if restriction.from_way in kept_way_ids
+            and restriction.to_way in kept_way_ids
+            and restriction.via_node in kept_ids
+        ]
+        return OSMDocument(
+            kept_nodes,
+            kept_ways,
+            bounds=bbox,
+            restrictions=kept_restrictions,
+        )

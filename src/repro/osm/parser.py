@@ -1,0 +1,225 @@
+"""OSM XML reading and writing.
+
+Reads the subset of the OSM XML format that road routing needs — the
+``<bounds>``, ``<node>`` and ``<way>`` elements with their ``<tag>`` and
+``<nd>`` children — and writes documents back out in the same format.
+The synthetic city generators round-trip through this writer/reader
+pair, so the parser sees realistic input in every experiment.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Union
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.exceptions import OSMParseError
+from repro.geometry import BoundingBox
+from repro.osm.model import (
+    RESTRICTION_KINDS,
+    OSMDocument,
+    OSMNode,
+    OSMRestriction,
+    OSMWay,
+)
+
+
+def _parse_tags(element: ET.Element) -> Dict[str, str]:
+    tags: Dict[str, str] = {}
+    for tag in element.findall("tag"):
+        key = tag.get("k")
+        value = tag.get("v")
+        if key is None or value is None:
+            raise OSMParseError(
+                f"<tag> without k/v inside element {element.get('id')!r}"
+            )
+        tags[key] = value
+    return tags
+
+
+def parse_osm_xml(
+    source: Union[str, bytes], check_references: bool = True
+) -> OSMDocument:
+    """Parse an OSM XML document from a string.
+
+    Relations are silently skipped (routing needs none of them here).
+    With ``check_references`` (the default), ways referencing missing
+    nodes raise :class:`OSMParseError`, catching truncated extracts
+    early.
+    """
+    try:
+        root = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise OSMParseError(f"malformed XML: {exc}") from exc
+    if root.tag != "osm":
+        raise OSMParseError(f"expected <osm> root, found <{root.tag}>")
+
+    bounds: Optional[BoundingBox] = None
+    bounds_el = root.find("bounds")
+    if bounds_el is not None:
+        try:
+            bounds = BoundingBox(
+                float(bounds_el.get("minlat")),
+                float(bounds_el.get("minlon")),
+                float(bounds_el.get("maxlat")),
+                float(bounds_el.get("maxlon")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise OSMParseError(f"malformed <bounds>: {exc}") from exc
+
+    nodes: List[OSMNode] = []
+    for element in root.findall("node"):
+        try:
+            nodes.append(
+                OSMNode(
+                    id=int(element.get("id")),
+                    lat=float(element.get("lat")),
+                    lon=float(element.get("lon")),
+                    tags=_parse_tags(element),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise OSMParseError(f"malformed <node>: {exc}") from exc
+
+    ways: List[OSMWay] = []
+    for element in root.findall("way"):
+        way_id = element.get("id")
+        if way_id is None:
+            raise OSMParseError("<way> without id")
+        refs: List[int] = []
+        for nd in element.findall("nd"):
+            ref = nd.get("ref")
+            if ref is None:
+                raise OSMParseError(f"<nd> without ref in way {way_id}")
+            refs.append(int(ref))
+        if len(refs) < 2:
+            raise OSMParseError(
+                f"way {way_id} has fewer than two node refs"
+            )
+        ways.append(
+            OSMWay(
+                id=int(way_id),
+                node_refs=tuple(refs),
+                tags=_parse_tags(element),
+            )
+        )
+
+    restrictions: List[OSMRestriction] = []
+    for element in root.findall("relation"):
+        restriction = _parse_restriction(element)
+        if restriction is not None:
+            restrictions.append(restriction)
+
+    document = OSMDocument(
+        nodes, ways, bounds=bounds, restrictions=restrictions
+    )
+    if check_references:
+        document.check_references()
+    return document
+
+
+def _parse_restriction(element: ET.Element) -> Optional[OSMRestriction]:
+    """Parse one relation; returns None for non-restriction relations.
+
+    Only node-via restrictions with a kind in
+    :data:`~repro.osm.model.RESTRICTION_KINDS` are kept — matching the
+    subset the routing layer understands.  Other relations (routes,
+    multipolygons, exotic restrictions) are silently skipped, as the
+    documented behaviour of this parser.
+    """
+    tags = _parse_tags(element)
+    if tags.get("type") != "restriction":
+        return None
+    kind = tags.get("restriction", "")
+    if kind not in RESTRICTION_KINDS:
+        return None
+    relation_id = element.get("id")
+    if relation_id is None:
+        raise OSMParseError("<relation> without id")
+    from_way = to_way = via_node = None
+    for member in element.findall("member"):
+        role = member.get("role")
+        member_type = member.get("type")
+        ref = member.get("ref")
+        if ref is None:
+            raise OSMParseError(
+                f"relation {relation_id} member without ref"
+            )
+        if role == "from" and member_type == "way":
+            from_way = int(ref)
+        elif role == "to" and member_type == "way":
+            to_way = int(ref)
+        elif role == "via" and member_type == "node":
+            via_node = int(ref)
+    if from_way is None or to_way is None or via_node is None:
+        # Way-via or incomplete restrictions: out of scope.
+        return None
+    return OSMRestriction(
+        id=int(relation_id),
+        from_way=from_way,
+        via_node=via_node,
+        to_way=to_way,
+        kind=kind,
+    )
+
+
+def write_osm_xml(document: OSMDocument) -> str:
+    """Serialise a document to OSM XML (version 0.6 layout).
+
+    Attribute values are escaped, so arbitrary street names survive the
+    round trip.
+    """
+    lines: List[str] = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<osm version="0.6" generator="repro">',
+    ]
+    if document.bounds is not None:
+        b = document.bounds
+        lines.append(
+            f'  <bounds minlat="{b.south}" minlon="{b.west}" '
+            f'maxlat="{b.north}" maxlon="{b.east}"/>'
+        )
+    for node in document.nodes():
+        if node.tags:
+            lines.append(
+                f'  <node id="{node.id}" lat="{node.lat}" lon="{node.lon}">'
+            )
+            for key, value in node.tags.items():
+                lines.append(
+                    f"    <tag k={quoteattr(key)} v={quoteattr(value)}/>"
+                )
+            lines.append("  </node>")
+        else:
+            lines.append(
+                f'  <node id="{node.id}" lat="{node.lat}" lon="{node.lon}"/>'
+            )
+    for way in document.ways():
+        lines.append(f'  <way id="{way.id}">')
+        for ref in way.node_refs:
+            lines.append(f'    <nd ref="{ref}"/>')
+        for key, value in way.tags.items():
+            lines.append(
+                f"    <tag k={quoteattr(key)} v={quoteattr(value)}/>"
+            )
+        lines.append("  </way>")
+    for restriction in document.restrictions():
+        lines.append(f'  <relation id="{restriction.id}">')
+        lines.append(
+            f'    <member type="way" ref="{restriction.from_way}" '
+            'role="from"/>'
+        )
+        lines.append(
+            f'    <member type="node" ref="{restriction.via_node}" '
+            'role="via"/>'
+        )
+        lines.append(
+            f'    <member type="way" ref="{restriction.to_way}" '
+            'role="to"/>'
+        )
+        lines.append('    <tag k="type" v="restriction"/>')
+        lines.append(
+            f'    <tag k="restriction" v={quoteattr(restriction.kind)}/>'
+        )
+        lines.append("  </relation>")
+    lines.append("</osm>")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Statistics substrate for the user-study analysis.
+
+Implements from scratch everything §4.1 of the paper uses: means and
+standard deviations per group (:mod:`repro.stats.descriptive`) and the
+one-way ANOVA F-test with its p-value (:mod:`repro.stats.anova`,
+p-values via our own regularised incomplete beta function — the test
+suite cross-checks against scipy).
+"""
+
+from repro.stats.anova import AnovaResult, one_way_anova
+from repro.stats.bootstrap import (
+    BootstrapInterval,
+    bootstrap_mean_difference,
+    bootstrap_statistic,
+)
+from repro.stats.descriptive import (
+    GroupSummary,
+    mean,
+    sample_std,
+    summarize,
+)
+from repro.stats.kruskal import KruskalResult, chi_square_sf, kruskal_wallis
+from repro.stats.special import f_distribution_sf, regularized_incomplete_beta
+from repro.stats.ttest import (
+    TTestResult,
+    holm_bonferroni,
+    pairwise_welch,
+    t_distribution_sf,
+    welch_t_test,
+)
+
+__all__ = [
+    "AnovaResult",
+    "BootstrapInterval",
+    "GroupSummary",
+    "KruskalResult",
+    "TTestResult",
+    "bootstrap_mean_difference",
+    "bootstrap_statistic",
+    "chi_square_sf",
+    "f_distribution_sf",
+    "holm_bonferroni",
+    "kruskal_wallis",
+    "mean",
+    "one_way_anova",
+    "pairwise_welch",
+    "regularized_incomplete_beta",
+    "sample_std",
+    "summarize",
+    "t_distribution_sf",
+    "welch_t_test",
+]

@@ -1,0 +1,121 @@
+"""Percentile bootstrap confidence intervals.
+
+Used by the study analysis to put uncertainty bands on the mean-rating
+differences the paper reports as point estimates — the quantitative
+form of its "interpret these results with caution" advice.  Seeded and
+pure-Python (the sample sizes here make vectorisation unnecessary).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.exceptions import StudyError
+from repro.stats.descriptive import mean
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapInterval:
+    """A percentile bootstrap CI for one statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        """Return True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def formatted(self) -> str:
+        """Render as ``estimate [low, high] @ conf``."""
+        return (
+            f"{self.estimate:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values."""
+    if not sorted_values:
+        raise StudyError("cannot take a percentile of nothing")
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return (
+        sorted_values[lower] * (1.0 - fraction)
+        + sorted_values[upper] * fraction
+    )
+
+
+def bootstrap_statistic(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI for ``statistic(values)``."""
+    if len(values) < 2:
+        raise StudyError("bootstrap needs at least two observations")
+    if not (0.0 < confidence < 1.0):
+        raise StudyError("confidence must be in (0, 1)")
+    if resamples < 100:
+        raise StudyError("use at least 100 resamples")
+    rng = random.Random(f"bootstrap:{seed}")
+    n = len(values)
+    stats: List[float] = []
+    for _ in range(resamples):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        stats.append(statistic(resample))
+    stats.sort()
+    alpha = 1.0 - confidence
+    return BootstrapInterval(
+        estimate=statistic(values),
+        low=_percentile(stats, alpha / 2.0),
+        high=_percentile(stats, 1.0 - alpha / 2.0),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def bootstrap_mean_difference(
+    group_a: Sequence[float],
+    group_b: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI for ``mean(a) - mean(b)``.
+
+    Groups are resampled independently (two-sample bootstrap).  An
+    interval containing 0 is the bootstrap analogue of the paper's
+    non-significant ANOVA.
+    """
+    if len(group_a) < 2 or len(group_b) < 2:
+        raise StudyError("each group needs at least two observations")
+    if not (0.0 < confidence < 1.0):
+        raise StudyError("confidence must be in (0, 1)")
+    if resamples < 100:
+        raise StudyError("use at least 100 resamples")
+    rng = random.Random(f"bootstrap-diff:{seed}")
+    n_a, n_b = len(group_a), len(group_b)
+    diffs: List[float] = []
+    for _ in range(resamples):
+        sample_a = [group_a[rng.randrange(n_a)] for _ in range(n_a)]
+        sample_b = [group_b[rng.randrange(n_b)] for _ in range(n_b)]
+        diffs.append(mean(sample_a) - mean(sample_b))
+    diffs.sort()
+    alpha = 1.0 - confidence
+    return BootstrapInterval(
+        estimate=mean(group_a) - mean(group_b),
+        low=_percentile(diffs, alpha / 2.0),
+        high=_percentile(diffs, 1.0 - alpha / 2.0),
+        confidence=confidence,
+        resamples=resamples,
+    )

@@ -1,0 +1,56 @@
+"""Descriptive statistics for rating groups.
+
+The paper's tables report "mean rating m and standard deviation sd for
+each approach shown as m(sd)"; :class:`GroupSummary` is one such cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import StudyError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Return the arithmetic mean; raises on empty input."""
+    if not values:
+        raise StudyError("cannot take the mean of no values")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Return the sample standard deviation (n-1 denominator).
+
+    A single observation has no spread estimate; by convention we
+    return 0.0 for it rather than raising, matching how rating tables
+    handle singleton groups.
+    """
+    n = len(values)
+    if n == 0:
+        raise StudyError("cannot take the std of no values")
+    if n == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+@dataclass(frozen=True, slots=True)
+class GroupSummary:
+    """One table cell: mean, standard deviation and group size."""
+
+    mean: float
+    std: float
+    count: int
+
+    def formatted(self, digits: int = 2) -> str:
+        """Return the paper's ``m (sd)`` cell format."""
+        return f"{self.mean:.{digits}f} ({self.std:.{digits}f})"
+
+
+def summarize(values: Sequence[float]) -> GroupSummary:
+    """Summarise one group of ratings."""
+    return GroupSummary(
+        mean=mean(values), std=sample_std(values), count=len(values)
+    )

@@ -1,0 +1,106 @@
+"""Special functions backing the ANOVA p-value.
+
+The survival function of the F distribution is expressible through the
+regularised incomplete beta function
+
+    sf(F; d1, d2) = I_{d2 / (d2 + d1 F)}(d2/2, d1/2),
+
+which we evaluate with the standard Lentz continued-fraction expansion
+(Numerical Recipes §6.4).  scipy is available in this environment, but
+the study's headline statistic deserves an implementation whose
+behaviour the repository controls; the test-suite cross-validates the
+two to 1e-10.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+_MAX_ITERATIONS = 300
+_EPSILON = 3.0e-14
+_TINY = 1.0e-300
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Evaluate the continued fraction for the incomplete beta function."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _TINY:
+        d = _TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITERATIONS + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            return h
+    raise ConfigurationError(
+        f"incomplete beta failed to converge for a={a}, b={b}, x={x}"
+    )
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """Return ``I_x(a, b)``, the regularised incomplete beta function.
+
+    Valid for ``a, b > 0`` and ``0 <= x <= 1``.  Uses the symmetry
+    relation to keep the continued fraction in its fast-converging
+    region.
+    """
+    if a <= 0 or b <= 0:
+        raise ConfigurationError("beta parameters must be positive")
+    if not (0.0 <= x <= 1.0):
+        raise ConfigurationError(f"x must be in [0, 1], got {x}")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    log_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(log_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def f_distribution_sf(f_stat: float, df_between: float, df_within: float) -> float:
+    """Return ``P(F >= f_stat)`` for the F(df_between, df_within) law.
+
+    This is the ANOVA p-value.  ``f_stat < 0`` is invalid; ``f_stat = 0``
+    gives 1.
+    """
+    if df_between <= 0 or df_within <= 0:
+        raise ConfigurationError("degrees of freedom must be positive")
+    if f_stat < 0:
+        raise ConfigurationError(f"F statistic must be >= 0, got {f_stat}")
+    if f_stat == 0.0:
+        return 1.0
+    x = df_within / (df_within + df_between * f_stat)
+    return regularized_incomplete_beta(df_within / 2.0, df_between / 2.0, x)

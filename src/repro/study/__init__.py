@@ -1,0 +1,67 @@
+"""User-study simulation (paper §4).
+
+A real 237-participant study cannot be re-run offline, so this package
+simulates it mechanistically:
+
+* :mod:`repro.study.participants` — resident / non-resident populations
+  with per-person rating biases (harshness, detour sensitivity,
+  favourite-route anchoring — the §4.2 limitation mechanisms);
+* :mod:`repro.study.features` — the objective features of a displayed
+  route set (stretch on OSM data, diversity, apparent detours, turns,
+  road width) that drive perceived quality;
+* :mod:`repro.study.rating` — the perceived-quality model, calibrated
+  against the population-level preference structure the paper reports
+  (see DESIGN.md §1 for why this substitution is the honest one);
+* :mod:`repro.study.survey` — samples queries into the paper's
+  route-length bins, runs all four blinded approaches, and collects
+  per-participant 1-5 ratings;
+* :mod:`repro.study.analysis` — regenerates Tables 1-3 and the §4.1
+  one-way ANOVAs from the raw simulated responses.
+"""
+
+from repro.study.calibration import (
+    targets_from_tables,
+    tables_from_targets,
+    uniform_targets,
+)
+from repro.study.analysis import (
+    RatingTable,
+    anova_by_category,
+    approaches_in_table_order,
+    table_all_responses,
+    table_for_residency,
+)
+from repro.study.features import RouteSetFeatures, compute_features
+from repro.study.participants import Participant, PopulationSampler
+from repro.study.rating import PAPER_CELL_TARGETS, RatingModel
+from repro.study.survey import (
+    PAPER_QUOTAS,
+    LengthBin,
+    StudyConfig,
+    StudyResponse,
+    StudyResults,
+    SurveyRunner,
+)
+
+__all__ = [
+    "PAPER_CELL_TARGETS",
+    "PAPER_QUOTAS",
+    "LengthBin",
+    "Participant",
+    "PopulationSampler",
+    "RatingModel",
+    "RatingTable",
+    "RouteSetFeatures",
+    "StudyConfig",
+    "StudyResponse",
+    "StudyResults",
+    "SurveyRunner",
+    "anova_by_category",
+    "approaches_in_table_order",
+    "compute_features",
+    "table_all_responses",
+    "table_for_residency",
+    "tables_from_targets",
+    "targets_from_tables",
+    "uniform_targets",
+]

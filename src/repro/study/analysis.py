@@ -1,0 +1,186 @@
+"""Analysis of survey results: the paper's tables and ANOVA tests.
+
+Regenerates, from raw simulated responses, exactly what §4.1 reports:
+
+* Table 1 — all responses: overall, by residency, and by route length;
+* Table 2 — Melbourne residents by route length;
+* Table 3 — non-residents by route length;
+* the three one-way ANOVAs (all / residents / non-residents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StudyError
+from repro.stats.anova import AnovaResult, one_way_anova
+from repro.stats.descriptive import GroupSummary, summarize
+from repro.study.rating import APPROACHES, BINS
+from repro.study.survey import StudyResults
+
+
+def approaches_in_table_order() -> Tuple[str, ...]:
+    """Return the paper's column order: GMaps, Plateaus, Dissim, Penalty."""
+    return APPROACHES
+
+
+@dataclass(frozen=True)
+class RatingTable:
+    """One of the paper's rating tables.
+
+    ``rows`` maps a row label to per-approach summaries plus the row's
+    response count.  ``winner`` per row is the approach with the
+    highest mean — the bold cell in the paper.
+    """
+
+    title: str
+    rows: Dict[str, Dict[str, GroupSummary]]
+    row_counts: Dict[str, int]
+
+    def winner(self, row_label: str) -> str:
+        """Return the highest-mean approach of a row (the bold cell)."""
+        row = self.rows[row_label]
+        return max(APPROACHES, key=lambda a: row[a].mean)
+
+    def cell(self, row_label: str, approach: str) -> GroupSummary:
+        """Return one table cell."""
+        return self.rows[row_label][approach]
+
+    def formatted(self, digits: int = 2) -> str:
+        """Render the table in the paper's ``m (sd)`` layout."""
+        header = (
+            f"{'':32s}"
+            + "".join(f"{a:>16s}" for a in APPROACHES)
+            + f"{'#Resp':>8s}"
+        )
+        lines = [self.title, header]
+        for label, row in self.rows.items():
+            winner = self.winner(label)
+            cells = []
+            for approach in APPROACHES:
+                text = row[approach].formatted(digits)
+                if approach == winner:
+                    text = f"*{text}"
+                cells.append(f"{text:>16s}")
+            lines.append(
+                f"{label:32s}"
+                + "".join(cells)
+                + f"{self.row_counts[label]:>8d}"
+            )
+        return "\n".join(lines)
+
+
+def _resident_label(results: StudyResults) -> str:
+    """Row label for the resident group.
+
+    The paper's tables say "Melbourne residents"; for other cities the
+    label follows the network name so custom-city tables read right.
+    """
+    city = results.network_name.split("-")[0].title()
+    return f"{city} residents" if city else "Residents"
+
+
+def _bin_label(results: StudyResults, bin_name: str) -> str:
+    matching = [b for b in results.bins if b.name == bin_name]
+    if not matching:
+        raise StudyError(f"results carry no bin named {bin_name!r}")
+    bin_ = matching[0]
+    high = "inf" if bin_.high_min == float("inf") else f"{bin_.high_min:.0f}"
+    return (
+        f"{bin_name.title()} Routes ({bin_.low_min:.0f}, {high}] (mins)"
+    )
+
+
+def _summaries_for(
+    results: StudyResults,
+    resident: Optional[bool],
+    length_bin: Optional[str],
+) -> Dict[str, GroupSummary]:
+    summaries: Dict[str, GroupSummary] = {}
+    for approach in APPROACHES:
+        ratings = results.ratings_for(
+            approach, resident=resident, length_bin=length_bin
+        )
+        if not ratings:
+            raise StudyError(
+                f"no responses for approach={approach!r}, "
+                f"resident={resident}, bin={length_bin!r}"
+            )
+        summaries[approach] = summarize([float(r) for r in ratings])
+    return summaries
+
+
+def table_all_responses(results: StudyResults) -> RatingTable:
+    """Build Table 1: every respondent, plus residency and length rows."""
+    rows: Dict[str, Dict[str, GroupSummary]] = {}
+    counts: Dict[str, int] = {}
+
+    resident_label = _resident_label(results)
+    rows["Overall"] = _summaries_for(results, None, None)
+    counts["Overall"] = results.count()
+    rows[resident_label] = _summaries_for(results, True, None)
+    counts[resident_label] = results.count(resident=True)
+    rows["Non-residents"] = _summaries_for(results, False, None)
+    counts["Non-residents"] = results.count(resident=False)
+    for bin_name in BINS:
+        label = _bin_label(results, bin_name)
+        rows[label] = _summaries_for(results, None, bin_name)
+        counts[label] = results.count(length_bin=bin_name)
+    return RatingTable(
+        title="Table 1: All responses — mean rating m (sd)",
+        rows=rows,
+        row_counts=counts,
+    )
+
+
+def table_for_residency(
+    results: StudyResults, resident: bool
+) -> RatingTable:
+    """Build Table 2 (residents) or Table 3 (non-residents)."""
+    group_label = (
+        _resident_label(results) if resident else "Non-residents"
+    )
+    rows: Dict[str, Dict[str, GroupSummary]] = {
+        group_label: _summaries_for(results, resident, None)
+    }
+    counts: Dict[str, int] = {group_label: results.count(resident=resident)}
+    for bin_name in BINS:
+        label = _bin_label(results, bin_name)
+        rows[label] = _summaries_for(results, resident, bin_name)
+        counts[label] = results.count(
+            resident=resident, length_bin=bin_name
+        )
+    number = 2 if resident else 3
+    return RatingTable(
+        title=(
+            f"Table {number}: Only {group_label} — mean rating m (sd)"
+        ),
+        rows=rows,
+        row_counts=counts,
+    )
+
+
+def anova_by_category(results: StudyResults) -> Dict[str, AnovaResult]:
+    """Run the paper's three one-way ANOVAs.
+
+    Returns results keyed "all", "residents", "non-residents"; the
+    paper reports p = 0.16, 0.68 and 0.18 and concludes none are
+    significant.
+    """
+    categories: Dict[str, Optional[bool]] = {
+        "all": None,
+        "residents": True,
+        "non-residents": False,
+    }
+    outcomes: Dict[str, AnovaResult] = {}
+    for label, resident in categories.items():
+        groups: List[List[float]] = [
+            [
+                float(r)
+                for r in results.ratings_for(approach, resident=resident)
+            ]
+            for approach in APPROACHES
+        ]
+        outcomes[label] = one_way_anova(groups)
+    return outcomes

@@ -1,0 +1,98 @@
+"""Building rating-model calibrations from observed tables.
+
+The shipped :data:`~repro.study.rating.PAPER_CELL_TARGETS` encode the
+paper's Melbourne study.  To apply the same simulation machinery to a
+*different* observed study — another city, a re-run, a what-if — this
+module converts a table of observed cell means into the target mapping
+the :class:`~repro.study.rating.RatingModel` consumes, and back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.exceptions import StudyError
+from repro.study.rating import APPROACHES, BINS
+
+CellKey = Tuple[str, bool, str]
+
+
+def targets_from_tables(
+    resident_rows: Mapping[str, Mapping[str, float]],
+    non_resident_rows: Mapping[str, Mapping[str, float]],
+) -> Dict[CellKey, float]:
+    """Build cell targets from two per-residency tables.
+
+    Each argument maps a bin name (``small``/``medium``/``long``) to a
+    mapping of approach name -> observed mean rating — the shape of the
+    paper's Tables 2 and 3.  Missing cells raise :class:`StudyError`;
+    out-of-scale means are rejected.
+    """
+    targets: Dict[CellKey, float] = {}
+    for resident, rows in (
+        (True, resident_rows),
+        (False, non_resident_rows),
+    ):
+        for bin_name in BINS:
+            if bin_name not in rows:
+                raise StudyError(
+                    f"missing bin {bin_name!r} in the "
+                    f"{'resident' if resident else 'non-resident'} table"
+                )
+            row = rows[bin_name]
+            for approach in APPROACHES:
+                if approach not in row:
+                    raise StudyError(
+                        f"missing approach {approach!r} in bin "
+                        f"{bin_name!r}"
+                    )
+                value = float(row[approach])
+                if not (1.0 <= value <= 5.0):
+                    raise StudyError(
+                        f"cell mean {value} for ({approach}, "
+                        f"{bin_name}) is outside the 1-5 scale"
+                    )
+                targets[(approach, resident, bin_name)] = value
+    return targets
+
+
+def tables_from_targets(
+    targets: Mapping[CellKey, float],
+) -> Tuple[Dict[str, Dict[str, float]], Dict[str, Dict[str, float]]]:
+    """Inverse of :func:`targets_from_tables`.
+
+    Returns ``(resident_rows, non_resident_rows)``; raises when the
+    mapping does not cover all 24 cells.
+    """
+    resident_rows: Dict[str, Dict[str, float]] = {}
+    non_resident_rows: Dict[str, Dict[str, float]] = {}
+    for resident, rows in (
+        (True, resident_rows),
+        (False, non_resident_rows),
+    ):
+        for bin_name in BINS:
+            row: Dict[str, float] = {}
+            for approach in APPROACHES:
+                key = (approach, resident, bin_name)
+                if key not in targets:
+                    raise StudyError(f"targets missing cell {key}")
+                row[approach] = targets[key]
+            rows[bin_name] = row
+    return resident_rows, non_resident_rows
+
+
+def uniform_targets(mean: float = 3.5) -> Dict[CellKey, float]:
+    """A null calibration: every cell shares one mean.
+
+    Useful as the control condition — under uniform targets any
+    between-approach difference the simulation produces comes purely
+    from the mechanistic feature layer.
+    """
+    if not (1.0 <= mean <= 5.0):
+        raise StudyError("mean must be on the 1-5 scale")
+    return {
+        (approach, resident, bin_name): mean
+        for approach in APPROACHES
+        for resident in (True, False)
+        for bin_name in BINS
+    }

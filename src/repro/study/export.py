@@ -1,0 +1,79 @@
+"""Bridging the simulated study and the demo's response store.
+
+The paper's pipeline collects ratings through the web form into the
+back end's storage; the analysis then runs over the stored responses.
+This module closes the same loop for the simulation: simulated
+responses are persisted as blinded feedback records (A-D labels, just
+like real submissions), and the SQL-side aggregates can be compared
+against the in-memory analysis — an end-to-end consistency check the
+integration tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.demo.query_processor import APPROACH_LABELS
+from repro.demo.storage import FeedbackRecord, ResponseStore
+from repro.exceptions import StudyError
+from repro.graph.network import RoadNetwork
+from repro.study.survey import StudyResults
+
+#: Blinded label -> approach, the inverse of APPROACH_LABELS.
+LABEL_TO_APPROACH: Dict[str, str] = {
+    label: approach for approach, label in APPROACH_LABELS.items()
+}
+
+
+def store_results(
+    results: StudyResults,
+    network: RoadNetwork,
+    store: ResponseStore,
+) -> int:
+    """Persist every simulated response as a blinded feedback record.
+
+    ``network`` must be the network the study ran on (it supplies the
+    source/target coordinates the form would have carried).  Returns
+    the number of stored rows.
+    """
+    if results.network_name != network.name:
+        raise StudyError(
+            f"results were collected on {results.network_name!r}, not "
+            f"{network.name!r}"
+        )
+    stored = 0
+    for response in results.responses:
+        source = network.node(response.source)
+        target = network.node(response.target)
+        ratings = {
+            label: response.ratings[approach]
+            for label, approach in LABEL_TO_APPROACH.items()
+        }
+        store.save(
+            FeedbackRecord(
+                source_lat=source.lat,
+                source_lon=source.lon,
+                target_lat=target.lat,
+                target_lon=target.lon,
+                fastest_minutes=response.fastest_minutes,
+                resident=response.resident,
+                ratings=ratings,
+                comment=response.comment,
+            )
+        )
+        stored += 1
+    return stored
+
+
+def sql_mean_ratings(store: ResponseStore) -> Dict[str, float]:
+    """Per-approach mean ratings computed by the store's SQL.
+
+    Returns approach names (not blinded labels), so the result is
+    directly comparable with
+    :func:`repro.study.analysis.table_all_responses`.
+    """
+    by_label = store.mean_ratings()
+    return {
+        LABEL_TO_APPROACH[label]: value
+        for label, value in by_label.items()
+    }

@@ -1,0 +1,89 @@
+"""Objective features of a displayed route set.
+
+The rating model does not look at the algorithm that produced a route
+set — participants never knew the identities either (approaches were
+blinded as A-D).  It looks only at what a participant could *see* on
+the map: how fast the routes are on the display data, how different
+they look, whether anything looks like a detour, how twisty they are
+and what kind of roads they follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.base import RouteSet
+from repro.metrics.quality import detour_score
+from repro.metrics.similarity import average_pairwise_similarity
+from repro.metrics.turns import road_width_score, turns_per_km
+
+
+@dataclass(frozen=True, slots=True)
+class RouteSetFeatures:
+    """What a participant perceives in one approach's route display.
+
+    All travel times are measured on the *display* weights (OSM data),
+    matching the paper's setup where even Google Maps' routes were
+    re-priced with OSM travel times before being shown.
+    """
+
+    num_routes: int
+    mean_stretch: float
+    worst_stretch: float
+    diversity: float
+    apparent_detour: float
+    mean_turns_per_km: float
+    mean_width: float
+
+    @property
+    def looks_empty(self) -> bool:
+        """A set with a single route offers no alternatives at all."""
+        return self.num_routes <= 1
+
+
+def compute_features(
+    route_set: RouteSet,
+    display_weights: Sequence[float],
+    reference_time_s: Optional[float] = None,
+    detour_samples: int = 5,
+) -> RouteSetFeatures:
+    """Measure a route set the way a participant would see it.
+
+    ``reference_time_s`` is the fastest travel time among *all* route
+    sets shown for the query (participants compare approaches side by
+    side); defaults to this set's own fastest display time.
+    ``detour_samples`` bounds the cost of the sub-path detour scan.
+    """
+    display_times = [
+        route.travel_time_on(display_weights) for route in route_set
+    ]
+    if not display_times:
+        return RouteSetFeatures(
+            num_routes=0,
+            mean_stretch=1.0,
+            worst_stretch=1.0,
+            diversity=0.0,
+            apparent_detour=1.0,
+            mean_turns_per_km=0.0,
+            mean_width=1.0,
+        )
+    reference = (
+        min(display_times) if reference_time_s is None else reference_time_s
+    )
+    reference = max(reference, 1e-9)
+    stretches = [t / reference for t in display_times]
+    detours = [
+        detour_score(route, samples=detour_samples) for route in route_set
+    ]
+    return RouteSetFeatures(
+        num_routes=len(route_set),
+        mean_stretch=sum(stretches) / len(stretches),
+        worst_stretch=max(stretches),
+        diversity=1.0 - average_pairwise_similarity(list(route_set)),
+        apparent_detour=max(detours),
+        mean_turns_per_km=sum(turns_per_km(r) for r in route_set)
+        / len(route_set),
+        mean_width=sum(road_width_score(r) for r in route_set)
+        / len(route_set),
+    )

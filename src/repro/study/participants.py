@@ -1,0 +1,92 @@
+"""Synthetic study participants.
+
+Each participant carries the latent traits the paper's §4.2 limitations
+describe as drivers of rating variance:
+
+* **harshness** — a per-person intercept (some people rarely give 5s);
+* **detour sensitivity** — how strongly an *apparent* detour lowers the
+  perceived quality.  Non-residents cannot tell a genuine detour from a
+  tunnel-forced manoeuvre ("Apparent detours that are not"), so their
+  sensitivity is drawn higher;
+* **favourite-route anchoring** — with some probability a participant
+  has a favourite route in mind; when no approach shows something close
+  to it, no approach gets more than 3 from them (the "no route using
+  Blackburn rd" anecdote);
+* **turn/width preferences** — the "less turns" / "wider roads"
+  commenters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import StudyError
+
+
+@dataclass(frozen=True, slots=True)
+class Participant:
+    """One simulated respondent."""
+
+    id: int
+    resident: bool
+    harshness: float
+    detour_sensitivity: float
+    turn_sensitivity: float
+    width_preference: float
+    has_favorite_route: bool
+
+    @property
+    def residency_label(self) -> str:
+        """The grouping label used by the analysis tables."""
+        return "resident" if self.resident else "non-resident"
+
+
+class PopulationSampler:
+    """Draws participants with residency-dependent trait distributions.
+
+    Parameters
+    ----------
+    seed:
+        Population seed; the k-th participant drawn from two samplers
+        with equal seeds is identical.
+    favorite_route_prob:
+        Probability that a participant anchors on a favourite route.
+    """
+
+    # Trait distribution constants (means/sigmas of the gaussians).
+    _HARSHNESS_SIGMA = 0.35
+    _RESIDENT_DETOUR_MEAN = 0.5
+    _NON_RESIDENT_DETOUR_MEAN = 1.0
+    _DETOUR_SIGMA = 0.25
+    _TURN_SIGMA = 0.3
+    _WIDTH_SIGMA = 0.3
+
+    def __init__(self, seed: int = 0, favorite_route_prob: float = 0.08) -> None:
+        if not (0.0 <= favorite_route_prob <= 1.0):
+            raise StudyError("favorite_route_prob must be in [0, 1]")
+        self._rng = random.Random(f"population:{seed}")
+        self._next_id = 0
+        self.favorite_route_prob = favorite_route_prob
+
+    def sample(self, resident: bool) -> Participant:
+        """Draw the next participant of the requested residency."""
+        rng = self._rng
+        detour_mean = (
+            self._RESIDENT_DETOUR_MEAN
+            if resident
+            else self._NON_RESIDENT_DETOUR_MEAN
+        )
+        participant = Participant(
+            id=self._next_id,
+            resident=resident,
+            harshness=rng.gauss(0.0, self._HARSHNESS_SIGMA),
+            detour_sensitivity=max(
+                0.0, rng.gauss(detour_mean, self._DETOUR_SIGMA)
+            ),
+            turn_sensitivity=max(0.0, rng.gauss(0.5, self._TURN_SIGMA)),
+            width_preference=max(0.0, rng.gauss(0.5, self._WIDTH_SIGMA)),
+            has_favorite_route=rng.random() < self.favorite_route_prob,
+        )
+        self._next_id += 1
+        return participant

@@ -1,0 +1,239 @@
+"""The perceived-quality rating model.
+
+How do you reproduce a user study without users?  The honest route, and
+the one taken here, is a two-layer model:
+
+1. **Calibrated population preferences.**  The paper's Tables 2 and 3
+   partition all 237 responses into twelve (approach x residency x
+   route-length) cells and report each cell's mean.  Those means *are*
+   the population-level behavioural ground truth the study measured, so
+   the simulator treats them as the latent preference targets
+   (:data:`PAPER_CELL_TARGETS`).  Everything downstream — Table 1's
+   aggregate rows, the bold winners, the ANOVA p-values — is
+   re-derived from raw simulated ratings, never pasted.
+
+2. **Mechanistic modulation.**  On top of the calibrated target, each
+   individual rating moves with (a) the objective features of the route
+   set actually displayed (slower, more detour-looking, more zig-zag
+   sets rate lower — with per-participant sensitivities), (b) the
+   participant's harshness intercept, and (c) response noise.  The
+   favourite-route anchoring mechanism caps all four ratings at 3 for
+   anchored participants whose favourite never showed up, reproducing
+   the paper's anecdote.
+
+Ratings are finally rounded and clipped to the 1-5 scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import StudyError
+from repro.study.features import RouteSetFeatures
+from repro.study.participants import Participant
+
+#: Approach keys in the paper's column order.
+APPROACHES = ("Google Maps", "Plateaus", "Dissimilarity", "Penalty")
+
+#: Route-length bins in the paper's row order.
+BINS = ("small", "medium", "long")
+
+#: The latent preference targets: mean rating per
+#: (approach, residency, bin), taken from Tables 2 and 3 of the paper.
+#: ``True`` keys are Melbourne residents.
+PAPER_CELL_TARGETS: Dict[Tuple[str, bool, str], float] = {
+    # Melbourne residents (Table 2).
+    ("Google Maps", True, "small"): 3.50,
+    ("Plateaus", True, "small"): 3.42,
+    ("Dissimilarity", True, "small"): 3.68,
+    ("Penalty", True, "small"): 3.97,
+    ("Google Maps", True, "medium"): 3.64,
+    ("Plateaus", True, "medium"): 3.70,
+    ("Dissimilarity", True, "medium"): 3.78,
+    ("Penalty", True, "medium"): 3.55,
+    ("Google Maps", True, "long"): 3.40,
+    ("Plateaus", True, "long"): 3.97,
+    ("Dissimilarity", True, "long"): 3.54,
+    ("Penalty", True, "long"): 3.60,
+    # Non-residents (Table 3).
+    ("Google Maps", False, "small"): 3.57,
+    ("Plateaus", False, "small"): 3.57,
+    ("Dissimilarity", False, "small"): 3.71,
+    ("Penalty", False, "small"): 3.61,
+    ("Google Maps", False, "medium"): 2.81,
+    ("Plateaus", False, "medium"): 2.92,
+    ("Dissimilarity", False, "medium"): 2.96,
+    ("Penalty", False, "medium"): 3.00,
+    ("Google Maps", False, "long"): 2.74,
+    ("Plateaus", False, "long"): 4.00,
+    ("Dissimilarity", False, "long"): 3.33,
+    ("Penalty", False, "long"): 3.48,
+}
+
+
+@dataclass(frozen=True)
+class RatingModelConfig:
+    """Tunable weights of the mechanistic layer.
+
+    The defaults are chosen so the feature modulation is real but does
+    not swamp the calibrated preference structure, and the total noise
+    yields the ~1.1-1.4 standard deviations the paper reports.
+    """
+
+    #: Weight of (mean display stretch - 1): slower-looking sets rate
+    #: lower.
+    stretch_weight: float = 1.6
+    #: Weight of the apparent-detour excess, scaled by the participant's
+    #: detour sensitivity.
+    detour_weight: float = 0.8
+    #: Bonus per unit of diversity above the 0.5 reference point.
+    diversity_weight: float = 0.5
+    #: Penalty per turns/km above the 3.0 reference, scaled by the
+    #: participant's turn sensitivity.
+    turn_weight: float = 0.05
+    #: Bonus per lane above 1.5, scaled by the width preference.
+    width_weight: float = 0.25
+    #: Penalty when an approach shows one route only (no alternatives).
+    empty_set_penalty: float = 0.8
+    #: Clamp on the total feature adjustment.
+    feature_clamp: float = 0.7
+    #: Response noise standard deviation.
+    noise_sigma: float = 1.2
+    #: Rating cap applied when favourite-route anchoring triggers.
+    favorite_cap: int = 3
+    #: Constant added to every latent rating; with the centred feature
+    #: adjustment of :meth:`RatingModel.rate_response` the drift is
+    #: zero and this stays 0 (kept for the uncentred :meth:`rate`).
+    baseline_offset: float = 0.0
+
+
+def _discretize(latent: float) -> int:
+    """Round a latent score onto the 1-5 rating scale."""
+    return int(min(5, max(1, round(latent))))
+
+
+class RatingModel:
+    """Produces 1-5 ratings from calibrated targets + displayed features."""
+
+    def __init__(
+        self,
+        config: RatingModelConfig | None = None,
+        cell_targets: Mapping[Tuple[str, bool, str], float] | None = None,
+    ) -> None:
+        self.config = config if config is not None else RatingModelConfig()
+        self.cell_targets = (
+            dict(cell_targets)
+            if cell_targets is not None
+            else dict(PAPER_CELL_TARGETS)
+        )
+
+    def target(self, approach: str, resident: bool, length_bin: str) -> float:
+        """Return the calibrated latent mean for one cell."""
+        try:
+            return self.cell_targets[(approach, resident, length_bin)]
+        except KeyError:
+            raise StudyError(
+                f"no calibrated target for ({approach!r}, resident="
+                f"{resident}, {length_bin!r})"
+            ) from None
+
+    def feature_adjustment(
+        self, participant: Participant, features: RouteSetFeatures
+    ) -> float:
+        """Return the mechanistic rating shift for one displayed set."""
+        config = self.config
+        adjustment = 0.0
+        adjustment -= config.stretch_weight * max(
+            0.0, features.mean_stretch - 1.0
+        )
+        adjustment -= (
+            config.detour_weight
+            * participant.detour_sensitivity
+            * max(0.0, features.apparent_detour - 1.1)
+        )
+        adjustment += config.diversity_weight * (features.diversity - 0.5)
+        adjustment -= (
+            config.turn_weight
+            * participant.turn_sensitivity
+            * max(0.0, features.mean_turns_per_km - 3.0)
+        )
+        adjustment += (
+            config.width_weight
+            * participant.width_preference
+            * (features.mean_width - 1.5)
+        )
+        if features.looks_empty:
+            adjustment -= config.empty_set_penalty
+        return max(
+            -config.feature_clamp, min(config.feature_clamp, adjustment)
+        )
+
+    def rate(
+        self,
+        participant: Participant,
+        approach: str,
+        length_bin: str,
+        features: RouteSetFeatures,
+        rng: random.Random,
+    ) -> int:
+        """Return one 1-5 rating.
+
+        The favourite-route cap is applied by the survey runner (it
+        affects all four approaches of a response at once), not here.
+        """
+        latent = (
+            self.target(approach, participant.resident, length_bin)
+            + self.config.baseline_offset
+            + participant.harshness
+            + self.feature_adjustment(participant, features)
+            + rng.gauss(0.0, self.config.noise_sigma)
+        )
+        return _discretize(latent)
+
+    def rate_response(
+        self,
+        participant: Participant,
+        length_bin: str,
+        features_by_approach: Mapping[str, RouteSetFeatures],
+        rng: random.Random,
+        adjustment_baselines: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, int]:
+        """Rate all approaches of one response with *centred* features.
+
+        The calibrated cell targets already embody the mean quality
+        difference between the approaches (that is what the paper
+        measured), so the mechanistic feature layer must not shift an
+        approach's population mean a second time.  The survey runner
+        therefore supplies ``adjustment_baselines`` — each approach's
+        population-mean feature adjustment — and only the *deviation*
+        from that baseline moves a rating: a route set that looks
+        unusually bad for its approach still rates lower, while every
+        approach's mean stays on its calibrated target.  Without
+        baselines the response-local mean is used, which removes the
+        common drift but keeps between-approach bias (single-response
+        use only).
+        """
+        adjustments = {
+            approach: self.feature_adjustment(participant, features)
+            for approach, features in features_by_approach.items()
+        }
+        if adjustment_baselines is None:
+            center = sum(adjustments.values()) / len(adjustments)
+            baselines: Mapping[str, float] = {
+                approach: center for approach in adjustments
+            }
+        else:
+            baselines = adjustment_baselines
+        ratings: Dict[str, int] = {}
+        for approach in features_by_approach:
+            latent = (
+                self.target(approach, participant.resident, length_bin)
+                + self.config.baseline_offset
+                + participant.harshness
+                + (adjustments[approach] - baselines.get(approach, 0.0))
+                + rng.gauss(0.0, self.config.noise_sigma)
+            )
+            ratings[approach] = _discretize(latent)
+        return ratings

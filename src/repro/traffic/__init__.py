@@ -1,0 +1,23 @@
+"""Simulated traffic data — the commercial engine's private substrate.
+
+The paper's central confound (§4.2) is that Google Maps computes routes
+on *different underlying data*: real-time/historical traffic instead of
+OSM speed limits.  Even the paper's mitigation — querying at 3:00 am —
+leaves a residual per-road discrepancy that visibly changes which
+alternative the commercial engine prefers (their Figure 4).
+
+This package reproduces that substrate:
+
+* :class:`~repro.traffic.model.TrafficModel` — a seeded time-of-day
+  congestion model with per-edge free-flow discrepancies relative to
+  the OSM travel times;
+* :class:`~repro.traffic.provider.CommercialDataProvider` — the facade
+  the simulated commercial engine queries ("give me your weights at
+  3 am"), mirroring how the demo calls the Google Maps API "at 3:00 am
+  on the next day (assuming minimal traffic)".
+"""
+
+from repro.traffic.model import CongestionProfile, TrafficModel
+from repro.traffic.provider import CommercialDataProvider
+
+__all__ = ["CommercialDataProvider", "CongestionProfile", "TrafficModel"]

@@ -1,0 +1,74 @@
+"""The commercial engine's view of its private traffic data.
+
+The demo calls "Google Maps API to retrieve the routes at 3:00 am on
+the next day (assuming minimal traffic on roads at that time)".  The
+:class:`CommercialDataProvider` is the equivalent seam in this
+reproduction: the simulated commercial engine asks it for weights at a
+departure hour, and the rest of the system never sees those weights —
+route travel times shown to users are always re-priced on OSM data,
+exactly as the paper's query processor does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.graph.network import RoadNetwork
+from repro.traffic.model import CongestionProfile, TrafficModel
+
+#: The hour the paper queries Google Maps at, to minimise traffic.
+THREE_AM = 3.0
+
+
+class CommercialDataProvider:
+    """Facade over :class:`TrafficModel` with snapshot caching.
+
+    Parameters mirror :class:`TrafficModel`; ``default_hour`` is the
+    departure time used when a caller does not specify one (3 am, the
+    paper's choice).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        seed: int = 0,
+        discrepancy_scale: float = 1.0,
+        default_hour: float = THREE_AM,
+        profile: Optional[CongestionProfile] = None,
+    ) -> None:
+        if not (0.0 <= default_hour < 24.0):
+            raise ConfigurationError(
+                f"default_hour must be in [0, 24), got {default_hour}"
+            )
+        self.network = network
+        self.default_hour = default_hour
+        self._model = TrafficModel(
+            network,
+            seed=seed,
+            discrepancy_scale=discrepancy_scale,
+            profile=profile,
+        )
+        self._snapshots: dict[float, List[float]] = {}
+
+    @property
+    def model(self) -> TrafficModel:
+        """The underlying traffic model (read-only access)."""
+        return self._model
+
+    def weights(self, hour: Optional[float] = None) -> List[float]:
+        """Return the provider's weight vector at ``hour``.
+
+        Snapshots are cached per hour; callers must not mutate the
+        returned list (take a copy if needed).
+        """
+        h = self.default_hour if hour is None else hour % 24.0
+        cached = self._snapshots.get(h)
+        if cached is None:
+            cached = self._model.weights_at(h)
+            self._snapshots[h] = cached
+        return cached
+
+    def snapshot_3am(self) -> List[float]:
+        """Return the 3:00 am weights, the paper's minimal-traffic call."""
+        return self.weights(THREE_AM)

@@ -1,0 +1,60 @@
+"""Tests for A*: optimality with the admissible great-circle heuristic."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms import astar, shortest_path
+from repro.graph.builder import RoadNetworkBuilder
+
+
+class TestOptimality:
+    def test_grid_corner_to_corner(self, grid10):
+        reference = shortest_path(grid10, 0, 99)
+        path = astar(grid10, 0, 99)
+        assert path.travel_time_s == pytest.approx(reference.travel_time_s)
+
+    def test_random_pairs_on_city(self, melbourne_small):
+        rng = random.Random(23)
+        n = melbourne_small.num_nodes
+        for _ in range(25):
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s == t:
+                continue
+            reference = shortest_path(melbourne_small, s, t)
+            path = astar(melbourne_small, s, t)
+            assert path.travel_time_s == pytest.approx(
+                reference.travel_time_s
+            ), (s, t)
+
+    def test_zero_heuristic_speed_degrades_to_dijkstra(self, grid10):
+        reference = shortest_path(grid10, 0, 99)
+        path = astar(grid10, 0, 99, heuristic_speed_kmh=0.0)
+        assert path.travel_time_s == pytest.approx(reference.travel_time_s)
+
+    def test_custom_weights_with_explicit_heuristic(self, grid10):
+        # With unit weights the geometric heuristic is inadmissible, so
+        # the caller disables it.
+        weights = [1.0] * grid10.num_edges
+        path = astar(grid10, 0, 99, weights=weights, heuristic_speed_kmh=0.0)
+        assert path.travel_time_s == pytest.approx(18.0)
+
+
+class TestValidation:
+    def test_same_source_target_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            astar(grid10, 0, 0)
+
+    def test_negative_heuristic_speed_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            astar(grid10, 0, 99, heuristic_speed_kmh=-1.0)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        with pytest.raises(DisconnectedError):
+            astar(builder.build(), 0, 3)

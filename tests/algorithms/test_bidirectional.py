@@ -1,0 +1,75 @@
+"""Tests for bidirectional Dijkstra: must equal plain Dijkstra in cost."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms import bidirectional_dijkstra, shortest_path
+from repro.graph.builder import RoadNetworkBuilder
+
+
+class TestEquivalence:
+    def test_grid_corner_to_corner(self, grid10):
+        reference = shortest_path(grid10, 0, 99)
+        path = bidirectional_dijkstra(grid10, 0, 99)
+        assert path.travel_time_s == pytest.approx(reference.travel_time_s)
+        assert path.source == 0 and path.target == 99
+
+    def test_random_pairs_on_city(self, melbourne_small):
+        rng = random.Random(17)
+        n = melbourne_small.num_nodes
+        for _ in range(30):
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s == t:
+                continue
+            reference = shortest_path(melbourne_small, s, t)
+            path = bidirectional_dijkstra(melbourne_small, s, t)
+            assert path.travel_time_s == pytest.approx(
+                reference.travel_time_s
+            ), (s, t)
+
+    def test_adjacent_nodes(self, grid10):
+        path = bidirectional_dijkstra(grid10, 0, 1)
+        assert path.nodes == (0, 1)
+
+    def test_custom_weights(self, grid10):
+        weights = [1.0] * grid10.num_edges
+        path = bidirectional_dijkstra(grid10, 0, 99, weights=weights)
+        assert path.travel_time_s == pytest.approx(18.0)
+
+    def test_oneway_asymmetry_respected(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(3):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0)
+        builder.add_edge(1, 2, 100.0, 1.0)
+        builder.add_edge(2, 0, 100.0, 5.0)
+        network = builder.build()
+        assert bidirectional_dijkstra(
+            network, 0, 2
+        ).travel_time_s == pytest.approx(2.0)
+        assert bidirectional_dijkstra(
+            network, 2, 0
+        ).travel_time_s == pytest.approx(5.0)
+
+    def test_path_is_valid_walk(self, melbourne_small):
+        path = bidirectional_dijkstra(melbourne_small, 0, 50)
+        for u, v in zip(path.nodes, path.nodes[1:]):
+            assert melbourne_small.has_edge(u, v)
+
+
+class TestValidation:
+    def test_same_source_target_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            bidirectional_dijkstra(grid10, 3, 3)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        network = builder.build()
+        with pytest.raises(DisconnectedError):
+            bidirectional_dijkstra(network, 0, 3)

@@ -1,0 +1,145 @@
+"""Tests for contraction hierarchies: exact equivalence with Dijkstra."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms import ContractionHierarchy, shortest_path
+from repro.algorithms.dijkstra import dijkstra
+from repro.graph.builder import RoadNetworkBuilder, grid_network
+
+
+@pytest.fixture(scope="module")
+def city_ch():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    return network, ContractionHierarchy(network)
+
+
+class TestPreprocessing:
+    def test_ranks_are_a_permutation(self, city_ch):
+        network, ch = city_ch
+        assert sorted(ch.rank) == list(range(network.num_nodes))
+
+    def test_shortcuts_inserted_on_real_network(self, city_ch):
+        _, ch = city_ch
+        assert ch.num_shortcuts > 0
+
+    def test_invalid_hop_limit_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            ContractionHierarchy(grid10, hop_limit=1)
+
+    def test_short_weight_vector_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            ContractionHierarchy(grid10, weights=[1.0])
+
+
+class TestQueries:
+    def test_grid_distances_match_dijkstra(self, grid10):
+        ch = ContractionHierarchy(grid10)
+        tree = dijkstra(grid10, 0)
+        for target in range(1, grid10.num_nodes, 7):
+            assert ch.distance(0, target) == pytest.approx(
+                tree.distance(target)
+            )
+
+    def test_city_random_pairs_match_dijkstra(self, city_ch):
+        network, ch = city_ch
+        rng = random.Random(13)
+        for _ in range(40):
+            s = rng.randrange(network.num_nodes)
+            t = rng.randrange(network.num_nodes)
+            if s == t:
+                continue
+            reference = shortest_path(network, s, t)
+            assert ch.distance(s, t) == pytest.approx(
+                reference.travel_time_s
+            ), (s, t)
+
+    def test_paths_unpack_to_valid_walks(self, city_ch):
+        network, ch = city_ch
+        rng = random.Random(29)
+        for _ in range(20):
+            s = rng.randrange(network.num_nodes)
+            t = rng.randrange(network.num_nodes)
+            if s == t:
+                continue
+            path = ch.shortest_path(s, t)
+            assert path.source == s
+            assert path.target == t
+            reference = shortest_path(network, s, t)
+            assert path.travel_time_s == pytest.approx(
+                reference.travel_time_s
+            )
+
+    def test_same_node_distance_zero(self, city_ch):
+        _, ch = city_ch
+        assert ch.distance(5, 5) == 0.0
+
+    def test_same_node_path_rejected(self, city_ch):
+        _, ch = city_ch
+        with pytest.raises(ConfigurationError):
+            ch.shortest_path(5, 5)
+
+    def test_disconnected_distance_is_inf(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        network = builder.build()
+        ch = ContractionHierarchy(network)
+        assert ch.distance(0, 3) == math.inf
+        with pytest.raises(DisconnectedError):
+            ch.shortest_path(0, 3)
+
+    def test_custom_weights_respected(self, grid10):
+        weights = [1.0] * grid10.num_edges
+        ch = ContractionHierarchy(grid10, weights=weights)
+        assert ch.distance(0, 99) == pytest.approx(18.0)
+
+    def test_oneway_asymmetry(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(3):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0)
+        builder.add_edge(1, 2, 100.0, 1.0)
+        builder.add_edge(2, 0, 100.0, 5.0)
+        ch = ContractionHierarchy(builder.build())
+        assert ch.distance(0, 2) == pytest.approx(2.0)
+        assert ch.distance(2, 0) == pytest.approx(5.0)
+
+
+class TestRandomNetworks:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_sparse_graphs_match_dijkstra(self, seed):
+        rng = random.Random(f"ch-random:{seed}")
+        n = 40
+        builder = RoadNetworkBuilder()
+        for node_id in range(n):
+            builder.add_node(
+                node_id, rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05)
+            )
+        # A random ring (keeps the graph strongly connected) plus chords.
+        for node_id in range(n):
+            builder.add_edge(
+                node_id, (node_id + 1) % n, 100.0,
+                rng.uniform(1.0, 10.0),
+            )
+        for _ in range(2 * n):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                builder.add_edge(u, v, 100.0, rng.uniform(1.0, 10.0))
+        network = builder.build()
+        ch = ContractionHierarchy(network)
+        for _ in range(30):
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s == t:
+                continue
+            reference = shortest_path(network, s, t).travel_time_s
+            assert ch.distance(s, t) == pytest.approx(reference), (
+                seed, s, t,
+            )

@@ -1,0 +1,155 @@
+"""Tests for Dijkstra and the shortest-path wrappers."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DisconnectedError,
+    NodeNotFoundError,
+)
+from repro.algorithms import dijkstra, shortest_path, shortest_path_nodes
+from repro.graph.builder import RoadNetworkBuilder
+
+
+class TestTreeCorrectness:
+    def test_grid_manhattan_distances(self, grid10):
+        per_edge = grid10.edge(0).travel_time_s
+        tree = dijkstra(grid10, 0)
+        for r in range(10):
+            for c in range(10):
+                node = r * 10 + c
+                assert tree.distance(node) == pytest.approx(
+                    (r + c) * per_edge
+                )
+
+    def test_root_distance_zero(self, grid10):
+        tree = dijkstra(grid10, 42)
+        assert tree.distance(42) == 0.0
+        assert tree.parent_edge[42] == -1
+
+    def test_tree_edges_consistent_with_distances(self, grid10):
+        tree = dijkstra(grid10, 0)
+        weights = grid10.default_weights()
+        for v in range(grid10.num_nodes):
+            edge_id = tree.parent_edge[v]
+            if edge_id < 0:
+                continue
+            edge = grid10.edge(edge_id)
+            assert tree.distance(edge.u) + weights[edge_id] == pytest.approx(
+                tree.distance(v)
+            )
+
+    def test_diamond_prefers_braids_over_direct_edge(self, diamond):
+        tree = dijkstra(diamond, 0)
+        assert tree.distance(5) == pytest.approx(4.0)
+
+    def test_backward_tree_matches_forward_on_symmetric_graph(self, grid10):
+        forward = dijkstra(grid10, 0, forward=True)
+        backward = dijkstra(grid10, 0, forward=False)
+        for v in range(grid10.num_nodes):
+            assert forward.distance(v) == pytest.approx(backward.distance(v))
+
+    def test_backward_tree_on_oneway_graph(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(3):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0)
+        builder.add_edge(1, 2, 100.0, 1.0)
+        builder.add_edge(2, 0, 100.0, 5.0)
+        network = builder.build()
+        backward = dijkstra(network, 0, forward=False)
+        # To reach 0 from 1 the only way is 1 -> 2 -> 0.
+        assert backward.distance(1) == pytest.approx(6.0)
+        assert backward.distance(2) == pytest.approx(5.0)
+
+    def test_custom_weights(self, grid10):
+        weights = [1.0] * grid10.num_edges
+        tree = dijkstra(grid10, 0, weights=weights)
+        assert tree.distance(99) == pytest.approx(18.0)
+
+
+class TestEarlyTermination:
+    def test_target_distance_is_exact(self, grid10):
+        full = dijkstra(grid10, 0)
+        early = dijkstra(grid10, 0, target=99)
+        assert early.distance(99) == pytest.approx(full.distance(99))
+
+    def test_unsettled_nodes_blanked_after_target_stop(self, grid10):
+        early = dijkstra(grid10, 0, target=1)
+        # Far corners cannot have been settled before node 1.
+        assert early.distance(99) == math.inf
+        assert early.parent_edge[99] == -1
+
+    def test_max_dist_bounds_exploration(self, grid10):
+        per_edge = grid10.edge(0).travel_time_s
+        tree = dijkstra(grid10, 0, max_dist=2.5 * per_edge)
+        settled = [v for v in range(100) if tree.reachable(v)]
+        # Exactly the nodes within Manhattan distance 2.
+        assert set(settled) == {0, 1, 2, 10, 11, 20}
+
+    def test_max_dist_distances_remain_exact(self, grid10):
+        per_edge = grid10.edge(0).travel_time_s
+        full = dijkstra(grid10, 0)
+        bounded = dijkstra(grid10, 0, max_dist=4 * per_edge)
+        for v in range(100):
+            if bounded.reachable(v):
+                assert bounded.distance(v) == pytest.approx(full.distance(v))
+
+
+class TestValidation:
+    def test_unknown_root_rejected(self, grid10):
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(grid10, 12345)
+
+    def test_short_weight_vector_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            dijkstra(grid10, 0, weights=[1.0])
+
+    def test_negative_weight_rejected(self, grid10):
+        weights = grid10.travel_times()
+        weights[0] = -1.0
+        with pytest.raises(ConfigurationError):
+            dijkstra(grid10, 0, weights=weights)
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        assert path.source == 0
+        assert path.target == 99
+
+    def test_path_cost_matches_tree(self, grid10):
+        tree = dijkstra(grid10, 0)
+        path = shortest_path(grid10, 0, 99)
+        assert path.travel_time_s == pytest.approx(tree.distance(99))
+
+    def test_path_is_simple(self, grid10):
+        assert shortest_path(grid10, 0, 99).is_simple()
+
+    def test_same_source_target_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            shortest_path_nodes(grid10, 5, 5)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        network = builder.build()
+        with pytest.raises(DisconnectedError):
+            shortest_path(network, 0, 3)
+
+    def test_random_pairs_consistent_with_tree(self, melbourne_small):
+        rng = random.Random(5)
+        for _ in range(15):
+            s = rng.randrange(melbourne_small.num_nodes)
+            t = rng.randrange(melbourne_small.num_nodes)
+            if s == t:
+                continue
+            tree = dijkstra(melbourne_small, s)
+            path = shortest_path(melbourne_small, s, t)
+            assert path.travel_time_s == pytest.approx(tree.distance(t))

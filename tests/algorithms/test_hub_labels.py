@@ -1,0 +1,103 @@
+"""Tests for hub labelling: exact distances via label merges."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import DisconnectedError
+from repro.algorithms import (
+    ContractionHierarchy,
+    HubLabeling,
+    shortest_path,
+)
+from repro.graph.builder import RoadNetworkBuilder
+
+
+@pytest.fixture(scope="module")
+def labelled_city():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    hierarchy = ContractionHierarchy(network)
+    return network, HubLabeling(hierarchy)
+
+
+class TestDistances:
+    def test_random_pairs_match_dijkstra(self, labelled_city):
+        network, labels = labelled_city
+        rng = random.Random(31)
+        for _ in range(60):
+            s = rng.randrange(network.num_nodes)
+            t = rng.randrange(network.num_nodes)
+            if s == t:
+                continue
+            reference = shortest_path(network, s, t).travel_time_s
+            assert labels.distance(s, t) == pytest.approx(reference), (s, t)
+
+    def test_same_node_distance_zero(self, labelled_city):
+        _, labels = labelled_city
+        assert labels.distance(7, 7) == 0.0
+
+    def test_grid_distances(self, grid10):
+        labels = HubLabeling(ContractionHierarchy(grid10))
+        per_edge = grid10.edge(0).travel_time_s
+        assert labels.distance(0, 99) == pytest.approx(18 * per_edge)
+
+    def test_disconnected_is_inf(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        labels = HubLabeling(ContractionHierarchy(builder.build()))
+        assert labels.distance(0, 3) == math.inf
+        with pytest.raises(DisconnectedError):
+            labels.meeting_hub(0, 3)
+
+
+class TestMeetingHub:
+    def test_hub_is_in_both_labels(self, labelled_city):
+        network, labels = labelled_city
+        rng = random.Random(37)
+        for _ in range(20):
+            s = rng.randrange(network.num_nodes)
+            t = rng.randrange(network.num_nodes)
+            if s == t:
+                continue
+            hub = labels.meeting_hub(s, t)
+            assert hub in {h for h, _ in labels.forward_labels[s]}
+            assert hub in {h for h, _ in labels.backward_labels[t]}
+
+
+class TestLabels:
+    def test_every_node_labels_itself(self, labelled_city):
+        network, labels = labelled_city
+        for v in range(network.num_nodes):
+            forward = dict(labels.forward_labels[v])
+            backward = dict(labels.backward_labels[v])
+            assert forward.get(v) == 0.0
+            assert backward.get(v) == 0.0
+
+    def test_labels_are_sorted_by_hub(self, labelled_city):
+        _, labels = labelled_city
+        for label in labels.forward_labels:
+            hubs = [hub for hub, _ in label]
+            assert hubs == sorted(hubs)
+
+    def test_pruning_shrinks_labels_without_changing_answers(self, grid10):
+        hierarchy = ContractionHierarchy(grid10)
+        pruned = HubLabeling(hierarchy, prune=True)
+        raw = HubLabeling(hierarchy, prune=False)
+        assert pruned.average_label_size() <= raw.average_label_size()
+        rng = random.Random(41)
+        for _ in range(25):
+            s, t = rng.randrange(100), rng.randrange(100)
+            assert pruned.distance(s, t) == pytest.approx(
+                raw.distance(s, t)
+            )
+
+    def test_label_statistics(self, labelled_city):
+        _, labels = labelled_city
+        assert labels.average_label_size() > 0
+        assert labels.max_label_size() >= labels.average_label_size() / 2

@@ -1,0 +1,90 @@
+"""Tests for isochrone computation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.algorithms.dijkstra import dijkstra
+from repro.algorithms.isochrone import isochrone
+from repro.traffic import TrafficModel
+
+
+class TestIsochrone:
+    def test_contains_exactly_the_within_budget_nodes(self, grid10):
+        per_edge = grid10.edge(0).travel_time_s
+        budget = 3.5 * per_edge
+        iso = isochrone(grid10, 0, budget)
+        tree = dijkstra(grid10, 0)
+        expected = {
+            v for v in range(100) if tree.distance(v) <= budget
+        }
+        assert set(iso.reachable_nodes) == expected
+
+    def test_costs_aligned_and_within_budget(self, grid10):
+        iso = isochrone(grid10, 0, 200.0)
+        assert len(iso.costs_s) == len(iso.reachable_nodes)
+        assert all(c <= 200.0 for c in iso.costs_s)
+
+    def test_growing_budget_grows_region(self, melbourne_small):
+        small = isochrone(melbourne_small, 0, 120.0)
+        large = isochrone(melbourne_small, 0, 600.0)
+        assert set(small.reachable_nodes) <= set(large.reachable_nodes)
+        assert large.num_reachable > small.num_reachable
+
+    def test_huge_budget_covers_the_network(self, melbourne_small):
+        iso = isochrone(melbourne_small, 0, 1e9)
+        assert iso.coverage_fraction() == pytest.approx(1.0)
+
+    def test_frontier_edges_leave_the_region(self, grid10):
+        iso = isochrone(grid10, 0, 150.0)
+        inside = set(iso.reachable_nodes)
+        assert iso.frontier_edge_ids
+        for edge_id in iso.frontier_edge_ids:
+            edge = grid10.edge(edge_id)
+            assert edge.u in inside
+            assert edge.v not in inside
+
+    def test_rush_hour_shrinks_the_isochrone(self, melbourne_small):
+        model = TrafficModel(melbourne_small, seed=0)
+        source = 0
+        budget = 300.0
+        night = isochrone(
+            melbourne_small, source, budget, weights=model.weights_at(3.0)
+        )
+        peak = isochrone(
+            melbourne_small, source, budget, weights=model.weights_at(8.0)
+        )
+        assert peak.num_reachable < night.num_reachable
+
+    def test_outline_is_a_closed_ring(self, melbourne_small):
+        iso = isochrone(melbourne_small, 0, 400.0)
+        ring = iso.outline()
+        assert len(ring) >= 4
+        assert ring[0] == ring[-1]
+
+    def test_outline_contains_source(self, melbourne_small):
+        # The source is inside (or on) the hull: check via winding of a
+        # convex ring — every cross product against consecutive hull
+        # edges has the same sign or zero.
+        iso = isochrone(melbourne_small, 0, 400.0)
+        ring = iso.outline()
+        node = melbourne_small.node(0)
+        signs = []
+        for a, b in zip(ring, ring[1:]):
+            cross = (b[0] - a[0]) * (node.lon - a[1]) - (
+                b[1] - a[1]
+            ) * (node.lat - a[0])
+            signs.append(cross)
+        assert all(s >= -1e-12 for s in signs) or all(
+            s <= 1e-12 for s in signs
+        )
+
+    def test_invalid_budget_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            isochrone(grid10, 0, 0.0)
+
+    def test_tiny_budget_is_just_the_source(self, grid10):
+        iso = isochrone(grid10, 0, 1.0)
+        assert iso.reachable_nodes == (0,)
+        assert iso.outline() == [
+            (grid10.node(0).lat, grid10.node(0).lon)
+        ]

@@ -1,0 +1,87 @@
+"""Tests for the ShortestPathTree structure."""
+
+import pytest
+
+from repro.exceptions import DisconnectedError, GraphError
+from repro.algorithms import dijkstra
+from repro.graph.builder import RoadNetworkBuilder
+
+
+@pytest.fixture()
+def forward_tree(grid10):
+    return dijkstra(grid10, 0, forward=True)
+
+
+@pytest.fixture()
+def backward_tree(grid10):
+    return dijkstra(grid10, 99, forward=False)
+
+
+class TestBasics:
+    def test_reachability_on_connected_grid(self, forward_tree):
+        assert forward_tree.num_reachable() == 100
+        assert all(forward_tree.reachable(v) for v in range(100))
+
+    def test_parent_of_root_is_none(self, forward_tree):
+        assert forward_tree.parent(0) is None
+
+    def test_parent_chain_reaches_root(self, forward_tree):
+        current = 99
+        hops = 0
+        while forward_tree.parent(current) is not None:
+            current = forward_tree.parent(current)
+            hops += 1
+        assert current == 0
+        assert hops == 18  # Manhattan distance in the grid
+
+    def test_tree_edge_count(self, forward_tree):
+        # A spanning tree over 100 nodes has 99 edges.
+        assert sum(1 for _ in forward_tree.tree_edge_ids()) == 99
+
+
+class TestPaths:
+    def test_path_from_root_cost(self, forward_tree, grid10):
+        path = forward_tree.path_from_root(99)
+        assert path.source == 0
+        assert path.target == 99
+        assert path.travel_time_s == pytest.approx(forward_tree.distance(99))
+
+    def test_path_to_root_on_backward_tree(self, backward_tree):
+        path = backward_tree.path_to_root(0)
+        assert path.source == 0
+        assert path.target == 99
+        assert path.travel_time_s == pytest.approx(backward_tree.distance(0))
+
+    def test_path_from_root_on_backward_tree_rejected(self, backward_tree):
+        with pytest.raises(GraphError):
+            backward_tree.path_from_root(0)
+
+    def test_path_to_root_on_forward_tree_rejected(self, forward_tree):
+        with pytest.raises(GraphError):
+            forward_tree.path_to_root(99)
+
+    def test_root_to_root_path_rejected(self, forward_tree):
+        with pytest.raises(GraphError):
+            forward_tree.path_from_root(0)
+
+    def test_edge_ids_to_root_order_forward(self, forward_tree, grid10):
+        edge_ids = forward_tree.edge_ids_to_root(99)
+        # Forward order: first edge leaves the root.
+        assert grid10.edge(edge_ids[0]).u == 0
+        assert grid10.edge(edge_ids[-1]).v == 99
+
+    def test_edge_ids_to_root_order_backward(self, backward_tree, grid10):
+        edge_ids = backward_tree.edge_ids_to_root(0)
+        # Backward order: first edge leaves the node, last enters root.
+        assert grid10.edge(edge_ids[0]).u == 0
+        assert grid10.edge(edge_ids[-1]).v == 99
+
+    def test_unreachable_node_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        tree = dijkstra(builder.build(), 0)
+        with pytest.raises(DisconnectedError):
+            tree.edge_ids_to_root(3)

@@ -1,0 +1,113 @@
+"""Tests for time-dependent earliest-arrival routing."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms import shortest_path
+from repro.algorithms.time_dependent import TimeDependentRouter
+from repro.graph.builder import RoadNetworkBuilder
+from repro.traffic import TrafficModel
+from repro.traffic.model import CongestionProfile
+
+
+@pytest.fixture(scope="module")
+def router():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    return TimeDependentRouter(
+        network, TrafficModel(network, seed=0)
+    )
+
+
+class TestEarliestArrival:
+    def test_path_connects_query(self, router):
+        timed = router.earliest_arrival(0, 100, 8.0)
+        assert timed.path.source == 0
+        assert timed.path.target == 100
+        assert timed.arrival_hour > timed.departure_hour
+
+    def test_duration_consistent_with_clock(self, router):
+        timed = router.earliest_arrival(0, 100, 8.0)
+        assert timed.duration_s == pytest.approx(
+            timed.path.travel_time_s, rel=1e-9
+        )
+
+    def test_peak_slower_than_night(self, router):
+        network = router.network
+        s, t = 0, network.num_nodes - 1
+        night = router.earliest_arrival(s, t, 3.0)
+        peak = router.earliest_arrival(s, t, 8.0)
+        assert peak.duration_s > night.duration_s
+
+    def test_flat_traffic_matches_static_dijkstra(self, melbourne_small):
+        # A profile with no peaks at all: time-dependence disappears,
+        # so the earliest-arrival path equals the static shortest path
+        # over the free-flow weights.
+        flat = CongestionProfile(
+            morning_intensity=0.0, evening_intensity=0.0, baseline=0.0
+        )
+        traffic = TrafficModel(melbourne_small, seed=0, profile=flat)
+        router = TimeDependentRouter(melbourne_small, traffic)
+        s, t = 0, melbourne_small.num_nodes - 1
+        timed = router.earliest_arrival(s, t, 12.0)
+        static = shortest_path(
+            melbourne_small, s, t, weights=traffic.freeflow_weights()
+        )
+        assert timed.duration_s == pytest.approx(
+            static.travel_time_s, rel=1e-9
+        )
+
+    def test_departure_wraps_midnight(self, router):
+        a = router.earliest_arrival(0, 100, 26.0)
+        b = router.earliest_arrival(0, 100, 2.0)
+        assert a.duration_s == pytest.approx(b.duration_s)
+
+    def test_same_node_rejected(self, router):
+        with pytest.raises(ConfigurationError):
+            router.earliest_arrival(3, 3, 8.0)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        network = builder.build()
+        router = TimeDependentRouter(network)
+        with pytest.raises(DisconnectedError):
+            router.earliest_arrival(0, 3, 8.0)
+
+    def test_mismatched_traffic_model_rejected(
+        self, melbourne_small, grid10
+    ):
+        with pytest.raises(ConfigurationError):
+            TimeDependentRouter(
+                melbourne_small, TrafficModel(grid10)
+            )
+
+
+class TestDepartureSweep:
+    def test_24_hour_sweep(self, router):
+        sweep = router.duration_by_departure(0, 100)
+        assert len(sweep) == 24
+        hours = [h for h, _ in sweep]
+        assert hours == [float(h) for h in range(24)]
+
+    def test_worst_departure_is_near_a_peak(self, router):
+        network = router.network
+        sweep = router.duration_by_departure(0, network.num_nodes - 1)
+        worst_hour = max(sweep, key=lambda pair: pair[1])[0]
+        profile = router.traffic.profile
+        near_morning = (
+            abs(worst_hour - profile.morning_peak_hour) <= 2.0
+        )
+        near_evening = (
+            abs(worst_hour - profile.evening_peak_hour) <= 2.0
+        )
+        assert near_morning or near_evening
+
+    def test_custom_hours(self, router):
+        sweep = router.duration_by_departure(0, 100, hours=[3.0, 8.0])
+        assert len(sweep) == 2
+        assert sweep[0][1] < sweep[1][1]  # 3 am beats rush hour

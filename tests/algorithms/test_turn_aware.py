@@ -1,0 +1,136 @@
+"""Tests for turn-aware (edge-based) shortest paths."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.algorithms import (
+    shortest_path,
+    turn_aware_distance,
+    turn_aware_shortest_path,
+)
+from repro.graph import TurnRestrictionTable
+
+
+@pytest.fixture()
+def empty_table(grid10):
+    return TurnRestrictionTable(grid10)
+
+
+class TestWithoutRestrictions:
+    def test_equals_plain_dijkstra(self, grid10, empty_table):
+        rng = random.Random(3)
+        for _ in range(20):
+            s, t = rng.randrange(100), rng.randrange(100)
+            if s == t:
+                continue
+            reference = shortest_path(grid10, s, t)
+            legal = turn_aware_shortest_path(grid10, s, t, empty_table)
+            assert legal.travel_time_s == pytest.approx(
+                reference.travel_time_s
+            )
+
+    def test_city_equivalence(self, melbourne_small):
+        table = TurnRestrictionTable(melbourne_small)
+        rng = random.Random(9)
+        for _ in range(15):
+            s = rng.randrange(melbourne_small.num_nodes)
+            t = rng.randrange(melbourne_small.num_nodes)
+            if s == t:
+                continue
+            reference = shortest_path(melbourne_small, s, t)
+            legal = turn_aware_shortest_path(melbourne_small, s, t, table)
+            assert legal.travel_time_s == pytest.approx(
+                reference.travel_time_s
+            )
+
+
+class TestWithRestrictions:
+    def test_blocked_turn_forces_detour(self, grid10):
+        # Forbid the turn 0->1 then 1->11: the path 0..1..11 must
+        # re-route (e.g. 0->10->11), same cost on a uniform grid via
+        # another corner, or longer when geometry forces it.
+        into = grid10.edge_between(0, 1).id
+        out = grid10.edge_between(1, 11).id
+        table = TurnRestrictionTable(grid10, [(into, out)])
+        legal = turn_aware_shortest_path(grid10, 0, 11, table)
+        # The forbidden transition never appears consecutively.
+        for e, f in zip(legal.edge_ids, legal.edge_ids[1:]):
+            assert table.allows(e, f)
+        reference = shortest_path(grid10, 0, 11)
+        assert legal.travel_time_s == pytest.approx(
+            reference.travel_time_s
+        )  # the grid offers an equal-cost alternative
+
+    def test_all_exits_blocked_forces_long_way(self, grid10):
+        # Node 1 reachable from 0; forbid every onward move from the
+        # edge 0->1 except going back: routes must avoid entering via
+        # that edge at all.
+        into = grid10.edge_between(0, 1).id
+        blocked = [
+            (into, edge.id)
+            for edge in grid10.out_edges(1)
+            if edge.v != 0
+        ]
+        table = TurnRestrictionTable(grid10, blocked)
+        legal = turn_aware_shortest_path(grid10, 0, 2, table)
+        # 0 -> 1 -> 2 is forbidden; a 4-hop detour is now optimal.
+        assert len(legal.edge_ids) == 4
+        for e, f in zip(legal.edge_ids, legal.edge_ids[1:]):
+            assert table.allows(e, f)
+
+    def test_target_reached_despite_restriction_on_final_turn(self, grid10):
+        into = grid10.edge_between(0, 1).id
+        out = grid10.edge_between(1, 2).id
+        table = TurnRestrictionTable(grid10, [(into, out)])
+        legal = turn_aware_shortest_path(grid10, 0, 2, table)
+        assert legal.target == 2
+
+    def test_restrictions_never_shorten(self, melbourne_small):
+        from repro.cities import build_city_network_with_restrictions
+        from repro.cities.profile import melbourne_profile
+
+        network, table = build_city_network_with_restrictions(
+            melbourne_profile(), size="small"
+        )
+        rng = random.Random(1)
+        for _ in range(20):
+            s = rng.randrange(network.num_nodes)
+            t = rng.randrange(network.num_nodes)
+            if s == t:
+                continue
+            free = shortest_path(network, s, t)
+            legal = turn_aware_shortest_path(network, s, t, table)
+            assert legal.travel_time_s >= free.travel_time_s - 1e-9
+
+    def test_fully_blocked_node_raises(self, grid10):
+        # Make node 1 a trap when entered from 0 AND block entering it
+        # any other way toward 2... simpler: cut all transitions into
+        # the only edges reaching an articulation in a path graph.
+        from repro.graph.builder import RoadNetworkBuilder
+
+        builder = RoadNetworkBuilder()
+        for node_id in range(3):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(1, 2, 100.0, 1.0, bidirectional=True)
+        network = builder.build()
+        into = network.edge_between(0, 1).id
+        out = network.edge_between(1, 2).id
+        table = TurnRestrictionTable(network, [(into, out)])
+        with pytest.raises(DisconnectedError):
+            turn_aware_shortest_path(network, 0, 2, table)
+        assert turn_aware_distance(network, 0, 2, table) == math.inf
+
+
+class TestValidation:
+    def test_same_endpoints_rejected(self, grid10, empty_table):
+        with pytest.raises(ConfigurationError):
+            turn_aware_shortest_path(grid10, 4, 4, empty_table)
+
+    def test_foreign_table_rejected(self, grid10, melbourne_small):
+        table = TurnRestrictionTable(melbourne_small)
+        with pytest.raises(ConfigurationError):
+            turn_aware_shortest_path(grid10, 0, 5, table)

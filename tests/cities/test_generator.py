@@ -1,0 +1,165 @@
+"""Tests for the synthetic city generators."""
+
+import pytest
+
+from repro.cities import (
+    CityGenerator,
+    build_city_network,
+    copenhagen,
+    copenhagen_profile,
+    dhaka,
+    dhaka_profile,
+    melbourne,
+    melbourne_profile,
+)
+from repro.cities.profile import CityProfile, SIZE_FACTORS
+from repro.exceptions import ConfigurationError
+from repro.osm.parser import parse_osm_xml
+
+
+class TestProfiles:
+    def test_three_cities_have_distinct_centres(self):
+        centres = {
+            (p.center_lat, p.center_lon)
+            for p in (
+                melbourne_profile(),
+                dhaka_profile(),
+                copenhagen_profile(),
+            )
+        }
+        assert len(centres) == 3
+
+    def test_dhaka_is_most_irregular(self):
+        assert (
+            dhaka_profile().irregularity
+            > copenhagen_profile().irregularity
+            > melbourne_profile().irregularity
+        )
+
+    def test_scaled_preserves_structure(self):
+        profile = melbourne_profile().scaled(0.5)
+        assert profile.rows == round(melbourne_profile().rows * 0.5)
+        assert profile.num_freeways == melbourne_profile().num_freeways
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CityProfile(name="x", center_lat=0, center_lon=0, rows=2)
+        with pytest.raises(ConfigurationError):
+            CityProfile(
+                name="x", center_lat=0, center_lon=0, irregularity=2.0
+            )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            melbourne_profile().scaled(0.0)
+
+
+class TestGeneratorDocument:
+    def test_generation_is_deterministic(self):
+        profile = melbourne_profile().scaled(0.4)
+        xml_a = CityGenerator(profile, seed=5).generate_xml()
+        xml_b = CityGenerator(profile, seed=5).generate_xml()
+        assert xml_a == xml_b
+
+    def test_different_seeds_differ(self):
+        profile = melbourne_profile().scaled(0.4)
+        xml_a = CityGenerator(profile, seed=1).generate_xml()
+        xml_b = CityGenerator(profile, seed=2).generate_xml()
+        assert xml_a != xml_b
+
+    def test_document_is_valid_osm(self):
+        profile = melbourne_profile().scaled(0.4)
+        document = parse_osm_xml(CityGenerator(profile, seed=0).generate_xml())
+        assert document.num_nodes > 100
+        assert document.num_ways > 30
+
+    def test_highway_classes_present(self):
+        profile = melbourne_profile().scaled(0.4)
+        document = CityGenerator(profile, seed=0).generate_document()
+        classes = {way.tag("highway") for way in document.ways()}
+        assert {"residential", "secondary", "primary", "motorway"} <= classes
+        assert "motorway_link" in classes
+
+    def test_bridges_emitted(self):
+        profile = melbourne_profile().scaled(0.5)
+        document = CityGenerator(profile, seed=0).generate_document()
+        bridges = [w for w in document.ways() if w.tag("bridge") == "yes"]
+        assert len(bridges) >= 1
+        assert all(w.tag("highway") == "primary" for w in bridges)
+
+    def test_ring_road_only_for_copenhagen(self):
+        cph = CityGenerator(
+            copenhagen_profile().scaled(0.5), seed=0
+        ).generate_document()
+        mel = CityGenerator(
+            melbourne_profile().scaled(0.5), seed=0
+        ).generate_document()
+        cph_classes = {w.tag("highway") for w in cph.ways()}
+        mel_classes = {w.tag("highway") for w in mel.ways()}
+        assert "trunk" in cph_classes
+        assert "trunk" not in mel_classes
+
+    def test_oneway_streets_emitted(self):
+        profile = dhaka_profile().scaled(0.5)
+        document = CityGenerator(profile, seed=0).generate_document()
+        oneway = [w for w in document.ways() if w.tag("oneway") == "yes"]
+        reverse = [w for w in document.ways() if w.tag("oneway") == "-1"]
+        assert oneway and reverse
+
+
+class TestBuiltNetworks:
+    def test_small_networks_build_and_are_connected(self):
+        for build in (melbourne, dhaka, copenhagen):
+            network = build(size="small")
+            assert network.num_nodes > 100
+            # Built via largest SCC, so the graph is mutually connected
+            # by construction; sanity-check an arbitrary pair.
+            from repro.algorithms import shortest_path
+
+            path = shortest_path(network, 0, network.num_nodes - 1)
+            assert path.travel_time_s > 0
+
+    def test_sizes_scale_node_counts(self):
+        small = melbourne(size="small")
+        medium = melbourne(size="medium")
+        assert medium.num_nodes > small.num_nodes * 1.5
+
+    def test_determinism_of_built_network(self):
+        a = melbourne(size="small", seed=3)
+        b = melbourne(size="small", seed=3)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+        assert [e.travel_time_s for e in a.edges()] == [
+            e.travel_time_s for e in b.edges()
+        ]
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_city_network(melbourne_profile(), size="galactic")
+
+    def test_motorways_faster_than_residential(self):
+        network = melbourne(size="small")
+        motorway_speeds = [
+            e.maxspeed_kmh for e in network.edges() if e.highway == "motorway"
+        ]
+        residential_speeds = [
+            e.maxspeed_kmh
+            for e in network.edges()
+            if e.highway == "residential"
+        ]
+        assert motorway_speeds and residential_speeds
+        assert min(motorway_speeds) > max(residential_speeds)
+
+    def test_dhaka_slower_than_melbourne(self):
+        mel = melbourne(size="small")
+        dha = dhaka(size="small")
+
+        def mean_speed(network):
+            speeds = [e.maxspeed_kmh for e in network.edges()]
+            return sum(speeds) / len(speeds)
+
+        assert mean_speed(dha) < mean_speed(mel)
+
+    def test_size_factor_table_sane(self):
+        assert SIZE_FACTORS["small"] < SIZE_FACTORS["medium"] < 1.0
+        assert SIZE_FACTORS["full"] == 1.0

@@ -1,0 +1,92 @@
+"""Tests for the admissible-alternatives planner (Abraham et al.)."""
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core import AdmissibleAlternativesPlanner
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.metrics.quality import is_locally_optimal
+
+
+class TestConfiguration:
+    def test_invalid_epsilon_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            AdmissibleAlternativesPlanner(grid10, epsilon=-0.1)
+
+    def test_invalid_gamma_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            AdmissibleAlternativesPlanner(grid10, gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissibleAlternativesPlanner(grid10, gamma=1.5)
+
+    def test_invalid_alpha_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            AdmissibleAlternativesPlanner(grid10, alpha=0.0)
+
+
+class TestAdmissibility:
+    def test_first_route_is_optimal(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = AdmissibleAlternativesPlanner(melbourne_small).plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        assert rs[0].travel_time_s == pytest.approx(
+            reference.travel_time_s
+        )
+
+    def test_bounded_stretch(self, melbourne_small):
+        epsilon = 0.4
+        rs = AdmissibleAlternativesPlanner(
+            melbourne_small, epsilon=epsilon
+        ).plan(0, melbourne_small.num_nodes - 1)
+        optimum = rs[0].travel_time_s
+        for route in rs:
+            assert route.travel_time_s <= (1 + epsilon) * optimum + 1e-6
+
+    def test_limited_sharing(self, melbourne_small):
+        gamma = 0.5
+        rs = AdmissibleAlternativesPlanner(
+            melbourne_small, gamma=gamma
+        ).plan(0, melbourne_small.num_nodes - 1)
+        weights = melbourne_small.default_weights()
+        optimal = rs[0]
+        for route in list(rs)[1:]:
+            shared = sum(
+                weights[e]
+                for e in route.edge_id_set & optimal.edge_id_set
+            )
+            assert shared <= gamma * optimal.travel_time_s + 1e-6
+
+    def test_alternatives_locally_optimal(self, melbourne_small):
+        alpha = 0.25
+        rs = AdmissibleAlternativesPlanner(
+            melbourne_small, alpha=alpha
+        ).plan(0, melbourne_small.num_nodes - 1)
+        for route in list(rs)[1:]:
+            assert is_locally_optimal(route, alpha=alpha)
+
+    def test_stricter_gamma_never_more_routes(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        loose = AdmissibleAlternativesPlanner(
+            melbourne_small, k=5, gamma=0.9
+        ).plan(s, t)
+        strict = AdmissibleAlternativesPlanner(
+            melbourne_small, k=5, gamma=0.2
+        ).plan(s, t)
+        assert len(strict) <= len(loose)
+
+    def test_diamond_accepts_disjoint_braid(self, diamond):
+        rs = AdmissibleAlternativesPlanner(
+            diamond, k=3, epsilon=0.4, gamma=0.5, alpha=0.3
+        ).plan(0, 5)
+        assert len(rs) == 2  # the two equal braids; the 9s edge fails
+        assert rs[0].edge_id_set.isdisjoint(rs[1].edge_id_set)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        with pytest.raises(DisconnectedError):
+            AdmissibleAlternativesPlanner(builder.build()).plan(0, 3)

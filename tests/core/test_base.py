@@ -1,0 +1,69 @@
+"""Tests for the planner interface and RouteSet."""
+
+import pytest
+
+from repro.core import PlateauPlanner, RouteSet
+from repro.exceptions import ConfigurationError, QueryError
+from repro.graph.path import Path
+
+
+class TestRouteSet:
+    def test_routes_must_connect_query_endpoints(self, grid10):
+        stray = Path.from_nodes(grid10, [1, 2])
+        with pytest.raises(QueryError):
+            RouteSet(approach="X", source=0, target=9, routes=(stray,))
+
+    def test_iteration_and_indexing(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1, 2])
+        rs = RouteSet(approach="X", source=0, target=2, routes=(route,))
+        assert len(rs) == 1
+        assert rs[0] is route
+        assert list(rs) == [route]
+
+    def test_empty_set_allowed_but_flagged(self):
+        rs = RouteSet(approach="X", source=0, target=2, routes=())
+        assert rs.is_empty
+        with pytest.raises(QueryError):
+            rs.fastest()
+
+    def test_fastest(self, diamond):
+        fast = Path.from_nodes(diamond, [0, 1, 3, 5])
+        slow = Path.from_nodes(diamond, [0, 5])
+        rs = RouteSet(
+            approach="X", source=0, target=5, routes=(slow, fast)
+        )
+        assert rs.fastest() is fast
+
+    def test_travel_times_minutes_with_repricing(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1, 2])
+        rs = RouteSet(approach="X", source=0, target=2, routes=(route,))
+        minutes = rs.travel_times_minutes([60.0] * grid10.num_edges)
+        assert minutes == [2]
+
+    def test_travel_times_minutes_default_weights(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1, 2])
+        rs = RouteSet(approach="X", source=0, target=2, routes=(route,))
+        assert rs.travel_times_minutes() == [route.travel_time_minutes()]
+
+
+class TestPlannerInterface:
+    def test_k_must_be_positive(self, grid10):
+        with pytest.raises(ConfigurationError):
+            PlateauPlanner(grid10, k=0)
+
+    def test_same_source_target_rejected(self, grid10):
+        planner = PlateauPlanner(grid10)
+        with pytest.raises(QueryError):
+            planner.plan(3, 3)
+
+    def test_plan_returns_at_most_k(self, melbourne_small):
+        planner = PlateauPlanner(melbourne_small, k=2)
+        rs = planner.plan(0, melbourne_small.num_nodes - 1)
+        assert len(rs) <= 2
+
+    def test_result_carries_approach_name(self, grid10):
+        rs = PlateauPlanner(grid10).plan(0, 99)
+        assert rs.approach == "Plateaus"
+
+    def test_repr_mentions_k(self, grid10):
+        assert "k=3" in repr(PlateauPlanner(grid10))

@@ -1,0 +1,105 @@
+"""Tests for the simulated commercial engine ("Google Maps")."""
+
+import pytest
+
+from repro.core import CommercialEngine, PlateauPlanner
+from repro.exceptions import ConfigurationError
+from repro.traffic import CommercialDataProvider
+
+
+@pytest.fixture()
+def engine(melbourne_small):
+    return CommercialEngine(melbourne_small, k=3)
+
+
+class TestConfiguration:
+    def test_provider_network_mismatch_rejected(
+        self, melbourne_small, grid10
+    ):
+        provider = CommercialDataProvider(grid10)
+        with pytest.raises(ConfigurationError):
+            CommercialEngine(melbourne_small, provider=provider)
+
+    def test_invalid_stretch_bound_rejected(self, melbourne_small):
+        with pytest.raises(ConfigurationError):
+            CommercialEngine(melbourne_small, stretch_bound=0.8)
+
+    def test_negative_ranking_weights_rejected(self, melbourne_small):
+        with pytest.raises(ConfigurationError):
+            CommercialEngine(melbourne_small, turn_weight_s=-1.0)
+
+    def test_invalid_min_dissimilarity_rejected(self, melbourne_small):
+        with pytest.raises(ConfigurationError):
+            CommercialEngine(melbourne_small, min_dissimilarity=1.0)
+
+
+class TestPlanning:
+    def test_plans_up_to_k_routes(self, engine, melbourne_small):
+        rs = engine.plan(0, melbourne_small.num_nodes - 1)
+        assert 1 <= len(rs) <= 3
+        assert rs.approach == "Google Maps"
+
+    def test_routes_priced_on_private_weights(self, engine, melbourne_small):
+        rs = engine.plan(0, melbourne_small.num_nodes - 1)
+        private = engine.private_weights()
+        for route in rs:
+            assert route.travel_time_s == pytest.approx(
+                route.travel_time_on(private)
+            )
+
+    def test_first_route_fastest_on_private_data(
+        self, engine, melbourne_small
+    ):
+        rs = engine.plan(0, melbourne_small.num_nodes - 1)
+        assert rs[0].travel_time_s == min(r.travel_time_s for r in rs)
+
+    def test_routes_are_distinct_and_simple(self, engine, melbourne_small):
+        rs = engine.plan(5, melbourne_small.num_nodes - 5)
+        assert len({r.edge_ids for r in rs}) == len(rs)
+        assert all(r.is_simple() for r in rs)
+
+    def test_sometimes_disagrees_with_osm_planner(self, melbourne_small):
+        # The defining property: optimising different data produces
+        # visibly different route choices on some queries.
+        engine = CommercialEngine(melbourne_small, k=3)
+        plateau = PlateauPlanner(melbourne_small, k=3)
+        n = melbourne_small.num_nodes
+        disagreements = 0
+        queries = 0
+        for s in range(0, n - 1, max(1, n // 25)):
+            t = n - 1 - s
+            if s == t:
+                continue
+            queries += 1
+            commercial_routes = {r.edge_ids for r in engine.plan(s, t)}
+            plateau_routes = {r.edge_ids for r in plateau.plan(s, t)}
+            if commercial_routes != plateau_routes:
+                disagreements += 1
+        assert queries > 10
+        assert disagreements > 0
+
+    def test_departure_hour_changes_routing_data(self, melbourne_small):
+        provider = CommercialDataProvider(melbourne_small, seed=0)
+        night = CommercialEngine(
+            melbourne_small, provider=provider, departure_hour=3.0
+        )
+        peak = CommercialEngine(
+            melbourne_small, provider=provider, departure_hour=8.0
+        )
+        assert sum(peak.private_weights()) > sum(night.private_weights())
+
+    def test_zero_discrepancy_agrees_with_osm_optimum(self, melbourne_small):
+        provider = CommercialDataProvider(
+            melbourne_small, seed=0, discrepancy_scale=0.0
+        )
+        engine = CommercialEngine(melbourne_small, provider=provider)
+        from repro.algorithms import shortest_path
+
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = engine.plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        # At 3 am with no free-flow discrepancy the private data is
+        # within a whisker of OSM, so the fastest routes agree in cost.
+        assert rs[0].travel_time_on(
+            melbourne_small.default_weights()
+        ) == pytest.approx(reference.travel_time_s, rel=0.02)

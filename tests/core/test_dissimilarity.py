@@ -1,0 +1,85 @@
+"""Tests for the Dissimilarity / SSVP-D+ planner (paper §2.3)."""
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core import DissimilarityPlanner
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.metrics.similarity import dissimilarity
+
+
+class TestConfiguration:
+    def test_paper_default_theta(self, grid10):
+        assert DissimilarityPlanner(grid10).theta == 0.5
+
+    def test_invalid_theta_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            DissimilarityPlanner(grid10, theta=1.0)
+        with pytest.raises(ConfigurationError):
+            DissimilarityPlanner(grid10, theta=-0.1)
+
+    def test_invalid_stretch_bound_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            DissimilarityPlanner(grid10, stretch_bound=0.5)
+
+
+class TestPlanning:
+    def test_first_route_is_the_shortest_path(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = DissimilarityPlanner(melbourne_small).plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        assert rs[0].travel_time_s == pytest.approx(reference.travel_time_s)
+
+    def test_theta_enforced_pairwise(self, melbourne_small):
+        theta = 0.5
+        rs = DissimilarityPlanner(melbourne_small, theta=theta).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        routes = list(rs)
+        for i, a in enumerate(routes):
+            for b in routes[i + 1 :]:
+                assert dissimilarity(a, b) > theta - 1e-9
+
+    def test_stretch_bound_enforced(self, melbourne_small):
+        rs = DissimilarityPlanner(
+            melbourne_small, stretch_bound=1.4
+        ).plan(0, melbourne_small.num_nodes - 1)
+        optimum = rs[0].travel_time_s
+        for route in rs:
+            assert route.travel_time_s <= 1.4 * optimum + 1e-6
+
+    def test_routes_sorted_by_time(self, melbourne_small):
+        # Via-nodes are examined in ascending via-path cost, so the
+        # admitted routes come out fastest first.
+        rs = DissimilarityPlanner(melbourne_small).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        times = [route.travel_time_s for route in rs]
+        assert times == sorted(times)
+
+    def test_routes_are_simple(self, melbourne_small):
+        rs = DissimilarityPlanner(melbourne_small).plan(
+            7, melbourne_small.num_nodes - 7
+        )
+        assert all(route.is_simple() for route in rs)
+
+    def test_diamond_returns_both_braids(self, diamond):
+        rs = DissimilarityPlanner(diamond, k=3, theta=0.5).plan(0, 5)
+        assert len(rs) >= 2
+        assert dissimilarity(rs[0], rs[1]) == 1.0
+
+    def test_high_theta_returns_fewer_routes(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        loose = DissimilarityPlanner(melbourne_small, k=5, theta=0.1)
+        strict = DissimilarityPlanner(melbourne_small, k=5, theta=0.9)
+        assert len(strict.plan(s, t)) <= len(loose.plan(s, t))
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        with pytest.raises(DisconnectedError):
+            DissimilarityPlanner(builder.build()).plan(0, 3)

@@ -1,0 +1,139 @@
+"""Tests for the §4.2 post-filters and re-rankers."""
+
+import pytest
+
+from repro.core import (
+    DetourFilter,
+    FewerTurnsRanker,
+    FilterChain,
+    LocalOptimalityFilter,
+    PenaltyPlanner,
+    RouteSet,
+    SimilarityFilter,
+    StretchFilter,
+    WiderRoadsRanker,
+    paper_refinement_chain,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.path import Path
+from repro.metrics.turns import turn_count
+
+
+@pytest.fixture()
+def braided_routes(diamond):
+    fast = Path.from_nodes(diamond, [0, 1, 3, 5])       # 4 s
+    duplicate = Path.from_nodes(diamond, [0, 1, 3, 5])  # same as fast
+    other = Path.from_nodes(diamond, [0, 2, 4, 5])      # 4 s, disjoint
+    slow = Path.from_nodes(diamond, [0, 5])             # 9 s direct
+    return fast, duplicate, other, slow
+
+
+class TestSimilarityFilter:
+    def test_duplicates_dropped(self, braided_routes):
+        fast, duplicate, other, _ = braided_routes
+        kept = SimilarityFilter(0.3).apply([fast, duplicate, other])
+        assert kept == [fast, other]
+
+    def test_first_route_always_survives(self, braided_routes):
+        fast, duplicate, _, _ = braided_routes
+        kept = SimilarityFilter(0.99).apply([fast, duplicate])
+        assert kept[0] is fast
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityFilter(1.0)
+
+
+class TestStretchFilter:
+    def test_slow_route_dropped(self, braided_routes):
+        fast, _, other, slow = braided_routes
+        kept = StretchFilter(1.4).apply([fast, other, slow])
+        assert slow not in kept
+        assert kept == [fast, other]
+
+    def test_loose_bound_keeps_everything(self, braided_routes):
+        fast, _, other, slow = braided_routes
+        kept = StretchFilter(3.0).apply([fast, other, slow])
+        assert kept == [fast, other, slow]
+
+    def test_empty_input(self):
+        assert StretchFilter(1.4).apply([]) == []
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StretchFilter(0.99)
+
+
+class TestLocalOptimalityFilter:
+    def test_detour_alternative_dropped(self, braided_routes):
+        fast, _, other, slow = braided_routes
+        kept = LocalOptimalityFilter(alpha=1.0).apply([fast, other, slow])
+        assert slow not in kept
+
+    def test_leading_route_exempt(self, braided_routes):
+        _, _, _, slow = braided_routes
+        kept = LocalOptimalityFilter(alpha=1.0).apply([slow])
+        assert kept == [slow]
+
+
+class TestDetourFilter:
+    def test_keeps_clean_routes(self, braided_routes):
+        fast, _, other, _ = braided_routes
+        kept = DetourFilter(max_detour=1.2).apply([fast, other])
+        assert kept == [fast, other]
+
+    def test_drops_detoured_alternative(self, grid10):
+        clean = Path.from_nodes(grid10, [0, 1, 2, 3])
+        detour = Path.from_nodes(grid10, [0, 10, 11, 12, 2, 3])
+        kept = DetourFilter(max_detour=1.2, samples=5).apply([clean, detour])
+        assert kept == [clean]
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DetourFilter(max_detour=0.5)
+
+
+class TestRankers:
+    def test_fewer_turns_ranker_orders_tail(self, grid10):
+        straight = Path.from_nodes(grid10, [0, 1, 2, 3, 4, 5])
+        zigzag = Path.from_nodes(grid10, [0, 10, 11, 1, 2, 3, 4, 5])
+        lead = Path.from_nodes(grid10, [0, 1, 2, 3, 4, 14, 15, 5])
+        ranked = FewerTurnsRanker().apply([lead, zigzag, straight])
+        assert ranked[0] is lead
+        assert turn_count(ranked[1]) <= turn_count(ranked[2])
+
+    def test_wider_roads_ranker_prefers_lanes(self, melbourne_small):
+        rs = PenaltyPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        ranked = WiderRoadsRanker().apply(list(rs))
+        assert set(ranked) == set(rs)
+        assert ranked[0] is rs[0]
+
+    def test_short_lists_pass_through(self, braided_routes):
+        fast, _, other, _ = braided_routes
+        assert FewerTurnsRanker().apply([fast, other]) == [fast, other]
+
+
+class TestChain:
+    def test_chain_applies_in_order(self, braided_routes):
+        fast, duplicate, other, slow = braided_routes
+        chain = FilterChain([SimilarityFilter(0.3), StretchFilter(1.4)])
+        kept = chain.apply([fast, duplicate, other, slow])
+        assert kept == [fast, other]
+
+    def test_paper_refinement_chain_runs(self, melbourne_small):
+        rs = PenaltyPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        refined = paper_refinement_chain().apply_to_set(rs)
+        assert isinstance(refined, RouteSet)
+        assert refined.approach == rs.approach
+        assert 1 <= len(refined) <= len(rs)
+
+    def test_apply_to_set_preserves_query(self, melbourne_small):
+        rs = PenaltyPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        refined = SimilarityFilter(0.1).apply_to_set(rs)
+        assert (refined.source, refined.target) == (rs.source, rs.target)

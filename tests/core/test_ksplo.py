@@ -1,0 +1,75 @@
+"""Tests for k-shortest paths with limited overlap (paper §2.4)."""
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core import LimitedOverlapPlanner, YenPlanner
+from repro.exceptions import ConfigurationError
+from repro.metrics.similarity import (
+    average_pairwise_similarity,
+    similarity,
+)
+
+
+class TestConfiguration:
+    def test_invalid_similarity_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            LimitedOverlapPlanner(grid10, max_similarity=1.5)
+
+    def test_max_candidates_must_cover_k(self, grid10):
+        with pytest.raises(ConfigurationError):
+            LimitedOverlapPlanner(grid10, k=5, max_candidates=2)
+
+
+class TestPlanning:
+    def test_first_route_is_the_shortest_path(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = LimitedOverlapPlanner(melbourne_small).plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        assert rs[0].travel_time_s == pytest.approx(reference.travel_time_s)
+
+    def test_overlap_bound_enforced(self, melbourne_small):
+        bound = 0.5
+        rs = LimitedOverlapPlanner(
+            melbourne_small, max_similarity=bound
+        ).plan(0, melbourne_small.num_nodes - 1)
+        routes = list(rs)
+        for i, a in enumerate(routes):
+            for b in routes[i + 1 :]:
+                assert similarity(a, b) <= bound + 1e-9
+
+    def test_costs_non_decreasing(self, melbourne_small):
+        rs = LimitedOverlapPlanner(melbourne_small).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        times = [r.travel_time_s for r in rs]
+        assert times == sorted(times)
+
+    def test_more_diverse_than_plain_yen(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        yen = YenPlanner(melbourne_small, k=3).plan(s, t)
+        limited = LimitedOverlapPlanner(
+            melbourne_small, k=3, max_similarity=0.5
+        ).plan(s, t)
+        if len(limited) >= 2:
+            assert average_pairwise_similarity(
+                list(limited)
+            ) < average_pairwise_similarity(list(yen))
+
+    def test_zero_similarity_demands_disjoint_routes(self, diamond):
+        rs = LimitedOverlapPlanner(
+            diamond, k=3, max_similarity=0.0
+        ).plan(0, 5)
+        routes = list(rs)
+        for i, a in enumerate(routes):
+            for b in routes[i + 1 :]:
+                assert similarity(a, b) == 0.0
+
+    def test_candidate_budget_limits_work(self, melbourne_small):
+        # An impossible demand (three fully disjoint long routes) must
+        # terminate by budget, returning what it found.
+        planner = LimitedOverlapPlanner(
+            melbourne_small, k=3, max_similarity=0.0, max_candidates=10
+        )
+        rs = planner.plan(0, melbourne_small.num_nodes - 1)
+        assert 1 <= len(rs) <= 3

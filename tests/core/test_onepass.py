@@ -1,0 +1,93 @@
+"""Tests for the exact OnePass k-SPwLO planner."""
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core import OnePassPlanner
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.metrics.similarity import shared_length_m
+
+
+class TestConfiguration:
+    def test_invalid_similarity_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            OnePassPlanner(grid10, max_similarity=-0.1)
+
+    def test_invalid_label_cap_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            OnePassPlanner(grid10, max_labels_per_node=0)
+
+
+class TestPlanning:
+    def test_first_route_is_the_shortest_path(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = OnePassPlanner(melbourne_small).plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        assert rs[0].travel_time_s == pytest.approx(reference.travel_time_s)
+
+    def test_overlap_budget_respected(self, melbourne_small):
+        bound = 0.5
+        rs = OnePassPlanner(
+            melbourne_small, max_similarity=bound
+        ).plan(0, melbourne_small.num_nodes - 1)
+        routes = list(rs)
+        # Each later route overlaps each earlier one by at most
+        # bound * len(earlier): the k-SPwLO admission rule.
+        for i, earlier in enumerate(routes):
+            for later in routes[i + 1 :]:
+                assert (
+                    shared_length_m(later, earlier)
+                    <= bound * earlier.length_m + 1e-6
+                )
+
+    def test_costs_non_decreasing(self, melbourne_small):
+        rs = OnePassPlanner(melbourne_small).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        times = [r.travel_time_s for r in rs]
+        assert times == sorted(times)
+
+    def test_diamond_finds_disjoint_braids(self, diamond):
+        rs = OnePassPlanner(diamond, k=2, max_similarity=0.0).plan(0, 5)
+        assert len(rs) == 2
+        assert shared_length_m(rs[0], rs[1]) == 0.0
+
+    def test_zero_similarity_forces_disjoint_routes(self, melbourne_small):
+        rs = OnePassPlanner(
+            melbourne_small, k=3, max_similarity=0.0
+        ).plan(0, melbourne_small.num_nodes - 1)
+        routes = list(rs)
+        for i, a in enumerate(routes):
+            for b in routes[i + 1 :]:
+                assert shared_length_m(a, b) == 0.0
+
+    def test_next_path_is_cheapest_admissible(self, diamond):
+        # With the shortest braid selected and max_similarity=0.5, the
+        # other braid (cost 4, zero overlap) must beat the direct edge
+        # (cost 9).
+        rs = OnePassPlanner(diamond, k=2, max_similarity=0.5).plan(0, 5)
+        assert [round(r.travel_time_s, 6) for r in rs] == [4.0, 4.0]
+
+    def test_fewer_routes_when_constraint_unsatisfiable(self):
+        # A single corridor: no second path at similarity 0.
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        for node_id in range(3):
+            builder.add_edge(
+                node_id, node_id + 1, 100.0, 1.0, bidirectional=True
+            )
+        rs = OnePassPlanner(
+            builder.build(), k=3, max_similarity=0.0
+        ).plan(0, 3)
+        assert len(rs) == 1
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        with pytest.raises(DisconnectedError):
+            OnePassPlanner(builder.build()).plan(0, 3)

@@ -1,0 +1,94 @@
+"""Tests for the Pareto / skyline planner (paper §2.4)."""
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core import ParetoPlanner
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.builder import RoadNetworkBuilder
+
+
+def fast_long_vs_slow_short_network():
+    """Two 0->3 options: fast-but-long (freeway) vs slow-but-short."""
+    builder = RoadNetworkBuilder()
+    builder.add_node(0, 0.0, 0.0)
+    builder.add_node(1, 0.01, 0.005)  # freeway detour point
+    builder.add_node(2, 0.0, 0.005)  # direct midpoint
+    builder.add_node(3, 0.0, 0.01)
+    # Freeway: 3000 m total but only 110 s.
+    builder.add_edge(0, 1, 1500.0, 55.0, highway="motorway",
+                     bidirectional=True)
+    builder.add_edge(1, 3, 1500.0, 55.0, highway="motorway",
+                     bidirectional=True)
+    # Direct street: 2000 m but 200 s.
+    builder.add_edge(0, 2, 1000.0, 100.0, bidirectional=True)
+    builder.add_edge(2, 3, 1000.0, 100.0, bidirectional=True)
+    return builder.build()
+
+
+class TestPlanning:
+    def test_returns_both_skyline_routes(self):
+        network = fast_long_vs_slow_short_network()
+        rs = ParetoPlanner(network, k=4, stretch_bound=2.5).plan(0, 3)
+        assert len(rs) == 2
+        times = sorted(round(r.travel_time_s) for r in rs)
+        assert times == [110, 200]
+
+    def test_results_are_mutually_non_dominated(self, melbourne_small):
+        rs = ParetoPlanner(melbourne_small, k=5).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        routes = list(rs)
+        for i, a in enumerate(routes):
+            for b in routes[i + 1 :]:
+                a_dominates = (
+                    a.travel_time_s <= b.travel_time_s
+                    and a.length_m <= b.length_m
+                )
+                b_dominates = (
+                    b.travel_time_s <= a.travel_time_s
+                    and b.length_m <= a.length_m
+                )
+                assert not (a_dominates or b_dominates)
+
+    def test_first_route_is_time_optimal(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = ParetoPlanner(melbourne_small).plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        assert rs[0].travel_time_s == pytest.approx(
+            reference.travel_time_s, rel=1e-6
+        )
+
+    def test_stretch_bound_enforced(self, melbourne_small):
+        bound = 1.3
+        rs = ParetoPlanner(melbourne_small, stretch_bound=bound).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        optimum = rs[0].travel_time_s
+        for route in rs:
+            assert route.travel_time_s <= bound * optimum + 1e-6
+
+    def test_uniform_grid_has_trivial_frontier(self, grid10):
+        # Time and length are perfectly correlated on a uniform grid,
+        # so the skyline collapses to the shortest path.
+        rs = ParetoPlanner(grid10, k=5).plan(0, 99)
+        assert len(rs) == 1
+
+
+class TestValidation:
+    def test_invalid_stretch_bound_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            ParetoPlanner(grid10, stretch_bound=0.9)
+
+    def test_invalid_label_budget_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            ParetoPlanner(grid10, max_labels_per_node=0)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        with pytest.raises(DisconnectedError):
+            ParetoPlanner(builder.build()).plan(0, 3)

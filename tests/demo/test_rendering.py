@@ -1,0 +1,79 @@
+"""Tests for GeoJSON / polyline rendering of route sets."""
+
+import pytest
+
+from repro.core import PlateauPlanner
+from repro.demo import (
+    ROUTE_COLORS,
+    route_set_to_feature_collection,
+    route_to_feature,
+    route_to_polyline,
+)
+from repro.geometry import decode_polyline
+from repro.graph.path import Path
+
+
+class TestPolyline:
+    def test_polyline_round_trips_route_geometry(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1, 2, 12])
+        decoded = decode_polyline(route_to_polyline(route))
+        coords = route.coordinates()
+        assert len(decoded) == len(coords)
+        for (lat_d, lon_d), (lat, lon) in zip(decoded, coords):
+            assert lat_d == pytest.approx(lat, abs=1e-5)
+            assert lon_d == pytest.approx(lon, abs=1e-5)
+
+
+class TestFeature:
+    def test_feature_structure(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1, 2])
+        feature = route_to_feature(route, "#123456", 7, 0)
+        assert feature["type"] == "Feature"
+        assert feature["properties"]["color"] == "#123456"
+        assert feature["properties"]["travel_time_min"] == 7
+        assert feature["properties"]["rank"] == 0
+
+    def test_geojson_coordinates_are_lon_lat(self, grid10):
+        route = Path.from_nodes(grid10, [0, 1])
+        feature = route_to_feature(route, "#000", 1, 0)
+        lon, lat = feature["geometry"]["coordinates"][0]
+        node = grid10.node(0)
+        assert lat == pytest.approx(node.lat)
+        assert lon == pytest.approx(node.lon)
+
+
+class TestFeatureCollection:
+    def test_collection_structure(self, melbourne_small):
+        rs = PlateauPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        collection = route_set_to_feature_collection(
+            rs, melbourne_small.default_weights(), "B"
+        )
+        assert collection["type"] == "FeatureCollection"
+        assert collection["properties"]["label"] == "B"
+        assert collection["properties"]["num_routes"] == len(rs)
+        assert len(collection["features"]) == len(rs)
+
+    def test_distinct_colors_per_rank(self, melbourne_small):
+        rs = PlateauPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        collection = route_set_to_feature_collection(
+            rs, melbourne_small.default_weights(), "B"
+        )
+        colors = [
+            f["properties"]["color"] for f in collection["features"]
+        ]
+        assert len(set(colors)) == len(colors)
+        assert all(color in ROUTE_COLORS for color in colors)
+
+    def test_times_repriced_in_minutes(self, melbourne_small):
+        rs = PlateauPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        weights = melbourne_small.default_weights()
+        collection = route_set_to_feature_collection(rs, weights, "B")
+        for feature, route in zip(collection["features"], rs):
+            expected = round(route.travel_time_on(weights) / 60.0)
+            assert feature["properties"]["travel_time_min"] == expected

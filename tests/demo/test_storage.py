@@ -1,0 +1,139 @@
+"""Tests for the SQLite response store."""
+
+import threading
+
+import pytest
+
+from repro.demo import FeedbackRecord, ResponseStore
+from repro.exceptions import StorageError
+
+
+def record(resident=True, ratings=None, comment=""):
+    return FeedbackRecord(
+        source_lat=-37.8,
+        source_lon=144.9,
+        target_lat=-37.9,
+        target_lon=145.0,
+        fastest_minutes=12.0,
+        resident=resident,
+        ratings=ratings or {"A": 3, "B": 4, "C": 4, "D": 5},
+        comment=comment,
+    )
+
+
+class TestSaveAndFetch:
+    def test_round_trip(self):
+        with ResponseStore() as store:
+            row_id = store.save(record(comment="hello"))
+            assert row_id == 1
+            fetched = store.fetch_all()
+            assert len(fetched) == 1
+            assert fetched[0].ratings == {"A": 3, "B": 4, "C": 4, "D": 5}
+            assert fetched[0].comment == "hello"
+            assert fetched[0].resident is True
+
+    def test_ids_increment(self):
+        with ResponseStore() as store:
+            assert store.save(record()) == 1
+            assert store.save(record()) == 2
+
+    def test_persistence_on_disk(self, tmp_path):
+        path = tmp_path / "responses.sqlite"
+        with ResponseStore(path) as store:
+            store.save(record())
+        with ResponseStore(path) as store:
+            assert store.count() == 1
+
+
+class TestValidation:
+    def test_missing_label_rejected(self):
+        with ResponseStore() as store:
+            bad = record(ratings={"A": 3, "B": 4, "C": 4})
+            with pytest.raises(StorageError):
+                store.save(bad)
+
+    def test_out_of_range_rating_rejected(self):
+        with ResponseStore() as store:
+            bad = record(ratings={"A": 0, "B": 4, "C": 4, "D": 5})
+            with pytest.raises(StorageError):
+                store.save(bad)
+
+    def test_non_integer_rating_rejected(self):
+        with ResponseStore() as store:
+            bad = record(ratings={"A": 3.5, "B": 4, "C": 4, "D": 5})
+            with pytest.raises(StorageError):
+                store.save(bad)
+
+    def test_unknown_label_lookup_rejected(self):
+        with ResponseStore() as store:
+            with pytest.raises(StorageError):
+                store.ratings_by_label("Z")
+
+
+class TestAggregates:
+    def test_counts_by_residency(self):
+        with ResponseStore() as store:
+            store.save(record(resident=True))
+            store.save(record(resident=True))
+            store.save(record(resident=False))
+            assert store.count() == 3
+            assert store.count(resident=True) == 2
+            assert store.count(resident=False) == 1
+
+    def test_mean_ratings(self):
+        with ResponseStore() as store:
+            store.save(record(ratings={"A": 1, "B": 2, "C": 3, "D": 4}))
+            store.save(record(ratings={"A": 3, "B": 4, "C": 5, "D": 4}))
+            means = store.mean_ratings()
+            assert means == {"A": 2.0, "B": 3.0, "C": 4.0, "D": 4.0}
+
+    def test_mean_ratings_filtered_by_residency(self):
+        with ResponseStore() as store:
+            store.save(
+                record(resident=True, ratings={"A": 5, "B": 5, "C": 5, "D": 5})
+            )
+            store.save(
+                record(
+                    resident=False, ratings={"A": 1, "B": 1, "C": 1, "D": 1}
+                )
+            )
+            assert store.mean_ratings(resident=True)["A"] == 5.0
+            assert store.mean_ratings(resident=False)["A"] == 1.0
+
+    def test_mean_of_empty_store_rejected(self):
+        with ResponseStore() as store:
+            with pytest.raises(StorageError):
+                store.mean_ratings()
+
+    def test_ratings_by_label(self):
+        with ResponseStore() as store:
+            store.save(record(ratings={"A": 1, "B": 2, "C": 3, "D": 4}))
+            store.save(record(ratings={"A": 5, "B": 2, "C": 3, "D": 4}))
+            assert store.ratings_by_label("A") == [1, 5]
+
+    def test_comments_skips_empty(self):
+        with ResponseStore() as store:
+            store.save(record(comment=""))
+            store.save(record(comment="less zig-zag is better"))
+            assert store.comments() == ["less zig-zag is better"]
+
+
+class TestConcurrency:
+    def test_parallel_saves_all_arrive(self):
+        with ResponseStore() as store:
+            errors = []
+
+            def writer():
+                try:
+                    for _ in range(20):
+                        store.save(record())
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=writer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert store.count() == 80

@@ -1,0 +1,220 @@
+"""End-to-end HTTP tests for the demo web application."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.demo import DemoServer, QueryProcessor, ResponseStore
+from repro.experiments import default_planners
+
+
+@pytest.fixture(scope="module")
+def server():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    processor = QueryProcessor(network, default_planners(network))
+    demo = DemoServer(processor, store=ResponseStore(), port=0)
+    demo.start()
+    yield demo
+    demo.stop()
+
+
+def get_json(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return json.load(response)
+
+
+def post_json(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+def corner_points(server):
+    bbox = get_json(server, "/api/network")["bbox"]
+    span_lat = bbox["north"] - bbox["south"]
+    span_lon = bbox["east"] - bbox["west"]
+    source = {
+        "lat": bbox["south"] + 0.2 * span_lat,
+        "lon": bbox["west"] + 0.2 * span_lon,
+    }
+    target = {
+        "lat": bbox["south"] + 0.8 * span_lat,
+        "lon": bbox["west"] + 0.8 * span_lon,
+    }
+    return source, target
+
+
+class TestPages:
+    def test_index_page_served(self, server):
+        with urllib.request.urlopen(server.url + "/", timeout=10) as resp:
+            body = resp.read().decode()
+        assert "Alternative Route Planning" in body
+        assert "Submit Rating" in body
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+
+class TestNetworkEndpoint:
+    def test_geometry_payload(self, server):
+        payload = get_json(server, "/api/network")
+        assert payload["segments"]
+        assert set(payload["bbox"]) == {"south", "west", "north", "east"}
+        first = payload["segments"][0]
+        assert len(first["points"]) == 2
+        assert isinstance(first["major"], bool)
+
+
+class TestRouteEndpoint:
+    def test_route_computation(self, server):
+        source, target = corner_points(server)
+        payload = post_json(
+            server, "/api/route", {"source": source, "target": target}
+        )
+        assert set(payload["routes"]) == {"A", "B", "C", "D"}
+        assert payload["fastest_minutes"] >= 1
+        for collection in payload["routes"].values():
+            assert collection["features"]
+
+    def test_malformed_body_rejected(self, server):
+        request = urllib.request.Request(
+            server.url + "/api/route",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_outside_service_area_rejected(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                server,
+                "/api/route",
+                {
+                    "source": {"lat": 0.0, "lon": 0.0},
+                    "target": {"lat": 1.0, "lon": 1.0},
+                },
+            )
+        assert excinfo.value.code == 400
+
+
+class TestFeedbackEndpoint:
+    def test_feedback_round_trip(self, server):
+        source, target = corner_points(server)
+        route = post_json(
+            server, "/api/route", {"source": source, "target": target}
+        )
+        before = get_json(server, "/api/stats")["responses"]
+        stored = post_json(
+            server,
+            "/api/feedback",
+            {
+                "source": source,
+                "target": target,
+                "fastest_minutes": route["fastest_minutes"],
+                "resident": True,
+                "ratings": {"A": 2, "B": 5, "C": 4, "D": 3},
+                "comment": "plateaus ftw",
+            },
+        )
+        assert stored["stored"] is True
+        stats = get_json(server, "/api/stats")
+        assert stats["responses"] == before + 1
+        assert stats["residents"] >= 1
+        assert "mean_ratings" in stats
+
+    def test_invalid_rating_rejected(self, server):
+        source, target = corner_points(server)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(
+                server,
+                "/api/feedback",
+                {
+                    "source": source,
+                    "target": target,
+                    "fastest_minutes": 10,
+                    "ratings": {"A": 9, "B": 5, "C": 4, "D": 3},
+                },
+            )
+        assert excinfo.value.code == 400
+
+
+class TestTableEndpoint:
+    def test_empty_store_gives_empty_rows(self, server):
+        # May run after feedback tests (module-scoped server), so just
+        # assert the shape contract.
+        payload = get_json(server, "/api/table")
+        assert "rows" in payload
+        for row in payload["rows"].values():
+            for cell in row.values():
+                assert set(cell) == {"mean", "std", "count"}
+                assert 1.0 <= cell["mean"] <= 5.0
+
+    def test_table_reflects_new_feedback(self, server):
+        source, target = corner_points(server)
+        post_json(
+            server,
+            "/api/feedback",
+            {
+                "source": source,
+                "target": target,
+                "fastest_minutes": 10,
+                "resident": False,
+                "ratings": {"A": 1, "B": 1, "C": 1, "D": 1},
+            },
+        )
+        payload = get_json(server, "/api/table")
+        non_res = payload["rows"]["non_residents"]
+        assert non_res["A"]["count"] >= 1
+        assert non_res["A"]["mean"] <= 5.0
+
+
+class TestIsochroneEndpoint:
+    def test_isochrone_payload(self, server):
+        bbox = get_json(server, "/api/network")["bbox"]
+        lat = (bbox["south"] + bbox["north"]) / 2
+        lon = (bbox["west"] + bbox["east"]) / 2
+        payload = get_json(
+            server, f"/api/isochrone?lat={lat}&lon={lon}&minutes=5"
+        )
+        assert payload["reachable_nodes"] >= 1
+        assert 0.0 < payload["coverage"] <= 1.0
+        assert payload["outline"]
+
+    def test_larger_budget_covers_more(self, server):
+        bbox = get_json(server, "/api/network")["bbox"]
+        lat = (bbox["south"] + bbox["north"]) / 2
+        lon = (bbox["west"] + bbox["east"]) / 2
+        small = get_json(
+            server, f"/api/isochrone?lat={lat}&lon={lon}&minutes=2"
+        )
+        large = get_json(
+            server, f"/api/isochrone?lat={lat}&lon={lon}&minutes=15"
+        )
+        assert large["coverage"] >= small["coverage"]
+
+    def test_bad_query_rejected(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server.url + "/api/isochrone?lat=abc", timeout=10
+            )
+        assert excinfo.value.code == 400
+
+    def test_outside_area_rejected(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server.url + "/api/isochrone?lat=0&lon=0&minutes=5",
+                timeout=10,
+            )
+        assert excinfo.value.code == 400

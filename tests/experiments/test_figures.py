@@ -1,0 +1,74 @@
+"""Tests for the Figure-1 and Figure-4 experiments."""
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.experiments import figure1, figure4
+
+
+@pytest.fixture(scope="module")
+def city():
+    from repro.cities import melbourne
+
+    return melbourne(size="small")
+
+
+class TestFigure1:
+    def test_construction_data(self, city):
+        data = figure1(city)
+        assert data.forward_tree_nodes == city.num_nodes
+        assert data.backward_tree_nodes == city.num_nodes
+        assert data.num_plateaus >= 1
+        assert 1 <= len(data.top_plateaus) <= 5
+
+    def test_top_plateau_is_the_shortest_path(self, city):
+        data = figure1(city)
+        top = data.top_plateaus[0]
+        assert top.weight_s == pytest.approx(data.optimal_time_s)
+
+    def test_routes_start_with_the_optimum(self, city):
+        data = figure1(city)
+        assert data.routes[0].travel_time_s == pytest.approx(
+            data.optimal_time_s
+        )
+
+    def test_explicit_query(self, city):
+        data = figure1(city, source=0, target=city.num_nodes - 1)
+        assert data.source == 0
+        assert data.target == city.num_nodes - 1
+
+    def test_formatted_has_four_panels(self, city):
+        text = figure1(city).formatted()
+        for panel in ("(a)", "(b)", "(c)", "(d)"):
+            assert panel in text
+
+    def test_deterministic_default_query(self, city):
+        assert figure1(city, seed=3).source == figure1(city, seed=3).source
+
+
+class TestFigure4:
+    def test_flip_found_and_valid(self, city):
+        case = figure4(city, traffic_seed=0, max_queries=300)
+        assert case.flips
+        # OSM data says the plateau route is faster...
+        assert case.plateau_route_osm_s < case.commercial_route_osm_s
+        # ...the commercial data says its own route is faster.
+        assert (
+            case.commercial_route_private_s < case.plateau_route_private_s
+        )
+
+    def test_routes_connect_the_query(self, city):
+        case = figure4(city, traffic_seed=0, max_queries=300)
+        assert case.commercial_route.source == case.source
+        assert case.plateau_route.target == case.target
+
+    def test_formatted_reports_the_flip(self, city):
+        case = figure4(city, traffic_seed=0, max_queries=300)
+        text = case.formatted()
+        assert "winner flips with the dataset: True" in text
+        assert "purple" in text
+
+    def test_failure_raises_study_error(self, city):
+        # Zero queries cannot find anything.
+        with pytest.raises(StudyError):
+            figure4(city, traffic_seed=0, max_queries=0)

@@ -1,0 +1,66 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+from repro.experiments import tables
+
+
+@pytest.fixture(scope="module")
+def report_text(tmp_path_factory):
+    tables._STUDY_CACHE.clear()
+    path = tmp_path_factory.mktemp("report") / "REPORT.md"
+    text = generate_report(
+        city="melbourne", size="small", seed=0, output_path=path
+    )
+    assert path.read_text() == text
+    return text
+
+
+class TestReport:
+    def test_sections_present(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Rating tables",
+            "## One-way ANOVA",
+            "## Post-hoc inference",
+            "## Paper comparison",
+            "## Figure 1",
+            "## Figure 4",
+        ):
+            assert heading in report_text
+
+    def test_tables_carry_full_counts(self, report_text):
+        assert "237" in report_text
+        assert "156" in report_text
+
+    def test_figure4_flip_reported(self, report_text):
+        assert "winner flips with the dataset" in report_text
+
+    def test_non_melbourne_omits_paper_comparison(self):
+        # Only Melbourne has published numbers to compare against; a
+        # tiny Dhaka run must skip that section.
+        from repro.study import StudyConfig
+        from repro.experiments.tables import run_study
+
+        # Pre-seed the cache with a tiny run so generate_report's
+        # run_study call is fast.
+        quotas = {
+            (True, "small"): 3,
+            (True, "medium"): 3,
+            (True, "long"): 3,
+            (False, "small"): 3,
+            (False, "medium"): 3,
+            (False, "long"): 3,
+        }
+        config = StudyConfig(quotas=quotas, seed=0, calibration_samples=40)
+        results = run_study(
+            "dhaka", "small", 0, config=config, use_cache=False
+        )
+        tables._STUDY_CACHE[("dhaka", "small", 0)] = results
+        try:
+            text = generate_report(city="dhaka", size="small", seed=0)
+        finally:
+            tables._STUDY_CACHE.pop(("dhaka", "small", 0), None)
+        assert "## Paper comparison" not in text
+        assert "## Rating tables" in text

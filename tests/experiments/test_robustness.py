@@ -1,0 +1,59 @@
+"""Tests for the seed-stability experiment."""
+
+import pytest
+
+from repro.experiments.robustness import seed_stability
+from repro.study import StudyConfig
+
+TINY_QUOTAS = {
+    (True, "small"): 3,
+    (True, "medium"): 4,
+    (True, "long"): 3,
+    (False, "small"): 3,
+    (False, "medium"): 3,
+    (False, "long"): 3,
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = StudyConfig(
+        quotas=TINY_QUOTAS, seed=0, calibration_samples=40
+    )
+    return seed_stability(
+        seeds=(0, 1), city="melbourne", size="small", config=config
+    )
+
+
+class TestSeedStability:
+    def test_rates_are_fractions(self, report):
+        for rate in report.winner_hold_rate.values():
+            assert 0.0 <= rate <= 1.0
+        for rate in report.anova_nonsignificant_rate.values():
+            assert 0.0 <= rate <= 1.0
+        assert 0.0 <= report.commercial_trails_rate <= 1.0
+
+    def test_all_rows_and_categories_covered(self, report):
+        assert set(report.winner_hold_rate) == {
+            "overall",
+            "residents",
+            "non-residents",
+            "small",
+            "medium",
+            "long",
+        }
+        assert set(report.anova_nonsignificant_rate) == {
+            "all",
+            "residents",
+            "non-residents",
+        }
+
+    def test_one_mae_per_seed(self, report):
+        assert len(report.mean_absolute_errors) == 2
+        assert all(0.0 <= mae < 2.0 for mae in report.mean_absolute_errors)
+
+    def test_formatted_output(self, report):
+        text = report.formatted()
+        assert "winner-cell hold rates" in text
+        assert "ANOVA non-significant rates" in text
+        assert "cell MAE" in text

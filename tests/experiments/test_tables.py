@@ -1,0 +1,129 @@
+"""Tests for the table regeneration and paper comparison harness."""
+
+import pytest
+
+from repro.experiments import (
+    anova_report,
+    build_study_network,
+    compare_to_paper,
+    default_planners,
+    run_study,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.setup import PAPER_PARAMETERS
+from repro.experiments.tables import (
+    PAPER_ANOVA_P,
+    PAPER_TABLE1,
+    PAPER_TABLE1_WINNERS,
+)
+from repro.exceptions import ConfigurationError
+from repro.study import StudyConfig
+from repro.study.rating import APPROACHES
+
+SMALL_QUOTAS = {
+    (True, "small"): 4,
+    (True, "medium"): 5,
+    (True, "long"): 3,
+    (False, "small"): 3,
+    (False, "medium"): 3,
+    (False, "long"): 3,
+}
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    config = StudyConfig(quotas=SMALL_QUOTAS, seed=1, calibration_samples=40)
+    return run_study(
+        city="melbourne", size="small", seed=1, config=config,
+        use_cache=False,
+    )
+
+
+class TestSetup:
+    def test_paper_parameters(self):
+        assert PAPER_PARAMETERS["penalty_factor"] == 1.4
+        assert PAPER_PARAMETERS["stretch_bound"] == 1.4
+        assert PAPER_PARAMETERS["theta"] == 0.5
+        assert PAPER_PARAMETERS["k"] == 3
+        assert PAPER_PARAMETERS["commercial_hour"] == 3.0
+
+    def test_default_planners_cover_four_approaches(self):
+        network = build_study_network("melbourne", "small")
+        planners = default_planners(network)
+        assert set(planners) == set(APPROACHES)
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_study_network("atlantis")
+
+
+class TestPaperData:
+    def test_table1_covers_all_rows_and_approaches(self):
+        rows = {row for row, _ in PAPER_TABLE1}
+        assert rows == set(PAPER_TABLE1_WINNERS)
+        for row in rows:
+            for approach in APPROACHES:
+                assert (row, approach) in PAPER_TABLE1
+
+    def test_published_winners_consistent_with_published_means(self):
+        for row, winner in PAPER_TABLE1_WINNERS.items():
+            means = {a: PAPER_TABLE1[(row, a)] for a in APPROACHES}
+            assert max(means, key=means.get) == winner
+
+    def test_published_anova_non_significant(self):
+        assert all(p > 0.05 for p in PAPER_ANOVA_P.values())
+
+
+class TestRunStudy:
+    def test_tables_regenerate(self, small_results):
+        t1 = table1(small_results)
+        t2 = table2(small_results)
+        t3 = table3(small_results)
+        assert t1.row_counts["Overall"] == sum(SMALL_QUOTAS.values())
+        assert t2.row_counts["Melbourne residents"] == 12
+        assert t3.row_counts["Non-residents"] == 9
+
+    def test_anova_report_categories(self, small_results):
+        report = anova_report(small_results)
+        assert set(report) == {"all", "residents", "non-residents"}
+
+    def test_comparison_structure(self, small_results):
+        comparison = compare_to_paper(small_results)
+        assert len(comparison.cells) == 24  # 6 rows x 4 approaches
+        assert set(comparison.winner_matches) == set(PAPER_TABLE1_WINNERS)
+        assert set(comparison.anova) == set(PAPER_ANOVA_P)
+        assert 0.0 <= comparison.mean_absolute_error < 2.0
+
+    def test_comparison_formatted(self, small_results):
+        text = compare_to_paper(small_results).formatted()
+        assert "mean absolute error" in text
+        assert "ANOVA all" in text
+
+    def test_cache_returns_same_object(self):
+        from repro.experiments import tables
+
+        tables._STUDY_CACHE.clear()
+        first = run_study("melbourne", "small", seed=77)
+        second = run_study("melbourne", "small", seed=77)
+        assert first is second
+        assert first.count() == 237
+        tables._STUDY_CACHE.clear()
+
+
+class TestCellComparison:
+    def test_covers_all_24_cells(self, small_results):
+        from repro.experiments import compare_cells_to_paper
+
+        comparison = compare_cells_to_paper(small_results)
+        assert len(comparison.cells) == 24
+        assert len(comparison.row_winner_matches) == 6
+        assert 0.0 <= comparison.mean_absolute_error < 2.0
+
+    def test_formatted_report(self, small_results):
+        from repro.experiments import compare_cells_to_paper
+
+        text = compare_cells_to_paper(small_results).formatted()
+        assert "table 2+3 cell MAE" in text
+        assert "residents" in text

@@ -1,0 +1,112 @@
+"""Tests for geographic bounding boxes."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geometry import BoundingBox
+
+MEL = BoundingBox(-38.2, 144.5, -37.5, 145.4)
+
+
+class TestConstruction:
+    def test_invalid_latitude_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundingBox(1.0, 0.0, -1.0, 1.0)
+
+    def test_invalid_longitude_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundingBox(0.0, 10.0, 1.0, -10.0)
+
+    def test_out_of_range_latitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundingBox(-91.0, 0.0, 0.0, 1.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([(1.0, 2.0), (-1.0, 5.0), (0.5, 3.0)])
+        assert box.as_tuple() == (-1.0, 2.0, 1.0, 5.0)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundingBox.from_points([])
+
+
+class TestPredicates:
+    def test_contains_interior_point(self):
+        assert MEL.contains(-37.8136, 144.9631)
+
+    def test_contains_boundary_point(self):
+        assert MEL.contains(MEL.south, MEL.west)
+
+    def test_does_not_contain_outside_point(self):
+        assert not MEL.contains(-33.8688, 151.2093)  # Sydney
+
+    def test_intersects_overlapping(self):
+        other = BoundingBox(-37.9, 145.0, -37.0, 146.0)
+        assert MEL.intersects(other)
+        assert other.intersects(MEL)
+
+    def test_intersects_disjoint(self):
+        other = BoundingBox(10.0, 10.0, 11.0, 11.0)
+        assert not MEL.intersects(other)
+
+    def test_intersects_touching_edges(self):
+        other = BoundingBox(MEL.north, MEL.west, MEL.north + 1.0, MEL.east)
+        assert MEL.intersects(other)
+
+
+class TestDerivedGeometry:
+    def test_center(self):
+        lat, lon = MEL.center
+        assert lat == pytest.approx((-38.2 + -37.5) / 2)
+        assert lon == pytest.approx((144.5 + 145.4) / 2)
+
+    def test_expanded_grows_every_side(self):
+        grown = MEL.expanded(0.1)
+        assert grown.south < MEL.south
+        assert grown.west < MEL.west
+        assert grown.north > MEL.north
+        assert grown.east > MEL.east
+
+    def test_expanded_clamps_to_valid_range(self):
+        box = BoundingBox(-89.95, -179.95, 89.95, 179.95)
+        grown = box.expanded(1.0)
+        assert grown.as_tuple() == (-90.0, -180.0, 90.0, 180.0)
+
+    def test_diagonal_positive(self):
+        assert MEL.diagonal_m() > 0
+
+    def test_area_roughly_right(self):
+        # 0.7 deg lat x 0.9 deg lon at ~-37.85: ~78 km x ~79 km.
+        assert MEL.area_km2() == pytest.approx(78 * 79, rel=0.05)
+
+    def test_grid_partitions_area(self):
+        cells = list(MEL.grid(3, 4))
+        assert len(cells) == 12
+        # Each cell uses its own mid-latitude cosine, so the partition
+        # only matches the whole-box area to first order.
+        total = sum(cell.area_km2() for cell in cells)
+        assert total == pytest.approx(MEL.area_km2(), rel=1e-4)
+
+    def test_grid_rejects_zero_rows(self):
+        with pytest.raises(ConfigurationError):
+            list(MEL.grid(0, 2))
+
+
+class TestSampleAndClamp:
+    def test_sample_stays_inside(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            lat, lon = MEL.sample(rng)
+            assert MEL.contains(lat, lon)
+
+    def test_sample_deterministic(self):
+        assert MEL.sample(random.Random(7)) == MEL.sample(random.Random(7))
+
+    def test_clamp_moves_outside_point_to_boundary(self):
+        lat, lon = MEL.clamp(0.0, 0.0)
+        assert (lat, lon) == (MEL.north, MEL.west)
+
+    def test_clamp_keeps_inside_point(self):
+        assert MEL.clamp(-37.8, 145.0) == (-37.8, 145.0)

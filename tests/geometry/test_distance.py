@@ -1,0 +1,104 @@
+"""Tests for great-circle distances, bearings and turn angles."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    bearing_deg,
+    equirectangular_m,
+    haversine_m,
+    turn_angle_deg,
+)
+
+lat = st.floats(min_value=-80.0, max_value=80.0)
+lon = st.floats(min_value=-179.0, max_value=179.0)
+
+
+class TestHaversine:
+    def test_zero_distance_for_same_point(self):
+        assert haversine_m(-37.8136, 144.9631, -37.8136, 144.9631) == 0.0
+
+    def test_melbourne_to_sydney_distance(self):
+        # Known geodesic distance Melbourne CBD -> Sydney CBD ~ 713 km.
+        distance = haversine_m(-37.8136, 144.9631, -33.8688, 151.2093)
+        assert distance == pytest.approx(713_000, rel=0.01)
+
+    def test_one_degree_latitude_is_about_111km(self):
+        assert haversine_m(0.0, 0.0, 1.0, 0.0) == pytest.approx(
+            111_195, rel=0.001
+        )
+
+    @given(lat, lon, lat, lon)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        forward = haversine_m(lat1, lon1, lat2, lon2)
+        backward = haversine_m(lat2, lon2, lat1, lon1)
+        assert forward == pytest.approx(backward, abs=1e-6)
+
+    @given(lat, lon, lat, lon)
+    def test_non_negative(self, lat1, lon1, lat2, lon2):
+        assert haversine_m(lat1, lon1, lat2, lon2) >= 0.0
+
+    @given(lat, lon, lat, lon, lat, lon)
+    def test_triangle_inequality(self, la, lo, lb, lob, lc, loc):
+        ab = haversine_m(la, lo, lb, lob)
+        bc = haversine_m(lb, lob, lc, loc)
+        ac = haversine_m(la, lo, lc, loc)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestEquirectangular:
+    def test_close_to_haversine_at_city_scale(self):
+        # Two points ~5 km apart in Melbourne.
+        args = (-37.81, 144.96, -37.85, 144.99)
+        assert equirectangular_m(*args) == pytest.approx(
+            haversine_m(*args), rel=0.001
+        )
+
+    def test_zero_distance(self):
+        assert equirectangular_m(10.0, 20.0, 10.0, 20.0) == 0.0
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert bearing_deg(0.0, 0.0, 1.0, 0.0) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert bearing_deg(0.0, 0.0, 0.0, 1.0) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert bearing_deg(1.0, 0.0, 0.0, 0.0) == pytest.approx(180.0)
+
+    def test_due_west(self):
+        assert bearing_deg(0.0, 1.0, 0.0, 0.0) == pytest.approx(270.0)
+
+    @given(lat, lon, lat, lon)
+    def test_range(self, lat1, lon1, lat2, lon2):
+        bearing = bearing_deg(lat1, lon1, lat2, lon2)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestTurnAngle:
+    def test_straight_line_has_no_turn(self):
+        angle = turn_angle_deg(0.0, 0.0, 0.0, 1.0, 0.0, 2.0)
+        assert angle == pytest.approx(0.0, abs=1e-9)
+
+    def test_right_angle_turn(self):
+        angle = turn_angle_deg(0.0, 0.0, 0.0, 1.0, 1.0, 1.0)
+        assert angle == pytest.approx(90.0, abs=0.1)
+
+    def test_u_turn(self):
+        angle = turn_angle_deg(0.0, 0.0, 0.0, 1.0, 0.0, 0.0)
+        assert angle == pytest.approx(180.0, abs=1e-6)
+
+    def test_angle_is_unsigned(self):
+        left = turn_angle_deg(0.0, 0.0, 0.0, 1.0, 1.0, 1.0)
+        right = turn_angle_deg(0.0, 0.0, 0.0, 1.0, -1.0, 1.0)
+        assert left == pytest.approx(right, abs=0.1)
+
+    @given(lat, lon, lat, lon, lat, lon)
+    def test_range(self, la, lo, lb, lob, lc, loc):
+        angle = turn_angle_deg(la, lo, lb, lob, lc, loc)
+        assert 0.0 <= angle <= 180.0

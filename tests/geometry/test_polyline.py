@@ -1,0 +1,73 @@
+"""Tests for the Google encoded-polyline codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import decode_polyline, encode_polyline
+from repro.geometry.polyline import PolylineDecodeError
+
+#: The worked example from Google's format documentation.
+GOOGLE_EXAMPLE_POINTS = [(38.5, -120.2), (40.7, -120.95), (43.252, -126.453)]
+GOOGLE_EXAMPLE_ENCODED = "_p~iF~ps|U_ulLnnqC_mqNvxq`@"
+
+coordinates = st.lists(
+    st.tuples(
+        st.floats(min_value=-89.0, max_value=89.0),
+        st.floats(min_value=-179.0, max_value=179.0),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestEncode:
+    def test_google_reference_vector(self):
+        assert encode_polyline(GOOGLE_EXAMPLE_POINTS) == GOOGLE_EXAMPLE_ENCODED
+
+    def test_empty_sequence_encodes_to_empty_string(self):
+        assert encode_polyline([]) == ""
+
+    def test_single_point(self):
+        encoded = encode_polyline([(0.0, 0.0)])
+        assert decode_polyline(encoded) == [(0.0, 0.0)]
+
+
+class TestDecode:
+    def test_google_reference_vector(self):
+        decoded = decode_polyline(GOOGLE_EXAMPLE_ENCODED)
+        for got, expected in zip(decoded, GOOGLE_EXAMPLE_POINTS):
+            assert got[0] == pytest.approx(expected[0], abs=1e-5)
+            assert got[1] == pytest.approx(expected[1], abs=1e-5)
+
+    def test_empty_string(self):
+        assert decode_polyline("") == []
+
+    def test_truncated_string_raises(self):
+        with pytest.raises(PolylineDecodeError):
+            decode_polyline(GOOGLE_EXAMPLE_ENCODED[:-1] + "\x7f")
+
+    def test_mid_value_truncation_raises(self):
+        # A continuation chunk with nothing after it.
+        with pytest.raises(PolylineDecodeError):
+            decode_polyline("_")
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(PolylineDecodeError):
+            decode_polyline("\x01\x01")
+
+
+class TestRoundTrip:
+    @given(coordinates)
+    def test_round_trip_preserves_coordinates_to_1e5(self, points):
+        decoded = decode_polyline(encode_polyline(points))
+        assert len(decoded) == len(points)
+        for (lat1, lon1), (lat2, lon2) in zip(points, decoded):
+            assert lat2 == pytest.approx(lat1, abs=1.01e-5)
+            assert lon2 == pytest.approx(lon1, abs=1.01e-5)
+
+    @given(coordinates)
+    def test_double_round_trip_is_stable(self, points):
+        once = decode_polyline(encode_polyline(points))
+        twice = decode_polyline(encode_polyline(once))
+        assert once == twice

@@ -1,0 +1,42 @@
+"""Tests for the local equirectangular projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import LocalProjection, haversine_m
+
+MEL = LocalProjection(-37.8136, 144.9631)
+
+offsets = st.floats(min_value=-30_000.0, max_value=30_000.0)
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_anchor(self):
+        assert MEL.to_latlon(0.0, 0.0) == (-37.8136, 144.9631)
+
+    def test_northward_offset_increases_latitude(self):
+        lat, lon = MEL.to_latlon(0.0, 1000.0)
+        assert lat > -37.8136
+        assert lon == pytest.approx(144.9631)
+
+    def test_eastward_offset_increases_longitude(self):
+        lat, lon = MEL.to_latlon(1000.0, 0.0)
+        assert lon > 144.9631
+        assert lat == pytest.approx(-37.8136)
+
+    def test_metric_accuracy_of_1km_offset(self):
+        lat, lon = MEL.to_latlon(0.0, 1000.0)
+        assert haversine_m(-37.8136, 144.9631, lat, lon) == pytest.approx(
+            1000.0, rel=0.001
+        )
+
+    @given(offsets, offsets)
+    def test_round_trip(self, x, y):
+        lat, lon = MEL.to_latlon(x, y)
+        x2, y2 = MEL.to_xy(lat, lon)
+        assert x2 == pytest.approx(x, abs=0.01)
+        assert y2 == pytest.approx(y, abs=0.01)
+
+    def test_to_xy_of_anchor_is_origin(self):
+        assert MEL.to_xy(-37.8136, 144.9631) == (0.0, 0.0)

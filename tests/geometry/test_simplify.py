@@ -1,0 +1,74 @@
+"""Tests for Douglas-Peucker polyline simplification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.geometry import max_deviation_m, simplify_polyline
+
+polylines = st.lists(
+    st.tuples(
+        st.floats(min_value=-37.9, max_value=-37.7),
+        st.floats(min_value=144.8, max_value=145.1),
+    ),
+    min_size=2,
+    max_size=40,
+)
+
+
+class TestSimplify:
+    def test_straight_line_collapses_to_endpoints(self):
+        points = [(0.0, 0.0), (0.0, 0.001), (0.0, 0.002), (0.0, 0.003)]
+        assert simplify_polyline(points, 1.0) == [points[0], points[-1]]
+
+    def test_sharp_corner_is_kept(self):
+        points = [
+            (0.0, 0.0),
+            (0.0, 0.01),   # corner ~1.1 km off the direct chord
+            (0.01, 0.01),
+        ]
+        simplified = simplify_polyline(points, 50.0)
+        assert points[1] in simplified
+
+    def test_endpoints_always_kept(self):
+        points = [(0.0, 0.0), (0.00001, 0.00001), (0.0, 0.00002)]
+        simplified = simplify_polyline(points, 10_000.0)
+        assert simplified[0] == points[0]
+        assert simplified[-1] == points[-1]
+
+    def test_zero_tolerance_keeps_everything(self):
+        points = [(0.0, 0.0), (0.0001, 0.0), (0.0, 0.0002)]
+        assert simplify_polyline(points, 0.0) == points
+
+    def test_short_inputs_unchanged(self):
+        two = [(0.0, 0.0), (1.0, 1.0)]
+        assert simplify_polyline(two, 100.0) == two
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simplify_polyline([(0.0, 0.0), (1.0, 1.0)], -1.0)
+
+    @given(polylines, st.floats(min_value=1.0, max_value=500.0))
+    def test_error_bounded_by_tolerance(self, points, tolerance):
+        simplified = simplify_polyline(points, tolerance)
+        # Douglas-Peucker guarantee: every original point lies within
+        # the tolerance of the simplified polyline.
+        assert max_deviation_m(points, simplified) <= tolerance + 1e-6
+
+    @given(polylines, st.floats(min_value=1.0, max_value=500.0))
+    def test_result_is_a_subsequence(self, points, tolerance):
+        simplified = simplify_polyline(points, tolerance)
+        iterator = iter(points)
+        assert all(point in iterator for point in simplified)
+
+    def test_route_geometry_shrinks(self, melbourne_small):
+        from repro.algorithms import shortest_path
+
+        route = shortest_path(
+            melbourne_small, 0, melbourne_small.num_nodes - 1
+        )
+        coords = route.coordinates()
+        simplified = simplify_polyline(coords, 30.0)
+        assert len(simplified) < len(coords)
+        assert max_deviation_m(coords, simplified) <= 30.0 + 1e-6

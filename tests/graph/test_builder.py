@@ -1,0 +1,141 @@
+"""Tests for RoadNetworkBuilder, SCC cleanup and the grid helper."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import (
+    RoadNetworkBuilder,
+    grid_network,
+    network_from_edge_list,
+)
+
+
+class TestAddNode:
+    def test_external_ids_map_to_dense_internal_ids(self):
+        builder = RoadNetworkBuilder()
+        assert builder.add_node(1000, 0.0, 0.0) == 0
+        assert builder.add_node(55, 0.0, 0.001) == 1
+
+    def test_readding_same_node_is_noop(self):
+        builder = RoadNetworkBuilder()
+        builder.add_node(7, 1.0, 2.0)
+        assert builder.add_node(7, 1.0, 2.0) == 0
+        assert builder.num_nodes == 1
+
+    def test_readding_with_different_coordinates_rejected(self):
+        builder = RoadNetworkBuilder()
+        builder.add_node(7, 1.0, 2.0)
+        with pytest.raises(GraphError):
+            builder.add_node(7, 1.0, 2.5)
+
+    def test_internal_id_of_unknown_node_rejected(self):
+        builder = RoadNetworkBuilder()
+        with pytest.raises(GraphError):
+            builder.internal_id(42)
+
+
+class TestAddEdge:
+    def test_edge_requires_existing_endpoints(self):
+        builder = RoadNetworkBuilder()
+        builder.add_node(0, 0.0, 0.0)
+        with pytest.raises(GraphError):
+            builder.add_edge(0, 1, 100.0, 10.0)
+
+    def test_self_loop_rejected(self):
+        builder = RoadNetworkBuilder()
+        builder.add_node(0, 0.0, 0.0)
+        with pytest.raises(GraphError):
+            builder.add_edge(0, 0, 100.0, 10.0)
+
+    def test_bidirectional_adds_two_edges(self):
+        builder = RoadNetworkBuilder()
+        builder.add_node(0, 0.0, 0.0)
+        builder.add_node(1, 0.0, 0.001)
+        builder.add_edge(0, 1, 100.0, 10.0, bidirectional=True)
+        assert builder.num_edges == 2
+        network = builder.build()
+        assert network.has_edge(0, 1)
+        assert network.has_edge(1, 0)
+
+    def test_edge_metadata_preserved(self):
+        builder = RoadNetworkBuilder()
+        builder.add_node(0, 0.0, 0.0)
+        builder.add_node(1, 0.0, 0.001)
+        builder.add_edge(
+            0, 1, 100.0, 10.0, highway="primary", maxspeed_kmh=70.0,
+            lanes=3, name="Main St",
+        )
+        edge = builder.build().edge(0)
+        assert edge.highway == "primary"
+        assert edge.maxspeed_kmh == 70.0
+        assert edge.lanes == 3
+        assert edge.name == "Main St"
+
+
+class TestBuild:
+    def test_empty_builder_rejected(self):
+        with pytest.raises(GraphError):
+            RoadNetworkBuilder().build()
+
+    def test_largest_scc_prunes_dead_ends(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(4):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        # 0 <-> 1 is the mutual component; 2 only reachable one-way;
+        # 3 isolated.
+        builder.add_edge(0, 1, 100.0, 10.0, bidirectional=True)
+        builder.add_edge(1, 2, 100.0, 10.0)  # no way back
+        network = builder.build(largest_scc_only=True)
+        assert network.num_nodes == 2
+        assert network.num_edges == 2
+
+    def test_largest_scc_keeps_cycles(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(3):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(0, 1, 100.0, 10.0)
+        builder.add_edge(1, 2, 100.0, 10.0)
+        builder.add_edge(2, 0, 140.0, 14.0)
+        network = builder.build(largest_scc_only=True)
+        assert network.num_nodes == 3
+        assert network.num_edges == 3
+
+    def test_scc_with_no_internal_edges_rejected(self):
+        builder = RoadNetworkBuilder()
+        builder.add_node(0, 0.0, 0.0)
+        builder.add_node(1, 0.0, 0.001)
+        builder.add_edge(0, 1, 100.0, 10.0)  # one-way: SCCs are singletons
+        with pytest.raises(GraphError):
+            builder.build(largest_scc_only=True)
+
+    def test_scc_remaps_ids_densely(self):
+        builder = RoadNetworkBuilder()
+        for node_id in range(5):
+            builder.add_node(node_id, 0.0, 0.001 * node_id)
+        builder.add_edge(3, 4, 100.0, 10.0, bidirectional=True)
+        network = builder.build(largest_scc_only=True)
+        assert [node.id for node in network.nodes()] == [0, 1]
+        # osm_id preserves the original external ids.
+        assert sorted(node.osm_id for node in network.nodes()) == [3, 4]
+
+
+class TestHelpers:
+    def test_grid_network_shape(self):
+        network = grid_network(3, 4, spacing_m=100.0)
+        assert network.num_nodes == 12
+        # Horizontal: 3 rows x 3 gaps; vertical: 2 rows x 4 cols; x2 dirs.
+        assert network.num_edges == 2 * (3 * 3 + 2 * 4)
+
+    def test_grid_network_travel_time(self):
+        network = grid_network(2, 2, spacing_m=500.0, speed_kmh=50.0)
+        assert network.edge(0).travel_time_s == pytest.approx(36.0)
+
+    def test_network_from_edge_list(self):
+        network = network_from_edge_list(
+            [(10, 0.0, 0.0), (20, 0.0, 0.001)],
+            [(10, 20, 100.0, 9.0)],
+            bidirectional=True,
+        )
+        assert network.num_nodes == 2
+        assert network.num_edges == 2
+        assert network.edge(0).travel_time_s == 9.0

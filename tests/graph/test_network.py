@@ -1,0 +1,179 @@
+"""Tests for the RoadNetwork core data structure."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
+from repro.graph.network import Edge, Node, RoadNetwork
+
+
+def two_node_network(**edge_kwargs) -> RoadNetwork:
+    nodes = [Node(0, 0.0, 0.0), Node(1, 0.0, 0.001)]
+    defaults = dict(
+        id=0, u=0, v=1, length_m=100.0, travel_time_s=10.0
+    )
+    defaults.update(edge_kwargs)
+    return RoadNetwork(nodes, [Edge(**defaults)])
+
+
+class TestValidation:
+    def test_non_dense_node_ids_rejected(self):
+        with pytest.raises(GraphError):
+            RoadNetwork([Node(1, 0.0, 0.0)], [])
+
+    def test_non_dense_edge_ids_rejected(self):
+        nodes = [Node(0, 0.0, 0.0), Node(1, 0.0, 0.001)]
+        with pytest.raises(GraphError):
+            RoadNetwork(
+                nodes, [Edge(id=5, u=0, v=1, length_m=1.0, travel_time_s=1.0)]
+            )
+
+    def test_edge_to_missing_node_rejected(self):
+        nodes = [Node(0, 0.0, 0.0)]
+        with pytest.raises(NodeNotFoundError):
+            RoadNetwork(
+                nodes, [Edge(id=0, u=0, v=7, length_m=1.0, travel_time_s=1.0)]
+            )
+
+    def test_self_loop_rejected(self):
+        nodes = [Node(0, 0.0, 0.0)]
+        with pytest.raises(GraphError):
+            RoadNetwork(
+                nodes, [Edge(id=0, u=0, v=0, length_m=1.0, travel_time_s=1.0)]
+            )
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphError):
+            two_node_network(travel_time_s=0.0)
+
+
+class TestAccessors:
+    def test_counts(self, grid10):
+        assert grid10.num_nodes == 100
+        assert grid10.num_edges == 360  # 2 * (2 * 9 * 10)
+
+    def test_node_lookup(self, grid10):
+        node = grid10.node(0)
+        assert node.id == 0
+
+    def test_node_lookup_out_of_range(self, grid10):
+        with pytest.raises(NodeNotFoundError):
+            grid10.node(100)
+        with pytest.raises(NodeNotFoundError):
+            grid10.node(-1)
+
+    def test_edge_lookup_out_of_range(self, grid10):
+        with pytest.raises(EdgeNotFoundError):
+            grid10.edge(10_000)
+
+    def test_nodes_iterates_in_id_order(self, grid10):
+        ids = [node.id for node in grid10.nodes()]
+        assert ids == list(range(100))
+
+    def test_edges_iterates_in_id_order(self, grid10):
+        ids = [edge.id for edge in grid10.edges()]
+        assert ids == list(range(360))
+
+    def test_repr_mentions_sizes(self, grid10):
+        assert "nodes=100" in repr(grid10)
+        assert "edges=360" in repr(grid10)
+
+
+class TestAdjacency:
+    def test_corner_degree(self, grid10):
+        # Corner node 0 connects to nodes 1 and 10, both directions.
+        assert grid10.degree(0) == 4
+        assert sorted(grid10.successors(0)) == [1, 10]
+        assert sorted(grid10.predecessors(0)) == [1, 10]
+
+    def test_interior_degree(self, grid10):
+        interior = 5 * 10 + 5
+        assert len(grid10.out_edges(interior)) == 4
+        assert len(grid10.in_edges(interior)) == 4
+
+    def test_out_edges_leave_the_node(self, grid10):
+        for edge in grid10.out_edges(42):
+            assert edge.u == 42
+
+    def test_in_edges_enter_the_node(self, grid10):
+        for edge in grid10.in_edges(42):
+            assert edge.v == 42
+
+    def test_has_edge(self, grid10):
+        assert grid10.has_edge(0, 1)
+        assert not grid10.has_edge(0, 99)
+        assert not grid10.has_edge(-5, 0)
+
+    def test_edge_between_missing_raises(self, grid10):
+        with pytest.raises(EdgeNotFoundError):
+            grid10.edge_between(0, 99)
+
+    def test_edge_between_picks_cheapest_parallel_edge(self):
+        nodes = [Node(0, 0.0, 0.0), Node(1, 0.0, 0.001)]
+        edges = [
+            Edge(id=0, u=0, v=1, length_m=100.0, travel_time_s=20.0),
+            Edge(id=1, u=0, v=1, length_m=100.0, travel_time_s=10.0),
+        ]
+        network = RoadNetwork(nodes, edges)
+        assert network.edge_between(0, 1).id == 1
+
+    def test_edge_between_respects_weight_override(self):
+        nodes = [Node(0, 0.0, 0.0), Node(1, 0.0, 0.001)]
+        edges = [
+            Edge(id=0, u=0, v=1, length_m=100.0, travel_time_s=20.0),
+            Edge(id=1, u=0, v=1, length_m=100.0, travel_time_s=10.0),
+        ]
+        network = RoadNetwork(nodes, edges)
+        assert network.edge_between(0, 1, weights=[1.0, 5.0]).id == 0
+
+
+class TestWeights:
+    def test_travel_times_returns_independent_copy(self, grid10):
+        weights = grid10.travel_times()
+        weights[0] = 1e9
+        assert grid10.travel_times()[0] != 1e9
+
+    def test_path_travel_time(self, grid10):
+        time = grid10.path_travel_time([0, 1, 2])
+        assert time == pytest.approx(2 * grid10.edge(0).travel_time_s)
+
+    def test_path_travel_time_with_custom_weights(self, grid10):
+        weights = [1.0] * grid10.num_edges
+        assert grid10.path_travel_time([0, 1, 2], weights) == 2.0
+
+    def test_path_travel_time_non_adjacent_raises(self, grid10):
+        with pytest.raises(EdgeNotFoundError):
+            grid10.path_travel_time([0, 99])
+
+    def test_path_length(self, grid10):
+        assert grid10.path_length_m([0, 1]) == pytest.approx(500.0)
+
+
+class TestGeometry:
+    def test_bounding_box_contains_every_node(self, grid10):
+        bbox = grid10.bounding_box()
+        for node in grid10.nodes():
+            assert bbox.contains(node.lat, node.lon)
+
+    def test_coordinates(self, grid10):
+        coords = grid10.coordinates([0, 99])
+        assert len(coords) == 2
+        node = grid10.node(99)
+        assert coords[1] == (node.lat, node.lon)
+
+    def test_coordinates_missing_node_raises(self, grid10):
+        with pytest.raises(NodeNotFoundError):
+            grid10.coordinates([0, 12345])
+
+
+class TestEdgeProperties:
+    def test_freeway_classification(self):
+        network = two_node_network(highway="motorway")
+        assert network.edge(0).is_freeway
+
+    def test_residential_not_freeway(self):
+        network = two_node_network(highway="residential")
+        assert not network.edge(0).is_freeway

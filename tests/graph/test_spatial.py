@@ -1,0 +1,110 @@
+"""Tests for the grid spatial index (geo-coordinate matching)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.geometry import haversine_m
+from repro.graph.spatial import SpatialIndex
+
+
+def brute_force_nearest(network, lat, lon):
+    return min(
+        network.nodes(),
+        key=lambda node: haversine_m(lat, lon, node.lat, node.lon),
+    ).id
+
+
+class TestNearestNode:
+    def test_exact_node_position(self, grid10):
+        index = SpatialIndex(grid10)
+        node = grid10.node(37)
+        assert index.nearest_node(node.lat, node.lon) == 37
+
+    def test_matches_brute_force_on_random_points(self, grid10):
+        index = SpatialIndex(grid10)
+        bbox = grid10.bounding_box().expanded(0.01)
+        rng = random.Random(3)
+        for _ in range(100):
+            lat, lon = bbox.sample(rng)
+            got = index.nearest_node(lat, lon)
+            expected = brute_force_nearest(grid10, lat, lon)
+            got_d = haversine_m(
+                lat, lon, grid10.node(got).lat, grid10.node(got).lon
+            )
+            exp_d = haversine_m(
+                lat, lon, grid10.node(expected).lat, grid10.node(expected).lon
+            )
+            # Ties at equal distance are acceptable either way.
+            assert got_d == pytest.approx(exp_d, abs=0.5)
+
+    def test_far_outside_point_still_matches(self, grid10):
+        index = SpatialIndex(grid10)
+        # Sydney is hundreds of km from the grid anchored at Melbourne.
+        got = index.nearest_node(-33.8688, 151.2093)
+        expected = brute_force_nearest(grid10, -33.8688, 151.2093)
+        assert got == expected
+
+    def test_works_on_synthetic_city(self, melbourne_small):
+        index = SpatialIndex(melbourne_small)
+        rng = random.Random(11)
+        bbox = melbourne_small.bounding_box()
+        for _ in range(40):
+            lat, lon = bbox.sample(rng)
+            got = index.nearest_node(lat, lon)
+            expected = brute_force_nearest(melbourne_small, lat, lon)
+            got_d = haversine_m(
+                lat,
+                lon,
+                melbourne_small.node(got).lat,
+                melbourne_small.node(got).lon,
+            )
+            exp_d = haversine_m(
+                lat,
+                lon,
+                melbourne_small.node(expected).lat,
+                melbourne_small.node(expected).lon,
+            )
+            assert got_d == pytest.approx(exp_d, abs=0.5)
+
+
+class TestNodesWithin:
+    def test_zero_radius_only_exact_hits(self, grid10):
+        index = SpatialIndex(grid10)
+        node = grid10.node(0)
+        assert index.nodes_within(node.lat, node.lon, 0.1) == [0]
+
+    def test_radius_covers_neighbours(self, grid10):
+        index = SpatialIndex(grid10)
+        node = grid10.node(0)
+        # 500 m spacing: a 600 m radius catches east and north neighbours.
+        hits = index.nodes_within(node.lat, node.lon, 600.0)
+        assert set(hits) == {0, 1, 10}
+
+    def test_results_sorted_by_distance(self, grid10):
+        index = SpatialIndex(grid10)
+        node = grid10.node(0)
+        hits = index.nodes_within(node.lat, node.lon, 1200.0)
+        dists = [
+            haversine_m(
+                node.lat, node.lon, grid10.node(h).lat, grid10.node(h).lon
+            )
+            for h in hits
+        ]
+        assert dists == sorted(dists)
+
+    def test_negative_radius_rejected(self, grid10):
+        index = SpatialIndex(grid10)
+        with pytest.raises(GraphError):
+            index.nodes_within(0.0, 0.0, -1.0)
+
+
+class TestConfiguration:
+    def test_non_positive_cell_size_rejected(self, grid10):
+        with pytest.raises(GraphError):
+            SpatialIndex(grid10, cell_size_m=0.0)
+
+    def test_cells_are_populated(self, grid10):
+        index = SpatialIndex(grid10, cell_size_m=500.0)
+        assert index.num_cells > 1

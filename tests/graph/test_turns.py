@@ -1,0 +1,54 @@
+"""Tests for the turn-restriction table."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import TurnRestrictionTable
+
+
+def junction_pair(grid10):
+    """Return two edge ids meeting at node 1 (0->1 then 1->11)."""
+    into = grid10.edge_between(0, 1).id
+    out = grid10.edge_between(1, 11).id
+    return into, out
+
+
+class TestTable:
+    def test_empty_table_allows_everything(self, grid10):
+        table = TurnRestrictionTable(grid10)
+        into, out = junction_pair(grid10)
+        assert table.is_empty
+        assert table.allows(into, out)
+        assert len(table) == 0
+
+    def test_forbidden_pair_blocked(self, grid10):
+        into, out = junction_pair(grid10)
+        table = TurnRestrictionTable(grid10, [(into, out)])
+        assert not table.allows(into, out)
+        assert (into, out) in table
+        assert len(table) == 1
+
+    def test_other_transitions_unaffected(self, grid10):
+        into, out = junction_pair(grid10)
+        table = TurnRestrictionTable(grid10, [(into, out)])
+        straight = grid10.edge_between(1, 2).id
+        assert table.allows(into, straight)
+
+    def test_disjoint_pair_rejected(self, grid10):
+        a = grid10.edge_between(0, 1).id
+        b = grid10.edge_between(5, 6).id
+        with pytest.raises(GraphError):
+            TurnRestrictionTable(grid10, [(a, b)])
+
+    def test_merged_with(self, grid10):
+        into, out = junction_pair(grid10)
+        straight = grid10.edge_between(1, 2).id
+        table = TurnRestrictionTable(grid10, [(into, out)])
+        merged = table.merged_with([(into, straight)])
+        assert len(merged) == 2
+        assert len(table) == 1  # original untouched
+
+    def test_pairs_returns_frozen_set(self, grid10):
+        into, out = junction_pair(grid10)
+        table = TurnRestrictionTable(grid10, [(into, out)])
+        assert table.pairs() == frozenset({(into, out)})

@@ -1,0 +1,123 @@
+"""Tests for stretch, local optimality and detour detection."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.algorithms import shortest_path
+from repro.graph.path import Path
+from repro.metrics.quality import (
+    detour_score,
+    has_detour,
+    is_locally_optimal,
+    stretch,
+    summarize_route_set,
+)
+
+
+class TestStretch:
+    def test_optimal_path_has_stretch_one(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        assert stretch(path, path.travel_time_s) == pytest.approx(1.0)
+
+    def test_slower_path_has_larger_stretch(self, diamond):
+        direct = Path.from_nodes(diamond, [0, 5])  # cost 9, optimum 4
+        assert stretch(direct, 4.0) == pytest.approx(2.25)
+
+    def test_non_positive_reference_rejected(self, diamond):
+        path = Path.from_nodes(diamond, [0, 5])
+        with pytest.raises(ConfigurationError):
+            stretch(path, 0.0)
+
+
+class TestLocalOptimality:
+    def test_shortest_path_is_locally_optimal(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        assert is_locally_optimal(path, alpha=0.3)
+
+    def test_detour_path_is_not_locally_optimal(self, diamond):
+        # 0 -> 5 via the slow direct edge (cost 9 vs optimal 4): the
+        # whole path is a window at alpha=1.
+        direct = Path.from_nodes(diamond, [0, 5])
+        assert not is_locally_optimal(direct, alpha=1.0)
+
+    def test_small_alpha_forgives_large_detours(self, diamond):
+        # With a tiny window each single edge is trivially optimal.
+        direct = Path.from_nodes(diamond, [0, 5])
+        assert is_locally_optimal(direct, alpha=0.05)
+
+    def test_invalid_alpha_rejected(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        with pytest.raises(ConfigurationError):
+            is_locally_optimal(path, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            is_locally_optimal(path, alpha=1.5)
+
+    def test_zigzag_grid_walk_fails_local_optimality(self, grid10):
+        # Walk east along the bottom then north up the last column is a
+        # shortest path; a staircase that doubles back is not.
+        nodes = [0, 1, 11, 1, 2]  # revisits node 1: clearly suboptimal
+        path = Path.from_nodes(grid10, nodes)
+        assert not is_locally_optimal(path, alpha=1.0)
+
+
+class TestDetourScore:
+    def test_shortest_path_scores_one(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        assert detour_score(path) == pytest.approx(1.0)
+
+    def test_two_node_path_scores_one(self, diamond):
+        direct = Path.from_nodes(diamond, [0, 5])
+        assert detour_score(direct) == pytest.approx(1.0)
+
+    def test_detour_detected_on_roundabout_walk(self, grid10):
+        # 0 -> 9 straight east is optimal; going up and back adds 2
+        # edges over a 3-edge optimum between sampled points.
+        nodes = [0, 10, 11, 12, 2, 3]
+        path = Path.from_nodes(grid10, nodes)
+        assert detour_score(path, samples=5) > 1.3
+
+    def test_has_detour_threshold(self, grid10):
+        nodes = [0, 10, 11, 12, 2, 3]
+        path = Path.from_nodes(grid10, nodes)
+        assert has_detour(path, threshold=1.2, samples=5)
+        assert not has_detour(path, threshold=10.0, samples=5)
+
+    def test_invalid_samples_rejected(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        with pytest.raises(ConfigurationError):
+            detour_score(path, samples=0)
+
+
+class TestRouteSetSummary:
+    def test_summary_of_optimal_singleton(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        summary = summarize_route_set([path])
+        assert summary.num_routes == 1
+        assert summary.mean_stretch == pytest.approx(1.0)
+        assert summary.max_stretch == pytest.approx(1.0)
+        assert summary.mean_pairwise_similarity == 0.0
+        assert summary.total_length_m == pytest.approx(path.length_m)
+
+    def test_summary_with_alternatives(self, diamond):
+        fast = Path.from_nodes(diamond, [0, 1, 3, 5])
+        slow = Path.from_nodes(diamond, [0, 5])
+        summary = summarize_route_set([fast, slow])
+        assert summary.fastest_time_s == pytest.approx(4.0)
+        assert summary.max_stretch == pytest.approx(9.0 / 4.0)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_route_set([])
+
+    def test_as_dict_round_trip(self, grid10):
+        path = shortest_path(grid10, 0, 99)
+        payload = summarize_route_set([path]).as_dict()
+        assert payload["num_routes"] == 1
+        assert set(payload) == {
+            "num_routes",
+            "fastest_time_s",
+            "mean_stretch",
+            "max_stretch",
+            "mean_pairwise_similarity",
+            "total_length_m",
+        }

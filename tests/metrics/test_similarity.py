@@ -1,0 +1,112 @@
+"""Tests for path similarity / dissimilarity metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.graph.path import Path
+from repro.metrics.similarity import (
+    average_pairwise_similarity,
+    dissimilarity,
+    dissimilarity_to_set,
+    jaccard_similarity,
+    overlap_ratio_matrix,
+    shared_length_m,
+    similarity,
+    validate_threshold,
+)
+
+
+@pytest.fixture()
+def braids(diamond):
+    """The two disjoint 0->5 braids plus the direct edge path."""
+    upper = Path.from_nodes(diamond, [0, 1, 3, 5])
+    lower = Path.from_nodes(diamond, [0, 2, 4, 5])
+    direct = Path.from_nodes(diamond, [0, 5])
+    return upper, lower, direct
+
+
+class TestPairwise:
+    def test_identical_paths_have_similarity_one(self, braids):
+        upper, _, _ = braids
+        assert similarity(upper, upper) == 1.0
+        assert dissimilarity(upper, upper) == 0.0
+
+    def test_disjoint_paths_have_similarity_zero(self, braids):
+        upper, lower, _ = braids
+        assert similarity(upper, lower) == 0.0
+        assert dissimilarity(upper, lower) == 1.0
+
+    def test_partial_overlap(self, diamond):
+        long_walk = Path.from_nodes(diamond, [0, 1, 3, 5])
+        prefix = Path.from_nodes(diamond, [0, 1, 3])
+        # The prefix is wholly contained: min-normalised similarity 1.
+        assert similarity(long_walk, prefix) == 1.0
+
+    def test_shared_length(self, diamond):
+        upper = Path.from_nodes(diamond, [0, 1, 3, 5])
+        prefix = Path.from_nodes(diamond, [0, 1, 3])
+        assert shared_length_m(upper, prefix) == pytest.approx(
+            prefix.length_m
+        )
+
+    def test_symmetry(self, braids):
+        upper, _, direct = braids
+        assert similarity(upper, direct) == similarity(direct, upper)
+
+    def test_jaccard_below_min_normalised(self, diamond):
+        upper = Path.from_nodes(diamond, [0, 1, 3, 5])
+        prefix = Path.from_nodes(diamond, [0, 1, 3])
+        assert jaccard_similarity(upper, prefix) < similarity(upper, prefix)
+
+    def test_jaccard_identical_is_one(self, braids):
+        upper, _, _ = braids
+        assert jaccard_similarity(upper, upper) == 1.0
+
+
+class TestSetDissimilarity:
+    def test_empty_set_gives_one(self, braids):
+        upper, _, _ = braids
+        assert dissimilarity_to_set(upper, []) == 1.0
+
+    def test_minimum_over_members(self, braids):
+        upper, lower, _ = braids
+        assert dissimilarity_to_set(upper, [upper, lower]) == 0.0
+
+    def test_all_disjoint_gives_one(self, braids):
+        upper, lower, _ = braids
+        assert dissimilarity_to_set(upper, [lower]) == 1.0
+
+
+class TestAggregates:
+    def test_average_pairwise_of_single_path_is_zero(self, braids):
+        upper, _, _ = braids
+        assert average_pairwise_similarity([upper]) == 0.0
+
+    def test_average_pairwise_of_disjoint_paths(self, braids):
+        upper, lower, direct = braids
+        assert average_pairwise_similarity([upper, lower, direct]) == 0.0
+
+    def test_average_pairwise_with_duplicate(self, braids):
+        upper, lower, _ = braids
+        value = average_pairwise_similarity([upper, upper, lower])
+        assert value == pytest.approx(1.0 / 3.0)
+
+    def test_matrix_diagonal_and_symmetry(self, braids):
+        matrix = overlap_ratio_matrix(list(braids))
+        for i in range(3):
+            assert matrix[i][i] == 1.0
+            for j in range(3):
+                assert matrix[i][j] == matrix[j][i]
+
+
+class TestThreshold:
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    def test_valid_thresholds_pass_through(self, theta):
+        assert validate_threshold(theta) == theta
+
+    @pytest.mark.parametrize("theta", [-0.1, 1.0, 1.5])
+    def test_invalid_thresholds_rejected(self, theta):
+        with pytest.raises(ConfigurationError):
+            validate_threshold(theta)

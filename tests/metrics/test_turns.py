@@ -1,0 +1,95 @@
+"""Tests for turn counts, zig-zag scores and road-class features."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.graph.path import Path
+from repro.metrics.turns import (
+    freeway_fraction,
+    road_width_score,
+    sharp_turn_count,
+    turn_count,
+    turns_per_km,
+    zigzag_score,
+)
+
+
+def straight_east(grid10):
+    return Path.from_nodes(grid10, [0, 1, 2, 3, 4])
+
+
+def l_shaped(grid10):
+    return Path.from_nodes(grid10, [0, 1, 2, 12, 22])
+
+
+def staircase(grid10):
+    return Path.from_nodes(grid10, [0, 1, 11, 12, 22, 23])
+
+
+class TestTurnCount:
+    def test_straight_path_has_no_turns(self, grid10):
+        assert turn_count(straight_east(grid10)) == 0
+
+    def test_l_shape_has_one_turn(self, grid10):
+        assert turn_count(l_shaped(grid10)) == 1
+
+    def test_staircase_turns_at_every_junction(self, grid10):
+        assert turn_count(staircase(grid10)) == 4
+
+    def test_sharp_turn_count_on_right_angles(self, grid10):
+        assert sharp_turn_count(l_shaped(grid10)) == 1
+
+    def test_invalid_threshold_rejected(self, grid10):
+        with pytest.raises(ConfigurationError):
+            turn_count(straight_east(grid10), threshold_deg=0.0)
+
+    def test_turns_per_km(self, grid10):
+        path = l_shaped(grid10)  # 4 edges x 500 m = 2 km, 1 turn
+        assert turns_per_km(path) == pytest.approx(0.5)
+
+
+class TestZigzag:
+    def test_straight_path_scores_zero(self, grid10):
+        assert zigzag_score(straight_east(grid10)) == pytest.approx(
+            0.0, abs=0.2
+        )
+
+    def test_staircase_scores_high(self, grid10):
+        assert zigzag_score(staircase(grid10)) > zigzag_score(
+            l_shaped(grid10)
+        )
+
+
+def mixed_class_network():
+    builder = RoadNetworkBuilder()
+    for node_id in range(3):
+        builder.add_node(node_id, 0.0, 0.001 * node_id)
+    builder.add_edge(
+        0, 1, 100.0, 5.0, highway="motorway", lanes=3, bidirectional=True
+    )
+    builder.add_edge(
+        1, 2, 100.0, 10.0, highway="residential", lanes=1,
+        bidirectional=True,
+    )
+    return builder.build()
+
+
+class TestRoadClassFeatures:
+    def test_width_score_is_length_weighted_lanes(self):
+        network = mixed_class_network()
+        path = Path.from_nodes(network, [0, 1, 2])
+        assert road_width_score(path) == pytest.approx(2.0)
+
+    def test_width_score_single_lane(self):
+        network = mixed_class_network()
+        path = Path.from_nodes(network, [1, 2])
+        assert road_width_score(path) == pytest.approx(1.0)
+
+    def test_freeway_fraction(self):
+        network = mixed_class_network()
+        path = Path.from_nodes(network, [0, 1, 2])
+        assert freeway_fraction(path) == pytest.approx(0.5)
+
+    def test_freeway_fraction_zero_without_motorway(self, grid10):
+        assert freeway_fraction(straight_east(grid10)) == 0.0

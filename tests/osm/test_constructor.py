@@ -1,0 +1,160 @@
+"""Tests for the road-network constructor (OSM document -> RoadNetwork)."""
+
+import pytest
+
+from repro.exceptions import OSMError
+from repro.geometry import BoundingBox, haversine_m
+from repro.osm.constructor import RoadNetworkConstructor
+from repro.osm.model import OSMDocument, OSMNode, OSMWay
+from repro.osm.profile import RoutingProfile
+
+
+def simple_document():
+    """Three nodes in a row, one residential way, one footpath."""
+    nodes = [
+        OSMNode(1, 0.0, 0.0),
+        OSMNode(2, 0.0, 0.001),
+        OSMNode(3, 0.0, 0.002),
+    ]
+    ways = [
+        OSMWay(
+            10,
+            (1, 2, 3),
+            {"highway": "residential", "maxspeed": "36", "name": "A St"},
+        ),
+        OSMWay(11, (1, 3), {"highway": "footway"}),
+    ]
+    return OSMDocument(nodes, ways)
+
+
+class TestConstruct:
+    def test_way_split_into_segments(self):
+        network = RoadNetworkConstructor().construct(simple_document())
+        assert network.num_nodes == 3
+        # Two segments, both directions.
+        assert network.num_edges == 4
+
+    def test_footway_excluded(self):
+        network = RoadNetworkConstructor().construct(simple_document())
+        for edge in network.edges():
+            assert edge.highway == "residential"
+
+    def test_travel_time_matches_paper_formula(self):
+        network = RoadNetworkConstructor().construct(simple_document())
+        edge = network.edge(0)
+        expected = edge.length_m / (36.0 / 3.6) * 1.3
+        assert edge.travel_time_s == pytest.approx(expected)
+
+    def test_edge_length_is_haversine(self):
+        network = RoadNetworkConstructor().construct(simple_document())
+        edge = network.edge(0)
+        u = network.node(edge.u)
+        v = network.node(edge.v)
+        assert edge.length_m == pytest.approx(
+            haversine_m(u.lat, u.lon, v.lat, v.lon)
+        )
+
+    def test_street_name_preserved(self):
+        network = RoadNetworkConstructor().construct(simple_document())
+        assert network.edge(0).name == "A St"
+
+    def test_oneway_creates_single_direction(self):
+        nodes = [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 0.001)]
+        ways = [
+            OSMWay(10, (1, 2), {"highway": "residential", "oneway": "yes"}),
+            # A return road so the SCC is not empty.
+            OSMWay(11, (2, 1), {"highway": "residential", "oneway": "yes"}),
+        ]
+        network = RoadNetworkConstructor().construct(
+            OSMDocument(nodes, ways)
+        )
+        assert network.num_edges == 2
+
+    def test_reverse_oneway_flips_direction(self):
+        nodes = [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 0.001)]
+        ways = [
+            OSMWay(10, (1, 2), {"highway": "residential", "oneway": "-1"}),
+            OSMWay(11, (1, 2), {"highway": "residential", "oneway": "yes"}),
+        ]
+        network = RoadNetworkConstructor().construct(
+            OSMDocument(nodes, ways)
+        )
+        # Way 10 runs 2 -> 1, way 11 runs 1 -> 2: both directions exist.
+        assert network.num_edges == 2
+        internal = {
+            (network.node(e.u).osm_id, network.node(e.v).osm_id)
+            for e in network.edges()
+        }
+        assert internal == {(1, 2), (2, 1)}
+
+    def test_rectangle_filter_applied(self):
+        box = BoundingBox(-0.5, -0.0005, 0.5, 0.0015)  # nodes 1, 2 only
+        network = RoadNetworkConstructor(bbox=box).construct(
+            simple_document()
+        )
+        assert network.num_nodes == 2
+
+    def test_empty_extract_rejected(self):
+        box = BoundingBox(10.0, 10.0, 11.0, 11.0)
+        with pytest.raises(OSMError):
+            RoadNetworkConstructor(bbox=box).construct(simple_document())
+
+    def test_document_with_only_footways_rejected(self):
+        nodes = [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 0.001)]
+        ways = [OSMWay(10, (1, 2), {"highway": "footway"})]
+        with pytest.raises(OSMError):
+            RoadNetworkConstructor().construct(OSMDocument(nodes, ways))
+
+    def test_scc_cleanup_removes_stub(self):
+        nodes = [
+            OSMNode(1, 0.0, 0.0),
+            OSMNode(2, 0.0, 0.001),
+            OSMNode(3, 0.0, 0.002),
+        ]
+        ways = [
+            OSMWay(10, (1, 2), {"highway": "residential"}),
+            # One-way dead end into node 3.
+            OSMWay(11, (2, 3), {"highway": "residential", "oneway": "yes"}),
+        ]
+        network = RoadNetworkConstructor().construct(
+            OSMDocument(nodes, ways)
+        )
+        assert network.num_nodes == 2
+
+    def test_scc_cleanup_disabled(self):
+        nodes = [
+            OSMNode(1, 0.0, 0.0),
+            OSMNode(2, 0.0, 0.001),
+            OSMNode(3, 0.0, 0.002),
+        ]
+        ways = [
+            OSMWay(10, (1, 2), {"highway": "residential"}),
+            OSMWay(11, (2, 3), {"highway": "residential", "oneway": "yes"}),
+        ]
+        network = RoadNetworkConstructor(largest_scc_only=False).construct(
+            OSMDocument(nodes, ways)
+        )
+        assert network.num_nodes == 3
+
+    def test_custom_profile_respected(self):
+        profile = RoutingProfile(intersection_delay_factor=1.0)
+        network = RoadNetworkConstructor(profile=profile).construct(
+            simple_document()
+        )
+        edge = network.edge(0)
+        assert edge.travel_time_s == pytest.approx(
+            edge.length_m / (36.0 / 3.6)
+        )
+
+    def test_zero_length_segments_skipped(self):
+        nodes = [
+            OSMNode(1, 0.0, 0.0),
+            OSMNode(2, 0.0, 0.0),  # same position as 1
+            OSMNode(3, 0.0, 0.001),
+        ]
+        ways = [OSMWay(10, (1, 2, 3), {"highway": "residential"})]
+        network = RoadNetworkConstructor(
+            largest_scc_only=False
+        ).construct(OSMDocument(nodes, ways))
+        # Only the 2 -> 3 segment (both directions) survives.
+        assert network.num_edges == 2

@@ -1,0 +1,104 @@
+"""Tests for the OSM document model and rectangle filtering."""
+
+import pytest
+
+from repro.exceptions import OSMParseError
+from repro.geometry import BoundingBox
+from repro.osm.model import OSMDocument, OSMNode, OSMWay
+
+
+def make_line_document():
+    """Five nodes in a row at longitudes 0..4 (lat 0), one way."""
+    nodes = [OSMNode(i, 0.0, float(i)) for i in range(5)]
+    ways = [OSMWay(10, tuple(range(5)), {"highway": "residential"})]
+    return OSMDocument(nodes, ways)
+
+
+class TestValidation:
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(OSMParseError):
+            OSMDocument(
+                [OSMNode(1, 0.0, 0.0), OSMNode(1, 1.0, 1.0)], []
+            )
+
+    def test_duplicate_way_rejected(self):
+        nodes = [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 1.0)]
+        with pytest.raises(OSMParseError):
+            OSMDocument(
+                nodes,
+                [OSMWay(5, (1, 2)), OSMWay(5, (2, 1))],
+            )
+
+    def test_short_way_rejected(self):
+        with pytest.raises(OSMParseError):
+            OSMDocument([OSMNode(1, 0.0, 0.0)], [OSMWay(5, (1,))])
+
+    def test_check_references_finds_dangling(self):
+        document = OSMDocument(
+            [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 1.0)],
+            [OSMWay(5, (1, 2, 3))],
+        )
+        with pytest.raises(OSMParseError):
+            document.check_references()
+
+    def test_unknown_lookups_raise(self):
+        document = make_line_document()
+        with pytest.raises(OSMParseError):
+            document.node(99)
+        with pytest.raises(OSMParseError):
+            document.way(99)
+
+
+class TestFilteredTo:
+    def test_whole_box_keeps_everything(self):
+        document = make_line_document()
+        box = BoundingBox(-1.0, -1.0, 1.0, 5.0)
+        filtered = document.filtered_to(box)
+        assert filtered.num_nodes == 5
+        assert filtered.num_ways == 1
+
+    def test_clip_drops_outside_nodes(self):
+        document = make_line_document()
+        box = BoundingBox(-1.0, -0.5, 1.0, 2.5)
+        filtered = document.filtered_to(box)
+        assert filtered.num_nodes == 3
+        assert filtered.way(10).node_refs == (0, 1, 2)
+
+    def test_way_leaving_and_reentering_splits(self):
+        # Nodes 0,1 in, node 2 out, nodes 3,4 in.
+        nodes = [
+            OSMNode(0, 0.0, 0.0),
+            OSMNode(1, 0.0, 1.0),
+            OSMNode(2, 5.0, 2.0),  # far north, outside
+            OSMNode(3, 0.0, 3.0),
+            OSMNode(4, 0.0, 4.0),
+        ]
+        document = OSMDocument(
+            nodes, [OSMWay(10, (0, 1, 2, 3, 4), {"highway": "primary"})]
+        )
+        box = BoundingBox(-1.0, -0.5, 1.0, 4.5)
+        filtered = document.filtered_to(box)
+        ways = list(filtered.ways())
+        assert len(ways) == 2
+        assert ways[0].node_refs == (0, 1)
+        assert ways[1].node_refs == (3, 4)
+        # Tags are inherited by both fragments.
+        assert all(w.tag("highway") == "primary" for w in ways)
+
+    def test_isolated_fragment_dropped(self):
+        document = make_line_document()
+        # Box only contains node 2: no two-node run survives.
+        box = BoundingBox(-0.5, 1.5, 0.5, 2.5)
+        filtered = document.filtered_to(box)
+        assert filtered.num_ways == 0
+
+    def test_bounds_recorded(self):
+        document = make_line_document()
+        box = BoundingBox(-1.0, -1.0, 1.0, 5.0)
+        assert document.filtered_to(box).bounds == box
+
+    def test_computed_bounds_covers_all_nodes(self):
+        document = make_line_document()
+        bounds = document.computed_bounds()
+        for node in document.nodes():
+            assert bounds.contains(node.lat, node.lon)

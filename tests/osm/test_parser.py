@@ -1,0 +1,122 @@
+"""Tests for OSM XML parsing and writing."""
+
+import pytest
+
+from repro.exceptions import OSMParseError
+from repro.osm.model import OSMDocument, OSMNode, OSMWay
+from repro.osm.parser import parse_osm_xml, write_osm_xml
+
+VALID_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <bounds minlat="-38.0" minlon="144.5" maxlat="-37.5" maxlon="145.5"/>
+  <node id="1" lat="-37.8" lon="144.9"/>
+  <node id="2" lat="-37.81" lon="144.91">
+    <tag k="highway" v="traffic_signals"/>
+  </node>
+  <node id="3" lat="-37.82" lon="144.92"/>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="Example &amp; Street"/>
+  </way>
+  <relation id="5"><member type="way" ref="100" role=""/></relation>
+</osm>
+"""
+
+
+class TestParse:
+    def test_counts(self):
+        document = parse_osm_xml(VALID_XML)
+        assert document.num_nodes == 3
+        assert document.num_ways == 1
+
+    def test_bounds_read(self):
+        document = parse_osm_xml(VALID_XML)
+        assert document.bounds is not None
+        assert document.bounds.south == -38.0
+        assert document.bounds.east == 145.5
+
+    def test_node_tags(self):
+        document = parse_osm_xml(VALID_XML)
+        assert document.node(2).tags["highway"] == "traffic_signals"
+
+    def test_way_refs_and_tags(self):
+        document = parse_osm_xml(VALID_XML)
+        way = document.way(100)
+        assert way.node_refs == (1, 2, 3)
+        assert way.tag("name") == "Example & Street"
+
+    def test_relations_are_skipped(self):
+        parse_osm_xml(VALID_XML)  # would raise if relations were parsed
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(OSMParseError):
+            parse_osm_xml("<osm><node")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(OSMParseError):
+            parse_osm_xml("<xml></xml>")
+
+    def test_dangling_reference_rejected(self):
+        xml = VALID_XML.replace('<nd ref="3"/>', '<nd ref="99"/>')
+        with pytest.raises(OSMParseError):
+            parse_osm_xml(xml)
+
+    def test_dangling_reference_allowed_when_unchecked(self):
+        xml = VALID_XML.replace('<nd ref="3"/>', '<nd ref="99"/>')
+        document = parse_osm_xml(xml, check_references=False)
+        assert document.num_ways == 1
+
+    def test_way_with_one_ref_rejected(self):
+        xml = """<osm><node id="1" lat="0" lon="0"/>
+        <way id="9"><nd ref="1"/></way></osm>"""
+        with pytest.raises(OSMParseError):
+            parse_osm_xml(xml)
+
+    def test_node_with_bad_coordinates_rejected(self):
+        xml = '<osm><node id="1" lat="abc" lon="0"/></osm>'
+        with pytest.raises(OSMParseError):
+            parse_osm_xml(xml)
+
+    def test_duplicate_node_ids_rejected(self):
+        xml = """<osm>
+        <node id="1" lat="0" lon="0"/><node id="1" lat="1" lon="1"/>
+        </osm>"""
+        with pytest.raises(OSMParseError):
+            parse_osm_xml(xml)
+
+
+class TestWrite:
+    def test_round_trip_preserves_everything(self):
+        original = parse_osm_xml(VALID_XML)
+        rebuilt = parse_osm_xml(write_osm_xml(original))
+        assert rebuilt.num_nodes == original.num_nodes
+        assert rebuilt.num_ways == original.num_ways
+        assert rebuilt.way(100).node_refs == (1, 2, 3)
+        assert rebuilt.way(100).tag("name") == "Example & Street"
+        assert rebuilt.node(2).tags == dict(original.node(2).tags)
+        assert rebuilt.bounds == original.bounds
+
+    def test_special_characters_in_tags_survive(self):
+        document = OSMDocument(
+            [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 0.001)],
+            [
+                OSMWay(
+                    7,
+                    (1, 2),
+                    {"name": 'Quote " <&> \' Road'},
+                )
+            ],
+        )
+        rebuilt = parse_osm_xml(write_osm_xml(document))
+        assert rebuilt.way(7).tag("name") == 'Quote " <&> \' Road'
+
+    def test_document_without_bounds(self):
+        document = OSMDocument(
+            [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 0.001)],
+            [OSMWay(7, (1, 2), {"highway": "residential"})],
+        )
+        rebuilt = parse_osm_xml(write_osm_xml(document))
+        assert rebuilt.bounds is None

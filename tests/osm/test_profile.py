@@ -1,0 +1,148 @@
+"""Tests for the routing profile (tag interpretation + edge weighting)."""
+
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.osm.model import OSMWay
+from repro.osm.profile import (
+    INTERSECTION_DELAY_FACTOR,
+    RoutingProfile,
+)
+
+
+def way(**tags):
+    return OSMWay(id=1, node_refs=(1, 2), tags=tags)
+
+
+@pytest.fixture()
+def profile():
+    return RoutingProfile()
+
+
+class TestRoutability:
+    def test_residential_is_routable(self, profile):
+        assert profile.interpret(way(highway="residential")).routable
+
+    def test_footway_is_not_routable(self, profile):
+        assert not profile.interpret(way(highway="footway")).routable
+
+    def test_untagged_way_is_not_routable(self, profile):
+        assert not profile.interpret(way(name="Nothing")).routable
+
+    def test_private_access_excluded(self, profile):
+        routing = profile.interpret(
+            way(highway="residential", access="private")
+        )
+        assert not routing.routable
+
+
+class TestMaxspeed:
+    def test_plain_number(self, profile):
+        assert profile.parse_maxspeed("60") == 60.0
+
+    def test_kmh_suffix(self, profile):
+        assert profile.parse_maxspeed("60 km/h") == 60.0
+
+    def test_mph_converted(self, profile):
+        assert profile.parse_maxspeed("50 mph") == pytest.approx(80.4672)
+
+    def test_unparseable_returns_none(self, profile):
+        assert profile.parse_maxspeed("signals") is None
+        assert profile.parse_maxspeed("none") is None
+
+    def test_zero_speed_rejected(self, profile):
+        assert profile.parse_maxspeed("0") is None
+
+    def test_way_speed_from_tag(self, profile):
+        routing = profile.interpret(
+            way(highway="residential", maxspeed="30")
+        )
+        assert routing.speed_kmh == 30.0
+
+    def test_way_speed_falls_back_to_class_default(self, profile):
+        routing = profile.interpret(way(highway="residential"))
+        assert routing.speed_kmh == 40.0
+
+    def test_garbage_maxspeed_falls_back(self, profile):
+        routing = profile.interpret(
+            way(highway="primary", maxspeed="variable")
+        )
+        assert routing.speed_kmh == 60.0
+
+
+class TestDirectionality:
+    def test_default_two_way(self, profile):
+        assert not profile.interpret(way(highway="residential")).oneway
+
+    def test_explicit_oneway(self, profile):
+        assert profile.interpret(
+            way(highway="residential", oneway="yes")
+        ).oneway
+
+    def test_reverse_oneway(self, profile):
+        routing = profile.interpret(
+            way(highway="residential", oneway="-1")
+        )
+        assert routing.oneway
+        assert routing.reversed_direction
+
+    def test_motorway_implied_oneway(self, profile):
+        assert profile.interpret(way(highway="motorway")).oneway
+
+    def test_motorway_explicit_no_overrides_implication(self, profile):
+        assert not profile.interpret(
+            way(highway="motorway", oneway="no")
+        ).oneway
+
+
+class TestLanes:
+    def test_lanes_parsed(self, profile):
+        assert profile.interpret(
+            way(highway="primary", lanes="3")
+        ).lanes == 3
+
+    def test_bad_lanes_default_to_one(self, profile):
+        assert profile.interpret(
+            way(highway="primary", lanes="many")
+        ).lanes == 1
+
+    def test_lanes_floor_at_one(self, profile):
+        assert profile.interpret(
+            way(highway="primary", lanes="0")
+        ).lanes == 1
+
+
+class TestTravelTime:
+    def test_non_freeway_gets_intersection_delay(self, profile):
+        routing = profile.interpret(
+            way(highway="residential", maxspeed="36")
+        )
+        # 36 km/h = 10 m/s -> 100 m in 10 s, times 1.3.
+        assert profile.travel_time_s(100.0, routing) == pytest.approx(13.0)
+
+    def test_motorway_exempt_from_delay_factor(self, profile):
+        routing = profile.interpret(way(highway="motorway", maxspeed="100"))
+        expected = 100.0 / (100.0 / 3.6)
+        assert profile.travel_time_s(100.0, routing) == pytest.approx(
+            expected
+        )
+
+    def test_factor_matches_paper_value(self):
+        assert INTERSECTION_DELAY_FACTOR == 1.3
+
+    def test_custom_delay_factor(self):
+        profile = RoutingProfile(intersection_delay_factor=1.0)
+        routing = profile.interpret(
+            way(highway="residential", maxspeed="36")
+        )
+        assert profile.travel_time_s(100.0, routing) == pytest.approx(10.0)
+
+    def test_non_routable_way_rejected(self, profile):
+        routing = profile.interpret(way(highway="footway"))
+        with pytest.raises(ProfileError):
+            profile.travel_time_s(100.0, routing)
+
+    def test_negative_length_rejected(self, profile):
+        routing = profile.interpret(way(highway="residential"))
+        with pytest.raises(ProfileError):
+            profile.travel_time_s(-1.0, routing)

@@ -1,0 +1,205 @@
+"""Tests for OSM restriction relations: parse, write, compile."""
+
+import pytest
+
+from repro.exceptions import OSMParseError
+from repro.geometry import BoundingBox
+from repro.osm import (
+    OSMDocument,
+    OSMNode,
+    OSMRestriction,
+    OSMWay,
+    RoadNetworkConstructor,
+    parse_osm_xml,
+    write_osm_xml,
+)
+
+RESTRICTION_XML = """<osm>
+  <node id="1" lat="0.0" lon="0.0"/>
+  <node id="2" lat="0.0" lon="0.001"/>
+  <node id="3" lat="0.0" lon="0.002"/>
+  <node id="4" lat="0.001" lon="0.001"/>
+  <way id="10">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="11">
+    <nd ref="2"/><nd ref="4"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <relation id="99">
+    <member type="way" ref="10" role="from"/>
+    <member type="node" ref="2" role="via"/>
+    <member type="way" ref="11" role="to"/>
+    <tag k="type" v="restriction"/>
+    <tag k="restriction" v="no_left_turn"/>
+  </relation>
+  <relation id="100">
+    <member type="way" ref="10" role="from"/>
+    <tag k="type" v="route"/>
+  </relation>
+</osm>
+"""
+
+
+def cross_document(kind="no_left_turn"):
+    """A + junction: way 10 runs west-east through node 2; way 11 runs
+    south-north through node 2."""
+    nodes = [
+        OSMNode(1, 0.0, 0.0),
+        OSMNode(2, 0.0, 0.001),
+        OSMNode(3, 0.0, 0.002),
+        OSMNode(4, -0.001, 0.001),
+        OSMNode(5, 0.001, 0.001),
+    ]
+    ways = [
+        OSMWay(10, (1, 2, 3), {"highway": "residential"}),
+        OSMWay(11, (4, 2, 5), {"highway": "residential"}),
+    ]
+    restrictions = [OSMRestriction(99, 10, 2, 11, kind)]
+    return OSMDocument(nodes, ways, restrictions=restrictions)
+
+
+class TestParsing:
+    def test_restriction_parsed(self):
+        document = parse_osm_xml(RESTRICTION_XML)
+        assert document.num_restrictions == 1
+        restriction = next(document.restrictions())
+        assert restriction.from_way == 10
+        assert restriction.via_node == 2
+        assert restriction.to_way == 11
+        assert restriction.kind == "no_left_turn"
+        assert not restriction.is_only
+
+    def test_non_restriction_relations_skipped(self):
+        document = parse_osm_xml(RESTRICTION_XML)
+        assert document.num_restrictions == 1  # the route relation dropped
+
+    def test_round_trip_through_writer(self):
+        document = parse_osm_xml(RESTRICTION_XML)
+        rebuilt = parse_osm_xml(write_osm_xml(document))
+        assert rebuilt.num_restrictions == 1
+        assert next(rebuilt.restrictions()) == next(document.restrictions())
+
+    def test_unknown_kind_rejected_by_model(self):
+        with pytest.raises(OSMParseError):
+            OSMDocument(
+                [OSMNode(1, 0.0, 0.0), OSMNode(2, 0.0, 0.001)],
+                [OSMWay(10, (1, 2), {"highway": "residential"})],
+                restrictions=[
+                    OSMRestriction(1, 10, 1, 10, "no_teleporting")
+                ],
+            )
+
+    def test_dangling_restriction_reference_rejected(self):
+        xml = RESTRICTION_XML.replace('ref="11" role="to"', 'ref="77" role="to"')
+        with pytest.raises(OSMParseError):
+            parse_osm_xml(xml)
+
+    def test_exotic_kind_skipped_by_parser(self):
+        xml = RESTRICTION_XML.replace("no_left_turn", "no_entry")
+        document = parse_osm_xml(xml)
+        assert document.num_restrictions == 0
+
+
+class TestCompilation:
+    def test_no_restriction_forbids_from_to_pairs(self):
+        document = cross_document("no_left_turn")
+        network, table = RoadNetworkConstructor(
+            largest_scc_only=False
+        ).construct_with_restrictions(document)
+        assert len(table) > 0
+        for from_id, to_id in table.pairs():
+            from_edge = network.edge(from_id)
+            to_edge = network.edge(to_id)
+            assert from_edge.way_id == 10
+            assert to_edge.way_id == 11
+            # The shared junction is OSM node 2.
+            assert network.node(from_edge.v).osm_id == 2
+
+    def test_only_restriction_blocks_everything_else(self):
+        document = cross_document("only_straight_on")
+        network, table = RoadNetworkConstructor(
+            largest_scc_only=False
+        ).construct_with_restrictions(document)
+        # From way 10 at node 2 the only allowed exit is way 11: the
+        # straight-on continuation along way 10 must be forbidden.
+        for from_id, to_id in table.pairs():
+            assert network.edge(to_id).way_id != 11 or False
+        blocked_ways = {
+            network.edge(to_id).way_id for _, to_id in table.pairs()
+        }
+        assert 10 in blocked_ways
+        assert 11 not in blocked_ways
+
+    def test_restrictions_survive_rectangle_filter(self):
+        document = cross_document()
+        bbox = BoundingBox(-0.01, -0.01, 0.01, 0.01)
+        network, table = RoadNetworkConstructor(
+            bbox=bbox, largest_scc_only=False
+        ).construct_with_restrictions(document)
+        assert len(table) > 0
+
+    def test_restriction_outside_rectangle_dropped(self):
+        document = cross_document()
+        # Clip away node 4/5: way 11 disappears entirely.
+        bbox = BoundingBox(-0.0005, -0.01, 0.0005, 0.01)
+        network, table = RoadNetworkConstructor(
+            bbox=bbox, largest_scc_only=False
+        ).construct_with_restrictions(document)
+        assert table.is_empty
+
+    def test_way_provenance_recorded(self):
+        document = cross_document()
+        network, _ = RoadNetworkConstructor(
+            largest_scc_only=False
+        ).construct_with_restrictions(document)
+        way_ids = {edge.way_id for edge in network.edges()}
+        assert way_ids == {10, 11}
+
+
+class TestGeneratorRestrictions:
+    def test_city_emits_restrictions(self):
+        from repro.cities import CityGenerator
+        from repro.cities.profile import melbourne_profile
+
+        profile = melbourne_profile().scaled(0.5)
+        document = CityGenerator(profile, seed=0).generate_document()
+        assert document.num_restrictions > 0
+        document.check_references()
+
+    def test_zero_fraction_emits_none(self):
+        from dataclasses import replace
+
+        from repro.cities import CityGenerator
+        from repro.cities.profile import melbourne_profile
+
+        profile = replace(
+            melbourne_profile().scaled(0.5),
+            turn_restriction_fraction=0.0,
+        )
+        document = CityGenerator(profile, seed=0).generate_document()
+        assert document.num_restrictions == 0
+
+    def test_restrictions_survive_xml_round_trip(self):
+        from repro.cities import CityGenerator
+        from repro.cities.profile import melbourne_profile
+
+        profile = melbourne_profile().scaled(0.5)
+        generator = CityGenerator(profile, seed=0)
+        document = generator.generate_document()
+        rebuilt = parse_osm_xml(generator.generate_xml())
+        assert rebuilt.num_restrictions == document.num_restrictions
+
+    def test_compiled_table_nonempty_on_city(self):
+        from repro.cities import build_city_network_with_restrictions
+        from repro.cities.profile import melbourne_profile
+
+        network, table = build_city_network_with_restrictions(
+            melbourne_profile(), size="small"
+        )
+        assert len(table) > 0
+        # Every compiled pair shares a junction (validated by the
+        # table) and references real edges.
+        for from_id, to_id in table.pairs():
+            assert network.edge(from_id).v == network.edge(to_id).u

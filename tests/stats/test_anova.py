@@ -1,0 +1,112 @@
+"""Tests for one-way ANOVA, cross-validated against scipy.f_oneway."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StudyError
+from repro.stats import one_way_anova
+from repro.stats.anova import anova_by_key
+
+group = st.lists(
+    st.floats(min_value=1.0, max_value=5.0), min_size=3, max_size=60
+)
+
+
+class TestAgainstScipy:
+    @settings(max_examples=40)
+    @given(st.lists(group, min_size=2, max_size=6))
+    def test_matches_f_oneway(self, groups):
+        try:
+            ours = one_way_anova(groups)
+        except StudyError:
+            # Degenerate all-identical case; scipy returns nan there.
+            flat = {value for g in groups for value in g}
+            assert len(flat) == 1
+            return
+        reference = scipy.stats.f_oneway(*groups)
+        if np.isnan(reference.statistic) or np.isnan(reference.pvalue):
+            # scipy degenerates to nan on (near-)constant inputs.
+            return
+        assert ours.f_statistic == pytest.approx(
+            float(reference.statistic), rel=1e-9, abs=1e-9
+        )
+        assert ours.p_value == pytest.approx(
+            float(reference.pvalue), abs=1e-9
+        )
+
+    def test_rating_scale_example(self):
+        rng = np.random.default_rng(42)
+        groups = [
+            list(rng.integers(1, 6, size=237).astype(float))
+            for _ in range(4)
+        ]
+        ours = one_way_anova(groups)
+        reference = scipy.stats.f_oneway(*groups)
+        assert ours.f_statistic == pytest.approx(float(reference.statistic))
+        assert ours.p_value == pytest.approx(float(reference.pvalue))
+
+
+class TestStructure:
+    def test_degrees_of_freedom(self):
+        result = one_way_anova([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        assert result.df_between == 2
+        assert result.df_within == 3
+
+    def test_identical_group_means_give_f_zero(self):
+        result = one_way_anova([[1.0, 3.0], [2.0, 2.0]])
+        assert result.f_statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_perfect_separation_gives_zero_p(self):
+        result = one_way_anova([[1.0, 1.0], [5.0, 5.0]])
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_mean_squares(self):
+        result = one_way_anova([[1.0, 2.0, 3.0], [2.0, 3.0, 4.0]])
+        assert result.ms_between == pytest.approx(
+            result.ss_between / result.df_between
+        )
+        assert result.ms_within == pytest.approx(
+            result.ss_within / result.df_within
+        )
+
+    def test_formatted_output(self):
+        result = one_way_anova([[1.0, 2.0, 3.0], [2.0, 3.0, 4.0]])
+        text = result.formatted()
+        assert "F(1, 4)" in text
+        assert "p =" in text
+
+    def test_significance_threshold(self):
+        result = one_way_anova([[1.0, 2.0, 3.0], [2.0, 3.0, 4.0]])
+        assert not result.significant(alpha=0.05)
+        assert result.significant(alpha=1.0)
+
+
+class TestValidation:
+    def test_single_group_rejected(self):
+        with pytest.raises(StudyError):
+            one_way_anova([[1.0, 2.0]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(StudyError):
+            one_way_anova([[1.0], []])
+
+    def test_all_identical_rejected(self):
+        with pytest.raises(StudyError):
+            one_way_anova([[2.0, 2.0], [2.0, 2.0]])
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(StudyError):
+            one_way_anova([[1.0], [2.0]])
+
+
+class TestByKey:
+    def test_mapping_form(self):
+        result = anova_by_key(
+            {"A": [1.0, 2.0, 3.0], "B": [2.0, 3.0, 4.0]}
+        )
+        assert result.df_between == 1

@@ -1,0 +1,100 @@
+"""Tests for percentile bootstrap intervals."""
+
+import random
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.stats import (
+    bootstrap_mean_difference,
+    bootstrap_statistic,
+    sample_std,
+)
+
+
+@pytest.fixture()
+def ratings():
+    rng = random.Random(0)
+    return [float(rng.randint(1, 5)) for _ in range(120)]
+
+
+class TestBootstrapStatistic:
+    def test_estimate_is_the_plugin_statistic(self, ratings):
+        interval = bootstrap_statistic(ratings)
+        assert interval.estimate == pytest.approx(
+            sum(ratings) / len(ratings)
+        )
+
+    def test_interval_brackets_the_estimate(self, ratings):
+        interval = bootstrap_statistic(ratings)
+        assert interval.low <= interval.estimate <= interval.high
+
+    def test_deterministic_per_seed(self, ratings):
+        a = bootstrap_statistic(ratings, seed=5)
+        b = bootstrap_statistic(ratings, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_different_seeds_jitter(self, ratings):
+        a = bootstrap_statistic(ratings, seed=1)
+        b = bootstrap_statistic(ratings, seed=2)
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_wider_at_higher_confidence(self, ratings):
+        narrow = bootstrap_statistic(ratings, confidence=0.8)
+        wide = bootstrap_statistic(ratings, confidence=0.99)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_custom_statistic(self, ratings):
+        interval = bootstrap_statistic(ratings, statistic=sample_std)
+        assert interval.estimate == pytest.approx(sample_std(ratings))
+        assert interval.low > 0
+
+    def test_interval_shrinks_with_sample_size(self):
+        rng = random.Random(3)
+        small = [rng.gauss(0, 1) for _ in range(20)]
+        large = [rng.gauss(0, 1) for _ in range(500)]
+        small_ci = bootstrap_statistic(small)
+        large_ci = bootstrap_statistic(large)
+        assert (large_ci.high - large_ci.low) < (
+            small_ci.high - small_ci.low
+        )
+
+    def test_validation(self, ratings):
+        with pytest.raises(StudyError):
+            bootstrap_statistic([1.0])
+        with pytest.raises(StudyError):
+            bootstrap_statistic(ratings, confidence=1.5)
+        with pytest.raises(StudyError):
+            bootstrap_statistic(ratings, resamples=10)
+
+    def test_contains_and_formatted(self, ratings):
+        interval = bootstrap_statistic(ratings)
+        assert interval.contains(interval.estimate)
+        assert "@95%" in interval.formatted()
+
+
+class TestBootstrapMeanDifference:
+    def test_identical_distributions_cover_zero(self):
+        rng = random.Random(4)
+        a = [rng.gauss(3.5, 1.2) for _ in range(150)]
+        b = [rng.gauss(3.5, 1.2) for _ in range(150)]
+        interval = bootstrap_mean_difference(a, b)
+        assert interval.contains(0.0)
+
+    def test_clear_difference_excludes_zero(self):
+        rng = random.Random(5)
+        a = [rng.gauss(4.5, 0.5) for _ in range(100)]
+        b = [rng.gauss(2.0, 0.5) for _ in range(100)]
+        interval = bootstrap_mean_difference(a, b)
+        assert not interval.contains(0.0)
+        assert interval.low > 0
+
+    def test_estimate_is_mean_difference(self):
+        a = [1.0, 2.0, 3.0]
+        b = [2.0, 3.0, 4.0]
+        interval = bootstrap_mean_difference(a, b)
+        assert interval.estimate == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(StudyError):
+            bootstrap_mean_difference([1.0], [2.0, 3.0])

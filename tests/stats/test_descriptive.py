@@ -1,0 +1,61 @@
+"""Tests for descriptive statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import StudyError
+from repro.stats import GroupSummary, mean, sample_std, summarize
+
+values = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0), min_size=2, max_size=50
+)
+
+
+class TestMean:
+    def test_known_value(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(StudyError):
+            mean([])
+
+    @given(values)
+    def test_matches_numpy(self, data):
+        assert mean(data) == pytest.approx(float(np.mean(data)), abs=1e-9)
+
+
+class TestSampleStd:
+    def test_known_value(self):
+        assert sample_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == (
+            pytest.approx(2.138, abs=1e-3)
+        )
+
+    def test_singleton_is_zero(self):
+        assert sample_std([3.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(StudyError):
+            sample_std([])
+
+    @given(values)
+    def test_matches_numpy_ddof1(self, data):
+        assert sample_std(data) == pytest.approx(
+            float(np.std(data, ddof=1)), abs=1e-9
+        )
+
+
+class TestGroupSummary:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+
+    def test_paper_cell_format(self):
+        summary = GroupSummary(mean=3.37, std=1.33, count=237)
+        assert summary.formatted() == "3.37 (1.33)"
+
+    def test_formatted_digits(self):
+        summary = GroupSummary(mean=3.375, std=1.3, count=10)
+        assert summary.formatted(digits=1) == "3.4 (1.3)"

@@ -1,0 +1,95 @@
+"""Tests for Kruskal-Wallis and the chi-square survival function."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, StudyError
+from repro.stats import chi_square_sf, kruskal_wallis
+
+ratings_group = st.lists(
+    st.integers(min_value=1, max_value=5).map(float),
+    min_size=3,
+    max_size=60,
+)
+
+
+class TestChiSquareSf:
+    @given(
+        st.floats(min_value=0.001, max_value=300.0),
+        st.floats(min_value=0.5, max_value=300.0),
+    )
+    def test_matches_scipy(self, statistic, df):
+        ours = chi_square_sf(statistic, df)
+        reference = float(scipy.stats.chi2.sf(statistic, df))
+        assert ours == pytest.approx(reference, abs=1e-10)
+
+    def test_zero_statistic_gives_one(self):
+        assert chi_square_sf(0.0, 3) == 1.0
+
+    def test_monotone_decreasing(self):
+        values = [chi_square_sf(x, 3) for x in (0.5, 1.0, 5.0, 20.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_sf(-1.0, 3)
+        with pytest.raises(ConfigurationError):
+            chi_square_sf(1.0, 0)
+
+
+class TestKruskalWallis:
+    @settings(max_examples=40)
+    @given(st.lists(ratings_group, min_size=2, max_size=5))
+    def test_matches_scipy_kruskal(self, groups):
+        flat = {v for group in groups for v in group}
+        if len(flat) == 1:
+            with pytest.raises(StudyError):
+                kruskal_wallis(groups)
+            return
+        ours = kruskal_wallis(groups)
+        reference = scipy.stats.kruskal(*groups)
+        assert ours.h_statistic == pytest.approx(
+            float(reference.statistic), rel=1e-9, abs=1e-9
+        )
+        assert ours.p_value == pytest.approx(
+            float(reference.pvalue), abs=1e-9
+        )
+
+    def test_rating_scale_ties_handled(self):
+        rng = np.random.default_rng(7)
+        groups = [
+            list(rng.integers(1, 6, size=100).astype(float))
+            for _ in range(4)
+        ]
+        ours = kruskal_wallis(groups)
+        reference = scipy.stats.kruskal(*groups)
+        assert ours.h_statistic == pytest.approx(float(reference.statistic))
+
+    def test_identical_group_distributions_high_p(self):
+        groups = [[1.0, 2.0, 3.0, 4.0, 5.0]] * 3
+        result = kruskal_wallis(groups)
+        assert result.p_value > 0.9
+
+    def test_separated_groups_low_p(self):
+        groups = [[1.0] * 20 + [2.0] * 5, [5.0] * 20 + [4.0] * 5]
+        result = kruskal_wallis(groups)
+        assert result.significant(alpha=0.001)
+
+    def test_df(self):
+        result = kruskal_wallis([[1.0, 2.0], [3.0, 4.0], [5.0, 1.0]])
+        assert result.df == 2
+
+    def test_formatted(self):
+        result = kruskal_wallis([[1.0, 2.0, 3.0], [2.0, 3.0, 4.0]])
+        assert "H(1)" in result.formatted()
+
+    def test_validation(self):
+        with pytest.raises(StudyError):
+            kruskal_wallis([[1.0, 2.0]])
+        with pytest.raises(StudyError):
+            kruskal_wallis([[1.0], []])
+        with pytest.raises(StudyError):
+            kruskal_wallis([[2.0, 2.0], [2.0, 2.0]])

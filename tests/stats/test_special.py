@@ -1,0 +1,65 @@
+"""Tests for the incomplete beta / F survival function vs scipy."""
+
+import pytest
+import scipy.special
+import scipy.stats
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.stats import f_distribution_sf, regularized_incomplete_beta
+
+shape = st.floats(min_value=0.5, max_value=200.0)
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestIncompleteBeta:
+    def test_boundaries(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_symmetric_case_half(self):
+        # I_0.5(a, a) = 0.5 by symmetry.
+        assert regularized_incomplete_beta(4.0, 4.0, 0.5) == pytest.approx(
+            0.5, abs=1e-12
+        )
+
+    @given(shape, shape, unit)
+    def test_matches_scipy_betainc(self, a, b, x):
+        ours = regularized_incomplete_beta(a, b, x)
+        reference = float(scipy.special.betainc(a, b, x))
+        assert ours == pytest.approx(reference, abs=1e-10)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            regularized_incomplete_beta(1.0, 1.0, 1.5)
+
+
+class TestFSurvival:
+    def test_zero_statistic_gives_one(self):
+        assert f_distribution_sf(0.0, 3, 100) == 1.0
+
+    @given(
+        st.floats(min_value=0.001, max_value=50.0),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=2, max_value=500),
+    )
+    def test_matches_scipy_f_sf(self, f_stat, d1, d2):
+        ours = f_distribution_sf(f_stat, d1, d2)
+        reference = float(scipy.stats.f.sf(f_stat, d1, d2))
+        assert ours == pytest.approx(reference, abs=1e-10)
+
+    def test_monotone_decreasing_in_f(self):
+        previous = 1.0
+        for f_stat in (0.5, 1.0, 2.0, 4.0, 8.0):
+            current = f_distribution_sf(f_stat, 3, 233)
+            assert current < previous
+            previous = current
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            f_distribution_sf(-1.0, 3, 100)
+        with pytest.raises(ConfigurationError):
+            f_distribution_sf(1.0, 0, 100)

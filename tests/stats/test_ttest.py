@@ -1,0 +1,141 @@
+"""Tests for Welch's t-test and Holm correction, vs scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StudyError
+from repro.stats import (
+    holm_bonferroni,
+    pairwise_welch,
+    t_distribution_sf,
+    welch_t_test,
+)
+
+group = st.lists(
+    st.floats(min_value=-10.0, max_value=10.0), min_size=3, max_size=60
+)
+
+
+class TestTDistribution:
+    @given(
+        st.floats(min_value=-20.0, max_value=20.0),
+        st.floats(min_value=1.0, max_value=400.0),
+    )
+    def test_matches_scipy_sf(self, t_stat, df):
+        ours = t_distribution_sf(t_stat, df)
+        reference = float(scipy.stats.t.sf(t_stat, df))
+        # 2e-9 absolute: near t=0 the two implementations legitimately
+        # differ in the last digits (ours keeps the O(t) term).
+        assert ours == pytest.approx(reference, abs=2e-9)
+
+    def test_zero_statistic_gives_half(self):
+        assert t_distribution_sf(0.0, 10) == 0.5
+
+    def test_invalid_df_rejected(self):
+        with pytest.raises(StudyError):
+            t_distribution_sf(1.0, 0)
+
+
+class TestWelch:
+    @settings(max_examples=40)
+    @given(group, group)
+    def test_matches_scipy_ttest_ind(self, a, b):
+        try:
+            ours = welch_t_test(a, b)
+        except StudyError:
+            # Zero combined variance: both groups constant.
+            assert np.var(a) == 0 and np.var(b) == 0
+            return
+        import warnings
+
+        with warnings.catch_warnings():
+            # Hypothesis loves near-identical samples; scipy warns
+            # about its own precision there, which is exactly the case
+            # we skip below.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            reference = scipy.stats.ttest_ind(a, b, equal_var=False)
+        if np.isnan(reference.statistic) or np.isnan(reference.pvalue):
+            return
+        if (np.var(a, ddof=1) / len(a)) ** 2 == 0.0 or (
+            np.var(b, ddof=1) / len(b)
+        ) ** 2 == 0.0:
+            # Denormal-variance underflow: our df fallback differs from
+            # scipy's by design.
+            return
+        assert ours.t_statistic == pytest.approx(
+            float(reference.statistic), rel=1e-9, abs=1e-9
+        )
+        assert ours.p_value == pytest.approx(
+            float(reference.pvalue), abs=1e-9
+        )
+
+    def test_identical_groups_give_p_one_ish(self):
+        result = welch_t_test([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.t_statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_obvious_difference_is_significant(self):
+        result = welch_t_test([1.0, 1.1, 0.9, 1.0], [5.0, 5.1, 4.9, 5.0])
+        assert result.significant(alpha=0.001)
+        assert result.mean_difference == pytest.approx(-4.0)
+
+    def test_tiny_groups_rejected(self):
+        with pytest.raises(StudyError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+
+class TestHolm:
+    def test_empty(self):
+        assert holm_bonferroni([]) == []
+
+    def test_single_p_unchanged(self):
+        assert holm_bonferroni([0.03]) == [0.03]
+
+    def test_known_example(self):
+        # Classic worked example: p = (0.01, 0.04, 0.03) with m=3.
+        adjusted = holm_bonferroni([0.01, 0.04, 0.03])
+        assert adjusted[0] == pytest.approx(0.03)  # 3 * 0.01
+        assert adjusted[2] == pytest.approx(0.06)  # 2 * 0.03
+        assert adjusted[1] == pytest.approx(0.06)  # max(1*0.04, prior)
+
+    def test_monotone_and_capped(self):
+        adjusted = holm_bonferroni([0.5, 0.9, 0.2, 0.04])
+        assert all(0.0 <= p <= 1.0 for p in adjusted)
+        pairs = sorted(zip([0.5, 0.9, 0.2, 0.04], adjusted))
+        adjusted_in_raw_order = [adj for _, adj in pairs]
+        assert adjusted_in_raw_order == sorted(adjusted_in_raw_order)
+
+    def test_adjusted_never_below_raw(self):
+        raw = [0.01, 0.2, 0.04, 0.9]
+        for raw_p, adj_p in zip(raw, holm_bonferroni(raw)):
+            assert adj_p >= raw_p
+
+
+class TestPairwise:
+    def test_six_pairs_for_four_groups(self):
+        rng = np.random.default_rng(0)
+        groups = {
+            name: list(rng.normal(3.5, 1.2, size=50))
+            for name in ("A", "B", "C", "D")
+        }
+        report = pairwise_welch(groups)
+        assert len(report) == 6
+        assert ("A", "B") in report and ("C", "D") in report
+
+    def test_adjustment_raises_p_values(self):
+        rng = np.random.default_rng(1)
+        groups = {
+            name: list(rng.normal(3.5, 1.2, size=40))
+            for name in ("A", "B", "C")
+        }
+        report = pairwise_welch(groups)
+        for (a, b), adjusted in report.items():
+            raw = welch_t_test(groups[a], groups[b])
+            assert adjusted.p_value >= raw.p_value - 1e-12
+
+    def test_single_group_rejected(self):
+        with pytest.raises(StudyError):
+            pairwise_welch({"A": [1.0, 2.0]})

@@ -1,0 +1,125 @@
+"""Tests for the table/ANOVA analysis over survey results."""
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.experiments import default_planners
+from repro.study import (
+    StudyConfig,
+    SurveyRunner,
+    anova_by_category,
+    approaches_in_table_order,
+    table_all_responses,
+    table_for_residency,
+)
+from repro.study.rating import APPROACHES
+
+
+@pytest.fixture(scope="module")
+def results():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    quotas = {
+        (True, "small"): 4,
+        (True, "medium"): 5,
+        (True, "long"): 3,
+        (False, "small"): 3,
+        (False, "medium"): 3,
+        (False, "long"): 3,
+    }
+    config = StudyConfig(quotas=quotas, seed=2, calibration_samples=40)
+    return SurveyRunner(
+        network, default_planners(network), config
+    ).run()
+
+
+class TestTableOne:
+    def test_rows_present(self, results):
+        table = table_all_responses(results)
+        labels = list(table.rows)
+        assert labels[0] == "Overall"
+        assert "Melbourne residents" in labels
+        assert "Non-residents" in labels
+        assert len(labels) == 6
+
+    def test_row_counts(self, results):
+        table = table_all_responses(results)
+        assert table.row_counts["Overall"] == 21
+        assert table.row_counts["Melbourne residents"] == 12
+        assert table.row_counts["Non-residents"] == 9
+
+    def test_cells_cover_all_approaches(self, results):
+        table = table_all_responses(results)
+        for row in table.rows.values():
+            assert set(row) == set(APPROACHES)
+
+    def test_winner_is_max_mean(self, results):
+        table = table_all_responses(results)
+        row = table.rows["Overall"]
+        winner = table.winner("Overall")
+        assert row[winner].mean == max(c.mean for c in row.values())
+
+    def test_formatted_contains_paper_layout(self, results):
+        text = table_all_responses(results).formatted()
+        assert "Google Maps" in text
+        assert "(" in text  # the m (sd) cells
+        assert "*" in text  # the bold-winner marker
+
+    def test_cell_accessor(self, results):
+        table = table_all_responses(results)
+        cell = table.cell("Overall", "Plateaus")
+        assert 1.0 <= cell.mean <= 5.0
+        assert cell.count == 21
+
+
+class TestResidencyTables:
+    def test_table2_counts(self, results):
+        table = table_for_residency(results, resident=True)
+        assert table.row_counts["Melbourne residents"] == 12
+        assert "Table 2" in table.title
+
+    def test_table3_counts(self, results):
+        table = table_for_residency(results, resident=False)
+        assert table.row_counts["Non-residents"] == 9
+        assert "Table 3" in table.title
+
+    def test_residency_rows_are_disjoint(self, results):
+        t2 = table_for_residency(results, resident=True)
+        t3 = table_for_residency(results, resident=False)
+        n2 = sum(
+            count
+            for label, count in t2.row_counts.items()
+            if "Routes" in label
+        )
+        n3 = sum(
+            count
+            for label, count in t3.row_counts.items()
+            if "Routes" in label
+        )
+        assert n2 + n3 == 21
+
+
+class TestAnova:
+    def test_three_categories(self, results):
+        outcomes = anova_by_category(results)
+        assert set(outcomes) == {"all", "residents", "non-residents"}
+
+    def test_degrees_of_freedom(self, results):
+        outcomes = anova_by_category(results)
+        assert outcomes["all"].df_between == 3
+        assert outcomes["all"].df_within == 4 * 21 - 4
+
+    def test_p_values_in_unit_interval(self, results):
+        for outcome in anova_by_category(results).values():
+            assert 0.0 <= outcome.p_value <= 1.0
+
+
+class TestHelpers:
+    def test_table_order_matches_paper(self):
+        assert approaches_in_table_order() == (
+            "Google Maps",
+            "Plateaus",
+            "Dissimilarity",
+            "Penalty",
+        )

@@ -1,0 +1,75 @@
+"""Tests for calibration construction from observed tables."""
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.study import PAPER_CELL_TARGETS
+from repro.study.calibration import (
+    tables_from_targets,
+    targets_from_tables,
+    uniform_targets,
+)
+from repro.study.rating import APPROACHES, BINS, RatingModel
+
+
+class TestRoundTrip:
+    def test_paper_targets_round_trip(self):
+        resident_rows, non_resident_rows = tables_from_targets(
+            PAPER_CELL_TARGETS
+        )
+        rebuilt = targets_from_tables(resident_rows, non_resident_rows)
+        assert rebuilt == PAPER_CELL_TARGETS
+
+    def test_tables_have_paper_values(self):
+        resident_rows, non_resident_rows = tables_from_targets(
+            PAPER_CELL_TARGETS
+        )
+        assert resident_rows["long"]["Plateaus"] == 3.97
+        assert non_resident_rows["long"]["Google Maps"] == 2.74
+
+
+class TestValidation:
+    def test_missing_bin_rejected(self):
+        resident_rows, non_resident_rows = tables_from_targets(
+            PAPER_CELL_TARGETS
+        )
+        del resident_rows["medium"]
+        with pytest.raises(StudyError):
+            targets_from_tables(resident_rows, non_resident_rows)
+
+    def test_missing_approach_rejected(self):
+        resident_rows, non_resident_rows = tables_from_targets(
+            PAPER_CELL_TARGETS
+        )
+        del resident_rows["small"]["Penalty"]
+        with pytest.raises(StudyError):
+            targets_from_tables(resident_rows, non_resident_rows)
+
+    def test_off_scale_mean_rejected(self):
+        resident_rows, non_resident_rows = tables_from_targets(
+            PAPER_CELL_TARGETS
+        )
+        resident_rows["small"]["Penalty"] = 7.0
+        with pytest.raises(StudyError):
+            targets_from_tables(resident_rows, non_resident_rows)
+
+    def test_incomplete_targets_rejected(self):
+        partial = dict(PAPER_CELL_TARGETS)
+        del partial[("Penalty", True, "small")]
+        with pytest.raises(StudyError):
+            tables_from_targets(partial)
+
+
+class TestUniformTargets:
+    def test_covers_all_cells(self):
+        targets = uniform_targets(3.0)
+        assert len(targets) == len(APPROACHES) * 2 * len(BINS)
+        assert set(targets.values()) == {3.0}
+
+    def test_usable_by_the_rating_model(self):
+        model = RatingModel(cell_targets=uniform_targets(3.0))
+        assert model.target("Plateaus", False, "long") == 3.0
+
+    def test_off_scale_mean_rejected(self):
+        with pytest.raises(StudyError):
+            uniform_targets(0.5)

@@ -1,0 +1,82 @@
+"""Integration: simulated study results through the SQLite store."""
+
+import pytest
+
+from repro.demo import ResponseStore
+from repro.exceptions import StudyError
+from repro.experiments import default_planners
+from repro.stats import mean
+from repro.study import StudyConfig, SurveyRunner
+from repro.study.export import (
+    LABEL_TO_APPROACH,
+    sql_mean_ratings,
+    store_results,
+)
+from repro.study.rating import APPROACHES
+
+
+@pytest.fixture(scope="module")
+def network_and_results():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    quotas = {
+        (True, "small"): 4,
+        (True, "medium"): 5,
+        (True, "long"): 3,
+        (False, "small"): 3,
+        (False, "medium"): 3,
+        (False, "long"): 2,
+    }
+    config = StudyConfig(quotas=quotas, seed=6, calibration_samples=40)
+    results = SurveyRunner(
+        network, default_planners(network), config
+    ).run()
+    return network, results
+
+
+class TestStoreResults:
+    def test_all_responses_stored(self, network_and_results):
+        network, results = network_and_results
+        with ResponseStore() as store:
+            stored = store_results(results, network, store)
+            assert stored == results.count()
+            assert store.count() == results.count()
+
+    def test_residency_counts_match(self, network_and_results):
+        network, results = network_and_results
+        with ResponseStore() as store:
+            store_results(results, network, store)
+            assert store.count(resident=True) == results.count(
+                resident=True
+            )
+            assert store.count(resident=False) == results.count(
+                resident=False
+            )
+
+    def test_sql_means_match_in_memory_analysis(self, network_and_results):
+        network, results = network_and_results
+        with ResponseStore() as store:
+            store_results(results, network, store)
+            sql_means = sql_mean_ratings(store)
+            for approach in APPROACHES:
+                in_memory = mean(
+                    [float(r) for r in results.ratings_for(approach)]
+                )
+                assert sql_means[approach] == pytest.approx(in_memory)
+
+    def test_comments_survive(self, network_and_results):
+        network, results = network_and_results
+        with ResponseStore() as store:
+            store_results(results, network, store)
+            assert sorted(store.comments()) == sorted(results.comments())
+
+    def test_blinding_round_trip(self):
+        assert set(LABEL_TO_APPROACH) == {"A", "B", "C", "D"}
+        assert LABEL_TO_APPROACH["B"] == "Plateaus"
+
+    def test_wrong_network_rejected(self, network_and_results, grid10):
+        _, results = network_and_results
+        with ResponseStore() as store:
+            with pytest.raises(StudyError):
+                store_results(results, grid10, store)

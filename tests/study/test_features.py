@@ -1,0 +1,66 @@
+"""Tests for route-set feature measurement."""
+
+import pytest
+
+from repro.core import PlateauPlanner, RouteSet
+from repro.graph.path import Path
+from repro.study import compute_features
+
+
+class TestComputeFeatures:
+    def test_single_optimal_route(self, melbourne_small):
+        rs = PlateauPlanner(melbourne_small, k=1).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        features = compute_features(rs, melbourne_small.default_weights())
+        assert features.num_routes == 1
+        assert features.mean_stretch == pytest.approx(1.0)
+        assert features.diversity == 1.0  # no pair overlaps
+        assert features.looks_empty
+
+    def test_diverse_set_has_high_diversity(self, diamond):
+        upper = Path.from_nodes(diamond, [0, 1, 3, 5])
+        lower = Path.from_nodes(diamond, [0, 2, 4, 5])
+        rs = RouteSet(
+            approach="X", source=0, target=5, routes=(upper, lower)
+        )
+        features = compute_features(rs, diamond.default_weights())
+        assert features.diversity == pytest.approx(1.0)
+        assert not features.looks_empty
+
+    def test_stretch_measured_on_display_weights(self, diamond):
+        # The route costs 4 on its own pricing but the display weights
+        # double everything: stretch vs an external reference of 4.
+        upper = Path.from_nodes(diamond, [0, 1, 3, 5])
+        rs = RouteSet(approach="X", source=0, target=5, routes=(upper,))
+        doubled = [w * 2 for w in diamond.default_weights()]
+        features = compute_features(rs, doubled, reference_time_s=4.0)
+        assert features.mean_stretch == pytest.approx(2.0)
+
+    def test_reference_time_defaults_to_own_fastest(self, diamond):
+        fast = Path.from_nodes(diamond, [0, 1, 3, 5])
+        slow = Path.from_nodes(diamond, [0, 5])
+        rs = RouteSet(
+            approach="X", source=0, target=5, routes=(fast, slow)
+        )
+        features = compute_features(rs, diamond.default_weights())
+        assert features.worst_stretch == pytest.approx(9.0 / 4.0)
+
+    def test_empty_route_set(self):
+        rs = RouteSet(approach="X", source=0, target=5, routes=())
+        features = compute_features(rs, [])
+        assert features.num_routes == 0
+        assert features.looks_empty
+
+    def test_apparent_detour_flags_roundabout_route(self, grid10):
+        detour = Path.from_nodes(grid10, [0, 10, 11, 12, 2, 3])
+        rs = RouteSet(approach="X", source=0, target=3, routes=(detour,))
+        features = compute_features(rs, grid10.default_weights())
+        assert features.apparent_detour > 1.3
+
+    def test_width_feature_positive(self, melbourne_small):
+        rs = PlateauPlanner(melbourne_small, k=3).plan(
+            0, melbourne_small.num_nodes - 1
+        )
+        features = compute_features(rs, melbourne_small.default_weights())
+        assert features.mean_width >= 1.0

@@ -1,0 +1,92 @@
+"""Tests for the post-hoc inference layer (pairwise tests, bootstrap)."""
+
+import pytest
+
+from repro.experiments import default_planners
+from repro.study import StudyConfig, SurveyRunner
+from repro.study.inference import (
+    bootstrap_report,
+    format_inference,
+    pairwise_report,
+)
+from repro.study.rating import APPROACHES
+
+
+@pytest.fixture(scope="module")
+def results():
+    from repro.cities import melbourne
+
+    network = melbourne(size="small")
+    quotas = {
+        (True, "small"): 5,
+        (True, "medium"): 8,
+        (True, "long"): 4,
+        (False, "small"): 4,
+        (False, "medium"): 4,
+        (False, "long"): 4,
+    }
+    config = StudyConfig(quotas=quotas, seed=3, calibration_samples=40)
+    return SurveyRunner(
+        network, default_planners(network), config
+    ).run()
+
+
+class TestPairwise:
+    def test_six_pairs(self, results):
+        report = pairwise_report(results)
+        assert len(report) == 6
+        names = {name for pair in report for name in pair}
+        assert names == set(APPROACHES)
+
+    def test_p_values_valid(self, results):
+        for ttest in pairwise_report(results).values():
+            assert 0.0 <= ttest.p_value <= 1.0
+
+    def test_residency_filter(self, results):
+        all_report = pairwise_report(results)
+        resident_report = pairwise_report(results, resident=True)
+        assert set(all_report) == set(resident_report)
+        # Different samples should (almost surely) give different stats.
+        assert any(
+            all_report[pair].t_statistic
+            != resident_report[pair].t_statistic
+            for pair in all_report
+        )
+
+
+class TestBootstrap:
+    def test_intervals_bracket_estimates(self, results):
+        report = bootstrap_report(results, resamples=300)
+        assert len(report) == 6
+        for interval in report.values():
+            assert interval.low <= interval.estimate <= interval.high
+
+    def test_deterministic(self, results):
+        a = bootstrap_report(results, resamples=300, seed=1)
+        b = bootstrap_report(results, resamples=300, seed=1)
+        for pair in a:
+            assert (a[pair].low, a[pair].high) == (
+                b[pair].low,
+                b[pair].high,
+            )
+
+
+class TestFormatting:
+    def test_report_renders_all_pairs(self, results):
+        pairwise = pairwise_report(results)
+        bootstrap = bootstrap_report(results, resamples=300)
+        text = format_inference(pairwise, bootstrap)
+        assert "p(Holm)" in text
+        for approach in APPROACHES:
+            assert approach in text
+
+
+class TestKruskal:
+    def test_three_categories(self, results):
+        from repro.study.inference import kruskal_report
+
+        report = kruskal_report(results)
+        assert set(report) == {"all", "residents", "non-residents"}
+        for outcome in report.values():
+            assert outcome.df == 3
+            assert 0.0 <= outcome.p_value <= 1.0

@@ -1,0 +1,62 @@
+"""Tests for the synthetic participant population."""
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.study import PopulationSampler
+
+
+class TestSampler:
+    def test_deterministic_per_seed(self):
+        a = PopulationSampler(seed=9)
+        b = PopulationSampler(seed=9)
+        for resident in (True, False, True):
+            pa = a.sample(resident)
+            pb = b.sample(resident)
+            assert pa == pb
+
+    def test_different_seeds_differ(self):
+        a = PopulationSampler(seed=1).sample(True)
+        b = PopulationSampler(seed=2).sample(True)
+        assert a != b
+
+    def test_ids_increment(self):
+        sampler = PopulationSampler(seed=0)
+        ids = [sampler.sample(True).id for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_residency_label(self):
+        sampler = PopulationSampler(seed=0)
+        assert sampler.sample(True).residency_label == "resident"
+        assert sampler.sample(False).residency_label == "non-resident"
+
+    def test_invalid_favorite_prob_rejected(self):
+        with pytest.raises(StudyError):
+            PopulationSampler(favorite_route_prob=1.5)
+
+    def test_non_residents_more_detour_sensitive_on_average(self):
+        sampler = PopulationSampler(seed=0)
+        residents = [sampler.sample(True) for _ in range(300)]
+        visitors = [sampler.sample(False) for _ in range(300)]
+        res_mean = sum(p.detour_sensitivity for p in residents) / 300
+        vis_mean = sum(p.detour_sensitivity for p in visitors) / 300
+        # The §4.2 mechanism: non-residents misread apparent detours.
+        assert vis_mean > res_mean + 0.2
+
+    def test_traits_non_negative(self):
+        sampler = PopulationSampler(seed=0)
+        for _ in range(100):
+            participant = sampler.sample(False)
+            assert participant.detour_sensitivity >= 0.0
+            assert participant.turn_sensitivity >= 0.0
+            assert participant.width_preference >= 0.0
+
+    def test_favorite_route_rate_controlled(self):
+        sampler = PopulationSampler(seed=0, favorite_route_prob=0.0)
+        assert not any(
+            sampler.sample(True).has_favorite_route for _ in range(50)
+        )
+        sampler = PopulationSampler(seed=0, favorite_route_prob=1.0)
+        assert all(
+            sampler.sample(True).has_favorite_route for _ in range(50)
+        )

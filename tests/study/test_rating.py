@@ -1,0 +1,142 @@
+"""Tests for the calibrated + mechanistic rating model."""
+
+import random
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.study import PAPER_CELL_TARGETS, PopulationSampler, RatingModel
+from repro.study.features import RouteSetFeatures
+from repro.study.rating import APPROACHES, BINS, RatingModelConfig
+
+
+def features(**overrides):
+    defaults = dict(
+        num_routes=3,
+        mean_stretch=1.1,
+        worst_stretch=1.3,
+        diversity=0.6,
+        apparent_detour=1.05,
+        mean_turns_per_km=2.0,
+        mean_width=1.8,
+    )
+    defaults.update(overrides)
+    return RouteSetFeatures(**defaults)
+
+
+@pytest.fixture()
+def participant():
+    return PopulationSampler(seed=0).sample(True)
+
+
+class TestCalibration:
+    def test_targets_cover_every_cell(self):
+        for approach in APPROACHES:
+            for resident in (True, False):
+                for length_bin in BINS:
+                    assert (
+                        approach,
+                        resident,
+                        length_bin,
+                    ) in PAPER_CELL_TARGETS
+
+    def test_unknown_cell_rejected(self, participant):
+        model = RatingModel()
+        with pytest.raises(StudyError):
+            model.target("Waze", True, "small")
+
+    def test_paper_values_spot_checked(self):
+        model = RatingModel()
+        # Table 2: residents/long Plateaus 3.97; Table 3 long GMaps 2.74.
+        assert model.target("Plateaus", True, "long") == 3.97
+        assert model.target("Google Maps", False, "long") == 2.74
+
+
+class TestRatings:
+    def test_rating_range(self, participant):
+        model = RatingModel()
+        rng = random.Random(1)
+        for _ in range(200):
+            rating = model.rate(
+                participant, "Plateaus", "medium", features(), rng
+            )
+            assert 1 <= rating <= 5
+            assert isinstance(rating, int)
+
+    def test_deterministic_given_rng_state(self, participant):
+        model = RatingModel()
+        a = model.rate(
+            participant, "Penalty", "small", features(), random.Random(3)
+        )
+        b = model.rate(
+            participant, "Penalty", "small", features(), random.Random(3)
+        )
+        assert a == b
+
+    def test_bad_route_sets_rate_lower_on_average(self, participant):
+        model = RatingModel()
+        good = features()
+        bad = features(
+            mean_stretch=1.5, apparent_detour=1.8, diversity=0.1,
+            num_routes=1,
+        )
+        rng_good = random.Random(5)
+        rng_bad = random.Random(5)
+        good_mean = sum(
+            model.rate(participant, "Plateaus", "medium", good, rng_good)
+            for _ in range(300)
+        )
+        bad_mean = sum(
+            model.rate(participant, "Plateaus", "medium", bad, rng_bad)
+            for _ in range(300)
+        )
+        assert bad_mean < good_mean
+
+    def test_feature_adjustment_clamped(self, participant):
+        model = RatingModel()
+        terrible = features(
+            mean_stretch=5.0, apparent_detour=9.0, diversity=0.0,
+            mean_turns_per_km=40.0, num_routes=1,
+        )
+        adjustment = model.feature_adjustment(participant, terrible)
+        assert adjustment == -model.config.feature_clamp
+
+    def test_rate_response_covers_all_approaches(self, participant):
+        model = RatingModel()
+        all_features = {approach: features() for approach in APPROACHES}
+        ratings = model.rate_response(
+            participant, "medium", all_features, random.Random(0)
+        )
+        assert set(ratings) == set(APPROACHES)
+        assert all(1 <= r <= 5 for r in ratings.values())
+
+    def test_rate_response_honours_baselines(self, participant):
+        model = RatingModel(RatingModelConfig(noise_sigma=0.0))
+        all_features = {approach: features() for approach in APPROACHES}
+        adjustment = model.feature_adjustment(participant, features())
+        baselines = {approach: adjustment for approach in APPROACHES}
+        ratings = model.rate_response(
+            participant,
+            "medium",
+            all_features,
+            random.Random(0),
+            adjustment_baselines=baselines,
+        )
+        # With noise off and the adjustment centred away, the rating is
+        # the rounded (target + harshness).
+        for approach in APPROACHES:
+            expected = round(
+                model.target(approach, True, "medium")
+                + participant.harshness
+            )
+            assert ratings[approach] == min(5, max(1, expected))
+
+    def test_custom_cell_targets(self, participant):
+        targets = {
+            (a, r, b): 3.0
+            for a in APPROACHES
+            for r in (True, False)
+            for b in BINS
+        }
+        model = RatingModel(cell_targets=targets)
+        assert model.target("Plateaus", False, "long") == 3.0

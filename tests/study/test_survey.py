@@ -1,0 +1,196 @@
+"""Tests for the survey runner (quotas, bins, determinism)."""
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.experiments import default_planners
+from repro.study import (
+    PAPER_QUOTAS,
+    StudyConfig,
+    SurveyRunner,
+)
+from repro.study.rating import APPROACHES
+
+SMALL_QUOTAS = {
+    (True, "small"): 4,
+    (True, "medium"): 6,
+    (True, "long"): 3,
+    (False, "small"): 3,
+    (False, "medium"): 3,
+    (False, "long"): 2,
+}
+
+
+@pytest.fixture(scope="module")
+def runner(melbourne_small_module):
+    planners = default_planners(melbourne_small_module)
+    config = StudyConfig(
+        quotas=SMALL_QUOTAS, seed=11, calibration_samples=50
+    )
+    return SurveyRunner(melbourne_small_module, planners, config)
+
+
+@pytest.fixture(scope="module")
+def melbourne_small_module():
+    from repro.cities import melbourne
+
+    return melbourne(size="small")
+
+
+@pytest.fixture(scope="module")
+def results(runner):
+    return runner.run()
+
+
+class TestQuotas:
+    def test_paper_quotas_sum_to_237(self):
+        assert sum(PAPER_QUOTAS.values()) == 237
+        assert (
+            sum(v for (res, _), v in PAPER_QUOTAS.items() if res) == 156
+        )
+
+    def test_run_honours_quotas_exactly(self, results):
+        for (resident, bin_name), expected in SMALL_QUOTAS.items():
+            assert (
+                results.count(resident=resident, length_bin=bin_name)
+                == expected
+            )
+
+    def test_total_count(self, results):
+        assert results.count() == sum(SMALL_QUOTAS.values())
+
+
+class TestResponses:
+    def test_every_response_rates_all_approaches(self, results):
+        for response in results.responses:
+            assert set(response.ratings) == set(APPROACHES)
+            assert all(1 <= r <= 5 for r in response.ratings.values())
+
+    def test_bins_consistent_with_fastest_minutes(self, results):
+        bins = {b.name: b for b in results.bins}
+        for response in results.responses:
+            bin_ = bins[response.length_bin]
+            assert bin_.contains(response.fastest_minutes)
+
+    def test_bin_thresholds_ordered(self, results):
+        small, medium, long_ = results.bins
+        assert small.high_min == medium.low_min
+        assert medium.high_min == long_.low_min
+        assert long_.high_min == float("inf")
+
+    def test_features_recorded(self, results):
+        response = results.responses[0]
+        assert set(response.features) == set(APPROACHES)
+
+    def test_favorite_route_cap_applied(self, results):
+        for response in results.responses:
+            if response.participant.has_favorite_route:
+                assert max(response.ratings.values()) <= 3
+
+    def test_ratings_filterable(self, results):
+        all_ratings = results.ratings_for("Plateaus")
+        residents = results.ratings_for("Plateaus", resident=True)
+        assert len(all_ratings) == results.count()
+        assert len(residents) == results.count(resident=True)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_everything(self, melbourne_small_module):
+        planners = default_planners(melbourne_small_module)
+        config = StudyConfig(
+            quotas=SMALL_QUOTAS, seed=4, calibration_samples=40
+        )
+        a = SurveyRunner(melbourne_small_module, planners, config).run()
+        b = SurveyRunner(melbourne_small_module, planners, config).run()
+        assert [r.ratings for r in a.responses] == [
+            r.ratings for r in b.responses
+        ]
+        assert [(r.source, r.target) for r in a.responses] == [
+            (r.source, r.target) for r in b.responses
+        ]
+
+    def test_different_seeds_differ(self, melbourne_small_module):
+        planners = default_planners(melbourne_small_module)
+        a = SurveyRunner(
+            melbourne_small_module,
+            planners,
+            StudyConfig(quotas=SMALL_QUOTAS, seed=1, calibration_samples=40),
+        ).run()
+        b = SurveyRunner(
+            melbourne_small_module,
+            planners,
+            StudyConfig(quotas=SMALL_QUOTAS, seed=2, calibration_samples=40),
+        ).run()
+        assert [r.ratings for r in a.responses] != [
+            r.ratings for r in b.responses
+        ]
+
+
+class TestConfiguration:
+    def test_missing_planner_rejected(self, melbourne_small_module):
+        planners = default_planners(melbourne_small_module)
+        del planners["Penalty"]
+        with pytest.raises(StudyError):
+            SurveyRunner(melbourne_small_module, planners)
+
+    def test_planner_on_other_network_rejected(
+        self, melbourne_small_module, grid10
+    ):
+        planners = default_planners(melbourne_small_module)
+        planners["Penalty"] = default_planners(grid10)["Penalty"]
+        with pytest.raises(StudyError):
+            SurveyRunner(melbourne_small_module, planners)
+
+    def test_unknown_bin_in_quotas_rejected(self):
+        with pytest.raises(StudyError):
+            StudyConfig(quotas={(True, "gigantic"): 5})
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(StudyError):
+            StudyConfig(bin_thresholds_min=(10.0, 5.0))
+
+    def test_explicit_thresholds_respected(self, melbourne_small_module):
+        planners = default_planners(melbourne_small_module)
+        config = StudyConfig(
+            quotas={(True, "small"): 2},
+            bin_thresholds_min=(5.0, 9.0),
+            seed=0,
+        )
+        results = SurveyRunner(
+            melbourne_small_module, planners, config
+        ).run()
+        assert results.bins[0].high_min == 5.0
+        assert results.bins[1].high_min == 9.0
+
+    def test_comments_present_at_default_rate(self, results):
+        # comment_prob=0.1 over 21 responses: usually >0; just check the
+        # API shape rather than the stochastic count.
+        assert isinstance(results.comments(), list)
+
+
+class TestFeatureBaselineModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(StudyError):
+            StudyConfig(feature_baselines="sideways")
+
+    def test_none_mode_runs_and_differs(self, melbourne_small_module):
+        planners = default_planners(melbourne_small_module)
+        centred = SurveyRunner(
+            melbourne_small_module,
+            planners,
+            StudyConfig(
+                quotas=SMALL_QUOTAS, seed=5, calibration_samples=40,
+                feature_baselines="cell",
+            ),
+        ).run()
+        raw = SurveyRunner(
+            melbourne_small_module,
+            planners,
+            StudyConfig(
+                quotas=SMALL_QUOTAS, seed=5, calibration_samples=40,
+                feature_baselines="none",
+            ),
+        ).run()
+        assert [r.ratings for r in centred.responses] != [
+            r.ratings for r in raw.responses
+        ]

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestPlan:
+    def test_plan_single_approach(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--city",
+                "melbourne",
+                "--size",
+                "small",
+                "--approach",
+                "Plateaus",
+                "0",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Plateaus:" in out
+        assert "min," in out
+
+    def test_plan_all_approaches(self, capsys):
+        code = main(["plan", "--size", "small", "0", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("Google Maps", "Plateaus", "Dissimilarity", "Penalty"):
+            assert f"{name}:" in out
+
+    def test_unknown_approach_fails(self, capsys):
+        code = main(
+            ["plan", "--size", "small", "--approach", "Waze", "0", "50"]
+        )
+        assert code == 2
+
+    def test_bad_query_reports_error(self, capsys):
+        code = main(["plan", "--size", "small", "0", "0"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuildCity:
+    def test_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "city.json"
+        code = main(
+            [
+                "build-city",
+                "--city",
+                "copenhagen",
+                "--size",
+                "small",
+                "--format",
+                "json",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["format"] == "repro-road-network"
+        assert payload["name"] == "copenhagen-small"
+
+    def test_csv_output(self, tmp_path, capsys):
+        stem = tmp_path / "city"
+        code = main(
+            [
+                "build-city",
+                "--size",
+                "small",
+                "--format",
+                "csv",
+                "--out",
+                str(stem),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "city.nodes.csv").exists()
+        assert (tmp_path / "city.edges.csv").exists()
+
+
+class TestFigure:
+    def test_figure1(self, capsys):
+        code = main(["figure", "--size", "small", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "(d)" in out
+
+    def test_figure4(self, capsys):
+        code = main(["figure", "--size", "small", "4", "--queries", "400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4 case study" in out
+        assert "winner flips with the dataset: True" in out

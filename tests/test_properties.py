@@ -1,0 +1,240 @@
+"""Property-based tests over randomly generated road networks.
+
+A hypothesis strategy builds small strongly connected networks (a ring
+for connectivity plus random chords with random weights), and the
+invariants that must hold on *every* road network are checked on them:
+Dijkstra optimality conditions, algorithm equivalences, planner
+contracts and serialisation round trips.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    ContractionHierarchy,
+    bidirectional_dijkstra,
+    dijkstra,
+    shortest_path,
+)
+from repro.core import (
+    DissimilarityPlanner,
+    PenaltyPlanner,
+    PlateauPlanner,
+)
+from repro.exceptions import DisconnectedError
+from repro.graph.builder import RoadNetworkBuilder
+from repro.graph.serialize import network_from_dict, network_to_dict
+from repro.metrics.similarity import dissimilarity
+
+
+@st.composite
+def road_networks(draw):
+    """A strongly connected random network of 6-24 nodes."""
+    n = draw(st.integers(min_value=6, max_value=24))
+    rng_seed = draw(st.integers(min_value=0, max_value=10_000))
+    import random
+
+    rng = random.Random(f"propnet:{rng_seed}")
+    builder = RoadNetworkBuilder(name=f"prop-{rng_seed}")
+    for node_id in range(n):
+        builder.add_node(
+            node_id,
+            rng.uniform(-0.05, 0.05),
+            rng.uniform(-0.05, 0.05),
+        )
+    # Ring guarantees strong connectivity.
+    for node_id in range(n):
+        builder.add_edge(
+            node_id,
+            (node_id + 1) % n,
+            length_m=rng.uniform(50.0, 500.0),
+            travel_time_s=rng.uniform(1.0, 50.0),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            builder.add_edge(
+                u,
+                v,
+                length_m=rng.uniform(50.0, 500.0),
+                travel_time_s=rng.uniform(1.0, 50.0),
+            )
+    return builder.build()
+
+
+query = st.tuples(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.integers(min_value=0, max_value=1_000_000),
+)
+
+
+def pick_pair(network, raw):
+    s = raw[0] % network.num_nodes
+    t = raw[1] % network.num_nodes
+    if s == t:
+        t = (t + 1) % network.num_nodes
+    return s, t
+
+
+common_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestDijkstraInvariants:
+    @common_settings
+    @given(road_networks(), query)
+    def test_relaxation_fixpoint(self, network, raw):
+        """dist[v] <= dist[u] + w(u, v) for every edge: the Bellman
+        optimality condition."""
+        root = raw[0] % network.num_nodes
+        tree = dijkstra(network, root)
+        weights = network.default_weights()
+        for edge in network.edges():
+            if tree.reachable(edge.u):
+                assert tree.distance(edge.v) <= tree.distance(
+                    edge.u
+                ) + weights[edge.id] + 1e-9
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_forward_backward_duality(self, network, raw):
+        """Forward dist s->t equals backward dist collected at s."""
+        s, t = pick_pair(network, raw)
+        forward = dijkstra(network, s)
+        backward = dijkstra(network, t, forward=False)
+        assert forward.distance(t) == pytest.approx(backward.distance(s))
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_bidirectional_equals_unidirectional(self, network, raw):
+        s, t = pick_pair(network, raw)
+        reference = shortest_path(network, s, t)
+        path = bidirectional_dijkstra(network, s, t)
+        assert path.travel_time_s == pytest.approx(reference.travel_time_s)
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_contraction_hierarchy_equivalence(self, network, raw):
+        s, t = pick_pair(network, raw)
+        ch = ContractionHierarchy(network)
+        reference = shortest_path(network, s, t)
+        assert ch.distance(s, t) == pytest.approx(reference.travel_time_s)
+        unpacked = ch.shortest_path(s, t)
+        assert unpacked.source == s and unpacked.target == t
+        assert unpacked.travel_time_s == pytest.approx(
+            reference.travel_time_s
+        )
+
+
+class TestPlannerContracts:
+    @common_settings
+    @given(road_networks(), query)
+    def test_penalty_contract(self, network, raw):
+        s, t = pick_pair(network, raw)
+        route_set = PenaltyPlanner(network, k=3).plan(s, t)
+        reference = shortest_path(network, s, t)
+        assert len(route_set) >= 1
+        assert route_set[0].travel_time_s == pytest.approx(
+            reference.travel_time_s
+        )
+        edge_sets = [r.edge_id_set for r in route_set]
+        assert len(set(edge_sets)) == len(edge_sets)
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_plateau_contract(self, network, raw):
+        s, t = pick_pair(network, raw)
+        route_set = PlateauPlanner(network, k=3).plan(s, t)
+        reference = shortest_path(network, s, t)
+        assert len(route_set) >= 1
+        assert route_set[0].travel_time_s == pytest.approx(
+            reference.travel_time_s
+        )
+        optimum = reference.travel_time_s
+        for route in route_set:
+            assert route.is_simple()
+            assert route.travel_time_s <= 1.4 * optimum + 1e-6
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_dissimilarity_contract(self, network, raw):
+        s, t = pick_pair(network, raw)
+        route_set = DissimilarityPlanner(network, k=3, theta=0.5).plan(s, t)
+        assert len(route_set) >= 1
+        routes = list(route_set)
+        for i, a in enumerate(routes):
+            for b in routes[i + 1 :]:
+                assert dissimilarity(a, b) > 0.5 - 1e-9
+
+
+class TestSerializationRoundTrip:
+    @common_settings
+    @given(road_networks())
+    def test_dict_round_trip_preserves_distances(self, network):
+        rebuilt = network_from_dict(network_to_dict(network))
+        assert rebuilt.num_nodes == network.num_nodes
+        assert rebuilt.num_edges == network.num_edges
+        tree_a = dijkstra(network, 0)
+        tree_b = dijkstra(rebuilt, 0)
+        for v in range(network.num_nodes):
+            if tree_a.distance(v) == math.inf:
+                assert tree_b.distance(v) == math.inf
+            else:
+                assert tree_b.distance(v) == pytest.approx(
+                    tree_a.distance(v)
+                )
+
+
+class TestTurnAwareExactness:
+    """Turn-aware search vs a brute-force line-graph construction."""
+
+    @common_settings
+    @given(road_networks(), query, st.integers(min_value=0, max_value=400))
+    def test_matches_line_graph_dijkstra(self, network, raw, ban_seed):
+        import random as _random
+
+        import networkx as nx
+
+        from repro.algorithms import turn_aware_distance
+        from repro.graph import TurnRestrictionTable
+
+        s, t = pick_pair(network, raw)
+        rng = _random.Random(f"bans:{ban_seed}")
+        # Forbid a random selection of adjacent edge pairs.
+        forbidden = set()
+        for edge in network.edges():
+            for nxt in network.out_edges(edge.v):
+                if rng.random() < 0.15:
+                    forbidden.add((edge.id, nxt.id))
+        table = TurnRestrictionTable(network, forbidden)
+
+        weights = network.default_weights()
+        line = nx.DiGraph()
+        SRC, TGT = "src", "tgt"
+        for edge in network.edges():
+            if edge.u == s:
+                line.add_edge(SRC, edge.id, weight=weights[edge.id])
+            if edge.v == t:
+                line.add_edge(edge.id, TGT, weight=0.0)
+            for nxt in network.out_edges(edge.v):
+                if table.allows(edge.id, nxt.id):
+                    line.add_edge(
+                        edge.id, nxt.id, weight=weights[nxt.id]
+                    )
+        try:
+            expected = nx.dijkstra_path_length(line, SRC, TGT)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            expected = math.inf
+
+        got = turn_aware_distance(network, s, t, table)
+        if expected == math.inf:
+            assert got == math.inf
+        else:
+            assert got == pytest.approx(expected)

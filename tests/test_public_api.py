@@ -1,0 +1,39 @@
+"""Sanity tests over the top-level public API."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_quickstart_flow(self):
+        network = repro.melbourne(size="small")
+        planners = repro.default_planners(network)
+        route_set = planners["Plateaus"].plan(0, network.num_nodes - 1)
+        assert len(route_set) >= 1
+        assert route_set[0].travel_time_minutes() >= 1
+
+    def test_exceptions_have_common_base(self):
+        from repro.exceptions import (
+            DisconnectedError,
+            OSMParseError,
+            QueryError,
+            StorageError,
+            StudyError,
+        )
+
+        for exc_type in (
+            DisconnectedError,
+            OSMParseError,
+            QueryError,
+            StorageError,
+            StudyError,
+        ):
+            assert issubclass(exc_type, repro.ReproError)

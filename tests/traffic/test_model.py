@@ -1,0 +1,97 @@
+"""Tests for the traffic model and commercial data provider."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traffic import CommercialDataProvider, CongestionProfile, TrafficModel
+
+
+class TestCongestionProfile:
+    def test_three_am_is_nearly_free_flow(self):
+        profile = CongestionProfile()
+        assert profile.level(3.0) < 0.1
+
+    def test_peaks_are_high(self):
+        profile = CongestionProfile()
+        assert profile.level(8.0) > 0.8
+        assert profile.level(17.5) > 0.9
+
+    def test_level_bounded(self):
+        profile = CongestionProfile()
+        for tenth in range(240):
+            level = profile.level(tenth / 10.0)
+            assert 0.0 <= level <= 1.0
+
+    def test_hours_wrap(self):
+        profile = CongestionProfile()
+        assert profile.level(27.0) == pytest.approx(profile.level(3.0))
+
+
+class TestTrafficModel:
+    def test_deterministic_per_seed(self, melbourne_small):
+        a = TrafficModel(melbourne_small, seed=4)
+        b = TrafficModel(melbourne_small, seed=4)
+        assert a.freeflow_weights() == b.freeflow_weights()
+
+    def test_seeds_differ(self, melbourne_small):
+        a = TrafficModel(melbourne_small, seed=1)
+        b = TrafficModel(melbourne_small, seed=2)
+        assert a.freeflow_weights() != b.freeflow_weights()
+
+    def test_zero_discrepancy_matches_osm_weights(self, melbourne_small):
+        model = TrafficModel(melbourne_small, seed=0, discrepancy_scale=0.0)
+        assert model.freeflow_weights() == pytest.approx(
+            melbourne_small.travel_times()
+        )
+        assert model.mean_discrepancy() == pytest.approx(0.0)
+
+    def test_default_discrepancy_is_moderate(self, melbourne_small):
+        model = TrafficModel(melbourne_small, seed=0)
+        # Mean |provider/OSM - 1| around 5-20%: different but sane data.
+        assert 0.02 < model.mean_discrepancy() < 0.25
+
+    def test_peak_slower_than_3am(self, melbourne_small):
+        model = TrafficModel(melbourne_small, seed=0)
+        night = model.weights_at(3.0)
+        peak = model.weights_at(8.0)
+        assert sum(peak) > sum(night) * 1.1
+        assert all(p >= n for p, n in zip(peak, night))
+
+    def test_weights_cover_every_edge(self, melbourne_small):
+        model = TrafficModel(melbourne_small, seed=0)
+        assert len(model.weights_at(12.0)) == melbourne_small.num_edges
+
+    def test_negative_scale_rejected(self, melbourne_small):
+        with pytest.raises(ConfigurationError):
+            TrafficModel(melbourne_small, discrepancy_scale=-1.0)
+
+
+class TestProvider:
+    def test_snapshot_cached(self, melbourne_small):
+        provider = CommercialDataProvider(melbourne_small, seed=0)
+        assert provider.weights(3.0) is provider.weights(3.0)
+
+    def test_default_hour_is_3am(self, melbourne_small):
+        provider = CommercialDataProvider(melbourne_small, seed=0)
+        assert provider.weights() == provider.snapshot_3am()
+
+    def test_hours_wrap(self, melbourne_small):
+        provider = CommercialDataProvider(melbourne_small, seed=0)
+        assert provider.weights(27.0) == provider.weights(3.0)
+
+    def test_invalid_default_hour_rejected(self, melbourne_small):
+        with pytest.raises(ConfigurationError):
+            CommercialDataProvider(melbourne_small, default_hour=24.0)
+
+    def test_provider_differs_from_osm_even_at_3am(self, melbourne_small):
+        # The paper's Figure-4 phenomenon: the 3 am trick does not align
+        # the datasets.
+        provider = CommercialDataProvider(melbourne_small, seed=0)
+        osm = melbourne_small.default_weights()
+        snapshot = provider.snapshot_3am()
+        differing = sum(
+            1
+            for a, b in zip(snapshot, osm)
+            if abs(a - b) / b > 0.01
+        )
+        assert differing > melbourne_small.num_edges * 0.5
