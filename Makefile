@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report clean
+.PHONY: install test bench bench-serving examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/bench_serving.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py

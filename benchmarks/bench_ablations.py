@@ -217,7 +217,7 @@ def test_bench_mechanistic_control(benchmark, study_network):
     apparent-detour mechanisms alone produce the sign of the paper's
     headline gap.
     """
-    from repro.experiments.setup import default_planners
+    from repro.core.registry import paper_planners
     from repro.study import StudyConfig, SurveyRunner, uniform_targets
     from repro.study.rating import APPROACHES, RatingModel
 
@@ -235,7 +235,7 @@ def test_bench_mechanistic_control(benchmark, study_network):
     )
     model = RatingModel(cell_targets=uniform_targets(3.5))
     runner = SurveyRunner(
-        study_network, default_planners(study_network), config,
+        study_network, paper_planners(study_network), config,
         rating_model=model,
     )
 

@@ -20,7 +20,7 @@ from repro.core import (
     PlateauPlanner,
     YenPlanner,
 )
-from repro.experiments import default_planners
+from repro.core.registry import make_planner
 
 
 def _query_set(network, count=6, seed=0):
@@ -70,7 +70,7 @@ def test_bench_penalty(benchmark, study_network, queries):
 
 
 def test_bench_commercial(benchmark, study_network, queries):
-    planner = default_planners(study_network)["Google Maps"]
+    planner = make_planner("Google Maps", study_network)
     results = benchmark(_run_all, planner, queries)
     assert all(len(rs) >= 1 for rs in results)
 

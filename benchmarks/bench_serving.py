@@ -1,0 +1,164 @@
+"""Experiment S1 — serving-layer throughput and degradation.
+
+The ISSUE-1 acceptance criteria, measured:
+
+* repeated queries against a **warm LRU route cache** must beat the
+  uncached path by >= 5x throughput (in practice the gap is orders of
+  magnitude — a cache hit is a dict lookup, a miss runs four planners);
+* a query in which one planner is **injected to fail** must still serve
+  the other three approaches, carry a per-approach error marker, and
+  surface the failure count through the metrics payload.
+
+Run with ``make bench-serving``; results land in
+``benchmarks/output/bench_serving.txt`` so EXPERIMENTS.md can quote
+measured numbers.  Timing is manual (``perf_counter`` loops) rather
+than pytest-benchmark so the throughput ratio can be asserted.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.cities import melbourne
+from repro.demo.query_processor import QueryProcessor
+from repro.serving import RouteQuery, RouteService
+
+from conftest import write_artifact
+
+#: Distinct (source, target) coordinate pairs per measured pass.
+QUERY_COUNT = 8
+#: Warm-cache passes over the query set.
+WARM_PASSES = 5
+
+
+@pytest.fixture(scope="module")
+def network():
+    return melbourne(size="small")
+
+
+@pytest.fixture(scope="module")
+def processor(network):
+    return QueryProcessor(network)
+
+
+def _query_set(network, count=QUERY_COUNT, seed=0):
+    rng = random.Random(f"bench-serving:{seed}")
+    queries = []
+    while len(queries) < count:
+        s = network.node(rng.randrange(network.num_nodes))
+        t = network.node(rng.randrange(network.num_nodes))
+        if s.id == t.id:
+            continue
+        queries.append(RouteQuery(s.lat, s.lon, t.lat, t.lon))
+    return queries
+
+
+def _run_pass(service, queries):
+    served = 0
+    for query in queries:
+        try:
+            service.query(query)
+            served += 1
+        except Exception:
+            pass  # disconnected picks don't count toward throughput
+    return served
+
+
+def test_bench_serving_warm_cache_throughput(processor):
+    queries = _query_set(processor.network)
+
+    uncached = RouteService(processor, cache_size=0, timeout_s=120.0)
+    cached = RouteService(processor, cache_size=256, timeout_s=120.0)
+    try:
+        # Uncached baseline: every pass replans all four approaches.
+        started = time.perf_counter()
+        served_uncached = _run_pass(uncached, queries)
+        uncached_s = time.perf_counter() - started
+        assert served_uncached, "no query in the set was routable"
+
+        _run_pass(cached, queries)  # cold pass populates the cache
+        started = time.perf_counter()
+        for _ in range(WARM_PASSES):
+            served_warm = _run_pass(cached, queries)
+        warm_s = (time.perf_counter() - started) / WARM_PASSES
+        assert served_warm == served_uncached
+
+        uncached_qps = served_uncached / uncached_s
+        warm_qps = served_warm / warm_s
+        speedup = warm_qps / uncached_qps
+        stats = cached.cache.stats()
+
+        write_artifact(
+            "bench_serving.txt",
+            "\n".join(
+                [
+                    "Experiment S1 — serving-layer throughput",
+                    f"queries per pass: {served_uncached}",
+                    f"uncached: {uncached_s:.3f}s ({uncached_qps:.1f} q/s)",
+                    f"warm cache: {warm_s:.4f}s/pass ({warm_qps:.1f} q/s)",
+                    f"speedup: {speedup:.1f}x",
+                    f"cache: hits={stats.hits} misses={stats.misses} "
+                    f"hit_rate={stats.hit_rate:.3f}",
+                ]
+            ),
+        )
+        assert speedup >= 5.0, (
+            f"warm cache gave only {speedup:.1f}x over uncached"
+        )
+    finally:
+        uncached.close()
+        cached.close()
+
+
+def test_bench_serving_degraded_query_still_serves(processor):
+    queries = _query_set(processor.network, count=4, seed=1)
+
+    class FailingPlanner:
+        """Wrapper injecting a failure into one approach's planner."""
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.k = inner.k
+            self.name = inner.name
+
+        def plan(self, source, target, k=None):
+            raise RuntimeError("injected planner failure")
+
+    planners = dict(processor.planners)
+    planners["Plateaus"] = FailingPlanner(planners["Plateaus"])
+    degraded_processor = QueryProcessor(processor.network, planners)
+    service = RouteService(degraded_processor, cache_size=0, timeout_s=120.0)
+    try:
+        served = 0
+        for query in queries:
+            try:
+                result = service.query(query)
+            except Exception:
+                continue
+            served += 1
+            assert sorted(result.route_sets) == ["A", "C", "D"]
+            assert "B" in result.errors
+            assert "injected planner failure" in result.errors["B"]
+            assert result.degraded
+        assert served, "no degraded query was servable"
+
+        metrics = service.metrics_payload()
+        failures = metrics["counters"]["plan.errors.Plateaus"]
+        assert failures == served
+        write_artifact(
+            "bench_serving_degraded.txt",
+            "\n".join(
+                [
+                    "Experiment S1b — graceful degradation",
+                    f"queries served with Plateaus failing: {served}",
+                    f"plan.errors.Plateaus (from /metrics): {failures}",
+                    f"degraded queries counted: "
+                    f"{metrics['counters']['queries.degraded']}",
+                ]
+            ),
+        )
+    finally:
+        service.close()

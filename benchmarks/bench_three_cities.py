@@ -11,7 +11,8 @@ city.
 import pytest
 
 from repro.cities import CITY_BUILDERS
-from repro.experiments import default_planners, run_study, table1
+from repro.core.registry import paper_planners
+from repro.experiments import run_study, table1
 from repro.study import StudyConfig
 from repro.study.rating import APPROACHES
 
@@ -61,7 +62,7 @@ def test_bench_city_study(benchmark, city):
 @pytest.mark.parametrize("city", sorted(CITY_BUILDERS))
 def test_bench_city_planning(benchmark, city):
     network = CITY_BUILDERS[city](size="small")
-    planners = default_planners(network)
+    planners = paper_planners(network)
     s, t = 0, network.num_nodes - 1
 
     def run():

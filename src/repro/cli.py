@@ -53,18 +53,25 @@ def _cmd_build_city(args) -> int:
 
 
 def _cmd_plan(args) -> int:
-    from repro.experiments import default_planners
+    from repro.core.registry import (
+        available_planners,
+        make_planner,
+        paper_planners,
+    )
 
     network = _build_network(args)
-    planners = default_planners(network, traffic_seed=args.seed)
-    if args.approach != "all" and args.approach not in planners:
-        print(f"unknown approach {args.approach!r}", file=sys.stderr)
+    if args.approach == "all":
+        selected = paper_planners(network, traffic_seed=args.seed)
+    elif args.approach in available_planners():
+        # Any registered planner — study approach or §2.4 baseline.
+        selected = {args.approach: make_planner(args.approach, network)}
+    else:
+        print(
+            f"unknown approach {args.approach!r}; registered: "
+            f"{', '.join(available_planners())}",
+            file=sys.stderr,
+        )
         return 2
-    selected = (
-        planners
-        if args.approach == "all"
-        else {args.approach: planners[args.approach]}
-    )
     display = network.default_weights()
     for name, planner in selected.items():
         route_set = planner.plan(args.source, args.target)
@@ -104,17 +111,25 @@ def _cmd_study(args) -> int:
 
 def _cmd_demo(args) -> int:
     from repro.demo import DemoServer, QueryProcessor, ResponseStore
-    from repro.experiments import default_planners
+    from repro.serving import RouteService
 
     network = _build_network(args)
-    processor = QueryProcessor(network, default_planners(network))
+    processor = QueryProcessor(network, traffic_seed=args.seed)
+    service = RouteService(
+        processor,
+        cache_size=args.cache_size,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+    )
     server = DemoServer(
         processor,
         store=ResponseStore(args.db),
         port=args.port,
         verbose=True,
+        service=service,
     )
     print(f"demo running at {server.url} — Ctrl-C to stop")
+    print(f"serving metrics at {server.url}/metrics")
     server.serve_forever()
     return 0
 
@@ -183,7 +198,8 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--approach",
         default="all",
-        help='one of the four approaches, or "all"',
+        help='any registered planner name, or "all" for the four '
+        "study approaches",
     )
     plan.set_defaults(handler=_cmd_plan)
 
@@ -197,6 +213,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_arguments(demo)
     demo.add_argument("--port", type=int, default=8080)
     demo.add_argument("--db", default=":memory:")
+    demo.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU route-cache capacity (0 disables caching)",
+    )
+    demo.add_argument(
+        "--workers", type=int, default=4,
+        help="concurrent planner invocations per query",
+    )
+    demo.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-query planner deadline in seconds",
+    )
     demo.set_defaults(handler=_cmd_demo)
 
     figure = commands.add_parser(

@@ -40,6 +40,16 @@ from repro.core.filters import (
 )
 from repro.core.ksplo import LimitedOverlapPlanner, OnePassPlanner
 from repro.core.pareto import ParetoPlanner
+from repro.core.registry import (
+    PAPER_APPROACHES,
+    PAPER_PARAMETERS,
+    PlannerSpec,
+    available_planners,
+    make_planner,
+    paper_planners,
+    planner_spec,
+    register_planner,
+)
 from repro.core.route_graph import AlternativeRouteGraph
 from repro.core.penalty import DEFAULT_PENALTY_FACTOR, PenaltyPlanner
 from repro.core.plateaus import (
@@ -73,8 +83,11 @@ __all__ = [
     "LimitedOverlapPlanner",
     "LocalOptimalityFilter",
     "OnePassPlanner",
+    "PAPER_APPROACHES",
+    "PAPER_PARAMETERS",
     "ParetoPlanner",
     "PenaltyPlanner",
+    "PlannerSpec",
     "Plateau",
     "PlateauPlanner",
     "RouteFilter",
@@ -85,11 +98,16 @@ __all__ = [
     "WiderRoadsRanker",
     "YenPlanner",
     "admit_all",
+    "available_planners",
     "combine_rules",
     "find_plateaus",
     "make_dissimilarity_rule",
     "make_local_optimality_rule",
+    "make_planner",
+    "paper_planners",
     "paper_refinement_chain",
+    "planner_spec",
     "plateau_route",
+    "register_planner",
     "yen_k_shortest_paths",
 ]

@@ -107,13 +107,23 @@ class AlternativeRoutePlanner(abc.ABC):
         self.network = network
         self.k = k
 
-    def plan(self, source: int, target: int) -> RouteSet:
+    def plan(
+        self, source: int, target: int, k: Optional[int] = None
+    ) -> RouteSet:
         """Return up to ``k`` alternative routes from source to target.
+
+        ``k`` overrides the planner's configured route count for this
+        one query (the serving layer's per-query ``k=``).  Values above
+        the configured ``k`` may still return fewer routes, because
+        planners prune their candidate search around the configured
+        count.
 
         Raises :class:`QueryError` for degenerate queries and
         :class:`~repro.exceptions.DisconnectedError` when no route
         exists at all.
         """
+        if k is not None and k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
         if source == target:
             raise QueryError("source and target must differ")
         self.network.node(source)
@@ -123,7 +133,7 @@ class AlternativeRoutePlanner(abc.ABC):
             approach=self.name,
             source=source,
             target=target,
-            routes=tuple(routes[: self.k]),
+            routes=tuple(routes[: self.k if k is None else k]),
         )
 
     @abc.abstractmethod

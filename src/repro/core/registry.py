@@ -1,0 +1,238 @@
+"""Planner factory registry: approach name -> configured planner.
+
+The paper's §3 "Parameter Details" fixes one parameterisation for the
+whole study — penalty factor 1.4, stretch upper bound 1.4, θ = 0.5,
+up to k = 3 routes, commercial snapshots at 3 am.  Before this module
+every caller (query processor, webapp, CLI, benchmarks) hand-wired the
+four constructors and repeated those literals; now they ask the
+registry instead::
+
+    from repro.core.registry import make_planner, paper_planners
+
+    planner = make_planner("Penalty", network)          # paper defaults
+    planner = make_planner("Penalty", network, k=5)     # override
+    planners = paper_planners(network)                  # all four, blinded order
+
+The registry is extensible: :func:`register_planner` accepts any
+callable producing an :class:`AlternativeRoutePlanner`, so experiment
+variants (and the §2.4 baselines, pre-registered below) plug into the
+same serving and CLI paths as the study approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.base import (
+    DEFAULT_K,
+    DEFAULT_STRETCH_BOUND,
+    AlternativeRoutePlanner,
+)
+from repro.core.commercial import CommercialEngine
+from repro.core.dissimilarity import DEFAULT_THETA, DissimilarityPlanner
+from repro.core.ksplo import LimitedOverlapPlanner, OnePassPlanner
+from repro.core.penalty import DEFAULT_PENALTY_FACTOR, PenaltyPlanner
+from repro.core.plateaus import PlateauPlanner
+from repro.core.yen import YenPlanner
+from repro.exceptions import ConfigurationError
+from repro.graph.network import RoadNetwork
+
+#: Hour of day of the commercial engine's traffic snapshot (§3: routes
+#: "fetched at 3:00 am" to approximate free-flow conditions).
+PAPER_COMMERCIAL_HOUR = 3.0
+
+#: The four study approaches, in the paper's blinded A-D order.
+PAPER_APPROACHES: Tuple[str, ...] = (
+    "Google Maps",
+    "Plateaus",
+    "Dissimilarity",
+    "Penalty",
+)
+
+#: The paper's §3 parameter block, in one place.
+PAPER_PARAMETERS = {
+    "k": DEFAULT_K,
+    "penalty_factor": DEFAULT_PENALTY_FACTOR,
+    "stretch_bound": DEFAULT_STRETCH_BOUND,
+    "theta": DEFAULT_THETA,
+    "commercial_hour": PAPER_COMMERCIAL_HOUR,
+}
+
+
+@dataclass(frozen=True)
+class PlannerSpec:
+    """One registry entry: how to build a named approach.
+
+    ``defaults`` holds the paper's parameters for the approach; callers
+    override per-keyword at :meth:`build` time.
+    """
+
+    name: str
+    factory: Callable[..., AlternativeRoutePlanner]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def build(
+        self, network: RoadNetwork, **overrides: object
+    ) -> AlternativeRoutePlanner:
+        """Construct the planner with defaults merged under overrides."""
+        params = {**self.defaults, **overrides}
+        return self.factory(network, **params)
+
+
+_REGISTRY: Dict[str, PlannerSpec] = {}
+
+
+def register_planner(
+    name: str,
+    factory: Callable[..., AlternativeRoutePlanner],
+    defaults: Optional[Mapping[str, object]] = None,
+    description: str = "",
+    overwrite: bool = False,
+) -> PlannerSpec:
+    """Register a planner factory under ``name``.
+
+    Raises :class:`ConfigurationError` on duplicate names unless
+    ``overwrite`` is set (experiment variants replace study defaults
+    deliberately, never by accident).
+    """
+    if not name:
+        raise ConfigurationError("planner name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"planner {name!r} already registered; pass overwrite=True "
+            "to replace it"
+        )
+    spec = PlannerSpec(
+        name=name,
+        factory=factory,
+        defaults=dict(defaults or {}),
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def planner_spec(name: str) -> PlannerSpec:
+    """Return the registered spec, with a helpful error for typos."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown planner {name!r}; registered planners: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_planners() -> Tuple[str, ...]:
+    """All registered approach names, registration order preserved."""
+    return tuple(_REGISTRY)
+
+
+def make_planner(
+    name: str, network: RoadNetwork, **overrides: object
+) -> AlternativeRoutePlanner:
+    """Build the named approach with the paper's defaults.
+
+    Keyword arguments override individual defaults, e.g.
+    ``make_planner("Dissimilarity", network, theta=0.8)``.
+    """
+    return planner_spec(name).build(network, **overrides)
+
+
+def paper_planners(
+    network: RoadNetwork, traffic_seed: int = 0
+) -> Dict[str, AlternativeRoutePlanner]:
+    """The four study approaches with the paper's §3 parameters.
+
+    ``traffic_seed`` seeds the commercial engine's private data; the
+    Figure-4 experiment varies it to find illustrative disagreements.
+    """
+    planners: Dict[str, AlternativeRoutePlanner] = {}
+    for name in PAPER_APPROACHES:
+        overrides = (
+            {"traffic_seed": traffic_seed} if name == "Google Maps" else {}
+        )
+        planners[name] = make_planner(name, network, **overrides)
+    return planners
+
+
+def _commercial_factory(
+    network: RoadNetwork,
+    k: int = DEFAULT_K,
+    departure_hour: float = PAPER_COMMERCIAL_HOUR,
+    traffic_seed: int = 0,
+    provider=None,
+    **kwargs: object,
+) -> CommercialEngine:
+    """Build the commercial engine, seeding its private data provider."""
+    from repro.traffic.provider import CommercialDataProvider
+
+    if provider is None:
+        provider = CommercialDataProvider(network, seed=traffic_seed)
+    return CommercialEngine(
+        network,
+        k=k,
+        provider=provider,
+        departure_hour=departure_hour,
+        **kwargs,
+    )
+
+
+# The study's four approaches (paper §3 defaults).
+register_planner(
+    "Google Maps",
+    _commercial_factory,
+    defaults={
+        "k": DEFAULT_K,
+        "departure_hour": PAPER_COMMERCIAL_HOUR,
+        "traffic_seed": 0,
+    },
+    description="simulated commercial engine on private 3 am traffic",
+)
+register_planner(
+    "Plateaus",
+    PlateauPlanner,
+    defaults={"k": DEFAULT_K, "stretch_bound": DEFAULT_STRETCH_BOUND},
+    description="Choice-Routing-style plateaus (§2.2)",
+)
+register_planner(
+    "Dissimilarity",
+    DissimilarityPlanner,
+    defaults={
+        "k": DEFAULT_K,
+        "theta": DEFAULT_THETA,
+        "stretch_bound": DEFAULT_STRETCH_BOUND,
+    },
+    description="SSVP-D+ θ-dissimilar via-paths (§2.3)",
+)
+register_planner(
+    "Penalty",
+    PenaltyPlanner,
+    defaults={
+        "k": DEFAULT_K,
+        "penalty_factor": DEFAULT_PENALTY_FACTOR,
+    },
+    description="iterative edge penalisation (§2.1)",
+)
+
+# §2.4 baselines, so benchmarks and the CLI reach them the same way.
+register_planner(
+    "Yen",
+    YenPlanner,
+    defaults={"k": DEFAULT_K},
+    description="Yen's k-shortest paths baseline (§2.4)",
+)
+register_planner(
+    "LimitedOverlap",
+    LimitedOverlapPlanner,
+    defaults={"k": DEFAULT_K},
+    description="k-SPwLO limited-overlap baseline (§2.4)",
+)
+register_planner(
+    "OnePass",
+    OnePassPlanner,
+    defaults={"k": DEFAULT_K},
+    description="OnePass limited-overlap baseline (§2.4)",
+)

@@ -13,6 +13,11 @@ Endpoints
 ``POST /api/route``     compute the four route sets for a query
 ``POST /api/feedback``  store a rating-form submission
 ``GET  /api/stats``     response counts and mean ratings per label
+``GET  /metrics``       serving-layer counters, latencies and cache stats
+
+Routing goes through :class:`repro.serving.RouteService` — cached,
+concurrent, degradation-tolerant — so a single slow or failing planner
+no longer takes the whole query down.
 """
 
 from __future__ import annotations
@@ -20,11 +25,15 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.demo.query_processor import QueryProcessor
 from repro.demo.storage import FeedbackRecord, ResponseStore
 from repro.exceptions import ReproError
+from repro.serving.query import RouteQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.service import RouteService
 
 _PAGE = """<!DOCTYPE html>
 <html>
@@ -105,6 +114,12 @@ function drawRoutes(label) {
   drawBase();
   if (!lastResult) return;
   const fc = lastResult.routes[label];
+  if (!fc) {  // approach degraded out of this query
+    const marker = (lastResult.errors || {})[label] || 'no routes';
+    document.getElementById('legend').textContent =
+      'Approach ' + label + ': unavailable (' + marker + ')';
+    return;
+  }
   ctx.lineWidth = 3;
   for (const f of fc.features) {
     ctx.strokeStyle = f.properties.color;
@@ -237,6 +252,8 @@ class _DemoHandler(BaseHTTPRequestHandler):
                 self._send_json(self.server.stats_payload())
             elif self.path == "/api/table":
                 self._send_json(self.server.table_payload())
+            elif self.path == "/metrics":
+                self._send_json(self.server.metrics_payload())
             elif self.path.startswith("/api/isochrone"):
                 self._send_json(self.server.isochrone_payload(self.path))
             else:
@@ -274,6 +291,9 @@ class DemoServer:
         Bind address; port 0 lets the OS pick (tests use this).
     verbose:
         Log requests to stderr.
+    service:
+        The serving layer to route queries through; defaults to a
+        :class:`~repro.serving.RouteService` wrapping ``processor``.
     """
 
     def __init__(
@@ -283,8 +303,14 @@ class DemoServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         verbose: bool = False,
+        service: Optional["RouteService"] = None,
     ) -> None:
+        if service is None:
+            from repro.serving.service import RouteService
+
+            service = RouteService(processor)
         self.processor = processor
+        self.service = service
         self.store = store if store is not None else ResponseStore()
         self.verbose = verbose
         self._httpd = ThreadingHTTPServer((host, port), _DemoHandler)
@@ -292,6 +318,7 @@ class DemoServer:
         self._httpd.network_payload = self.network_payload  # type: ignore[attr-defined]
         self._httpd.stats_payload = self.stats_payload  # type: ignore[attr-defined]
         self._httpd.table_payload = self.table_payload  # type: ignore[attr-defined]
+        self._httpd.metrics_payload = self.metrics_payload  # type: ignore[attr-defined]
         self._httpd.isochrone_payload = self.isochrone_payload  # type: ignore[attr-defined]
         self._httpd.handle_route = self.handle_route  # type: ignore[attr-defined]
         self._httpd.handle_feedback = self.handle_feedback  # type: ignore[attr-defined]
@@ -329,6 +356,7 @@ class DemoServer:
         self._thread.join()
         self._httpd.server_close()
         self._thread = None
+        self.service.close()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (Ctrl-C to stop)."""
@@ -407,21 +435,19 @@ class DemoServer:
         }
 
     def handle_route(self, payload: Dict) -> Dict:
-        """Compute the blinded route sets for a source/target request."""
-        source = payload["source"]
-        target = payload["target"]
-        result = self.processor.process(
-            float(source["lat"]),
-            float(source["lon"]),
-            float(target["lat"]),
-            float(target["lon"]),
-        )
-        return {
-            "fastest_minutes": result.fastest_minutes,
-            "source_node": result.source_node,
-            "target_node": result.target_node,
-            "routes": result.to_geojson(self.processor.display_weights()),
-        }
+        """Compute the blinded route sets for a source/target request.
+
+        Served through the route service: cached, concurrently planned,
+        and degradation-tolerant — a failed approach appears under
+        ``"errors"`` while the others still render.
+        """
+        query = RouteQuery.from_payload(payload)
+        result = self.service.query(query)
+        return self.service.render(result)
+
+    def metrics_payload(self) -> Dict:
+        """The serving layer's counters, latencies and cache stats."""
+        return self.service.metrics_payload()
 
     def handle_feedback(self, payload: Dict) -> Dict:
         """Validate and store a rating-form submission."""

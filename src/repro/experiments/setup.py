@@ -3,6 +3,10 @@
 §3 "Parameter Details": penalty factor 1.4; stretch upper bound 1.4 for
 Plateaus and Dissimilarity; dissimilarity threshold θ = 0.5; up to k = 3
 routes per approach; commercial routes fetched at 3:00 am.
+
+The parameter block and planner construction live in
+:mod:`repro.core.registry`; this module re-exports them so existing
+experiment code keeps one import site.
 """
 
 from __future__ import annotations
@@ -10,25 +14,16 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.cities import CITY_BUILDERS
-from repro.core import (
-    AlternativeRoutePlanner,
-    CommercialEngine,
-    DissimilarityPlanner,
-    PenaltyPlanner,
-    PlateauPlanner,
-)
+from repro.core import AlternativeRoutePlanner
+from repro.core.registry import PAPER_PARAMETERS, paper_planners
 from repro.exceptions import ConfigurationError
 from repro.graph.network import RoadNetwork
-from repro.traffic import CommercialDataProvider
 
-#: The paper's §3 parameter block, in one place.
-PAPER_PARAMETERS = {
-    "k": 3,
-    "penalty_factor": 1.4,
-    "stretch_bound": 1.4,
-    "theta": 0.5,
-    "commercial_hour": 3.0,
-}
+__all__ = [
+    "PAPER_PARAMETERS",
+    "build_study_network",
+    "default_planners",
+]
 
 
 def build_study_network(
@@ -49,28 +44,9 @@ def default_planners(
 ) -> Dict[str, AlternativeRoutePlanner]:
     """Return the four study approaches with the paper's parameters.
 
-    ``traffic_seed`` seeds the commercial engine's private data; the
-    Figure-4 experiment varies it to find illustrative disagreements.
+    Thin alias for :func:`repro.core.registry.paper_planners`, kept for
+    the experiment suite's historical import path.  ``traffic_seed``
+    seeds the commercial engine's private data; the Figure-4 experiment
+    varies it to find illustrative disagreements.
     """
-    params = PAPER_PARAMETERS
-    provider = CommercialDataProvider(network, seed=traffic_seed)
-    return {
-        "Google Maps": CommercialEngine(
-            network,
-            k=params["k"],
-            provider=provider,
-            departure_hour=params["commercial_hour"],
-        ),
-        "Plateaus": PlateauPlanner(
-            network, k=params["k"], stretch_bound=params["stretch_bound"]
-        ),
-        "Dissimilarity": DissimilarityPlanner(
-            network,
-            k=params["k"],
-            theta=params["theta"],
-            stretch_bound=params["stretch_bound"],
-        ),
-        "Penalty": PenaltyPlanner(
-            network, k=params["k"], penalty_factor=params["penalty_factor"]
-        ),
-    }
+    return paper_planners(network, traffic_seed=traffic_seed)

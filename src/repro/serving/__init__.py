@@ -1,0 +1,48 @@
+"""Production serving layer over the study's planners.
+
+The paper's artifact was a live demo serving four alternative-route
+approaches to 237 participants; this package is that serving path grown
+up: an LRU route cache with explicit invalidation, bounded concurrent
+planner fan-out with per-query timeouts, graceful degradation with
+per-approach error markers, and a metrics registry behind the webapp's
+``/metrics`` endpoint.
+
+Entry point::
+
+    from repro.serving import RouteQuery, RouteService
+
+    service = RouteService.from_network(network)     # registry planners
+    result = service.query(RouteQuery(-37.81, 144.96, -37.75, 145.00))
+    result.route_sets["D"]                           # Penalty's routes
+    result.errors                                    # {} unless degraded
+"""
+
+from repro.serving.cache import CacheKey, CacheStats, RouteCache
+from repro.serving.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serving.query import RouteQuery
+from repro.serving.service import (
+    DEFAULT_MAX_WORKERS,
+    DEFAULT_TIMEOUT_S,
+    ApproachOutcome,
+    RouteService,
+    ServiceResult,
+)
+
+__all__ = [
+    "ApproachOutcome",
+    "CacheKey",
+    "CacheStats",
+    "Counter",
+    "DEFAULT_MAX_WORKERS",
+    "DEFAULT_TIMEOUT_S",
+    "Histogram",
+    "MetricsRegistry",
+    "RouteCache",
+    "RouteQuery",
+    "RouteService",
+    "ServiceResult",
+]

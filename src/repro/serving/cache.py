@@ -1,0 +1,146 @@
+"""LRU route cache for the serving layer.
+
+Route plans are deterministic given (approach, snapped source, snapped
+target, k), so repeated demo queries — the dominant pattern once many
+participants click the same landmarks — can be served from memory.
+The cache is a plain ``OrderedDict`` LRU guarded by a lock: correct
+under the webapp's threaded handlers and the service's planner pool,
+with hit/miss/eviction accounting surfaced through ``/metrics``.
+
+Display weights price every cached route at read time, so a *display*
+re-price never needs invalidation; :meth:`RouteCache.invalidate` exists
+for the one event that does change planning results — the network's
+edge weights being mutated (e.g. a live-traffic refresh).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.base import RouteSet
+from repro.exceptions import ConfigurationError
+
+#: (approach name, snapped source node, snapped target node, k).
+CacheKey = Tuple[str, int, int, int]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the cache's accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when the cache was never read."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_payload(self) -> dict:
+        """JSON-ready form for the ``/metrics`` endpoint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "max_size": self.max_size,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class RouteCache:
+    """Thread-safe LRU cache of :class:`RouteSet` results.
+
+    ``max_size=0`` disables caching (every lookup misses, stores are
+    dropped) so benchmarks can measure the uncached path through the
+    identical code.
+    """
+
+    def __init__(self, max_size: int = 1024) -> None:
+        if max_size < 0:
+            raise ConfigurationError(
+                f"cache max_size must be >= 0, got {max_size}"
+            )
+        self.max_size = max_size
+        self._entries: "OrderedDict[CacheKey, RouteSet]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    @staticmethod
+    def make_key(
+        approach: str, source: int, target: int, k: int
+    ) -> CacheKey:
+        """The canonical cache key for one planner invocation."""
+        return (approach, source, target, k)
+
+    def get(self, key: CacheKey) -> Optional[RouteSet]:
+        """Return the cached route set, or None; counts hit/miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: CacheKey, route_set: RouteSet) -> None:
+        """Store a planner result, evicting the LRU entry when full."""
+        if self.max_size == 0:
+            return
+        with self._lock:
+            self._entries[key] = route_set
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (weights changed); returns the count dropped.
+
+        This is the hook :meth:`RouteService.invalidate_cache` exposes —
+        call it whenever the underlying network's weights are mutated,
+        otherwise cached routes would keep reflecting the old weights.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations += 1
+            return dropped
+
+    def stats(self) -> CacheStats:
+        """A consistent accounting snapshot."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteCache(size={len(self)}, max_size={self.max_size})"
+        )

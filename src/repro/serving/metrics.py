@@ -1,0 +1,197 @@
+"""Lightweight in-process metrics: counters and latency histograms.
+
+The serving layer instruments every pipeline stage the paper's demo
+architecture names — vertex matching, planning, re-pricing, rendering —
+without pulling in a metrics dependency.  A :class:`MetricsRegistry`
+hands out named :class:`Counter` and :class:`Histogram` instances;
+:meth:`MetricsRegistry.snapshot` produces the JSON the webapp serves
+at ``/metrics``.
+
+Histograms keep exact count/total/min/max plus a bounded window of the
+most recent observations for quantile estimates, so memory stays O(1)
+per metric no matter how long the server runs.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator
+
+#: Observations retained per histogram for quantile estimation.
+DEFAULT_WINDOW = 1024
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Latency histogram: exact summary stats + windowed quantiles."""
+
+    __slots__ = (
+        "name", "_lock", "_count", "_total", "_min", "_max", "_window"
+    )
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds, for latency metrics)."""
+        with self._lock:
+            self._count += 1
+            self._total += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            self._window.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile over the retained window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._window:
+                return 0.0
+            ordered = sorted(self._window)
+            index = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[index]
+
+    def to_payload(self) -> Dict[str, float]:
+        """JSON-ready summary for ``/metrics``."""
+        with self._lock:
+            if not self._count:
+                return {"count": 0}
+            ordered = sorted(self._window)
+
+            def q(fraction: float) -> float:
+                return ordered[min(len(ordered) - 1,
+                                   int(fraction * len(ordered)))]
+
+            return {
+                "count": self._count,
+                "total_s": round(self._total, 6),
+                "mean_s": round(self._total / self._count, 6),
+                "min_s": round(self._min, 6),
+                "max_s": round(self._max, 6),
+                "p50_s": round(q(0.50), 6),
+                "p95_s": round(q(0.95), 6),
+                "p99_s": round(q(0.99), 6),
+            }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters and histograms."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the named counter, creating it on first use."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """Return the named histogram, creating it on first use."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    name, window=self._window
+                )
+            return histogram
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment the named counter."""
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation on the named histogram."""
+        self.histogram(name).observe(value)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into the named histogram (seconds)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All metrics as one JSON-ready payload."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(counters.items())
+            },
+            "histograms": {
+                name: histogram.to_payload()
+                for name, histogram in sorted(histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and bench warm-up)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,87 @@
+"""The typed query object accepted by the serving layer.
+
+The paper's query processor takes "a pair of source and target
+locations each represented by longitude and latitude".  The serving
+layer keeps that contract but adds the two per-query knobs production
+callers need: restricting the fan-out to a subset of approaches and
+overriding ``k`` (the demo's "up to 3 routes") for one query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class RouteQuery:
+    """One source/target query, with optional serving overrides.
+
+    Parameters
+    ----------
+    source_lat, source_lon, target_lat, target_lon:
+        The clicked coordinates, in degrees.
+    approaches:
+        Optional subset of approach names to run (default: all four
+        study approaches).  Names are validated against the configured
+        planners when the query is processed.
+    k:
+        Optional per-query override of the number of routes per
+        approach; planners may still return fewer.
+    """
+
+    source_lat: float
+    source_lon: float
+    target_lat: float
+    target_lon: float
+    approaches: Optional[Tuple[str, ...]] = None
+    k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for attr in ("source_lat", "source_lon", "target_lat", "target_lon"):
+            value = getattr(self, attr)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise QueryError(f"{attr} must be a number, got {value!r}")
+        if self.approaches is not None:
+            approaches = tuple(self.approaches)
+            if not approaches:
+                raise QueryError("approaches subset must be non-empty")
+            if len(set(approaches)) != len(approaches):
+                raise QueryError(
+                    f"duplicate approach names in {approaches!r}"
+                )
+            for name in approaches:
+                if not isinstance(name, str) or not name:
+                    raise QueryError(
+                        f"approach names must be non-empty strings, "
+                        f"got {name!r}"
+                    )
+            object.__setattr__(self, "approaches", approaches)
+        if self.k is not None and self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "RouteQuery":
+        """Build a query from the webapp's ``/api/route`` JSON body.
+
+        Accepts the original ``{"source": {"lat", "lon"}, "target":
+        {...}}`` shape plus the optional ``"approaches"`` list and
+        ``"k"`` integer.
+        """
+        try:
+            source = payload["source"]
+            target = payload["target"]
+            approaches: Optional[Sequence[str]] = payload.get("approaches")
+            k = payload.get("k")
+            return cls(
+                source_lat=float(source["lat"]),
+                source_lon=float(source["lon"]),
+                target_lat=float(target["lat"]),
+                target_lon=float(target["lon"]),
+                approaches=tuple(approaches) if approaches else None,
+                k=int(k) if k is not None else None,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"bad route query payload: {exc}") from exc

@@ -1,0 +1,396 @@
+"""The route service: cached, concurrent, observable query serving.
+
+This is the production entry point wrapping the paper's demo pipeline.
+One :meth:`RouteService.query` call runs the four stages the paper's
+architecture describes — vertex matching, planning, re-pricing,
+rendering — with the properties a live deployment needs:
+
+* **Caching** — planner results are memoised in an LRU
+  :class:`~repro.serving.cache.RouteCache` keyed by
+  ``(approach, snapped source, snapped target, k)``; repeated queries
+  skip planning entirely.  Call :meth:`invalidate_cache` whenever the
+  network's weights change.
+* **Concurrency** — the approaches fan out onto a bounded
+  ``ThreadPoolExecutor`` instead of running sequentially, with a
+  per-query planner timeout.
+* **Graceful degradation** — a planner raising or timing out yields a
+  per-approach error marker in the result; the query still serves the
+  approaches that succeeded.  Only a query with *no* usable routes at
+  all raises :class:`~repro.exceptions.QueryError`.
+* **Observability** — every stage and approach feeds counters and
+  latency histograms in a :class:`~repro.serving.metrics.MetricsRegistry`,
+  served by the webapp's ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.base import AlternativeRoutePlanner, RouteSet
+from repro.demo.query_processor import (
+    APPROACH_LABELS,
+    DemoQueryResult,
+    QueryProcessor,
+)
+from repro.demo.rendering import route_set_to_feature_collection
+from repro.exceptions import ConfigurationError, QueryError
+from repro.graph.network import RoadNetwork
+from repro.serving.cache import RouteCache
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.query import RouteQuery
+from repro.study.rating import APPROACHES
+
+#: Default per-query planning timeout, generous for full-size networks.
+DEFAULT_TIMEOUT_S = 30.0
+
+#: Default planner fan-out: one worker per study approach.
+DEFAULT_MAX_WORKERS = 4
+
+
+def _blinded_label(approach: str) -> str:
+    """The study's A-D label, or the approach name for non-study planners."""
+    return APPROACH_LABELS.get(approach, approach)
+
+
+@dataclass(frozen=True)
+class ApproachOutcome:
+    """What happened to one approach within one query."""
+
+    approach: str
+    label: str
+    route_set: Optional[RouteSet] = None
+    error: Optional[str] = None
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the approach produced a route set (even an empty one)."""
+        return self.route_set is not None
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """The served answer for one query, possibly degraded.
+
+    ``route_sets`` carries the blinded label -> routes mapping for the
+    approaches that succeeded; ``errors`` maps the labels that did not
+    to a human-readable marker ("TimeoutError: ..." etc.).
+    """
+
+    source_node: int
+    target_node: int
+    fastest_minutes: int
+    route_sets: Dict[str, RouteSet]
+    errors: Dict[str, str] = field(default_factory=dict)
+    outcomes: Tuple[ApproachOutcome, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one approach failed or timed out."""
+        return bool(self.errors)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    def to_demo_result(self) -> DemoQueryResult:
+        """Down-convert to the demo's original result type."""
+        return DemoQueryResult(
+            source_node=self.source_node,
+            target_node=self.target_node,
+            fastest_minutes=self.fastest_minutes,
+            route_sets=dict(self.route_sets),
+        )
+
+
+class RouteService:
+    """Cached, concurrent, observable serving over the study planners.
+
+    Parameters
+    ----------
+    processor:
+        The configured :class:`QueryProcessor` (vertex matching, the
+        planner map, the display weights).
+    cache_size:
+        LRU capacity in route sets; 0 disables caching.
+    max_workers:
+        Bound on concurrent planner invocations.
+    timeout_s:
+        Per-query planning deadline; planners still running when it
+        expires are reported as timed out for this query.
+    metrics:
+        Shared registry, or None to create a private one.
+    """
+
+    def __init__(
+        self,
+        processor: QueryProcessor,
+        cache_size: int = 1024,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0, got {timeout_s}"
+            )
+        self.processor = processor
+        self.cache = RouteCache(cache_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timeout_s = timeout_s
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="route-planner"
+        )
+
+    @classmethod
+    def from_network(
+        cls,
+        network: RoadNetwork,
+        planners: Optional[Mapping[str, AlternativeRoutePlanner]] = None,
+        traffic_seed: int = 0,
+        **kwargs,
+    ) -> "RouteService":
+        """Build a service over a network with the registry's planners."""
+        processor = QueryProcessor(network, planners, traffic_seed=traffic_seed)
+        return cls(processor, **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the planner pool down (idempotent)."""
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "RouteService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- cache control ------------------------------------------------------
+
+    def invalidate_cache(self) -> int:
+        """Drop all cached routes; call after mutating network weights."""
+        dropped = self.cache.invalidate()
+        self.metrics.inc("cache.invalidations")
+        return dropped
+
+    # -- serving ------------------------------------------------------------
+
+    def query(
+        self,
+        source_lat,
+        source_lon: Optional[float] = None,
+        target_lat: Optional[float] = None,
+        target_lon: Optional[float] = None,
+        approaches: Optional[Tuple[str, ...]] = None,
+        k: Optional[int] = None,
+    ) -> ServiceResult:
+        """Serve one query; accepts a :class:`RouteQuery` or raw coords.
+
+        Raises :class:`QueryError` when the query is invalid or *every*
+        approach failed to produce a usable route; partial planner
+        failures degrade the result instead (see ``errors``).
+        """
+        if isinstance(source_lat, RouteQuery):
+            query = source_lat
+            if source_lon is not None or target_lat is not None:
+                raise QueryError(
+                    "pass either a RouteQuery or four coordinates, not both"
+                )
+        else:
+            query = RouteQuery(
+                source_lat, source_lon, target_lat, target_lon,
+                approaches=approaches, k=k,
+            )
+        started = time.perf_counter()
+        metrics = self.metrics
+        metrics.inc("queries.total")
+        try:
+            result = self._serve(query)
+        except Exception:
+            metrics.inc("queries.failed")
+            raise
+        if result.degraded:
+            metrics.inc("queries.degraded")
+        metrics.observe("query.total", time.perf_counter() - started)
+        return result
+
+    def render(self, result: ServiceResult) -> Dict:
+        """The webapp payload for a served result (timed render stage)."""
+        weights = self.processor.display_weights()
+        with self.metrics.time("stage.render"):
+            routes = {
+                label: route_set_to_feature_collection(
+                    route_set, weights, label
+                )
+                for label, route_set in result.route_sets.items()
+            }
+        return {
+            "fastest_minutes": result.fastest_minutes,
+            "source_node": result.source_node,
+            "target_node": result.target_node,
+            "routes": routes,
+            "errors": dict(result.errors),
+            "degraded": result.degraded,
+            "cache_hits": result.cache_hits,
+        }
+
+    def metrics_payload(self) -> Dict:
+        """Counters, histograms and cache accounting for ``/metrics``."""
+        payload = self.metrics.snapshot()
+        payload["cache"] = self.cache.stats().to_payload()
+        return payload
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_approaches(self, query: RouteQuery) -> Tuple[str, ...]:
+        planners = self.processor.planners
+        if query.approaches is None:
+            return tuple(
+                name for name in APPROACHES if name in planners
+            ) or tuple(planners)
+        unknown = [
+            name for name in query.approaches if name not in planners
+        ]
+        if unknown:
+            raise QueryError(
+                f"unknown approaches {unknown}; configured: "
+                f"{sorted(planners)}"
+            )
+        return query.approaches
+
+    def _plan_one(
+        self,
+        approach: str,
+        planner: AlternativeRoutePlanner,
+        source: int,
+        target: int,
+        k: Optional[int],
+    ) -> RouteSet:
+        with self.metrics.time(f"stage.plan.{approach}"):
+            return planner.plan(source, target, k=k)
+
+    def _serve(self, query: RouteQuery) -> ServiceResult:
+        metrics = self.metrics
+        processor = self.processor
+        with metrics.time("stage.vertex_match"):
+            source = processor.match_vertex(
+                query.source_lat, query.source_lon
+            )
+            target = processor.match_vertex(
+                query.target_lat, query.target_lon
+            )
+        if source == target:
+            raise QueryError(
+                "source and target snap to the same road vertex; pick "
+                "points further apart"
+            )
+        names = self._resolve_approaches(query)
+
+        outcomes: Dict[str, ApproachOutcome] = {}
+        pending = {}
+        for approach in names:
+            planner = processor.planners[approach]
+            effective_k = query.k if query.k is not None else planner.k
+            key = RouteCache.make_key(approach, source, target, effective_k)
+            cached = self.cache.get(key)
+            if cached is not None:
+                metrics.inc("cache.hits")
+                outcomes[approach] = ApproachOutcome(
+                    approach=approach,
+                    label=_blinded_label(approach),
+                    route_set=cached,
+                    cached=True,
+                )
+                continue
+            metrics.inc("cache.misses")
+            future = self._executor.submit(
+                self._plan_one, approach, planner, source, target, query.k
+            )
+            pending[future] = (approach, key, time.perf_counter())
+
+        done, not_done = wait(pending, timeout=self.timeout_s)
+        for future in done:
+            approach, key, submitted = pending[future]
+            elapsed = time.perf_counter() - submitted
+            label = _blinded_label(approach)
+            error = future.exception()
+            if error is not None:
+                metrics.inc(f"plan.errors.{approach}")
+                outcomes[approach] = ApproachOutcome(
+                    approach=approach,
+                    label=label,
+                    error=f"{type(error).__name__}: {error}",
+                    elapsed_s=elapsed,
+                )
+                continue
+            route_set = future.result()
+            self.cache.put(key, route_set)
+            outcomes[approach] = ApproachOutcome(
+                approach=approach,
+                label=label,
+                route_set=route_set,
+                elapsed_s=elapsed,
+            )
+        for future in not_done:
+            future.cancel()
+            approach, _key, submitted = pending[future]
+            metrics.inc(f"plan.timeouts.{approach}")
+            outcomes[approach] = ApproachOutcome(
+                approach=approach,
+                label=_blinded_label(approach),
+                error=(
+                    f"TimeoutError: planner exceeded the "
+                    f"{self.timeout_s:g}s deadline"
+                ),
+                elapsed_s=time.perf_counter() - submitted,
+            )
+
+        route_sets = {
+            outcome.label: outcome.route_set
+            for outcome in outcomes.values()
+            if outcome.ok
+        }
+        errors = {
+            outcome.label: outcome.error
+            for outcome in outcomes.values()
+            if not outcome.ok
+        }
+        weights = processor.display_weights()
+        with metrics.time("stage.re_price"):
+            priced = [
+                route.travel_time_on(weights)
+                for route_set in route_sets.values()
+                for route in route_set
+            ]
+        if not priced:
+            detail = (
+                "; ".join(
+                    f"{label}: {message}"
+                    for label, message in sorted(errors.items())
+                )
+                or "every approach returned an empty route set"
+            )
+            raise QueryError(
+                f"no approach produced a route for nodes "
+                f"{source} -> {target} ({detail})"
+            )
+        ordered = tuple(
+            outcomes[name] for name in names if name in outcomes
+        )
+        return ServiceResult(
+            source_node=source,
+            target_node=target,
+            fastest_minutes=round(min(priced) / 60.0),
+            route_sets=route_sets,
+            errors=errors,
+            outcomes=ordered,
+        )

@@ -1,0 +1,122 @@
+"""Tests for the planner factory registry."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_K,
+    DEFAULT_PENALTY_FACTOR,
+    DEFAULT_STRETCH_BOUND,
+    DEFAULT_THETA,
+    CommercialEngine,
+    DissimilarityPlanner,
+    PenaltyPlanner,
+    PlateauPlanner,
+)
+from repro.core.registry import (
+    PAPER_APPROACHES,
+    PAPER_COMMERCIAL_HOUR,
+    PAPER_PARAMETERS,
+    available_planners,
+    make_planner,
+    paper_planners,
+    planner_spec,
+    register_planner,
+)
+from repro.exceptions import ConfigurationError
+from repro.study.rating import APPROACHES
+
+
+class TestPaperDefaults:
+    def test_parameter_block_matches_core_constants(self):
+        assert PAPER_PARAMETERS == {
+            "k": DEFAULT_K,
+            "penalty_factor": DEFAULT_PENALTY_FACTOR,
+            "stretch_bound": DEFAULT_STRETCH_BOUND,
+            "theta": DEFAULT_THETA,
+            "commercial_hour": PAPER_COMMERCIAL_HOUR,
+        }
+
+    def test_paper_approaches_match_study_blinding(self):
+        assert PAPER_APPROACHES == APPROACHES
+
+    def test_penalty_defaults(self, grid10):
+        planner = make_planner("Penalty", grid10)
+        assert isinstance(planner, PenaltyPlanner)
+        assert planner.k == DEFAULT_K
+        assert planner.penalty_factor == DEFAULT_PENALTY_FACTOR
+
+    def test_plateaus_defaults(self, grid10):
+        planner = make_planner("Plateaus", grid10)
+        assert isinstance(planner, PlateauPlanner)
+        assert planner.stretch_bound == DEFAULT_STRETCH_BOUND
+
+    def test_dissimilarity_defaults(self, grid10):
+        planner = make_planner("Dissimilarity", grid10)
+        assert isinstance(planner, DissimilarityPlanner)
+        assert planner.theta == DEFAULT_THETA
+        assert planner.stretch_bound == DEFAULT_STRETCH_BOUND
+
+    def test_commercial_defaults(self, grid10):
+        planner = make_planner("Google Maps", grid10)
+        assert isinstance(planner, CommercialEngine)
+        assert planner.k == DEFAULT_K
+
+
+class TestMakePlanner:
+    def test_overrides_win_over_defaults(self, grid10):
+        planner = make_planner("Penalty", grid10, k=5, penalty_factor=2.0)
+        assert planner.k == 5
+        assert planner.penalty_factor == 2.0
+
+    def test_unknown_name_lists_registered(self, grid10):
+        with pytest.raises(ConfigurationError, match="registered planners"):
+            make_planner("GraphHopper", grid10)
+
+    def test_baselines_are_registered(self):
+        names = available_planners()
+        for name in ("Yen", "LimitedOverlap", "OnePass"):
+            assert name in names
+
+
+class TestPaperPlanners:
+    def test_covers_the_four_study_approaches(self, grid10):
+        planners = paper_planners(grid10)
+        assert tuple(planners) == APPROACHES
+        for name, planner in planners.items():
+            assert planner.name == name
+            assert planner.k == DEFAULT_K
+
+    def test_traffic_seed_reaches_the_commercial_engine(self, grid10):
+        first = paper_planners(grid10, traffic_seed=1)["Google Maps"]
+        second = paper_planners(grid10, traffic_seed=2)["Google Maps"]
+        assert first.provider.weights() != second.provider.weights()
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_planner("Penalty", PenaltyPlanner)
+
+    def test_overwrite_and_custom_factory(self, grid10):
+        spec = planner_spec("Penalty")
+        try:
+            register_planner(
+                "Penalty",
+                PenaltyPlanner,
+                defaults={"k": 7},
+                overwrite=True,
+            )
+            assert make_planner("Penalty", grid10).k == 7
+        finally:
+            register_planner(
+                spec.name,
+                spec.factory,
+                defaults=spec.defaults,
+                description=spec.description,
+                overwrite=True,
+            )
+        assert make_planner("Penalty", grid10).k == DEFAULT_K
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_planner("", PenaltyPlanner)

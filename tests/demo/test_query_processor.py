@@ -92,3 +92,87 @@ class TestProcess:
         del planners["Plateaus"]
         with pytest.raises(QueryError):
             QueryProcessor(processor.network, planners)
+
+
+class TestRouteQueryForm:
+    """process() accepts a typed RouteQuery with serving overrides."""
+
+    def test_route_query_matches_positional_call(self, processor):
+        from repro.serving import RouteQuery
+
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        positional = processor.process(s_lat, s_lon, t_lat, t_lon)
+        typed = processor.process(RouteQuery(s_lat, s_lon, t_lat, t_lon))
+        assert set(typed.route_sets) == set(positional.route_sets)
+        assert typed.fastest_minutes == positional.fastest_minutes
+        assert typed.source_node == positional.source_node
+
+    def test_approaches_subset_keeps_blinded_labels(self, processor):
+        from repro.serving import RouteQuery
+
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        result = processor.process(
+            RouteQuery(
+                s_lat, s_lon, t_lat, t_lon,
+                approaches=("Penalty", "Plateaus"),
+            )
+        )
+        assert set(result.route_sets) == {"B", "D"}
+
+    def test_k_override_trims_route_sets(self, processor):
+        from repro.serving import RouteQuery
+
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        result = processor.process(
+            RouteQuery(s_lat, s_lon, t_lat, t_lon, k=1)
+        )
+        assert all(len(rs) == 1 for rs in result.route_sets.values())
+
+    def test_unknown_approach_rejected(self, processor):
+        from repro.serving import RouteQuery
+
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        with pytest.raises(QueryError, match="unknown approaches"):
+            processor.process(
+                RouteQuery(s_lat, s_lon, t_lat, t_lon, approaches=("X",))
+            )
+
+    def test_mixing_query_and_coordinates_rejected(self, processor):
+        from repro.serving import RouteQuery
+
+        (s_lat, s_lon), (t_lat, t_lon) = far_corners(processor)
+        query = RouteQuery(s_lat, s_lon, t_lat, t_lon)
+        with pytest.raises(QueryError):
+            processor.process(query, s_lon)
+
+
+class TestEmptyRouteSets:
+    def test_all_empty_raises_query_error_not_value_error(self, grid10):
+        from repro.core.base import AlternativeRoutePlanner
+        from repro.study.rating import APPROACHES
+
+        class EmptyPlanner(AlternativeRoutePlanner):
+            def __init__(self, network, name):
+                super().__init__(network)
+                self.name = name
+
+            def _plan_routes(self, source, target):
+                return []
+
+        processor = QueryProcessor(
+            grid10, {name: EmptyPlanner(grid10, name) for name in APPROACHES}
+        )
+        source = grid10.node(0)
+        target = grid10.node(grid10.num_nodes - 1)
+        with pytest.raises(QueryError, match="empty route set"):
+            processor.process(source.lat, source.lon, target.lat, target.lon)
+
+
+class TestRegistryDefaults:
+    def test_processor_builds_paper_planners_when_omitted(self):
+        from repro.cities import melbourne
+        from repro.study.rating import APPROACHES
+
+        network = melbourne(size="small")
+        processor = QueryProcessor(network)
+        assert tuple(processor.planners) == APPROACHES

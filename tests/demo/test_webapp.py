@@ -218,3 +218,46 @@ class TestIsochroneEndpoint:
                 timeout=10,
             )
         assert excinfo.value.code == 400
+
+
+class TestMetricsEndpoint:
+    def test_metrics_payload_shape(self, server):
+        payload = get_json(server, "/metrics")
+        assert set(payload) == {"counters", "histograms", "cache"}
+        assert set(payload["cache"]) >= {"hits", "misses", "size", "max_size"}
+
+    def test_route_queries_feed_the_metrics(self, server):
+        source, target = corner_points(server)
+        post_json(server, "/api/route", {"source": source, "target": target})
+        payload = get_json(server, "/metrics")
+        assert payload["counters"]["queries.total"] >= 1
+        assert payload["histograms"]["stage.vertex_match"]["count"] >= 1
+        assert payload["histograms"]["stage.render"]["count"] >= 1
+
+    def test_repeated_query_hits_the_route_cache(self, server):
+        source, target = corner_points(server)
+        body = {"source": source, "target": target}
+        post_json(server, "/api/route", body)
+        before = get_json(server, "/metrics")["cache"]["hits"]
+        payload = post_json(server, "/api/route", body)
+        assert payload["cache_hits"] == 4
+        assert get_json(server, "/metrics")["cache"]["hits"] == before + 4
+
+
+class TestRouteEndpointExtensions:
+    def test_approaches_subset_and_k(self, server):
+        source, target = corner_points(server)
+        payload = post_json(
+            server,
+            "/api/route",
+            {
+                "source": source,
+                "target": target,
+                "approaches": ["Penalty"],
+                "k": 1,
+            },
+        )
+        assert set(payload["routes"]) == {"D"}
+        assert len(payload["routes"]["D"]["features"]) == 1
+        assert payload["errors"] == {}
+        assert payload["degraded"] is False

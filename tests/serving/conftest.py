@@ -1,0 +1,58 @@
+"""Serving-layer fixtures: a grid network with controllable planners."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms import shortest_path
+from repro.core.base import AlternativeRoutePlanner
+from repro.demo.query_processor import QueryProcessor
+from repro.serving import RouteQuery
+from repro.study.rating import APPROACHES
+
+
+class StubPlanner(AlternativeRoutePlanner):
+    """A controllable planner: countable, failable, delayable, emptiable.
+
+    Returns the grid's shortest path repeated three times, so per-query
+    ``k`` overrides have something to trim.
+    """
+
+    def __init__(self, network, name, k=3):
+        super().__init__(network, k)
+        self.name = name
+        self.calls = 0
+        self.fail = False
+        self.empty = False
+        self.delay_s = 0.0
+
+    def _plan_routes(self, source, target):
+        self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError(f"{self.name} exploded")
+        if self.empty:
+            return []
+        route = shortest_path(self.network, source, target)
+        return [route, route, route]
+
+
+@pytest.fixture()
+def stub_planners(grid10):
+    return {name: StubPlanner(grid10, name) for name in APPROACHES}
+
+
+@pytest.fixture()
+def grid_processor(grid10, stub_planners):
+    return QueryProcessor(grid10, stub_planners)
+
+
+@pytest.fixture()
+def grid_query(grid10):
+    """A corner-to-corner query on the 10x10 grid."""
+    source = grid10.node(0)
+    target = grid10.node(grid10.num_nodes - 1)
+    return RouteQuery(source.lat, source.lon, target.lat, target.lon)

@@ -1,0 +1,96 @@
+"""Tests for the LRU route cache."""
+
+import pytest
+
+from repro.core.base import RouteSet
+from repro.exceptions import ConfigurationError
+from repro.serving import RouteCache
+
+
+def empty_set(approach, source=0, target=1):
+    return RouteSet(
+        approach=approach, source=source, target=target, routes=()
+    )
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = RouteCache(max_size=4)
+        key = RouteCache.make_key("Penalty", 0, 1, 3)
+        assert cache.get(key) is None
+        stored = empty_set("Penalty")
+        cache.put(key, stored)
+        assert cache.get(key) is stored
+
+    def test_key_includes_all_four_dimensions(self):
+        cache = RouteCache(max_size=8)
+        base = RouteCache.make_key("Penalty", 0, 1, 3)
+        cache.put(base, empty_set("Penalty"))
+        for other in (
+            RouteCache.make_key("Plateaus", 0, 1, 3),
+            RouteCache.make_key("Penalty", 2, 1, 3),
+            RouteCache.make_key("Penalty", 0, 2, 3),
+            RouteCache.make_key("Penalty", 0, 1, 5),
+        ):
+            assert cache.get(other) is None
+
+    def test_hit_miss_accounting(self):
+        cache = RouteCache(max_size=4)
+        key = RouteCache.make_key("Penalty", 0, 1, 3)
+        cache.get(key)
+        cache.put(key, empty_set("Penalty"))
+        cache.get(key)
+        cache.get(key)
+        stats = cache.stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = RouteCache(max_size=2)
+        first = RouteCache.make_key("Penalty", 0, 1, 3)
+        second = RouteCache.make_key("Penalty", 0, 2, 3)
+        third = RouteCache.make_key("Penalty", 0, 3, 3)
+        cache.put(first, empty_set("Penalty", target=1))
+        cache.put(second, empty_set("Penalty", target=2))
+        cache.get(first)  # refresh -> second is now the LRU entry
+        cache.put(third, empty_set("Penalty", target=3))
+        assert first in cache
+        assert second not in cache
+        assert third in cache
+        assert cache.stats().evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = RouteCache(max_size=0)
+        key = RouteCache.make_key("Penalty", 0, 1, 3)
+        cache.put(key, empty_set("Penalty"))
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RouteCache(max_size=-1)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_everything_and_counts(self):
+        cache = RouteCache(max_size=8)
+        for target in range(1, 5):
+            cache.put(
+                RouteCache.make_key("Penalty", 0, target, 3),
+                empty_set("Penalty", target=target),
+            )
+        assert cache.invalidate() == 4
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        assert stats.size == 0
+
+    def test_payload_shape(self):
+        payload = RouteCache(max_size=8).stats().to_payload()
+        assert set(payload) == {
+            "hits", "misses", "evictions", "invalidations",
+            "size", "max_size", "hit_rate",
+        }

@@ -1,0 +1,90 @@
+"""Tests for the serving metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.serving import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.inc("queries.total")
+        registry.inc("queries.total", 2)
+        assert registry.counter("queries.total").value == 3
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().inc("x", -1)
+
+    def test_threaded_increments_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                registry.inc("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("hits").value == 8000
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            registry.observe("stage.plan", value)
+        histogram = registry.histogram("stage.plan")
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(1.0)
+        assert histogram.mean() == pytest.approx(0.25)
+        assert histogram.quantile(0.0) == pytest.approx(0.1)
+        assert histogram.quantile(1.0) == pytest.approx(0.4)
+
+    def test_window_bounds_memory(self):
+        registry = MetricsRegistry(window=16)
+        for i in range(100):
+            registry.observe("stage.plan", float(i))
+        histogram = registry.histogram("stage.plan")
+        assert histogram.count == 100  # exact count survives the window
+        assert histogram.quantile(0.0) >= 84.0  # window holds the tail
+
+    def test_time_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.time("stage.render"):
+            pass
+        histogram = registry.histogram("stage.render")
+        assert histogram.count == 1
+        assert histogram.total >= 0.0
+
+
+class TestSnapshot:
+    def test_payload_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("queries.total")
+        registry.observe("query.total", 0.05)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "histograms"}
+        assert snapshot["counters"]["queries.total"] == 1
+        summary = snapshot["histograms"]["query.total"]
+        assert summary["count"] == 1
+        assert set(summary) == {
+            "count", "total_s", "mean_s", "min_s", "max_s",
+            "p50_s", "p95_s", "p99_s",
+        }
+
+    def test_empty_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("never.observed")
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["never.observed"] == {"count": 0}
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("queries.total")
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
