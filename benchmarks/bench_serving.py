@@ -17,6 +17,7 @@ than pytest-benchmark so the throughput ratio can be asserted.
 
 from __future__ import annotations
 
+import json
 import random
 import time
 
@@ -158,6 +159,64 @@ def test_bench_serving_degraded_query_still_serves(processor):
                     f"degraded queries counted: "
                     f"{metrics['counters']['queries.degraded']}",
                 ]
+            ),
+        )
+    finally:
+        service.close()
+
+
+def test_bench_serving_search_effort_per_approach(processor):
+    """Experiment S1c — planner search effort behind Table 2's runtimes.
+
+    Serves a fresh query set and reports the accumulated per-approach
+    SearchStats counters from the metrics registry: nodes expanded,
+    edges relaxed, candidates generated/accepted/pruned, dissimilarity
+    evaluations.  The per-approach gaps (Penalty's repeated full
+    Dijkstra runs vs. Plateaus' two tree builds) are the search-effort
+    explanation for the paper's runtime table.
+    """
+    queries = _query_set(processor.network, count=QUERY_COUNT, seed=2)
+    service = RouteService(processor, cache_size=0, timeout_s=120.0)
+    try:
+        served = _run_pass(service, queries)
+        assert served, "no query in the set was routable"
+
+        counters = service.metrics_payload()["counters"]
+        approaches = sorted(processor.planners)
+        per_approach = {
+            approach: {
+                field: counters.get(f"search.{approach}.{field}", 0)
+                for field in (
+                    "nodes_expanded",
+                    "edges_relaxed",
+                    "candidates_generated",
+                    "candidates_accepted",
+                    "candidates_pruned",
+                    "dissimilarity_evaluations",
+                )
+            }
+            for approach in approaches
+        }
+        for approach, stats in per_approach.items():
+            assert stats["nodes_expanded"] > 0, (
+                f"{approach} reported no search work"
+            )
+            assert stats["candidates_accepted"] > 0
+
+        lines = [
+            "Experiment S1c — per-approach search effort "
+            f"({served} queries)",
+        ]
+        for approach, stats in per_approach.items():
+            lines.append(f"{approach}:")
+            for field, value in stats.items():
+                lines.append(f"  {field}: {value}")
+        write_artifact("bench_serving_search_stats.txt", "\n".join(lines))
+        write_artifact(
+            "bench_serving_search_stats.json",
+            json.dumps(
+                {"queries_served": served, "approaches": per_approach},
+                indent=2,
             ),
         )
     finally:

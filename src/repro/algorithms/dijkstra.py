@@ -18,6 +18,7 @@ from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.algorithms.sp_tree import ShortestPathTree
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
+from repro.observability.search import active_search_stats
 
 
 def dijkstra(
@@ -69,12 +70,15 @@ def dijkstra(
     heap: List[tuple[float, int]] = [(0.0, root)]
     edges = network._edges  # hot loop: avoid method-call overhead
     adjacency = network._out if forward else network._in
+    expanded = 0  # settled pops, for SearchStats
+    relaxed = 0  # out-edges scanned, for SearchStats
 
     while heap:
         d, u = heapq.heappop(heap)
         if settled[u]:
             continue
         settled[u] = True
+        expanded += 1
         if u == target:
             break
         if d > max_dist:
@@ -87,6 +91,7 @@ def dijkstra(
             v = edge.v if forward else edge.u
             if settled[v]:
                 continue
+            relaxed += 1
             weight = w[edge_id]
             if weight < 0:
                 raise ConfigurationError(
@@ -97,6 +102,11 @@ def dijkstra(
                 dist[v] = nd
                 parent_edge[v] = edge_id
                 heapq.heappush(heap, (nd, v))
+
+    stats = active_search_stats()
+    if stats is not None:
+        stats.nodes_expanded += expanded
+        stats.edges_relaxed += relaxed
 
     if target is not None or max_dist != math.inf:
         # Unsettled entries hold tentative (possibly non-optimal)

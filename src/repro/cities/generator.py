@@ -24,8 +24,11 @@ from repro.geometry import BoundingBox, LocalProjection
 from repro.graph.network import RoadNetwork
 from repro.osm.constructor import RoadNetworkConstructor
 from repro.osm.model import OSMDocument, OSMNode, OSMRestriction, OSMWay
+from repro.observability.logs import get_logger
 from repro.osm.parser import parse_osm_xml, write_osm_xml
 from repro.cities.profile import SIZE_FACTORS, CityProfile
+
+logger = get_logger(__name__)
 
 #: Id blocks keeping grid, ring and freeway node ids disjoint.
 _RING_ID_BASE = 1_000_000
@@ -552,6 +555,11 @@ def build_city_network_with_restrictions(
     if via_xml:
         document = parse_osm_xml(write_osm_xml(document))
     constructor = RoadNetworkConstructor(bbox=document.bounds)
-    return constructor.construct_with_restrictions(
+    network, restrictions = constructor.construct_with_restrictions(
         document, name=f"{profile.name}-{size}"
     )
+    logger.debug(
+        "built network %s: %d nodes, %d edges (seed=%d, via_xml=%s)",
+        network.name, network.num_nodes, network.num_edges, seed, via_xml,
+    )
+    return network, restrictions

@@ -13,11 +13,13 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from repro.cities import CITY_BUILDERS
 from repro.exceptions import ReproError
+from repro.observability.logs import LOG_LEVELS, configure_logging
 
 _CITIES = sorted(CITY_BUILDERS)
 _SIZES = ["small", "medium", "full"]
@@ -130,7 +132,10 @@ def _cmd_demo(args) -> int:
     )
     print(f"demo running at {server.url} — Ctrl-C to stop")
     print(f"serving metrics at {server.url}/metrics")
+    print(f"health at {server.url}/healthz, traces at {server.url}/trace")
     server.serve_forever()
+    if args.dump_traces:
+        print(json.dumps(service.traces_payload(), indent=2))
     return 0
 
 
@@ -177,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Comparing Alternative Route Planning "
             "Techniques' (ICDE 2022)"
         ),
+    )
+    parser.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="warning",
+        help="repro logger verbosity (default: warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON object per log line (with trace/span ids)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -225,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0,
         help="per-query planner deadline in seconds",
     )
+    demo.add_argument(
+        "--dump-traces", action="store_true",
+        help="print the trace ring buffer as JSON on shutdown",
+    )
     demo.set_defaults(handler=_cmd_demo)
 
     figure = commands.add_parser(
@@ -256,6 +273,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_format=args.log_json)
     try:
         return args.handler(args)
     except ReproError as exc:

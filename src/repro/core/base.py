@@ -18,6 +18,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.exceptions import ConfigurationError, QueryError
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
+from repro.observability.search import SearchStats, collect_search_stats
+from repro.observability.tracing import span as tracing_span
 
 #: The demo displays "up to 3 routes" per approach.
 DEFAULT_K = 3
@@ -44,6 +46,13 @@ class RouteSet:
     source: int
     target: int
     routes: Tuple[Path, ...]
+    #: Search-effort counters of the planner invocation that produced
+    #: this set (None for hand-built sets); excluded from equality so
+    #: two identical route sets compare equal regardless of how hard
+    #: their searches worked.
+    stats: Optional[SearchStats] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         for route in self.routes:
@@ -121,20 +130,37 @@ class AlternativeRoutePlanner(abc.ABC):
         Raises :class:`QueryError` for degenerate queries and
         :class:`~repro.exceptions.DisconnectedError` when no route
         exists at all.
+
+        Every invocation runs inside a ``plan.<approach>`` trace span
+        (a no-op outside an active trace) and collects
+        :class:`~repro.observability.search.SearchStats`, attached to
+        the returned set as ``RouteSet.stats``.
         """
-        if k is not None and k < 1:
-            raise ConfigurationError(f"k must be >= 1, got {k}")
-        if source == target:
-            raise QueryError("source and target must differ")
-        self.network.node(source)
-        self.network.node(target)
-        routes = self._plan_routes(source, target)
-        return RouteSet(
-            approach=self.name,
-            source=source,
-            target=target,
-            routes=tuple(routes[: self.k if k is None else k]),
-        )
+        with tracing_span(
+            f"plan.{self.name}", approach=self.name,
+            source=source, target=target,
+        ) as plan_span:
+            if k is not None and k < 1:
+                raise ConfigurationError(f"k must be >= 1, got {k}")
+            if source == target:
+                raise QueryError("source and target must differ")
+            self.network.node(source)
+            self.network.node(target)
+            with collect_search_stats() as stats:
+                routes = self._plan_routes(source, target)
+            trimmed = tuple(routes[: self.k if k is None else k])
+            plan_span.set_attribute("routes", len(trimmed))
+            plan_span.set_attribute("nodes_expanded", stats.nodes_expanded)
+            plan_span.set_attribute(
+                "candidates_generated", stats.candidates_generated
+            )
+            return RouteSet(
+                approach=self.name,
+                source=source,
+                target=target,
+                routes=trimmed,
+                stats=stats,
+            )
 
     @abc.abstractmethod
     def _plan_routes(self, source: int, target: int) -> List[Path]:

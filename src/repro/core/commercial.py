@@ -31,6 +31,7 @@ from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.metrics.similarity import dissimilarity_to_set
 from repro.metrics.turns import road_width_score, turn_count
+from repro.observability.search import SearchStats, active_search_stats
 from repro.traffic.provider import CommercialDataProvider
 
 
@@ -124,8 +125,10 @@ class CommercialEngine(AlternativeRoutePlanner):
             forward_tree.path_from_root(target).edge_ids,
             weights,
         )
+        stats = active_search_stats() or SearchStats()
         candidates: List[Path] = [optimal_route]
         seen: set[frozenset[int]] = {optimal_route.edge_id_set}
+        stats.candidates_generated += 1
         pool_size = max(4 * self.k, 12)
         for plateau in plateaus:
             if not forward_tree.reachable(plateau.start):
@@ -136,9 +139,12 @@ class CommercialEngine(AlternativeRoutePlanner):
             # Re-create with private pricing (plateau_route prices on
             # the default weights).
             route = Path.from_edges(self.network, route.edge_ids, weights)
+            stats.candidates_generated += 1
             if route.edge_id_set in seen or not route.is_simple():
+                stats.candidates_pruned += 1
                 continue
             if route.travel_time_s > limit:
+                stats.candidates_pruned += 1
                 continue
             seen.add(route.edge_id_set)
             candidates.append(route)
@@ -152,16 +158,20 @@ class CommercialEngine(AlternativeRoutePlanner):
         # The fastest route is always shown first, as every production
         # navigation engine does; the re-ranking orders the rest.
         chosen: List[Path] = [fastest]
+        stats.candidates_accepted += 1
         for route in ranked:
             if len(chosen) >= self.k:
                 break
             if route is fastest:
                 continue
+            stats.dissimilarity_evaluations += len(chosen)
             if (
                 dissimilarity_to_set(route, chosen)
                 <= self.min_dissimilarity
             ):
+                stats.candidates_pruned += 1
                 continue
+            stats.candidates_accepted += 1
             chosen.append(route)
         return chosen
 

@@ -29,6 +29,7 @@ from repro.metrics.similarity import (
     dissimilarity_to_set,
     validate_threshold,
 )
+from repro.observability.search import SearchStats, active_search_stats
 
 #: Paper §3: "The dissimilarity threshold θ ... is set to 0.5".
 DEFAULT_THETA = 0.5
@@ -89,22 +90,30 @@ class DissimilarityPlanner(AlternativeRoutePlanner):
 
         selected: List[Path] = []
         seen: set[frozenset[int]] = set()
+        stats = active_search_stats() or SearchStats()
         for _, via in candidates:
             path = self._via_path(via, source, target, forward_tree,
                                   backward_tree)
             if path is None:
                 continue
+            stats.candidates_generated += 1
             if path.edge_id_set in seen:
+                stats.candidates_pruned += 1
                 continue
             seen.add(path.edge_id_set)
             if not path.is_simple():
                 # Via-paths through off-route nodes can double back;
                 # such walks are never meaningful alternatives.
+                stats.candidates_pruned += 1
                 continue
+            stats.dissimilarity_evaluations += len(selected)
             if dissimilarity_to_set(path, selected) > self.theta:
+                stats.candidates_accepted += 1
                 selected.append(path)
                 if len(selected) >= self.k:
                     break
+            else:
+                stats.candidates_pruned += 1
         return selected
 
     def _via_path(

@@ -43,6 +43,7 @@ class RouteFilter(abc.ABC):
             source=route_set.source,
             target=route_set.target,
             routes=tuple(self.apply(route_set.routes)),
+            stats=route_set.stats,
         )
 
 

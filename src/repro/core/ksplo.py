@@ -20,6 +20,7 @@ from repro.core.yen import _shortest_with_bans
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.metrics.similarity import shared_length_m, similarity
+from repro.observability.search import SearchStats, active_search_stats
 
 
 def _yen_enumerate(
@@ -122,6 +123,7 @@ class LimitedOverlapPlanner(AlternativeRoutePlanner):
 
     def _plan_routes(self, source: int, target: int) -> List[Path]:
         selected: List[Path] = []
+        stats = active_search_stats() or SearchStats()
         enumerated = _yen_enumerate(
             self.network,
             source,
@@ -130,13 +132,18 @@ class LimitedOverlapPlanner(AlternativeRoutePlanner):
             self.max_candidates,
         )
         for candidate in enumerated:
+            stats.candidates_generated += 1
+            stats.dissimilarity_evaluations += len(selected)
             if all(
                 similarity(candidate, chosen) <= self.max_similarity
                 for chosen in selected
             ):
+                stats.candidates_accepted += 1
                 selected.append(candidate)
                 if len(selected) >= self.k:
                     break
+            else:
+                stats.candidates_pruned += 1
         return selected
 
 
@@ -185,12 +192,17 @@ class OnePassPlanner(AlternativeRoutePlanner):
         selected: List[Path] = [
             Path.from_edges(self.network, first, weights)
         ]
+        stats = active_search_stats() or SearchStats()
+        stats.candidates_generated += 1
+        stats.candidates_accepted += 1
         while len(selected) < self.k:
             next_path = self._constrained_search(
                 source, target, weights, selected
             )
             if next_path is None:
                 break
+            stats.candidates_generated += 1
+            stats.candidates_accepted += 1
             selected.append(next_path)
         return selected
 
@@ -252,6 +264,7 @@ class OnePassPlanner(AlternativeRoutePlanner):
             return label_id
 
         heap: List[Tuple[float, int]] = []
+        stats = active_search_stats() or SearchStats()
         root = push(0.0, tuple(0.0 for _ in selected), source, -1, -1)
         if root is not None:
             heapq.heappush(heap, (0.0, root))
@@ -260,6 +273,7 @@ class OnePassPlanner(AlternativeRoutePlanner):
             lcost, overlaps, node, _parent, _edge = labels[label_id]
             if cost > lcost + 1e-12:
                 continue
+            stats.nodes_expanded += 1
             if node == target:
                 edge_ids: List[int] = []
                 current = label_id
@@ -276,6 +290,7 @@ class OnePassPlanner(AlternativeRoutePlanner):
                     return candidate
                 continue
             for edge_id in adjacency[node]:
+                stats.edges_relaxed += 1
                 edge = edges[edge_id]
                 new_overlaps = tuple(
                     shared

@@ -25,6 +25,7 @@ from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.graph.turns import TurnRestrictionTable
 from repro.metrics.similarity import dissimilarity_to_set
+from repro.observability.search import SearchStats, active_search_stats
 
 #: Paper §3: "the penalty that we apply to each edge is 1.4, i.e., the
 #: edge weight is multiplied by 1.4".
@@ -121,6 +122,7 @@ class PenaltyPlanner(AlternativeRoutePlanner):
         kept: List[Path] = []
         seen_edge_sets: set[frozenset[int]] = set()
         optimal_time: Optional[float] = None
+        stats = active_search_stats() or SearchStats()
 
         for _ in range(self.max_iterations):
             try:
@@ -133,18 +135,23 @@ class PenaltyPlanner(AlternativeRoutePlanner):
                 break
             # Report the path at its true (unpenalised) cost.
             path = Path.from_edges(self.network, found.edge_ids, original)
+            stats.candidates_generated += 1
             if optimal_time is None:
                 optimal_time = path.travel_time_s
             self._apply_penalty(path, penalised)
             if path.edge_id_set in seen_edge_sets:
                 # The penalty was not enough to displace the search;
                 # penalise again and retry.
+                stats.candidates_pruned += 1
                 continue
             seen_edge_sets.add(path.edge_id_set)
             if self._admissible(path, kept, optimal_time):
+                stats.candidates_accepted += 1
                 kept.append(path)
                 if len(kept) >= self.k:
                     break
+            else:
+                stats.candidates_pruned += 1
         return kept
 
     def _apply_penalty(self, path: Path, penalised: List[float]) -> None:
@@ -158,6 +165,9 @@ class PenaltyPlanner(AlternativeRoutePlanner):
             if path.travel_time_s > self.stretch_bound * optimal_time + 1e-9:
                 return False
         if self.min_dissimilarity is not None and kept:
+            stats = active_search_stats()
+            if stats is not None:
+                stats.dissimilarity_evaluations += len(kept)
             if dissimilarity_to_set(path, kept) <= self.min_dissimilarity:
                 return False
         return True

@@ -32,6 +32,7 @@ from repro.core.base import (
 )
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
+from repro.observability.search import SearchStats, active_search_stats
 
 
 @dataclass(frozen=True)
@@ -211,6 +212,9 @@ class PlateauPlanner(AlternativeRoutePlanner):
         optimal_route = forward_tree.path_from_root(target)
         routes: List[Path] = [optimal_route]
         seen: set[frozenset[int]] = {optimal_route.edge_id_set}
+        stats = active_search_stats() or SearchStats()
+        stats.candidates_generated += 1  # the guaranteed optimal route
+        stats.candidates_accepted += 1
         for plateau in plateaus:
             # Only plateaus reachable from both roots yield valid routes.
             if not forward_tree.reachable(plateau.start):
@@ -218,18 +222,23 @@ class PlateauPlanner(AlternativeRoutePlanner):
             if not backward_tree.reachable(plateau.end):
                 continue
             route = plateau_route(plateau, forward_tree, backward_tree)
+            stats.candidates_generated += 1
             if route.edge_id_set in seen:
+                stats.candidates_pruned += 1
                 continue
             if not route.is_simple():
                 # A detour that loops through itself is never shown.
+                stats.candidates_pruned += 1
                 continue
             if (
                 self.stretch_bound is not None
                 and route.travel_time_s
                 > self.stretch_bound * optimal_time + 1e-9
             ):
+                stats.candidates_pruned += 1
                 continue
             seen.add(route.edge_id_set)
+            stats.candidates_accepted += 1
             routes.append(route)
             if len(routes) >= self.k:
                 break

@@ -37,6 +37,9 @@ from repro.core.plateaus import PlateauPlanner
 from repro.core.yen import YenPlanner
 from repro.exceptions import ConfigurationError
 from repro.graph.network import RoadNetwork
+from repro.observability.logs import get_logger
+
+logger = get_logger(__name__)
 
 #: Hour of day of the commercial engine's traffic snapshot (§3: routes
 #: "fetched at 3:00 am" to approximate free-flow conditions).
@@ -99,7 +102,8 @@ def register_planner(
     """
     if not name:
         raise ConfigurationError("planner name must be non-empty")
-    if name in _REGISTRY and not overwrite:
+    replaced = name in _REGISTRY
+    if replaced and not overwrite:
         raise ConfigurationError(
             f"planner {name!r} already registered; pass overwrite=True "
             "to replace it"
@@ -111,6 +115,9 @@ def register_planner(
         description=description,
     )
     _REGISTRY[name] = spec
+    logger.debug(
+        "registered planner %r%s", name, " (replaced)" if replaced else ""
+    )
     return spec
 
 

@@ -26,6 +26,7 @@ from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.metrics.quality import is_locally_optimal
 from repro.metrics.similarity import dissimilarity_to_set
+from repro.observability.search import SearchStats, active_search_stats
 
 #: An admission predicate: (candidate, already-selected) -> keep?
 AdmissionRule = Callable[[Path, Sequence[Path]], bool]
@@ -40,6 +41,9 @@ def make_dissimilarity_rule(theta: float) -> AdmissionRule:
     """Return the θ-dissimilarity admission rule (the SSVP-D+ criterion)."""
 
     def rule(candidate: Path, selected: Sequence[Path]) -> bool:
+        stats = active_search_stats()
+        if stats is not None:
+            stats.dissimilarity_evaluations += len(selected)
         return dissimilarity_to_set(candidate, selected) > theta
 
     return rule
@@ -116,6 +120,7 @@ class ViaNodePlanner(AlternativeRoutePlanner):
 
         selected: List[Path] = []
         seen: set[frozenset[int]] = set()
+        stats = active_search_stats() or SearchStats()
         for _, via in candidates:
             edge_ids: List[int] = []
             if via != source:
@@ -125,11 +130,16 @@ class ViaNodePlanner(AlternativeRoutePlanner):
             if not edge_ids:
                 continue
             path = Path.from_edges(self.network, edge_ids)
+            stats.candidates_generated += 1
             if path.edge_id_set in seen or not path.is_simple():
+                stats.candidates_pruned += 1
                 continue
             seen.add(path.edge_id_set)
             if self.admission(path, selected):
+                stats.candidates_accepted += 1
                 selected.append(path)
                 if len(selected) >= self.k:
                     break
+            else:
+                stats.candidates_pruned += 1
         return selected

@@ -19,6 +19,7 @@ from repro.algorithms.dijkstra import dijkstra
 from repro.core.base import DEFAULT_K, AlternativeRoutePlanner
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
+from repro.observability.search import SearchStats, active_search_stats
 
 
 def _shortest_with_bans(
@@ -38,11 +39,14 @@ def _shortest_with_bans(
     heap: List[Tuple[float, int]] = [(0.0, source)]
     edges = network._edges
     adjacency = network._out
+    expanded = 0
+    relaxed = 0
     while heap:
         d, u = heapq.heappop(heap)
         if settled[u]:
             continue
         settled[u] = True
+        expanded += 1
         if u == target:
             break
         for edge_id in adjacency[u]:
@@ -52,11 +56,16 @@ def _shortest_with_bans(
             v = edge.v
             if v in banned_nodes or settled[v]:
                 continue
+            relaxed += 1
             nd = d + weights[edge_id]
             if nd < dist[v]:
                 dist[v] = nd
                 parent[v] = edge_id
                 heapq.heappush(heap, (nd, v))
+    stats = active_search_stats()
+    if stats is not None:
+        stats.nodes_expanded += expanded
+        stats.edges_relaxed += relaxed
     if not settled[target]:
         return None
     path_edges: List[int] = []
@@ -90,11 +99,14 @@ def yen_k_shortest_paths(
         raise ConfigurationError("source and target must differ")
     w = network.default_weights() if weights is None else weights
 
+    stats = active_search_stats() or SearchStats()
     first_edges = _shortest_with_bans(
         network, source, target, w, set(), set()
     )
     if first_edges is None:
         raise DisconnectedError(source, target)
+    stats.candidates_generated += 1
+    stats.candidates_accepted += 1
     results: List[Path] = [Path.from_edges(network, first_edges, w)]
     # Candidate heap entries: (cost, node sequence, edge ids).
     candidates: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
@@ -122,11 +134,14 @@ def yen_k_shortest_paths(
                 continue
             total_edge_ids = tuple(root_edge_ids) + tuple(spur_edges)
             if total_edge_ids in seen_candidates:
+                stats.candidates_pruned += 1
                 continue
             seen_candidates.add(total_edge_ids)
             spur_cost = sum(w[e] for e in spur_edges)
             candidate_path = Path.from_edges(network, total_edge_ids, w)
+            stats.candidates_generated += 1
             if not candidate_path.is_simple():
+                stats.candidates_pruned += 1
                 continue
             candidates.append(
                 (
@@ -140,6 +155,7 @@ def yen_k_shortest_paths(
         heapq.heapify(candidates)
         cost, _, edge_ids = heapq.heappop(candidates)
         candidates = list(candidates)
+        stats.candidates_accepted += 1
         results.append(Path.from_edges(network, edge_ids, w))
     return results
 

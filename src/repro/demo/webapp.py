@@ -14,26 +14,40 @@ Endpoints
 ``POST /api/feedback``  store a rating-form submission
 ``GET  /api/stats``     response counts and mean ratings per label
 ``GET  /metrics``       serving-layer counters, latencies and cache stats
+                        (JSON; ``Accept: text/plain`` negotiates the
+                        Prometheus text exposition format)
+``GET  /healthz``       liveness: network, planners, cache, uptime
+``GET  /trace``         recently finished query traces (``?limit=N``)
 
 Routing goes through :class:`repro.serving.RouteService` — cached,
 concurrent, degradation-tolerant — so a single slow or failing planner
-no longer takes the whole query down.
+no longer takes the whole query down.  Every ``/api/route`` request is
+wrapped in a ``request`` trace, so the service's ``query`` trace and
+the render span share one trace ID retrievable from ``/trace``.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.demo.query_processor import QueryProcessor
 from repro.demo.storage import FeedbackRecord, ResponseStore
 from repro.exceptions import ReproError
+from repro.observability.logs import get_logger
+from repro.observability.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from repro.serving.query import RouteQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serving.service import RouteService
+
+logger = get_logger(__name__)
 
 _PAGE = """<!DOCTYPE html>
 <html>
@@ -234,6 +248,18 @@ class _DemoHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _wants_prometheus(self) -> bool:
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
+
     def _read_json(self) -> Dict:
         length = int(self.headers.get("Content-Length", "0"))
         if length <= 0 or length > 1_000_000:
@@ -253,7 +279,18 @@ class _DemoHandler(BaseHTTPRequestHandler):
             elif self.path == "/api/table":
                 self._send_json(self.server.table_payload())
             elif self.path == "/metrics":
-                self._send_json(self.server.metrics_payload())
+                payload = self.server.metrics_payload()
+                if self._wants_prometheus():
+                    self._send_text(
+                        render_prometheus(payload),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
+                else:
+                    self._send_json(payload)
+            elif self.path == "/healthz":
+                self._send_json(self.server.health_payload())
+            elif self.path == "/trace" or self.path.startswith("/trace?"):
+                self._send_json(self.server.trace_payload(self.path))
             elif self.path.startswith("/api/isochrone"):
                 self._send_json(self.server.isochrone_payload(self.path))
             else:
@@ -319,12 +356,15 @@ class DemoServer:
         self._httpd.stats_payload = self.stats_payload  # type: ignore[attr-defined]
         self._httpd.table_payload = self.table_payload  # type: ignore[attr-defined]
         self._httpd.metrics_payload = self.metrics_payload  # type: ignore[attr-defined]
+        self._httpd.health_payload = self.health_payload  # type: ignore[attr-defined]
+        self._httpd.trace_payload = self.trace_payload  # type: ignore[attr-defined]
         self._httpd.isochrone_payload = self.isochrone_payload  # type: ignore[attr-defined]
         self._httpd.handle_route = self.handle_route  # type: ignore[attr-defined]
         self._httpd.handle_feedback = self.handle_feedback  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._network_cache: Optional[Dict] = None
+        self._started_monotonic = time.monotonic()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -347,6 +387,7 @@ class DemoServer:
             target=self._httpd.serve_forever, daemon=True
         )
         self._thread.start()
+        logger.info("demo server listening on %s", self.url)
 
     def stop(self) -> None:
         """Shut the server down and join the thread."""
@@ -442,12 +483,47 @@ class DemoServer:
         ``"errors"`` while the others still render.
         """
         query = RouteQuery.from_payload(payload)
-        result = self.service.query(query)
-        return self.service.render(result)
+        with self.service.tracer.trace("request", endpoint="/api/route"):
+            result = self.service.query(query)
+            return self.service.render(result)
 
     def metrics_payload(self) -> Dict:
         """The serving layer's counters, latencies and cache stats."""
         return self.service.metrics_payload()
+
+    def health_payload(self) -> Dict:
+        """Liveness and readiness summary for ``/healthz``."""
+        network = self.processor.network
+        return {
+            "status": "ok",
+            "network": {
+                "name": network.name,
+                "nodes": network.num_nodes,
+                "edges": network.num_edges,
+            },
+            "planners": len(self.processor.planners),
+            "cache_size": len(self.service.cache),
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+        }
+
+    def trace_payload(self, path: str) -> Dict:
+        """Recently finished traces for ``/trace`` (``?limit=N``)."""
+        from urllib.parse import parse_qs, urlparse
+
+        from repro.exceptions import QueryError
+
+        query = parse_qs(urlparse(path).query)
+        limit: Optional[int] = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][0])
+            except ValueError as exc:
+                raise QueryError(f"bad trace limit: {exc}") from exc
+            if limit < 0:
+                raise QueryError("trace limit must be >= 0")
+        return self.service.traces_payload(limit)
 
     def handle_feedback(self, payload: Dict) -> Dict:
         """Validate and store a rating-form submission."""

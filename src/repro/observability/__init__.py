@@ -1,0 +1,74 @@
+"""Observability: tracing, structured logging, search instrumentation.
+
+Three concerns, one ``contextvars`` backbone:
+
+* **Tracing** (:mod:`~repro.observability.tracing`) — every served
+  query becomes a trace of per-stage spans (snap, cache, one plan per
+  approach, filter, render) that survives the serving layer's
+  thread-pool fan-out and lands in a bounded ring buffer behind
+  ``GET /trace``.
+* **Structured logging** (:mod:`~repro.observability.logs`) — stdlib
+  logging with a JSON formatter and ambient trace/span ids injected
+  into every record, configured via ``--log-level`` / ``--log-json``.
+* **Search instrumentation** (:mod:`~repro.observability.search`) —
+  :class:`SearchStats` counters (nodes expanded, edges relaxed,
+  candidates generated/accepted/pruned, dissimilarity evaluations)
+  populated by every planner and surfaced on
+  :class:`~repro.core.base.RouteSet`, ``/metrics`` and the benchmarks.
+* **Prometheus exposition** (:mod:`~repro.observability.prometheus`) —
+  renders the metrics payload as text format 0.0.4 for scrape jobs.
+"""
+
+from repro.observability.logs import (
+    LOG_LEVELS,
+    JsonLogFormatter,
+    TextLogFormatter,
+    TraceContextFilter,
+    configure_logging,
+    get_logger,
+)
+from repro.observability.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.observability.search import (
+    STAT_FIELDS,
+    SearchStats,
+    active_search_stats,
+    collect_search_stats,
+)
+from repro.observability.tracing import (
+    DEFAULT_BUFFER_SIZE,
+    NULL_SPAN,
+    Span,
+    Trace,
+    Tracer,
+    current_span,
+    current_span_id,
+    current_trace_id,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BUFFER_SIZE",
+    "JsonLogFormatter",
+    "LOG_LEVELS",
+    "NULL_SPAN",
+    "PROMETHEUS_CONTENT_TYPE",
+    "STAT_FIELDS",
+    "SearchStats",
+    "Span",
+    "TextLogFormatter",
+    "Trace",
+    "TraceContextFilter",
+    "Tracer",
+    "active_search_stats",
+    "collect_search_stats",
+    "configure_logging",
+    "current_span",
+    "current_span_id",
+    "current_trace_id",
+    "get_logger",
+    "render_prometheus",
+    "span",
+]

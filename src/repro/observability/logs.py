@@ -1,0 +1,140 @@
+"""Structured logging with trace correlation.
+
+Stdlib ``logging`` only — no dependency — with two formatters:
+
+* :class:`JsonLogFormatter` emits one JSON object per line (``ts``,
+  ``level``, ``logger``, ``message``, any ``extra=`` fields), the shape
+  log aggregators ingest directly;
+* :class:`TextLogFormatter` is the human-readable equivalent for
+  terminals.
+
+Both inject the ambient trace/span ids from
+:mod:`repro.observability.tracing`, so one ``grep trace_id=...`` (or a
+JSON field match) yields every log line of one served query, across the
+coordinator *and* the executor worker threads — the same
+``contextvars`` propagation that carries spans carries log correlation.
+
+:func:`configure_logging` wires the ``repro`` logger hierarchy; the CLI
+exposes it as ``--log-level`` / ``--log-json``.  Library modules just
+do ``logger = get_logger(__name__)`` and stay silent until configured,
+per stdlib convention.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.exceptions import ConfigurationError
+from repro.observability.tracing import current_span_id, current_trace_id
+
+#: Accepted ``--log-level`` values.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: LogRecord attributes that are plumbing, not user-supplied extras.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread",
+        "threadName", "trace_id", "span_id",
+    )
+)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (pass ``__name__``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}" if name else "repro"
+    return logging.getLogger(name)
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp every record with the ambient trace/span ids."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.trace_id = current_trace_id()
+        record.span_id = current_span_id()
+        return True
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line, trace-correlated."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        span_id = getattr(record, "span_id", None) or current_span_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        if span_id is not None:
+            payload["span_id"] = span_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Terminal format with a ``[trace=...]`` suffix when tracing."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id is not None:
+            line = f"{line} [trace={trace_id}]"
+        return line
+
+
+def configure_logging(
+    level: str = "warning",
+    json_format: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy and return its root.
+
+    Idempotent: reconfiguring replaces the handler this function
+    installed earlier instead of stacking duplicates, so tests and
+    long-lived sessions can switch level/format freely.  Only the
+    ``repro`` subtree is touched — the process root logger is left to
+    the embedding application.
+    """
+    normalized = str(level).lower()
+    if normalized not in LOG_LEVELS:
+        raise ConfigurationError(
+            f"unknown log level {level!r}; choose one of {LOG_LEVELS}"
+        )
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, normalized.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if json_format else TextLogFormatter()
+    )
+    handler.addFilter(TraceContextFilter())
+    handler._repro_installed = True  # type: ignore[attr-defined]
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_installed", False):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.propagate = False
+    return root

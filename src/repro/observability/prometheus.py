@@ -1,0 +1,144 @@
+"""Prometheus text exposition for the serving metrics.
+
+Renders :meth:`repro.serving.metrics.MetricsRegistry.snapshot`-shaped
+payloads (counters, histograms, cache stats, per-approach search
+stats) into the Prometheus text format, version 0.0.4 — what a
+``prometheus`` scrape job expects from ``GET /metrics`` with
+``Accept: text/plain``.  No client library: the format is line-based
+and this module owns the few escaping rules it needs.
+
+Mapping
+-------
+* ``search.<approach>.<field>`` counters become labelled gauges
+  ``repro_search_<field>{approach="..."}`` (gauges, because a scrape
+  wants "effort per approach so far", and labels keep one time series
+  per approach instead of one metric name per approach);
+* ``plan.errors.<approach>`` / ``plan.timeouts.<approach>`` become
+  labelled counters;
+* remaining counters become flat ``repro_*_total`` counters;
+* histograms become summaries: ``_seconds{quantile=...}`` gauges from
+  the windowed estimates plus exact ``_seconds_sum``/``_seconds_count``;
+* cache stats become ``repro_cache_*`` gauges.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Tuple
+
+#: Metric-name prefix for everything this library exports.
+PREFIX = "repro"
+
+#: Content type a Prometheus scraper negotiates for.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_SEARCH_COUNTER = re.compile(r"^search\.(?P<approach>.+)\.(?P<field>\w+)$")
+_PLAN_EVENT = re.compile(
+    r"^plan\.(?P<event>errors|timeouts)\.(?P<approach>.+)$"
+)
+
+
+def _sanitize(name: str) -> str:
+    sanitized = _NAME_SANITIZER.sub("_", name.replace(".", "_"))
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(payload: Mapping, prefix: str = PREFIX) -> str:
+    """Render a ``/metrics`` JSON payload as Prometheus text format.
+
+    ``payload`` is the shape :meth:`RouteService.metrics_payload`
+    returns: ``{"counters": ..., "histograms": ..., "cache": ...}``;
+    missing sections render nothing rather than failing, so partial
+    payloads (tests, other registries) work too.
+    """
+    lines: List[str] = []
+
+    search: Dict[str, List[Tuple[str, float]]] = {}
+    events: Dict[str, List[Tuple[str, float]]] = {}
+    flat: List[Tuple[str, float]] = []
+    for name, value in sorted(payload.get("counters", {}).items()):
+        match = _SEARCH_COUNTER.match(name)
+        if match is not None:
+            search.setdefault(match.group("field"), []).append(
+                (match.group("approach"), value)
+            )
+            continue
+        match = _PLAN_EVENT.match(name)
+        if match is not None:
+            events.setdefault(match.group("event"), []).append(
+                (match.group("approach"), value)
+            )
+            continue
+        flat.append((name, value))
+
+    for field in sorted(search):
+        metric = f"{prefix}_search_{_sanitize(field)}"
+        lines.append(
+            f"# HELP {metric} planner search effort "
+            f"({field.replace('_', ' ')}) accumulated per approach"
+        )
+        lines.append(f"# TYPE {metric} gauge")
+        for approach, value in sorted(search[field]):
+            lines.append(
+                f'{metric}{{approach="{_escape_label(approach)}"}} '
+                f"{_format_value(value)}"
+            )
+
+    for event in sorted(events):
+        metric = f"{prefix}_plan_{_sanitize(event)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        for approach, value in sorted(events[event]):
+            lines.append(
+                f'{metric}{{approach="{_escape_label(approach)}"}} '
+                f"{_format_value(value)}"
+            )
+
+    for name, value in flat:
+        metric = f"{prefix}_{_sanitize(name)}"
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, summary in sorted(payload.get("histograms", {}).items()):
+        metric = f"{prefix}_{_sanitize(name)}_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50_s"), ("0.95", "p95_s"),
+                              ("0.99", "p99_s")):
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+        lines.append(
+            f"{metric}_sum {_format_value(summary.get('total_s', 0.0))}"
+        )
+        lines.append(
+            f"{metric}_count {_format_value(summary.get('count', 0))}"
+        )
+
+    for key, value in sorted(payload.get("cache", {}).items()):
+        if not isinstance(value, (int, float)):
+            continue
+        metric = f"{prefix}_cache_{_sanitize(key)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,109 @@
+"""Planner search instrumentation: what did this query *cost*?
+
+The paper's Table 2 reports wall-clock runtime per approach; the gaps
+(Penalty's repeated Dijkstra runs vs. Plateaus' two) are explained by
+search effort, which wall clock alone cannot show.  :class:`SearchStats`
+counts that effort — nodes expanded, edges relaxed, candidates
+generated/accepted/pruned, dissimilarity evaluations — and every
+planner populates it during :meth:`~repro.core.base.AlternativeRoutePlanner.plan`.
+
+Collection is ambient, like tracing: ``plan()`` activates a collector
+in a :class:`contextvars.ContextVar`, the instrumented primitives
+(:func:`repro.algorithms.dijkstra.dijkstra`, the planner candidate
+loops) add to whichever collector is active, and code running outside
+``plan()`` pays only a context-variable read.  Instrumented loops use
+``active_search_stats() or SearchStats()`` — a throwaway sink — so they
+never need a None check in the hot path.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Field names, in reporting order (also the /metrics counter suffixes).
+STAT_FIELDS: Tuple[str, ...] = (
+    "nodes_expanded",
+    "edges_relaxed",
+    "candidates_generated",
+    "candidates_accepted",
+    "candidates_pruned",
+    "dissimilarity_evaluations",
+)
+
+
+@dataclass
+class SearchStats:
+    """Search-effort counters for one planner invocation.
+
+    ``nodes_expanded``/``edges_relaxed`` come from the Dijkstra layer
+    (every settled pop / every scanned out-edge across all searches the
+    planner ran); the candidate counters come from the planner's own
+    selection loop; ``dissimilarity_evaluations`` counts pairwise
+    route-similarity computations, the dominant filtering cost.
+    """
+
+    nodes_expanded: int = 0
+    edges_relaxed: int = 0
+    candidates_generated: int = 0
+    candidates_accepted: int = 0
+    candidates_pruned: int = 0
+    dissimilarity_evaluations: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Add another invocation's counters into this one."""
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing was counted (e.g. a cache-served plan)."""
+        return all(getattr(self, name) == 0 for name in STAT_FIELDS)
+
+    def to_payload(self) -> Dict[str, int]:
+        """JSON-ready counter mapping, in :data:`STAT_FIELDS` order."""
+        return {name: getattr(self, name) for name in STAT_FIELDS}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in STAT_FIELDS
+            if getattr(self, name)
+        )
+        return f"SearchStats({parts})"
+
+
+_ACTIVE: contextvars.ContextVar[Optional[SearchStats]] = (
+    contextvars.ContextVar("repro_search_stats", default=None)
+)
+
+
+def active_search_stats() -> Optional[SearchStats]:
+    """The collector of the enclosing ``plan()`` call, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def collect_search_stats() -> Iterator[SearchStats]:
+    """Activate a fresh collector for the ``with`` block.
+
+    Nested collections compose: when the block closes, its counters are
+    merged into the collector that was active before it (if any), so a
+    planner delegating to another planner's ``plan()`` still sees the
+    inner search effort in its own totals.
+    """
+    stats = SearchStats()
+    token = _ACTIVE.set(stats)
+    try:
+        yield stats
+    finally:
+        _ACTIVE.reset(token)
+        enclosing = _ACTIVE.get()
+        if enclosing is not None:
+            enclosing.merge(stats)

@@ -77,11 +77,15 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        # int += is not atomic across the paired _total update; read
+        # under the same lock observe() writes under.
+        with self._lock:
+            return self._count
 
     @property
     def total(self) -> float:
-        return self._total
+        with self._lock:
+            return self._total
 
     def mean(self) -> float:
         with self._lock:

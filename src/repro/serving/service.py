@@ -24,10 +24,11 @@ rendering — with the properties a live deployment needs:
 
 from __future__ import annotations
 
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.base import AlternativeRoutePlanner, RouteSet
 from repro.demo.query_processor import (
@@ -38,10 +39,14 @@ from repro.demo.query_processor import (
 from repro.demo.rendering import route_set_to_feature_collection
 from repro.exceptions import ConfigurationError, QueryError
 from repro.graph.network import RoadNetwork
+from repro.observability.logs import get_logger
+from repro.observability.tracing import Tracer, span as tracing_span
 from repro.serving.cache import RouteCache
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.query import RouteQuery
 from repro.study.rating import APPROACHES
+
+logger = get_logger(__name__)
 
 #: Default per-query planning timeout, generous for full-size networks.
 DEFAULT_TIMEOUT_S = 30.0
@@ -124,6 +129,11 @@ class RouteService:
         expires are reported as timed out for this query.
     metrics:
         Shared registry, or None to create a private one.
+    tracer:
+        Shared :class:`~repro.observability.tracing.Tracer`, or None to
+        create a private one.  Every query produces one trace whose
+        spans cover vertex matching, the cache lookup, each planner
+        invocation (on its worker thread) and the filter stage.
     """
 
     def __init__(
@@ -133,6 +143,7 @@ class RouteService:
         max_workers: int = DEFAULT_MAX_WORKERS,
         timeout_s: float = DEFAULT_TIMEOUT_S,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError(
@@ -145,6 +156,7 @@ class RouteService:
         self.processor = processor
         self.cache = RouteCache(cache_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.timeout_s = timeout_s
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="route-planner"
@@ -180,6 +192,7 @@ class RouteService:
         """Drop all cached routes; call after mutating network weights."""
         dropped = self.cache.invalidate()
         self.metrics.inc("cache.invalidations")
+        logger.info("cache invalidated", extra={"dropped": dropped})
         return dropped
 
     # -- serving ------------------------------------------------------------
@@ -213,26 +226,52 @@ class RouteService:
         started = time.perf_counter()
         metrics = self.metrics
         metrics.inc("queries.total")
-        try:
-            result = self._serve(query)
-        except Exception:
-            metrics.inc("queries.failed")
-            raise
+        with self.tracer.trace("query", k=query.k) as root:
+            try:
+                result = self._serve(query)
+            except Exception as exc:
+                metrics.inc("queries.failed")
+                logger.warning(
+                    "query failed: %s: %s", type(exc).__name__, exc
+                )
+                raise
+            root.set_attribute("source_node", result.source_node)
+            root.set_attribute("target_node", result.target_node)
+            root.set_attribute("cache_hits", result.cache_hits)
+            root.set_attribute("degraded", result.degraded)
         if result.degraded:
             metrics.inc("queries.degraded")
-        metrics.observe("query.total", time.perf_counter() - started)
+            logger.warning(
+                "query degraded: %s",
+                "; ".join(
+                    f"{label}: {message}"
+                    for label, message in sorted(result.errors.items())
+                ),
+            )
+        elapsed = time.perf_counter() - started
+        metrics.observe("query.total", elapsed)
+        logger.info(
+            "served %d -> %d in %.1f ms (approaches=%d, cache_hits=%d)",
+            result.source_node,
+            result.target_node,
+            elapsed * 1000.0,
+            len(result.route_sets),
+            result.cache_hits,
+        )
         return result
 
     def render(self, result: ServiceResult) -> Dict:
         """The webapp payload for a served result (timed render stage)."""
         weights = self.processor.display_weights()
-        with self.metrics.time("stage.render"):
+        with tracing_span("render") as render_span, \
+                self.metrics.time("stage.render"):
             routes = {
                 label: route_set_to_feature_collection(
                     route_set, weights, label
                 )
                 for label, route_set in result.route_sets.items()
             }
+            render_span.set_attribute("approaches", len(routes))
         return {
             "fastest_minutes": result.fastest_minutes,
             "source_node": result.source_node,
@@ -248,6 +287,10 @@ class RouteService:
         payload = self.metrics.snapshot()
         payload["cache"] = self.cache.stats().to_payload()
         return payload
+
+    def traces_payload(self, limit: Optional[int] = None) -> Dict:
+        """Recently finished traces (newest first) for ``/trace``."""
+        return {"traces": self.tracer.recent(limit)}
 
     # -- internals ----------------------------------------------------------
 
@@ -278,16 +321,28 @@ class RouteService:
         with self.metrics.time(f"stage.plan.{approach}"):
             return planner.plan(source, target, k=k)
 
+    def _record_search_stats(self, approach: str, route_set: RouteSet) -> None:
+        """Flush a freshly planned route set's SearchStats into counters."""
+        stats = route_set.stats
+        if stats is None or stats.is_empty:
+            return
+        for field_name, value in stats.to_payload().items():
+            if value:
+                self.metrics.inc(f"search.{approach}.{field_name}", value)
+
     def _serve(self, query: RouteQuery) -> ServiceResult:
         metrics = self.metrics
         processor = self.processor
-        with metrics.time("stage.vertex_match"):
-            source = processor.match_vertex(
-                query.source_lat, query.source_lon
-            )
-            target = processor.match_vertex(
-                query.target_lat, query.target_lon
-            )
+        with tracing_span("snap") as snap_span:
+            with metrics.time("stage.vertex_match"):
+                source = processor.match_vertex(
+                    query.source_lat, query.source_lon
+                )
+                target = processor.match_vertex(
+                    query.target_lat, query.target_lon
+                )
+            snap_span.set_attribute("source_node", source)
+            snap_span.set_attribute("target_node", target)
         if source == target:
             raise QueryError(
                 "source and target snap to the same road vertex; pick "
@@ -296,24 +351,40 @@ class RouteService:
         names = self._resolve_approaches(query)
 
         outcomes: Dict[str, ApproachOutcome] = {}
-        pending = {}
-        for approach in names:
-            planner = processor.planners[approach]
-            effective_k = query.k if query.k is not None else planner.k
-            key = RouteCache.make_key(approach, source, target, effective_k)
-            cached = self.cache.get(key)
-            if cached is not None:
-                metrics.inc("cache.hits")
-                outcomes[approach] = ApproachOutcome(
-                    approach=approach,
-                    label=_blinded_label(approach),
-                    route_set=cached,
-                    cached=True,
+        to_plan: List[Tuple[str, Tuple, AlternativeRoutePlanner]] = []
+        with tracing_span("cache") as cache_span:
+            for approach in names:
+                planner = processor.planners[approach]
+                effective_k = (
+                    query.k if query.k is not None else planner.k
                 )
-                continue
-            metrics.inc("cache.misses")
+                key = RouteCache.make_key(
+                    approach, source, target, effective_k
+                )
+                cached = self.cache.get(key)
+                if cached is not None:
+                    metrics.inc("cache.hits")
+                    outcomes[approach] = ApproachOutcome(
+                        approach=approach,
+                        label=_blinded_label(approach),
+                        route_set=cached,
+                        cached=True,
+                    )
+                    continue
+                metrics.inc("cache.misses")
+                to_plan.append((approach, key, planner))
+            cache_span.set_attribute("hits", len(outcomes))
+            cache_span.set_attribute("misses", len(to_plan))
+
+        pending = {}
+        for approach, key, planner in to_plan:
+            # Copy the submitting thread's context so the worker's
+            # plan.<approach> span lands in *this* query's trace — the
+            # pool threads otherwise carry no (or a stale) trace context.
+            context = contextvars.copy_context()
             future = self._executor.submit(
-                self._plan_one, approach, planner, source, target, query.k
+                context.run,
+                self._plan_one, approach, planner, source, target, query.k,
             )
             pending[future] = (approach, key, time.perf_counter())
 
@@ -325,6 +396,10 @@ class RouteService:
             error = future.exception()
             if error is not None:
                 metrics.inc(f"plan.errors.{approach}")
+                logger.warning(
+                    "planner %s failed: %s: %s",
+                    approach, type(error).__name__, error,
+                )
                 outcomes[approach] = ApproachOutcome(
                     approach=approach,
                     label=label,
@@ -333,6 +408,7 @@ class RouteService:
                 )
                 continue
             route_set = future.result()
+            self._record_search_stats(approach, route_set)
             self.cache.put(key, route_set)
             outcomes[approach] = ApproachOutcome(
                 approach=approach,
@@ -344,6 +420,10 @@ class RouteService:
             future.cancel()
             approach, _key, submitted = pending[future]
             metrics.inc(f"plan.timeouts.{approach}")
+            logger.warning(
+                "planner %s exceeded the %gs deadline",
+                approach, self.timeout_s,
+            )
             outcomes[approach] = ApproachOutcome(
                 approach=approach,
                 label=_blinded_label(approach),
@@ -365,12 +445,14 @@ class RouteService:
             if not outcome.ok
         }
         weights = processor.display_weights()
-        with metrics.time("stage.re_price"):
-            priced = [
-                route.travel_time_on(weights)
-                for route_set in route_sets.values()
-                for route in route_set
-            ]
+        with tracing_span("filter") as filter_span:
+            with metrics.time("stage.re_price"):
+                priced = [
+                    route.travel_time_on(weights)
+                    for route_set in route_sets.values()
+                    for route in route_set
+                ]
+            filter_span.set_attribute("routes_priced", len(priced))
         if not priced:
             detail = (
                 "; ".join(

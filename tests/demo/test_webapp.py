@@ -244,6 +244,75 @@ class TestMetricsEndpoint:
         assert get_json(server, "/metrics")["cache"]["hits"] == before + 4
 
 
+class TestHealthEndpoint:
+    def test_healthz_shape(self, server):
+        payload = get_json(server, "/healthz")
+        assert payload["status"] == "ok"
+        assert payload["network"]["name"] == "melbourne-small"
+        assert payload["network"]["nodes"] > 0
+        assert payload["network"]["edges"] > 0
+        assert payload["planners"] == 4
+        assert payload["cache_size"] >= 0
+        assert payload["uptime_s"] >= 0.0
+
+
+class TestTraceEndpoint:
+    def test_route_query_produces_full_trace(self, server):
+        source, target = corner_points(server)
+        post_json(server, "/api/route", {"source": source, "target": target})
+        trace = get_json(server, "/trace?limit=1")["traces"][0]
+        spans = trace["spans"]
+        assert len(spans) >= 5
+        assert {s["trace_id"] for s in spans} == {trace["trace_id"]}
+        names = [s["name"] for s in spans]
+        assert names[0] == "request"
+        assert "query" in names
+        assert "snap" in names
+        assert "cache" in names
+        assert "filter" in names
+        assert "render" in names
+
+    def test_limit_query_parameter(self, server):
+        source, target = corner_points(server)
+        for _ in range(2):
+            post_json(
+                server, "/api/route", {"source": source, "target": target}
+            )
+        assert len(get_json(server, "/trace")["traces"]) >= 2
+        assert len(get_json(server, "/trace?limit=1")["traces"]) == 1
+
+    def test_bad_limit_rejected(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/trace?limit=abc", timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestPrometheusExposition:
+    def _scrape(self, server):
+        request = urllib.request.Request(
+            server.url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.headers["Content-Type"], response.read().decode()
+
+    def test_content_negotiation(self, server):
+        content_type, text = self._scrape(server)
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE " in text
+        # No Accept (or JSON) keeps the JSON payload.
+        payload = get_json(server, "/metrics")
+        assert "counters" in payload
+
+    def test_search_gauges_present_after_a_query(self, server):
+        source, target = corner_points(server)
+        post_json(server, "/api/route", {"source": source, "target": target})
+        _content_type, text = self._scrape(server)
+        assert "# TYPE repro_search_nodes_expanded gauge" in text
+        assert 'repro_search_nodes_expanded{approach="Penalty"}' in text
+        assert "repro_queries_total" in text
+        assert "repro_cache_size" in text
+
+
 class TestRouteEndpointExtensions:
     def test_approaches_subset_and_k(self, server):
         source, target = corner_points(server)

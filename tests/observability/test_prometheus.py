@@ -1,0 +1,108 @@
+"""Prometheus text-format rendering of the metrics payload."""
+
+import re
+
+from repro.observability.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+
+#: One valid exposition line: name{labels} value  (HELP/TYPE aside).
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" -?[0-9.eE+-]+$"
+)
+
+PAYLOAD = {
+    "counters": {
+        "queries.total": 12,
+        "cache.hits": 4,
+        "search.Penalty.nodes_expanded": 816,
+        "search.Google Maps.nodes_expanded": 838,
+        "search.Penalty.candidates_pruned": 9,
+        "plan.errors.Plateaus": 2,
+        "plan.timeouts.Penalty": 1,
+    },
+    "histograms": {
+        "query.total": {
+            "count": 12,
+            "total_s": 1.5,
+            "mean_s": 0.125,
+            "min_s": 0.05,
+            "max_s": 0.4,
+            "p50_s": 0.1,
+            "p95_s": 0.3,
+            "p99_s": 0.4,
+        },
+        "stage.render": {"count": 0},
+    },
+    "cache": {"hits": 4, "misses": 8, "size": 8, "max_size": 1024},
+}
+
+
+class TestRendering:
+    def test_every_sample_line_is_well_formed(self):
+        text = render_prometheus(PAYLOAD)
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert _SAMPLE_LINE.match(line), line
+
+    def test_search_counters_become_labelled_gauges(self):
+        text = render_prometheus(PAYLOAD)
+        assert "# TYPE repro_search_nodes_expanded gauge" in text
+        assert (
+            'repro_search_nodes_expanded{approach="Penalty"} 816' in text
+        )
+        assert (
+            'repro_search_nodes_expanded{approach="Google Maps"} 838'
+            in text
+        )
+
+    def test_plan_events_become_labelled_counters(self):
+        text = render_prometheus(PAYLOAD)
+        assert 'repro_plan_errors_total{approach="Plateaus"} 2' in text
+        assert 'repro_plan_timeouts_total{approach="Penalty"} 1' in text
+
+    def test_flat_counter_total_suffix_not_doubled(self):
+        text = render_prometheus(PAYLOAD)
+        assert "repro_queries_total 12" in text
+        assert "repro_queries_total_total" not in text
+        assert "repro_cache_hits_total 4" in text
+
+    def test_histogram_becomes_summary(self):
+        text = render_prometheus(PAYLOAD)
+        assert "# TYPE repro_query_total_seconds summary" in text
+        assert 'repro_query_total_seconds{quantile="0.5"} 0.1' in text
+        assert 'repro_query_total_seconds{quantile="0.95"} 0.3' in text
+        assert "repro_query_total_seconds_sum 1.5" in text
+        assert "repro_query_total_seconds_count 12" in text
+
+    def test_empty_histogram_renders_zero_summary(self):
+        text = render_prometheus(PAYLOAD)
+        assert "repro_stage_render_seconds_sum 0" in text
+        assert "repro_stage_render_seconds_count 0" in text
+
+    def test_cache_gauges(self):
+        text = render_prometheus(PAYLOAD)
+        assert "repro_cache_size 8" in text
+        assert "repro_cache_max_size 1024" in text
+
+    def test_empty_payload_renders_cleanly(self):
+        assert render_prometheus({}) == "\n"
+
+    def test_label_escaping(self):
+        text = render_prometheus(
+            {"counters": {'search.we"ird\\name.nodes_expanded': 1}}
+        )
+        assert '\\"' in text
+        assert "\\\\" in text
+
+    def test_content_type_is_version_0_0_4(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith(
+            "text/plain; version=0.0.4"
+        )

@@ -1,0 +1,109 @@
+"""SearchStats collection and planner instrumentation coverage."""
+
+import pytest
+
+from repro.core.registry import available_planners, make_planner
+from repro.metrics.similarity import dissimilarity_to_set
+from repro.observability.search import (
+    STAT_FIELDS,
+    SearchStats,
+    active_search_stats,
+    collect_search_stats,
+)
+
+
+class TestSearchStats:
+    def test_merge_adds_fieldwise(self):
+        a = SearchStats(nodes_expanded=3, candidates_generated=2)
+        b = SearchStats(nodes_expanded=4, candidates_pruned=1)
+        a.merge(b)
+        assert a.nodes_expanded == 7
+        assert a.candidates_generated == 2
+        assert a.candidates_pruned == 1
+
+    def test_is_empty_and_payload_order(self):
+        stats = SearchStats()
+        assert stats.is_empty
+        stats.edges_relaxed = 5
+        assert not stats.is_empty
+        assert tuple(stats.to_payload()) == STAT_FIELDS
+
+
+class TestCollector:
+    def test_activate_and_restore(self):
+        assert active_search_stats() is None
+        with collect_search_stats() as stats:
+            assert active_search_stats() is stats
+        assert active_search_stats() is None
+
+    def test_nested_collection_merges_outward(self):
+        with collect_search_stats() as outer:
+            with collect_search_stats() as inner:
+                active_search_stats().nodes_expanded += 10
+            assert inner.nodes_expanded == 10
+            assert outer.nodes_expanded == 10  # merged on exit
+            active_search_stats().nodes_expanded += 1
+        assert outer.nodes_expanded == 11
+
+    def test_exception_still_merges(self):
+        with pytest.raises(RuntimeError):
+            with collect_search_stats() as outer:
+                try:
+                    with collect_search_stats():
+                        active_search_stats().edges_relaxed += 2
+                        raise RuntimeError("mid-search")
+                finally:
+                    assert outer.edges_relaxed == 2
+                raise RuntimeError("rethrown")
+
+
+class TestPlannerInstrumentation:
+    @pytest.mark.parametrize("name", available_planners())
+    def test_every_registered_planner_populates_stats(self, name, grid10):
+        planner = make_planner(name, grid10)
+        route_set = planner.plan(0, grid10.num_nodes - 1)
+        stats = route_set.stats
+        assert stats is not None
+        assert stats.nodes_expanded > 0
+        assert stats.edges_relaxed > 0
+        assert stats.candidates_generated >= len(route_set)
+        assert stats.candidates_accepted == len(route_set)
+
+    def test_dissimilarity_evaluations_counted(self, grid10):
+        planner = make_planner("Dissimilarity", grid10)
+        route_set = planner.plan(0, grid10.num_nodes - 1)
+        assert len(route_set) > 1
+        assert route_set.stats.dissimilarity_evaluations > 0
+
+    def test_plan_does_not_leak_collector(self, grid10):
+        make_planner("Plateaus", grid10).plan(0, grid10.num_nodes - 1)
+        assert active_search_stats() is None
+
+    def test_outer_collector_sees_plan_effort(self, grid10):
+        planner = make_planner("Penalty", grid10)
+        with collect_search_stats() as outer:
+            route_set = planner.plan(0, grid10.num_nodes - 1)
+        assert outer.nodes_expanded == route_set.stats.nodes_expanded
+
+    def test_filters_preserve_stats(self, grid10):
+        from repro.core.filters import StretchFilter
+
+        planner = make_planner("Plateaus", grid10)
+        route_set = planner.plan(0, grid10.num_nodes - 1)
+        filtered = StretchFilter(stretch_bound=10.0).apply_to_set(route_set)
+        assert filtered.stats is route_set.stats
+
+    def test_route_set_equality_ignores_stats(self, grid10):
+        planner = make_planner("Plateaus", grid10)
+        first = planner.plan(0, grid10.num_nodes - 1)
+        second = planner.plan(0, grid10.num_nodes - 1)
+        assert first == second  # stats is compare=False
+
+
+def test_dissimilarity_to_self_is_zero(grid10):
+    # The counters track dissimilarity_to_set calls; a route compared
+    # against itself is fully similar, anchoring the metric's scale.
+    routes = list(
+        make_planner("Plateaus", grid10).plan(0, grid10.num_nodes - 1)
+    )
+    assert dissimilarity_to_set(routes[0], routes[:1]) == 0.0

@@ -1,0 +1,160 @@
+"""Tracer/Span semantics: nesting, propagation, the ring buffer."""
+
+import contextvars
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.observability.tracing import (
+    NULL_SPAN,
+    Tracer,
+    current_span,
+    current_span_id,
+    current_trace_id,
+    span,
+)
+
+
+class TestSpanBasics:
+    def test_root_trace_records_and_archives(self):
+        tracer = Tracer()
+        with tracer.trace("query", k=3) as root:
+            assert current_span() is root
+            assert root.trace_id == current_trace_id()
+            assert root.attributes["k"] == 3
+        assert current_span() is None
+        assert len(tracer) == 1
+        payload = tracer.recent()[0]
+        assert payload["name"] == "query"
+        assert payload["duration_s"] is not None
+        assert payload["spans"][0]["span_id"] == root.span_id
+
+    def test_child_span_links_to_parent(self):
+        tracer = Tracer()
+        with tracer.trace("query") as root:
+            with span("snap") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+                assert current_span_id() == child.span_id
+            assert current_span() is root
+        spans = tracer.recent()[0]["spans"]
+        assert [s["name"] for s in spans] == ["query", "snap"]
+
+    def test_nested_trace_becomes_child_span(self):
+        # A webapp request wrapping a service query yields ONE trace.
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            with tracer.trace("query") as inner:
+                assert inner.trace_id == root.trace_id
+                assert inner.parent_id == root.span_id
+        assert len(tracer) == 1
+        assert len(tracer.recent()[0]["spans"]) == 2
+
+    def test_span_outside_trace_is_noop(self):
+        with span("orphan") as s:
+            assert s is NULL_SPAN
+            s.set_attribute("ignored", 1)  # must not raise
+        assert current_trace_id() is None
+
+    def test_attributes_in_payload(self):
+        tracer = Tracer()
+        with tracer.trace("query"):
+            with span("cache", hits=2, misses=1) as s:
+                s.set_attribute("extra", "x")
+        cache_span = tracer.recent()[0]["spans"][1]
+        assert cache_span["attributes"] == {
+            "hits": 2, "misses": 1, "extra": "x",
+        }
+
+
+class TestErrorHandling:
+    def test_exception_yields_error_span_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.trace("query"):
+                with span("plan.X"):
+                    raise ValueError("boom")
+        payload = tracer.recent()[0]
+        assert payload["error"].startswith("ValueError")
+        failed = [s for s in payload["spans"] if s["name"] == "plan.X"]
+        assert failed[0]["error"] == "ValueError: boom"
+        assert failed[0]["duration_s"] is not None
+
+    def test_record_error_keeps_span_alive(self):
+        tracer = Tracer()
+        with tracer.trace("query") as root:
+            root.record_error(RuntimeError("soft failure"))
+        assert tracer.recent()[0]["error"] == "RuntimeError: soft failure"
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention(self):
+        tracer = Tracer(capacity=3)
+        ids = []
+        for index in range(5):
+            with tracer.trace(f"q{index}") as root:
+                ids.append(root.trace_id)
+        assert len(tracer) == 3
+        recent = tracer.recent()
+        assert [t["trace_id"] for t in recent] == ids[:1:-1]
+        assert tracer.get(ids[0]) is None  # evicted
+        assert tracer.get(ids[-1]) is not None
+
+    def test_recent_limit_and_clear(self):
+        tracer = Tracer()
+        for index in range(4):
+            with tracer.trace(f"q{index}"):
+                pass
+        assert len(tracer.recent(2)) == 2
+        assert tracer.recent(0) == []
+        assert tracer.clear() == 4
+        assert tracer.recent() == []
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+
+class TestThreadPropagation:
+    def test_copied_context_carries_trace_to_worker(self):
+        """The RouteService fan-out pattern: copy_context + ctx.run."""
+        tracer = Tracer()
+        executor = ThreadPoolExecutor(max_workers=2)
+
+        def plan(name):
+            with span(f"plan.{name}") as s:
+                return s.trace_id, s.parent_id
+
+        try:
+            with tracer.trace("query") as root:
+                futures = [
+                    executor.submit(
+                        contextvars.copy_context().run, plan, name
+                    )
+                    for name in ("A", "B")
+                ]
+                results = [f.result() for f in futures]
+        finally:
+            executor.shutdown()
+        for trace_id, parent_id in results:
+            assert trace_id == root.trace_id
+            assert parent_id == root.span_id
+        names = {s["name"] for s in tracer.recent()[0]["spans"]}
+        assert names == {"query", "plan.A", "plan.B"}
+
+    def test_bare_thread_does_not_inherit_trace(self):
+        # Without the context copy, the worker sees no trace: the span
+        # is a no-op instead of leaking into another query's tree.
+        tracer = Tracer()
+        seen = []
+
+        def worker():
+            seen.append(current_trace_id())
+
+        with tracer.trace("query"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]

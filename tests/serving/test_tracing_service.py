@@ -1,0 +1,130 @@
+"""Trace-context propagation across the RouteService thread-pool fan-out."""
+
+import pytest
+
+from repro.serving import RouteService
+from repro.study.rating import APPROACHES
+
+
+@pytest.fixture()
+def service(grid_processor):
+    with RouteService(grid_processor, cache_size=8) as svc:
+        yield svc
+
+
+def only_trace(service):
+    traces = service.traces_payload()["traces"]
+    assert len(traces) == 1
+    return traces[0]
+
+
+class TestQueryTrace:
+    def test_one_query_one_trace_with_stage_spans(self, service, grid_query):
+        service.query(grid_query)
+        trace = only_trace(service)
+        names = [span["name"] for span in trace["spans"]]
+        assert names[0] == "query"
+        assert "snap" in names
+        assert "cache" in names
+        assert "filter" in names
+        for approach in APPROACHES:
+            assert f"plan.{approach}" in names
+        assert len(names) >= 5
+
+    def test_all_spans_share_the_trace_id(self, service, grid_query):
+        service.query(grid_query)
+        trace = only_trace(service)
+        assert {
+            span["trace_id"] for span in trace["spans"]
+        } == {trace["trace_id"]}
+
+    def test_plan_spans_parent_to_the_root(self, service, grid_query):
+        """Worker-thread spans attach under the submitting query's root —
+        the copy_context() propagation the tracer exists for."""
+        service.query(grid_query)
+        spans = only_trace(service)["spans"]
+        by_id = {span["span_id"]: span for span in spans}
+        root = spans[0]
+        assert root["parent_id"] is None
+        for span in spans:
+            if span["name"].startswith("plan."):
+                assert by_id[span["parent_id"]] is root
+
+    def test_spans_are_timed_and_attributed(self, service, grid_query):
+        service.query(grid_query)
+        trace = only_trace(service)
+        assert trace["duration_s"] is not None
+        spans = {span["name"]: span for span in trace["spans"]}
+        assert spans["snap"]["attributes"]["source_node"] == 0
+        assert spans["cache"]["attributes"] == {"hits": 0, "misses": 4}
+        assert spans["filter"]["attributes"]["routes_priced"] == 12
+        for approach in APPROACHES:
+            plan = spans[f"plan.{approach}"]
+            assert plan["duration_s"] is not None
+            assert plan["attributes"]["routes"] == 3
+
+
+class TestDegradedTrace:
+    def test_failed_planner_records_error_span(
+        self, service, stub_planners, grid_query
+    ):
+        stub_planners["Plateaus"].fail = True
+        result = service.query(grid_query)
+        assert result.degraded
+        spans = {
+            span["name"]: span for span in only_trace(service)["spans"]
+        }
+        failed = spans["plan.Plateaus"]
+        assert failed["error"].startswith("RuntimeError")
+        assert spans["plan.Penalty"].get("error") is None
+        assert spans["query"].get("error") is None  # query still served
+
+    def test_failed_query_trace_is_still_archived(
+        self, service, stub_planners, grid_query
+    ):
+        from repro.exceptions import QueryError
+
+        for planner in stub_planners.values():
+            planner.empty = True
+        with pytest.raises(QueryError):
+            service.query(grid_query)
+        trace = only_trace(service)
+        assert trace["error"].startswith("QueryError")
+
+
+class TestCacheInteraction:
+    def test_cached_query_skips_plan_spans(self, service, grid_query):
+        service.query(grid_query)
+        service.query(grid_query)
+        traces = service.traces_payload()["traces"]
+        assert len(traces) == 2
+        cached_names = [span["name"] for span in traces[0]["spans"]]
+        assert not any(n.startswith("plan.") for n in cached_names)
+        assert traces[0]["spans"][0]["attributes"]["cache_hits"] == 4
+        assert {"query", "snap", "cache", "filter"} <= set(cached_names)
+
+    def test_trace_limit_is_respected(self, service, grid_query):
+        for _ in range(3):
+            service.invalidate_cache()
+            service.query(grid_query)
+        assert len(service.traces_payload(limit=2)["traces"]) == 2
+
+
+class TestSearchStatsCounters:
+    def test_fresh_plans_feed_search_counters(self, service, grid_query):
+        service.query(grid_query)
+        counters = service.metrics_payload()["counters"]
+        # The stubs plan via the instrumented Dijkstra, so the search
+        # counters carry real expansion work per approach.
+        for approach in APPROACHES:
+            assert counters[f"search.{approach}.nodes_expanded"] > 0
+            assert counters[f"search.{approach}.edges_relaxed"] > 0
+
+    def test_cached_plans_do_not_double_count(self, service, grid_query):
+        service.query(grid_query)
+        first = dict(service.metrics_payload()["counters"])
+        service.query(grid_query)
+        second = service.metrics_payload()["counters"]
+        for name, value in second.items():
+            if name.startswith("search."):
+                assert value == first[name]
