@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving examples report clean
+.PHONY: install test bench bench-serving bench-chaos examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,9 @@ bench:
 
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving.py -q
+
+bench-chaos:
+	$(PYTHON) -m pytest benchmarks/bench_chaos.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.algorithms.sp_tree import ShortestPathTree
+from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.observability.search import active_search_stats
@@ -72,6 +73,7 @@ def dijkstra(
     adjacency = network._out if forward else network._in
     expanded = 0  # settled pops, for SearchStats
     relaxed = 0  # out-edges scanned, for SearchStats
+    deadline = active_deadline()
 
     while heap:
         d, u = heapq.heappop(heap)
@@ -79,6 +81,8 @@ def dijkstra(
             continue
         settled[u] = True
         expanded += 1
+        if deadline is not None and not (expanded & DEADLINE_CHECK_MASK):
+            deadline.check()  # raises PlanningTimeout past the deadline
         if u == target:
             break
         if d > max_dist:

@@ -122,6 +122,9 @@ def _cmd_demo(args) -> int:
         cache_size=args.cache_size,
         max_workers=args.workers,
         timeout_s=args.timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        max_inflight=args.max_inflight,
     )
     server = DemoServer(
         processor,
@@ -237,6 +240,20 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--timeout", type=float, default=30.0,
         help="per-query planner deadline in seconds",
+    )
+    demo.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive planner failures that open a circuit "
+        "(0 disables circuit breakers)",
+    )
+    demo.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open circuit waits before a half-open probe",
+    )
+    demo.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="concurrent queries admitted before shedding with 503 "
+        "(0 disables admission control)",
     )
     demo.add_argument(
         "--dump-traces", action="store_true",

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.algorithms.dijkstra import dijkstra
+from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import (
     DEFAULT_K,
     DEFAULT_STRETCH_BOUND,
@@ -91,7 +92,14 @@ class DissimilarityPlanner(AlternativeRoutePlanner):
         selected: List[Path] = []
         seen: set[frozenset[int]] = set()
         stats = active_search_stats() or SearchStats()
+        deadline = active_deadline()
+        examined = 0
         for _, via in candidates:
+            examined += 1
+            if deadline is not None and not (
+                examined & DEADLINE_CHECK_MASK
+            ):
+                deadline.check()
             path = self._via_path(via, source, target, forward_tree,
                                   backward_tree)
             if path is None:

@@ -15,6 +15,7 @@ import heapq
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import ConfigurationError, DisconnectedError
+from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import DEFAULT_K, AlternativeRoutePlanner
 from repro.core.yen import _shortest_with_bans
 from repro.graph.network import RoadNetwork
@@ -42,11 +43,16 @@ def _yen_enumerate(
     yield produced[0]
     candidates: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
     seen: Set[Tuple[int, ...]] = {produced[0].edge_ids}
+    deadline = active_deadline()
 
     while len(produced) < max_paths:
         previous = produced[-1]
         prev_nodes = previous.nodes
         for spur_index in range(len(prev_nodes) - 1):
+            # A full Dijkstra per spur node: check between searches so
+            # the enumeration honours the ambient deadline.
+            if deadline is not None:
+                deadline.check()
             spur_node = prev_nodes[spur_index]
             root_edge_ids = previous.edge_ids[:spur_index]
             root_cost = sum(weights[e] for e in root_edge_ids)
@@ -265,6 +271,7 @@ class OnePassPlanner(AlternativeRoutePlanner):
 
         heap: List[Tuple[float, int]] = []
         stats = active_search_stats() or SearchStats()
+        deadline = active_deadline()
         root = push(0.0, tuple(0.0 for _ in selected), source, -1, -1)
         if root is not None:
             heapq.heappush(heap, (0.0, root))
@@ -274,6 +281,10 @@ class OnePassPlanner(AlternativeRoutePlanner):
             if cost > lcost + 1e-12:
                 continue
             stats.nodes_expanded += 1
+            if deadline is not None and not (
+                stats.nodes_expanded & DEADLINE_CHECK_MASK
+            ):
+                deadline.check()
             if node == target:
                 edge_ids: List[int] = []
                 current = label_id

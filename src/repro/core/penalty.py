@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.algorithms.dijkstra import shortest_path_nodes
 from repro.algorithms.turn_aware import turn_aware_shortest_path
+from repro.cancellation import active_deadline
 from repro.core.base import DEFAULT_K, AlternativeRoutePlanner
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
@@ -123,8 +124,13 @@ class PenaltyPlanner(AlternativeRoutePlanner):
         seen_edge_sets: set[frozenset[int]] = set()
         optimal_time: Optional[float] = None
         stats = active_search_stats() or SearchStats()
+        deadline = active_deadline()
 
         for _ in range(self.max_iterations):
+            # One penalised re-search per iteration: honour the ambient
+            # deadline between full Dijkstra runs.
+            if deadline is not None:
+                deadline.check()
             try:
                 found = self._penalised_search(source, target, penalised)
             except DisconnectedError:

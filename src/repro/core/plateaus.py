@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.algorithms.dijkstra import dijkstra
 from repro.algorithms.sp_tree import ShortestPathTree
+from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import (
     DEFAULT_K,
     DEFAULT_STRETCH_BOUND,
@@ -215,7 +216,14 @@ class PlateauPlanner(AlternativeRoutePlanner):
         stats = active_search_stats() or SearchStats()
         stats.candidates_generated += 1  # the guaranteed optimal route
         stats.candidates_accepted += 1
+        deadline = active_deadline()
+        examined = 0
         for plateau in plateaus:
+            examined += 1
+            if deadline is not None and not (
+                examined & DEADLINE_CHECK_MASK
+            ):
+                deadline.check()
             # Only plateaus reachable from both roots yield valid routes.
             if not forward_tree.reachable(plateau.start):
                 continue

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.algorithms.dijkstra import dijkstra
+from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import (
     DEFAULT_K,
     DEFAULT_STRETCH_BOUND,
@@ -121,7 +122,14 @@ class ViaNodePlanner(AlternativeRoutePlanner):
         selected: List[Path] = []
         seen: set[frozenset[int]] = set()
         stats = active_search_stats() or SearchStats()
+        deadline = active_deadline()
+        examined = 0
         for _, via in candidates:
+            examined += 1
+            if deadline is not None and not (
+                examined & DEADLINE_CHECK_MASK
+            ):
+                deadline.check()
             edge_ids: List[int] = []
             if via != source:
                 edge_ids.extend(forward_tree.edge_ids_to_root(via))

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.algorithms.dijkstra import dijkstra
+from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import DEFAULT_K, AlternativeRoutePlanner
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
@@ -41,12 +42,15 @@ def _shortest_with_bans(
     adjacency = network._out
     expanded = 0
     relaxed = 0
+    deadline = active_deadline()
     while heap:
         d, u = heapq.heappop(heap)
         if settled[u]:
             continue
         settled[u] = True
         expanded += 1
+        if deadline is not None and not (expanded & DEADLINE_CHECK_MASK):
+            deadline.check()
         if u == target:
             break
         for edge_id in adjacency[u]:
@@ -112,10 +116,16 @@ def yen_k_shortest_paths(
     candidates: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
     seen_candidates: Set[Tuple[int, ...]] = {results[0].edge_ids}
 
+    deadline = active_deadline()
     while len(results) < k:
         previous = results[-1]
         prev_nodes = previous.nodes
         for spur_index in range(len(prev_nodes) - 1):
+            # Each spur search is a full Dijkstra; check between them so
+            # small-network searches (whose inner strided checks may
+            # never fire) still honour the deadline.
+            if deadline is not None:
+                deadline.check()
             spur_node = prev_nodes[spur_index]
             root_edge_ids = previous.edge_ids[:spur_index]
             root_cost = sum(w[e] for e in root_edge_ids)

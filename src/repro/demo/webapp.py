@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.demo.query_processor import QueryProcessor
 from repro.demo.storage import FeedbackRecord, ResponseStore
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServiceOverloadedError
 from repro.observability.logs import get_logger
 from repro.observability.prometheus import (
     PROMETHEUS_CONTENT_TYPE,
@@ -232,11 +232,18 @@ class _DemoHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, payload: Dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -302,6 +309,9 @@ class _DemoHandler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json()
         except (ValueError, json.JSONDecodeError) as exc:
+            # Malformed or oversized body: a client error, never a
+            # handler crash; counted so overload/abuse is visible.
+            self.server.count_bad_request()
             self._send_json({"error": f"bad request: {exc}"}, status=400)
             return
         try:
@@ -311,7 +321,19 @@ class _DemoHandler(BaseHTTPRequestHandler):
                 self._send_json(self.server.handle_feedback(payload))
             else:
                 self._send_json({"error": "not found"}, status=404)
-        except (ReproError, KeyError, TypeError, ValueError) as exc:
+        except ServiceOverloadedError as exc:
+            # Load shedding: tell the client when to come back.
+            self._send_json(
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                status=503,
+                headers={
+                    "Retry-After": str(max(1, round(exc.retry_after_s)))
+                },
+            )
+        except (
+            ReproError, AttributeError, KeyError, TypeError, ValueError,
+        ) as exc:
+            self.server.count_bad_request()
             self._send_json({"error": str(exc)}, status=400)
 
 
@@ -361,6 +383,7 @@ class DemoServer:
         self._httpd.isochrone_payload = self.isochrone_payload  # type: ignore[attr-defined]
         self._httpd.handle_route = self.handle_route  # type: ignore[attr-defined]
         self._httpd.handle_feedback = self.handle_feedback  # type: ignore[attr-defined]
+        self._httpd.count_bad_request = self.count_bad_request  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._network_cache: Optional[Dict] = None
@@ -491,11 +514,21 @@ class DemoServer:
         """The serving layer's counters, latencies and cache stats."""
         return self.service.metrics_payload()
 
+    def count_bad_request(self) -> None:
+        """Count a rejected request body in the serving metrics."""
+        self.service.metrics.inc("http.bad_request")
+
     def health_payload(self) -> Dict:
-        """Liveness and readiness summary for ``/healthz``."""
+        """Liveness and readiness summary for ``/healthz``.
+
+        Reports ``"degraded"`` instead of ``"ok"`` while any planner's
+        circuit breaker is open or half-open, so orchestration probes
+        see partial outages without parsing ``/metrics``.
+        """
         network = self.processor.network
+        open_circuits = self.service.open_circuits()
         return {
-            "status": "ok",
+            "status": "degraded" if open_circuits else "ok",
             "network": {
                 "name": network.name,
                 "nodes": network.num_nodes,
@@ -503,6 +536,8 @@ class DemoServer:
             },
             "planners": len(self.processor.planners),
             "cache_size": len(self.service.cache),
+            "circuits": self.service.circuits_payload(),
+            "open_circuits": open_circuits,
             "uptime_s": round(
                 time.monotonic() - self._started_monotonic, 3
             ),

@@ -69,6 +69,53 @@ class QueryError(ReproError):
     """A routing query is invalid (outside the service area, s == t, ...)."""
 
 
+class PlanningTimeout(ReproError, TimeoutError):
+    """A planner's cooperative deadline expired mid-search.
+
+    Raised from inside the planners' search loops when the ambient
+    :class:`repro.cancellation.Deadline` expires (or is cancelled), so a
+    timed-out planner unwinds and frees its worker thread instead of
+    running to completion against a query nobody is waiting for.
+    """
+
+
+class ServiceOverloadedError(ReproError):
+    """The serving layer shed this query: too many queries in flight.
+
+    Maps to HTTP 503 + ``Retry-After`` at the webapp boundary.
+    ``retry_after_s`` is the suggested client back-off.
+    """
+
+    def __init__(
+        self, in_flight: int, limit: int, retry_after_s: float = 1.0
+    ) -> None:
+        super().__init__(in_flight, limit)
+        self.in_flight = in_flight
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+    def __str__(self) -> str:
+        return (
+            f"service overloaded: {self.in_flight} queries in flight "
+            f"(limit {self.limit}); retry in {self.retry_after_s:g}s"
+        )
+
+
+class CircuitOpenError(ReproError):
+    """An approach's circuit breaker is open; the call was not attempted."""
+
+    def __init__(self, approach: str, retry_after_s: float) -> None:
+        super().__init__(approach, retry_after_s)
+        self.approach = approach
+        self.retry_after_s = retry_after_s
+
+    def __str__(self) -> str:
+        return (
+            f"circuit for approach {self.approach!r} is open; next probe "
+            f"in {self.retry_after_s:g}s"
+        )
+
+
 class OutsideServiceAreaError(QueryError):
     """A query coordinate falls outside the configured service rectangle."""
 

@@ -18,7 +18,11 @@ Mapping
 * remaining counters become flat ``repro_*_total`` counters;
 * histograms become summaries: ``_seconds{quantile=...}`` gauges from
   the windowed estimates plus exact ``_seconds_sum``/``_seconds_count``;
-* cache stats become ``repro_cache_*`` gauges.
+* cache stats become ``repro_cache_*`` gauges;
+* circuit-breaker snapshots become ``repro_circuit_state{approach=...}``
+  gauges (0 closed, 1 half-open, 2 open) plus
+  ``repro_circuit_opened_total`` counters;
+* the admission gate becomes ``repro_inflight`` / ``repro_shed_total``.
 """
 
 from __future__ import annotations
@@ -31,6 +35,11 @@ PREFIX = "repro"
 
 #: Content type a Prometheus scraper negotiates for.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Circuit state name → gauge code.  Kept in sync with
+#: ``repro.serving.resilience.CIRCUIT_STATE_CODES`` (duplicated here
+#: because serving imports observability, not the other way around).
+CIRCUIT_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
 
 _NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
 _SEARCH_COUNTER = re.compile(r"^search\.(?P<approach>.+)\.(?P<field>\w+)$")
@@ -140,5 +149,41 @@ def render_prometheus(payload: Mapping, prefix: str = PREFIX) -> str:
         metric = f"{prefix}_cache_{_sanitize(key)}"
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(value)}")
+
+    circuits = payload.get("circuits", {})
+    if circuits:
+        state_metric = f"{prefix}_circuit_state"
+        lines.append(
+            f"# HELP {state_metric} circuit-breaker state per approach "
+            "(0 closed, 1 half-open, 2 open)"
+        )
+        lines.append(f"# TYPE {state_metric} gauge")
+        for approach, snap in sorted(circuits.items()):
+            code = CIRCUIT_STATE_CODES.get(snap.get("state"), 0)
+            lines.append(
+                f'{state_metric}{{approach="{_escape_label(approach)}"}} '
+                f"{code}"
+            )
+        opened_metric = f"{prefix}_circuit_opened_total"
+        lines.append(f"# TYPE {opened_metric} counter")
+        for approach, snap in sorted(circuits.items()):
+            lines.append(
+                f'{opened_metric}{{approach="{_escape_label(approach)}"}} '
+                f"{_format_value(snap.get('opened_total', 0))}"
+            )
+
+    admission = payload.get("admission")
+    if admission:
+        inflight_metric = f"{prefix}_inflight"
+        lines.append(f"# TYPE {inflight_metric} gauge")
+        lines.append(
+            f"{inflight_metric} "
+            f"{_format_value(admission.get('in_flight', 0))}"
+        )
+        shed_metric = f"{prefix}_shed_total"
+        lines.append(f"# TYPE {shed_metric} counter")
+        lines.append(
+            f"{shed_metric} {_format_value(admission.get('shed_total', 0))}"
+        )
 
     return "\n".join(lines) + "\n"

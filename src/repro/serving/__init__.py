@@ -17,6 +17,11 @@ Entry point::
     result.errors                                    # {} unless degraded
 """
 
+from repro.exceptions import (
+    CircuitOpenError,
+    PlanningTimeout,
+    ServiceOverloadedError,
+)
 from repro.serving.cache import CacheKey, CacheStats, RouteCache
 from repro.serving.metrics import (
     Counter,
@@ -24,7 +29,18 @@ from repro.serving.metrics import (
     MetricsRegistry,
 )
 from repro.serving.query import RouteQuery
+from repro.serving.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultInjectingPlanner,
+    InflightGate,
+    active_deadline,
+    deadline_scope,
+)
 from repro.serving.service import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_MAX_INFLIGHT,
     DEFAULT_MAX_WORKERS,
     DEFAULT_TIMEOUT_S,
     ApproachOutcome,
@@ -36,13 +52,25 @@ __all__ = [
     "ApproachOutcome",
     "CacheKey",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Counter",
+    "DEFAULT_BREAKER_COOLDOWN_S",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_MAX_INFLIGHT",
     "DEFAULT_MAX_WORKERS",
     "DEFAULT_TIMEOUT_S",
+    "Deadline",
+    "FaultInjectingPlanner",
     "Histogram",
+    "InflightGate",
     "MetricsRegistry",
+    "PlanningTimeout",
     "RouteCache",
     "RouteQuery",
     "RouteService",
+    "ServiceOverloadedError",
     "ServiceResult",
+    "active_deadline",
+    "deadline_scope",
 ]

@@ -20,6 +20,13 @@ rendering — with the properties a live deployment needs:
 * **Observability** — every stage and approach feeds counters and
   latency histograms in a :class:`~repro.serving.metrics.MetricsRegistry`,
   served by the webapp's ``/metrics`` endpoint.
+* **Resilience** — a per-query cooperative :class:`~repro.cancellation.
+  Deadline` is propagated onto the planner pool so a timed-out planner
+  frees its worker instead of leaking it; per-approach
+  :class:`~repro.serving.resilience.CircuitBreaker` instances fast-fail
+  approaches that keep failing; a bounded
+  :class:`~repro.serving.resilience.InflightGate` sheds load with
+  :class:`~repro.exceptions.ServiceOverloadedError` before queueing it.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.cancellation import Deadline, deadline_scope
 from repro.core.base import AlternativeRoutePlanner, RouteSet
 from repro.demo.query_processor import (
     APPROACH_LABELS,
@@ -37,13 +45,29 @@ from repro.demo.query_processor import (
     QueryProcessor,
 )
 from repro.demo.rendering import route_set_to_feature_collection
-from repro.exceptions import ConfigurationError, QueryError
+from repro.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    DisconnectedError,
+    PlanningTimeout,
+    QueryError,
+    ServiceOverloadedError,
+)
 from repro.graph.network import RoadNetwork
 from repro.observability.logs import get_logger
-from repro.observability.tracing import Tracer, span as tracing_span
+from repro.observability.tracing import (
+    Tracer,
+    current_span,
+    span as tracing_span,
+)
 from repro.serving.cache import RouteCache
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.query import RouteQuery
+from repro.serving.resilience import (
+    CIRCUIT_CLOSED,
+    CircuitBreaker,
+    InflightGate,
+)
 from repro.study.rating import APPROACHES
 
 logger = get_logger(__name__)
@@ -53,6 +77,15 @@ DEFAULT_TIMEOUT_S = 30.0
 
 #: Default planner fan-out: one worker per study approach.
 DEFAULT_MAX_WORKERS = 4
+
+#: Consecutive failures before an approach's circuit opens (0 disables).
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Seconds an open circuit waits before its half-open probe.
+DEFAULT_BREAKER_COOLDOWN_S = 30.0
+
+#: Default bound on concurrently admitted queries (None disables).
+DEFAULT_MAX_INFLIGHT = 64
 
 
 def _blinded_label(approach: str) -> str:
@@ -134,6 +167,20 @@ class RouteService:
         create a private one.  Every query produces one trace whose
         spans cover vertex matching, the cache lookup, each planner
         invocation (on its worker thread) and the filter stage.
+    breaker_threshold:
+        Consecutive planner failures/timeouts before that approach's
+        circuit opens and calls fast-fail; 0 disables the breakers.
+    breaker_cooldown_s:
+        Seconds an open circuit waits before letting one probe through.
+    max_inflight:
+        Bound on concurrently admitted queries; queries beyond it are
+        shed with :class:`ServiceOverloadedError` (None disables).
+    propagate_deadline:
+        When True (default), a cooperative :class:`Deadline` of
+        ``timeout_s`` is armed on every planner invocation so a
+        timed-out planner frees its pool thread; False restores the
+        legacy leak-the-thread behaviour (the chaos benchmark's
+        baseline).
     """
 
     def __init__(
@@ -144,6 +191,10 @@ class RouteService:
         timeout_s: float = DEFAULT_TIMEOUT_S,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+        max_inflight: Optional[int] = DEFAULT_MAX_INFLIGHT,
+        propagate_deadline: bool = True,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError(
@@ -153,11 +204,28 @@ class RouteService:
             raise ConfigurationError(
                 f"timeout_s must be > 0, got {timeout_s}"
             )
+        if breaker_threshold < 0:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 0, got {breaker_threshold}"
+            )
         self.processor = processor
         self.cache = RouteCache(cache_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.timeout_s = timeout_s
+        self.propagate_deadline = propagate_deadline
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self._gate = InflightGate(max_inflight or None)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        if breaker_threshold:
+            for approach in processor.planners:
+                self._breakers[approach] = CircuitBreaker(
+                    approach,
+                    failure_threshold=breaker_threshold,
+                    cooldown_s=breaker_cooldown_s,
+                )
+        self._closed = False
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="route-planner"
         )
@@ -177,8 +245,18 @@ class RouteService:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the planner pool down (idempotent)."""
-        self._executor.shutdown(wait=False)
+        """Shut the planner pool down (idempotent).
+
+        ``cancel_futures=True`` drops planner work that was submitted
+        but never started, so a shutdown under load does not execute
+        queued queries against a closing service; already-running
+        planners are left to finish cooperatively (their deadlines
+        expire and unwind them).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "RouteService":
         return self
@@ -226,19 +304,30 @@ class RouteService:
         started = time.perf_counter()
         metrics = self.metrics
         metrics.inc("queries.total")
-        with self.tracer.trace("query", k=query.k) as root:
-            try:
-                result = self._serve(query)
-            except Exception as exc:
-                metrics.inc("queries.failed")
-                logger.warning(
-                    "query failed: %s: %s", type(exc).__name__, exc
-                )
-                raise
-            root.set_attribute("source_node", result.source_node)
-            root.set_attribute("target_node", result.target_node)
-            root.set_attribute("cache_hits", result.cache_hits)
-            root.set_attribute("degraded", result.degraded)
+        try:
+            # Shed-before-queue: reject now rather than letting the
+            # query wait for planner capacity it would time out on.
+            self._gate.acquire()
+        except ServiceOverloadedError as exc:
+            metrics.inc("queries.shed")
+            logger.warning("query shed: %s", exc)
+            raise
+        try:
+            with self.tracer.trace("query", k=query.k) as root:
+                try:
+                    result = self._serve(query)
+                except Exception as exc:
+                    metrics.inc("queries.failed")
+                    logger.warning(
+                        "query failed: %s: %s", type(exc).__name__, exc
+                    )
+                    raise
+                root.set_attribute("source_node", result.source_node)
+                root.set_attribute("target_node", result.target_node)
+                root.set_attribute("cache_hits", result.cache_hits)
+                root.set_attribute("degraded", result.degraded)
+        finally:
+            self._gate.release()
         if result.degraded:
             metrics.inc("queries.degraded")
             logger.warning(
@@ -283,10 +372,27 @@ class RouteService:
         }
 
     def metrics_payload(self) -> Dict:
-        """Counters, histograms and cache accounting for ``/metrics``."""
+        """Counters, histograms, cache, circuits and admission stats."""
         payload = self.metrics.snapshot()
         payload["cache"] = self.cache.stats().to_payload()
+        payload["circuits"] = self.circuits_payload()
+        payload["admission"] = self._gate.snapshot()
         return payload
+
+    def circuits_payload(self) -> Dict[str, Dict]:
+        """Per-approach circuit-breaker state (empty when disabled)."""
+        return {
+            approach: breaker.snapshot()
+            for approach, breaker in sorted(self._breakers.items())
+        }
+
+    def open_circuits(self) -> List[str]:
+        """Approaches whose circuit is not closed (open or half-open)."""
+        return sorted(
+            approach
+            for approach, breaker in self._breakers.items()
+            if breaker.state != CIRCUIT_CLOSED
+        )
 
     def traces_payload(self, limit: Optional[int] = None) -> Dict:
         """Recently finished traces (newest first) for ``/trace``."""
@@ -317,9 +423,47 @@ class RouteService:
         source: int,
         target: int,
         k: Optional[int],
+        deadline: Optional[Deadline] = None,
     ) -> RouteSet:
-        with self.metrics.time(f"stage.plan.{approach}"):
-            return planner.plan(source, target, k=k)
+        if deadline is None:
+            with self.metrics.time(f"stage.plan.{approach}"):
+                return planner.plan(source, target, k=k)
+        # Arm the query's shared deadline in this worker's (copied)
+        # context so the planner's search loops can see and honour it.
+        with deadline_scope(deadline):
+            with self.metrics.time(f"stage.plan.{approach}"):
+                return planner.plan(source, target, k=k)
+
+    def _annotate_circuit(
+        self, approach: str, breaker: CircuitBreaker
+    ) -> None:
+        """Expose the approach's circuit state on the ambient span."""
+        span = current_span()
+        if span is not None:
+            span.set_attribute(f"circuit.{approach}", breaker.state)
+
+    def _record_failure(
+        self, approach: str, error: Optional[BaseException]
+    ) -> None:
+        """Feed one planner failure into the approach's circuit breaker.
+
+        Query-shaped errors (bad query, genuinely disconnected pair) say
+        nothing about the planner's health, so they leave the breaker
+        untouched; everything else — including timeouts, passed as
+        ``error=None`` — counts toward opening the circuit.
+        """
+        if isinstance(error, (QueryError, DisconnectedError)):
+            return
+        breaker = self._breakers.get(approach)
+        if breaker is None:
+            return
+        if breaker.record_failure():
+            self.metrics.inc(f"circuit.opened.{approach}")
+            logger.warning(
+                "circuit for %s opened after %d consecutive failures",
+                approach, breaker.failure_threshold,
+            )
+        self._annotate_circuit(approach, breaker)
 
     def _record_search_stats(self, approach: str, route_set: RouteSet) -> None:
         """Flush a freshly planned route set's SearchStats into counters."""
@@ -376,15 +520,41 @@ class RouteService:
             cache_span.set_attribute("hits", len(outcomes))
             cache_span.set_attribute("misses", len(to_plan))
 
-        pending = {}
+        # Fast-fail approaches whose circuit is open before spending a
+        # worker (or the deadline) on them.
+        admitted: List[Tuple[str, Tuple, AlternativeRoutePlanner]] = []
         for approach, key, planner in to_plan:
+            breaker = self._breakers.get(approach)
+            if breaker is None or breaker.allow():
+                admitted.append((approach, key, planner))
+                continue
+            rejection = CircuitOpenError(approach, breaker.retry_in_s())
+            metrics.inc(f"plan.rejected.{approach}")
+            self._annotate_circuit(approach, breaker)
+            logger.warning("planner %s rejected: %s", approach, rejection)
+            outcomes[approach] = ApproachOutcome(
+                approach=approach,
+                label=_blinded_label(approach),
+                error=f"CircuitOpenError: {rejection}",
+            )
+
+        # One cooperative deadline shared by the whole fan-out; armed
+        # inside each worker's copied context by _plan_one.
+        deadline = (
+            Deadline.after(self.timeout_s)
+            if self.propagate_deadline and admitted
+            else None
+        )
+        pending = {}
+        for approach, key, planner in admitted:
             # Copy the submitting thread's context so the worker's
             # plan.<approach> span lands in *this* query's trace — the
             # pool threads otherwise carry no (or a stale) trace context.
             context = contextvars.copy_context()
             future = self._executor.submit(
                 context.run,
-                self._plan_one, approach, planner, source, target, query.k,
+                self._plan_one, approach, planner, source, target,
+                query.k, deadline,
             )
             pending[future] = (approach, key, time.perf_counter())
 
@@ -395,7 +565,11 @@ class RouteService:
             label = _blinded_label(approach)
             error = future.exception()
             if error is not None:
-                metrics.inc(f"plan.errors.{approach}")
+                if isinstance(error, PlanningTimeout):
+                    metrics.inc(f"plan.timeouts.{approach}")
+                else:
+                    metrics.inc(f"plan.errors.{approach}")
+                self._record_failure(approach, error)
                 logger.warning(
                     "planner %s failed: %s: %s",
                     approach, type(error).__name__, error,
@@ -408,6 +582,9 @@ class RouteService:
                 )
                 continue
             route_set = future.result()
+            breaker = self._breakers.get(approach)
+            if breaker is not None:
+                breaker.record_success()
             self._record_search_stats(approach, route_set)
             self.cache.put(key, route_set)
             outcomes[approach] = ApproachOutcome(
@@ -416,10 +593,16 @@ class RouteService:
                 route_set=route_set,
                 elapsed_s=elapsed,
             )
+        if not_done and deadline is not None:
+            # The wait window closed; trip the shared deadline so even
+            # planners between strided checks (or queued tasks that
+            # sneak onto a worker) unwind at their next check.
+            deadline.cancel()
         for future in not_done:
-            future.cancel()
+            future.cancel()  # drops tasks that never reached a worker
             approach, _key, submitted = pending[future]
             metrics.inc(f"plan.timeouts.{approach}")
+            self._record_failure(approach, None)
             logger.warning(
                 "planner %s exceeded the %gs deadline",
                 approach, self.timeout_s,

@@ -223,7 +223,9 @@ class TestIsochroneEndpoint:
 class TestMetricsEndpoint:
     def test_metrics_payload_shape(self, server):
         payload = get_json(server, "/metrics")
-        assert set(payload) == {"counters", "histograms", "cache"}
+        assert set(payload) == {
+            "counters", "histograms", "cache", "circuits", "admission",
+        }
         assert set(payload["cache"]) >= {"hits", "misses", "size", "max_size"}
 
     def test_route_queries_feed_the_metrics(self, server):
@@ -330,3 +332,68 @@ class TestRouteEndpointExtensions:
         assert len(payload["routes"]["D"]["features"]) == 1
         assert payload["errors"] == {}
         assert payload["degraded"] is False
+
+
+class TestResilienceEndpoints:
+    def test_healthz_degrades_while_a_circuit_is_open(self, server):
+        breaker = server.service._breakers["Plateaus"]
+        try:
+            for _ in range(breaker.failure_threshold):
+                breaker.record_failure()
+            payload = get_json(server, "/healthz")
+            assert payload["status"] == "degraded"
+            assert payload["open_circuits"] == ["Plateaus"]
+            assert payload["circuits"]["Plateaus"]["state"] == "open"
+            assert payload["circuits"]["Plateaus"]["retry_in_s"] > 0
+        finally:
+            breaker.record_success()
+        assert get_json(server, "/healthz")["status"] == "ok"
+
+    def test_overload_returns_503_with_retry_after(self, server):
+        from repro.serving.resilience import InflightGate
+
+        original = server.service._gate
+        full = InflightGate(limit=1, retry_after_s=2.0)
+        full.acquire()  # the gate is now at capacity
+        server.service._gate = full
+        try:
+            source, target = corner_points(server)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_json(
+                    server, "/api/route",
+                    {"source": source, "target": target},
+                )
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "2"
+            body = json.load(excinfo.value)
+            assert "overloaded" in body["error"]
+            assert body["retry_after_s"] == 2.0
+        finally:
+            server.service._gate = original
+
+    def test_bad_request_bodies_are_counted(self, server):
+        before = get_json(server, "/metrics")["counters"].get(
+            "http.bad_request", 0
+        )
+        request = urllib.request.Request(
+            server.url + "/api/route",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        after = get_json(server, "/metrics")["counters"]["http.bad_request"]
+        assert after == before + 1
+
+    def test_prometheus_renders_circuit_and_admission_metrics(self, server):
+        request = urllib.request.Request(
+            server.url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            text = response.read().decode()
+        assert "# TYPE repro_circuit_state gauge" in text
+        assert 'repro_circuit_state{approach="Plateaus"} 0' in text
+        assert 'repro_circuit_opened_total{approach="Plateaus"}' in text
+        assert "# TYPE repro_inflight gauge" in text
+        assert "repro_shed_total" in text

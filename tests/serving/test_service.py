@@ -158,7 +158,9 @@ class TestMetrics:
     def test_payload_shape_and_stage_coverage(self, service, grid_query):
         service.query(grid_query)
         payload = service.metrics_payload()
-        assert set(payload) == {"counters", "histograms", "cache"}
+        assert set(payload) == {
+            "counters", "histograms", "cache", "circuits", "admission",
+        }
         assert payload["counters"]["queries.total"] == 1
         assert payload["counters"]["cache.misses"] == 4
         histograms = payload["histograms"]
