@@ -114,6 +114,131 @@ def test_bench_serving_warm_cache_throughput(processor):
         cached.close()
 
 
+def _batch_query_set(network, count, seed=3, approaches=None):
+    """``count`` routable queries fanning out from one shared origin."""
+    rng = random.Random(f"bench-serving-batch:{seed}")
+    source = network.node(rng.randrange(network.num_nodes))
+    queries = []
+    seen = {source.id}
+    while len(queries) < count:
+        target = network.node(rng.randrange(network.num_nodes))
+        if target.id in seen:
+            continue
+        seen.add(target.id)
+        queries.append(
+            RouteQuery(
+                source.lat, source.lon, target.lat, target.lon,
+                approaches=approaches,
+            )
+        )
+    return queries
+
+
+def _time_batch(service, queries, repeats=3):
+    """Best-of-``repeats`` wall time for serving the batch, plus results."""
+    best_s, best = None, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        batch = service.plan_many(queries)
+        elapsed = time.perf_counter() - started
+        if best_s is None or elapsed < best_s:
+            best_s, best = elapsed, batch
+    return best_s, best
+
+
+def test_bench_serving_batch_tree_reuse_speedup(processor):
+    """Experiment S1d — batch serving with shared search contexts.
+
+    A batch of queries fanning out from one origin is the tree-reuse
+    showcase: unshared, every tree-using planner of every query runs
+    its own forward and backward Dijkstra; shared, the origin's forward
+    tree is built once for the whole batch and each query's backward
+    tree once per query.  The asserted >= 1.5x ratio is measured on the
+    tree-dominated approach subset (Plateaus + Dissimilarity) with a
+    single-worker fan-out, so the ratio reflects planner *work* saved
+    rather than thread scheduling (with a concurrent fan-out the
+    unshared builds overlap on separate workers while shared builds
+    serialise behind the cell lock, masking the saving).  The full
+    four-approach concurrent batch is reported informationally (the
+    commercial engine and Penalty cannot share trees, diluting the
+    batch win).  Outputs must be identical route-for-route — sharing
+    changes the work, never the answer.
+    """
+    tree_queries = _batch_query_set(
+        processor.network, count=20,
+        approaches=("Plateaus", "Dissimilarity"),
+    )
+    full_queries = _batch_query_set(processor.network, count=20)
+
+    unshared = RouteService(
+        processor, cache_size=0, timeout_s=120.0, share_context=False,
+        max_workers=1,
+    )
+    shared = RouteService(
+        processor, cache_size=0, timeout_s=120.0, share_context=True,
+        max_workers=1,
+    )
+    full_unshared = RouteService(
+        processor, cache_size=0, timeout_s=120.0, share_context=False
+    )
+    full_shared = RouteService(
+        processor, cache_size=0, timeout_s=120.0, share_context=True
+    )
+    try:
+        unshared_s, unshared_batch = _time_batch(unshared, tree_queries)
+        shared_s, shared_batch = _time_batch(shared, tree_queries)
+        assert unshared_batch.served == len(tree_queries)
+        assert shared_batch.served == len(tree_queries)
+
+        # Identical answers: sharing may only change the work done.
+        for before, after in zip(unshared_batch, shared_batch):
+            assert before.result.route_sets == after.result.route_sets
+
+        stats = shared_batch.context_stats
+        assert stats["tree_hits"] > 0
+        assert stats["distinct_sources"] == 1
+
+        speedup = unshared_s / shared_s
+        full_unshared_s, _ = _time_batch(full_unshared, full_queries)
+        full_shared_s, full_batch = _time_batch(full_shared, full_queries)
+        full_speedup = full_unshared_s / full_shared_s
+
+        write_artifact(
+            "bench_serving_batch.txt",
+            "\n".join(
+                [
+                    "Experiment S1d — batch serving with shared "
+                    "search contexts",
+                    f"batch size: {len(tree_queries)} queries, one "
+                    "shared origin",
+                    "tree-dominated subset (Plateaus + Dissimilarity, "
+                    "single-worker fan-out):",
+                    f"  unshared contexts: {unshared_s * 1000:.1f} ms",
+                    f"  shared contexts:   {shared_s * 1000:.1f} ms",
+                    f"  speedup: {speedup:.2f}x",
+                    f"  tree hits={stats['tree_hits']} "
+                    f"misses={stats['tree_misses']}",
+                    "full four-approach concurrent batch "
+                    "(informational):",
+                    f"  unshared contexts: {full_unshared_s * 1000:.1f} ms",
+                    f"  shared contexts:   {full_shared_s * 1000:.1f} ms",
+                    f"  speedup: {full_speedup:.2f}x",
+                    f"  tree hits={full_batch.context_stats['tree_hits']} "
+                    f"misses={full_batch.context_stats['tree_misses']}",
+                ]
+            ),
+        )
+        assert speedup >= 1.5, (
+            f"shared contexts gave only {speedup:.2f}x over unshared "
+            f"on the tree-dominated batch"
+        )
+    finally:
+        unshared.close()
+        shared.close()
+        full_unshared.close()
+        full_shared.close()
+
+
 def test_bench_serving_degraded_query_still_serves(processor):
     queries = _query_set(processor.network, count=4, seed=1)
 

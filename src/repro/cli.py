@@ -4,6 +4,7 @@ Commands
 --------
 ``build-city``   generate a synthetic city and save it (CSV or JSON)
 ``plan``         print the alternative routes for one query
+``batch``        serve a file of queries through one shared-tree batch
 ``study``        run the user-study simulation and print the tables
 ``demo``         serve the web demonstration system
 ``figure``       regenerate Figure 1 or the Figure 4 case study
@@ -87,6 +88,96 @@ def _cmd_plan(args) -> int:
                 f"{len(route.edge_ids)} segments"
             )
     return 0
+
+
+def _load_batch_queries(path: str) -> List:
+    """Parse the ``batch`` command's query file into RouteQueries.
+
+    The file (or stdin, for ``-``) holds a JSON array whose items are
+    either four-element ``[slat, slon, tlat, tlon]`` arrays or the
+    webapp's ``{"source": {"lat", "lon"}, "target": {...}}`` objects
+    (optional ``"approaches"`` / ``"k"`` included).
+    """
+    from repro.exceptions import QueryError
+    from repro.serving import RouteQuery
+
+    if path == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise QueryError(f"bad batch file {path!r}: {exc}") from exc
+    if not isinstance(payload, list) or not payload:
+        raise QueryError(
+            f"batch file {path!r} must hold a non-empty JSON array"
+        )
+    queries = []
+    for index, item in enumerate(payload):
+        if isinstance(item, (list, tuple)):
+            if len(item) != 4:
+                raise QueryError(
+                    f"batch item {index} must have exactly four "
+                    f"coordinates, got {len(item)}"
+                )
+            queries.append(RouteQuery(*[float(value) for value in item]))
+        elif isinstance(item, dict):
+            queries.append(RouteQuery.from_payload(item))
+        else:
+            raise QueryError(
+                f"batch item {index} must be a coordinate array or a "
+                f"query object, got {type(item).__name__}"
+            )
+    return queries
+
+
+def _cmd_batch(args) -> int:
+    from repro.demo import QueryProcessor
+    from repro.serving import RouteService
+
+    queries = _load_batch_queries(args.queries)
+    network = _build_network(args)
+    processor = QueryProcessor(network, traffic_seed=args.seed)
+    service = RouteService(
+        processor,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+        breaker_threshold=0,
+        max_inflight=0,
+    )
+    batch = service.plan_many(queries)
+    for outcome in batch:
+        query = outcome.query
+        head = (
+            f"[{outcome.index}] ({query.source_lat:.5f}, "
+            f"{query.source_lon:.5f}) -> ({query.target_lat:.5f}, "
+            f"{query.target_lon:.5f})"
+        )
+        if not outcome.ok:
+            print(f"{head}: error: {outcome.error}")
+            continue
+        result = outcome.result
+        labels = ", ".join(
+            f"{label}:{len(routes)}"
+            for label, routes in sorted(result.route_sets.items())
+        )
+        print(
+            f"{head}: {result.fastest_minutes} min fastest, "
+            f"routes {labels}"
+        )
+        for label, message in sorted(result.errors.items()):
+            print(f"    degraded {label}: {message}")
+    stats = batch.context_stats
+    print(
+        f"batch: {batch.served}/{len(batch)} served in "
+        f"{batch.elapsed_s * 1000:.0f} ms; shared-tree hits "
+        f"{stats['tree_hits']}, misses {stats['tree_misses']} "
+        f"({stats['distinct_sources']} distinct sources, "
+        f"{stats['distinct_targets']} distinct targets)"
+    )
+    return 0 if not batch.failed else 1
 
 
 def _cmd_study(args) -> int:
@@ -218,6 +309,26 @@ def build_parser() -> argparse.ArgumentParser:
         "study approaches",
     )
     plan.set_defaults(handler=_cmd_plan)
+
+    batch = commands.add_parser(
+        "batch",
+        help="run a JSON file of queries as one shared-tree batch",
+    )
+    _add_network_arguments(batch)
+    batch.add_argument(
+        "--queries", required=True,
+        help='JSON array of [slat, slon, tlat, tlon] items or webapp '
+        'query objects ("-" reads stdin)',
+    )
+    batch.add_argument(
+        "--workers", type=int, default=4,
+        help="concurrent planner invocations per query",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-query planner deadline in seconds",
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     study = commands.add_parser(
         "study", help="run the 237-response user-study simulation"

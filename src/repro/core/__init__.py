@@ -51,6 +51,13 @@ from repro.core.registry import (
     register_planner,
 )
 from repro.core.route_graph import AlternativeRouteGraph
+from repro.core.search_context import (
+    SearchContext,
+    SearchContextPool,
+    active_search_context,
+    search_context_scope,
+    trees_for_query,
+)
 from repro.core.penalty import DEFAULT_PENALTY_FACTOR, PenaltyPlanner
 from repro.core.plateaus import (
     Plateau,
@@ -92,11 +99,14 @@ __all__ = [
     "PlateauPlanner",
     "RouteFilter",
     "RouteSet",
+    "SearchContext",
+    "SearchContextPool",
     "SimilarityFilter",
     "StretchFilter",
     "ViaNodePlanner",
     "WiderRoadsRanker",
     "YenPlanner",
+    "active_search_context",
     "admit_all",
     "available_planners",
     "combine_rules",
@@ -109,5 +119,7 @@ __all__ = [
     "planner_spec",
     "plateau_route",
     "register_planner",
+    "search_context_scope",
+    "trees_for_query",
     "yen_k_shortest_paths",
 ]

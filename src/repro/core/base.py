@@ -13,13 +13,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, QueryError
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.observability.search import SearchStats, collect_search_stats
 from repro.observability.tracing import span as tracing_span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.search_context import SearchContext
 
 #: The demo displays "up to 3 routes" per approach.
 DEFAULT_K = 3
@@ -117,7 +120,11 @@ class AlternativeRoutePlanner(abc.ABC):
         self.k = k
 
     def plan(
-        self, source: int, target: int, k: Optional[int] = None
+        self,
+        source: int,
+        target: int,
+        k: Optional[int] = None,
+        context: Optional["SearchContext"] = None,
     ) -> RouteSet:
         """Return up to ``k`` alternative routes from source to target.
 
@@ -126,6 +133,14 @@ class AlternativeRoutePlanner(abc.ABC):
         the configured ``k`` may still return fewer routes, because
         planners prune their candidate search around the configured
         count.
+
+        ``context`` optionally shares pre-computed per-query search
+        state (a :class:`~repro.core.search_context.SearchContext` of
+        memoized forward/backward SP trees) with the planner; it must
+        match this planner's network and the query's endpoints.  The
+        default ``None`` preserves the historical behaviour — planners
+        build whatever they need from scratch — and results are
+        identical either way (proven by ``tests/core/test_differential``).
 
         Raises :class:`QueryError` for degenerate queries and
         :class:`~repro.exceptions.DisconnectedError` when no route
@@ -136,6 +151,8 @@ class AlternativeRoutePlanner(abc.ABC):
         :class:`~repro.observability.search.SearchStats`, attached to
         the returned set as ``RouteSet.stats``.
         """
+        from repro.core.search_context import search_context_scope
+
         with tracing_span(
             f"plan.{self.name}", approach=self.name,
             source=source, target=target,
@@ -146,8 +163,17 @@ class AlternativeRoutePlanner(abc.ABC):
                 raise QueryError("source and target must differ")
             self.network.node(source)
             self.network.node(target)
+            if context is not None and not context.matches(
+                self.network, source, target
+            ):
+                raise ConfigurationError(
+                    f"search context for {context.source} -> "
+                    f"{context.target} does not match query "
+                    f"{source} -> {target} on this planner's network"
+                )
             with collect_search_stats() as stats:
-                routes = self._plan_routes(source, target)
+                with search_context_scope(context):
+                    routes = self._plan_routes(source, target)
             trimmed = tuple(routes[: self.k if k is None else k])
             plan_span.set_attribute("routes", len(trimmed))
             plan_span.set_attribute("nodes_expanded", stats.nodes_expanded)

@@ -16,14 +16,14 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
-from repro.exceptions import ConfigurationError, DisconnectedError
-from repro.algorithms.dijkstra import dijkstra
+from repro.exceptions import ConfigurationError
 from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import (
     DEFAULT_K,
     DEFAULT_STRETCH_BOUND,
     AlternativeRoutePlanner,
 )
+from repro.core.search_context import trees_for_query
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.metrics.similarity import (
@@ -68,10 +68,9 @@ class DissimilarityPlanner(AlternativeRoutePlanner):
         self.stretch_bound = stretch_bound
 
     def _plan_routes(self, source: int, target: int) -> List[Path]:
-        forward_tree = dijkstra(self.network, source, forward=True)
-        backward_tree = dijkstra(self.network, target, forward=False)
-        if not forward_tree.reachable(target):
-            raise DisconnectedError(source, target)
+        forward_tree, backward_tree = trees_for_query(
+            self.network, source, target
+        )
         optimal_time = forward_tree.distance(target)
         limit = (
             math.inf

@@ -22,8 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.exceptions import ConfigurationError, DisconnectedError
-from repro.algorithms.dijkstra import dijkstra
+from repro.exceptions import ConfigurationError
 from repro.algorithms.sp_tree import ShortestPathTree
 from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import (
@@ -31,6 +30,7 @@ from repro.core.base import (
     DEFAULT_STRETCH_BOUND,
     AlternativeRoutePlanner,
 )
+from repro.core.search_context import trees_for_query
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.observability.search import SearchStats, active_search_stats
@@ -190,13 +190,11 @@ class PlateauPlanner(AlternativeRoutePlanner):
         """Return the forward and backward trees for a query.
 
         Exposed separately so the Figure-1 experiment can show the
-        intermediate construction stages.
+        intermediate construction stages.  Pulls from the ambient
+        :class:`~repro.core.search_context.SearchContext` when one is
+        armed for this query, building from scratch otherwise.
         """
-        forward_tree = dijkstra(self.network, source, forward=True)
-        backward_tree = dijkstra(self.network, target, forward=False)
-        if not forward_tree.reachable(target):
-            raise DisconnectedError(source, target)
-        return forward_tree, backward_tree
+        return trees_for_query(self.network, source, target)
 
     def _plan_routes(self, source: int, target: int) -> List[Path]:
         forward_tree, backward_tree = self.trees(source, target)

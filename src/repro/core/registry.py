@@ -34,6 +34,7 @@ from repro.core.dissimilarity import DEFAULT_THETA, DissimilarityPlanner
 from repro.core.ksplo import LimitedOverlapPlanner, OnePassPlanner
 from repro.core.penalty import DEFAULT_PENALTY_FACTOR, PenaltyPlanner
 from repro.core.plateaus import PlateauPlanner
+from repro.core.via_node import ViaNodePlanner
 from repro.core.yen import YenPlanner
 from repro.exceptions import ConfigurationError
 from repro.graph.network import RoadNetwork
@@ -230,6 +231,12 @@ register_planner(
     YenPlanner,
     defaults={"k": DEFAULT_K},
     description="Yen's k-shortest paths baseline (§2.4)",
+)
+register_planner(
+    "ViaNode",
+    ViaNodePlanner,
+    defaults={"k": DEFAULT_K, "stretch_bound": DEFAULT_STRETCH_BOUND},
+    description="generic via-node family baseline (§2.4)",
 )
 register_planner(
     "LimitedOverlap",

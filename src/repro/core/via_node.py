@@ -15,14 +15,14 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from repro.exceptions import ConfigurationError, DisconnectedError
-from repro.algorithms.dijkstra import dijkstra
+from repro.exceptions import ConfigurationError
 from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.core.base import (
     DEFAULT_K,
     DEFAULT_STRETCH_BOUND,
     AlternativeRoutePlanner,
 )
+from repro.core.search_context import trees_for_query
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
 from repro.metrics.quality import is_locally_optimal
@@ -103,10 +103,9 @@ class ViaNodePlanner(AlternativeRoutePlanner):
         self.admission = admission
 
     def _plan_routes(self, source: int, target: int) -> List[Path]:
-        forward_tree = dijkstra(self.network, source, forward=True)
-        backward_tree = dijkstra(self.network, target, forward=False)
-        if not forward_tree.reachable(target):
-            raise DisconnectedError(source, target)
+        forward_tree, backward_tree = trees_for_query(
+            self.network, source, target
+        )
         limit = self.stretch_bound * forward_tree.distance(target) + 1e-9
 
         candidates = []

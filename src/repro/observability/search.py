@@ -31,6 +31,8 @@ STAT_FIELDS: Tuple[str, ...] = (
     "candidates_accepted",
     "candidates_pruned",
     "dissimilarity_evaluations",
+    "context_tree_hits",
+    "context_tree_misses",
 )
 
 
@@ -43,6 +45,11 @@ class SearchStats:
     planner ran); the candidate counters come from the planner's own
     selection loop; ``dissimilarity_evaluations`` counts pairwise
     route-similarity computations, the dominant filtering cost.
+    ``context_tree_hits``/``context_tree_misses`` count shortest-path
+    trees served from (or built into) a shared
+    :class:`~repro.core.search_context.SearchContext` — a hit means the
+    planner skipped a whole Dijkstra run another planner already paid
+    for.
     """
 
     nodes_expanded: int = 0
@@ -51,6 +58,8 @@ class SearchStats:
     candidates_accepted: int = 0
     candidates_pruned: int = 0
     dissimilarity_evaluations: int = 0
+    context_tree_hits: int = 0
+    context_tree_misses: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Add another invocation's counters into this one."""

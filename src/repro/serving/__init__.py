@@ -44,12 +44,16 @@ from repro.serving.service import (
     DEFAULT_MAX_WORKERS,
     DEFAULT_TIMEOUT_S,
     ApproachOutcome,
+    BatchItemOutcome,
+    BatchResult,
     RouteService,
     ServiceResult,
 )
 
 __all__ = [
     "ApproachOutcome",
+    "BatchItemOutcome",
+    "BatchResult",
     "CacheKey",
     "CacheStats",
     "CircuitBreaker",

@@ -35,10 +35,23 @@ import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.cancellation import Deadline, deadline_scope
 from repro.core.base import AlternativeRoutePlanner, RouteSet
+from repro.core.search_context import (
+    SearchContext,
+    SearchContextPool,
+    search_context_scope,
+)
 from repro.demo.query_processor import (
     APPROACH_LABELS,
     DemoQueryResult,
@@ -145,6 +158,52 @@ class ServiceResult:
         )
 
 
+@dataclass(frozen=True)
+class BatchItemOutcome:
+    """What happened to one query of a :meth:`RouteService.plan_many` batch."""
+
+    index: int
+    query: RouteQuery
+    result: Optional[ServiceResult] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """A served batch: per-query outcomes plus shared-context accounting.
+
+    ``context_stats`` is the batch pool's payload — tree hits/misses
+    and the number of distinct snapped sources/targets — or an empty
+    dict when context sharing is disabled on the service.
+    """
+
+    outcomes: Tuple[BatchItemOutcome, ...]
+    elapsed_s: float
+    context_stats: Dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def served(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failed(self) -> int:
+        return len(self.outcomes) - self.served
+
+    def results(self) -> List[ServiceResult]:
+        """The successful results, in input order."""
+        return [o.result for o in self.outcomes if o.result is not None]
+
+
 class RouteService:
     """Cached, concurrent, observable serving over the study planners.
 
@@ -181,6 +240,17 @@ class RouteService:
         timed-out planner frees its pool thread; False restores the
         legacy leak-the-thread behaviour (the chaos benchmark's
         baseline).
+    share_context:
+        When True (default), every query builds one
+        :class:`~repro.core.search_context.SearchContext` and arms it
+        across the whole planner fan-out, so the forward/backward SP
+        trees are computed once per query instead of once per
+        tree-using approach (and once per *batch* origin under
+        :meth:`plan_many`).  False restores the unshared baseline —
+        results are identical either way, only the work differs.
+    breaker_clock:
+        Monotonic time source handed to every circuit breaker;
+        injectable so tests advance cooldowns without real sleeps.
     """
 
     def __init__(
@@ -195,6 +265,8 @@ class RouteService:
         breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
         max_inflight: Optional[int] = DEFAULT_MAX_INFLIGHT,
         propagate_deadline: bool = True,
+        share_context: bool = True,
+        breaker_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError(
@@ -214,6 +286,7 @@ class RouteService:
         self.tracer = tracer if tracer is not None else Tracer()
         self.timeout_s = timeout_s
         self.propagate_deadline = propagate_deadline
+        self.share_context = share_context
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_s = breaker_cooldown_s
         self._gate = InflightGate(max_inflight or None)
@@ -224,6 +297,7 @@ class RouteService:
                     approach,
                     failure_threshold=breaker_threshold,
                     cooldown_s=breaker_cooldown_s,
+                    clock=breaker_clock,
                 )
         self._closed = False
         self._executor = ThreadPoolExecutor(
@@ -283,8 +357,13 @@ class RouteService:
         target_lon: Optional[float] = None,
         approaches: Optional[Tuple[str, ...]] = None,
         k: Optional[int] = None,
+        context_pool: Optional[SearchContextPool] = None,
     ) -> ServiceResult:
         """Serve one query; accepts a :class:`RouteQuery` or raw coords.
+
+        ``context_pool`` shares search-context tree cells across calls
+        (the batch path; see :meth:`plan_many`) — single queries leave
+        it None and get a private per-query context.
 
         Raises :class:`QueryError` when the query is invalid or *every*
         approach failed to produce a usable route; partial planner
@@ -315,7 +394,7 @@ class RouteService:
         try:
             with self.tracer.trace("query", k=query.k) as root:
                 try:
-                    result = self._serve(query)
+                    result = self._serve(query, context_pool=context_pool)
                 except Exception as exc:
                     metrics.inc("queries.failed")
                     logger.warning(
@@ -348,6 +427,63 @@ class RouteService:
             result.cache_hits,
         )
         return result
+
+    def plan_many(self, queries: Iterable[RouteQuery]) -> BatchResult:
+        """Serve a batch of queries with cross-query tree reuse.
+
+        One :class:`~repro.core.search_context.SearchContextPool` backs
+        the whole batch, so queries sharing a snapped origin compute the
+        origin's forward SP tree once (and symmetrically for shared
+        targets) — the tree-reuse batch workload of the
+        shortest-path-stability and route-diversification studies.
+        Each query still runs the full concurrent fan-out, caching,
+        degradation and resilience machinery of :meth:`query`.
+
+        Per-query failures (bad endpoints, overload sheds, every
+        approach failing) are captured as :class:`BatchItemOutcome`
+        error markers instead of aborting the batch.
+        """
+        batch = [
+            query if isinstance(query, RouteQuery) else RouteQuery(*query)
+            for query in queries
+        ]
+        pool = (
+            SearchContextPool(self.processor.network)
+            if self.share_context
+            else None
+        )
+        self.metrics.inc("batch.batches")
+        started = time.perf_counter()
+        outcomes: List[BatchItemOutcome] = []
+        for index, query in enumerate(batch):
+            self.metrics.inc("batch.queries")
+            try:
+                result = self.query(query, context_pool=pool)
+            except Exception as exc:
+                outcomes.append(
+                    BatchItemOutcome(
+                        index=index,
+                        query=query,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            outcomes.append(
+                BatchItemOutcome(index=index, query=query, result=result)
+            )
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("batch.total", elapsed)
+        context_stats = pool.stats_payload() if pool is not None else {}
+        logger.info(
+            "served batch of %d (%d ok) in %.1f ms (tree hits=%s)",
+            len(batch), sum(1 for o in outcomes if o.ok),
+            elapsed * 1000.0, context_stats.get("tree_hits", "n/a"),
+        )
+        return BatchResult(
+            outcomes=tuple(outcomes),
+            elapsed_s=elapsed,
+            context_stats=context_stats,
+        )
 
     def render(self, result: ServiceResult) -> Dict:
         """The webapp payload for a served result (timed render stage)."""
@@ -424,15 +560,22 @@ class RouteService:
         target: int,
         k: Optional[int],
         deadline: Optional[Deadline] = None,
+        context: Optional[SearchContext] = None,
     ) -> RouteSet:
-        if deadline is None:
-            with self.metrics.time(f"stage.plan.{approach}"):
-                return planner.plan(source, target, k=k)
-        # Arm the query's shared deadline in this worker's (copied)
-        # context so the planner's search loops can see and honour it.
-        with deadline_scope(deadline):
-            with self.metrics.time(f"stage.plan.{approach}"):
-                return planner.plan(source, target, k=k)
+        # Arm the query's shared search context ambiently (rather than
+        # passing context= to plan()) so wrapper planners that override
+        # plan() keep working unchanged; planners that cannot use the
+        # shared trees simply never read it.
+        with search_context_scope(context):
+            if deadline is None:
+                with self.metrics.time(f"stage.plan.{approach}"):
+                    return planner.plan(source, target, k=k)
+            # Arm the query's shared deadline in this worker's (copied)
+            # context so the planner's search loops can see and honour
+            # it.
+            with deadline_scope(deadline):
+                with self.metrics.time(f"stage.plan.{approach}"):
+                    return planner.plan(source, target, k=k)
 
     def _annotate_circuit(
         self, approach: str, breaker: CircuitBreaker
@@ -474,7 +617,11 @@ class RouteService:
             if value:
                 self.metrics.inc(f"search.{approach}.{field_name}", value)
 
-    def _serve(self, query: RouteQuery) -> ServiceResult:
+    def _serve(
+        self,
+        query: RouteQuery,
+        context_pool: Optional[SearchContextPool] = None,
+    ) -> ServiceResult:
         metrics = self.metrics
         processor = self.processor
         with tracing_span("snap") as snap_span:
@@ -545,6 +692,21 @@ class RouteService:
             if self.propagate_deadline and admitted
             else None
         )
+        # One search context shared by the whole fan-out: the first
+        # tree-using planner builds each SP tree under the cell lock,
+        # the rest read it.  Pool-backed contexts additionally share
+        # cells across the queries of a batch.
+        search_context: Optional[SearchContext] = None
+        hits_before = misses_before = 0
+        if self.share_context and admitted:
+            if context_pool is not None:
+                search_context = context_pool.context(source, target)
+            else:
+                search_context = SearchContext(
+                    processor.network, source, target
+                )
+            hits_before = search_context.tree_hits
+            misses_before = search_context.tree_misses
         pending = {}
         for approach, key, planner in admitted:
             # Copy the submitting thread's context so the worker's
@@ -554,7 +716,7 @@ class RouteService:
             future = self._executor.submit(
                 context.run,
                 self._plan_one, approach, planner, source, target,
-                query.k, deadline,
+                query.k, deadline, search_context,
             )
             pending[future] = (approach, key, time.perf_counter())
 
@@ -616,6 +778,16 @@ class RouteService:
                 ),
                 elapsed_s=time.perf_counter() - submitted,
             )
+
+        if search_context is not None:
+            # Per-query deltas: pool-backed cells accumulate across a
+            # whole batch, so subtract the pre-fan-out totals.
+            hits = search_context.tree_hits - hits_before
+            misses = search_context.tree_misses - misses_before
+            if hits:
+                metrics.inc("context.tree_hits", hits)
+            if misses:
+                metrics.inc("context.tree_misses", misses)
 
         route_sets = {
             outcome.label: outcome.route_set

@@ -1,0 +1,156 @@
+"""Differential tests: every paper planner on every study city.
+
+The paper compares four approaches on three road networks (Melbourne,
+Dhaka and Copenhagen).  This suite runs every planner from
+:func:`repro.core.registry.paper_planners` over seeded small builds of
+all three cities and checks three differential properties per query:
+
+(a) planning with an explicit :class:`SearchContext` returns a
+    ``RouteSet`` equal to planning without one — tree sharing changes
+    the work, never the answer (``RouteSet`` equality deliberately
+    ignores ``stats``);
+(b) the first route of each academic approach is the Dijkstra shortest
+    path on the display weights (the commercial engine ranks on its
+    private traffic weights, so it is checked against its own ranking
+    convention instead);
+(c) every returned route is a simple path, and approaches that enforce
+    the paper's 1.4 stretch bound stay within it on the display
+    weights (Penalty is unbounded by design; the commercial engine
+    bounds stretch at 1.5 on its private weights).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra, shortest_path_nodes
+from repro.cities import CITY_BUILDERS
+from repro.core import DEFAULT_STRETCH_BOUND, SearchContext, paper_planners
+
+#: Queries exercised per city (kept small: 4 planners x 3 cities).
+PAIRS_PER_CITY = 3
+
+#: Approaches whose first route must be the display-weight shortest
+#: path.  "Google Maps" plans and ranks on private traffic weights.
+ACADEMIC_APPROACHES = ("Plateaus", "Dissimilarity", "Penalty")
+
+#: Display-weight stretch bounds the suite may assert per approach.
+#: None means the approach gives no display-weight guarantee.
+STRETCH_BOUNDS = {
+    "Plateaus": DEFAULT_STRETCH_BOUND,
+    "Dissimilarity": DEFAULT_STRETCH_BOUND,
+    "Penalty": None,
+    "Google Maps": None,
+}
+
+_EPS = 1e-6
+
+
+def _routable_pairs(network, count=PAIRS_PER_CITY, seed=0):
+    """Deterministic, reasonably distant, connected s-t pairs."""
+    rng = random.Random(f"differential:{network.name}:{seed}")
+    pairs = []
+    attempts = 0
+    while len(pairs) < count:
+        attempts += 1
+        assert attempts < 500, "could not find routable pairs"
+        source = network.node(rng.randrange(network.num_nodes)).id
+        tree = dijkstra(network, source)
+        reachable = [
+            node.id
+            for node in network.nodes()
+            if node.id != source and tree.reachable(node.id)
+        ]
+        if len(reachable) < 10:
+            continue
+        # A distant target makes the alternatives non-trivial.
+        target = max(reachable, key=tree.distance)
+        if (source, target) not in pairs:
+            pairs.append((source, target))
+    return pairs
+
+
+@pytest.fixture(scope="module", params=sorted(CITY_BUILDERS))
+def city(request):
+    """(name, network, planners, query pairs) for one study city."""
+    name = request.param
+    network = CITY_BUILDERS[name](size="small", seed=0)
+    return name, network, paper_planners(network), _routable_pairs(network)
+
+
+@pytest.mark.parametrize("approach", sorted(STRETCH_BOUNDS))
+def test_context_and_plain_plans_are_identical(city, approach):
+    """(a) plan(context=ctx) == plan() for every planner and city."""
+    _name, network, planners, pairs = city
+    planner = planners[approach]
+    for source, target in pairs:
+        plain = planner.plan(source, target)
+        context = SearchContext(network, source, target)
+        shared = planner.plan(source, target, context=context)
+        assert shared == plain
+        # Route-for-route identity, not just set-level equality.
+        for before, after in zip(plain, shared):
+            assert before.nodes == after.nodes
+            assert before.edge_ids == after.edge_ids
+
+
+def test_tree_planners_actually_use_the_context(city):
+    """The tree-using approaches consume (not just tolerate) the context."""
+    _name, network, planners, pairs = city
+    source, target = pairs[0]
+    for approach in ("Plateaus", "Dissimilarity"):
+        context = SearchContext(network, source, target)
+        planners[approach].plan(source, target, context=context)
+        assert context.tree_misses == 2  # built both trees once ...
+        planners[approach].plan(source, target, context=context)
+        assert context.tree_hits >= 2  # ... and reused them after
+
+
+@pytest.mark.parametrize("approach", ACADEMIC_APPROACHES)
+def test_first_route_is_the_shortest_path(city, approach):
+    """(b) the top-ranked route is the display-weight Dijkstra path."""
+    _name, network, planners, pairs = city
+    planner = planners[approach]
+    for source, target in pairs:
+        route_set = planner.plan(source, target)
+        assert not route_set.is_empty
+        expected = shortest_path_nodes(network, source, target)
+        assert list(route_set[0].nodes) == expected
+
+
+def test_commercial_first_route_is_its_own_fastest(city):
+    """The commercial engine ranks fastest-first on its private weights."""
+    _name, _network, planners, pairs = city
+    for source, target in pairs:
+        route_set = planners["Google Maps"].plan(source, target)
+        assert not route_set.is_empty
+        times = [route.travel_time_s for route in route_set]
+        assert times[0] == pytest.approx(min(times))
+
+
+@pytest.mark.parametrize("approach", sorted(STRETCH_BOUNDS))
+def test_routes_are_simple_and_within_stretch(city, approach):
+    """(c) simple paths; bounded approaches honour the 1.4 stretch."""
+    _name, network, planners, pairs = city
+    planner = planners[approach]
+    bound = STRETCH_BOUNDS[approach]
+    weights = network.default_weights()
+    for source, target in pairs:
+        route_set = planner.plan(source, target)
+        assert not route_set.is_empty
+        optimal = min(
+            route.travel_time_on(weights) for route in route_set
+        )
+        for route in route_set:
+            assert route.is_simple(), (
+                f"{approach} returned a non-simple route "
+                f"{source} -> {target}"
+            )
+            if bound is not None:
+                stretch = route.travel_time_on(weights) / optimal
+                assert stretch <= bound + _EPS, (
+                    f"{approach} route stretches {stretch:.3f}x "
+                    f"(> {bound}) for {source} -> {target}"
+                )

@@ -1,0 +1,227 @@
+"""Unit tests for the shared per-query search context layer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.cancellation import Deadline, deadline_scope
+from repro.core.search_context import (
+    SearchContext,
+    SearchContextPool,
+    active_search_context,
+    search_context_scope,
+    trees_for_query,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    DisconnectedError,
+    PlanningTimeout,
+)
+from repro.graph.builder import RoadNetworkBuilder, grid_network
+from repro.observability.search import collect_search_stats
+
+
+def build_split_network():
+    """Two components: 0-1-2 connected, 3 isolated."""
+    builder = RoadNetworkBuilder(name="split")
+    for node_id, (lat, lon) in enumerate(
+        [(0.0, 0.0), (0.0, 0.001), (0.0, 0.002), (1.0, 1.0)]
+    ):
+        builder.add_node(node_id, lat, lon)
+    builder.add_edge(0, 1, length_m=100, travel_time_s=10,
+                     bidirectional=True)
+    builder.add_edge(1, 2, length_m=100, travel_time_s=10,
+                     bidirectional=True)
+    return builder.build()
+
+
+class TestSearchContext:
+    def test_lazy_build_and_memoization(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        assert context.tree_misses == 0  # nothing built yet
+        first = context.forward_tree()
+        assert context.tree_misses == 1
+        assert context.forward_tree() is first
+        assert context.tree_hits == 1
+        backward = context.backward_tree()
+        assert backward is context.backward_tree()
+        assert context.tree_misses == 2
+
+    def test_trees_match_raw_dijkstra(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        forward, backward = context.trees()
+        raw_forward = dijkstra(grid10, 0, forward=True)
+        raw_backward = dijkstra(grid10, 99, forward=False)
+        for node in grid10.nodes():
+            assert forward.distance(node.id) == pytest.approx(
+                raw_forward.distance(node.id)
+            )
+            assert backward.distance(node.id) == pytest.approx(
+                raw_backward.distance(node.id)
+            )
+
+    def test_shortest_path_roundtrip(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        path = context.shortest_path()
+        assert path.source == 0
+        assert path.target == 99
+        assert path.travel_time_s == pytest.approx(
+            context.shortest_path_time()
+        )
+
+    def test_rejects_degenerate_queries(self, grid10):
+        with pytest.raises(ConfigurationError):
+            SearchContext(grid10, 5, 5)
+        with pytest.raises(KeyError):
+            SearchContext(grid10, 0, 10_000)
+
+    def test_disconnected_pair_raises(self):
+        network = build_split_network()
+        context = SearchContext(network, 0, 3)
+        with pytest.raises(DisconnectedError):
+            context.trees()
+        with pytest.raises(DisconnectedError):
+            context.shortest_path()
+
+    def test_matches(self, grid10, melbourne_small):
+        context = SearchContext(grid10, 0, 99)
+        assert context.matches(grid10, 0, 99)
+        assert not context.matches(grid10, 0, 98)
+        assert not context.matches(melbourne_small, 0, 99)
+
+    def test_failed_build_caches_nothing(self):
+        # Dijkstra's deadline check is strided (every 1024 settles), so
+        # a cancellable build needs a network larger than the stride.
+        network = grid_network(40, 40)
+        context = SearchContext(network, 0, network.num_nodes - 1)
+        expired = Deadline.after(60.0)
+        expired.cancel()
+        with deadline_scope(expired):
+            with pytest.raises(PlanningTimeout):
+                context.forward_tree()
+        # The poisoned build was not cached; a fresh call succeeds.
+        assert context.forward_tree().reachable(network.num_nodes - 1)
+
+    def test_stats_payload(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        context.trees()
+        payload = context.stats_payload()
+        assert payload["tree_misses"] == 2
+        assert payload["forward_built"] and payload["backward_built"]
+
+    def test_hit_miss_counters_flow_into_search_stats(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        with collect_search_stats() as stats:
+            with search_context_scope(context):
+                trees_for_query(grid10, 0, 99)
+                trees_for_query(grid10, 0, 99)
+        assert stats.context_tree_misses == 2
+        assert stats.context_tree_hits == 2
+
+    def test_concurrent_access_builds_each_tree_once(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        trees = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            trees.append(context.trees())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert context.tree_misses == 2
+        assert context.tree_hits == 2 * 8 - 2
+        assert all(pair[0] is trees[0][0] for pair in trees)
+
+
+class TestTreesForQuery:
+    def test_without_context_builds_fresh(self, grid10):
+        forward, backward = trees_for_query(grid10, 0, 99)
+        assert forward.reachable(99)
+        assert backward.reachable(0)
+
+    def test_disconnected_raises_without_context(self):
+        network = build_split_network()
+        with pytest.raises(DisconnectedError):
+            trees_for_query(network, 0, 3)
+
+    def test_matching_context_is_used(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        with search_context_scope(context):
+            forward, _backward = trees_for_query(grid10, 0, 99)
+        assert forward is context.forward_tree()
+        assert context.tree_misses == 2
+
+    def test_mismatched_context_is_ignored(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        with search_context_scope(context):
+            trees_for_query(grid10, 1, 99)  # different source
+        assert context.tree_misses == 0  # untouched
+
+
+class TestScope:
+    def test_scope_arms_and_restores(self, grid10):
+        context = SearchContext(grid10, 0, 99)
+        assert active_search_context() is None
+        with search_context_scope(context):
+            assert active_search_context() is context
+        assert active_search_context() is None
+
+    def test_none_scope_keeps_outer_context(self, grid10):
+        outer = SearchContext(grid10, 0, 99)
+        with search_context_scope(outer):
+            with search_context_scope(None):
+                assert active_search_context() is outer
+
+
+class TestSearchContextPool:
+    def test_contexts_share_cells_by_endpoint(self, grid10):
+        pool = SearchContextPool(grid10)
+        first = pool.context(0, 99)
+        second = pool.context(0, 98)  # same source, new target
+        first.forward_tree()
+        assert second.forward_tree() is first.forward_tree()
+        assert pool.tree_misses == 1
+        assert pool.tree_hits == 2
+
+    def test_stats_payload_counts_distinct_endpoints(self, grid10):
+        pool = SearchContextPool(grid10)
+        pool.context(0, 99).trees()
+        pool.context(0, 98).trees()
+        pool.context(1, 99).trees()
+        payload = pool.stats_payload()
+        assert payload["distinct_sources"] == 2
+        assert payload["distinct_targets"] == 2
+        # 3 queries x 2 trees = 6 lookups over 4 distinct trees.
+        assert payload["tree_misses"] == 4
+        assert payload["tree_hits"] == 2
+
+
+class TestPlannerIntegration:
+    def test_plan_rejects_mismatched_context(self, grid10):
+        from repro.core import PlateauPlanner
+
+        planner = PlateauPlanner(grid10)
+        context = SearchContext(grid10, 0, 98)
+        with pytest.raises(ConfigurationError):
+            planner.plan(0, 99, context=context)
+
+    def test_plan_with_context_reuses_trees(self, grid10):
+        from repro.core import PlateauPlanner
+
+        planner = PlateauPlanner(grid10)
+        context = SearchContext(grid10, 0, 99)
+        baseline = planner.plan(0, 99)
+        shared = planner.plan(0, 99, context=context)
+        assert shared == baseline
+        assert context.tree_misses == 2
+        assert shared.stats.context_tree_misses == 2
+        again = planner.plan(0, 99, context=context)
+        assert again == baseline
+        assert again.stats.context_tree_hits == 2

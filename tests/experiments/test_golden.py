@@ -1,0 +1,90 @@
+"""Golden regression tests: byte-exact Table 1-3 outputs.
+
+The study simulation is deterministic per (city, size, seed, config),
+so the formatted tables for a pinned small-seed configuration are
+committed under ``tests/experiments/golden/`` and every run must
+reproduce them byte for byte.  A drifting golden means a behavioural
+change somewhere in the pipeline — city generation, planning, rating
+simulation or table formatting — that must be reviewed (and, when
+intended, re-blessed).
+
+To re-bless after an intended change::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/experiments/test_golden.py
+    git diff tests/experiments/golden/   # review before committing
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_study, table1, table2, table3
+from repro.study import StudyConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The pinned configuration: small quotas keep the study fast while
+#: still filling every (residency, distance-bin) cell of the tables.
+GOLDEN_QUOTAS = {
+    (True, "small"): 4,
+    (True, "medium"): 5,
+    (True, "long"): 3,
+    (False, "small"): 3,
+    (False, "medium"): 3,
+    (False, "long"): 3,
+}
+GOLDEN_CITY = "melbourne"
+GOLDEN_SIZE = "small"
+GOLDEN_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def golden_results():
+    config = StudyConfig(
+        quotas=GOLDEN_QUOTAS, seed=GOLDEN_SEED, calibration_samples=40
+    )
+    return run_study(
+        city=GOLDEN_CITY,
+        size=GOLDEN_SIZE,
+        seed=GOLDEN_SEED,
+        config=config,
+        use_cache=False,
+    )
+
+
+def _check_golden(name: str, text: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    assert path.exists(), (
+        f"golden file {path} missing; run with REPRO_UPDATE_GOLDEN=1 "
+        "to create it"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert text == expected, (
+        f"{name} drifted from its golden copy; if the change is "
+        "intended, re-bless with REPRO_UPDATE_GOLDEN=1 and review "
+        "the diff"
+    )
+
+
+def test_table1_matches_golden(golden_results):
+    _check_golden("table1.txt", table1(golden_results).formatted() + "\n")
+
+
+def test_table2_matches_golden(golden_results):
+    _check_golden("table2.txt", table2(golden_results).formatted() + "\n")
+
+
+def test_table3_matches_golden(golden_results):
+    _check_golden("table3.txt", table3(golden_results).formatted() + "\n")
+
+
+def test_goldens_are_all_tracked():
+    """No stray files: the golden directory holds exactly the tables."""
+    names = sorted(p.name for p in GOLDEN_DIR.glob("*.txt"))
+    assert names == ["table1.txt", "table2.txt", "table3.txt"]

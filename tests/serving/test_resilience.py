@@ -354,11 +354,13 @@ class TestServiceResilience:
         self, grid_processor, grid_query, stub_planners
     ):
         stub_planners["Plateaus"].fail = True
+        clock = FakeClock()
         service = RouteService(
             grid_processor,
             cache_size=0,
             breaker_threshold=2,
-            breaker_cooldown_s=0.1,
+            breaker_cooldown_s=30.0,
+            breaker_clock=clock,
         )
         try:
             for _ in range(2):
@@ -376,9 +378,10 @@ class TestServiceResilience:
             assert counters["plan.rejected.Plateaus"] == 1
             assert counters["circuit.opened.Plateaus"] == 1
 
-            # After the cooldown the half-open probe heals the circuit.
+            # After the cooldown the half-open probe heals the circuit;
+            # the injected clock advances past it with no real sleep.
             stub_planners["Plateaus"].fail = False
-            time.sleep(0.15)
+            clock.advance(31.0)
             result = service.query(grid_query)
             assert "B" in result.route_sets
             snapshot = service.circuits_payload()["Plateaus"]

@@ -1,0 +1,227 @@
+"""Property-based tests for the shared search-context layer.
+
+Metamorphic properties on randomly generated strongly connected
+networks: a :class:`SearchContext`'s memoized trees must be
+indistinguishable from freshly built ones, forward/backward tree
+distances must satisfy the s-t duality and triangle relations, path
+reconstruction must round-trip, and the tree-reusing planners must
+return identical routes with and without a context — on *every*
+network, not just the seeded city builds the differential suite pins.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import dijkstra, shortest_path
+from repro.core import DissimilarityPlanner, PlateauPlanner
+from repro.core.search_context import (
+    SearchContext,
+    SearchContextPool,
+    search_context_scope,
+    trees_for_query,
+)
+from repro.graph.builder import RoadNetworkBuilder
+
+
+@st.composite
+def road_networks(draw):
+    """A strongly connected random network of 6-20 nodes."""
+    n = draw(st.integers(min_value=6, max_value=20))
+    rng_seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(f"ctxnet:{rng_seed}")
+    builder = RoadNetworkBuilder(name=f"ctx-prop-{rng_seed}")
+    for node_id in range(n):
+        builder.add_node(
+            node_id,
+            rng.uniform(-0.05, 0.05),
+            rng.uniform(-0.05, 0.05),
+        )
+    # Ring guarantees strong connectivity.
+    for node_id in range(n):
+        builder.add_edge(
+            node_id,
+            (node_id + 1) % n,
+            length_m=rng.uniform(50.0, 500.0),
+            travel_time_s=rng.uniform(1.0, 50.0),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            builder.add_edge(
+                u,
+                v,
+                length_m=rng.uniform(50.0, 500.0),
+                travel_time_s=rng.uniform(1.0, 50.0),
+            )
+    return builder.build()
+
+
+query = st.tuples(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.integers(min_value=0, max_value=1_000_000),
+)
+
+
+def pick_pair(network, raw):
+    s = raw[0] % network.num_nodes
+    t = raw[1] % network.num_nodes
+    if s == t:
+        t = (t + 1) % network.num_nodes
+    return s, t
+
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestContextTreeProperties:
+    @common_settings
+    @given(road_networks(), query)
+    def test_memoized_trees_equal_fresh_trees(self, network, raw):
+        """The context's trees are the trees — distance-for-distance."""
+        s, t = pick_pair(network, raw)
+        context = SearchContext(network, s, t)
+        forward, backward = context.trees()
+        fresh_forward = dijkstra(network, s, forward=True)
+        fresh_backward = dijkstra(network, t, forward=False)
+        for v in range(network.num_nodes):
+            assert forward.distance(v) == pytest.approx(
+                fresh_forward.distance(v)
+            )
+            assert backward.distance(v) == pytest.approx(
+                fresh_backward.distance(v)
+            )
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_forward_backward_duality(self, network, raw):
+        """forward dist at t == backward dist at s == sp time."""
+        s, t = pick_pair(network, raw)
+        context = SearchContext(network, s, t)
+        forward, backward = context.trees()
+        assert forward.distance(t) == pytest.approx(backward.distance(s))
+        assert context.shortest_path_time() == pytest.approx(
+            forward.distance(t)
+        )
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_via_node_triangle_inequality(self, network, raw):
+        """d(s, v) + d(v, t) >= d(s, t) for every via node v, with
+        equality on the shortest path's own nodes — the inequality the
+        plateau and via-node methods are built on."""
+        s, t = pick_pair(network, raw)
+        context = SearchContext(network, s, t)
+        forward, backward = context.trees()
+        optimal = context.shortest_path_time()
+        for v in range(network.num_nodes):
+            through = forward.distance(v) + backward.distance(v)
+            if math.isinf(through):
+                continue
+            assert through >= optimal - 1e-9
+        for v in context.shortest_path().nodes:
+            through = forward.distance(v) + backward.distance(v)
+            assert through == pytest.approx(optimal)
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_path_reconstruction_roundtrip(self, network, raw):
+        """The context's reconstructed shortest path is the real one."""
+        s, t = pick_pair(network, raw)
+        context = SearchContext(network, s, t)
+        path = context.shortest_path()
+        reference = shortest_path(network, s, t)
+        assert path.source == s and path.target == t
+        assert path.is_simple()
+        assert path.travel_time_s == pytest.approx(
+            reference.travel_time_s
+        )
+        # Re-pricing the reconstructed path gives the tree distance.
+        assert path.travel_time_on(
+            network.default_weights()
+        ) == pytest.approx(context.shortest_path_time())
+
+
+class TestTreesForQueryProperties:
+    @common_settings
+    @given(road_networks(), query)
+    def test_ambient_context_changes_nothing(self, network, raw):
+        """trees_for_query with an armed context == without one."""
+        s, t = pick_pair(network, raw)
+        bare_forward, bare_backward = trees_for_query(network, s, t)
+        context = SearchContext(network, s, t)
+        with search_context_scope(context):
+            ctx_forward, ctx_backward = trees_for_query(network, s, t)
+        for v in range(network.num_nodes):
+            assert ctx_forward.distance(v) == pytest.approx(
+                bare_forward.distance(v)
+            )
+            assert ctx_backward.distance(v) == pytest.approx(
+                bare_backward.distance(v)
+            )
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_pool_context_equals_private_context(self, network, raw):
+        """Pool-backed cells answer exactly like private ones."""
+        s, t = pick_pair(network, raw)
+        pooled = SearchContextPool(network).context(s, t)
+        private = SearchContext(network, s, t)
+        assert pooled.shortest_path_time() == pytest.approx(
+            private.shortest_path_time()
+        )
+        assert list(pooled.shortest_path().nodes) == list(
+            private.shortest_path().nodes
+        )
+
+
+class TestPlannerMetamorphic:
+    @common_settings
+    @given(road_networks(), query)
+    def test_plateau_context_equivalence(self, network, raw):
+        """plan(context=ctx) is plan() for Plateaus, on any network."""
+        s, t = pick_pair(network, raw)
+        planner = PlateauPlanner(network, k=3)
+        plain = planner.plan(s, t)
+        context = SearchContext(network, s, t)
+        shared = planner.plan(s, t, context=context)
+        assert shared == plain
+        assert context.tree_misses == 2
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_dissimilarity_context_equivalence(self, network, raw):
+        """plan(context=ctx) is plan() for Dissimilarity too."""
+        s, t = pick_pair(network, raw)
+        planner = DissimilarityPlanner(network, k=3, theta=0.5)
+        plain = planner.plan(s, t)
+        context = SearchContext(network, s, t)
+        shared = planner.plan(s, t, context=context)
+        assert shared == plain
+
+    @common_settings
+    @given(road_networks(), query)
+    def test_shared_context_across_planners_stays_correct(
+        self, network, raw
+    ):
+        """One context serving both tree planners (the service's
+        fan-out pattern) still reproduces each planner's solo answer."""
+        s, t = pick_pair(network, raw)
+        plateaus = PlateauPlanner(network, k=3)
+        dissim = DissimilarityPlanner(network, k=3, theta=0.5)
+        solo_plateaus = plateaus.plan(s, t)
+        solo_dissim = dissim.plan(s, t)
+        context = SearchContext(network, s, t)
+        assert plateaus.plan(s, t, context=context) == solo_plateaus
+        assert dissim.plan(s, t, context=context) == solo_dissim
+        # Both trees were built exactly once between the two planners.
+        assert context.tree_misses == 2
+        assert context.tree_hits == 2
