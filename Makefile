@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-chaos examples report clean
+.PHONY: install test bench bench-serving bench-chaos bench-csr examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,9 @@ bench-serving:
 
 bench-chaos:
 	$(PYTHON) -m pytest benchmarks/bench_chaos.py -q
+
+bench-csr:
+	$(PYTHON) -m pytest benchmarks/bench_csr.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py

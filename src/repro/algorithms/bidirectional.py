@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
+from repro.observability.search import active_search_stats
 
 
 def bidirectional_dijkstra(
@@ -53,6 +54,8 @@ def bidirectional_dijkstra(
 
     best_cost = math.inf
     meeting_node = -1
+    expanded = 0  # settled pops across both sides, for SearchStats
+    relaxed = 0  # arcs scanned across both sides, for SearchStats
 
     while heaps[0] and heaps[1]:
         # Always advance the side with the smaller frontier radius.
@@ -61,6 +64,7 @@ def bidirectional_dijkstra(
         if settled[side][u]:
             continue
         settled[side][u] = True
+        expanded += 1
         other = 1 - side
         # Termination: once the two radii together exceed the best
         # connection found, no better meeting point can appear.
@@ -69,6 +73,7 @@ def bidirectional_dijkstra(
         for edge_id in adjacency[side][u]:
             edge = edges[edge_id]
             v = edge.v if side == 0 else edge.u
+            relaxed += 1
             weight = w[edge_id]
             if weight < 0:
                 raise ConfigurationError(
@@ -85,6 +90,11 @@ def bidirectional_dijkstra(
                 if candidate < best_cost:
                     best_cost = candidate
                     meeting_node = v
+
+    stats = active_search_stats()
+    if stats is not None:
+        stats.nodes_expanded += expanded
+        stats.edges_relaxed += relaxed
 
     if meeting_node < 0:
         raise DisconnectedError(source, target)

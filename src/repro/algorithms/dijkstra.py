@@ -137,11 +137,42 @@ def shortest_path_nodes(
 ) -> List[int]:
     """Return the node sequence of the shortest s-t path.
 
+    Default-weight queries on a network with an attached
+    :class:`~repro.graph.csr.CsrGraph` run on the flat CSR kernel — and,
+    when a landmark table is attached too, on the goal-directed ALT
+    kernel, which expands far fewer nodes for the same optimal cost.
+    Custom weight vectors always take the reference kernel: the CSR
+    weight arrays and landmark tables are priced on default travel
+    times only.
+
     Raises :class:`DisconnectedError` when no path exists.
     """
     if source == target:
         raise ConfigurationError("source and target must differ")
+    if weights is None:
+        # Lazy import: repro.graph.csr imports algorithms.sp_tree, so a
+        # module-level import here would be circular.
+        from repro.graph.csr import attached_csr, csr_dijkstra
+
+        csr = attached_csr(network)
+        if csr is not None:
+            if csr.landmarks is not None:
+                from repro.core.alt import alt_shortest_path_nodes
+
+                return alt_shortest_path_nodes(network, csr, source, target)
+            tree = csr_dijkstra(network, csr, source, target=target)
+            return _unwind(network, tree, source, target)
     tree = dijkstra(network, source, weights=weights, target=target)
+    return _unwind(network, tree, source, target)
+
+
+def _unwind(
+    network: RoadNetwork,
+    tree: ShortestPathTree,
+    source: int,
+    target: int,
+) -> List[int]:
+    """Walk parent edges target -> source into a node sequence."""
     if not tree.reachable(target):
         raise DisconnectedError(source, target)
     nodes = [target]

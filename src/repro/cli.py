@@ -3,6 +3,7 @@
 Commands
 --------
 ``build-city``   generate a synthetic city and save it (CSV or JSON)
+``snapshot``     build or inspect a binary network snapshot
 ``plan``         print the alternative routes for one query
 ``batch``        serve a file of queries through one shared-tree batch
 ``study``        run the user-study simulation and print the tables
@@ -52,6 +53,27 @@ def _cmd_build_city(args) -> int:
             f"wrote {args.out} ({network.num_nodes} nodes, "
             f"{network.num_edges} edges)"
         )
+    return 0
+
+
+def _cmd_snapshot_build(args) -> int:
+    from repro.graph.csr import save_snapshot
+
+    network = _build_network(args)
+    save_snapshot(network, args.out)
+    print(
+        f"wrote {args.out} ({network.num_nodes} nodes, "
+        f"{network.num_edges} edges)"
+    )
+    return 0
+
+
+def _cmd_snapshot_info(args) -> int:
+    from repro.graph.csr import snapshot_info
+
+    info = snapshot_info(args.path)
+    for key in ("name", "version", "num_nodes", "num_edges", "file_bytes"):
+        print(f"{key}: {info[key]}")
     return 0
 
 
@@ -207,7 +229,11 @@ def _cmd_demo(args) -> int:
     from repro.serving import RouteService
 
     network = _build_network(args)
-    processor = QueryProcessor(network, traffic_seed=args.seed)
+    processor = QueryProcessor(
+        network,
+        traffic_seed=args.seed,
+        precompute_landmarks=args.precompute_landmarks,
+    )
     service = RouteService(
         processor,
         cache_size=args.cache_size,
@@ -296,6 +322,27 @@ def build_parser() -> argparse.ArgumentParser:
     build_city.add_argument("--out", required=True)
     build_city.set_defaults(handler=_cmd_build_city)
 
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="build or inspect a binary network snapshot",
+    )
+    snapshot_commands = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    snapshot_build = snapshot_commands.add_parser(
+        "build",
+        help="generate a city and save it as a binary snapshot "
+        "(loads orders of magnitude faster than CSV/JSON)",
+    )
+    _add_network_arguments(snapshot_build)
+    snapshot_build.add_argument("--out", required=True)
+    snapshot_build.set_defaults(handler=_cmd_snapshot_build)
+    snapshot_info = snapshot_commands.add_parser(
+        "info", help="print a snapshot's header without loading it"
+    )
+    snapshot_info.add_argument("path")
+    snapshot_info.set_defaults(handler=_cmd_snapshot_info)
+
     plan = commands.add_parser(
         "plan", help="plan alternative routes for one query"
     )
@@ -365,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-inflight", type=int, default=64,
         help="concurrent queries admitted before shedding with 503 "
         "(0 disables admission control)",
+    )
+    demo.add_argument(
+        "--precompute-landmarks", type=int, default=0,
+        help="build the CSR view and this many ALT landmarks at "
+        "startup for goal-directed single-route queries (0 disables)",
     )
     demo.add_argument(
         "--dump-traces", action="store_true",

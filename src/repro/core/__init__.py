@@ -19,6 +19,14 @@ stages in :mod:`repro.core.filters`.
 """
 
 from repro.core.admissible import AdmissibleAlternativesPlanner
+from repro.core.alt import (
+    DEFAULT_NUM_LANDMARKS,
+    LandmarkTable,
+    alt_shortest_path_nodes,
+    build_landmarks,
+    ensure_landmarks,
+    select_landmarks,
+)
 from repro.core.base import (
     DEFAULT_K,
     DEFAULT_STRETCH_BOUND,
@@ -55,6 +63,7 @@ from repro.core.search_context import (
     SearchContext,
     SearchContextPool,
     active_search_context,
+    build_tree,
     search_context_scope,
     trees_for_query,
 )
@@ -78,11 +87,13 @@ __all__ = [
     "AdmissibleAlternativesPlanner",
     "AlternativeRouteGraph",
     "DEFAULT_K",
+    "DEFAULT_NUM_LANDMARKS",
     "DEFAULT_PENALTY_FACTOR",
     "DEFAULT_STRETCH_BOUND",
     "DEFAULT_THETA",
     "AlternativeRoutePlanner",
     "CommercialEngine",
+    "LandmarkTable",
     "DetourFilter",
     "DissimilarityPlanner",
     "FewerTurnsRanker",
@@ -108,7 +119,11 @@ __all__ = [
     "YenPlanner",
     "active_search_context",
     "admit_all",
+    "alt_shortest_path_nodes",
     "available_planners",
+    "build_landmarks",
+    "build_tree",
+    "ensure_landmarks",
     "combine_rules",
     "find_plateaus",
     "make_dissimilarity_rule",
@@ -120,6 +135,7 @@ __all__ = [
     "plateau_route",
     "register_planner",
     "search_context_scope",
+    "select_landmarks",
     "trees_for_query",
     "yen_k_shortest_paths",
 ]

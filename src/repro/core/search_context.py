@@ -53,6 +53,33 @@ from repro.graph.path import Path
 from repro.observability.search import active_search_stats
 
 
+def build_tree(
+    network: RoadNetwork,
+    root: int,
+    weights: Optional[Sequence[float]] = None,
+    forward: bool = True,
+) -> ShortestPathTree:
+    """One full shortest-path tree, on the fastest kernel available.
+
+    Default-weight builds on a network with an attached
+    :class:`~repro.graph.csr.CsrGraph` use the flat CSR kernel; the
+    result is identical to :func:`~repro.algorithms.dijkstra.dijkstra`
+    (same arc order, same tie-breaking), just faster.  Custom weight
+    vectors always use the reference kernel — the CSR weight arrays are
+    priced on default travel times only.
+    """
+    if weights is None:
+        # Lazy import: repro.graph.csr imports algorithms.sp_tree; an
+        # import at module level here would be circular through
+        # repro.core.__init__.
+        from repro.graph.csr import attached_csr, csr_dijkstra
+
+        csr = attached_csr(network)
+        if csr is not None:
+            return csr_dijkstra(network, csr, root, forward=forward)
+    return dijkstra(network, root, weights=weights, forward=forward)
+
+
 class _TreeCell:
     """A lazily built, lock-protected, build-once shortest-path tree."""
 
@@ -129,14 +156,14 @@ class SearchContext:
         self.weights = weights
         self._forward = _forward_cell if _forward_cell is not None else (
             _TreeCell(
-                lambda: dijkstra(network, source, weights=weights,
-                                 forward=True)
+                lambda: build_tree(network, source, weights=weights,
+                                   forward=True)
             )
         )
         self._backward = _backward_cell if _backward_cell is not None else (
             _TreeCell(
-                lambda: dijkstra(network, target, weights=weights,
-                                 forward=False)
+                lambda: build_tree(network, target, weights=weights,
+                                   forward=False)
             )
         )
 
@@ -232,15 +259,15 @@ class SearchContextPool:
             forward = self._forward_cells.get(source)
             if forward is None:
                 forward = _TreeCell(
-                    lambda: dijkstra(network, source, weights=weights,
-                                     forward=True)
+                    lambda: build_tree(network, source, weights=weights,
+                                       forward=True)
                 )
                 self._forward_cells[source] = forward
             backward = self._backward_cells.get(target)
             if backward is None:
                 backward = _TreeCell(
-                    lambda: dijkstra(network, target, weights=weights,
-                                     forward=False)
+                    lambda: build_tree(network, target, weights=weights,
+                                       forward=False)
                 )
                 self._backward_cells[target] = backward
         return SearchContext(
@@ -316,8 +343,8 @@ def trees_for_query(
     context = active_search_context()
     if context is not None and context.matches(network, source, target):
         return context.trees()
-    forward = dijkstra(network, source, forward=True)
-    backward = dijkstra(network, target, forward=False)
+    forward = build_tree(network, source, forward=True)
+    backward = build_tree(network, target, forward=False)
     if not forward.reachable(target):
         raise DisconnectedError(source, target)
     return forward, backward

@@ -53,6 +53,15 @@ class DisconnectedError(GraphError):
         return f"no path from node {self.source!r} to node {self.target!r}"
 
 
+class SnapshotError(GraphError):
+    """A binary network snapshot is malformed.
+
+    Raised by :mod:`repro.graph.csr` for truncated files, wrong magic
+    bytes and unsupported format versions — instead of letting
+    ``struct``/``array`` unpack garbage into a half-built network.
+    """
+
+
 class OSMError(ReproError):
     """Base class for OpenStreetMap data handling errors."""
 

@@ -26,8 +26,20 @@ class RoadNetworkBuilder:
 
     # -- construction -------------------------------------------------------
 
-    def add_node(self, external_id: int, lat: float, lon: float) -> int:
+    def add_node(
+        self,
+        external_id: int,
+        lat: float,
+        lon: float,
+        osm_id: Optional[int] = None,
+    ) -> int:
         """Register a vertex; returns its dense internal id.
+
+        ``osm_id`` records the vertex's provenance id when it differs
+        from ``external_id`` — deserialisers key nodes by their dense
+        ids but must preserve the original OSM ids.  By default the
+        external id doubles as the provenance id, matching the OSM
+        constructor's usage.
 
         Re-adding an existing external id is an error when the
         coordinates differ, and a harmless no-op otherwise.
@@ -43,7 +55,12 @@ class RoadNetworkBuilder:
         internal = len(self._nodes)
         self._id_map[external_id] = internal
         self._nodes.append(
-            Node(id=internal, lat=lat, lon=lon, osm_id=external_id)
+            Node(
+                id=internal,
+                lat=lat,
+                lon=lon,
+                osm_id=external_id if osm_id is None else osm_id,
+            )
         )
         return internal
 

@@ -1,0 +1,511 @@
+"""Compressed-sparse-row view of :class:`RoadNetwork` + binary snapshots.
+
+Every planner ultimately bottlenecks on Dijkstra expansions over the
+network's list-of-lists adjacency.  :class:`CsrGraph` flattens that
+adjacency into ``array``-module offset/target/weight arrays — forward
+and backward — so the hot loop indexes contiguous C buffers instead of
+chasing ``Edge`` objects.  :func:`csr_dijkstra` is the kernel over that
+view: relaxation-for-relaxation identical to
+:func:`repro.algorithms.dijkstra.dijkstra` (same adjacency order, same
+strict comparisons, same heap discipline), so trees — distances *and*
+parent edges — are byte-identical between the two kernels.  The
+differential tier (``tests/core/test_csr_differential.py``) and the
+fuzz tier (``tests/test_properties_csr.py``) pin that equivalence.
+
+The view is built once and cached on the network
+(:func:`ensure_csr`); code that merely wants to *use* an existing view
+asks :func:`attached_csr`, which never builds.  The dispatch points —
+``search_context.trees_for_query``, ``SearchContext`` tree cells and
+the single-pair entry points in :mod:`repro.algorithms.dijkstra` — all
+fall back to the pure-Python kernel when nothing is attached, so
+behaviour without a CSR view is exactly the pre-CSR library.
+
+Snapshots
+---------
+:func:`save_snapshot`/:func:`load_snapshot` serialise a network to a
+compact little-endian binary format (magic ``RPRN``, version 1) that
+round-trips nodes, edges and all per-edge metadata far faster than the
+CSV/JSON paths: coordinates and weights are dumped as raw ``array``
+buffers, and the highway/name strings go through a shared string
+table.  Malformed files — bad magic, unsupported version, truncation —
+raise :class:`~repro.exceptions.SnapshotError` instead of unpacking
+garbage.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import struct
+import sys
+from array import array
+from pathlib import Path as FilePath
+from typing import BinaryIO, List, Optional, Sequence, Union
+
+from repro.algorithms.sp_tree import ShortestPathTree
+from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
+from repro.exceptions import ConfigurationError, SnapshotError
+from repro.graph.network import Edge, Node, RoadNetwork
+from repro.observability.search import active_search_stats
+
+#: Snapshot file magic ("RePro road Network").
+SNAPSHOT_MAGIC = b"RPRN"
+
+#: Current snapshot format version; bump on layout changes.
+SNAPSHOT_VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQQ")  # magic, version, reserved, nodes, edges
+_U32 = struct.Struct("<I")
+
+PathLike = Union[str, FilePath]
+
+
+class CsrGraph:
+    """Flat forward/backward adjacency of one :class:`RoadNetwork`.
+
+    For node ``u`` the outgoing arcs are positions
+    ``fwd_offsets[u] : fwd_offsets[u + 1]`` of ``fwd_targets`` (head
+    node), ``fwd_edge_ids`` (dense edge id, the index into any weight
+    vector) and ``fwd_weights`` (the default travel time, pre-gathered
+    so the common no-custom-weights search never indirects through the
+    edge id).  The ``bwd_*`` arrays mirror that over incoming arcs,
+    with ``bwd_targets`` holding tail nodes.  Arc order within a node
+    equals the network's adjacency-list order, which is what makes the
+    CSR kernel tie-for-tie identical to the pure kernel.
+
+    ``fwd_arcs``/``bwd_arcs`` are the same arcs regrouped per node as
+    ``(head, edge_id, weight)`` tuples.  CPython boxes a fresh object on
+    every ``array`` subscript, so the kernels iterate these tuples
+    directly (one unpack per arc, no indexing at all); the flat arrays
+    remain the compact canonical form.
+
+    ``landmarks`` optionally carries the network's
+    :class:`~repro.core.alt.LandmarkTable` once
+    :func:`~repro.core.alt.ensure_landmarks` has built one.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_edges",
+        "fwd_offsets",
+        "fwd_targets",
+        "fwd_edge_ids",
+        "fwd_weights",
+        "bwd_offsets",
+        "bwd_targets",
+        "bwd_edge_ids",
+        "bwd_weights",
+        "fwd_arcs",
+        "bwd_arcs",
+        "landmarks",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        fwd_offsets: array,
+        fwd_targets: array,
+        fwd_edge_ids: array,
+        fwd_weights: array,
+        bwd_offsets: array,
+        bwd_targets: array,
+        bwd_edge_ids: array,
+        bwd_weights: array,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.fwd_offsets = fwd_offsets
+        self.fwd_targets = fwd_targets
+        self.fwd_edge_ids = fwd_edge_ids
+        self.fwd_weights = fwd_weights
+        self.bwd_offsets = bwd_offsets
+        self.bwd_targets = bwd_targets
+        self.bwd_edge_ids = bwd_edge_ids
+        self.bwd_weights = bwd_weights
+        self.fwd_arcs = _group_arcs(
+            num_nodes, fwd_offsets, fwd_targets, fwd_edge_ids, fwd_weights
+        )
+        self.bwd_arcs = _group_arcs(
+            num_nodes, bwd_offsets, bwd_targets, bwd_edge_ids, bwd_weights
+        )
+        self.landmarks = None
+
+    @classmethod
+    def from_network(cls, network: RoadNetwork) -> "CsrGraph":
+        """Flatten the network's adjacency lists, preserving arc order."""
+        n = network.num_nodes
+        m = network.num_edges
+        edges = network._edges
+        weights = network.default_weights()
+
+        def _flatten(adjacency, heads_of):
+            offsets = array("q", [0] * (n + 1))
+            targets = array("q", [0] * m)
+            edge_ids = array("q", [0] * m)
+            arc_weights = array("d", [0.0] * m)
+            pos = 0
+            for node_id in range(n):
+                for edge_id in adjacency[node_id]:
+                    targets[pos] = heads_of(edges[edge_id])
+                    edge_ids[pos] = edge_id
+                    arc_weights[pos] = weights[edge_id]
+                    pos += 1
+                offsets[node_id + 1] = pos
+            return offsets, targets, edge_ids, arc_weights
+
+        fwd = _flatten(network._out, lambda edge: edge.v)
+        bwd = _flatten(network._in, lambda edge: edge.u)
+        return cls(n, m, *fwd, *bwd)
+
+    def __repr__(self) -> str:
+        return (
+            f"CsrGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"landmarks={'yes' if self.landmarks is not None else 'no'})"
+        )
+
+
+def _group_arcs(
+    num_nodes: int,
+    offsets: array,
+    targets: array,
+    edge_ids: array,
+    arc_weights: array,
+) -> List[tuple]:
+    """Regroup flat CSR arrays into per-node (head, edge_id, weight) tuples."""
+    arcs: List[tuple] = []
+    for node_id in range(num_nodes):
+        lo, hi = offsets[node_id], offsets[node_id + 1]
+        arcs.append(
+            tuple(zip(targets[lo:hi], edge_ids[lo:hi], arc_weights[lo:hi]))
+        )
+    return arcs
+
+
+# -- attachment -------------------------------------------------------------
+
+
+def ensure_csr(network: RoadNetwork) -> CsrGraph:
+    """The network's CSR view, building and caching it on first call.
+
+    The build is idempotent, so a rare concurrent double-build wastes
+    work but never produces an inconsistent view.
+    """
+    csr = network._csr
+    if csr is None:
+        csr = CsrGraph.from_network(network)
+        network._csr = csr
+    return csr
+
+
+def attached_csr(network: RoadNetwork) -> Optional[CsrGraph]:
+    """The cached CSR view, or None — never triggers a build."""
+    return network._csr
+
+
+def detach_csr(network: RoadNetwork) -> None:
+    """Drop the cached CSR view (and any landmark table riding on it)."""
+    network._csr = None
+
+
+# -- the kernel -------------------------------------------------------------
+
+
+def csr_dijkstra(
+    network: RoadNetwork,
+    csr: CsrGraph,
+    root: int,
+    weights: Optional[Sequence[float]] = None,
+    forward: bool = True,
+    target: Optional[int] = None,
+    max_dist: float = math.inf,
+) -> ShortestPathTree:
+    """Dijkstra over the CSR arrays; drop-in for the pure kernel.
+
+    Semantics — argument validation, early target exit, ``max_dist``
+    bounding, negative-weight detection, deadline checks, SearchStats
+    accounting and the blanking of unsettled tentative distances — are
+    exactly those of :func:`repro.algorithms.dijkstra.dijkstra`, and
+    the returned tree's ``dist``/``parent_edge`` entries are identical
+    value-for-value because arcs relax in the same order under the same
+    strict comparisons.
+    """
+    network.node(root)  # raises NodeNotFoundError for bad roots
+    if weights is not None and len(weights) < csr.num_edges:
+        raise ConfigurationError(
+            f"weight vector has {len(weights)} entries for "
+            f"{csr.num_edges} edges"
+        )
+    n = csr.num_nodes
+    dist: List[float] = [math.inf] * n
+    parent_edge: List[int] = [-1] * n
+    settled: List[bool] = [False] * n
+    dist[root] = 0.0
+    heap: List[tuple[float, int]] = [(0.0, root)]
+    arcs = csr.fwd_arcs if forward else csr.bwd_arcs
+    expanded = 0
+    relaxed = 0
+    deadline = active_deadline()
+
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        expanded += 1
+        if deadline is not None and not (expanded & DEADLINE_CHECK_MASK):
+            deadline.check()  # raises PlanningTimeout past the deadline
+        if u == target:
+            break
+        if d > max_dist:
+            dist[u] = math.inf
+            parent_edge[u] = -1
+            break
+        for v, edge_id, weight in arcs[u]:
+            if settled[v]:
+                continue
+            relaxed += 1
+            if weights is not None:
+                weight = weights[edge_id]
+                if weight < 0:
+                    raise ConfigurationError(
+                        f"negative weight {weight} on edge {edge_id}"
+                    )
+            nd = d + weight
+            if nd < dist[v]:
+                dist[v] = nd
+                parent_edge[v] = edge_id
+                heapq.heappush(heap, (nd, v))
+
+    stats = active_search_stats()
+    if stats is not None:
+        stats.nodes_expanded += expanded
+        stats.edges_relaxed += relaxed
+
+    if target is not None or max_dist != math.inf:
+        for v in range(n):
+            if not settled[v]:
+                dist[v] = math.inf
+                parent_edge[v] = -1
+    return ShortestPathTree(
+        network=network,
+        root=root,
+        forward=forward,
+        dist=dist,
+        parent_edge=parent_edge,
+    )
+
+
+# -- snapshots --------------------------------------------------------------
+
+
+def _to_le(arr: array) -> bytes:
+    """Raw little-endian bytes of an array (byteswapping if needed)."""
+    if sys.byteorder == "big":  # pragma: no cover - no BE CI hosts
+        arr = array(arr.typecode, arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _read_exact(handle: BinaryIO, count: int, what: str) -> bytes:
+    data = handle.read(count)
+    if len(data) != count:
+        raise SnapshotError(
+            f"truncated snapshot: expected {count} bytes for {what}, "
+            f"got {len(data)}"
+        )
+    return data
+
+
+def _read_array(
+    handle: BinaryIO, typecode: str, count: int, what: str
+) -> array:
+    arr = array(typecode)
+    arr.frombytes(_read_exact(handle, count * arr.itemsize, what))
+    if sys.byteorder == "big":  # pragma: no cover - no BE CI hosts
+        arr.byteswap()
+    return arr
+
+
+def _write_string(handle: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    handle.write(_U32.pack(len(data)))
+    handle.write(data)
+
+
+def _read_string(handle: BinaryIO, what: str) -> str:
+    (length,) = _U32.unpack(_read_exact(handle, _U32.size, f"{what} length"))
+    try:
+        return _read_exact(handle, length, what).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SnapshotError(f"snapshot {what} is not valid UTF-8") from exc
+
+
+def save_snapshot(network: RoadNetwork, path: Union[PathLike, BinaryIO]) -> None:
+    """Write the network to the binary snapshot format.
+
+    ``path`` may be a filesystem path or a writable binary file object
+    (the fuzz tier round-trips through ``io.BytesIO``).
+    """
+    if hasattr(path, "write"):
+        _write_snapshot(network, path)
+        return
+    with open(path, "wb") as handle:
+        _write_snapshot(network, handle)
+
+
+def _write_snapshot(network: RoadNetwork, handle: BinaryIO) -> None:
+    n = network.num_nodes
+    m = network.num_edges
+    handle.write(_HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0, n, m))
+    _write_string(handle, network.name)
+
+    lats = array("d", [0.0] * n)
+    lons = array("d", [0.0] * n)
+    osm_ids = array("q", [0] * n)
+    for node in network.nodes():
+        lats[node.id] = node.lat
+        lons[node.id] = node.lon
+        osm_ids[node.id] = node.osm_id
+
+    tails = array("q", [0] * m)
+    heads = array("q", [0] * m)
+    lengths = array("d", [0.0] * m)
+    times = array("d", [0.0] * m)
+    maxspeeds = array("d", [0.0] * m)
+    lanes = array("q", [0] * m)
+    way_ids = array("q", [0] * m)
+    highway_refs = array("q", [0] * m)
+    name_refs = array("q", [0] * m)
+    strings: List[str] = []
+    interned: dict[str, int] = {}
+
+    def _intern(text: str) -> int:
+        index = interned.get(text)
+        if index is None:
+            index = len(strings)
+            interned[text] = index
+            strings.append(text)
+        return index
+
+    for edge in network.edges():
+        tails[edge.id] = edge.u
+        heads[edge.id] = edge.v
+        lengths[edge.id] = edge.length_m
+        times[edge.id] = edge.travel_time_s
+        maxspeeds[edge.id] = edge.maxspeed_kmh
+        lanes[edge.id] = edge.lanes
+        way_ids[edge.id] = edge.way_id
+        highway_refs[edge.id] = _intern(edge.highway)
+        name_refs[edge.id] = _intern(edge.name)
+
+    handle.write(_U32.pack(len(strings)))
+    for text in strings:
+        _write_string(handle, text)
+    for arr in (
+        lats, lons, osm_ids,
+        tails, heads, lengths, times, maxspeeds, lanes, way_ids,
+        highway_refs, name_refs,
+    ):
+        handle.write(_to_le(arr))
+
+
+def _read_header(handle: BinaryIO) -> tuple[int, int]:
+    """Validate magic + version; return (num_nodes, num_edges)."""
+    raw = _read_exact(handle, _HEADER.size, "header")
+    magic, version, _reserved, n, m = _HEADER.unpack(raw)
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotError(
+            f"not a repro network snapshot (magic {magic!r}, "
+            f"expected {SNAPSHOT_MAGIC!r})"
+        )
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {version} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    return n, m
+
+
+def load_snapshot(path: Union[PathLike, BinaryIO]) -> RoadNetwork:
+    """Load a network written by :func:`save_snapshot`.
+
+    Raises :class:`~repro.exceptions.SnapshotError` for bad magic,
+    unsupported versions and truncated files.  The returned network has
+    no CSR view attached; call :func:`ensure_csr` (or
+    :func:`~repro.core.alt.ensure_landmarks`) to accelerate it.
+    """
+    if hasattr(path, "read"):
+        return _read_snapshot(path)
+    with open(path, "rb") as handle:
+        return _read_snapshot(handle)
+
+
+def _read_snapshot(handle: BinaryIO) -> RoadNetwork:
+    n, m = _read_header(handle)
+    name = _read_string(handle, "network name")
+    (string_count,) = _U32.unpack(
+        _read_exact(handle, _U32.size, "string-table size")
+    )
+    strings = [
+        _read_string(handle, f"string-table entry {index}")
+        for index in range(string_count)
+    ]
+
+    lats = _read_array(handle, "d", n, "node latitudes")
+    lons = _read_array(handle, "d", n, "node longitudes")
+    osm_ids = _read_array(handle, "q", n, "node osm ids")
+    tails = _read_array(handle, "q", m, "edge tails")
+    heads = _read_array(handle, "q", m, "edge heads")
+    lengths = _read_array(handle, "d", m, "edge lengths")
+    times = _read_array(handle, "d", m, "edge travel times")
+    maxspeeds = _read_array(handle, "d", m, "edge speed limits")
+    lanes = _read_array(handle, "q", m, "edge lane counts")
+    way_ids = _read_array(handle, "q", m, "edge way ids")
+    highway_refs = _read_array(handle, "q", m, "edge highway refs")
+    name_refs = _read_array(handle, "q", m, "edge name refs")
+
+    try:
+        nodes = [
+            Node(id=i, lat=lats[i], lon=lons[i], osm_id=osm_ids[i])
+            for i in range(n)
+        ]
+        edges = [
+            Edge(
+                id=i,
+                u=tails[i],
+                v=heads[i],
+                length_m=lengths[i],
+                travel_time_s=times[i],
+                highway=strings[highway_refs[i]],
+                maxspeed_kmh=maxspeeds[i],
+                lanes=lanes[i],
+                name=strings[name_refs[i]],
+                way_id=way_ids[i],
+            )
+            for i in range(m)
+        ]
+        return RoadNetwork(nodes, edges, name=name)
+    except (IndexError, ValueError) as exc:
+        raise SnapshotError(f"inconsistent snapshot payload: {exc}") from exc
+
+
+def snapshot_info(path: PathLike) -> dict:
+    """Header metadata of a snapshot file, without loading the arrays.
+
+    Returns ``{"magic", "version", "name", "num_nodes", "num_edges",
+    "file_bytes"}``; raises :class:`SnapshotError` on malformed
+    headers exactly like :func:`load_snapshot`.
+    """
+    path = FilePath(path)
+    with open(path, "rb") as handle:
+        n, m = _read_header(handle)
+        name = _read_string(handle, "network name")
+    return {
+        "magic": SNAPSHOT_MAGIC.decode("ascii"),
+        "version": SNAPSHOT_VERSION,
+        "name": name,
+        "num_nodes": n,
+        "num_edges": m,
+        "file_bytes": path.stat().st_size,
+    }

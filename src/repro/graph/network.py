@@ -120,6 +120,9 @@ class RoadNetwork:
             e.travel_time_s for e in self._edges
         ]
         self._bbox: Optional[BoundingBox] = None
+        # Cached CSR acceleration view, managed by repro.graph.csr
+        # (ensure_csr/attached_csr/detach_csr); None until built.
+        self._csr = None
 
     def _validate(self) -> None:
         for index, node in enumerate(self._nodes):

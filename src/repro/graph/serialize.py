@@ -72,7 +72,10 @@ def load_network_csv(stem: PathLike, name: str = "") -> RoadNetwork:
         with open(nodes_file, newline="") as handle:
             for row in csv.DictReader(handle):
                 builder.add_node(
-                    int(row["id"]), float(row["lat"]), float(row["lon"])
+                    int(row["id"]),
+                    float(row["lat"]),
+                    float(row["lon"]),
+                    osm_id=int(row.get("osm_id") or -1),
                 )
         with open(edges_file, newline="") as handle:
             for row in csv.DictReader(handle):
@@ -125,8 +128,10 @@ def network_from_dict(payload: dict) -> RoadNetwork:
         raise GraphError("not a repro road-network document")
     builder = RoadNetworkBuilder(name=payload.get("name", "road-network"))
     try:
-        for node_id, lat, lon, _osm_id in payload["nodes"]:
-            builder.add_node(int(node_id), float(lat), float(lon))
+        for node_id, lat, lon, osm_id in payload["nodes"]:
+            builder.add_node(
+                int(node_id), float(lat), float(lon), osm_id=int(osm_id)
+            )
         for entry in payload["edges"]:
             # Version-1 documents carried 8 fields; way_id was appended
             # later and defaults to -1 when absent.

@@ -31,6 +31,7 @@ STAT_FIELDS: Tuple[str, ...] = (
     "candidates_accepted",
     "candidates_pruned",
     "dissimilarity_evaluations",
+    "heuristic_prunes",
     "context_tree_hits",
     "context_tree_misses",
 )
@@ -45,6 +46,10 @@ class SearchStats:
     planner ran); the candidate counters come from the planner's own
     selection loop; ``dissimilarity_evaluations`` counts pairwise
     route-similarity computations, the dominant filtering cost.
+    ``heuristic_prunes`` counts relaxations the ALT landmark heuristic
+    proved useless for the s-t query (the lower bound through the node
+    already met the best known target distance), i.e. heap pushes a
+    goal-directed search skipped that plain Dijkstra would have made.
     ``context_tree_hits``/``context_tree_misses`` count shortest-path
     trees served from (or built into) a shared
     :class:`~repro.core.search_context.SearchContext` — a hit means the
@@ -58,6 +63,7 @@ class SearchStats:
     candidates_accepted: int = 0
     candidates_pruned: int = 0
     dissimilarity_evaluations: int = 0
+    heuristic_prunes: int = 0
     context_tree_hits: int = 0
     context_tree_misses: int = 0
 

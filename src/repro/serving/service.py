@@ -248,6 +248,12 @@ class RouteService:
         tree-using approach (and once per *batch* origin under
         :meth:`plan_many`).  False restores the unshared baseline —
         results are identical either way, only the work differs.
+    precompute_landmarks:
+        When > 0, build the network's CSR view plus an ALT landmark
+        table of that many landmarks up front (see
+        :mod:`repro.core.alt`), so the shared-context tree builds and
+        single-route endpoints run on the accelerated kernels from the
+        first query.  0 (default) changes nothing.
     breaker_clock:
         Monotonic time source handed to every circuit breaker;
         injectable so tests advance cooldowns without real sleeps.
@@ -266,6 +272,7 @@ class RouteService:
         max_inflight: Optional[int] = DEFAULT_MAX_INFLIGHT,
         propagate_deadline: bool = True,
         share_context: bool = True,
+        precompute_landmarks: int = 0,
         breaker_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_workers < 1:
@@ -279,6 +286,12 @@ class RouteService:
         if breaker_threshold < 0:
             raise ConfigurationError(
                 f"breaker_threshold must be >= 0, got {breaker_threshold}"
+            )
+        if precompute_landmarks:
+            from repro.core.alt import ensure_landmarks
+
+            ensure_landmarks(
+                processor.network, count=precompute_landmarks
             )
         self.processor = processor
         self.cache = RouteCache(cache_size)

@@ -1,0 +1,154 @@
+"""Unit tests for the CSR view, its kernel and the snapshot format."""
+
+import io
+import math
+import struct
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.exceptions import ConfigurationError, GraphError, SnapshotError
+from repro.graph.csr import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    CsrGraph,
+    attached_csr,
+    csr_dijkstra,
+    detach_csr,
+    ensure_csr,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
+
+_HEADER = struct.Struct("<4sHHQQ")
+
+
+class TestCsrView:
+    def test_arc_counts_match_network(self, grid10):
+        csr = CsrGraph.from_network(grid10)
+        assert csr.num_nodes == grid10.num_nodes
+        assert csr.num_edges == grid10.num_edges
+        assert csr.fwd_offsets[-1] == grid10.num_edges
+        assert csr.bwd_offsets[-1] == grid10.num_edges
+
+    def test_arcs_preserve_adjacency_order(self, grid10):
+        csr = CsrGraph.from_network(grid10)
+        for node_id in range(grid10.num_nodes):
+            expected = [
+                (edge.v, edge.id, edge.travel_time_s)
+                for edge in grid10.out_edges(node_id)
+            ]
+            assert list(csr.fwd_arcs[node_id]) == expected
+            expected_in = [
+                (edge.u, edge.id, edge.travel_time_s)
+                for edge in grid10.in_edges(node_id)
+            ]
+            assert list(csr.bwd_arcs[node_id]) == expected_in
+
+    def test_ensure_builds_once_and_caches(self, grid10):
+        detach_csr(grid10)
+        assert attached_csr(grid10) is None
+        first = ensure_csr(grid10)
+        assert attached_csr(grid10) is first
+        assert ensure_csr(grid10) is first
+        detach_csr(grid10)
+        assert attached_csr(grid10) is None
+
+    def test_repr_mentions_landmarks(self, grid10):
+        csr = CsrGraph.from_network(grid10)
+        assert "landmarks=no" in repr(csr)
+        csr.landmarks = object()
+        assert "landmarks=yes" in repr(csr)
+
+
+class TestCsrKernel:
+    def test_max_dist_bounds_the_tree(self, grid10):
+        csr = CsrGraph.from_network(grid10)
+        bound = 30.0
+        pure = dijkstra(grid10, 0, max_dist=bound)
+        flat = csr_dijkstra(grid10, csr, 0, max_dist=bound)
+        assert flat.dist == pure.dist
+        assert flat.parent_edge == pure.parent_edge
+        assert any(d == math.inf for d in flat.dist)
+
+    def test_short_weight_vector_rejected(self, grid10):
+        csr = CsrGraph.from_network(grid10)
+        with pytest.raises(ConfigurationError):
+            csr_dijkstra(grid10, csr, 0, weights=[1.0])
+
+    def test_negative_weight_rejected(self, grid10):
+        csr = CsrGraph.from_network(grid10)
+        weights = [1.0] * grid10.num_edges
+        weights[0] = -1.0
+        with pytest.raises(ConfigurationError):
+            csr_dijkstra(grid10, csr, 0, weights=weights)
+
+    def test_bad_root_rejected(self, grid10):
+        csr = CsrGraph.from_network(grid10)
+        with pytest.raises(GraphError):
+            csr_dijkstra(grid10, csr, grid10.num_nodes + 5)
+
+
+class TestSnapshots:
+    def test_file_round_trip(self, tmp_path, melbourne_small):
+        path = tmp_path / "mel.snap"
+        save_snapshot(melbourne_small, path)
+        restored = load_snapshot(path)
+        assert restored.name == melbourne_small.name
+        assert list(restored.nodes()) == list(melbourne_small.nodes())
+        assert list(restored.edges()) == list(melbourne_small.edges())
+
+    def test_loaded_network_has_no_csr_attached(self, tmp_path, grid10):
+        path = tmp_path / "grid.snap"
+        save_snapshot(grid10, path)
+        assert attached_csr(load_snapshot(path)) is None
+
+    def test_snapshot_info_reads_header_only(self, tmp_path, grid10):
+        path = tmp_path / "grid.snap"
+        save_snapshot(grid10, path)
+        info = snapshot_info(path)
+        assert info["magic"] == SNAPSHOT_MAGIC.decode("ascii")
+        assert info["version"] == SNAPSHOT_VERSION
+        assert info["name"] == grid10.name
+        assert info["num_nodes"] == grid10.num_nodes
+        assert info["num_edges"] == grid10.num_edges
+        assert info["file_bytes"] == path.stat().st_size
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.snap"
+        path.write_bytes(b"")
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.snap"
+        path.write_bytes(_HEADER.pack(b"XXXX", SNAPSHOT_VERSION, 0, 1, 0))
+        with pytest.raises(SnapshotError, match="magic"):
+            load_snapshot(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.snap"
+        path.write_bytes(
+            _HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION + 1, 0, 1, 0)
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(path)
+
+    def test_truncated_payload_rejected(self, tmp_path, grid10):
+        buffer = io.BytesIO()
+        save_snapshot(grid10, buffer)
+        payload = buffer.getvalue()
+        path = tmp_path / "cut.snap"
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_snapshot_info_validates_header(self, tmp_path):
+        path = tmp_path / "junk.snap"
+        path.write_bytes(b"not a snapshot at all......")
+        with pytest.raises(SnapshotError):
+            snapshot_info(path)
+
+    def test_snapshot_error_is_graph_error(self):
+        assert issubclass(SnapshotError, GraphError)

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.exceptions import GraphError
+from repro.graph.builder import RoadNetworkBuilder
 from repro.graph.serialize import (
     load_network_csv,
     load_network_json,
@@ -79,3 +80,54 @@ class TestJsonRoundTrip:
     def test_name_preserved(self, melbourne_small):
         payload = network_to_dict(melbourne_small)
         assert network_from_dict(payload).name == melbourne_small.name
+
+
+class TestOsmIdRoundTrip:
+    """Regression: osm_id used to be written but silently dropped on
+    load, so provenance vanished after one save/load cycle."""
+
+    @staticmethod
+    def _network_with_osm_ids():
+        builder = RoadNetworkBuilder(name="osm-ids")
+        builder.add_node(0, 0.0, 0.0, osm_id=1_000_001)
+        builder.add_node(1, 0.001, 0.001, osm_id=1_000_002)
+        builder.add_edge(0, 1, length_m=100.0, travel_time_s=10.0)
+        builder.add_edge(1, 0, length_m=100.0, travel_time_s=10.0)
+        return builder.build()
+
+    def test_builder_defaults_osm_id_to_external_id(self):
+        builder = RoadNetworkBuilder(name="default-ids")
+        builder.add_node(7, 0.0, 0.0)
+        builder.add_node(9, 0.001, 0.0)
+        builder.add_edge(7, 9, length_m=10.0, travel_time_s=1.0)
+        network = builder.build()
+        assert [node.osm_id for node in network.nodes()] == [7, 9]
+
+    def test_csv_round_trip_preserves_osm_ids(self, tmp_path):
+        network = self._network_with_osm_ids()
+        stem = tmp_path / "osm"
+        save_network_csv(network, stem)
+        loaded = load_network_csv(stem)
+        assert [node.osm_id for node in loaded.nodes()] == [
+            node.osm_id for node in network.nodes()
+        ]
+
+    def test_json_round_trip_preserves_osm_ids(self):
+        network = self._network_with_osm_ids()
+        payload = json.loads(json.dumps(network_to_dict(network)))
+        rebuilt = network_from_dict(payload)
+        assert [node.osm_id for node in rebuilt.nodes()] == [
+            1_000_001,
+            1_000_002,
+        ]
+
+    def test_csv_missing_osm_id_column_tolerated(self, tmp_path):
+        (tmp_path / "old.nodes.csv").write_text(
+            "id,lat,lon\n0,0.0,0.0\n1,0.001,0.001\n"
+        )
+        (tmp_path / "old.edges.csv").write_text(
+            "u,v,length_m,travel_time_s,highway,maxspeed_kmh,lanes,name,"
+            "way_id\n0,1,100.0,10.0,residential,50,1,Old St,-1\n"
+        )
+        loaded = load_network_csv(tmp_path / "old")
+        assert [node.osm_id for node in loaded.nodes()] == [-1, -1]
