@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-chaos bench-csr examples report clean
+.PHONY: install test bench bench-serving bench-chaos bench-csr bench-ch examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,9 @@ bench-chaos:
 
 bench-csr:
 	$(PYTHON) -m pytest benchmarks/bench_csr.py -q
+
+bench-ch:
+	$(PYTHON) -m pytest benchmarks/bench_ch.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -137,29 +137,52 @@ def shortest_path_nodes(
 ) -> List[int]:
     """Return the node sequence of the shortest s-t path.
 
-    Default-weight queries on a network with an attached
-    :class:`~repro.graph.csr.CsrGraph` run on the flat CSR kernel — and,
-    when a landmark table is attached too, on the goal-directed ALT
-    kernel, which expands far fewer nodes for the same optimal cost.
-    Custom weight vectors always take the reference kernel: the CSR
-    weight arrays and landmark tables are priced on default travel
-    times only.
+    This is the library's point-to-point dispatch: default-weight
+    queries resolve the ambient serving backend (see
+    :mod:`repro.core.backend`) and run on the contraction-hierarchy
+    backend, the goal-directed ALT kernel or the flat CSR Dijkstra
+    kernel, whichever the resolved backend names — ``"auto"`` (the
+    default outside an armed :func:`~repro.core.backend.backend_scope`)
+    picks the fastest structure attached to the network, which is
+    exactly the pre-backend behaviour.  Custom weight vectors always
+    take the reference kernel: the accelerator structures are priced on
+    default travel times only.
+
+    The backend that answered is counted in the ambient
+    :class:`~repro.observability.search.SearchStats`
+    (``backend_dijkstra``/``backend_alt``/``backend_ch``).
 
     Raises :class:`DisconnectedError` when no path exists.
     """
     if source == target:
         raise ConfigurationError("source and target must differ")
     if weights is None:
-        # Lazy import: repro.graph.csr imports algorithms.sp_tree, so a
-        # module-level import here would be circular.
+        # Lazy imports: repro.graph.csr imports algorithms.sp_tree, so
+        # module-level imports here would be circular.
+        from repro.core.backend import active_backend, resolve_backend
         from repro.graph.csr import attached_csr, csr_dijkstra
 
+        backend = resolve_backend(network, active_backend())
+        stats = active_search_stats()
+        if backend == "ch":
+            from repro.core.ch import attached_hierarchy
+
+            if stats is not None:
+                stats.backend_ch += 1
+            return attached_hierarchy(network).shortest_path_nodes(
+                source, target
+            )
+        if backend == "alt":
+            from repro.core.alt import alt_shortest_path_nodes
+
+            if stats is not None:
+                stats.backend_alt += 1
+            csr = attached_csr(network)
+            return alt_shortest_path_nodes(network, csr, source, target)
+        if stats is not None:
+            stats.backend_dijkstra += 1
         csr = attached_csr(network)
         if csr is not None:
-            if csr.landmarks is not None:
-                from repro.core.alt import alt_shortest_path_nodes
-
-                return alt_shortest_path_nodes(network, csr, source, target)
             tree = csr_dijkstra(network, csr, source, target=target)
             return _unwind(network, tree, source, target)
     tree = dijkstra(network, source, weights=weights, target=target)

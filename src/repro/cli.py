@@ -20,6 +20,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.cities import CITY_BUILDERS
+from repro.core.backend import SERVING_BACKENDS
 from repro.exceptions import ReproError
 from repro.observability.logs import LOG_LEVELS, configure_logging
 
@@ -60,10 +61,18 @@ def _cmd_snapshot_build(args) -> int:
     from repro.graph.csr import save_snapshot
 
     network = _build_network(args)
+    ch_note = ""
+    if args.with_ch:
+        from repro.core.ch import ensure_hierarchy
+
+        hierarchy = ensure_hierarchy(network)
+        ch_note = (
+            f", CH hierarchy with {hierarchy.num_shortcuts} shortcuts"
+        )
     save_snapshot(network, args.out)
     print(
         f"wrote {args.out} ({network.num_nodes} nodes, "
-        f"{network.num_edges} edges)"
+        f"{network.num_edges} edges{ch_note})"
     )
     return 0
 
@@ -74,6 +83,12 @@ def _cmd_snapshot_info(args) -> int:
     info = snapshot_info(args.path)
     for key in ("name", "version", "num_nodes", "num_edges", "file_bytes"):
         print(f"{key}: {info[key]}")
+    sections = info["sections"]
+    if sections:
+        for name, size in sorted(sections.items()):
+            print(f"section {name}: {size} bytes")
+    else:
+        print("sections: none")
     return 0
 
 
@@ -87,9 +102,24 @@ def _cmd_plan(args) -> int:
     network = _build_network(args)
     if args.approach == "all":
         selected = paper_planners(network, traffic_seed=args.seed)
+        if args.backend != "auto":
+            if args.backend == "ch":
+                from repro.core.ch import ensure_hierarchy
+
+                ensure_hierarchy(network)
+            elif args.backend == "alt":
+                from repro.core.alt import ensure_landmarks
+
+                ensure_landmarks(network)
+            for planner in selected.values():
+                planner.backend = args.backend
     elif args.approach in available_planners():
         # Any registered planner — study approach or §2.4 baseline.
-        selected = {args.approach: make_planner(args.approach, network)}
+        selected = {
+            args.approach: make_planner(
+                args.approach, network, backend=args.backend
+            )
+        }
     else:
         print(
             f"unknown approach {args.approach!r}; registered: "
@@ -116,12 +146,15 @@ def _load_batch_queries(path: str) -> List:
     """Parse the ``batch`` command's query file into RouteQueries.
 
     The file (or stdin, for ``-``) holds a JSON array whose items are
-    either four-element ``[slat, slon, tlat, tlon]`` arrays or the
-    webapp's ``{"source": {"lat", "lon"}, "target": {...}}`` objects
-    (optional ``"approaches"`` / ``"k"`` included).
+    either four-element ``[slat, slon, tlat, tlon]`` arrays or
+    versioned :class:`~repro.serving.RouteRequest` objects
+    (``{"version": 1, "source_lat": ..., ...}`` with optional
+    ``"approaches"`` / ``"k"`` / ``"backend"``).  The webapp's legacy
+    nested ``{"source": {"lat", "lon"}, ...}`` objects still parse,
+    with a deprecation warning.
     """
     from repro.exceptions import QueryError
-    from repro.serving import RouteQuery
+    from repro.serving import RouteQuery, RouteRequest
 
     if path == "-":
         raw = sys.stdin.read()
@@ -146,7 +179,7 @@ def _load_batch_queries(path: str) -> List:
                 )
             queries.append(RouteQuery(*[float(value) for value in item]))
         elif isinstance(item, dict):
-            queries.append(RouteQuery.from_payload(item))
+            queries.append(RouteRequest.from_json(item).to_query())
         else:
             raise QueryError(
                 f"batch item {index} must be a coordinate array or a "
@@ -170,6 +203,16 @@ def _cmd_batch(args) -> int:
         max_inflight=0,
     )
     batch = service.plan_many(queries)
+    if args.json:
+        # One versioned RouteResponse (or error marker) per line, in
+        # input order — the machine-readable twin of the text report.
+        for outcome in batch:
+            if outcome.ok:
+                line = service.respond(outcome.result).to_json()
+            else:
+                line = {"index": outcome.index, "error": outcome.error}
+            print(json.dumps(line))
+        return 0 if not batch.failed else 1
     for outcome in batch:
         query = outcome.query
         head = (
@@ -233,6 +276,7 @@ def _cmd_demo(args) -> int:
         network,
         traffic_seed=args.seed,
         precompute_landmarks=args.precompute_landmarks,
+        precompute_ch=args.precompute_ch,
     )
     service = RouteService(
         processor,
@@ -336,6 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_network_arguments(snapshot_build)
     snapshot_build.add_argument("--out", required=True)
+    snapshot_build.add_argument(
+        "--with-ch", action="store_true",
+        help="contract the network and persist the hierarchy in the "
+        "snapshot, so loading it serves CH queries without "
+        "re-contracting",
+    )
     snapshot_build.set_defaults(handler=_cmd_snapshot_build)
     snapshot_info = snapshot_commands.add_parser(
         "info", help="print a snapshot's header without loading it"
@@ -354,6 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help='any registered planner name, or "all" for the four '
         "study approaches",
+    )
+    plan.add_argument(
+        "--backend",
+        default="auto",
+        choices=list(SERVING_BACKENDS),
+        help="point-to-point serving backend for the planners' "
+        'searches ("auto" picks the fastest attached structure)',
     )
     plan.set_defaults(handler=_cmd_plan)
 
@@ -374,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--timeout", type=float, default=30.0,
         help="per-query planner deadline in seconds",
+    )
+    batch.add_argument(
+        "--json", action="store_true",
+        help="emit one versioned RouteResponse JSON object per query "
+        "instead of the text report",
     )
     batch.set_defaults(handler=_cmd_batch)
 
@@ -417,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--precompute-landmarks", type=int, default=0,
         help="build the CSR view and this many ALT landmarks at "
         "startup for goal-directed single-route queries (0 disables)",
+    )
+    demo.add_argument(
+        "--precompute-ch", action="store_true",
+        help="contract the network at startup so CH-backed planners "
+        "and backend=ch queries serve from the hierarchy immediately",
     )
     demo.add_argument(
         "--dump-traces", action="store_true",

@@ -27,12 +27,26 @@ from repro.core.alt import (
     ensure_landmarks,
     select_landmarks,
 )
+from repro.core.backend import (
+    SERVING_BACKENDS,
+    active_backend,
+    backend_scope,
+    resolve_backend,
+    validate_backend,
+)
 from repro.core.base import (
     DEFAULT_K,
     DEFAULT_STRETCH_BOUND,
     AlternativeRoutePlanner,
     RouteSet,
 )
+from repro.core.ch import (
+    CchBackend,
+    attached_hierarchy,
+    build_hierarchy,
+    ensure_hierarchy,
+)
+from repro.core.ch_via import ChViaNodePlanner
 from repro.core.commercial import CommercialEngine
 from repro.core.dissimilarity import DEFAULT_THETA, DissimilarityPlanner
 from repro.core.filters import (
@@ -49,12 +63,14 @@ from repro.core.filters import (
 from repro.core.ksplo import LimitedOverlapPlanner, OnePassPlanner
 from repro.core.pareto import ParetoPlanner
 from repro.core.registry import (
+    DEFAULT_CAPABILITIES,
     PAPER_APPROACHES,
     PAPER_PARAMETERS,
     PlannerSpec,
     available_planners,
     make_planner,
     paper_planners,
+    planner_capabilities,
     planner_spec,
     register_planner,
 )
@@ -86,6 +102,9 @@ from repro.core.yen import YenPlanner, yen_k_shortest_paths
 __all__ = [
     "AdmissibleAlternativesPlanner",
     "AlternativeRouteGraph",
+    "CchBackend",
+    "ChViaNodePlanner",
+    "DEFAULT_CAPABILITIES",
     "DEFAULT_K",
     "DEFAULT_NUM_LANDMARKS",
     "DEFAULT_PENALTY_FACTOR",
@@ -110,6 +129,7 @@ __all__ = [
     "PlateauPlanner",
     "RouteFilter",
     "RouteSet",
+    "SERVING_BACKENDS",
     "SearchContext",
     "SearchContextPool",
     "SimilarityFilter",
@@ -117,12 +137,17 @@ __all__ = [
     "ViaNodePlanner",
     "WiderRoadsRanker",
     "YenPlanner",
+    "active_backend",
     "active_search_context",
     "admit_all",
     "alt_shortest_path_nodes",
+    "attached_hierarchy",
     "available_planners",
+    "backend_scope",
+    "build_hierarchy",
     "build_landmarks",
     "build_tree",
+    "ensure_hierarchy",
     "ensure_landmarks",
     "combine_rules",
     "find_plateaus",
@@ -131,11 +156,14 @@ __all__ = [
     "make_planner",
     "paper_planners",
     "paper_refinement_chain",
+    "planner_capabilities",
     "planner_spec",
+    "resolve_backend",
     "plateau_route",
     "register_planner",
     "search_context_scope",
     "select_landmarks",
     "trees_for_query",
+    "validate_backend",
     "yen_k_shortest_paths",
 ]

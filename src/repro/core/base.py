@@ -113,6 +113,14 @@ class AlternativeRoutePlanner(abc.ABC):
     #: Human-readable approach name, overridden by subclasses.
     name: str = "abstract"
 
+    #: Point-to-point backend this planner's searches dispatch to (see
+    #: :mod:`repro.core.backend`).  ``"auto"`` — the default for every
+    #: planner — picks the fastest structure attached to the network;
+    #: :func:`~repro.core.registry.make_planner` overrides it per
+    #: instance via its ``backend=`` keyword, and :meth:`plan` per
+    #: call.
+    backend: str = "auto"
+
     def __init__(self, network: RoadNetwork, k: int = DEFAULT_K) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -125,6 +133,7 @@ class AlternativeRoutePlanner(abc.ABC):
         target: int,
         k: Optional[int] = None,
         context: Optional["SearchContext"] = None,
+        backend: Optional[str] = None,
     ) -> RouteSet:
         """Return up to ``k`` alternative routes from source to target.
 
@@ -142,6 +151,13 @@ class AlternativeRoutePlanner(abc.ABC):
         build whatever they need from scratch — and results are
         identical either way (proven by ``tests/core/test_differential``).
 
+        ``backend`` overrides the planner's point-to-point backend for
+        this one call (``"auto"`` | ``"dijkstra"`` | ``"alt"`` |
+        ``"ch"``; see :mod:`repro.core.backend`).  ``None`` uses the
+        planner's configured :attr:`backend`.  Route sets are identical
+        across backends (the CH differential tier proves it); only the
+        search work differs.
+
         Raises :class:`QueryError` for degenerate queries and
         :class:`~repro.exceptions.DisconnectedError` when no route
         exists at all.
@@ -151,8 +167,12 @@ class AlternativeRoutePlanner(abc.ABC):
         :class:`~repro.observability.search.SearchStats`, attached to
         the returned set as ``RouteSet.stats``.
         """
+        from repro.core.backend import backend_scope, validate_backend
         from repro.core.search_context import search_context_scope
 
+        effective_backend = validate_backend(
+            self.backend if backend is None else backend
+        )
         with tracing_span(
             f"plan.{self.name}", approach=self.name,
             source=source, target=target,
@@ -172,7 +192,8 @@ class AlternativeRoutePlanner(abc.ABC):
                     f"{source} -> {target} on this planner's network"
                 )
             with collect_search_stats() as stats:
-                with search_context_scope(context):
+                with search_context_scope(context), \
+                        backend_scope(effective_backend):
                     routes = self._plan_routes(source, target)
             trimmed = tuple(routes[: self.k if k is None else k])
             plan_span.set_attribute("routes", len(trimmed))

@@ -42,7 +42,7 @@ from repro.observability.prometheus import (
     PROMETHEUS_CONTENT_TYPE,
     render_prometheus,
 )
-from repro.serving.query import RouteQuery
+from repro.serving.query import RouteRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serving.service import RouteService
@@ -181,7 +181,11 @@ async function submitQuery() {
   document.getElementById('status').textContent = 'computing…';
   const resp = await fetch('/api/route', {
     method: 'POST', headers: {'Content-Type': 'application/json'},
-    body: JSON.stringify({source: markers[0], target: markers[1]})
+    body: JSON.stringify({
+      version: 1,
+      source_lat: markers[0].lat, source_lon: markers[0].lon,
+      target_lat: markers[1].lat, target_lon: markers[1].lon
+    })
   });
   if (!resp.ok) {
     document.getElementById('status').textContent =
@@ -501,14 +505,17 @@ class DemoServer:
     def handle_route(self, payload: Dict) -> Dict:
         """Compute the blinded route sets for a source/target request.
 
+        Accepts the versioned flat :class:`RouteRequest` body (the
+        legacy nested shape still parses, with a deprecation warning)
+        and answers with the versioned :class:`RouteResponse` body.
         Served through the route service: cached, concurrently planned,
         and degradation-tolerant — a failed approach appears under
         ``"errors"`` while the others still render.
         """
-        query = RouteQuery.from_payload(payload)
+        request = RouteRequest.from_json(payload)
         with self.service.tracer.trace("request", endpoint="/api/route"):
-            result = self.service.query(query)
-            return self.service.render(result)
+            result = self.service.query(request.to_query())
+            return self.service.respond(result).to_json()
 
     def metrics_payload(self) -> Dict:
         """The serving layer's counters, latencies and cache stats."""

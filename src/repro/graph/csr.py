@@ -23,13 +23,21 @@ behaviour without a CSR view is exactly the pre-CSR library.
 Snapshots
 ---------
 :func:`save_snapshot`/:func:`load_snapshot` serialise a network to a
-compact little-endian binary format (magic ``RPRN``, version 1) that
-round-trips nodes, edges and all per-edge metadata far faster than the
-CSV/JSON paths: coordinates and weights are dumped as raw ``array``
-buffers, and the highway/name strings go through a shared string
-table.  Malformed files — bad magic, unsupported version, truncation —
-raise :class:`~repro.exceptions.SnapshotError` instead of unpacking
-garbage.
+compact little-endian binary format (magic ``RPRN``) that round-trips
+nodes, edges and all per-edge metadata far faster than the CSV/JSON
+paths: coordinates and weights are dumped as raw ``array`` buffers,
+and the highway/name strings go through a shared string table.
+Version 2 appends *tagged sections* after the core payload — a 4-byte
+tag plus a little-endian u64 length each — so optional attached
+structures travel inside the same artifact.  The one section so far,
+``CHI1``, persists the network's contraction hierarchy (rank array +
+augmented-graph arcs), letting ``repro snapshot build --with-ch``
+produce a servable artifact that :func:`load_snapshot` restores
+without re-contracting.  Readers skip unknown tags by length, so the
+section list is forward-extensible; version-1 files (no section
+block) still load.  Malformed files — bad magic, unsupported version,
+truncation inside the core payload or a section — raise
+:class:`~repro.exceptions.SnapshotError` instead of unpacking garbage.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ import struct
 import sys
 from array import array
 from pathlib import Path as FilePath
-from typing import BinaryIO, List, Optional, Sequence, Union
+from typing import BinaryIO, Dict, List, Optional, Sequence, Union
 
 from repro.algorithms.sp_tree import ShortestPathTree
 from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
@@ -52,10 +60,20 @@ from repro.observability.search import active_search_stats
 SNAPSHOT_MAGIC = b"RPRN"
 
 #: Current snapshot format version; bump on layout changes.
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+#: Versions this build can read (v1 files simply have no sections).
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+
+#: Tag of the contraction-hierarchy section (rank + augmented arcs).
+CH_SECTION_TAG = b"CHI1"
+
+#: Human-readable names for known section tags (``snapshot_info``).
+_SECTION_NAMES = {CH_SECTION_TAG: "ch"}
 
 _HEADER = struct.Struct("<4sHHQQ")  # magic, version, reserved, nodes, edges
 _U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 
 PathLike = Union[str, FilePath]
 
@@ -81,7 +99,11 @@ class CsrGraph:
 
     ``landmarks`` optionally carries the network's
     :class:`~repro.core.alt.LandmarkTable` once
-    :func:`~repro.core.alt.ensure_landmarks` has built one.
+    :func:`~repro.core.alt.ensure_landmarks` has built one, and
+    ``hierarchy`` its :class:`~repro.core.ch.CchBackend` once
+    :func:`~repro.core.ch.ensure_hierarchy` has — the two accelerator
+    structures the per-query backend dispatch
+    (:mod:`repro.core.backend`) selects between.
     """
 
     __slots__ = (
@@ -98,6 +120,7 @@ class CsrGraph:
         "fwd_arcs",
         "bwd_arcs",
         "landmarks",
+        "hierarchy",
     )
 
     def __init__(
@@ -130,6 +153,7 @@ class CsrGraph:
             num_nodes, bwd_offsets, bwd_targets, bwd_edge_ids, bwd_weights
         )
         self.landmarks = None
+        self.hierarchy = None
 
     @classmethod
     def from_network(cls, network: RoadNetwork) -> "CsrGraph":
@@ -161,7 +185,8 @@ class CsrGraph:
     def __repr__(self) -> str:
         return (
             f"CsrGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
-            f"landmarks={'yes' if self.landmarks is not None else 'no'})"
+            f"landmarks={'yes' if self.landmarks is not None else 'no'}, "
+            f"hierarchy={'yes' if self.hierarchy is not None else 'no'})"
         )
 
 
@@ -204,7 +229,8 @@ def attached_csr(network: RoadNetwork) -> Optional[CsrGraph]:
 
 
 def detach_csr(network: RoadNetwork) -> None:
-    """Drop the cached CSR view (and any landmark table riding on it)."""
+    """Drop the cached CSR view (and any landmark table or contraction
+    hierarchy riding on it)."""
     network._csr = None
 
 
@@ -345,7 +371,11 @@ def save_snapshot(network: RoadNetwork, path: Union[PathLike, BinaryIO]) -> None
     """Write the network to the binary snapshot format.
 
     ``path`` may be a filesystem path or a writable binary file object
-    (the fuzz tier round-trips through ``io.BytesIO``).
+    (the fuzz tier round-trips through ``io.BytesIO``).  When the
+    network has a contraction hierarchy attached (see
+    :func:`~repro.core.ch.ensure_hierarchy`), it is persisted as a
+    ``CHI1`` section so :func:`load_snapshot` restores it without
+    re-contracting.
     """
     if hasattr(path, "write"):
         _write_snapshot(network, path)
@@ -409,9 +439,72 @@ def _write_snapshot(network: RoadNetwork, handle: BinaryIO) -> None:
     ):
         handle.write(_to_le(arr))
 
+    sections: List[tuple[bytes, bytes]] = []
+    csr = network._csr
+    if csr is not None and csr.hierarchy is not None:
+        sections.append((CH_SECTION_TAG, _ch_section_payload(csr.hierarchy)))
+    handle.write(_U32.pack(len(sections)))
+    for tag, payload in sections:
+        handle.write(tag)
+        handle.write(_U64.pack(len(payload)))
+        handle.write(payload)
 
-def _read_header(handle: BinaryIO) -> tuple[int, int]:
-    """Validate magic + version; return (num_nodes, num_edges)."""
+
+def _ch_section_payload(hierarchy) -> bytes:
+    """Serialise a :class:`~repro.core.ch.CchBackend` (little-endian).
+
+    Layout: u64 arc count, then the rank array (one i64 per node) and
+    the six per-arc arrays — tails, heads, edge ids, child-up,
+    child-down (i64) and weights (f64).
+    """
+    parts = [_U64.pack(len(hierarchy.arc_tails))]
+    for arr in (
+        hierarchy.rank,
+        hierarchy.arc_tails,
+        hierarchy.arc_heads,
+        hierarchy.arc_edge_ids,
+        hierarchy.arc_child_up,
+        hierarchy.arc_child_down,
+        hierarchy.arc_weights,
+    ):
+        parts.append(_to_le(arr))
+    return b"".join(parts)
+
+
+def _read_ch_section(handle: BinaryIO, network: RoadNetwork) -> None:
+    """Parse a ``CHI1`` section and attach the restored hierarchy."""
+    (num_arcs,) = _U64.unpack(
+        _read_exact(handle, _U64.size, "CH section arc count")
+    )
+    n = network.num_nodes
+    rank = _read_array(handle, "q", n, "CH rank array")
+    arc_tails = _read_array(handle, "q", num_arcs, "CH arc tails")
+    arc_heads = _read_array(handle, "q", num_arcs, "CH arc heads")
+    arc_edge_ids = _read_array(handle, "q", num_arcs, "CH arc edge ids")
+    arc_child_up = _read_array(handle, "q", num_arcs, "CH arc child-up")
+    arc_child_down = _read_array(handle, "q", num_arcs, "CH arc child-down")
+    arc_weights = _read_array(handle, "d", num_arcs, "CH arc weights")
+    # Lazy import: repro.core.ch imports this module at module level.
+    from repro.core.ch import CchBackend
+
+    try:
+        backend = CchBackend.from_arrays(
+            network,
+            rank,
+            arc_tails,
+            arc_heads,
+            arc_edge_ids=arc_edge_ids,
+            arc_weights=arc_weights,
+            arc_child_up=arc_child_up,
+            arc_child_down=arc_child_down,
+        )
+    except (ConfigurationError, IndexError) as exc:
+        raise SnapshotError(f"inconsistent CH section: {exc}") from exc
+    ensure_csr(network).hierarchy = backend
+
+
+def _read_header(handle: BinaryIO) -> tuple[int, int, int]:
+    """Validate magic + version; return (version, num_nodes, num_edges)."""
     raw = _read_exact(handle, _HEADER.size, "header")
     magic, version, _reserved, n, m = _HEADER.unpack(raw)
     if magic != SNAPSHOT_MAGIC:
@@ -419,21 +512,26 @@ def _read_header(handle: BinaryIO) -> tuple[int, int]:
             f"not a repro network snapshot (magic {magic!r}, "
             f"expected {SNAPSHOT_MAGIC!r})"
         )
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
         raise SnapshotError(
-            f"unsupported snapshot version {version} "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"unsupported snapshot version {version} (this build reads "
+            f"versions {', '.join(map(str, SUPPORTED_SNAPSHOT_VERSIONS))})"
         )
-    return n, m
+    return version, n, m
 
 
 def load_snapshot(path: Union[PathLike, BinaryIO]) -> RoadNetwork:
     """Load a network written by :func:`save_snapshot`.
 
     Raises :class:`~repro.exceptions.SnapshotError` for bad magic,
-    unsupported versions and truncated files.  The returned network has
-    no CSR view attached; call :func:`ensure_csr` (or
-    :func:`~repro.core.alt.ensure_landmarks`) to accelerate it.
+    unsupported versions and truncated files.  A ``CHI1`` section (see
+    ``repro snapshot build --with-ch``) restores the saved contraction
+    hierarchy onto the returned network's CSR view — no
+    re-contraction; unknown section tags are skipped by length.
+    Networks saved without sections come back with no CSR view
+    attached; call :func:`ensure_csr` (or
+    :func:`~repro.core.alt.ensure_landmarks` /
+    :func:`~repro.core.ch.ensure_hierarchy`) to accelerate them.
     """
     if hasattr(path, "read"):
         return _read_snapshot(path)
@@ -442,7 +540,7 @@ def load_snapshot(path: Union[PathLike, BinaryIO]) -> RoadNetwork:
 
 
 def _read_snapshot(handle: BinaryIO) -> RoadNetwork:
-    n, m = _read_header(handle)
+    version, n, m = _read_header(handle)
     name = _read_string(handle, "network name")
     (string_count,) = _U32.unpack(
         _read_exact(handle, _U32.size, "string-table size")
@@ -485,27 +583,83 @@ def _read_snapshot(handle: BinaryIO) -> RoadNetwork:
             )
             for i in range(m)
         ]
-        return RoadNetwork(nodes, edges, name=name)
+        network = RoadNetwork(nodes, edges, name=name)
     except (IndexError, ValueError) as exc:
         raise SnapshotError(f"inconsistent snapshot payload: {exc}") from exc
 
+    if version >= 2:
+        (section_count,) = _U32.unpack(
+            _read_exact(handle, _U32.size, "section count")
+        )
+        for index in range(section_count):
+            tag = _read_exact(handle, 4, f"section {index} tag")
+            (length,) = _U64.unpack(
+                _read_exact(handle, _U64.size, f"section {index} length")
+            )
+            if tag == CH_SECTION_TAG:
+                _read_ch_section(handle, network)
+            else:
+                # Forward compatibility: newer writers may append
+                # sections this build does not know; their length
+                # prefix lets us hop over the payload.
+                _read_exact(handle, length, f"section {tag!r} payload")
+    return network
+
 
 def snapshot_info(path: PathLike) -> dict:
-    """Header metadata of a snapshot file, without loading the arrays.
+    """Metadata of a snapshot file, without loading the arrays.
 
     Returns ``{"magic", "version", "name", "num_nodes", "num_edges",
-    "file_bytes"}``; raises :class:`SnapshotError` on malformed
-    headers exactly like :func:`load_snapshot`.
+    "file_bytes", "sections"}`` where ``sections`` maps each optional
+    section (``"ch"`` for a persisted contraction hierarchy; unknown
+    tags appear under their raw tag string) to its payload size in
+    bytes — version-1 files report an empty mapping.  Raises
+    :class:`SnapshotError` on malformed headers or truncated sections
+    exactly like :func:`load_snapshot`; it never runs struct errors
+    loose.
     """
     path = FilePath(path)
+    file_bytes = path.stat().st_size
+    sections: Dict[str, int] = {}
     with open(path, "rb") as handle:
-        n, m = _read_header(handle)
+        version, n, m = _read_header(handle)
         name = _read_string(handle, "network name")
+        if version >= 2:
+            (string_count,) = _U32.unpack(
+                _read_exact(handle, _U32.size, "string-table size")
+            )
+            for index in range(string_count):
+                _read_string(handle, f"string-table entry {index}")
+            # Skip the fixed-width node/edge arrays: 3 per-node and 9
+            # per-edge arrays, all 8-byte elements.
+            handle.seek((3 * n + 9 * m) * 8, 1)
+            (section_count,) = _U32.unpack(
+                _read_exact(handle, _U32.size, "section count")
+            )
+            for index in range(section_count):
+                tag = _read_exact(handle, 4, f"section {index} tag")
+                (length,) = _U64.unpack(
+                    _read_exact(handle, _U64.size, f"section {index} length")
+                )
+                pos = handle.tell()
+                if pos + length > file_bytes:
+                    sec = _SECTION_NAMES.get(tag, repr(tag))
+                    raise SnapshotError(
+                        f"truncated snapshot: section {sec} declares "
+                        f"{length} payload bytes but only "
+                        f"{file_bytes - pos} remain"
+                    )
+                name_key = _SECTION_NAMES.get(
+                    tag, tag.decode("ascii", "backslashreplace")
+                )
+                sections[name_key] = length
+                handle.seek(length, 1)
     return {
         "magic": SNAPSHOT_MAGIC.decode("ascii"),
-        "version": SNAPSHOT_VERSION,
+        "version": version,
         "name": name,
         "num_nodes": n,
         "num_edges": m,
-        "file_bytes": path.stat().st_size,
+        "file_bytes": file_bytes,
+        "sections": sections,
     }

@@ -34,6 +34,9 @@ STAT_FIELDS: Tuple[str, ...] = (
     "heuristic_prunes",
     "context_tree_hits",
     "context_tree_misses",
+    "backend_dijkstra",
+    "backend_alt",
+    "backend_ch",
 )
 
 
@@ -54,7 +57,10 @@ class SearchStats:
     trees served from (or built into) a shared
     :class:`~repro.core.search_context.SearchContext` — a hit means the
     planner skipped a whole Dijkstra run another planner already paid
-    for.
+    for.  ``backend_dijkstra``/``backend_alt``/``backend_ch`` count
+    point-to-point searches answered by each serving backend (see
+    :mod:`repro.core.backend`), so ``/metrics`` shows which kernel
+    actually served an approach's queries.
     """
 
     nodes_expanded: int = 0
@@ -66,6 +72,9 @@ class SearchStats:
     heuristic_prunes: int = 0
     context_tree_hits: int = 0
     context_tree_misses: int = 0
+    backend_dijkstra: int = 0
+    backend_alt: int = 0
+    backend_ch: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Add another invocation's counters into this one."""

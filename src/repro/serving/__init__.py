@@ -28,7 +28,12 @@ from repro.serving.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.serving.query import RouteQuery
+from repro.serving.query import (
+    ROUTE_API_VERSION,
+    RouteQuery,
+    RouteRequest,
+    RouteResponse,
+)
 from repro.serving.resilience import (
     CircuitBreaker,
     Deadline,
@@ -70,8 +75,11 @@ __all__ = [
     "InflightGate",
     "MetricsRegistry",
     "PlanningTimeout",
+    "ROUTE_API_VERSION",
     "RouteCache",
     "RouteQuery",
+    "RouteRequest",
+    "RouteResponse",
     "RouteService",
     "ServiceOverloadedError",
     "ServiceResult",

@@ -389,11 +389,12 @@ class FaultInjectingPlanner(AlternativeRoutePlanner):
         return list(self.inner.plan(source, target).routes)
 
     def plan(
-        self, source: int, target: int, k: Optional[int] = None
+        self, source: int, target: int, k: Optional[int] = None, **kwargs
     ) -> RouteSet:
         # Delegate through the base class for validation/tracing, but
-        # keep the wrapped planner's configured k semantics.
-        return super().plan(source, target, k=k)
+        # keep the wrapped planner's configured k semantics (kwargs
+        # carry the base signature's context/backend overrides).
+        return super().plan(source, target, k=k, **kwargs)
 
     def __repr__(self) -> str:
         return (

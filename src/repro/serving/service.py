@@ -75,7 +75,7 @@ from repro.observability.tracing import (
 )
 from repro.serving.cache import RouteCache
 from repro.serving.metrics import MetricsRegistry
-from repro.serving.query import RouteQuery
+from repro.serving.query import RouteQuery, RouteResponse
 from repro.serving.resilience import (
     CIRCUIT_CLOSED,
     CircuitBreaker,
@@ -254,6 +254,13 @@ class RouteService:
         :mod:`repro.core.alt`), so the shared-context tree builds and
         single-route endpoints run on the accelerated kernels from the
         first query.  0 (default) changes nothing.
+    precompute_ch:
+        When True, contract the network up front (see
+        :func:`~repro.core.ch.ensure_hierarchy`) so CH-backed planners
+        and ``backend="ch"``/``"auto"`` queries serve from the
+        hierarchy without a first-query contraction stall.  Networks
+        loaded from a ``--with-ch`` snapshot already carry the
+        hierarchy, making this a no-op.
     breaker_clock:
         Monotonic time source handed to every circuit breaker;
         injectable so tests advance cooldowns without real sleeps.
@@ -273,6 +280,7 @@ class RouteService:
         propagate_deadline: bool = True,
         share_context: bool = True,
         precompute_landmarks: int = 0,
+        precompute_ch: bool = False,
         breaker_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_workers < 1:
@@ -293,6 +301,10 @@ class RouteService:
             ensure_landmarks(
                 processor.network, count=precompute_landmarks
             )
+        if precompute_ch:
+            from repro.core.ch import ensure_hierarchy
+
+            ensure_hierarchy(processor.network)
         self.processor = processor
         self.cache = RouteCache(cache_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -520,6 +532,24 @@ class RouteService:
             "cache_hits": result.cache_hits,
         }
 
+    def respond(self, result: ServiceResult) -> RouteResponse:
+        """The versioned wire response for a served result.
+
+        Same rendered content as :meth:`render`, wrapped in the typed
+        :class:`~repro.serving.query.RouteResponse` envelope the
+        ``/api/route`` endpoint and ``repro batch --json`` emit.
+        """
+        payload = self.render(result)
+        return RouteResponse(
+            source_node=payload["source_node"],
+            target_node=payload["target_node"],
+            fastest_minutes=payload["fastest_minutes"],
+            routes=payload["routes"],
+            errors=payload["errors"],
+            degraded=payload["degraded"],
+            cache_hits=payload["cache_hits"],
+        )
+
     def metrics_payload(self) -> Dict:
         """Counters, histograms, cache, circuits and admission stats."""
         payload = self.metrics.snapshot()
@@ -574,21 +604,25 @@ class RouteService:
         k: Optional[int],
         deadline: Optional[Deadline] = None,
         context: Optional[SearchContext] = None,
+        backend: Optional[str] = None,
     ) -> RouteSet:
         # Arm the query's shared search context ambiently (rather than
         # passing context= to plan()) so wrapper planners that override
         # plan() keep working unchanged; planners that cannot use the
-        # shared trees simply never read it.
+        # shared trees simply never read it.  The query's backend
+        # override rides the plan() call itself: route sets are
+        # backend-independent (the CH differential tier proves it), so
+        # cache entries stay shared across backends.
         with search_context_scope(context):
             if deadline is None:
                 with self.metrics.time(f"stage.plan.{approach}"):
-                    return planner.plan(source, target, k=k)
+                    return planner.plan(source, target, k=k, backend=backend)
             # Arm the query's shared deadline in this worker's (copied)
             # context so the planner's search loops can see and honour
             # it.
             with deadline_scope(deadline):
                 with self.metrics.time(f"stage.plan.{approach}"):
-                    return planner.plan(source, target, k=k)
+                    return planner.plan(source, target, k=k, backend=backend)
 
     def _annotate_circuit(
         self, approach: str, breaker: CircuitBreaker
@@ -729,7 +763,7 @@ class RouteService:
             future = self._executor.submit(
                 context.run,
                 self._plan_one, approach, planner, source, target,
-                query.k, deadline, search_context,
+                query.k, deadline, search_context, query.backend,
             )
             pending[future] = (approach, key, time.perf_counter())
 

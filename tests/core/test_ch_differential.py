@@ -1,0 +1,102 @@
+"""CH differential tier: every registered planner, every study city.
+
+The backend-selection API's core promise is that the serving backend
+changes the *work*, never the *answer*: ``plan(backend="ch")`` must
+return route sets identical to ``plan(backend="dijkstra")`` for every
+registered planner on every study network.  This suite proves it the
+same way ``test_differential`` proves context-sharing neutrality —
+route-for-route node and edge identity, with travel times compared
+approximately (CH shortcut weights are rebracketed float sums, so the
+costs may differ by ULPs even when the routes are identical).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra, shortest_path_nodes
+from repro.cities import CITY_BUILDERS
+from repro.core.backend import backend_scope
+from repro.core.ch import ensure_hierarchy
+from repro.core.registry import available_planners, make_planner
+
+#: Queries per city; every registered planner runs each both ways.
+PAIRS_PER_CITY = 2
+
+_EPS = 1e-6
+
+
+def _routable_pairs(network, count=PAIRS_PER_CITY, seed=0):
+    rng = random.Random(f"ch-differential:{network.name}:{seed}")
+    pairs = []
+    attempts = 0
+    while len(pairs) < count:
+        attempts += 1
+        assert attempts < 500, "could not find routable pairs"
+        source = rng.randrange(network.num_nodes)
+        tree = dijkstra(network, source)
+        reachable = [
+            node.id
+            for node in network.nodes()
+            if node.id != source and tree.reachable(node.id)
+        ]
+        if len(reachable) < 10:
+            continue
+        target = max(reachable, key=tree.distance)
+        if (source, target) not in pairs:
+            pairs.append((source, target))
+    return pairs
+
+
+@pytest.fixture(scope="module", params=sorted(CITY_BUILDERS))
+def city(request):
+    """(name, contracted network, query pairs) for one study city."""
+    name = request.param
+    network = CITY_BUILDERS[name](size="small", seed=0)
+    ensure_hierarchy(network)
+    return name, network, _routable_pairs(network)
+
+
+@pytest.mark.parametrize("approach", sorted(available_planners()))
+def test_ch_and_dijkstra_backends_return_identical_routes(city, approach):
+    """plan(backend="ch") == plan(backend="dijkstra"), route for route."""
+    _name, network, pairs = city
+    planner = make_planner(approach, network)
+    for source, target in pairs:
+        by_dijkstra = planner.plan(source, target, backend="dijkstra")
+        by_ch = planner.plan(source, target, backend="ch")
+        assert by_ch == by_dijkstra
+        assert len(by_ch) == len(by_dijkstra)
+        for ch_route, dij_route in zip(by_ch, by_dijkstra):
+            assert ch_route.nodes == dij_route.nodes
+            assert ch_route.edge_ids == dij_route.edge_ids
+            assert ch_route.travel_time_s == pytest.approx(
+                dij_route.travel_time_s, abs=_EPS
+            )
+
+
+def test_point_to_point_dispatch_is_backend_identical(city):
+    """The p2p entry point returns the same cost under every backend."""
+    _name, network, pairs = city
+    weights = network.default_weights()
+
+    def cost(nodes):
+        total = 0.0
+        for u, v in zip(nodes, nodes[1:]):
+            total += min(
+                weights[edge.id]
+                for edge in network.out_edges(u)
+                if edge.v == v
+            )
+        return total
+
+    for source, target in pairs:
+        costs = {}
+        for backend in ("dijkstra", "ch"):
+            with backend_scope(backend):
+                nodes = shortest_path_nodes(network, source, target)
+            assert nodes[0] == source and nodes[-1] == target
+            costs[backend] = cost(nodes)
+        assert costs["ch"] == pytest.approx(costs["dijkstra"], abs=_EPS)

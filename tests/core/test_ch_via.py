@@ -1,0 +1,129 @@
+"""Tests for the CH search-space-overlap via-node planner.
+
+The :class:`~repro.core.ch_via.ChViaNodePlanner` mines alternative
+routes from the overlap of the forward and backward CH upward search
+spaces.  These tests pin its contract: the first route is the true
+shortest path, every route is a simple path within the stretch bound,
+admission rules filter candidates, and the planner plays by the
+planner-registry and RouteSet rules like every other approach.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.core.base import DEFAULT_K
+from repro.core.ch import ensure_hierarchy
+from repro.core.ch_via import ChViaNodePlanner
+from repro.core.registry import make_planner
+from repro.core.via_node import make_dissimilarity_rule
+from repro.exceptions import ConfigurationError, QueryError
+from repro.cities import melbourne
+
+_EPS = 1e-6
+
+
+@pytest.fixture(scope="module")
+def network():
+    net = melbourne(size="small")
+    ensure_hierarchy(net)
+    return net
+
+
+@pytest.fixture(scope="module")
+def planner(network):
+    return ChViaNodePlanner(network)
+
+
+def _pairs(network, count=8):
+    import random
+
+    rng = random.Random(f"ch-via:{network.name}")
+    pairs = []
+    while len(pairs) < count:
+        source, target = rng.sample(range(network.num_nodes), 2)
+        if dijkstra(network, source).reachable(target):
+            pairs.append((source, target))
+    return pairs
+
+
+def test_first_route_is_the_shortest_path(network, planner):
+    for source, target in _pairs(network):
+        route_set = planner.plan(source, target)
+        assert not route_set.is_empty
+        expected = dijkstra(network, source).distance(target)
+        assert route_set[0].travel_time_s == pytest.approx(
+            expected, abs=_EPS
+        )
+
+
+def test_routes_are_simple_and_within_stretch(network, planner):
+    weights = network.default_weights()
+    for source, target in _pairs(network):
+        route_set = planner.plan(source, target)
+        optimal = route_set[0].travel_time_on(weights)
+        for route in route_set:
+            assert route.is_simple()
+            stretch = route.travel_time_on(weights) / optimal
+            assert stretch <= planner.stretch_bound + _EPS
+
+
+def test_respects_k(network):
+    planner = ChViaNodePlanner(network, k=1)
+    for source, target in _pairs(network, count=3):
+        assert len(planner.plan(source, target)) == 1
+    wide = ChViaNodePlanner(network, k=5)
+    source, target = _pairs(network, count=1)[0]
+    assert len(wide.plan(source, target)) <= 5
+
+
+def test_routes_are_distinct(network, planner):
+    for source, target in _pairs(network, count=4):
+        route_set = planner.plan(source, target)
+        edge_sets = [frozenset(route.edge_ids) for route in route_set]
+        assert len(set(edge_sets)) == len(edge_sets)
+
+
+def test_admission_rule_filters_candidates(network):
+    permissive = ChViaNodePlanner(network, k=DEFAULT_K)
+    strict = ChViaNodePlanner(
+        network,
+        k=DEFAULT_K,
+        admission=make_dissimilarity_rule(0.95),
+    )
+    for source, target in _pairs(network, count=4):
+        loose = permissive.plan(source, target)
+        tight = strict.plan(source, target)
+        # The strict rule can only remove alternatives, never add.
+        assert len(tight) <= len(loose)
+        assert tight[0].nodes == loose[0].nodes  # shortest always kept
+
+
+def test_counts_search_effort_and_backend(network, planner):
+    source, target = _pairs(network, count=1)[0]
+    stats = planner.plan(source, target).stats
+    assert stats is not None
+    assert stats.backend_ch >= 1
+    assert stats.candidates_generated > 0
+    assert stats.candidates_accepted >= 1
+
+
+def test_stretch_bound_validation(network):
+    with pytest.raises(ConfigurationError):
+        ChViaNodePlanner(network, stretch_bound=0.9)
+
+
+def test_degenerate_query_rejected(network, planner):
+    with pytest.raises(QueryError):
+        planner.plan(5, 5)
+
+
+def test_registry_builds_it(network):
+    planner = make_planner("ChViaNode", network, k=2)
+    assert isinstance(planner, ChViaNodePlanner)
+    assert planner.k == 2
+    source, target = _pairs(network, count=1)[0]
+    route_set = planner.plan(source, target)
+    assert route_set.approach == "ChViaNode"
+    assert not route_set.is_empty

@@ -52,6 +52,19 @@ def corner_points(server):
     return source, target
 
 
+def route_body(source, target, **extra):
+    """The flat versioned /api/route body for two corner points."""
+    body = {
+        "version": 1,
+        "source_lat": source["lat"],
+        "source_lon": source["lon"],
+        "target_lat": target["lat"],
+        "target_lon": target["lon"],
+    }
+    body.update(extra)
+    return body
+
+
 class TestPages:
     def test_index_page_served(self, server):
         with urllib.request.urlopen(server.url + "/", timeout=10) as resp:
@@ -79,12 +92,21 @@ class TestRouteEndpoint:
     def test_route_computation(self, server):
         source, target = corner_points(server)
         payload = post_json(
-            server, "/api/route", {"source": source, "target": target}
+            server, "/api/route", route_body(source, target)
         )
         assert set(payload["routes"]) == {"A", "B", "C", "D"}
         assert payload["fastest_minutes"] >= 1
         for collection in payload["routes"].values():
             assert collection["features"]
+
+    def test_legacy_nested_payload_still_accepted(self, server):
+        # The pre-versioning nested shape must keep working (it emits
+        # a DeprecationWarning server-side; the wire tests pin that).
+        source, target = corner_points(server)
+        payload = post_json(
+            server, "/api/route", {"source": source, "target": target}
+        )
+        assert set(payload["routes"]) == {"A", "B", "C", "D"}
 
     def test_malformed_body_rejected(self, server):
         request = urllib.request.Request(
@@ -102,8 +124,11 @@ class TestRouteEndpoint:
                 server,
                 "/api/route",
                 {
-                    "source": {"lat": 0.0, "lon": 0.0},
-                    "target": {"lat": 1.0, "lon": 1.0},
+                    "version": 1,
+                    "source_lat": 0.0,
+                    "source_lon": 0.0,
+                    "target_lat": 1.0,
+                    "target_lon": 1.0,
                 },
             )
         assert excinfo.value.code == 400
@@ -113,7 +138,7 @@ class TestFeedbackEndpoint:
     def test_feedback_round_trip(self, server):
         source, target = corner_points(server)
         route = post_json(
-            server, "/api/route", {"source": source, "target": target}
+            server, "/api/route", route_body(source, target)
         )
         before = get_json(server, "/api/stats")["responses"]
         stored = post_json(
@@ -230,7 +255,7 @@ class TestMetricsEndpoint:
 
     def test_route_queries_feed_the_metrics(self, server):
         source, target = corner_points(server)
-        post_json(server, "/api/route", {"source": source, "target": target})
+        post_json(server, "/api/route", route_body(source, target))
         payload = get_json(server, "/metrics")
         assert payload["counters"]["queries.total"] >= 1
         assert payload["histograms"]["stage.vertex_match"]["count"] >= 1
@@ -238,7 +263,7 @@ class TestMetricsEndpoint:
 
     def test_repeated_query_hits_the_route_cache(self, server):
         source, target = corner_points(server)
-        body = {"source": source, "target": target}
+        body = route_body(source, target)
         post_json(server, "/api/route", body)
         before = get_json(server, "/metrics")["cache"]["hits"]
         payload = post_json(server, "/api/route", body)
@@ -261,7 +286,7 @@ class TestHealthEndpoint:
 class TestTraceEndpoint:
     def test_route_query_produces_full_trace(self, server):
         source, target = corner_points(server)
-        post_json(server, "/api/route", {"source": source, "target": target})
+        post_json(server, "/api/route", route_body(source, target))
         trace = get_json(server, "/trace?limit=1")["traces"][0]
         spans = trace["spans"]
         assert len(spans) >= 5
@@ -278,7 +303,7 @@ class TestTraceEndpoint:
         source, target = corner_points(server)
         for _ in range(2):
             post_json(
-                server, "/api/route", {"source": source, "target": target}
+                server, "/api/route", route_body(source, target)
             )
         assert len(get_json(server, "/trace")["traces"]) >= 2
         assert len(get_json(server, "/trace?limit=1")["traces"]) == 1
@@ -307,7 +332,7 @@ class TestPrometheusExposition:
 
     def test_search_gauges_present_after_a_query(self, server):
         source, target = corner_points(server)
-        post_json(server, "/api/route", {"source": source, "target": target})
+        post_json(server, "/api/route", route_body(source, target))
         _content_type, text = self._scrape(server)
         assert "# TYPE repro_search_nodes_expanded gauge" in text
         assert 'repro_search_nodes_expanded{approach="Penalty"}' in text
@@ -321,12 +346,7 @@ class TestRouteEndpointExtensions:
         payload = post_json(
             server,
             "/api/route",
-            {
-                "source": source,
-                "target": target,
-                "approaches": ["Penalty"],
-                "k": 1,
-            },
+            route_body(source, target, approaches=["Penalty"], k=1),
         )
         assert set(payload["routes"]) == {"D"}
         assert len(payload["routes"]["D"]["features"]) == 1
@@ -361,7 +381,7 @@ class TestResilienceEndpoints:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 post_json(
                     server, "/api/route",
-                    {"source": source, "target": target},
+                    route_body(source, target),
                 )
             assert excinfo.value.code == 503
             assert excinfo.value.headers["Retry-After"] == "2"

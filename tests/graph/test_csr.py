@@ -152,3 +152,102 @@ class TestSnapshots:
 
     def test_snapshot_error_is_graph_error(self):
         assert issubclass(SnapshotError, GraphError)
+
+
+class TestChSections:
+    """The v2 tagged-section block carrying the contraction hierarchy."""
+
+    @pytest.fixture()
+    def contracted(self):
+        from repro.cities import melbourne
+        from repro.core.ch import ensure_hierarchy
+
+        network = melbourne(size="small")
+        ensure_hierarchy(network)
+        return network
+
+    def test_round_trip_restores_hierarchy_without_recontracting(
+        self, tmp_path, contracted, monkeypatch
+    ):
+        import repro.core.ch as ch_module
+
+        path = tmp_path / "ch.snap"
+        save_snapshot(contracted, path)
+        # Any contraction on load would be a regression: the hierarchy
+        # must come back from the section bytes alone.
+        monkeypatch.setattr(
+            ch_module,
+            "build_hierarchy",
+            lambda *a, **k: pytest.fail("snapshot load re-contracted"),
+        )
+        restored = load_snapshot(path)
+        csr = attached_csr(restored)
+        assert csr is not None and csr.hierarchy is not None
+        original = attached_csr(contracted).hierarchy
+        assert csr.hierarchy.num_arcs == original.num_arcs
+        assert csr.hierarchy.num_shortcuts == original.num_shortcuts
+        assert csr.hierarchy.shortest_path_nodes(
+            0, 100
+        ) == original.shortest_path_nodes(0, 100)
+
+    def test_snapshot_info_reports_section_sizes(
+        self, tmp_path, contracted, grid10
+    ):
+        with_ch = tmp_path / "with.snap"
+        save_snapshot(contracted, with_ch)
+        info = snapshot_info(with_ch)
+        assert info["version"] == SNAPSHOT_VERSION
+        assert set(info["sections"]) == {"ch"}
+        assert info["sections"]["ch"] > 0
+
+        without = tmp_path / "without.snap"
+        save_snapshot(grid10, without)
+        assert snapshot_info(without)["sections"] == {}
+
+    def test_truncated_ch_section_raises_typed_error(
+        self, tmp_path, contracted
+    ):
+        buffer = io.BytesIO()
+        save_snapshot(contracted, buffer)
+        payload = buffer.getvalue()
+        path = tmp_path / "cut.snap"
+        # Cut into the middle of the CH payload (the file's tail).
+        path.write_bytes(payload[: len(payload) - 1000])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+        with pytest.raises(SnapshotError, match="truncated"):
+            snapshot_info(path)
+
+    def test_unknown_section_tags_are_skipped(self, tmp_path, contracted):
+        buffer = io.BytesIO()
+        save_snapshot(contracted, buffer)
+        payload = bytearray(buffer.getvalue())
+        # Rewrite the CH tag (first CHI1 occurrence: the section
+        # header) to an unknown tag; the loader must hop over the
+        # payload by its length and return the un-accelerated network.
+        tag_at = payload.find(b"CHI1")
+        assert tag_at != -1
+        payload[tag_at : tag_at + 4] = b"ZZZ9"
+        path = tmp_path / "unknown.snap"
+        path.write_bytes(bytes(payload))
+        restored = load_snapshot(path)
+        assert restored.num_nodes == contracted.num_nodes
+        assert attached_csr(restored) is None
+        info = snapshot_info(path)
+        assert set(info["sections"]) == {"ZZZ9"}
+
+    def test_corrupt_ch_payload_raises_typed_error(
+        self, tmp_path, contracted
+    ):
+        buffer = io.BytesIO()
+        save_snapshot(contracted, buffer)
+        payload = bytearray(buffer.getvalue())
+        tag_at = payload.find(b"CHI1")
+        # Poison the rank array (first section field after the arc
+        # count) with an out-of-range node rank.
+        rank_at = tag_at + 4 + 8 + 8
+        payload[rank_at : rank_at + 8] = struct.pack("<q", -12345)
+        path = tmp_path / "corrupt.snap"
+        path.write_bytes(bytes(payload))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
