@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-chaos bench-csr bench-ch examples report clean
+.PHONY: install test bench bench-serving bench-chaos bench-csr bench-ch bench-diff replay-smoke examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,16 @@ bench-csr:
 
 bench-ch:
 	$(PYTHON) -m pytest benchmarks/bench_ch.py -q
+
+# Gate fresh BENCH_*.json results against the committed baselines
+# (same comparison CI runs; see docs/observability.md to re-bless).
+bench-diff:
+	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_serving.json benchmarks/output/BENCH_bench_serving.json
+	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_csr.json benchmarks/output/BENCH_bench_csr.json
+	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_ch.json benchmarks/output/BENCH_bench_ch.json
+
+replay-smoke:
+	$(PYTHON) -m repro replay benchmarks/data/query_log_tiny.jsonl
 
 examples:
 	$(PYTHON) examples/quickstart.py

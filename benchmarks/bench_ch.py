@@ -34,9 +34,18 @@ from repro.core.registry import make_planner
 from repro.graph.csr import detach_csr, ensure_csr, load_snapshot, save_snapshot
 
 from conftest import CITY, SEED, SIZE, write_artifact
+from telemetry import BenchTelemetry
 
 #: Landmark count matching bench_csr's ALT baseline configuration.
 NUM_LANDMARKS = 16
+
+TELEMETRY = BenchTelemetry("bench_ch")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
 
 NUM_PAIRS = 30
 
@@ -126,6 +135,24 @@ def test_bench_ch_point_to_point(network, pairs):
         f"{alt_s * 1000:.1f} ms; the hierarchy must win"
     )
     assert ch_s < pure_s
+    # Speedup ratios are same-box comparisons and gate at 50%;
+    # absolute millisecond numbers are machine-dependent and only
+    # catch gross (4x) regressions.
+    TELEMETRY.add_metric(
+        "p2p_speedup_vs_dijkstra", round(pure_s / ch_s, 2), unit="x",
+        direction="higher", threshold=0.5,
+    )
+    TELEMETRY.add_metric(
+        "p2p_speedup_vs_alt", round(alt_s / ch_s, 2), unit="x",
+        direction="higher", threshold=0.5,
+    )
+    TELEMETRY.add_metric(
+        "p2p_ch_ms", round(ch_s * 1000, 3), unit="ms",
+        direction="lower", threshold=3.0,
+    )
+    TELEMETRY.add_metric(
+        "contraction_ms", round(contraction_s * 1000, 2), unit="ms",
+    )
     write_artifact(
         "bench_ch_p2p.txt",
         json.dumps(
@@ -176,6 +203,15 @@ def test_bench_ch_alternatives(network, pairs):
         f"ChViaNode took {ch_s * 1000:.1f} ms vs the ALT via-node "
         f"baseline's {baseline_s * 1000:.1f} ms ({speedup:.1f}x; "
         f"floor {ALTERNATIVES_SPEEDUP_FLOOR}x)"
+    )
+    TELEMETRY.add_metric(
+        "alternatives_speedup", round(speedup, 2), unit="x",
+        direction="higher", threshold=0.5,
+    )
+    TELEMETRY.add_metric(
+        "alternatives_ch_per_query_ms",
+        round(ch_s * 1000 / len(alt_pairs), 3), unit="ms",
+        direction="lower", threshold=3.0,
     )
     write_artifact(
         "bench_ch.txt",
@@ -229,6 +265,13 @@ def test_bench_snapshot_with_ch(network):
     assert load_s < contraction_s, (
         f"snapshot load took {load_s * 1000:.1f} ms vs re-contraction's "
         f"{contraction_s * 1000:.1f} ms"
+    )
+    TELEMETRY.add_metric(
+        "snapshot_load_speedup", round(contraction_s / load_s, 2),
+        unit="x", direction="higher", threshold=1.0,
+    )
+    TELEMETRY.add_metric(
+        "snapshot_bytes", len(buffer.getvalue()), unit="bytes",
     )
     write_artifact(
         "bench_ch_snapshot.txt",

@@ -40,12 +40,21 @@ from repro.graph.serialize import network_from_dict, network_to_dict
 from repro.observability.search import collect_search_stats
 
 from conftest import CITY, OUTPUT_DIR, SEED, SIZE, write_artifact
+from telemetry import BenchTelemetry
 
 #: Landmarks for the bench: the paper-scale networks justify a bigger
 #: table than the library default of 8.
 NUM_LANDMARKS = 16
 
 NUM_PAIRS = 40
+
+TELEMETRY = BenchTelemetry("bench_csr")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
 
 
 @pytest.fixture(scope="module")
@@ -124,6 +133,18 @@ def test_bench_alt_expansions(network, pairs):
         f"{bidirectional_expanded}; want at least a 2x reduction"
     )
     assert alt_expanded * 2 <= dijkstra_expanded
+    # Node-expansion ratios are deterministic (seeded pairs, seeded
+    # landmarks) so they gate tightly at the CLI default threshold.
+    TELEMETRY.add_metric(
+        "alt_expansion_reduction_vs_bidirectional",
+        round(bidirectional_expanded / alt_expanded, 2), unit="x",
+        direction="higher",
+    )
+    TELEMETRY.add_metric(
+        "alt_expansion_reduction_vs_dijkstra",
+        round(dijkstra_expanded / alt_expanded, 2), unit="x",
+        direction="higher",
+    )
     write_artifact(
         "bench_csr_expansions.txt",
         json.dumps(
@@ -182,6 +203,14 @@ def test_bench_point_to_point_wall_clock(network, pairs):
     assert alt_s < pure_s, (
         f"ALT point-to-point took {alt_s * 1000:.1f} ms vs the pure "
         f"kernel's {pure_s * 1000:.1f} ms; the acceleration must win"
+    )
+    TELEMETRY.add_metric(
+        "p2p_speedup_vs_dijkstra", round(pure_s / alt_s, 2), unit="x",
+        direction="higher", threshold=0.5,
+    )
+    TELEMETRY.add_metric(
+        "full_tree_speedup", round(tree_pure_s / tree_csr_s, 2),
+        unit="x", direction="higher", threshold=0.5,
     )
     write_artifact(
         "bench_csr.txt",

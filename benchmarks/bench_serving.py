@@ -28,11 +28,20 @@ from repro.demo.query_processor import QueryProcessor
 from repro.serving import RouteQuery, RouteService
 
 from conftest import write_artifact
+from telemetry import BenchTelemetry
 
 #: Distinct (source, target) coordinate pairs per measured pass.
 QUERY_COUNT = 8
 #: Warm-cache passes over the query set.
 WARM_PASSES = 5
+
+TELEMETRY = BenchTelemetry("bench_serving")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
 
 
 @pytest.fixture(scope="module")
@@ -91,6 +100,33 @@ def test_bench_serving_warm_cache_throughput(processor):
         warm_qps = served_warm / warm_s
         speedup = warm_qps / uncached_qps
         stats = cached.cache.stats()
+
+        # The speedup ratio is machine-independent (both sides run on
+        # the same box) so it gates tightly; absolute latencies only
+        # gate against gross regressions (threshold 3.0 = 4x).
+        TELEMETRY.add_metric(
+            "warm_cache_speedup", round(speedup, 2), unit="x",
+            direction="higher", threshold=0.5,
+        )
+        TELEMETRY.add_metric(
+            "uncached_qps", round(uncached_qps, 1), unit="q/s",
+        )
+        TELEMETRY.add_metric(
+            "warm_qps", round(warm_qps, 1), unit="q/s",
+        )
+        latency = cached.metrics.snapshot()["histograms"].get(
+            "query.total", {}
+        )
+        if latency.get("count"):
+            TELEMETRY.add_metric(
+                "query_total_p99_ms",
+                round(latency["p99_s"] * 1000, 3), unit="ms",
+                direction="lower", threshold=3.0,
+                quantiles={
+                    key: round(latency[f"{key}_s"] * 1000, 3)
+                    for key in ("p50", "p95", "p99", "p999")
+                },
+            )
 
         write_artifact(
             "bench_serving.txt",
@@ -203,6 +239,14 @@ def test_bench_serving_batch_tree_reuse_speedup(processor):
         full_shared_s, full_batch = _time_batch(full_shared, full_queries)
         full_speedup = full_unshared_s / full_shared_s
 
+        TELEMETRY.add_metric(
+            "batch_tree_speedup", round(speedup, 2), unit="x",
+            direction="higher", threshold=0.5,
+        )
+        TELEMETRY.add_metric(
+            "batch_full_speedup", round(full_speedup, 2), unit="x",
+        )
+
         write_artifact(
             "bench_serving_batch.txt",
             "\n".join(
@@ -250,7 +294,7 @@ def test_bench_serving_degraded_query_still_serves(processor):
             self.k = inner.k
             self.name = inner.name
 
-        def plan(self, source, target, k=None):
+        def plan(self, source, target, k=None, **kwargs):
             raise RuntimeError("injected planner failure")
 
     planners = dict(processor.planners)

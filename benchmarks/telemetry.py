@@ -1,0 +1,80 @@
+"""Bench-side glue for the machine-readable telemetry sidecars.
+
+Every ``bench_*.py`` module owns one :class:`BenchTelemetry`; its tests
+record named metrics as they measure them, and a module-scoped autouse
+fixture flushes the collected report to
+``benchmarks/output/BENCH_<module>.json`` at teardown:
+
+    TELEMETRY = BenchTelemetry("bench_serving")
+
+    @pytest.fixture(scope="module", autouse=True)
+    def _telemetry():
+        yield
+        TELEMETRY.write()
+
+    def test_something():
+        ...
+        TELEMETRY.add_metric("cache_speedup", speedup,
+                             unit="x", direction="higher")
+
+The JSON format and the gating semantics (``direction``/``threshold``)
+live in :mod:`repro.observability.benchjson`; committed baselines under
+``benchmarks/baselines/`` are what ``repro bench diff`` and CI compare
+fresh runs against.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.observability.benchjson import BenchReport
+
+# Same pinned configuration conftest.py reads; duplicated (three env
+# lookups) rather than imported so this module never depends on which
+# conftest pytest happened to put on sys.path first.
+CITY = os.environ.get("REPRO_BENCH_CITY", "melbourne")
+SIZE = os.environ.get("REPRO_BENCH_SIZE", "medium")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Committed regression-gate baselines (generated at the CI smoke
+#: size; see docs/observability.md for the re-bless procedure).
+BASELINE_DIR = Path(__file__).parent / "baselines"
+
+
+class BenchTelemetry:
+    """Accumulates one bench module's metrics and writes the sidecar."""
+
+    def __init__(self, name: str) -> None:
+        self.report = BenchReport(
+            name=name,
+            context={"city": CITY, "size": SIZE, "seed": SEED},
+        )
+
+    def add_metric(
+        self,
+        name: str,
+        value: float,
+        unit: Optional[str] = None,
+        direction: Optional[str] = None,
+        threshold: Optional[float] = None,
+        quantiles: Optional[Dict] = None,
+    ) -> None:
+        """Record one metric (see :meth:`BenchReport.add_metric`)."""
+        self.report.add_metric(
+            name, value,
+            unit=unit, direction=direction,
+            threshold=threshold, quantiles=quantiles,
+        )
+
+    def write(self) -> Optional[Path]:
+        """Write ``BENCH_<name>.json`` (skipped when nothing recorded)."""
+        if not self.report.metrics:
+            return None
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        return self.report.write(
+            OUTPUT_DIR / f"BENCH_{self.report.name}.json"
+        )

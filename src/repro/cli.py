@@ -10,6 +10,9 @@ Commands
 ``demo``         serve the web demonstration system
 ``figure``       regenerate Figure 1 or the Figure 4 case study
 ``stability``    seed-stability sweep of the reproduced conclusions
+``log``          tail or summarise a captured query log
+``replay``       re-drive a captured query log against a live service
+``bench``        diff machine-readable BENCH_*.json results
 """
 
 from __future__ import annotations
@@ -269,6 +272,8 @@ def _cmd_study(args) -> int:
 
 def _cmd_demo(args) -> int:
     from repro.demo import DemoServer, QueryProcessor, ResponseStore
+    from repro.observability.profiling import Profiler, format_profile
+    from repro.observability.querylog import QueryLog
     from repro.serving import RouteService
 
     network = _build_network(args)
@@ -278,6 +283,20 @@ def _cmd_demo(args) -> int:
         precompute_landmarks=args.precompute_landmarks,
         precompute_ch=args.precompute_ch,
     )
+    query_log = None
+    if args.query_log:
+        query_log = QueryLog(
+            path=args.query_log,
+            sample_rate=args.query_log_sample,
+            max_records=args.query_log_max,
+            meta={
+                "city": args.city,
+                "size": args.size,
+                "seed": args.seed,
+                "traffic_seed": args.seed,
+            },
+        )
+    profiler = Profiler(enabled=args.profile)
     service = RouteService(
         processor,
         cache_size=args.cache_size,
@@ -286,6 +305,8 @@ def _cmd_demo(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
         max_inflight=args.max_inflight,
+        query_log=query_log,
+        profiler=profiler,
     )
     server = DemoServer(
         processor,
@@ -297,10 +318,100 @@ def _cmd_demo(args) -> int:
     print(f"demo running at {server.url} — Ctrl-C to stop")
     print(f"serving metrics at {server.url}/metrics")
     print(f"health at {server.url}/healthz, traces at {server.url}/trace")
+    if args.profile:
+        print(f"per-phase profile at {server.url}/debug/profile")
+    if query_log is not None:
+        print(f"query log capturing to {args.query_log}")
     server.serve_forever()
     if args.dump_traces:
         print(json.dumps(service.traces_payload(), indent=2))
+    if args.profile:
+        print(format_profile(service.profile_payload()))
+    if query_log is not None:
+        query_log.close()
+        stats = query_log.stats_payload()
+        print(
+            f"query log: {stats['written']} records written to "
+            f"{args.query_log} ({stats['sampled_out']} sampled out, "
+            f"{stats['dropped']} dropped)"
+        )
     return 0
+
+
+def _cmd_log_tail(args) -> int:
+    from repro.observability.querylog import tail_records
+
+    for record in tail_records(args.path, args.n):
+        print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def _cmd_log_stats(args) -> int:
+    from repro.observability.querylog import log_stats, read_query_log
+
+    header, records = read_query_log(args.path)
+    payload = {"header": header, "stats": log_stats(records)}
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.demo import QueryProcessor
+    from repro.observability.querylog import read_query_log
+    from repro.observability.replay import format_replay_report, replay_log
+    from repro.serving import RouteService
+
+    header, records = read_query_log(args.path)
+    if not records:
+        print(f"error: {args.path} has no records", file=sys.stderr)
+        return 1
+    # The capture's header names the network it was recorded against;
+    # CLI flags override, so a log can be replayed onto a what-if
+    # topology too.
+    meta = header.get("meta", {})
+    city = args.city or meta.get("city", "melbourne")
+    size = args.size or meta.get("size", "small")
+    seed = args.seed if args.seed is not None else meta.get("seed", 0)
+    traffic_seed = meta.get("traffic_seed", seed)
+    network = CITY_BUILDERS[city](size=size, seed=seed)
+    processor = QueryProcessor(network, traffic_seed=traffic_seed)
+    with RouteService(
+        processor,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+        breaker_threshold=0,
+        max_inflight=0,
+    ) as service:
+        report = replay_log(
+            service,
+            records,
+            mode=args.mode,
+            speed=args.speed,
+            sample_rate=args.sample,
+            seed=args.replay_seed,
+            limit=args.limit,
+        )
+    print(f"replaying {args.path} against {city}/{size} (seed {seed})")
+    print(format_replay_report(report))
+    if args.json:
+        print(json.dumps(report.to_payload(), sort_keys=True))
+    return 0 if report.equivalent else 1
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.observability.benchjson import (
+        diff_reports,
+        format_diff,
+        load_report,
+    )
+
+    diff = diff_reports(
+        load_report(args.baseline),
+        load_report(args.current),
+        threshold=args.threshold,
+    )
+    print(format_diff(diff))
+    return 0 if diff.ok else 1
 
 
 def _cmd_figure(args) -> int:
@@ -489,6 +600,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump-traces", action="store_true",
         help="print the trace ring buffer as JSON on shutdown",
     )
+    demo.add_argument(
+        "--profile", action="store_true",
+        help="enable the per-phase profiler (GET /debug/profile) and "
+        "print the phase tree on shutdown",
+    )
+    demo.add_argument(
+        "--query-log", default=None, metavar="PATH",
+        help="capture served queries as JSONL to PATH (for repro "
+        "log / repro replay)",
+    )
+    demo.add_argument(
+        "--query-log-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of queries captured, in (0, 1] (default: 1.0)",
+    )
+    demo.add_argument(
+        "--query-log-max", type=int, default=10_000, metavar="N",
+        help="stop capturing after N records (default: 10000)",
+    )
     demo.set_defaults(handler=_cmd_demo)
 
     figure = commands.add_parser(
@@ -512,6 +641,90 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_arguments(report)
     report.add_argument("--out", default="REPORT.md")
     report.set_defaults(handler=_cmd_report)
+
+    log = commands.add_parser(
+        "log", help="tail or summarise a captured query log"
+    )
+    log_commands = log.add_subparsers(dest="log_command", required=True)
+    log_tail = log_commands.add_parser(
+        "tail", help="print the last N records as JSON lines"
+    )
+    log_tail.add_argument("path")
+    log_tail.add_argument("-n", type=int, default=10,
+                          help="records to print (default: 10)")
+    log_tail.set_defaults(handler=_cmd_log_tail)
+    log_stats = log_commands.add_parser(
+        "stats",
+        help="summarise outcomes, cache hits and latency quantiles",
+    )
+    log_stats.add_argument("path")
+    log_stats.set_defaults(handler=_cmd_log_stats)
+
+    replay = commands.add_parser(
+        "replay",
+        help="re-drive a captured query log against a live service "
+        "and compare the routes served",
+    )
+    replay.add_argument("path", help="query log captured by the demo")
+    # Network flags default to None so the capture header's metadata
+    # wins unless explicitly overridden.
+    replay.add_argument("--city", default=None, choices=_CITIES)
+    replay.add_argument("--size", default=None, choices=_SIZES)
+    replay.add_argument("--seed", type=int, default=None)
+    replay.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed replays back-to-back; open honours the captured "
+        "inter-arrival gaps (default: closed)",
+    )
+    replay.add_argument(
+        "--speed", type=float, default=1.0,
+        help="open-loop speed multiplier (2.0 = twice capture speed)",
+    )
+    replay.add_argument(
+        "--sample", type=float, default=1.0,
+        help="fraction of records replayed, in (0, 1] (default: 1.0)",
+    )
+    replay.add_argument(
+        "--replay-seed", type=int, default=0,
+        help="PRNG seed for --sample record selection",
+    )
+    replay.add_argument(
+        "--limit", type=int, default=None,
+        help="replay at most this many records",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=4,
+        help="concurrent planner invocations per query",
+    )
+    replay.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-query planner deadline in seconds",
+    )
+    replay.add_argument(
+        "--json", action="store_true",
+        help="also print the full report as one JSON object",
+    )
+    replay.set_defaults(handler=_cmd_replay)
+
+    bench = commands.add_parser(
+        "bench", help="work with machine-readable BENCH_*.json results"
+    )
+    bench_commands = bench.add_subparsers(
+        dest="bench_command", required=True
+    )
+    bench_diff = bench_commands.add_parser(
+        "diff",
+        help="compare a BENCH_*.json run against a baseline and fail "
+        "on tail-latency (or other gated-metric) regressions",
+    )
+    bench_diff.add_argument("baseline")
+    bench_diff.add_argument("current")
+    bench_diff.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="default allowed relative change for gated metrics "
+        "without their own threshold (default: 0.20)",
+    )
+    bench_diff.set_defaults(handler=_cmd_bench_diff)
 
     return parser
 

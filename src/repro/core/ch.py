@@ -41,6 +41,7 @@ from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.graph.csr import CsrGraph, attached_csr, ensure_csr
 from repro.graph.network import RoadNetwork
+from repro.observability.profiling import phase
 from repro.graph.path import Path
 from repro.observability.search import active_search_stats
 
@@ -258,6 +259,13 @@ class CchBackend:
     def upward_search(
         self, root: int, forward: bool = True, max_dist: float = _INF
     ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """One side's upward search space from ``root`` (profiled)."""
+        with phase("upward-search"):
+            return self._upward_search(root, forward, max_dist)
+
+    def _upward_search(
+        self, root: int, forward: bool = True, max_dist: float = _INF
+    ) -> Tuple[Dict[int, float], Dict[int, int]]:
         """One side's upward search space from ``root``.
 
         Returns ``(dist, parent_arc)`` over every node the upward
@@ -438,6 +446,10 @@ class CchBackend:
 
     def unpack_arcs(self, arc_indices: List[int]) -> List[int]:
         """Expand arcs into original edge ids, in travel order."""
+        with phase("unpack"):
+            return self._unpack_arcs(arc_indices)
+
+    def _unpack_arcs(self, arc_indices: List[int]) -> List[int]:
         edge_ids: List[int] = []
         arc_edge_ids = self.arc_edge_ids
         child_up = self.arc_child_up

@@ -30,6 +30,7 @@ from repro.metrics.similarity import (
     dissimilarity_to_set,
     validate_threshold,
 )
+from repro.observability.profiling import phase
 from repro.observability.search import SearchStats, active_search_stats
 
 #: Paper §3: "The dissimilarity threshold θ ... is set to 0.5".
@@ -68,6 +69,10 @@ class DissimilarityPlanner(AlternativeRoutePlanner):
         self.stretch_bound = stretch_bound
 
     def _plan_routes(self, source: int, target: int) -> List[Path]:
+        with phase("dissimilarity"):
+            return self._plan_routes_profiled(source, target)
+
+    def _plan_routes_profiled(self, source: int, target: int) -> List[Path]:
         forward_tree, backward_tree = trees_for_query(
             self.network, source, target
         )

@@ -50,6 +50,7 @@ from repro.algorithms.sp_tree import ShortestPathTree
 from repro.exceptions import ConfigurationError, DisconnectedError
 from repro.graph.network import RoadNetwork
 from repro.graph.path import Path
+from repro.observability.profiling import phase
 from repro.observability.search import active_search_stats
 
 
@@ -68,16 +69,17 @@ def build_tree(
     vectors always use the reference kernel — the CSR weight arrays are
     priced on default travel times only.
     """
-    if weights is None:
-        # Lazy import: repro.graph.csr imports algorithms.sp_tree; an
-        # import at module level here would be circular through
-        # repro.core.__init__.
-        from repro.graph.csr import attached_csr, csr_dijkstra
+    with phase("tree-build"):
+        if weights is None:
+            # Lazy import: repro.graph.csr imports algorithms.sp_tree;
+            # an import at module level here would be circular through
+            # repro.core.__init__.
+            from repro.graph.csr import attached_csr, csr_dijkstra
 
-        csr = attached_csr(network)
-        if csr is not None:
-            return csr_dijkstra(network, csr, root, forward=forward)
-    return dijkstra(network, root, weights=weights, forward=forward)
+            csr = attached_csr(network)
+            if csr is not None:
+                return csr_dijkstra(network, csr, root, forward=forward)
+        return dijkstra(network, root, weights=weights, forward=forward)
 
 
 class _TreeCell:

@@ -16,8 +16,12 @@ Endpoints
 ``GET  /metrics``       serving-layer counters, latencies and cache stats
                         (JSON; ``Accept: text/plain`` negotiates the
                         Prometheus text exposition format)
-``GET  /healthz``       liveness: network, planners, cache, uptime
+``GET  /healthz``       liveness: network, planners, cache, uptime,
+                        process RSS, attached accelerator structures
 ``GET  /trace``         recently finished query traces (``?limit=N``)
+``GET  /debug/profile`` aggregated per-phase wall-time tree (populate
+                        it by running the service with an enabled
+                        profiler, e.g. ``repro demo --profile``)
 
 Routing goes through :class:`repro.serving.RouteService` — cached,
 concurrent, degradation-tolerant — so a single slow or failing planner
@@ -29,6 +33,7 @@ the render span share one trace ID retrievable from ``/trace``.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -48,6 +53,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serving.service import RouteService
 
 logger = get_logger(__name__)
+
+
+def _process_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    ``getrusage`` is the stdlib's only portable RSS source;
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(usage)
+    return int(usage) * 1024
+
 
 _PAGE = """<!DOCTYPE html>
 <html>
@@ -302,6 +324,8 @@ class _DemoHandler(BaseHTTPRequestHandler):
                 self._send_json(self.server.health_payload())
             elif self.path == "/trace" or self.path.startswith("/trace?"):
                 self._send_json(self.server.trace_payload(self.path))
+            elif self.path == "/debug/profile":
+                self._send_json(self.server.profile_payload())
             elif self.path.startswith("/api/isochrone"):
                 self._send_json(self.server.isochrone_payload(self.path))
             else:
@@ -384,6 +408,7 @@ class DemoServer:
         self._httpd.metrics_payload = self.metrics_payload  # type: ignore[attr-defined]
         self._httpd.health_payload = self.health_payload  # type: ignore[attr-defined]
         self._httpd.trace_payload = self.trace_payload  # type: ignore[attr-defined]
+        self._httpd.profile_payload = self.profile_payload  # type: ignore[attr-defined]
         self._httpd.isochrone_payload = self.isochrone_payload  # type: ignore[attr-defined]
         self._httpd.handle_route = self.handle_route  # type: ignore[attr-defined]
         self._httpd.handle_feedback = self.handle_feedback  # type: ignore[attr-defined]
@@ -525,29 +550,51 @@ class DemoServer:
         """Count a rejected request body in the serving metrics."""
         self.service.metrics.inc("http.bad_request")
 
+    def profile_payload(self) -> Dict:
+        """The service's aggregated phase tree for ``/debug/profile``."""
+        return self.service.profile_payload()
+
     def health_payload(self) -> Dict:
         """Liveness and readiness summary for ``/healthz``.
 
         Reports ``"degraded"`` instead of ``"ok"`` while any planner's
         circuit breaker is open or half-open, so orchestration probes
-        see partial outages without parsing ``/metrics``.
+        see partial outages without parsing ``/metrics``.  The
+        ``network`` section doubles as loaded-snapshot metadata: which
+        accelerator structures (CSR view, ALT landmarks, contraction
+        hierarchy) are attached and servable right now.
         """
+        from repro.graph.csr import attached_csr
+
         network = self.processor.network
         open_circuits = self.service.open_circuits()
+        csr = attached_csr(network)
+        uptime = round(time.monotonic() - self._started_monotonic, 3)
         return {
             "status": "degraded" if open_circuits else "ok",
             "network": {
                 "name": network.name,
                 "nodes": network.num_nodes,
                 "edges": network.num_edges,
+                "csr_attached": csr is not None,
+                "landmarks": (
+                    len(csr.landmarks.landmarks)
+                    if csr is not None and csr.landmarks is not None
+                    else 0
+                ),
+                "ch_attached": (
+                    csr is not None and csr.hierarchy is not None
+                ),
             },
             "planners": len(self.processor.planners),
             "cache_size": len(self.service.cache),
             "circuits": self.service.circuits_payload(),
             "open_circuits": open_circuits,
-            "uptime_s": round(
-                time.monotonic() - self._started_monotonic, 3
-            ),
+            # uptime_s predates uptime_seconds; both stay so existing
+            # probes keep parsing.
+            "uptime_s": uptime,
+            "uptime_seconds": uptime,
+            "rss_bytes": _process_rss_bytes(),
         }
 
     def trace_payload(self, path: str) -> Dict:

@@ -1,0 +1,360 @@
+"""Machine-readable benchmark telemetry and the regression gate.
+
+The ``.txt`` snapshots under ``benchmarks/output/`` are great for
+humans and useless for trend lines: nothing can diff them, so the
+perf trajectory across PRs is invisible.  This module defines the
+versioned ``BENCH_<name>.json`` sidecar every bench module emits —
+environment fingerprint, network context (city/size/seed), and named
+metrics with units and an optional *direction* — plus the
+:func:`diff_reports` gate ``repro bench diff`` and CI run against the
+committed baselines.
+
+Gating policy
+-------------
+Only metrics that declare a ``direction`` (``"higher"`` or ``"lower"``
+is better) are gated; everything else is informational.  Two classes
+of gated metric:
+
+* **Ratios** (cache speedup, batch tree-reuse speedup, CH vs ALT) are
+  machine-independent — same-machine numerator and denominator — so
+  they gate tightly (the CLI's ``--threshold``, default 20%).
+* **Absolute latencies** (p99 in ms) vary by host, and CI compares a
+  runner's numbers against baselines produced elsewhere; those metrics
+  carry a generous per-metric ``threshold`` override (e.g. 3.0 — fail
+  only past 4x) so the gate catches order-of-magnitude tail
+  regressions without flaking on hardware variance.
+
+A context mismatch (different city/size) fails loudly rather than
+producing a meaningless diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError
+
+#: Schema name stamped into every BENCH JSON file.
+BENCH_SCHEMA = "repro.bench"
+
+#: Version of the report shape; bump on incompatible changes.
+BENCH_VERSION = 1
+
+#: Allowed values of a metric's ``direction``.
+DIRECTIONS = ("higher", "lower")
+
+#: Default gate: a direction-marked metric may worsen by at most this
+#: fraction before the diff fails.
+DEFAULT_THRESHOLD = 0.20
+
+
+class BenchFormatError(ConfigurationError):
+    """A BENCH JSON file could not be parsed or validated."""
+
+
+def env_fingerprint() -> Dict:
+    """Where a bench ran — enough to judge comparability of two files."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclass
+class BenchReport:
+    """One bench module's machine-readable results.
+
+    ``metrics`` maps a metric name to ``{"value": float, "unit": ...,
+    "direction": ..., "threshold": ..., "quantiles": {...}}`` — only
+    ``value`` is required.  Build with :meth:`add_metric`; persist with
+    :meth:`write`; load with :func:`load_report`.
+    """
+
+    name: str
+    context: Dict = field(default_factory=dict)
+    env: Dict = field(default_factory=env_fingerprint)
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+
+    def add_metric(
+        self,
+        name: str,
+        value: float,
+        unit: Optional[str] = None,
+        direction: Optional[str] = None,
+        threshold: Optional[float] = None,
+        quantiles: Optional[Dict] = None,
+    ) -> None:
+        """Record one named metric.
+
+        ``direction`` opts the metric into the regression gate;
+        ``threshold`` overrides the diff-time default for this metric
+        (use a generous value for machine-dependent absolutes).
+        ``quantiles`` attaches a sketch payload (count/min/max/p...)
+        for distribution metrics.
+        """
+        if direction is not None and direction not in DIRECTIONS:
+            raise ConfigurationError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            )
+        if threshold is not None and threshold <= 0:
+            raise ConfigurationError(
+                f"threshold must be > 0, got {threshold}"
+            )
+        entry: Dict = {"value": float(value)}
+        if unit is not None:
+            entry["unit"] = unit
+        if direction is not None:
+            entry["direction"] = direction
+        if threshold is not None:
+            entry["threshold"] = threshold
+        if quantiles:
+            entry["quantiles"] = dict(quantiles)
+        self.metrics[name] = entry
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "version": BENCH_VERSION,
+            "name": self.name,
+            "context": dict(self.context),
+            "env": dict(self.env),
+            "metrics": {
+                name: dict(entry)
+                for name, entry in sorted(self.metrics.items())
+            },
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Persist as pretty-printed JSON (stable key order for diffs)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def load_report(path: Union[str, Path]) -> BenchReport:
+    """Parse and validate one BENCH JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchFormatError(f"{path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise BenchFormatError(
+            f"{path}: not a {BENCH_SCHEMA!r} file"
+        )
+    version = payload.get("version")
+    if version != BENCH_VERSION:
+        raise BenchFormatError(
+            f"{path}: unsupported bench version {version!r} (this build "
+            f"reads version {BENCH_VERSION})"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise BenchFormatError(f"{path}: missing metrics mapping")
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict) or "value" not in entry:
+            raise BenchFormatError(
+                f"{path}: metric {name!r} has no value"
+            )
+    return BenchReport(
+        name=payload.get("name", path.stem),
+        context=dict(payload.get("context", {})),
+        env=dict(payload.get("env", {})),
+        metrics={name: dict(entry) for name, entry in metrics.items()},
+    )
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline -> current movement."""
+
+    name: str
+    baseline: float
+    current: float
+    unit: Optional[str]
+    direction: Optional[str]
+    change: float  # signed fraction; +0.10 means 10% higher than baseline
+    gated: bool
+    regressed: bool
+    threshold: Optional[float] = None
+
+
+@dataclass
+class BenchDiff:
+    """The comparison of two BENCH reports (``repro bench diff``)."""
+
+    baseline_name: str
+    current_name: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no gated metric regressed past its threshold."""
+        return not self.regressions
+
+    def to_payload(self) -> Dict:
+        return {
+            "baseline": self.baseline_name,
+            "current": self.current_name,
+            "ok": self.ok,
+            "regressions": [d.name for d in self.regressions],
+            "missing": list(self.missing),
+            "added": list(self.added),
+            "deltas": [
+                {
+                    "name": d.name,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "change_pct": round(d.change * 100.0, 2),
+                    "gated": d.gated,
+                    "regressed": d.regressed,
+                }
+                for d in self.deltas
+            ],
+        }
+
+
+def diff_reports(
+    baseline: BenchReport,
+    current: BenchReport,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchDiff:
+    """Compare two reports; gated metrics may not worsen past threshold.
+
+    The *baseline's* ``direction``/``threshold`` annotations drive the
+    gate (the committed file is the contract), falling back to the
+    current report's.  Context (city/size) must match.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+    for key in ("city", "size"):
+        base_value = baseline.context.get(key)
+        current_value = current.context.get(key)
+        if (
+            base_value is not None
+            and current_value is not None
+            and base_value != current_value
+        ):
+            raise BenchFormatError(
+                f"context mismatch: baseline ran {key}={base_value!r} but "
+                f"current ran {key}={current_value!r}; comparing them "
+                f"would be meaningless"
+            )
+    diff = BenchDiff(
+        baseline_name=baseline.name, current_name=current.name
+    )
+    for name in sorted(baseline.metrics):
+        base_entry = baseline.metrics[name]
+        current_entry = current.metrics.get(name)
+        if current_entry is None:
+            diff.missing.append(name)
+            continue
+        base_value = float(base_entry["value"])
+        current_value = float(current_entry["value"])
+        direction = base_entry.get("direction") or current_entry.get(
+            "direction"
+        )
+        metric_threshold = base_entry.get(
+            "threshold", current_entry.get("threshold", threshold)
+        )
+        change = (
+            (current_value - base_value) / abs(base_value)
+            if base_value
+            else 0.0
+        )
+        gated = direction in DIRECTIONS
+        if not gated:
+            regressed = False
+        elif direction == "higher":
+            regressed = change < -metric_threshold
+        else:
+            regressed = change > metric_threshold
+        diff.deltas.append(
+            MetricDelta(
+                name=name,
+                baseline=base_value,
+                current=current_value,
+                unit=base_entry.get("unit"),
+                direction=direction,
+                change=change,
+                gated=gated,
+                regressed=regressed,
+                threshold=metric_threshold if gated else None,
+            )
+        )
+    diff.added = sorted(set(current.metrics) - set(baseline.metrics))
+    # A gated metric vanishing from the current run is itself a
+    # regression signal: the bench stopped measuring what the baseline
+    # gates on.
+    for name in diff.missing:
+        entry = baseline.metrics[name]
+        if entry.get("direction") in DIRECTIONS:
+            diff.deltas.append(
+                MetricDelta(
+                    name=name,
+                    baseline=float(entry["value"]),
+                    current=float("nan"),
+                    unit=entry.get("unit"),
+                    direction=entry.get("direction"),
+                    change=0.0,
+                    gated=True,
+                    regressed=True,
+                    threshold=entry.get("threshold", threshold),
+                )
+            )
+    return diff
+
+
+def format_diff(diff: BenchDiff) -> str:
+    """Human-readable diff table for the CLI."""
+    lines = [
+        f"bench diff: {diff.baseline_name} (baseline) vs "
+        f"{diff.current_name} (current)"
+    ]
+    for delta in diff.deltas:
+        unit = f" {delta.unit}" if delta.unit else ""
+        if delta.current != delta.current:  # NaN: metric vanished
+            lines.append(
+                f"  REGRESSION {delta.name}: gated metric missing from "
+                f"current run (baseline {delta.baseline:g}{unit})"
+            )
+            continue
+        marker = "  "
+        if delta.regressed:
+            marker = "  REGRESSION "
+        elif delta.gated:
+            marker = "  ok "
+        lines.append(
+            f"{marker}{delta.name}: {delta.baseline:g} -> "
+            f"{delta.current:g}{unit} ({delta.change * 100.0:+.1f}%"
+            + (
+                f", gate {delta.direction} within "
+                f"{delta.threshold * 100.0:.0f}%"
+                if delta.gated
+                else ""
+            )
+            + ")"
+        )
+    for name in diff.added:
+        lines.append(f"  new metric: {name}")
+    lines.append("PASS" if diff.ok else "FAIL")
+    return "\n".join(lines)

@@ -16,9 +16,12 @@ Mapping
 * ``plan.errors.<approach>`` / ``plan.timeouts.<approach>`` become
   labelled counters;
 * remaining counters become flat ``repro_*_total`` counters;
-* histograms become summaries: ``_seconds{quantile=...}`` gauges from
-  the windowed estimates plus exact ``_seconds_sum``/``_seconds_count``;
-* cache stats become ``repro_cache_*`` gauges;
+* histograms become summaries: ``_seconds{quantile=...}`` gauges
+  (p50/p95/p99/p999 from the streaming quantile sketch) plus exact
+  ``_seconds_sum``/``_seconds_count``;
+* cache stats become ``repro_cache_events_total{event=...}`` labelled
+  counters (hits/misses/evictions/invalidations) plus the original
+  flat ``repro_cache_*`` gauges;
 * circuit-breaker snapshots become ``repro_circuit_state{approach=...}``
   gauges (0 closed, 1 half-open, 2 open) plus
   ``repro_circuit_opened_total`` counters;
@@ -130,7 +133,7 @@ def render_prometheus(payload: Mapping, prefix: str = PREFIX) -> str:
         metric = f"{prefix}_{_sanitize(name)}_seconds"
         lines.append(f"# TYPE {metric} summary")
         for quantile, key in (("0.5", "p50_s"), ("0.95", "p95_s"),
-                              ("0.99", "p99_s")):
+                              ("0.99", "p99_s"), ("0.999", "p999_s")):
             if key in summary:
                 lines.append(
                     f'{metric}{{quantile="{quantile}"}} '
@@ -143,9 +146,26 @@ def render_prometheus(payload: Mapping, prefix: str = PREFIX) -> str:
             f"{metric}_count {_format_value(summary.get('count', 0))}"
         )
 
-    for key, value in sorted(payload.get("cache", {}).items()):
+    cache = payload.get("cache", {})
+    if cache:
+        # Labelled event counters: one series per event under a single
+        # metric name, the shape rate()/increase() queries want...
+        events_metric = f"{prefix}_cache_events_total"
+        lines.append(
+            f"# HELP {events_metric} route-cache lookup and lifecycle "
+            "events"
+        )
+        lines.append(f"# TYPE {events_metric} counter")
+        for event in ("hits", "misses", "evictions", "invalidations"):
+            lines.append(
+                f'{events_metric}{{event="{event}"}} '
+                f"{_format_value(cache.get(event, 0))}"
+            )
+    for key, value in sorted(cache.items()):
         if not isinstance(value, (int, float)):
             continue
+        # ...while the flat per-key gauges stay for dashboard
+        # compatibility with the pre-labelled exposition.
         metric = f"{prefix}_cache_{_sanitize(key)}"
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(value)}")

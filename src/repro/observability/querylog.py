@@ -1,0 +1,411 @@
+"""Structured query logging: sampled, bounded JSONL traffic capture.
+
+The study's server-side comparison is only as good as its workload, and
+today's workload evaporates the moment a response is rendered — there
+is no record of which queries arrived, which backend served them, which
+cache state they hit, or which search effort produced each route set.
+:class:`QueryLog` captures exactly that: one JSON line per served
+:class:`~repro.serving.service.RouteService` query, sampled (seeded,
+so a capture is reproducible) and bounded (the file cannot grow without
+limit under load).
+
+The file is self-describing.  Line one is a *header* carrying the
+schema name/version plus whatever network metadata the operator
+provided (city, size, seeds) so ``repro replay`` can rebuild the same
+network without extra flags; every following line is one query record.
+The schema is versioned — readers reject files written by a newer
+schema instead of misparsing them.  See ``docs/observability.md`` for
+the full field reference.
+
+Every record carries the query's ``trace_id``/``span_id``, so a log
+line joins back to its trace in the tracer's ring buffer while the
+trace is still retained — the capture half of the ROADMAP's load
+harness, and the provenance the route-diversification follow-ups need
+(which backend, which cache state, which search stats produced each
+route set).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.observability.sketch import QuantileSketch
+
+#: Schema name stamped into (and required from) the header line.
+QUERY_LOG_SCHEMA = "repro.querylog"
+
+#: Version of the record shape; bump on incompatible field changes.
+QUERY_LOG_VERSION = 1
+
+#: Default bound on records per log (the header line is not counted).
+DEFAULT_MAX_RECORDS = 10_000
+
+
+class QueryLogError(ConfigurationError):
+    """A query log could not be written or parsed."""
+
+
+def route_set_fingerprint(route_set) -> str:
+    """A stable 16-hex digest of a route set's exact geometry.
+
+    Hashes the ordered per-route edge-id sequences (the full geometry,
+    not just costs), so two route sets fingerprint equal iff they
+    contain the same routes in the same order — the equivalence the
+    replay harness compares.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{route_set.source}>{route_set.target}".encode("ascii")
+    )
+    for route in route_set:
+        hasher.update(b"|")
+        hasher.update(",".join(map(str, route.edge_ids)).encode("ascii"))
+    return hasher.hexdigest()[:16]
+
+
+def result_fingerprints(result) -> Dict[str, str]:
+    """Blinded label -> route-set fingerprint for a served result."""
+    return {
+        label: route_set_fingerprint(route_set)
+        for label, route_set in sorted(result.route_sets.items())
+    }
+
+
+class QueryLog:
+    """Sampled, bounded JSONL sink for served-query records.
+
+    Parameters
+    ----------
+    path:
+        Destination file, or ``None`` to keep records in memory (the
+        test/bench mode; read them back via :meth:`records`).
+    sample_rate:
+        Fraction of queries recorded, decided per query by a seeded
+        PRNG so a capture is reproducible run-to-run.
+    max_records:
+        Hard bound on records written; the log silently stops recording
+        once reached (``dropped`` counts what was sampled but not
+        written).  ``None`` removes the bound — only sensible for
+        short captures.
+    seed:
+        Seed for the sampling PRNG.
+    meta:
+        Optional JSON-serialisable mapping stored in the header line —
+        by convention the network recipe (``city``/``size``/``seed``/
+        ``traffic_seed``) so replay can rebuild the same network.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        sample_rate: float = 1.0,
+        max_records: Optional[int] = DEFAULT_MAX_RECORDS,
+        seed: int = 0,
+        meta: Optional[Dict] = None,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        if max_records is not None and max_records < 1:
+            raise ConfigurationError(
+                f"max_records must be >= 1 (or None), got {max_records}"
+            )
+        self.path = Path(path) if path is not None else None
+        self.sample_rate = sample_rate
+        self.max_records = max_records
+        self.meta = dict(meta or {})
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._records: List[Dict] = []  # in-memory mode only
+        self._file = None
+        self.written = 0
+        self.sampled_out = 0
+        self.dropped = 0
+
+    # -- capture -------------------------------------------------------------
+
+    def sample(self) -> bool:
+        """Decide (and consume one PRNG draw) whether to record a query.
+
+        Callers check this *before* building a record, so an unsampled
+        query pays one random draw and nothing else.
+        """
+        with self._lock:
+            if self.max_records is not None and (
+                self.written >= self.max_records
+            ):
+                self.dropped += 1
+                return False
+            if self.sample_rate < 1.0 and (
+                self._rng.random() >= self.sample_rate
+            ):
+                self.sampled_out += 1
+                return False
+            return True
+
+    def write(self, record: Dict) -> None:
+        """Append one record (header is written lazily before the first)."""
+        with self._lock:
+            if self.max_records is not None and (
+                self.written >= self.max_records
+            ):
+                self.dropped += 1
+                return
+            if self.path is not None:
+                if self._file is None:
+                    self._file = self.path.open("a", encoding="utf-8")
+                    if self._file.tell() == 0:
+                        self._file.write(
+                            json.dumps(self._header(), sort_keys=True)
+                            + "\n"
+                        )
+                self._file.write(json.dumps(record, sort_keys=True) + "\n")
+                self._file.flush()
+            else:
+                self._records.append(record)
+            self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "QueryLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- inspection ----------------------------------------------------------
+
+    def records(self) -> List[Dict]:
+        """In-memory records (empty when writing to a file)."""
+        with self._lock:
+            return list(self._records)
+
+    def stats_payload(self) -> Dict:
+        """Capture accounting for ``/metrics`` and shutdown logs."""
+        with self._lock:
+            return {
+                "written": self.written,
+                "sampled_out": self.sampled_out,
+                "dropped": self.dropped,
+                "sample_rate": self.sample_rate,
+                "max_records": self.max_records,
+                "path": str(self.path) if self.path is not None else None,
+            }
+
+    def _header(self) -> Dict:
+        header = {
+            "schema": QUERY_LOG_SCHEMA,
+            "version": QUERY_LOG_VERSION,
+            "sample_rate": self.sample_rate,
+        }
+        if self.meta:
+            header["meta"] = dict(self.meta)
+        return header
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryLog(path={self.path}, written={self.written}, "
+            f"sample_rate={self.sample_rate})"
+        )
+
+
+def build_query_record(
+    query,
+    root_span,
+    result=None,
+    error: Optional[BaseException] = None,
+    elapsed_s: float = 0.0,
+    open_circuits: Optional[List[str]] = None,
+) -> Dict:
+    """One versioned record for a served (or failed) query.
+
+    ``root_span`` is the query's root tracing span — its trace/span ids
+    are injected so the record joins back to the trace ring buffer, and
+    its child spans supply the per-stage latencies without a second
+    layer of timers in ``_serve``.
+    """
+    record: Dict = {
+        "v": QUERY_LOG_VERSION,
+        "ts": round(root_span.started_at, 6),
+        "trace_id": root_span.trace_id,
+        "span_id": root_span.span_id,
+        "elapsed_ms": round(elapsed_s * 1000.0, 3),
+        "query": {
+            "source_lat": query.source_lat,
+            "source_lon": query.source_lon,
+            "target_lat": query.target_lat,
+            "target_lon": query.target_lon,
+        },
+    }
+    if query.approaches is not None:
+        record["query"]["approaches"] = list(query.approaches)
+    if query.k is not None:
+        record["query"]["k"] = query.k
+    if query.backend is not None:
+        record["query"]["backend"] = query.backend
+    stages = _stage_latencies(root_span)
+    if stages:
+        record["stages_ms"] = stages
+    if open_circuits:
+        record["open_circuits"] = list(open_circuits)
+    if error is not None:
+        record["outcome"] = "failed"
+        record["error"] = f"{type(error).__name__}: {error}"
+        return record
+    record["outcome"] = "degraded" if result.degraded else "served"
+    record["source_node"] = result.source_node
+    record["target_node"] = result.target_node
+    record["fastest_minutes"] = result.fastest_minutes
+    record["cache_hits"] = result.cache_hits
+    approaches: List[Dict] = []
+    for outcome in result.outcomes:
+        entry: Dict = {
+            "approach": outcome.approach,
+            "label": outcome.label,
+            "cached": outcome.cached,
+            "elapsed_ms": round(outcome.elapsed_s * 1000.0, 3),
+        }
+        if outcome.ok:
+            entry["routes"] = len(outcome.route_set)
+            entry["route_hash"] = route_set_fingerprint(outcome.route_set)
+            stats = outcome.route_set.stats
+            if stats is not None and not stats.is_empty:
+                entry["search"] = {
+                    name: value
+                    for name, value in stats.to_payload().items()
+                    if value
+                }
+        else:
+            entry["error"] = outcome.error
+        approaches.append(entry)
+    record["approaches"] = approaches
+    return record
+
+
+def _stage_latencies(root_span) -> Dict[str, float]:
+    """Per-stage millisecond durations from the root span's children."""
+    trace = getattr(root_span, "trace", None)
+    if trace is None:  # NULL_SPAN: tracing disabled around the service
+        return {}
+    stages: Dict[str, float] = {}
+    for span in trace.to_payload()["spans"]:
+        if (
+            span["parent_id"] == root_span.span_id
+            and span["duration_s"] is not None
+        ):
+            stages[span["name"]] = round(span["duration_s"] * 1000.0, 3)
+    return stages
+
+
+# -- reading ----------------------------------------------------------------
+
+
+def read_query_log(
+    path: Union[str, Path]
+) -> Tuple[Dict, List[Dict]]:
+    """Parse a query-log file into ``(header, records)``.
+
+    Raises :class:`QueryLogError` on a missing/garbled header, an
+    unsupported schema version, or an unparsable record line.
+    """
+    header: Optional[Dict] = None
+    records: List[Dict] = []
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise QueryLogError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if header is None:
+                if payload.get("schema") != QUERY_LOG_SCHEMA:
+                    raise QueryLogError(
+                        f"{path}: first line must be a "
+                        f"{QUERY_LOG_SCHEMA!r} header, got "
+                        f"{payload.get('schema')!r}"
+                    )
+                version = payload.get("version")
+                if version != QUERY_LOG_VERSION:
+                    raise QueryLogError(
+                        f"{path}: unsupported query-log version "
+                        f"{version!r} (this build reads version "
+                        f"{QUERY_LOG_VERSION})"
+                    )
+                header = payload
+                continue
+            records.append(payload)
+    if header is None:
+        raise QueryLogError(f"{path}: empty query log (no header line)")
+    return header, records
+
+
+def iter_query_log(path: Union[str, Path]) -> Iterator[Dict]:
+    """The records of a query log, header validated and skipped."""
+    _header, records = read_query_log(path)
+    return iter(records)
+
+
+def tail_records(path: Union[str, Path], n: int = 10) -> List[Dict]:
+    """The last ``n`` records of a query log."""
+    _header, records = read_query_log(path)
+    return records[-max(0, n):]
+
+
+def log_stats(records: List[Dict]) -> Dict:
+    """Aggregate statistics over query-log records (``repro log stats``).
+
+    Latency quantiles come from a :class:`QuantileSketch` over the
+    recorded per-query latencies — the same estimator the live
+    ``/metrics`` endpoint uses, so capture-side and serve-side numbers
+    are comparable.
+    """
+    latency = QuantileSketch()
+    outcomes: Dict[str, int] = {}
+    approaches: Dict[str, Dict[str, int]] = {}
+    cache_hits = 0
+    for record in records:
+        outcomes[record.get("outcome", "unknown")] = (
+            outcomes.get(record.get("outcome", "unknown"), 0) + 1
+        )
+        latency.observe(record.get("elapsed_ms", 0.0))
+        cache_hits += record.get("cache_hits", 0)
+        for entry in record.get("approaches", ()):
+            slot = approaches.setdefault(
+                entry["approach"], {"ok": 0, "failed": 0, "cached": 0}
+            )
+            if "error" in entry:
+                slot["failed"] += 1
+            else:
+                slot["ok"] += 1
+            if entry.get("cached"):
+                slot["cached"] += 1
+    payload: Dict = {
+        "records": len(records),
+        "outcomes": dict(sorted(outcomes.items())),
+        "cache_hits": cache_hits,
+        "approaches": dict(sorted(approaches.items())),
+    }
+    if records:
+        payload["latency_ms"] = latency.to_payload()
+        first = records[0].get("ts")
+        last = records[-1].get("ts")
+        if first is not None and last is not None:
+            payload["span_s"] = round(max(0.0, last - first), 3)
+    return payload

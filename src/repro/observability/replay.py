@@ -1,0 +1,276 @@
+"""Replay a captured query log against a live route service.
+
+The drive half of the traffic-capture loop: take the JSONL a
+:class:`~repro.observability.querylog.QueryLog` recorded, re-issue
+every query against a :class:`~repro.serving.service.RouteService`,
+and report (a) whether each approach reproduced the *identical* route
+set — fingerprints compared, not costs — and (b) how replay latency
+compares to capture latency.
+
+Two pacing modes:
+
+* **closed loop** (default) — fire each query the moment the previous
+  one returns; measures how fast the service can drain the workload.
+* **open loop** — honour the captured inter-arrival gaps, divided by a
+  ``speed`` multiplier (``speed=2`` replays at twice the capture
+  rate); measures behaviour under the workload's real arrival process.
+
+Seeded sampling (``sample_rate``/``seed``) replays a reproducible
+subset of a large capture.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.observability.querylog import result_fingerprints
+from repro.observability.sketch import QuantileSketch
+from repro.serving.query import RouteQuery
+
+#: Pacing modes accepted by :func:`replay_log`.
+REPLAY_MODES = ("closed", "open")
+
+#: Mismatch details retained on the report (the counts are complete).
+MAX_MISMATCH_DETAILS = 20
+
+
+@dataclass
+class ReplayReport:
+    """What happened when a captured log was re-driven.
+
+    ``matches``/``mismatches`` count *replayed* queries whose recorded
+    route-set fingerprints were all reproduced / not; a capture-failed
+    record replayed successfully (or vice versa) counts as a mismatch.
+    ``speedup`` is capture wall time over replay wall time — >= 1 means
+    the replay kept up with (or beat) the capture.
+    """
+
+    total_records: int = 0
+    replayed: int = 0
+    skipped: int = 0
+    served: int = 0
+    failed: int = 0
+    matches: int = 0
+    mismatches: int = 0
+    mismatch_details: List[Dict] = field(default_factory=list)
+    capture_span_s: float = 0.0
+    elapsed_s: float = 0.0
+    latency: QuantileSketch = field(default_factory=QuantileSketch)
+
+    @property
+    def speedup(self) -> float:
+        """Capture wall time / replay wall time (0.0 when unknown)."""
+        if self.elapsed_s <= 0.0 or self.capture_span_s <= 0.0:
+            return 0.0
+        return self.capture_span_s / self.elapsed_s
+
+    @property
+    def equivalent(self) -> bool:
+        """True when every replayed query reproduced its capture."""
+        return self.mismatches == 0 and self.replayed > 0
+
+    def to_payload(self) -> Dict:
+        payload: Dict = {
+            "total_records": self.total_records,
+            "replayed": self.replayed,
+            "skipped": self.skipped,
+            "served": self.served,
+            "failed": self.failed,
+            "matches": self.matches,
+            "mismatches": self.mismatches,
+            "equivalent": self.equivalent,
+            "capture_span_s": round(self.capture_span_s, 3),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "speedup": round(self.speedup, 2),
+            "latency_ms": self.latency.to_payload(),
+        }
+        if self.mismatch_details:
+            payload["mismatch_details"] = list(self.mismatch_details)
+        return payload
+
+
+def query_from_record(record: Dict) -> RouteQuery:
+    """Rebuild the :class:`RouteQuery` a log record captured."""
+    query = record["query"]
+    approaches = query.get("approaches")
+    return RouteQuery(
+        source_lat=query["source_lat"],
+        source_lon=query["source_lon"],
+        target_lat=query["target_lat"],
+        target_lon=query["target_lon"],
+        approaches=tuple(approaches) if approaches else None,
+        k=query.get("k"),
+        backend=query.get("backend"),
+    )
+
+
+def _recorded_hashes(record: Dict) -> Dict[str, str]:
+    """Blinded label -> fingerprint of the approaches that succeeded."""
+    return {
+        entry["label"]: entry["route_hash"]
+        for entry in record.get("approaches", ())
+        if "route_hash" in entry
+    }
+
+
+def _capture_span_s(records: List[Dict]) -> float:
+    """Wall time the capture covered (timestamp span + last latency).
+
+    Falls back to the sum of per-query latencies when timestamps are
+    missing or non-increasing (hand-built logs).
+    """
+    stamps = [r["ts"] for r in records if "ts" in r]
+    summed = sum(r.get("elapsed_ms", 0.0) for r in records) / 1000.0
+    if len(stamps) >= 2 and stamps[-1] > stamps[0]:
+        span = stamps[-1] - stamps[0]
+        span += records[-1].get("elapsed_ms", 0.0) / 1000.0
+        return max(span, summed)
+    return summed
+
+
+def replay_log(
+    service,
+    records: List[Dict],
+    mode: str = "closed",
+    speed: float = 1.0,
+    sample_rate: float = 1.0,
+    seed: int = 0,
+    limit: Optional[int] = None,
+    sleep=time.sleep,
+) -> ReplayReport:
+    """Re-drive captured records against ``service`` and compare.
+
+    Parameters
+    ----------
+    service:
+        A live :class:`~repro.serving.service.RouteService` (or
+        anything with its ``query(RouteQuery)`` signature).
+    records:
+        Query-log records (header already stripped; see
+        :func:`~repro.observability.querylog.read_query_log`).
+    mode:
+        ``"closed"`` fires back-to-back; ``"open"`` honours captured
+        inter-arrival gaps divided by ``speed``.
+    speed:
+        Open-loop rate multiplier (> 0); ignored in closed loop.
+    sample_rate, seed:
+        Replay a seeded Bernoulli subset of the records.
+    limit:
+        Stop after replaying this many records (after sampling).
+    sleep:
+        Injectable sleeper for the open-loop pacing (tests pass a
+        recorder instead of really sleeping).
+    """
+    if mode not in REPLAY_MODES:
+        raise ConfigurationError(
+            f"replay mode must be one of {REPLAY_MODES}, got {mode!r}"
+        )
+    if speed <= 0.0:
+        raise ConfigurationError(f"speed must be > 0, got {speed}")
+    if not 0.0 < sample_rate <= 1.0:
+        raise ConfigurationError(
+            f"sample_rate must be in (0, 1], got {sample_rate}"
+        )
+    rng = random.Random(seed)
+    report = ReplayReport(total_records=len(records))
+    report.capture_span_s = _capture_span_s(records)
+    previous_ts: Optional[float] = None
+    started = time.perf_counter()
+    for index, record in enumerate(records):
+        if limit is not None and report.replayed >= limit:
+            report.skipped += len(records) - index
+            break
+        if sample_rate < 1.0 and rng.random() >= sample_rate:
+            report.skipped += 1
+            continue
+        if mode == "open" and previous_ts is not None:
+            gap = (record.get("ts", previous_ts) - previous_ts) / speed
+            if gap > 0:
+                sleep(gap)
+        previous_ts = record.get("ts", previous_ts)
+        report.replayed += 1
+        expected = _recorded_hashes(record)
+        query_started = time.perf_counter()
+        try:
+            result = service.query(query_from_record(record))
+        except Exception as exc:
+            report.failed += 1
+            report.latency.observe(
+                (time.perf_counter() - query_started) * 1000.0
+            )
+            if record.get("outcome") == "failed":
+                # The capture failed here too — that *is* equivalence.
+                report.matches += 1
+            else:
+                report.mismatches += 1
+                _note_mismatch(report, index, record, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "expected_labels": sorted(expected),
+                })
+            continue
+        report.served += 1
+        report.latency.observe(
+            (time.perf_counter() - query_started) * 1000.0
+        )
+        actual = result_fingerprints(result)
+        if record.get("outcome") == "failed":
+            report.mismatches += 1
+            _note_mismatch(report, index, record, {
+                "note": "capture failed but replay served",
+                "served_labels": sorted(actual),
+            })
+            continue
+        diverged = {
+            label: {"expected": digest, "actual": actual.get(label)}
+            for label, digest in expected.items()
+            if actual.get(label) != digest
+        }
+        if diverged:
+            report.mismatches += 1
+            _note_mismatch(report, index, record, {"routes": diverged})
+        else:
+            report.matches += 1
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def _note_mismatch(
+    report: ReplayReport, index: int, record: Dict, detail: Dict
+) -> None:
+    if len(report.mismatch_details) >= MAX_MISMATCH_DETAILS:
+        return
+    entry = {"record": index, "trace_id": record.get("trace_id")}
+    entry.update(detail)
+    report.mismatch_details.append(entry)
+
+
+def format_replay_report(report: ReplayReport) -> str:
+    """Human-readable summary for the ``repro replay`` CLI."""
+    payload = report.to_payload()
+    lines = [
+        f"replayed {report.replayed}/{report.total_records} records "
+        f"({report.skipped} skipped)",
+        f"served {report.served}, failed {report.failed}",
+        f"route equivalence: {report.matches} match, "
+        f"{report.mismatches} mismatch"
+        + (" — EQUIVALENT" if report.equivalent else ""),
+        f"capture span {payload['capture_span_s']}s, replay "
+        f"{payload['elapsed_s']}s ({payload['speedup']}x capture speed)",
+    ]
+    latency = payload["latency_ms"]
+    if latency.get("count"):
+        lines.append(
+            "replay latency ms: "
+            + ", ".join(
+                f"{key}={latency[key]:.2f}"
+                for key in ("p50", "p90", "p99")
+                if key in latency
+            )
+        )
+    for detail in report.mismatch_details:
+        lines.append(f"  mismatch @record {detail['record']}: {detail}")
+    return "\n".join(lines)

@@ -7,22 +7,38 @@ hands out named :class:`Counter` and :class:`Histogram` instances;
 :meth:`MetricsRegistry.snapshot` produces the JSON the webapp serves
 at ``/metrics``.
 
-Histograms keep exact count/total/min/max plus a bounded window of the
-most recent observations for quantile estimates, so memory stays O(1)
-per metric no matter how long the server runs.
+Histograms keep exact count/total/min/max and estimate quantiles with
+a mergeable streaming :class:`~repro.observability.sketch.QuantileSketch`
+(CKMS targeted quantiles), so p50/p95/p99/p999 stay within the
+configured rank error over *unbounded* streams — the property the old
+1024-observation window could not offer — while memory stays
+O(hundreds of samples) per metric no matter how long the server runs.
+:meth:`Histogram.merge` and :meth:`MetricsRegistry.merge` fold another
+histogram/registry in, the primitive a sharded multi-process deployment
+needs to report one fleet-wide tail.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
-from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator
+from typing import Dict, Iterator
 
-#: Observations retained per histogram for quantile estimation.
+from repro.observability.sketch import QuantileSketch
+
+#: Kept for API compatibility with the windowed-histogram era: the
+#: registry still accepts ``window=`` and forwards it as the sketch's
+#: flush-buffer size, which bounds un-merged observations the same way.
 DEFAULT_WINDOW = 1024
+
+#: Payload key -> quantile rendered by :meth:`Histogram.to_payload`.
+_PAYLOAD_QUANTILES = (
+    ("p50_s", 0.50),
+    ("p95_s", 0.95),
+    ("p99_s", 0.99),
+    ("p999_s", 0.999),
+)
 
 
 class Counter:
@@ -51,78 +67,63 @@ class Counter:
 
 
 class Histogram:
-    """Latency histogram: exact summary stats + windowed quantiles."""
+    """Latency histogram: exact summary stats + sketched quantiles."""
 
-    __slots__ = (
-        "name", "_lock", "_count", "_total", "_min", "_max", "_window"
-    )
+    __slots__ = ("name", "_sketch")
 
     def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
         self.name = name
-        self._lock = threading.Lock()
-        self._count = 0
-        self._total = 0.0
-        self._min = math.inf
-        self._max = -math.inf
-        self._window: Deque[float] = deque(maxlen=window)
+        # The sketch is internally thread-safe and tracks exact
+        # count/sum/min/max itself, so the histogram needs no second
+        # lock of its own.  ``window`` caps the flush buffer — the
+        # worst-case number of observations not yet folded into the
+        # summary (and therefore invisible to a concurrent merge).
+        self._sketch = QuantileSketch(
+            buffer_size=max(1, min(window, DEFAULT_WINDOW))
+        )
 
     def observe(self, value: float) -> None:
         """Record one observation (seconds, for latency metrics)."""
-        with self._lock:
-            self._count += 1
-            self._total += value
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-            self._window.append(value)
+        self._sketch.observe(value)
 
     @property
     def count(self) -> int:
-        # int += is not atomic across the paired _total update; read
-        # under the same lock observe() writes under.
-        with self._lock:
-            return self._count
+        return self._sketch.count
 
     @property
     def total(self) -> float:
-        with self._lock:
-            return self._total
+        return self._sketch.sum
 
     def mean(self) -> float:
-        with self._lock:
-            return self._total / self._count if self._count else 0.0
+        count = self._sketch.count
+        return self._sketch.sum / count if count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimate the q-quantile over the retained window."""
+        """Estimate the q-quantile over the whole observed stream."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        with self._lock:
-            if not self._window:
-                return 0.0
-            ordered = sorted(self._window)
-            index = min(len(ordered) - 1, int(q * len(ordered)))
-            return ordered[index]
+        return self._sketch.quantile(q)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's stream into this one (shard merge)."""
+        self._sketch.merge(other._sketch)
+        return self
 
     def to_payload(self) -> Dict[str, float]:
         """JSON-ready summary for ``/metrics``."""
-        with self._lock:
-            if not self._count:
-                return {"count": 0}
-            ordered = sorted(self._window)
-
-            def q(fraction: float) -> float:
-                return ordered[min(len(ordered) - 1,
-                                   int(fraction * len(ordered)))]
-
-            return {
-                "count": self._count,
-                "total_s": round(self._total, 6),
-                "mean_s": round(self._total / self._count, 6),
-                "min_s": round(self._min, 6),
-                "max_s": round(self._max, 6),
-                "p50_s": round(q(0.50), 6),
-                "p95_s": round(q(0.95), 6),
-                "p99_s": round(q(0.99), 6),
-            }
+        count = self._sketch.count
+        if not count:
+            return {"count": 0}
+        payload: Dict[str, float] = {
+            "count": count,
+            "total_s": round(self._sketch.sum, 6),
+            "mean_s": round(self._sketch.sum / count, 6),
+            "min_s": round(self._sketch.min, 6),
+            "max_s": round(self._sketch.max, 6),
+        }
+        for key, quantile in _PAYLOAD_QUANTILES:
+            payload[key] = round(self._sketch.quantile(quantile), 6)
+        return payload
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
@@ -171,6 +172,22 @@ class MetricsRegistry:
             yield
         finally:
             self.observe(name, time.perf_counter() - started)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in: counters add, histograms merge.
+
+        The cross-shard aggregation primitive: each worker process
+        keeps a private registry and the parent merges them into one
+        payload whose quantiles cover the whole fleet's stream.
+        """
+        with other._lock:
+            counters = dict(other._counters)
+            histograms = dict(other._histograms)
+        for name, counter in counters.items():
+            self.counter(name).inc(counter.value)
+        for name, histogram in histograms.items():
+            self.histogram(name).merge(histogram)
+        return self
 
     def snapshot(self) -> Dict[str, Dict]:
         """All metrics as one JSON-ready payload."""

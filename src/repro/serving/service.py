@@ -68,6 +68,8 @@ from repro.exceptions import (
 )
 from repro.graph.network import RoadNetwork
 from repro.observability.logs import get_logger
+from repro.observability.profiling import Profiler, phase, profiling_scope
+from repro.observability.querylog import QueryLog, build_query_record
 from repro.observability.tracing import (
     Tracer,
     current_span,
@@ -261,6 +263,20 @@ class RouteService:
         hierarchy without a first-query contraction stall.  Networks
         loaded from a ``--with-ch`` snapshot already carry the
         hierarchy, making this a no-op.
+    query_log:
+        Optional :class:`~repro.observability.querylog.QueryLog`; when
+        set, every served (or failed) query emits one sampled JSONL
+        record carrying the query, outcome, per-approach route
+        fingerprints, stage latencies and the trace/span ids that join
+        it back to the trace ring buffer.  Logging failures are
+        swallowed — capture must never break serving.
+    profiler:
+        Optional :class:`~repro.observability.profiling.Profiler`;
+        when enabled, each query (and render) runs inside a profiling
+        scope so the instrumented phases (snap, tree-build,
+        upward-search, unpack, dissimilarity, render, plan.<approach>)
+        aggregate into the flame-style tree behind
+        ``GET /debug/profile``.  None creates a disabled private one.
     breaker_clock:
         Monotonic time source handed to every circuit breaker;
         injectable so tests advance cooldowns without real sleeps.
@@ -281,6 +297,8 @@ class RouteService:
         share_context: bool = True,
         precompute_landmarks: int = 0,
         precompute_ch: bool = False,
+        query_log: Optional[QueryLog] = None,
+        profiler: Optional[Profiler] = None,
         breaker_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_workers < 1:
@@ -309,6 +327,8 @@ class RouteService:
         self.cache = RouteCache(cache_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.query_log = query_log
+        self.profiler = profiler if profiler is not None else Profiler()
         self.timeout_s = timeout_s
         self.propagate_deadline = propagate_deadline
         self.share_context = share_context
@@ -419,17 +439,20 @@ class RouteService:
         try:
             with self.tracer.trace("query", k=query.k) as root:
                 try:
-                    result = self._serve(query, context_pool=context_pool)
+                    with profiling_scope(self.profiler):
+                        result = self._serve(query, context_pool=context_pool)
                 except Exception as exc:
                     metrics.inc("queries.failed")
                     logger.warning(
                         "query failed: %s: %s", type(exc).__name__, exc
                     )
+                    self._log_query(query, root, error=exc, started=started)
                     raise
                 root.set_attribute("source_node", result.source_node)
                 root.set_attribute("target_node", result.target_node)
                 root.set_attribute("cache_hits", result.cache_hits)
                 root.set_attribute("degraded", result.degraded)
+                self._log_query(query, root, result=result, started=started)
         finally:
             self._gate.release()
         if result.degraded:
@@ -513,7 +536,8 @@ class RouteService:
     def render(self, result: ServiceResult) -> Dict:
         """The webapp payload for a served result (timed render stage)."""
         weights = self.processor.display_weights()
-        with tracing_span("render") as render_span, \
+        with profiling_scope(self.profiler, "render"), \
+                tracing_span("render") as render_span, \
                 self.metrics.time("stage.render"):
             routes = {
                 label: route_set_to_feature_collection(
@@ -556,7 +580,13 @@ class RouteService:
         payload["cache"] = self.cache.stats().to_payload()
         payload["circuits"] = self.circuits_payload()
         payload["admission"] = self._gate.snapshot()
+        if self.query_log is not None:
+            payload["query_log"] = self.query_log.stats_payload()
         return payload
+
+    def profile_payload(self) -> Dict:
+        """The aggregated phase tree for ``GET /debug/profile``."""
+        return self.profiler.to_payload()
 
     def circuits_payload(self) -> Dict[str, Dict]:
         """Per-approach circuit-breaker state (empty when disabled)."""
@@ -578,6 +608,32 @@ class RouteService:
         return {"traces": self.tracer.recent(limit)}
 
     # -- internals ----------------------------------------------------------
+
+    def _log_query(
+        self,
+        query: RouteQuery,
+        root,
+        result: Optional[ServiceResult] = None,
+        error: Optional[BaseException] = None,
+        started: float = 0.0,
+    ) -> None:
+        """Emit one sampled query-log record; never raises into serving."""
+        log = self.query_log
+        if log is None or not log.sample():
+            return
+        try:
+            log.write(
+                build_query_record(
+                    query,
+                    root,
+                    result=result,
+                    error=error,
+                    elapsed_s=time.perf_counter() - started,
+                    open_circuits=self.open_circuits(),
+                )
+            )
+        except Exception:
+            logger.exception("query-log record failed")
 
     def _resolve_approaches(self, query: RouteQuery) -> Tuple[str, ...]:
         planners = self.processor.planners
@@ -615,13 +671,15 @@ class RouteService:
         # cache entries stay shared across backends.
         with search_context_scope(context):
             if deadline is None:
-                with self.metrics.time(f"stage.plan.{approach}"):
+                with self.metrics.time(f"stage.plan.{approach}"), \
+                        phase(f"plan.{approach}"):
                     return planner.plan(source, target, k=k, backend=backend)
             # Arm the query's shared deadline in this worker's (copied)
             # context so the planner's search loops can see and honour
             # it.
             with deadline_scope(deadline):
-                with self.metrics.time(f"stage.plan.{approach}"):
+                with self.metrics.time(f"stage.plan.{approach}"), \
+                        phase(f"plan.{approach}"):
                     return planner.plan(source, target, k=k, backend=backend)
 
     def _annotate_circuit(
@@ -671,7 +729,7 @@ class RouteService:
     ) -> ServiceResult:
         metrics = self.metrics
         processor = self.processor
-        with tracing_span("snap") as snap_span:
+        with tracing_span("snap") as snap_span, phase("snap"):
             with metrics.time("stage.vertex_match"):
                 source = processor.match_vertex(
                     query.source_lat, query.source_lon
@@ -690,7 +748,7 @@ class RouteService:
 
         outcomes: Dict[str, ApproachOutcome] = {}
         to_plan: List[Tuple[str, Tuple, AlternativeRoutePlanner]] = []
-        with tracing_span("cache") as cache_span:
+        with tracing_span("cache") as cache_span, phase("cache"):
             for approach in names:
                 planner = processor.planners[approach]
                 effective_k = (
@@ -847,7 +905,7 @@ class RouteService:
             if not outcome.ok
         }
         weights = processor.display_weights()
-        with tracing_span("filter") as filter_span:
+        with tracing_span("filter") as filter_span, phase("re-price"):
             with metrics.time("stage.re_price"):
                 priced = [
                     route.travel_time_on(weights)

@@ -282,6 +282,71 @@ class TestHealthEndpoint:
         assert payload["cache_size"] >= 0
         assert payload["uptime_s"] >= 0.0
 
+    def test_healthz_process_and_snapshot_metadata(self, server):
+        payload = get_json(server, "/healthz")
+        assert payload["uptime_seconds"] >= 0.0
+        assert payload["rss_bytes"] > 0  # resource-based RSS on Linux
+        network = payload["network"]
+        # No accelerator precomputation on the test server: the
+        # attachment flags report exactly that.
+        assert network["csr_attached"] is False
+        assert network["landmarks"] == 0
+        assert network["ch_attached"] is False
+
+    def test_healthz_reports_attached_accelerators(self, server):
+        from repro.core.alt import ensure_landmarks
+        from repro.core.ch import ensure_hierarchy
+        from repro.graph.csr import detach_csr
+
+        network = server.service.processor.network
+        try:
+            ensure_landmarks(network, count=4)
+            ensure_hierarchy(network)
+            payload = get_json(server, "/healthz")["network"]
+            assert payload["csr_attached"] is True
+            assert payload["landmarks"] == 4
+            assert payload["ch_attached"] is True
+        finally:
+            detach_csr(network)
+
+
+class TestProfileEndpoint:
+    def test_profile_disabled_by_default(self, server):
+        payload = get_json(server, "/debug/profile")
+        assert payload["enabled"] is False
+        assert payload["phases"] == []
+
+    def test_enabled_profiler_attributes_query_phases(self, server):
+        profiler = server.service.profiler
+        profiler.enable()
+        try:
+            # Fresh coordinates: a cache hit would skip the plan phases.
+            bbox = get_json(server, "/api/network")["bbox"]
+            span_lat = bbox["north"] - bbox["south"]
+            span_lon = bbox["east"] - bbox["west"]
+            source = {
+                "lat": bbox["south"] + 0.35 * span_lat,
+                "lon": bbox["west"] + 0.15 * span_lon,
+            }
+            target = {
+                "lat": bbox["south"] + 0.65 * span_lat,
+                "lon": bbox["west"] + 0.85 * span_lon,
+            }
+            post_json(server, "/api/route", route_body(source, target))
+            payload = get_json(server, "/debug/profile")
+        finally:
+            profiler.enable(False)
+            profiler.reset()
+        assert payload["enabled"] is True
+        assert payload["scopes"] >= 1
+        tops = {node["name"]: node for node in payload["phases"]}
+        assert "query" in tops
+        child_names = {
+            child["name"] for child in tops["query"].get("children", ())
+        }
+        assert "snap" in child_names
+        assert any(name.startswith("plan.") for name in child_names)
+
 
 class TestTraceEndpoint:
     def test_route_query_produces_full_trace(self, server):

@@ -1,0 +1,177 @@
+"""Tests for BENCH JSON reports and the bench-diff regression gate."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.observability.benchjson import (
+    BENCH_SCHEMA,
+    BENCH_VERSION,
+    BenchFormatError,
+    BenchReport,
+    diff_reports,
+    env_fingerprint,
+    format_diff,
+    load_report,
+)
+
+
+def report(name="bench_x", context=None, **metrics):
+    built = BenchReport(name=name, context=context or {"city": "melbourne",
+                                                       "size": "small"})
+    for metric_name, spec in metrics.items():
+        built.add_metric(metric_name, **spec)
+    return built
+
+
+class TestReportFormat:
+    def test_round_trip_through_disk(self, tmp_path):
+        original = report(
+            speedup={"value": 12.5, "unit": "x", "direction": "higher"},
+            p99={"value": 8.0, "unit": "ms", "direction": "lower",
+                 "threshold": 3.0,
+                 "quantiles": {"p50": 1.0, "p99": 8.0}},
+            note={"value": 42.0},
+        )
+        path = original.write(tmp_path / "BENCH_bench_x.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["version"] == BENCH_VERSION
+        assert set(payload["env"]) == set(env_fingerprint())
+        loaded = load_report(path)
+        assert loaded.name == "bench_x"
+        assert loaded.context["city"] == "melbourne"
+        assert loaded.metrics == original.metrics
+
+    def test_add_metric_validation(self):
+        built = BenchReport(name="x")
+        with pytest.raises(ConfigurationError):
+            built.add_metric("m", 1.0, direction="sideways")
+        with pytest.raises(ConfigurationError):
+            built.add_metric("m", 1.0, threshold=0.0)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other", "version": 1}))
+        with pytest.raises(BenchFormatError, match="repro.bench"):
+            load_report(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"schema": BENCH_SCHEMA, "version": 999,
+                        "metrics": {}})
+        )
+        with pytest.raises(BenchFormatError, match="version"):
+            load_report(path)
+
+    def test_load_rejects_valueless_metric(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({
+                "schema": BENCH_SCHEMA, "version": BENCH_VERSION,
+                "metrics": {"m": {"unit": "x"}},
+            })
+        )
+        with pytest.raises(BenchFormatError, match="no value"):
+            load_report(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(BenchFormatError):
+            load_report(path)
+
+
+class TestDiffGate:
+    def test_within_threshold_passes(self):
+        baseline = report(speedup={"value": 10.0, "direction": "higher"})
+        current = report(speedup={"value": 9.0, "direction": "higher"})
+        diff = diff_reports(baseline, current, threshold=0.20)
+        assert diff.ok
+        (delta,) = diff.deltas
+        assert delta.gated
+        assert delta.change == pytest.approx(-0.10)
+        assert "PASS" in format_diff(diff).splitlines()[-1]
+
+    def test_higher_is_better_regression(self):
+        baseline = report(speedup={"value": 10.0, "direction": "higher"})
+        current = report(speedup={"value": 7.0, "direction": "higher"})
+        diff = diff_reports(baseline, current, threshold=0.20)
+        assert not diff.ok
+        assert diff.regressions[0].name == "speedup"
+        assert format_diff(diff).splitlines()[-1] == "FAIL"
+
+    def test_lower_is_better_regression(self):
+        baseline = report(p99={"value": 10.0, "direction": "lower"})
+        improved = report(p99={"value": 2.0, "direction": "lower"})
+        worse = report(p99={"value": 13.0, "direction": "lower"})
+        assert diff_reports(baseline, improved, threshold=0.20).ok
+        assert not diff_reports(baseline, worse, threshold=0.20).ok
+
+    def test_per_metric_threshold_overrides_cli_default(self):
+        # A machine-dependent absolute latency carries threshold=3.0 in
+        # the committed baseline: 2x worse passes, 5x worse fails —
+        # regardless of the tight CLI default.
+        baseline = report(
+            p99={"value": 10.0, "direction": "lower", "threshold": 3.0}
+        )
+        assert diff_reports(
+            baseline, report(p99={"value": 20.0, "direction": "lower"}),
+            threshold=0.20,
+        ).ok
+        assert not diff_reports(
+            baseline, report(p99={"value": 50.0, "direction": "lower"}),
+            threshold=0.20,
+        ).ok
+
+    def test_undirected_metrics_are_informational(self):
+        baseline = report(qps={"value": 100.0})
+        current = report(qps={"value": 1.0})
+        diff = diff_reports(baseline, current)
+        assert diff.ok  # 100x worse, but not gated
+        assert not diff.deltas[0].gated
+
+    def test_missing_gated_metric_is_a_regression(self):
+        baseline = report(speedup={"value": 10.0, "direction": "higher"})
+        current = report(other={"value": 1.0})
+        diff = diff_reports(baseline, current)
+        assert diff.missing == ["speedup"]
+        assert not diff.ok
+        (delta,) = diff.regressions
+        assert math.isnan(delta.current)
+        assert "missing from" in format_diff(diff)
+
+    def test_missing_informational_metric_is_fine(self):
+        baseline = report(qps={"value": 100.0})
+        diff = diff_reports(baseline, report())
+        assert diff.missing == ["qps"]
+        assert diff.ok
+
+    def test_added_metrics_reported(self):
+        diff = diff_reports(
+            report(), report(fresh={"value": 1.0})
+        )
+        assert diff.added == ["fresh"]
+        assert "new metric: fresh" in format_diff(diff)
+
+    def test_context_mismatch_fails_loudly(self):
+        baseline = report(context={"city": "melbourne", "size": "small"})
+        current = report(context={"city": "dhaka", "size": "small"})
+        with pytest.raises(BenchFormatError, match="context mismatch"):
+            diff_reports(baseline, current)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diff_reports(report(), report(), threshold=0.0)
+
+    def test_payload_shape(self):
+        baseline = report(speedup={"value": 10.0, "direction": "higher"})
+        current = report(speedup={"value": 12.0, "direction": "higher"})
+        payload = diff_reports(baseline, current).to_payload()
+        assert payload["ok"] is True
+        assert payload["deltas"][0]["change_pct"] == 20.0

@@ -1,0 +1,156 @@
+"""Tests for the opt-in per-phase profiler."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+
+from repro.observability.profiling import (
+    PhaseNode,
+    Profiler,
+    active_profile_node,
+    format_profile,
+    phase,
+    profiling_scope,
+)
+
+
+class TestPhaseOutsideScope:
+    def test_phase_is_noop_without_scope(self):
+        assert active_profile_node() is None
+        with phase("snap"):
+            assert active_profile_node() is None
+
+    def test_disabled_profiler_records_nothing(self):
+        profiler = Profiler()  # disabled by default
+        with profiler.profile():
+            with phase("snap"):
+                pass
+        payload = profiler.to_payload()
+        assert payload == {"enabled": False, "scopes": 0, "phases": []}
+
+    def test_profiling_scope_accepts_none(self):
+        with profiling_scope(None):
+            with phase("snap"):
+                pass
+        assert active_profile_node() is None
+
+
+class TestAggregation:
+    def test_phases_nest_and_accumulate(self):
+        profiler = Profiler(enabled=True)
+        for _ in range(3):
+            with profiler.profile():
+                with phase("plan"):
+                    with phase("tree-build"):
+                        time.sleep(0.001)
+                    with phase("unpack"):
+                        pass
+                with phase("render"):
+                    pass
+        payload = profiler.to_payload()
+        assert payload["enabled"] is True
+        assert payload["scopes"] == 3
+        (query,) = payload["phases"]
+        assert query["name"] == "query"
+        assert query["calls"] == 3
+        by_name = {child["name"]: child for child in query["children"]}
+        assert set(by_name) == {"plan", "render"}
+        plan = by_name["plan"]
+        assert plan["calls"] == 3
+        nested = {child["name"] for child in plan["children"]}
+        assert nested == {"tree-build", "unpack"}
+        # The parent's total covers its children; self time is the rest.
+        child_ms = sum(c["total_ms"] for c in plan["children"])
+        assert plan["total_ms"] >= child_ms
+        assert plan["self_ms"] >= 0.0
+
+    def test_nested_profile_scopes_become_phases(self):
+        profiler = Profiler(enabled=True)
+        with profiler.profile("batch"):
+            with profiler.profile("query"):
+                with phase("snap"):
+                    pass
+        payload = profiler.to_payload()
+        assert payload["scopes"] == 1  # one root scope, not two
+        (batch,) = payload["phases"]
+        assert batch["name"] == "batch"
+        (query,) = batch["children"]
+        assert query["name"] == "query"
+        assert query["children"][0]["name"] == "snap"
+
+    def test_reset_drops_aggregates(self):
+        profiler = Profiler(enabled=True)
+        with profiler.profile():
+            with phase("snap"):
+                pass
+        profiler.reset()
+        payload = profiler.to_payload()
+        assert payload["scopes"] == 0
+        assert payload["phases"] == []
+
+    def test_phase_attribution_survives_thread_fanout(self):
+        # The serving layer copies the submitting context onto pool
+        # workers; a phase timed on the worker must land under the
+        # submitting query's node.
+        profiler = Profiler(enabled=True)
+
+        def worker():
+            with phase("plan.worker"):
+                time.sleep(0.001)
+
+        with profiler.profile():
+            ctx = contextvars.copy_context()
+            thread = threading.Thread(target=ctx.run, args=(worker,))
+            thread.start()
+            thread.join()
+        (query,) = profiler.to_payload()["phases"]
+        assert query["children"][0]["name"] == "plan.worker"
+        assert query["children"][0]["calls"] == 1
+
+    def test_concurrent_phases_do_not_race(self):
+        profiler = Profiler(enabled=True)
+
+        def one_scope():
+            with profiler.profile():
+                for _ in range(100):
+                    with phase("snap"):
+                        pass
+
+        threads = [threading.Thread(target=one_scope) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        payload = profiler.to_payload()
+        assert payload["scopes"] == 8
+        (query,) = payload["phases"]
+        assert query["calls"] == 8
+        assert query["children"][0]["calls"] == 800
+
+
+class TestRendering:
+    def test_format_profile_text(self):
+        node = PhaseNode("query")
+        node.add(0.05)
+        child = node.child("snap")
+        child.add(0.01)
+        payload = {
+            "enabled": True,
+            "scopes": 1,
+            "phases": [node.to_payload()],
+        }
+        text = format_profile(payload)
+        lines = text.splitlines()
+        assert lines[0] == "profiled scopes: 1"
+        assert "query: 50.0 ms total" in lines[1]
+        assert lines[2].startswith("    snap: 10.0 ms")
+
+    def test_self_time_floors_at_zero(self):
+        node = PhaseNode("query")
+        node.add(0.001)
+        child = node.child("snap")
+        child.add(0.005)  # transient: child exceeds parent
+        payload = node.to_payload()
+        assert payload["self_ms"] == 0.0

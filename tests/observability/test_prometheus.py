@@ -35,10 +35,14 @@ PAYLOAD = {
             "p50_s": 0.1,
             "p95_s": 0.3,
             "p99_s": 0.4,
+            "p999_s": 0.4,
         },
         "stage.render": {"count": 0},
     },
-    "cache": {"hits": 4, "misses": 8, "size": 8, "max_size": 1024},
+    "cache": {
+        "hits": 4, "misses": 8, "evictions": 2, "invalidations": 1,
+        "size": 8, "max_size": 1024,
+    },
 }
 
 
@@ -79,6 +83,7 @@ class TestRendering:
         assert "# TYPE repro_query_total_seconds summary" in text
         assert 'repro_query_total_seconds{quantile="0.5"} 0.1' in text
         assert 'repro_query_total_seconds{quantile="0.95"} 0.3' in text
+        assert 'repro_query_total_seconds{quantile="0.999"} 0.4' in text
         assert "repro_query_total_seconds_sum 1.5" in text
         assert "repro_query_total_seconds_count 12" in text
 
@@ -91,6 +96,20 @@ class TestRendering:
         text = render_prometheus(PAYLOAD)
         assert "repro_cache_size 8" in text
         assert "repro_cache_max_size 1024" in text
+
+    def test_cache_events_become_labelled_counters(self):
+        text = render_prometheus(PAYLOAD)
+        assert "# TYPE repro_cache_events_total counter" in text
+        assert 'repro_cache_events_total{event="hits"} 4' in text
+        assert 'repro_cache_events_total{event="misses"} 8' in text
+        assert 'repro_cache_events_total{event="evictions"} 2' in text
+        assert 'repro_cache_events_total{event="invalidations"} 1' in text
+
+    def test_cache_events_default_to_zero(self):
+        # A partial cache payload still renders every event series, so
+        # rate() queries never see a vanishing time series.
+        text = render_prometheus({"cache": {"hits": 4}})
+        assert 'repro_cache_events_total{event="evictions"} 0' in text
 
     def test_empty_payload_renders_cleanly(self):
         assert render_prometheus({}) == "\n"

@@ -1,0 +1,224 @@
+"""Unit tests for the query-log file format, sampling, and readers.
+
+Integration with a live RouteService (record shape, trace joins) lives
+in ``tests/serving/test_querylog.py``; these tests cover the format
+layer alone.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.observability.querylog import (
+    QUERY_LOG_SCHEMA,
+    QUERY_LOG_VERSION,
+    QueryLog,
+    QueryLogError,
+    iter_query_log,
+    log_stats,
+    read_query_log,
+    route_set_fingerprint,
+    tail_records,
+)
+
+
+class FakeRouteSet:
+    """The minimal duck type ``route_set_fingerprint`` hashes."""
+
+    def __init__(self, source, target, *edge_sequences):
+        self.source = source
+        self.target = target
+        self._routes = [
+            SimpleNamespace(edge_ids=tuple(edges))
+            for edges in edge_sequences
+        ]
+
+    def __iter__(self):
+        return iter(self._routes)
+
+
+def fake_route_set(source, target, *edge_sequences):
+    return FakeRouteSet(source, target, *edge_sequences)
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_sensitive(self):
+        a = route_set_fingerprint(fake_route_set(1, 2, (10, 11), (12,)))
+        b = route_set_fingerprint(fake_route_set(1, 2, (10, 11), (12,)))
+        assert a == b
+        assert len(a) == 16
+        reordered = route_set_fingerprint(
+            fake_route_set(1, 2, (12,), (10, 11))
+        )
+        assert reordered != a
+
+    def test_sensitive_to_endpoints_and_geometry(self):
+        base = route_set_fingerprint(fake_route_set(1, 2, (10, 11)))
+        assert route_set_fingerprint(fake_route_set(1, 3, (10, 11))) != base
+        assert route_set_fingerprint(fake_route_set(1, 2, (10, 12))) != base
+
+
+class TestQueryLogWriting:
+    def test_file_mode_writes_header_then_records(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        with QueryLog(path=path, meta={"city": "melbourne"}) as log:
+            assert log.sample()
+            log.write({"v": 1, "outcome": "served"})
+            log.write({"v": 1, "outcome": "degraded"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        header = json.loads(lines[0])
+        assert header["schema"] == QUERY_LOG_SCHEMA
+        assert header["version"] == QUERY_LOG_VERSION
+        assert header["meta"] == {"city": "melbourne"}
+        assert json.loads(lines[1])["outcome"] == "served"
+
+    def test_reopening_appends_without_second_header(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        with QueryLog(path=path) as log:
+            log.write({"v": 1})
+        with QueryLog(path=path) as log:
+            log.write({"v": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # one header, two records
+        headers = [
+            line for line in lines if "schema" in json.loads(line)
+        ]
+        assert len(headers) == 1
+
+    def test_in_memory_mode(self):
+        log = QueryLog()
+        log.write({"v": 1})
+        assert log.records() == [{"v": 1}]
+        assert log.written == 1
+        assert log.stats_payload()["path"] is None
+
+    def test_sampling_is_seeded_and_counted(self):
+        decisions = [
+            QueryLog(sample_rate=0.3, seed=42).sample() for _ in range(1)
+        ]
+        log_a = QueryLog(sample_rate=0.3, seed=42)
+        log_b = QueryLog(sample_rate=0.3, seed=42)
+        a = [log_a.sample() for _ in range(200)]
+        b = [log_b.sample() for _ in range(200)]
+        assert a == b  # reproducible run-to-run
+        assert decisions[0] == a[0]
+        assert 20 < sum(a) < 120  # roughly 30%
+        assert log_a.sampled_out == 200 - sum(a)
+
+    def test_max_records_bounds_the_file(self):
+        log = QueryLog(max_records=2)
+        for i in range(5):
+            if log.sample():
+                log.write({"i": i})
+        assert log.written == 2
+        assert log.dropped == 3
+        assert [record["i"] for record in log.records()] == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryLog(sample_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            QueryLog(sample_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            QueryLog(max_records=0)
+
+
+class TestReaders:
+    def write_log(self, tmp_path, records, header=None):
+        path = tmp_path / "log.jsonl"
+        lines = [
+            json.dumps(
+                header
+                or {
+                    "schema": QUERY_LOG_SCHEMA,
+                    "version": QUERY_LOG_VERSION,
+                }
+            )
+        ]
+        lines += [json.dumps(record) for record in records]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_round_trip(self, tmp_path):
+        path = self.write_log(tmp_path, [{"a": 1}, {"a": 2}])
+        header, records = read_query_log(path)
+        assert header["schema"] == QUERY_LOG_SCHEMA
+        assert records == [{"a": 1}, {"a": 2}]
+        assert list(iter_query_log(path)) == records
+        assert tail_records(path, 1) == [{"a": 2}]
+        assert tail_records(path, 99) == records
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(json.dumps({"v": 1}) + "\n")
+        with pytest.raises(QueryLogError, match="header"):
+            read_query_log(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = self.write_log(
+            tmp_path,
+            [],
+            header={"schema": QUERY_LOG_SCHEMA, "version": 999},
+        )
+        with pytest.raises(QueryLogError, match="version"):
+            read_query_log(path)
+
+    def test_garbled_line_rejected_with_location(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            json.dumps(
+                {"schema": QUERY_LOG_SCHEMA, "version": QUERY_LOG_VERSION}
+            )
+            + "\n{not json\n"
+        )
+        with pytest.raises(QueryLogError, match=":2"):
+            read_query_log(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("")
+        with pytest.raises(QueryLogError, match="empty"):
+            read_query_log(path)
+
+
+class TestLogStats:
+    def test_aggregates_outcomes_approaches_and_latency(self):
+        records = [
+            {
+                "outcome": "served",
+                "elapsed_ms": 10.0,
+                "ts": 100.0,
+                "cache_hits": 1,
+                "approaches": [
+                    {"approach": "Penalty", "cached": True,
+                     "route_hash": "x"},
+                    {"approach": "Plateaus", "error": "boom"},
+                ],
+            },
+            {
+                "outcome": "failed",
+                "elapsed_ms": 30.0,
+                "ts": 102.5,
+            },
+        ]
+        stats = log_stats(records)
+        assert stats["records"] == 2
+        assert stats["outcomes"] == {"failed": 1, "served": 1}
+        assert stats["cache_hits"] == 1
+        assert stats["approaches"]["Penalty"] == {
+            "ok": 1, "failed": 0, "cached": 1,
+        }
+        assert stats["approaches"]["Plateaus"]["failed"] == 1
+        assert stats["latency_ms"]["count"] == 2
+        assert stats["latency_ms"]["max"] == 30.0
+        assert stats["span_s"] == 2.5
+
+    def test_empty_records(self):
+        stats = log_stats([])
+        assert stats["records"] == 0
+        assert "latency_ms" not in stats

