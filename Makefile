@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-chaos bench-csr bench-ch bench-diff replay-smoke examples report clean
+.PHONY: install test bench bench-serving bench-chaos bench-csr bench-ch bench-traffic bench-diff replay-smoke traffic-replay-smoke examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,15 +25,23 @@ bench-csr:
 bench-ch:
 	$(PYTHON) -m pytest benchmarks/bench_ch.py -q
 
+bench-traffic:
+	$(PYTHON) -m pytest benchmarks/bench_traffic.py -q
+
 # Gate fresh BENCH_*.json results against the committed baselines
 # (same comparison CI runs; see docs/observability.md to re-bless).
 bench-diff:
 	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_serving.json benchmarks/output/BENCH_bench_serving.json
 	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_csr.json benchmarks/output/BENCH_bench_csr.json
 	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_ch.json benchmarks/output/BENCH_bench_ch.json
+	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_chaos.json benchmarks/output/BENCH_bench_chaos.json
+	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_traffic.json benchmarks/output/BENCH_bench_traffic.json
 
 replay-smoke:
 	$(PYTHON) -m repro replay benchmarks/data/query_log_tiny.jsonl
+
+traffic-replay-smoke:
+	$(PYTHON) -m repro traffic replay benchmarks/data/traffic_updates_tiny.jsonl
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -35,6 +35,16 @@ from repro.demo.query_processor import QueryProcessor
 from repro.serving import FaultInjectingPlanner, RouteQuery, RouteService
 
 from conftest import write_artifact
+from telemetry import BenchTelemetry
+
+TELEMETRY = BenchTelemetry("bench_chaos")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
+
 
 #: Servable (source, target) pairs per mode.
 QUERY_COUNT = 12
@@ -178,6 +188,26 @@ def test_bench_chaos_resilience_beats_baseline(processor, queries):
         )
         write_artifact("bench_chaos.txt", "\n".join(lines))
         write_artifact("bench_chaos.json", json.dumps(report, indent=2))
+
+        # Availability under faults is machine-independent, so it gates
+        # tightly; the latency tail only gates against gross regressions
+        # (the absolute depends on the box).
+        TELEMETRY.add_metric(
+            "resilient_availability",
+            resilient_report["availability"],
+            direction="higher", threshold=0.05,
+        )
+        TELEMETRY.add_metric(
+            "baseline_availability", baseline_report["availability"],
+        )
+        TELEMETRY.add_metric(
+            "resilient_degraded_rate", resilient_report["degraded_rate"],
+        )
+        TELEMETRY.add_metric(
+            "resilient_p99_latency_s",
+            resilient_report["p99_latency_s"], unit="s",
+            direction="lower", threshold=3.0,
+        )
 
         assert (
             resilient_report["availability"]

@@ -67,6 +67,16 @@ class ContractionHierarchy:
     hop_limit:
         Witness searches are limited to this many settled nodes, the
         usual preprocessing-time/shortcut-count trade-off.
+    witnesses:
+        When ``True`` (default), witness searches prune shortcuts that
+        a cheaper path already covers — the classic metric-*dependent*
+        CH.  When ``False``, every (predecessor, successor) pair of a
+        contracted node gets a shortcut regardless of witnesses.  The
+        result is larger but *metric-independent*: its topology and
+        contraction order stay valid for any strictly positive weight
+        vector, which is what lets
+        :class:`repro.core.customization.CchCustomizer` re-customize
+        weights CCH-style without re-contracting.
     """
 
     def __init__(
@@ -74,9 +84,11 @@ class ContractionHierarchy:
         network: RoadNetwork,
         weights: Optional[Sequence[float]] = None,
         hop_limit: int = 600,
+        witnesses: bool = True,
     ) -> None:
         if hop_limit < 10:
             raise ConfigurationError("hop_limit must be at least 10")
+        self.witnesses = witnesses
         self.network = network
         self._weights = (
             list(network.default_weights()) if weights is None else list(weights)
@@ -187,6 +199,13 @@ class ContractionHierarchy:
                     v: w_in + w_out for v, w_out in succs if v != u
                 }
                 if not targets:
+                    continue
+                if not self.witnesses:
+                    # Metric-independent contraction: keep every pair so
+                    # the topology survives any weight re-customization.
+                    needed.extend(
+                        (u, v, through) for v, through in targets.items()
+                    )
                     continue
                 cap = max(targets.values())
                 witnesses = witness_limit_search(u, targets, node, cap)

@@ -12,6 +12,7 @@ Commands
 ``stability``    seed-stability sweep of the reproduced conclusions
 ``log``          tail or summarise a captured query log
 ``replay``       re-drive a captured query log against a live service
+``traffic``      generate or replay a live traffic-update log
 ``bench``        diff machine-readable BENCH_*.json results
 """
 
@@ -270,6 +271,41 @@ def _cmd_study(args) -> int:
     return 0
 
 
+class _TrafficFeeder:
+    """Background thread driving a traffic log into a live controller.
+
+    The demo's ``--traffic-stream`` mode: one batch ingested every
+    ``interval_s`` seconds while the server runs, so the served weights
+    churn like a real feed (quarantines and all) without an external
+    process.
+    """
+
+    def __init__(self, controller, batches, interval_s: float) -> None:
+        import threading
+
+        self.controller = controller
+        self.batches = batches
+        self.interval_s = max(0.1, interval_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="traffic-feeder", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        for batch in self.batches:
+            if self._stop.is_set():
+                return
+            self.controller.ingest(batch)
+            if self._stop.wait(self.interval_s):
+                return
+
+
 def _cmd_demo(args) -> int:
     from repro.demo import DemoServer, QueryProcessor, ResponseStore
     from repro.observability.profiling import Profiler, format_profile
@@ -297,6 +333,17 @@ def _cmd_demo(args) -> int:
             },
         )
     profiler = Profiler(enabled=args.profile)
+    live = None
+    feeder = None
+    if args.traffic_stream:
+        from repro.serving import LiveTrafficController
+        from repro.traffic import read_update_log
+
+        _header, traffic_batches = read_update_log(args.traffic_stream)
+        live = LiveTrafficController(network)
+        feeder = _TrafficFeeder(
+            live, traffic_batches, interval_s=args.traffic_interval
+        )
     service = RouteService(
         processor,
         cache_size=args.cache_size,
@@ -307,6 +354,7 @@ def _cmd_demo(args) -> int:
         max_inflight=args.max_inflight,
         query_log=query_log,
         profiler=profiler,
+        live=live,
     )
     server = DemoServer(
         processor,
@@ -322,7 +370,20 @@ def _cmd_demo(args) -> int:
         print(f"per-phase profile at {server.url}/debug/profile")
     if query_log is not None:
         print(f"query log capturing to {args.query_log}")
+    if feeder is not None:
+        feeder.start()
+        print(
+            f"live traffic: feeding {len(feeder.batches)} batches from "
+            f"{args.traffic_stream} every {args.traffic_interval:g}s"
+        )
     server.serve_forever()
+    if feeder is not None:
+        feeder.stop()
+        stats = live.stats_payload()
+        print(
+            f"traffic feed: applied {stats['applied']}, quarantined "
+            f"{stats['quarantined']}, serving {stats['epoch_id']}"
+        )
     if args.dump_traces:
         print(json.dumps(service.traces_payload(), indent=2))
     if args.profile:
@@ -396,6 +457,103 @@ def _cmd_replay(args) -> int:
     if args.json:
         print(json.dumps(report.to_payload(), sort_keys=True))
     return 0 if report.equivalent else 1
+
+
+def _cmd_traffic_generate(args) -> int:
+    from repro.traffic import (
+        FaultInjectingUpdateSource,
+        FaultPlan,
+        TrafficModel,
+        TrafficUpdateSource,
+        write_update_log,
+    )
+
+    network = _build_network(args)
+    model = TrafficModel(network, seed=args.seed)
+    source = TrafficUpdateSource(
+        model,
+        start_hour=args.start_hour,
+        end_hour=args.end_hour,
+        tick_minutes=args.tick_minutes,
+        seed=args.seed,
+    )
+    batches = iter(source)
+    if args.fault_rate > 0:
+        rate = args.fault_rate
+        batches = iter(
+            FaultInjectingUpdateSource(
+                batches,
+                FaultPlan(
+                    p_corrupt=rate,
+                    p_unknown_edge=rate / 2,
+                    p_duplicate=rate / 2,
+                    p_reorder=rate / 2,
+                    p_gap=rate / 2,
+                ),
+                edge_count=network.num_edges,
+                seed=args.fault_seed,
+            )
+        )
+    count = write_update_log(
+        args.out,
+        batches,
+        meta={
+            "city": args.city,
+            "size": args.size,
+            "seed": args.seed,
+            "fault_rate": args.fault_rate,
+        },
+    )
+    print(
+        f"wrote {count} traffic batches "
+        f"({args.start_hour:g}:00-{args.end_hour:g}:00, every "
+        f"{args.tick_minutes:g} min) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_traffic_replay(args) -> int:
+    from repro.serving import LiveTrafficController
+    from repro.traffic import read_update_log
+
+    header, batches = read_update_log(args.path)
+    meta = header.get("meta", {})
+    city = args.city or meta.get("city", "melbourne")
+    size = args.size or meta.get("size", "small")
+    seed = args.seed if args.seed is not None else meta.get("seed", 0)
+    network = CITY_BUILDERS[city](size=size, seed=seed)
+    controller = LiveTrafficController(network)
+    print(
+        f"replaying {len(batches)} batches from {args.path} "
+        f"against {city}/{size} (seed {seed})"
+    )
+    for batch in batches:
+        outcome = controller.ingest(batch)
+        if outcome.applied:
+            line = (
+                f"seq {outcome.seq}: applied -> {outcome.epoch_id} "
+                f"({outcome.dirty_edges} dirty edges)"
+            )
+            if outcome.deferred_applied:
+                line += (
+                    f", drained deferred "
+                    f"{list(outcome.deferred_applied)}"
+                )
+        else:
+            line = f"seq {outcome.seq}: quarantined ({outcome.reason})"
+        if args.verbose:
+            print(line)
+    stats = controller.stats_payload()
+    print(
+        f"applied {stats['applied']}, quarantined "
+        f"{stats['quarantined']} "
+        f"{dict(stats['quarantined_by_reason'])}, serving "
+        f"{stats['epoch_id']} (feed seq {stats['feed_seq']}, "
+        f"breaker {stats['feed_breaker']['state']})"
+    )
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+    return 0
 
 
 def _cmd_bench_diff(args) -> int:
@@ -618,6 +776,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-log-max", type=int, default=10_000, metavar="N",
         help="stop capturing after N records (default: 10000)",
     )
+    demo.add_argument(
+        "--traffic-stream", default=None, metavar="PATH",
+        help="feed a traffic-update JSONL log (see repro traffic "
+        "generate) through the live epoch controller while serving",
+    )
+    demo.add_argument(
+        "--traffic-interval", type=float, default=30.0, metavar="S",
+        help="seconds between ingested traffic batches (default: 30)",
+    )
     demo.set_defaults(handler=_cmd_demo)
 
     figure = commands.add_parser(
@@ -705,6 +872,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the full report as one JSON object",
     )
     replay.set_defaults(handler=_cmd_replay)
+
+    traffic = commands.add_parser(
+        "traffic",
+        help="generate or replay a live traffic-update log",
+    )
+    traffic_commands = traffic.add_subparsers(
+        dest="traffic_command", required=True
+    )
+    traffic_generate = traffic_commands.add_parser(
+        "generate",
+        help="write a rush-hour traffic-update JSONL log for a city",
+    )
+    _add_network_arguments(traffic_generate)
+    traffic_generate.add_argument("--out", required=True)
+    traffic_generate.add_argument(
+        "--start-hour", type=float, default=7.0,
+        help="first batch hour (default: 7.0)",
+    )
+    traffic_generate.add_argument(
+        "--end-hour", type=float, default=18.0,
+        help="last batch hour (default: 18.0)",
+    )
+    traffic_generate.add_argument(
+        "--tick-minutes", type=float, default=30.0,
+        help="minutes between batches (default: 30)",
+    )
+    traffic_generate.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-batch probability of injected feed faults "
+        "(corruption, duplicates, reordering, gaps; default: 0)",
+    )
+    traffic_generate.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="PRNG seed for the injected faults",
+    )
+    traffic_generate.set_defaults(handler=_cmd_traffic_generate)
+    traffic_replay = traffic_commands.add_parser(
+        "replay",
+        help="ingest a traffic-update log through the live controller "
+        "and report applied/quarantined outcomes",
+    )
+    traffic_replay.add_argument("path", help="JSONL traffic-update log")
+    traffic_replay.add_argument("--city", default=None, choices=_CITIES)
+    traffic_replay.add_argument("--size", default=None, choices=_SIZES)
+    traffic_replay.add_argument("--seed", type=int, default=None)
+    traffic_replay.add_argument(
+        "--verbose", action="store_true",
+        help="print one line per ingested batch",
+    )
+    traffic_replay.add_argument(
+        "--json", action="store_true",
+        help="also print the controller stats as one JSON object",
+    )
+    traffic_replay.set_defaults(handler=_cmd_traffic_replay)
 
     bench = commands.add_parser(
         "bench", help="work with machine-readable BENCH_*.json results"

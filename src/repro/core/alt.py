@@ -61,7 +61,7 @@ class LandmarkTable:
     float lists indexed by dense node id.
     """
 
-    __slots__ = ("landmarks", "dist_from", "dist_to", "seed")
+    __slots__ = ("landmarks", "dist_from", "dist_to", "seed", "scale")
 
     def __init__(
         self,
@@ -69,11 +69,20 @@ class LandmarkTable:
         dist_from: List[Sequence[float]],
         dist_to: List[Sequence[float]],
         seed: int,
+        scale: float = 1.0,
     ) -> None:
         self.landmarks = landmarks
         self.dist_from = dist_from
         self.dist_to = dist_to
         self.seed = seed
+        # Live-traffic support: a table built at weight vector W stays
+        # admissible for a new vector W' when every bound is multiplied
+        # by ``scale = min_e W'[e] / W[e]`` — each new edge weight is at
+        # least ``scale`` times its built weight, so new distances are
+        # at least ``scale`` times old ones (consistency survives by
+        # the same edgewise argument).  ``scale`` is 1.0 for a table
+        # priced on the weights it searches.
+        self.scale = scale
 
     def __len__(self) -> int:
         return len(self.landmarks)
@@ -88,6 +97,7 @@ class LandmarkTable:
         networks) contribute nothing, keeping the bound admissible.
         """
         actives = self._active_for(target, count)
+        scale = self.scale
 
         def h(v: int) -> float:
             best = 0.0
@@ -103,7 +113,7 @@ class LandmarkTable:
                         bound = from_t - d_from
                         if bound > best:
                             best = bound
-            return best
+            return best * scale
 
         return h
 

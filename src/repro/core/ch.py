@@ -196,6 +196,41 @@ class CchBackend:
             arc_child_down,
         )
 
+    @classmethod
+    def reweighted(
+        cls,
+        template: "CchBackend",
+        arc_weights: array,
+        arc_child_up: array,
+        arc_child_down: array,
+        up_out: List[tuple],
+        up_in: List[tuple],
+    ) -> "CchBackend":
+        """Clone a backend onto a new metric, skipping re-validation.
+
+        Used by :class:`repro.core.customization.CchCustomizer`: the
+        topology arrays (tails/heads/edge ids/rank) are *shared* with
+        the template — they are metric-independent — while the weights,
+        the shortcut children (the cheapest parallel arc can shift
+        under a new metric) and the frozen adjacency are the caller's
+        freshly customized copies.  ``__init__``'s structural checks
+        are skipped: the template already passed them and the topology
+        is unchanged.
+        """
+        backend = object.__new__(cls)
+        backend.network = template.network
+        backend.rank = template.rank
+        backend.arc_tails = template.arc_tails
+        backend.arc_heads = template.arc_heads
+        backend.arc_weights = arc_weights
+        backend.arc_edge_ids = template.arc_edge_ids
+        backend.arc_child_up = arc_child_up
+        backend.arc_child_down = arc_child_down
+        backend.up_out = up_out
+        backend.up_in = up_in
+        backend._spaces = ({}, {})
+        return backend
+
     def _freeze(self) -> Tuple[List[tuple], List[tuple]]:
         """Cheapest upward arc per (tail, head) pair, grouped per node.
 

@@ -1,0 +1,588 @@
+"""CCH-style weight customization into immutable epochs.
+
+Live traffic changes *weights*, not topology.  Re-contracting a CH per
+batch would take seconds; this module instead splits the hierarchy the
+CCH way (Dibbelt, Strasser & Wagner):
+
+* **Metric-independent preprocessing** — contract once with witness
+  searches *disabled* (``ContractionHierarchy(witnesses=False)``), so
+  every (predecessor, successor) pair of a contracted node keeps its
+  shortcut.  The resulting augmented graph is the elimination-game
+  chordal supergraph: its arcs and contraction order remain valid for
+  any strictly positive weight vector.
+* **Customization** — recompute arc weights bottom-up in elimination
+  order: an original arc takes its edge weight, a shortcut via ``x``
+  takes the current cheapest (tail→x) plus (x→head).  Because every
+  arc incident to ``x`` is created before ``x``'s contraction and none
+  after, processing arcs in creation order makes each consumed pair
+  value final — the classic lower-triangle fixpoint.  Shortcut
+  *children* are rewritten too: the cheapest parallel arc for a pair
+  can shift under a new metric, and unpacking must follow the new
+  cheapest children for the unpacked path to cost what the query
+  reported.
+
+:class:`CchCustomizer` keeps the pair-level state (cheapest arc per
+ordered node pair, consumer index) *persistent*, so a traffic batch
+touching ``k`` edges re-customizes only the pairs whose fixpoint value
+actually changes — propagated through the static consumer index in
+increasing elimination rank — instead of sweeping every arc.
+
+:class:`WeightEpoch` is the immutable serving bundle a customization
+produces: the full weight vector, a copy-on-write CSR view re-priced on
+the dirty nodes, the re-customized CH backend and a scaled-or-rebuilt
+ALT landmark table.  The serving layer pins one epoch per query via
+:func:`repro.graph.network.epoch_scope`; swapping the controller's
+current epoch is a single reference assignment, so in-flight queries
+finish on the epoch they started with.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from array import array
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.algorithms.contraction import _ORIGINAL, ContractionHierarchy
+from repro.core.alt import LandmarkTable
+from repro.core.ch import DEFAULT_HOP_LIMIT, CchBackend
+from repro.exceptions import ConfigurationError
+from repro.graph.csr import CsrGraph, csr_dijkstra, ensure_csr
+from repro.graph.network import RoadNetwork
+
+#: Below this ``min(new/built)`` ratio the scaled ALT potential has
+#: decayed enough that rebuilding the landmark tables pays for itself.
+DEFAULT_LANDMARK_RESCALE_FLOOR = 0.5
+
+_INF = math.inf
+
+
+class WeightEpoch:
+    """One immutable weight snapshot the serving layer can pin.
+
+    ``csr`` is ``None`` for the *base* epoch (epoch 0, the network's
+    own default weights): a pinned base epoch simply delegates to the
+    network's cached CSR view, so serving before any traffic arrives is
+    bit-identical to serving without the live layer.  Customized
+    epochs carry their own re-priced view with their own landmark
+    table and CH backend riding on it.
+    """
+
+    __slots__ = (
+        "epoch_id",
+        "seq",
+        "network",
+        "weights",
+        "csr",
+        "dirty_edges",
+        "origin",
+        "hour",
+    )
+
+    def __init__(
+        self,
+        epoch_id: str,
+        seq: int,
+        network: RoadNetwork,
+        weights: Sequence[float],
+        csr: Optional[CsrGraph],
+        dirty_edges: FrozenSet[int],
+        origin: str,
+        hour: float = 0.0,
+    ) -> None:
+        self.epoch_id = epoch_id
+        self.seq = seq
+        self.network = network
+        self.weights = weights
+        self.csr = csr
+        self.dirty_edges = dirty_edges
+        self.origin = origin
+        self.hour = hour
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightEpoch({self.epoch_id!r}, seq={self.seq}, "
+            f"origin={self.origin!r}, dirty={len(self.dirty_edges)})"
+        )
+
+
+def base_epoch(network: RoadNetwork) -> WeightEpoch:
+    """Epoch 0: the network's own default weights, no private CSR."""
+    return WeightEpoch(
+        epoch_id="epoch-0",
+        seq=0,
+        network=network,
+        weights=network._default_weights,
+        csr=None,
+        dirty_edges=frozenset(),
+        origin="base",
+    )
+
+
+# -- CSR copy-on-write ------------------------------------------------------
+
+
+def reweighted_csr(
+    network: RoadNetwork,
+    base: CsrGraph,
+    weights: Sequence[float],
+    dirty_edges: Iterable[int],
+) -> CsrGraph:
+    """A CSR view re-priced to ``weights``, sharing what did not change.
+
+    Offsets/targets/edge-id arrays (pure topology) are shared with
+    ``base``; the weight arrays are copied and patched only at the
+    positions incident to dirty edges, and the per-node arc tuples are
+    rebuilt only for nodes that own a patched position.  The attached
+    landmark table and hierarchy are *not* carried over — the caller
+    installs the epoch's own customized structures.
+    """
+    csr = object.__new__(CsrGraph)
+    csr.num_nodes = base.num_nodes
+    csr.num_edges = base.num_edges
+    csr.fwd_offsets = base.fwd_offsets
+    csr.fwd_targets = base.fwd_targets
+    csr.fwd_edge_ids = base.fwd_edge_ids
+    csr.bwd_offsets = base.bwd_offsets
+    csr.bwd_targets = base.bwd_targets
+    csr.bwd_edge_ids = base.bwd_edge_ids
+    fwd_weights = array("d", base.fwd_weights)
+    bwd_weights = array("d", base.bwd_weights)
+    fwd_arcs = list(base.fwd_arcs)
+    bwd_arcs = list(base.bwd_arcs)
+    edges = network._edges
+    dirty_tails = {edges[edge_id].u for edge_id in dirty_edges}
+    dirty_heads = {edges[edge_id].v for edge_id in dirty_edges}
+    for u in dirty_tails:
+        lo, hi = base.fwd_offsets[u], base.fwd_offsets[u + 1]
+        for pos in range(lo, hi):
+            fwd_weights[pos] = weights[base.fwd_edge_ids[pos]]
+        fwd_arcs[u] = tuple(
+            zip(
+                base.fwd_targets[lo:hi],
+                base.fwd_edge_ids[lo:hi],
+                fwd_weights[lo:hi],
+            )
+        )
+    for v in dirty_heads:
+        lo, hi = base.bwd_offsets[v], base.bwd_offsets[v + 1]
+        for pos in range(lo, hi):
+            bwd_weights[pos] = weights[base.bwd_edge_ids[pos]]
+        bwd_arcs[v] = tuple(
+            zip(
+                base.bwd_targets[lo:hi],
+                base.bwd_edge_ids[lo:hi],
+                bwd_weights[lo:hi],
+            )
+        )
+    csr.fwd_weights = fwd_weights
+    csr.bwd_weights = bwd_weights
+    csr.fwd_arcs = fwd_arcs
+    csr.bwd_arcs = bwd_arcs
+    csr.landmarks = None
+    csr.hierarchy = None
+    return csr
+
+
+# -- ALT re-customization ---------------------------------------------------
+
+
+def weight_scale(
+    built: Sequence[float], current: Sequence[float]
+) -> float:
+    """``min_e current[e] / built[e]`` — the admissible ALT rescale."""
+    scale = _INF
+    for edge_id, built_weight in enumerate(built):
+        ratio = current[edge_id] / built_weight
+        if ratio < scale:
+            scale = ratio
+    return scale if scale != _INF else 1.0
+
+
+def rebuild_landmark_tables(
+    network: RoadNetwork,
+    csr: CsrGraph,
+    landmarks: Tuple[int, ...],
+    weights: Sequence[float],
+    seed: int,
+) -> LandmarkTable:
+    """Recompute both distance tables for fixed landmark nodes.
+
+    Landmark *selection* is geometric and metric-robust, so a traffic
+    rebuild keeps the nodes and only re-runs the 2·|L| Dijkstras on
+    the new weights.
+    """
+    dist_from: List[Sequence[float]] = []
+    dist_to: List[Sequence[float]] = []
+    for landmark in landmarks:
+        dist_from.append(
+            csr_dijkstra(
+                network, csr, landmark, weights=weights, forward=True
+            ).dist
+        )
+        dist_to.append(
+            csr_dijkstra(
+                network, csr, landmark, weights=weights, forward=False
+            ).dist
+        )
+    return LandmarkTable(tuple(landmarks), dist_from, dist_to, seed)
+
+
+# -- CCH customization ------------------------------------------------------
+
+
+class CchCustomizer:
+    """Incremental CCH customization over one witnessless contraction.
+
+    Built once per network (the expensive, metric-independent step);
+    :meth:`customize` then re-prices the hierarchy for a new weight
+    vector, touching only the pair fixpoints a dirty-edge set actually
+    changes, and :meth:`backend` snapshots the current metric into an
+    immutable :class:`~repro.core.ch.CchBackend` for an epoch.
+    """
+
+    def __init__(
+        self, network: RoadNetwork, hop_limit: int = DEFAULT_HOP_LIMIT
+    ) -> None:
+        hierarchy = ContractionHierarchy(
+            network, hop_limit=hop_limit, witnesses=False
+        )
+        self.network = network
+        arcs = hierarchy._arcs
+        tails = hierarchy._tails
+        num_arcs = len(arcs)
+        self.rank = array("q", hierarchy.rank)
+        self.arc_tails = array("q", tails)
+        self.arc_heads = array("q", [arc.head for arc in arcs])
+        self.arc_edge_ids = array("q", [arc.edge_id for arc in arcs])
+        self.arc_via = array("q", [arc.via for arc in arcs])
+        # Static pair-level indexes (metric-independent):
+        # every arc of each ordered node pair, in creation order...
+        self._pair_arcs: Dict[Tuple[int, int], List[int]] = {}
+        for index in range(num_arcs):
+            pair = (tails[index], self.arc_heads[index])
+            self._pair_arcs.setdefault(pair, []).append(index)
+        # ...and, per pair, the shortcut arcs whose weight consumes it.
+        self._consumers: Dict[Tuple[int, int], List[int]] = {}
+        for index in range(num_arcs):
+            via = self.arc_via[index]
+            if via != _ORIGINAL:
+                tail = tails[index]
+                head = self.arc_heads[index]
+                self._consumers.setdefault((tail, via), []).append(index)
+                self._consumers.setdefault((via, head), []).append(index)
+        # Mutable metric state, filled by the initial full pass.
+        self.arc_weights = array("d", [0.0] * num_arcs)
+        self.arc_child_up = array("q", [-1] * num_arcs)
+        self.arc_child_down = array("q", [-1] * num_arcs)
+        self._pair_best: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        n = network.num_nodes
+        self._best_up: List[Dict[int, int]] = [{} for _ in range(n)]
+        self._best_down: List[Dict[int, int]] = [{} for _ in range(n)]
+        self._up_out: List[tuple] = [()] * n
+        self._up_in: List[tuple] = [()] * n
+        self.customize(network.default_weights())
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.arc_tails)
+
+    def customize(
+        self,
+        weights: Sequence[float],
+        dirty_edges: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Re-price the hierarchy for ``weights``.
+
+        With ``dirty_edges`` given (and a previous customization in
+        place) only the affected pair fixpoints are recomputed;
+        without it the full bottom-up pass runs.
+        """
+        if len(weights) < self.network.num_edges:
+            raise ConfigurationError(
+                f"weight vector has {len(weights)} entries for "
+                f"{self.network.num_edges} edges"
+            )
+        if dirty_edges is None or not self._pair_best:
+            self._customize_full(weights)
+        else:
+            self._customize_partial(weights, dirty_edges)
+
+    def _customize_full(self, weights: Sequence[float]) -> None:
+        arc_weights = self.arc_weights
+        child_up = self.arc_child_up
+        child_down = self.arc_child_down
+        tails = self.arc_tails
+        heads = self.arc_heads
+        edge_ids = self.arc_edge_ids
+        vias = self.arc_via
+        pair_best: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        for index in range(len(tails)):
+            edge_id = edge_ids[index]
+            if edge_id != _ORIGINAL:
+                weight = weights[edge_id]
+                up = down = -1
+            else:
+                via = vias[index]
+                left, up = pair_best[(tails[index], via)]
+                right, down = pair_best[(via, heads[index])]
+                weight = left + right
+            arc_weights[index] = weight
+            child_up[index] = up
+            child_down[index] = down
+            pair = (tails[index], heads[index])
+            current = pair_best.get(pair)
+            if current is None or weight < current[0]:
+                pair_best[pair] = (weight, index)
+        self._pair_best = pair_best
+        # Rebuild the frozen adjacency wholesale.
+        rank = self.rank
+        n = self.network.num_nodes
+        best_up: List[Dict[int, int]] = [{} for _ in range(n)]
+        best_down: List[Dict[int, int]] = [{} for _ in range(n)]
+        for (u, v), (_weight, index) in pair_best.items():
+            if rank[v] > rank[u]:
+                best_up[u][v] = index
+            else:
+                best_down[v][u] = index
+        self._best_up = best_up
+        self._best_down = best_down
+        self._up_out = [self._node_tuple_up(u) for u in range(n)]
+        self._up_in = [self._node_tuple_down(v) for v in range(n)]
+
+    def _node_tuple_up(self, u: int) -> tuple:
+        arc_weights = self.arc_weights
+        heads = self.arc_heads
+        return tuple(
+            (heads[i], arc_weights[i], i) for i in self._best_up[u].values()
+        )
+
+    def _node_tuple_down(self, v: int) -> tuple:
+        arc_weights = self.arc_weights
+        tails = self.arc_tails
+        return tuple(
+            (tails[i], arc_weights[i], i) for i in self._best_down[v].values()
+        )
+
+    def _customize_partial(
+        self, weights: Sequence[float], dirty_edges: Iterable[int]
+    ) -> None:
+        """Propagate a dirty-edge set through the pair fixpoints.
+
+        Pairs are processed in increasing elimination rank of their
+        lower endpoint: a shortcut's two consumed pairs both have the
+        via as their lower endpoint, contracted strictly before either
+        of the shortcut's endpoints, so every consumed value is final
+        by the time a consumer pops.
+        """
+        rank = self.rank
+        tails = self.arc_tails
+        heads = self.arc_heads
+        edge_ids = self.arc_edge_ids
+        vias = self.arc_via
+        arc_weights = self.arc_weights
+        child_up = self.arc_child_up
+        child_down = self.arc_child_down
+        pair_best = self._pair_best
+        edges = self.network._edges
+
+        heap: List[Tuple[int, Tuple[int, int]]] = []
+        queued = set()
+
+        def touch(pair: Tuple[int, int]) -> None:
+            if pair not in queued:
+                queued.add(pair)
+                key = min(rank[pair[0]], rank[pair[1]])
+                heapq.heappush(heap, (key, pair))
+
+        for edge_id in dirty_edges:
+            edge = edges[edge_id]
+            touch((edge.u, edge.v))
+
+        adjacency_dirty = set()
+        while heap:
+            _key, pair = heapq.heappop(heap)
+            best: Optional[Tuple[float, int]] = None
+            for index in self._pair_arcs[pair]:
+                edge_id = edge_ids[index]
+                if edge_id != _ORIGINAL:
+                    weight = weights[edge_id]
+                    up = down = -1
+                else:
+                    via = vias[index]
+                    left, up = pair_best[(tails[index], via)]
+                    right, down = pair_best[(via, heads[index])]
+                    weight = left + right
+                arc_weights[index] = weight
+                child_up[index] = up
+                child_down[index] = down
+                if best is None or weight < best[0]:
+                    best = (weight, index)
+            if pair_best[pair] != best:
+                pair_best[pair] = best
+                adjacency_dirty.add(pair)
+                for consumer in self._consumers.get(pair, ()):
+                    touch((tails[consumer], heads[consumer]))
+
+        for u, v in adjacency_dirty:
+            if rank[v] > rank[u]:
+                self._best_up[u][v] = pair_best[(u, v)][1]
+                self._up_out[u] = self._node_tuple_up(u)
+            else:
+                self._best_down[v][u] = pair_best[(u, v)][1]
+                self._up_in[v] = self._node_tuple_down(v)
+
+    def backend(self) -> CchBackend:
+        """Snapshot the current metric into an immutable backend.
+
+        The topology arrays are shared; the metric state is copied so
+        the next :meth:`customize` cannot mutate an epoch still being
+        served.
+        """
+        # ``reweighted`` only reads the shared topology attributes off
+        # its template (network/rank/tails/heads/edge ids); the
+        # customizer carries all of them under the same names, so it
+        # stands in for a backend directly.
+        return CchBackend.reweighted(
+            self,  # type: ignore[arg-type]
+            array("d", self.arc_weights),
+            array("q", self.arc_child_up),
+            array("q", self.arc_child_down),
+            list(self._up_out),
+            list(self._up_in),
+        )
+
+
+# -- epoch assembly ---------------------------------------------------------
+
+
+class EpochBuilder:
+    """Builds successive :class:`WeightEpoch` instances for one network.
+
+    Owns the metric-independent customizer, the landmark nodes and the
+    bookkeeping of which weights the current landmark tables were built
+    at.  The live controller (:mod:`repro.serving.live`) drives it;
+    tests drive it directly for differential checks.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        hop_limit: int = DEFAULT_HOP_LIMIT,
+        landmark_rescale_floor: float = DEFAULT_LANDMARK_RESCALE_FLOOR,
+    ) -> None:
+        if not 0.0 < landmark_rescale_floor <= 1.0:
+            raise ConfigurationError(
+                "landmark_rescale_floor must be in (0, 1], got "
+                f"{landmark_rescale_floor}"
+            )
+        self.network = network
+        self.landmark_rescale_floor = landmark_rescale_floor
+        self._base_csr = ensure_csr(network)
+        self.customizer = CchCustomizer(network, hop_limit=hop_limit)
+        base_table = self._base_csr.landmarks
+        if base_table is not None:
+            self._landmark_nodes = base_table.landmarks
+            self._landmark_seed = base_table.seed
+            self._landmark_table = base_table
+        else:
+            self._landmark_nodes = ()
+            self._landmark_seed = 0
+            self._landmark_table = None
+        # Weights the current landmark tables were computed on.
+        self._landmark_weights: Sequence[float] = (
+            network._default_weights
+        )
+        # Weights the customizer's mutable state currently reflects;
+        # after a rollback the next build diffs against these, not the
+        # batch's nominal dirty set, so the customizer re-converges.
+        self._customized_weights: List[float] = list(
+            network._default_weights
+        )
+        self._epoch_counter = 0
+        self.landmark_rebuilds = 0
+
+    def _landmarks_for(
+        self, csr: CsrGraph, weights: Sequence[float]
+    ) -> Optional[LandmarkTable]:
+        """Scaled-or-rebuilt landmark table for the new weights."""
+        if self._landmark_table is None:
+            return None
+        scale = weight_scale(self._landmark_weights, weights)
+        if scale >= self.landmark_rescale_floor:
+            # Share the distance tables; only the admissible scale
+            # changes.  The stored tables always have scale 1 (they
+            # are rebuilt, never re-scaled in place), so the computed
+            # ratio against their build weights applies directly.
+            table = self._landmark_table
+            return LandmarkTable(
+                table.landmarks,
+                table.dist_from,
+                table.dist_to,
+                table.seed,
+                scale=scale,
+            )
+        self.landmark_rebuilds += 1
+        rebuilt = rebuild_landmark_tables(
+            self.network,
+            csr,
+            self._landmark_nodes,
+            weights,
+            self._landmark_seed,
+        )
+        self._landmark_table = rebuilt
+        self._landmark_weights = list(weights)
+        return rebuilt
+
+    def build(
+        self,
+        weights: Sequence[float],
+        dirty_edges: FrozenSet[int],
+        seq: int,
+        origin: str,
+        hour: float = 0.0,
+        previous: Optional[WeightEpoch] = None,
+    ) -> WeightEpoch:
+        """Customize everything and assemble the next immutable epoch.
+
+        ``dirty_edges`` is the batch's *nominal* dirty set (kept on the
+        epoch for scoped cache invalidation); the edges actually
+        re-priced are diffed here against what the previous epoch's CSR
+        and the customizer's state really hold, so a build after a
+        rollback — when the customizer is ahead of the served epoch —
+        re-converges instead of trusting the batch's claim.
+        """
+        self._epoch_counter += 1
+        if previous is not None and previous.csr is not None:
+            prev_csr = previous.csr
+            prev_weights: Sequence[float] = previous.weights
+        else:
+            prev_csr = self._base_csr
+            prev_weights = self.network._default_weights
+        num_edges = self.network.num_edges
+        csr_dirty = [
+            edge_id
+            for edge_id in range(num_edges)
+            if weights[edge_id] != prev_weights[edge_id]
+        ]
+        customized = self._customized_weights
+        cch_dirty = [
+            edge_id
+            for edge_id in range(num_edges)
+            if weights[edge_id] != customized[edge_id]
+        ]
+        csr = reweighted_csr(self.network, prev_csr, weights, csr_dirty)
+        self.customizer.customize(weights, dirty_edges=cch_dirty)
+        self._customized_weights = list(weights)
+        csr.hierarchy = self.customizer.backend()
+        csr.landmarks = self._landmarks_for(csr, weights)
+        return WeightEpoch(
+            epoch_id=f"epoch-{self._epoch_counter}",
+            seq=seq,
+            network=self.network,
+            weights=list(weights),
+            csr=csr,
+            dirty_edges=dirty_edges,
+            origin=origin,
+            hour=hour,
+        )

@@ -558,11 +558,14 @@ class DemoServer:
         """Liveness and readiness summary for ``/healthz``.
 
         Reports ``"degraded"`` instead of ``"ok"`` while any planner's
-        circuit breaker is open or half-open, so orchestration probes
-        see partial outages without parsing ``/metrics``.  The
-        ``network`` section doubles as loaded-snapshot metadata: which
-        accelerator structures (CSR view, ALT landmarks, contraction
-        hierarchy) are attached and servable right now.
+        circuit breaker is open or half-open — or, when live traffic is
+        wired, while the traffic-feed breaker is open (repeated
+        quarantined batches): serving stays up on the last good weight
+        epoch, and ``traffic.weights_stale_seconds`` says how old that
+        epoch is.  The ``network`` section doubles as loaded-snapshot
+        metadata: which accelerator structures (CSR view, ALT
+        landmarks, contraction hierarchy) are attached and servable
+        right now.
         """
         from repro.graph.csr import attached_csr
 
@@ -570,8 +573,13 @@ class DemoServer:
         open_circuits = self.service.open_circuits()
         csr = attached_csr(network)
         uptime = round(time.monotonic() - self._started_monotonic, 3)
-        return {
-            "status": "degraded" if open_circuits else "ok",
+        live = getattr(self.service, "live", None)
+        traffic = live.stats_payload() if live is not None else None
+        degraded = bool(open_circuits) or bool(
+            traffic is not None and traffic.get("degraded")
+        )
+        payload = {
+            "status": "degraded" if degraded else "ok",
             "network": {
                 "name": network.name,
                 "nodes": network.num_nodes,
@@ -596,6 +604,12 @@ class DemoServer:
             "uptime_seconds": uptime,
             "rss_bytes": _process_rss_bytes(),
         }
+        if traffic is not None:
+            payload["traffic"] = traffic
+            payload["weights_stale_seconds"] = traffic[
+                "weights_stale_seconds"
+            ]
+        return payload
 
     def trace_payload(self, path: str) -> Dict:
         """Recently finished traces for ``/trace`` (``?limit=N``)."""

@@ -150,3 +150,21 @@ class StorageError(ReproError):
 
 class ConfigurationError(ReproError):
     """An algorithm or component received invalid configuration."""
+
+
+class TrafficUpdateError(ReproError):
+    """A live traffic-update batch failed validation and was quarantined.
+
+    ``reason`` is a stable machine-readable code (one of
+    :data:`repro.serving.live.QUARANTINE_REASONS`), so operators can
+    aggregate quarantines by cause and tests can assert on the exact
+    failure mode instead of parsing the message.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(reason, message)
+        self.reason = reason
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"traffic update rejected ({self.reason}): {self.message}"

@@ -53,7 +53,7 @@ from typing import BinaryIO, Dict, List, Optional, Sequence, Union
 from repro.algorithms.sp_tree import ShortestPathTree
 from repro.cancellation import DEADLINE_CHECK_MASK, active_deadline
 from repro.exceptions import ConfigurationError, SnapshotError
-from repro.graph.network import Edge, Node, RoadNetwork
+from repro.graph.network import Edge, Node, RoadNetwork, active_epoch
 from repro.observability.search import active_search_stats
 
 #: Snapshot file magic ("RePro road Network").
@@ -214,8 +214,13 @@ def ensure_csr(network: RoadNetwork) -> CsrGraph:
     """The network's CSR view, building and caching it on first call.
 
     The build is idempotent, so a rare concurrent double-build wastes
-    work but never produces an inconsistent view.
+    work but never produces an inconsistent view.  When a live-traffic
+    epoch carrying its own CSR view is pinned on this context, that
+    view is returned instead (see :func:`attached_csr`).
     """
+    epoch_csr = _epoch_csr(network)
+    if epoch_csr is not None:
+        return epoch_csr
     csr = network._csr
     if csr is None:
         csr = CsrGraph.from_network(network)
@@ -223,8 +228,30 @@ def ensure_csr(network: RoadNetwork) -> CsrGraph:
     return csr
 
 
+def _epoch_csr(network: RoadNetwork) -> Optional[CsrGraph]:
+    """The pinned epoch's CSR view for this network, if any.
+
+    The base epoch carries ``csr=None`` and delegates to the network's
+    own cached view; customized epochs carry a copy-on-write view with
+    re-priced weights plus their own landmark table and hierarchy.
+    """
+    epoch = active_epoch()
+    if epoch is not None and epoch.network is network:
+        return epoch.csr
+    return None
+
+
 def attached_csr(network: RoadNetwork) -> Optional[CsrGraph]:
-    """The cached CSR view, or None — never triggers a build."""
+    """The cached CSR view, or None — never triggers a build.
+
+    Epoch-aware: with a customized weight epoch pinned, every dispatch
+    point that asks for "the network's CSR view" — the backend
+    resolver, the ALT and CH lookups, the search-context tree cells —
+    transparently receives the epoch's re-priced view.
+    """
+    epoch_csr = _epoch_csr(network)
+    if epoch_csr is not None:
+        return epoch_csr
     return network._csr
 
 

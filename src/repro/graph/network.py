@@ -19,11 +19,40 @@ mutable copy of the default weights for that purpose.
 
 from __future__ import annotations
 
+import contextvars
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
 from repro.geometry import BoundingBox
+
+#: The ambient :class:`~repro.core.customization.WeightEpoch` pin.  Set
+#: per query by the serving layer (and propagated to worker threads via
+#: ``contextvars.copy_context``), it redirects every default-weight
+#: lookup — and, through :func:`repro.graph.csr.attached_csr`, every
+#: accelerated kernel — to one immutable weight snapshot, so a query
+#: finishes on the epoch it started with even while live traffic swaps
+#: the controller's current epoch underneath it.
+_ACTIVE_EPOCH: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_active_epoch", default=None
+)
+
+
+def active_epoch():
+    """The pinned weight epoch for this context, or None."""
+    return _ACTIVE_EPOCH.get()
+
+
+@contextmanager
+def epoch_scope(epoch):
+    """Pin ``epoch`` (duck-typed: ``.network``/``.weights``/``.csr``)
+    for the duration of the ``with`` block."""
+    token = _ACTIVE_EPOCH.set(epoch)
+    try:
+        yield epoch
+    finally:
+        _ACTIVE_EPOCH.reset(token)
 
 #: Highway classes treated as freeways: the paper's constructor does NOT
 #: apply the 1.3 intersection-delay multiplier to these.
@@ -235,7 +264,7 @@ class RoadNetwork:
         under ``weights`` (default travel times if None) is returned.
         Raises :class:`EdgeNotFoundError` when no edge connects the pair.
         """
-        w = self._default_weights if weights is None else weights
+        w = self.default_weights() if weights is None else weights
         best: Optional[Edge] = None
         for edge_id in self._out[u]:
             edge = self._edges[edge_id]
@@ -259,14 +288,22 @@ class RoadNetwork:
         Planners that perturb weights (Penalty, the traffic model) should
         call this rather than touching ``Edge.travel_time_s``.
         """
-        return list(self._default_weights)
+        return list(self.default_weights())
 
     def default_weights(self) -> Sequence[float]:
         """Return the shared read-only default weight vector.
 
+        When a live-traffic weight epoch is pinned on this context (see
+        :func:`epoch_scope`) and it belongs to this network, its weight
+        vector is returned instead — this is the single choke point
+        that makes every default-weight code path epoch-aware.
+
         Callers must not mutate the returned sequence; use
         :meth:`travel_times` for a private copy.
         """
+        epoch = _ACTIVE_EPOCH.get()
+        if epoch is not None and epoch.network is self:
+            return epoch.weights
         return self._default_weights
 
     def path_travel_time(
@@ -281,7 +318,7 @@ class RoadNetwork:
         adjacent.
         """
         total = 0.0
-        w = self._default_weights if weights is None else weights
+        w = self.default_weights() if weights is None else weights
         for u, v in zip(node_ids, node_ids[1:]):
             total += w[self.edge_between(u, v, weights).id]
         return total

@@ -20,8 +20,14 @@ Mapping
   (p50/p95/p99/p999 from the streaming quantile sketch) plus exact
   ``_seconds_sum``/``_seconds_count``;
 * cache stats become ``repro_cache_events_total{event=...}`` labelled
-  counters (hits/misses/evictions/invalidations) plus the original
-  flat ``repro_cache_*`` gauges;
+  counters (hits/misses/evictions/invalidations), with invalidations
+  additionally split by cause
+  (``{event="invalidation",cause="traffic-epoch"}`` etc.), plus the
+  original flat ``repro_cache_*`` gauges;
+* the live-traffic section becomes ``repro_traffic_*`` counters
+  (applied/rollbacks, quarantines labelled by reason) and gauges
+  (``repro_weights_stale_seconds``, feed-breaker state, degraded
+  flag);
 * circuit-breaker snapshots become ``repro_circuit_state{approach=...}``
   gauges (0 closed, 1 half-open, 2 open) plus
   ``repro_circuit_opened_total`` counters;
@@ -161,6 +167,16 @@ def render_prometheus(payload: Mapping, prefix: str = PREFIX) -> str:
                 f'{events_metric}{{event="{event}"}} '
                 f"{_format_value(cache.get(event, 0))}"
             )
+        # Invalidations split by cause: which actor flushed (an
+        # operator, a live-traffic epoch apply, a rollback).
+        for cause, count in sorted(
+            cache.get("invalidations_by_cause", {}).items()
+        ):
+            lines.append(
+                f'{events_metric}{{event="invalidation",'
+                f'cause="{_escape_label(cause)}"}} '
+                f"{_format_value(count)}"
+            )
     for key, value in sorted(cache.items()):
         if not isinstance(value, (int, float)):
             continue
@@ -191,6 +207,61 @@ def render_prometheus(payload: Mapping, prefix: str = PREFIX) -> str:
                 f'{opened_metric}{{approach="{_escape_label(approach)}"}} '
                 f"{_format_value(snap.get('opened_total', 0))}"
             )
+
+    traffic = payload.get("traffic")
+    if traffic:
+        for key, metric_type in (
+            ("applied", "counter"),
+            ("rollbacks", "counter"),
+            ("quarantined", "counter"),
+        ):
+            metric = f"{prefix}_traffic_{key}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(traffic.get(key, 0))}")
+        by_reason = traffic.get("quarantined_by_reason", {})
+        if by_reason:
+            metric = f"{prefix}_traffic_quarantines_total"
+            lines.append(
+                f"# HELP {metric} quarantined traffic batches by reason"
+            )
+            lines.append(f"# TYPE {metric} counter")
+            for reason, count in sorted(by_reason.items()):
+                lines.append(
+                    f'{metric}{{reason="{_escape_label(reason)}"}} '
+                    f"{_format_value(count)}"
+                )
+        stale_metric = f"{prefix}_weights_stale_seconds"
+        lines.append(
+            f"# HELP {stale_metric} seconds since the last successful "
+            "weight-epoch apply"
+        )
+        lines.append(f"# TYPE {stale_metric} gauge")
+        lines.append(
+            f"{stale_metric} "
+            f"{_format_value(traffic.get('weights_stale_seconds', 0.0))}"
+        )
+        breaker = traffic.get("feed_breaker", {})
+        feed_metric = f"{prefix}_traffic_feed_state"
+        lines.append(
+            f"# HELP {feed_metric} traffic-feed circuit state "
+            "(0 closed, 1 half-open, 2 open)"
+        )
+        lines.append(f"# TYPE {feed_metric} gauge")
+        lines.append(
+            f"{feed_metric} "
+            f"{CIRCUIT_STATE_CODES.get(breaker.get('state'), 0)}"
+        )
+        degraded_metric = f"{prefix}_traffic_degraded"
+        lines.append(f"# TYPE {degraded_metric} gauge")
+        lines.append(
+            f"{degraded_metric} "
+            f"{_format_value(bool(traffic.get('degraded')))}"
+        )
+        seq_metric = f"{prefix}_traffic_epoch_seq"
+        lines.append(f"# TYPE {seq_metric} gauge")
+        lines.append(
+            f"{seq_metric} {_format_value(traffic.get('epoch_seq', 0))}"
+        )
 
     admission = payload.get("admission")
     if admission:

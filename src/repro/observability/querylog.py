@@ -228,6 +228,7 @@ def build_query_record(
     error: Optional[BaseException] = None,
     elapsed_s: float = 0.0,
     open_circuits: Optional[List[str]] = None,
+    epoch=None,
 ) -> Dict:
     """One versioned record for a served (or failed) query.
 
@@ -235,6 +236,11 @@ def build_query_record(
     are injected so the record joins back to the trace ring buffer, and
     its child spans supply the per-stage latencies without a second
     layer of timers in ``_serve``.
+
+    ``epoch`` (a :class:`~repro.core.customization.WeightEpoch`, when
+    live traffic is wired) stamps the record with the weight epoch the
+    query was served on, so replay can tell an epoch-drift route-hash
+    mismatch from a real regression.
     """
     record: Dict = {
         "v": QUERY_LOG_VERSION,
@@ -249,6 +255,9 @@ def build_query_record(
             "target_lon": query.target_lon,
         },
     }
+    if epoch is not None:
+        record["epoch_id"] = epoch.epoch_id
+        record["weights_seq"] = epoch.seq
     if query.approaches is not None:
         record["query"]["approaches"] = list(query.approaches)
     if query.k is not None:

@@ -45,6 +45,10 @@ class ReplayReport:
     ``matches``/``mismatches`` count *replayed* queries whose recorded
     route-set fingerprints were all reproduced / not; a capture-failed
     record replayed successfully (or vice versa) counts as a mismatch.
+    ``epoch_drift`` counts diverged queries whose record was captured
+    on a *different weight epoch* than the one serving the replay —
+    the routes legitimately changed with the traffic, so they are
+    reported separately and do not break ``equivalent``.
     ``speedup`` is capture wall time over replay wall time — >= 1 means
     the replay kept up with (or beat) the capture.
     """
@@ -56,6 +60,7 @@ class ReplayReport:
     failed: int = 0
     matches: int = 0
     mismatches: int = 0
+    epoch_drift: int = 0
     mismatch_details: List[Dict] = field(default_factory=list)
     capture_span_s: float = 0.0
     elapsed_s: float = 0.0
@@ -82,6 +87,7 @@ class ReplayReport:
             "failed": self.failed,
             "matches": self.matches,
             "mismatches": self.mismatches,
+            "epoch_drift": self.epoch_drift,
             "equivalent": self.equivalent,
             "capture_span_s": round(self.capture_span_s, 3),
             "elapsed_s": round(self.elapsed_s, 3),
@@ -230,12 +236,42 @@ def replay_log(
             if actual.get(label) != digest
         }
         if diverged:
-            report.mismatches += 1
-            _note_mismatch(report, index, record, {"routes": diverged})
+            captured_epoch = record.get("epoch_id")
+            serving_epoch = _serving_epoch_id(service)
+            if (
+                captured_epoch is not None
+                and serving_epoch is not None
+                and captured_epoch != serving_epoch
+            ):
+                # The capture ran on a different weight epoch than the
+                # replay is serving: the routes are *supposed* to
+                # differ.  Classified apart so a live-traffic capture
+                # does not read as a planner regression.
+                report.epoch_drift += 1
+                _note_mismatch(report, index, record, {
+                    "note": "epoch drift",
+                    "captured_epoch": captured_epoch,
+                    "serving_epoch": serving_epoch,
+                    "routes": diverged,
+                })
+            else:
+                report.mismatches += 1
+                _note_mismatch(report, index, record, {"routes": diverged})
         else:
             report.matches += 1
     report.elapsed_s = time.perf_counter() - started
     return report
+
+
+def _serving_epoch_id(service) -> Optional[str]:
+    """The weight epoch ``service`` is serving, when it exposes one."""
+    accessor = getattr(service, "active_epoch_id", None)
+    if callable(accessor):
+        try:
+            return accessor()
+        except Exception:  # pragma: no cover - defensive
+            return None
+    return None
 
 
 def _note_mismatch(
@@ -257,6 +293,12 @@ def format_replay_report(report: ReplayReport) -> str:
         f"served {report.served}, failed {report.failed}",
         f"route equivalence: {report.matches} match, "
         f"{report.mismatches} mismatch"
+        + (
+            f", {report.epoch_drift} epoch-drift (weights changed, "
+            "not a regression)"
+            if report.epoch_drift
+            else ""
+        )
         + (" — EQUIVALENT" if report.equivalent else ""),
         f"capture span {payload['capture_span_s']}s, replay "
         f"{payload['elapsed_s']}s ({payload['speedup']}x capture speed)",

@@ -21,8 +21,23 @@ from repro.exceptions import (
     CircuitOpenError,
     PlanningTimeout,
     ServiceOverloadedError,
+    TrafficUpdateError,
 )
-from repro.serving.cache import CacheKey, CacheStats, RouteCache
+from repro.serving.cache import (
+    INVALIDATION_CAUSES,
+    CacheKey,
+    CacheStats,
+    RouteCache,
+)
+from repro.serving.live import (
+    DEFAULT_EPOCH_HISTORY,
+    DEFAULT_FEED_BREAKER_THRESHOLD,
+    DEFAULT_MAX_WEIGHT_RATIO,
+    QUARANTINE_REASONS,
+    BatchOutcome,
+    LiveTrafficController,
+    TrafficEvent,
+)
 from repro.serving.metrics import (
     Counter,
     Histogram,
@@ -58,6 +73,7 @@ from repro.serving.service import (
 __all__ = [
     "ApproachOutcome",
     "BatchItemOutcome",
+    "BatchOutcome",
     "BatchResult",
     "CacheKey",
     "CacheStats",
@@ -66,15 +82,21 @@ __all__ = [
     "Counter",
     "DEFAULT_BREAKER_COOLDOWN_S",
     "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_EPOCH_HISTORY",
+    "DEFAULT_FEED_BREAKER_THRESHOLD",
     "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_MAX_WEIGHT_RATIO",
     "DEFAULT_MAX_WORKERS",
     "DEFAULT_TIMEOUT_S",
     "Deadline",
     "FaultInjectingPlanner",
     "Histogram",
+    "INVALIDATION_CAUSES",
     "InflightGate",
+    "LiveTrafficController",
     "MetricsRegistry",
     "PlanningTimeout",
+    "QUARANTINE_REASONS",
     "ROUTE_API_VERSION",
     "RouteCache",
     "RouteQuery",
@@ -83,6 +105,8 @@ __all__ = [
     "RouteService",
     "ServiceOverloadedError",
     "ServiceResult",
+    "TrafficEvent",
+    "TrafficUpdateError",
     "active_deadline",
     "deadline_scope",
 ]

@@ -17,14 +17,24 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.base import RouteSet
 from repro.exceptions import ConfigurationError
 
 #: (approach name, snapped source node, snapped target node, k).
 CacheKey = Tuple[str, int, int, int]
+
+#: Recognised invalidation causes (the label on
+#: ``repro_cache_events_total``): an operator/API flush, a live-traffic
+#: epoch apply, or an epoch rollback.
+INVALIDATION_CAUSES = ("manual", "traffic-epoch", "rollback")
+
+#: When a scoped invalidation would have to intersect more than this
+#: fraction of edges against every cached route, a full flush is both
+#: cheaper and strictly safe.
+DEFAULT_SCOPED_FLUSH_FRACTION = 0.25
 
 
 @dataclass(frozen=True)
@@ -37,6 +47,7 @@ class CacheStats:
     invalidations: int
     size: int
     max_size: int
+    invalidations_by_cause: Dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -51,6 +62,9 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "invalidations_by_cause": dict(
+                sorted(self.invalidations_by_cause.items())
+            ),
             "size": self.size,
             "max_size": self.max_size,
             "hit_rate": round(self.hit_rate, 4),
@@ -77,6 +91,7 @@ class RouteCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._invalidations_by_cause: Dict[str, int] = {}
 
     @staticmethod
     def make_key(
@@ -107,18 +122,68 @@ class RouteCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
-    def invalidate(self) -> int:
+    def invalidate(self, cause: str = "manual") -> int:
         """Drop every entry (weights changed); returns the count dropped.
 
         This is the hook :meth:`RouteService.invalidate_cache` exposes —
         call it whenever the underlying network's weights are mutated,
         otherwise cached routes would keep reflecting the old weights.
+        ``cause`` labels the event for the cause-split counters
+        (``manual`` | ``traffic-epoch`` | ``rollback``).
         """
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
-            self._invalidations += 1
+            self._record_invalidation_locked(cause)
             return dropped
+
+    def invalidate_edges(
+        self,
+        dirty_edges: Iterable[int],
+        cause: str = "traffic-epoch",
+    ) -> int:
+        """Drop only entries whose routes traverse a dirty edge.
+
+        The scoped alternative to a full flush for live-traffic
+        batches: an epoch that re-priced a handful of streets keeps
+        every cached result that never touches them.  Entries removed
+        here count toward the evictions metric (they left the cache
+        early) as well as the cause-labelled invalidation counter.
+        Returns the number of entries dropped.
+        """
+        dirty = (
+            dirty_edges
+            if isinstance(dirty_edges, (set, frozenset))
+            else frozenset(dirty_edges)
+        )
+        with self._lock:
+            if not dirty:
+                self._record_invalidation_locked(cause)
+                return 0
+            doomed = [
+                key
+                for key, route_set in self._entries.items()
+                if any(
+                    not dirty.isdisjoint(route.edge_ids)
+                    for route in route_set.routes
+                )
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._evictions += len(doomed)
+            self._record_invalidation_locked(cause)
+            return len(doomed)
+
+    def _record_invalidation_locked(self, cause: str) -> None:
+        if cause not in INVALIDATION_CAUSES:
+            raise ConfigurationError(
+                f"unknown invalidation cause {cause!r}; expected one of "
+                f"{INVALIDATION_CAUSES}"
+            )
+        self._invalidations += 1
+        self._invalidations_by_cause[cause] = (
+            self._invalidations_by_cause.get(cause, 0) + 1
+        )
 
     def stats(self) -> CacheStats:
         """A consistent accounting snapshot."""
@@ -130,6 +195,7 @@ class RouteCache:
                 invalidations=self._invalidations,
                 size=len(self._entries),
                 max_size=self.max_size,
+                invalidations_by_cause=dict(self._invalidations_by_cause),
             )
 
     def __len__(self) -> int:

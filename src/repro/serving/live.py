@@ -1,0 +1,512 @@
+"""The live traffic-update controller: validate → customize → swap.
+
+This is the serving half of the live-weights pipeline.  The stream
+half (:mod:`repro.traffic.stream`) delivers batches; this controller
+decides, per batch, one of three fates:
+
+* **Apply** — the batch validates, the
+  :class:`~repro.core.customization.EpochBuilder` customizes CSR, CH
+  and ALT for the dirty region, and the resulting immutable
+  :class:`~repro.core.customization.WeightEpoch` becomes ``current``
+  in one reference assignment.  Queries pin the epoch they start with
+  (:func:`repro.graph.network.epoch_scope`), so the swap can never
+  tear an in-flight search.
+* **Quarantine** — validation fails (NaN/negative/absurd weights,
+  unknown edges, replayed or gapped sequence numbers, malformed
+  lines): a typed :class:`~repro.exceptions.TrafficUpdateError` is
+  recorded, the feed circuit breaker takes a failure, and serving
+  continues on the last good epoch.  Because batches carry *absolute*
+  weights, a bad batch never wedges the feed: an in-order batch
+  rejected for content is consumed (the feed advances past its slot,
+  discarding its data), a future-sequence batch is *deferred* so
+  out-of-order delivery can fill the hole, and a hole that persists —
+  a second future batch arrives while one is already held — is
+  treated as a genuine drop and skipped.  Either way the next clean
+  batch applies — recovery within one clean batch.
+* **Rollback** — an operator-initiated ``rollback(n)`` steps back
+  through the bounded epoch history; the customizer re-converges on
+  the next apply by diffing real weights, not the batch's claim.
+
+Repeated quarantines open the feed breaker, which ``/healthz``
+surfaces as ``status: degraded`` with ``weights_stale_seconds``; one
+clean apply closes it again.  Listeners (the
+:class:`~repro.serving.service.RouteService`) receive apply/rollback
+/quarantine events carrying the dirty-edge set, which drives
+cause-labelled, region-scoped :class:`~repro.serving.cache.RouteCache`
+invalidation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.customization import EpochBuilder, WeightEpoch, base_epoch
+from repro.exceptions import ConfigurationError, TrafficUpdateError
+from repro.graph.network import RoadNetwork
+from repro.observability.logs import get_logger
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.resilience import CircuitBreaker
+from repro.traffic.stream import TrafficUpdateBatch
+
+logger = get_logger(__name__)
+
+#: Stable reason codes carried by :class:`TrafficUpdateError`.
+QUARANTINE_REASONS = (
+    "nan_weight",
+    "negative_weight",
+    "absurd_weight",
+    "unknown_edge",
+    "sequence_replay",
+    "sequence_gap",
+    "malformed_batch",
+)
+
+#: A weight more than this multiple away from the OSM baseline (either
+#: direction) is treated as feed corruption, not congestion: the worst
+#: modelled rush-hour slowdown is ~1.9x, so 16x headroom only trips on
+#: garbage.
+DEFAULT_MAX_WEIGHT_RATIO = 16.0
+
+#: Epochs retained for rollback (including the current one).
+DEFAULT_EPOCH_HISTORY = 8
+
+#: Consecutive quarantines that open the feed circuit breaker.
+DEFAULT_FEED_BREAKER_THRESHOLD = 3
+
+#: Seconds an open feed breaker waits before the half-open probe.
+DEFAULT_FEED_BREAKER_COOLDOWN_S = 30.0
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What the controller did with one ingested batch."""
+
+    seq: int
+    status: str  # "applied" | "quarantined"
+    epoch_id: str
+    reason: Optional[str] = None
+    dirty_edges: int = 0
+    deferred_applied: Tuple[int, ...] = ()
+
+    @property
+    def applied(self) -> bool:
+        return self.status == "applied"
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """Pushed to listeners on every epoch transition or quarantine."""
+
+    kind: str  # "apply" | "rollback" | "quarantine"
+    epoch_id: str
+    seq: int
+    dirty_edges: FrozenSet[int] = frozenset()
+    reason: Optional[str] = None
+
+
+class LiveTrafficController:
+    """Epoch-versioned live weight updates for one road network.
+
+    Thread-safety: the mutation path (``ingest``/``apply``/``rollback``)
+    is serialized under one lock; readers take :attr:`current` with a
+    single attribute read — the atomic-swap contract the concurrent
+    differential test pins down.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        history: int = DEFAULT_EPOCH_HISTORY,
+        max_weight_ratio: float = DEFAULT_MAX_WEIGHT_RATIO,
+        breaker_threshold: int = DEFAULT_FEED_BREAKER_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_FEED_BREAKER_COOLDOWN_S,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        builder: Optional[EpochBuilder] = None,
+    ) -> None:
+        if history < 2:
+            raise ConfigurationError(
+                f"epoch history must be >= 2, got {history}"
+            )
+        if max_weight_ratio <= 1.0:
+            raise ConfigurationError(
+                f"max_weight_ratio must be > 1, got {max_weight_ratio}"
+            )
+        self.network = network
+        self.max_weight_ratio = max_weight_ratio
+        self.builder = builder if builder is not None else EpochBuilder(network)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+        self.feed_breaker = CircuitBreaker(
+            "traffic-feed",
+            failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+            clock=clock,
+        )
+        #: The epoch queries should pin.  Plain attribute: one atomic
+        #: reference read on the hot path, swapped only under _lock.
+        self.current: WeightEpoch = base_epoch(network)
+        self._history: Deque[WeightEpoch] = deque(
+            [self.current], maxlen=history
+        )
+        self._lock = threading.Lock()
+        # Feed-sequence high-water mark.  Deliberately separate from
+        # the epoch's seq: a rollback rewinds weights, not the feed.
+        self._feed_seq = 0
+        self._deferred: Dict[int, TrafficUpdateBatch] = {}
+        self._last_good_at = clock()
+        self._base_weights = list(network._default_weights)
+        self._listeners: List[Callable[[TrafficEvent], None]] = []
+        self.applied_total = 0
+        self.quarantined_total = 0
+        self.rollback_total = 0
+        self.quarantined_by_reason: Dict[str, int] = {}
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(
+        self, listener: Callable[[TrafficEvent], None]
+    ) -> None:
+        """Subscribe to apply/rollback/quarantine events."""
+        self._listeners.append(listener)
+
+    def _emit(self, event: TrafficEvent) -> None:
+        for listener in self._listeners:
+            try:
+                listener(event)
+            except Exception:  # pragma: no cover - listener bugs
+                logger.exception("traffic listener failed on %s", event.kind)
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(
+        self, batch: TrafficUpdateBatch, allow_gap: bool = False
+    ) -> None:
+        """Raise :class:`TrafficUpdateError` for anything unapplyable.
+
+        ``allow_gap`` skips the contiguity check (but never the replay
+        check) — the fast-forward path, where the controller has
+        decided a missing batch was genuinely dropped and absolute
+        weights make skipping it safe.
+        """
+        if "malformed_batch" in batch.faults:
+            raise TrafficUpdateError(
+                "malformed_batch", "batch line could not be parsed"
+            )
+        if batch.seq <= self._feed_seq:
+            raise TrafficUpdateError(
+                "sequence_replay",
+                f"batch seq {batch.seq} already processed "
+                f"(feed at {self._feed_seq})",
+            )
+        if not allow_gap and batch.seq > self._feed_seq + 1:
+            raise TrafficUpdateError(
+                "sequence_gap",
+                f"batch seq {batch.seq} skips ahead of feed "
+                f"seq {self._feed_seq}",
+            )
+        num_edges = self.network.num_edges
+        max_ratio = self.max_weight_ratio
+        base = self._base_weights
+        for edge_id, weight in batch.updates.items():
+            if not (0 <= edge_id < num_edges):
+                raise TrafficUpdateError(
+                    "unknown_edge",
+                    f"edge id {edge_id} not in network "
+                    f"(num_edges={num_edges})",
+                )
+            if weight != weight:  # NaN
+                raise TrafficUpdateError(
+                    "nan_weight", f"edge {edge_id} weight is NaN"
+                )
+            if weight <= 0:
+                raise TrafficUpdateError(
+                    "negative_weight",
+                    f"edge {edge_id} weight {weight} is not positive",
+                )
+            baseline = base[edge_id]
+            if weight > baseline * max_ratio or weight < baseline / max_ratio:
+                raise TrafficUpdateError(
+                    "absurd_weight",
+                    f"edge {edge_id} weight {weight:.3f} is more than "
+                    f"{max_ratio:g}x away from baseline {baseline:.3f}",
+                )
+
+    # -- apply / ingest -----------------------------------------------------
+
+    def apply(self, batch: TrafficUpdateBatch) -> WeightEpoch:
+        """Validate and apply one batch; raises on quarantine.
+
+        Callers that want serving to continue on failure use
+        :meth:`ingest`, which catches the typed error and records the
+        quarantine instead of propagating it.
+        """
+        with self._lock:
+            return self._apply_locked(batch)
+
+    def _apply_locked(
+        self, batch: TrafficUpdateBatch, allow_gap: bool = False
+    ) -> WeightEpoch:
+        self._validate(batch, allow_gap=allow_gap)
+        previous = self.current
+        weights = list(previous.weights)
+        for edge_id, weight in batch.updates.items():
+            weights[edge_id] = weight
+        dirty = frozenset(batch.updates)
+        with self.metrics.time("traffic.customize_s"):
+            epoch = self.builder.build(
+                weights,
+                dirty,
+                seq=batch.seq,
+                origin="apply",
+                hour=batch.hour,
+                previous=previous,
+            )
+        # The swap: one reference assignment.  Readers that grabbed
+        # ``previous`` keep serving it to completion.
+        self.current = epoch
+        self._history.append(epoch)
+        self._feed_seq = batch.seq
+        self._last_good_at = self._clock()
+        self.applied_total += 1
+        self.metrics.inc("traffic.applied")
+        self.feed_breaker.record_success()
+        self._emit(
+            TrafficEvent(
+                kind="apply",
+                epoch_id=epoch.epoch_id,
+                seq=epoch.seq,
+                dirty_edges=dirty,
+            )
+        )
+        return epoch
+
+    def ingest(self, batch: TrafficUpdateBatch) -> BatchOutcome:
+        """Apply a batch, quarantining on validation failure.
+
+        Never raises for bad data — that is the point: the feed can
+        misbehave arbitrarily and serving continues on the last good
+        epoch.  Returns the outcome, including any deferred batches
+        that became applicable once this one landed.
+        """
+        with self._lock:
+            try:
+                epoch = self._apply_locked(batch)
+            except TrafficUpdateError as exc:
+                return self._ingest_failed_locked(batch, exc)
+            deferred = self._drain_deferred_locked()
+            return BatchOutcome(
+                seq=batch.seq,
+                status="applied",
+                epoch_id=epoch.epoch_id,
+                dirty_edges=len(batch.updates),
+                deferred_applied=deferred,
+            )
+
+    def _ingest_failed_locked(
+        self, batch: TrafficUpdateBatch, error: TrafficUpdateError
+    ) -> BatchOutcome:
+        """Route a rejected batch so one bad batch never wedges the feed."""
+        reason = error.reason
+        if reason == "sequence_gap":
+            if not self._deferred:
+                # First sign of a hole: hold the batch so out-of-order
+                # delivery can fill it.  One slot per sequence number
+                # bounds memory against a hostile feed.
+                self._deferred[batch.seq] = batch
+                return self._quarantine_locked(batch, error)
+            # A second future batch while one is already held: the
+            # missing batch was genuinely dropped.  Updates are
+            # absolute, so skipping the hole is safe — fast-forward.
+            return self._fast_forward_locked(batch)
+        outcome = self._quarantine_locked(batch, error)
+        if reason != "sequence_replay" and batch.seq == self._feed_seq + 1:
+            # An in-order batch rejected for *content* is consumed: the
+            # feed advances past its slot (discarding its data), so the
+            # next clean batch applies instead of reading as a gap.
+            self._feed_seq = batch.seq
+            drained = self._drain_deferred_locked()
+            if drained:
+                outcome = replace(outcome, deferred_applied=drained)
+        return outcome
+
+    def _fast_forward_locked(
+        self, batch: TrafficUpdateBatch
+    ) -> BatchOutcome:
+        """Skip a dropped batch: apply held + current batches in order."""
+        applied: List[int] = []
+        for seq in sorted(self._deferred):
+            if seq >= batch.seq:
+                break
+            held = self._deferred.pop(seq)
+            if seq <= self._feed_seq:
+                continue
+            try:
+                self._apply_locked(held, allow_gap=True)
+                applied.append(seq)
+            except TrafficUpdateError as exc:
+                # Held batch is bad for a content reason after all:
+                # quarantine it now and consume its slot.
+                self._quarantine_locked(held, exc)
+                self._feed_seq = max(self._feed_seq, seq)
+        try:
+            epoch = self._apply_locked(batch, allow_gap=True)
+        except TrafficUpdateError as exc:
+            outcome = self._quarantine_locked(batch, exc)
+            if batch.seq > self._feed_seq:
+                self._feed_seq = batch.seq  # consume the bad slot too
+            return replace(outcome, deferred_applied=tuple(applied))
+        deferred = self._drain_deferred_locked()
+        return BatchOutcome(
+            seq=batch.seq,
+            status="applied",
+            epoch_id=epoch.epoch_id,
+            dirty_edges=len(batch.updates),
+            deferred_applied=tuple(applied) + deferred,
+        )
+
+    def _quarantine_locked(
+        self, batch: TrafficUpdateBatch, error: TrafficUpdateError
+    ) -> BatchOutcome:
+        self.quarantined_total += 1
+        reason = error.reason
+        self.quarantined_by_reason[reason] = (
+            self.quarantined_by_reason.get(reason, 0) + 1
+        )
+        self.metrics.inc("traffic.quarantined")
+        self.metrics.inc(f"traffic.quarantined.{reason}")
+        self.feed_breaker.record_failure()
+        logger.warning(
+            "quarantined traffic batch seq=%s: %s", batch.seq, error
+        )
+        self._emit(
+            TrafficEvent(
+                kind="quarantine",
+                epoch_id=self.current.epoch_id,
+                seq=batch.seq,
+                reason=reason,
+            )
+        )
+        return BatchOutcome(
+            seq=batch.seq,
+            status="quarantined",
+            epoch_id=self.current.epoch_id,
+            reason=reason,
+        )
+
+    def _drain_deferred_locked(self) -> Tuple[int, ...]:
+        """Apply deferred batches that are now next in sequence."""
+        applied: List[int] = []
+        while True:
+            batch = self._deferred.pop(self._feed_seq + 1, None)
+            if batch is None:
+                break
+            try:
+                self._apply_locked(batch)
+            except TrafficUpdateError as exc:
+                # Deferred batch is bad for a *content* reason; it
+                # already counted one quarantine when first seen, so
+                # just drop it now.
+                logger.warning(
+                    "deferred batch seq=%s still invalid: %s",
+                    batch.seq,
+                    exc,
+                )
+                break
+            applied.append(batch.seq)
+        # Drop deferred batches the feed has moved past.
+        stale = [seq for seq in self._deferred if seq <= self._feed_seq]
+        for seq in stale:
+            del self._deferred[seq]
+        return tuple(applied)
+
+    # -- rollback -----------------------------------------------------------
+
+    def rollback(self, steps: int = 1) -> WeightEpoch:
+        """Step back ``steps`` epochs through the bounded history.
+
+        The restored epoch becomes current as-is (its customized
+        structures are immutable and still valid); listeners receive
+        the exact set of edges whose weights differ so cache
+        invalidation stays scoped.  Raises
+        :class:`ConfigurationError` when the history is too short.
+        """
+        if steps < 1:
+            raise ConfigurationError(f"rollback steps must be >= 1, got {steps}")
+        with self._lock:
+            if steps >= len(self._history):
+                raise ConfigurationError(
+                    f"cannot roll back {steps} epochs: history holds "
+                    f"{len(self._history)}"
+                )
+            abandoned = self.current
+            for _ in range(steps):
+                self._history.pop()
+            target = self._history[-1]
+            diff = frozenset(
+                edge_id
+                for edge_id in range(self.network.num_edges)
+                if abandoned.weights[edge_id] != target.weights[edge_id]
+            )
+            self.current = target
+            self.rollback_total += 1
+            self.metrics.inc("traffic.rollbacks")
+            self._emit(
+                TrafficEvent(
+                    kind="rollback",
+                    epoch_id=target.epoch_id,
+                    seq=target.seq,
+                    dirty_edges=diff,
+                )
+            )
+            logger.warning(
+                "rolled back %d epoch(s): %s -> %s (%d edges differ)",
+                steps,
+                abandoned.epoch_id,
+                target.epoch_id,
+                len(diff),
+            )
+            return target
+
+    # -- health -------------------------------------------------------------
+
+    def weights_stale_seconds(self) -> float:
+        """Seconds since the last successful apply (or startup)."""
+        return max(0.0, self._clock() - self._last_good_at)
+
+    @property
+    def degraded(self) -> bool:
+        """True while the feed breaker is not closed."""
+        return self.feed_breaker.state != "closed"
+
+    def stats_payload(self) -> Dict:
+        """JSON-ready controller state for /metrics and /healthz."""
+        return {
+            "epoch_id": self.current.epoch_id,
+            "epoch_seq": self.current.seq,
+            "epoch_origin": self.current.origin,
+            "feed_seq": self._feed_seq,
+            "applied": self.applied_total,
+            "quarantined": self.quarantined_total,
+            "quarantined_by_reason": dict(
+                sorted(self.quarantined_by_reason.items())
+            ),
+            "rollbacks": self.rollback_total,
+            "deferred": len(self._deferred),
+            "history": len(self._history),
+            "weights_stale_seconds": round(self.weights_stale_seconds(), 3),
+            "feed_breaker": self.feed_breaker.snapshot(),
+            "degraded": self.degraded,
+            "landmark_rebuilds": self.builder.landmark_rebuilds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveTrafficController(epoch={self.current.epoch_id!r}, "
+            f"feed_seq={self._feed_seq}, applied={self.applied_total}, "
+            f"quarantined={self.quarantined_total})"
+        )

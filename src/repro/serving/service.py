@@ -34,6 +34,7 @@ from __future__ import annotations
 import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -66,7 +67,7 @@ from repro.exceptions import (
     QueryError,
     ServiceOverloadedError,
 )
-from repro.graph.network import RoadNetwork
+from repro.graph.network import RoadNetwork, active_epoch, epoch_scope
 from repro.observability.logs import get_logger
 from repro.observability.profiling import Profiler, phase, profiling_scope
 from repro.observability.querylog import QueryLog, build_query_record
@@ -75,7 +76,11 @@ from repro.observability.tracing import (
     current_span,
     span as tracing_span,
 )
-from repro.serving.cache import RouteCache
+from repro.serving.cache import (
+    DEFAULT_SCOPED_FLUSH_FRACTION,
+    RouteCache,
+)
+from repro.serving.live import LiveTrafficController, TrafficEvent
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.query import RouteQuery, RouteResponse
 from repro.serving.resilience import (
@@ -280,6 +285,15 @@ class RouteService:
     breaker_clock:
         Monotonic time source handed to every circuit breaker;
         injectable so tests advance cooldowns without real sleeps.
+    live:
+        Optional :class:`~repro.serving.live.LiveTrafficController`
+        over the same network.  When set, every query pins the
+        controller's current :class:`~repro.core.customization.
+        WeightEpoch` for its whole fan-out (and :meth:`plan_many` pins
+        one epoch for its whole batch), so an epoch swap mid-query can
+        never mix weight vectors; apply/rollback events invalidate the
+        route cache scoped to the dirty edges; query-log records carry
+        the serving epoch.
     """
 
     def __init__(
@@ -300,6 +314,7 @@ class RouteService:
         query_log: Optional[QueryLog] = None,
         profiler: Optional[Profiler] = None,
         breaker_clock: Callable[[], float] = time.monotonic,
+        live: Optional[LiveTrafficController] = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError(
@@ -323,11 +338,28 @@ class RouteService:
             from repro.core.ch import ensure_hierarchy
 
             ensure_hierarchy(processor.network)
+        if live is not None and live.network is not processor.network:
+            raise ConfigurationError(
+                "the live traffic controller must wrap the same network "
+                "the service plans on"
+            )
         self.processor = processor
+        self.live = live
         self.cache = RouteCache(cache_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.query_log = query_log
+        if live is not None:
+            live.add_listener(self._on_traffic_event)
+            if query_log is not None:
+                # The header is written lazily before the first record,
+                # so stamping the meta here lands it in the header line:
+                # readers learn the capture ran under live traffic and
+                # which epoch serving started on.
+                query_log.meta.setdefault(
+                    "live_traffic",
+                    {"enabled": True, "initial_epoch": live.current.epoch_id},
+                )
         self.profiler = profiler if profiler is not None else Profiler()
         self.timeout_s = timeout_s
         self.propagate_deadline = propagate_deadline
@@ -387,10 +419,57 @@ class RouteService:
 
     def invalidate_cache(self) -> int:
         """Drop all cached routes; call after mutating network weights."""
-        dropped = self.cache.invalidate()
+        dropped = self.cache.invalidate(cause="manual")
         self.metrics.inc("cache.invalidations")
+        self.metrics.inc("cache.invalidations.manual")
         logger.info("cache invalidated", extra={"dropped": dropped})
         return dropped
+
+    # -- live traffic -------------------------------------------------------
+
+    def active_epoch_id(self) -> Optional[str]:
+        """The epoch id new queries will pin (None without live traffic)."""
+        return self.live.current.epoch_id if self.live is not None else None
+
+    def _epoch_pin(self):
+        """Context manager pinning the live controller's current epoch.
+
+        A no-op when live traffic is not wired or an epoch is already
+        pinned on this thread — :meth:`plan_many` pins once for its
+        whole batch and the per-query pin must not override it.
+        """
+        if self.live is None or active_epoch() is not None:
+            return nullcontext()
+        return epoch_scope(self.live.current)
+
+    def _on_traffic_event(self, event: TrafficEvent) -> None:
+        """Invalidate cached routes the epoch transition made stale.
+
+        Quarantines change nothing (serving stays on the last good
+        epoch), so only apply/rollback events flush — scoped to the
+        dirty edges when the region is small, a full flush when
+        intersecting every cached route would cost more than it saves.
+        """
+        if event.kind == "quarantine":
+            return
+        cause = "rollback" if event.kind == "rollback" else "traffic-epoch"
+        dirty = event.dirty_edges
+        threshold = (
+            self.processor.network.num_edges * DEFAULT_SCOPED_FLUSH_FRACTION
+        )
+        if len(dirty) <= threshold:
+            dropped = self.cache.invalidate_edges(dirty, cause=cause)
+            scope = "scoped"
+        else:
+            dropped = self.cache.invalidate(cause=cause)
+            scope = "full"
+        self.metrics.inc("cache.invalidations")
+        self.metrics.inc(f"cache.invalidations.{cause}")
+        logger.info(
+            "cache %s-invalidated on %s of %s: %d entries dropped "
+            "(%d dirty edges)",
+            scope, event.kind, event.epoch_id, dropped, len(dirty),
+        )
 
     # -- serving ------------------------------------------------------------
 
@@ -437,7 +516,13 @@ class RouteService:
             logger.warning("query shed: %s", exc)
             raise
         try:
-            with self.tracer.trace("query", k=query.k) as root:
+            # Pin the live-traffic epoch (if any) around the whole
+            # serve + log path: the planner fan-out copies this thread's
+            # context, so every worker reads the same weight vector even
+            # if the controller swaps epochs mid-query.
+            with self._epoch_pin(), self.tracer.trace(
+                "query", k=query.k
+            ) as root:
                 try:
                     with profiling_scope(self.profiler):
                         result = self._serve(query, context_pool=context_pool)
@@ -503,22 +588,27 @@ class RouteService:
         self.metrics.inc("batch.batches")
         started = time.perf_counter()
         outcomes: List[BatchItemOutcome] = []
-        for index, query in enumerate(batch):
-            self.metrics.inc("batch.queries")
-            try:
-                result = self.query(query, context_pool=pool)
-            except Exception as exc:
-                outcomes.append(
-                    BatchItemOutcome(
-                        index=index,
-                        query=query,
-                        error=f"{type(exc).__name__}: {exc}",
+        # One epoch for the whole batch: tree cells cached in the pool
+        # were priced on the pinned weights, so later queries of the
+        # batch must keep reading them even if the live controller
+        # swaps epochs between items.
+        with self._epoch_pin():
+            for index, query in enumerate(batch):
+                self.metrics.inc("batch.queries")
+                try:
+                    result = self.query(query, context_pool=pool)
+                except Exception as exc:
+                    outcomes.append(
+                        BatchItemOutcome(
+                            index=index,
+                            query=query,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                     )
+                    continue
+                outcomes.append(
+                    BatchItemOutcome(index=index, query=query, result=result)
                 )
-                continue
-            outcomes.append(
-                BatchItemOutcome(index=index, query=query, result=result)
-            )
         elapsed = time.perf_counter() - started
         self.metrics.observe("batch.total", elapsed)
         context_stats = pool.stats_payload() if pool is not None else {}
@@ -582,6 +672,8 @@ class RouteService:
         payload["admission"] = self._gate.snapshot()
         if self.query_log is not None:
             payload["query_log"] = self.query_log.stats_payload()
+        if self.live is not None:
+            payload["traffic"] = self.live.stats_payload()
         return payload
 
     def profile_payload(self) -> Dict:
@@ -630,6 +722,7 @@ class RouteService:
                     error=error,
                     elapsed_s=time.perf_counter() - started,
                     open_circuits=self.open_circuits(),
+                    epoch=active_epoch(),
                 )
             )
         except Exception:

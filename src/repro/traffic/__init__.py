@@ -14,10 +14,40 @@ This package reproduces that substrate:
 * :class:`~repro.traffic.provider.CommercialDataProvider` — the facade
   the simulated commercial engine queries ("give me your weights at
   3 am"), mirroring how the demo calls the Google Maps API "at 3:00 am
-  on the next day (assuming minimal traffic)".
+  on the next day (assuming minimal traffic)";
+* :mod:`repro.traffic.stream` — the *live* side of that substrate: a
+  replayable, seeded stream of edge-weight update batches (plus a
+  fault-injecting wrapper) feeding the serving layer's epoch-versioned
+  weight customization (:mod:`repro.serving.live`).
 """
 
 from repro.traffic.model import CongestionProfile, TrafficModel
 from repro.traffic.provider import CommercialDataProvider
+from repro.traffic.stream import (
+    FAULT_KINDS,
+    TRAFFIC_SCHEMA,
+    TRAFFIC_VERSION,
+    FaultInjectingUpdateSource,
+    FaultPlan,
+    TrafficUpdateBatch,
+    TrafficUpdateSource,
+    read_update_log,
+    stream_header,
+    write_update_log,
+)
 
-__all__ = ["CommercialDataProvider", "CongestionProfile", "TrafficModel"]
+__all__ = [
+    "CommercialDataProvider",
+    "CongestionProfile",
+    "FAULT_KINDS",
+    "FaultInjectingUpdateSource",
+    "FaultPlan",
+    "TRAFFIC_SCHEMA",
+    "TRAFFIC_VERSION",
+    "TrafficModel",
+    "TrafficUpdateBatch",
+    "TrafficUpdateSource",
+    "read_update_log",
+    "stream_header",
+    "write_update_log",
+]

@@ -1,0 +1,439 @@
+"""Replayable live traffic-update streams (JSONL batches of deltas).
+
+The :class:`~repro.traffic.model.TrafficModel` answers "what do the
+weights look like at hour *h*" as one monolithic vector.  A live feed
+does not deliver vectors: it delivers *batches of edge deltas* with
+sequence numbers, over a channel that stalls, duplicates, reorders and
+occasionally corrupts.  This module models both halves:
+
+* :class:`TrafficUpdateSource` — a seeded, deterministic source that
+  walks the traffic model's 07:00-18:00 congestion curve and emits, per
+  tick, the edges whose weight moved by more than ``min_delta_ratio``.
+  Same seed + same network ⇒ byte-identical batch sequence (a hypothesis
+  property in ``tests/test_properties_traffic.py``), which is what makes
+  rush-hour replays and the chaos benchmark reproducible.
+* :class:`FaultInjectingUpdateSource` — a seeded wrapper that mangles a
+  clean stream the way real feeds fail: NaN/negative/absurd weights,
+  unknown edge ids, duplicated and reordered sequence numbers, dropped
+  batches (sequence gaps) and stalls.  The serving layer's quarantine
+  logic (:mod:`repro.serving.live`) is tested against exactly this.
+
+Batches serialise to JSONL with a schema header (``repro.traffic`` v1),
+mirroring the query-log format, so ``repro traffic replay`` can drive a
+service from a committed file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, TrafficUpdateError
+from repro.traffic.model import TrafficModel
+
+#: Schema name/version stamped into the JSONL header line.
+TRAFFIC_SCHEMA = "repro.traffic"
+TRAFFIC_VERSION = 1
+
+#: Fault kinds understood by :class:`FaultInjectingUpdateSource`.
+FAULT_KINDS = (
+    "nan_weight",
+    "negative_weight",
+    "absurd_weight",
+    "unknown_edge",
+    "duplicate_seq",
+    "reorder",
+    "gap",
+    "stall",
+)
+
+
+@dataclass(frozen=True)
+class TrafficUpdateBatch:
+    """One feed batch: a sequence number plus edge-weight deltas.
+
+    ``updates`` maps edge id -> absolute new travel time in seconds
+    (absolute, not relative: a feed restart must not require replaying
+    history to reconstruct the current weight).  ``hour`` is the
+    time-of-day the batch describes; ``stall_s`` is the simulated feed
+    delay before the batch arrived (0 for a healthy feed).
+    """
+
+    seq: int
+    hour: float
+    updates: Dict[int, float]
+    stall_s: float = 0.0
+    faults: Tuple[str, ...] = ()
+
+    def to_json(self) -> str:
+        """Serialise to one JSONL line (sorted keys, stable encoding)."""
+        payload = {
+            "seq": self.seq,
+            "hour": round(self.hour, 4),
+            "updates": {
+                str(edge_id): weight
+                for edge_id, weight in sorted(self.updates.items())
+            },
+        }
+        if self.stall_s:
+            payload["stall_s"] = self.stall_s
+        if self.faults:
+            payload["faults"] = list(self.faults)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TrafficUpdateBatch":
+        """Parse one JSONL line back into a batch.
+
+        Raises :class:`TrafficUpdateError` (reason ``malformed_batch``)
+        instead of ``KeyError``/``ValueError`` so a corrupt log line is
+        quarantinable like any other bad batch.
+        """
+        try:
+            payload = json.loads(line)
+            updates = {
+                int(edge_id): float(weight)
+                for edge_id, weight in payload["updates"].items()
+            }
+            return cls(
+                seq=int(payload["seq"]),
+                hour=float(payload.get("hour", 0.0)),
+                updates=updates,
+                stall_s=float(payload.get("stall_s", 0.0)),
+                faults=tuple(payload.get("faults", ())),
+            )
+        except TrafficUpdateError:
+            raise
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise TrafficUpdateError(
+                "malformed_batch", f"unparseable batch line: {exc}"
+            ) from exc
+
+
+class TrafficUpdateSource:
+    """Seeded deterministic batch stream over a traffic model's day.
+
+    Walks hours ``start_hour`` → ``end_hour`` in ``tick_minutes`` steps.
+    Each tick compares the model's weights at that hour against the
+    weights as of the previous emitted batch and packages every edge
+    whose ratio moved by more than ``min_delta_ratio`` — plus a seeded
+    random sample of ``jitter_edges`` extra edges with small incident
+    noise, so consecutive days with different seeds differ.
+
+    Parameters
+    ----------
+    model:
+        The traffic model supplying the congestion curve.
+    start_hour, end_hour:
+        The replay window (default: the 07:00-18:00 rush-hour curve
+        reported by the time-dependent benchmark).
+    tick_minutes:
+        Minutes of simulated time per batch.
+    min_delta_ratio:
+        Relative weight change below which an edge is not re-sent.
+    jitter_edges:
+        Edges per batch that receive extra seeded incident noise.
+    seed:
+        Stream seed; independent of the model's own seed.
+    """
+
+    def __init__(
+        self,
+        model: TrafficModel,
+        start_hour: float = 7.0,
+        end_hour: float = 18.0,
+        tick_minutes: float = 30.0,
+        min_delta_ratio: float = 0.02,
+        jitter_edges: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if end_hour <= start_hour:
+            raise ConfigurationError(
+                f"end_hour ({end_hour}) must be > start_hour ({start_hour})"
+            )
+        if tick_minutes <= 0:
+            raise ConfigurationError("tick_minutes must be > 0")
+        if min_delta_ratio < 0:
+            raise ConfigurationError("min_delta_ratio must be >= 0")
+        if jitter_edges < 0:
+            raise ConfigurationError("jitter_edges must be >= 0")
+        self.model = model
+        self.start_hour = start_hour
+        self.end_hour = end_hour
+        self.tick_minutes = tick_minutes
+        self.min_delta_ratio = min_delta_ratio
+        self.jitter_edges = jitter_edges
+        self.seed = seed
+
+    def batches(self) -> Iterator[TrafficUpdateBatch]:
+        """Yield the deterministic batch sequence for this source."""
+        rng = random.Random(f"traffic-stream:{self.seed}")
+        edge_count = len(self.model.freeflow_weights())
+        last_sent = self.model.weights_at(self.start_hour)
+        hour = self.start_hour
+        seq = 1
+        # The first batch establishes the start-of-window weights in
+        # full for every edge that differs from free flow; subsequent
+        # batches are true deltas against what was last emitted.
+        freeflow = self.model.freeflow_weights()
+        # Weights are rounded to 0.1 ms: far below routing significance,
+        # and it keeps serialized logs compact and round-trip exact.
+        initial = {
+            edge_id: round(weight, 4)
+            for edge_id, weight in enumerate(last_sent)
+            if abs(weight / freeflow[edge_id] - 1.0) > self.min_delta_ratio
+        }
+        yield TrafficUpdateBatch(seq=seq, hour=hour, updates=initial)
+        step = self.tick_minutes / 60.0
+        while hour + step <= self.end_hour + 1e-9:
+            hour += step
+            seq += 1
+            current = self.model.weights_at(hour)
+            updates: Dict[int, float] = {}
+            for edge_id, weight in enumerate(current):
+                previous = last_sent[edge_id]
+                if abs(weight / previous - 1.0) > self.min_delta_ratio:
+                    updates[edge_id] = round(weight, 4)
+            for _ in range(min(self.jitter_edges, edge_count)):
+                edge_id = rng.randrange(edge_count)
+                factor = 1.0 + rng.uniform(0.05, 0.5)
+                updates[edge_id] = round(current[edge_id] * factor, 4)
+            for edge_id, weight in updates.items():
+                last_sent[edge_id] = weight
+            yield TrafficUpdateBatch(seq=seq, hour=hour, updates=updates)
+
+    def __iter__(self) -> Iterator[TrafficUpdateBatch]:
+        return self.batches()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-fault-kind probabilities for :class:`FaultInjectingUpdateSource`."""
+
+    p_corrupt: float = 0.0  # nan/negative/absurd weight in the batch
+    p_unknown_edge: float = 0.0
+    p_duplicate: float = 0.0
+    p_reorder: float = 0.0
+    p_gap: float = 0.0
+    p_stall: float = 0.0
+    stall_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_corrupt",
+            "p_unknown_edge",
+            "p_duplicate",
+            "p_reorder",
+            "p_gap",
+            "p_stall",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.stall_s < 0:
+            raise ConfigurationError("stall_s must be >= 0")
+
+
+class FaultInjectingUpdateSource:
+    """Seeded fault wrapper around any batch iterable.
+
+    Applies, per clean batch and in a fixed order: corruption (one
+    update rewritten to NaN, a negative number or an absurd multiple),
+    unknown-edge injection, sequence-number games (duplicate the
+    previous batch, reorder with the next, or drop to create a gap) and
+    stall stamping.  Faulted batches carry their fault kinds in
+    ``batch.faults`` so tests and the chaos benchmark can assert the
+    quarantine reason matches the injected fault.
+    """
+
+    def __init__(
+        self,
+        source: Iterator[TrafficUpdateBatch] | TrafficUpdateSource,
+        plan: FaultPlan,
+        edge_count: int,
+        seed: int = 0,
+    ) -> None:
+        if edge_count < 1:
+            raise ConfigurationError("edge_count must be >= 1")
+        self._source = source
+        self.plan = plan
+        self.edge_count = edge_count
+        self.seed = seed
+
+    def _corrupt(
+        self, batch: TrafficUpdateBatch, rng: random.Random
+    ) -> TrafficUpdateBatch:
+        updates = dict(batch.updates)
+        if not updates:
+            updates[rng.randrange(self.edge_count)] = 1.0
+        victim = rng.choice(sorted(updates))
+        mode = rng.choice(("nan", "negative", "absurd"))
+        if mode == "nan":
+            updates[victim] = math.nan
+            fault = "nan_weight"
+        elif mode == "negative":
+            updates[victim] = -abs(updates[victim]) - 1.0
+            fault = "negative_weight"
+        else:
+            updates[victim] = updates[victim] * 1e6 + 1e9
+            fault = "absurd_weight"
+        return TrafficUpdateBatch(
+            seq=batch.seq,
+            hour=batch.hour,
+            updates=updates,
+            stall_s=batch.stall_s,
+            faults=batch.faults + (fault,),
+        )
+
+    def batches(self) -> Iterator[TrafficUpdateBatch]:
+        """Yield the faulted stream (deterministic for a fixed seed)."""
+        rng = random.Random(f"traffic-faults:{self.seed}")
+        pending: List[TrafficUpdateBatch] = []
+        previous: Optional[TrafficUpdateBatch] = None
+        for batch in self._source:
+            if rng.random() < self.plan.p_gap:
+                # Drop the batch entirely: the consumer sees a sequence
+                # gap at the next delivered batch.
+                continue
+            if rng.random() < self.plan.p_corrupt:
+                batch = self._corrupt(batch, rng)
+            if rng.random() < self.plan.p_unknown_edge:
+                updates = dict(batch.updates)
+                updates[self.edge_count + rng.randrange(1000)] = 60.0
+                batch = TrafficUpdateBatch(
+                    seq=batch.seq,
+                    hour=batch.hour,
+                    updates=updates,
+                    stall_s=batch.stall_s,
+                    faults=batch.faults + ("unknown_edge",),
+                )
+            if rng.random() < self.plan.p_stall:
+                batch = TrafficUpdateBatch(
+                    seq=batch.seq,
+                    hour=batch.hour,
+                    updates=batch.updates,
+                    stall_s=self.plan.stall_s,
+                    faults=batch.faults + ("stall",),
+                )
+            if previous is not None and rng.random() < self.plan.p_duplicate:
+                duplicate = TrafficUpdateBatch(
+                    seq=previous.seq,
+                    hour=previous.hour,
+                    updates=previous.updates,
+                    stall_s=0.0,
+                    faults=previous.faults + ("duplicate_seq",),
+                )
+                yield duplicate
+            if rng.random() < self.plan.p_reorder:
+                # Hold this batch back one slot: the next batch goes
+                # first, creating an out-of-order delivery.
+                pending.append(batch)
+                if len(pending) >= 2:
+                    later, earlier = pending[1], pending[0]
+                    yield TrafficUpdateBatch(
+                        seq=later.seq,
+                        hour=later.hour,
+                        updates=later.updates,
+                        stall_s=later.stall_s,
+                        faults=later.faults + ("reorder",),
+                    )
+                    yield earlier
+                    previous = earlier
+                    pending.clear()
+                continue
+            if pending:
+                held = pending.pop()
+                yield TrafficUpdateBatch(
+                    seq=batch.seq,
+                    hour=batch.hour,
+                    updates=batch.updates,
+                    stall_s=batch.stall_s,
+                    faults=batch.faults + ("reorder",),
+                )
+                yield held
+                previous = held
+                continue
+            yield batch
+            previous = batch
+
+    def __iter__(self) -> Iterator[TrafficUpdateBatch]:
+        return self.batches()
+
+
+def stream_header(meta: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Build the JSONL header line payload (``repro.traffic`` v1)."""
+    header: Dict[str, object] = {
+        "schema": TRAFFIC_SCHEMA,
+        "v": TRAFFIC_VERSION,
+    }
+    if meta:
+        header["meta"] = dict(meta)
+    return header
+
+
+def write_update_log(
+    path: str | Path,
+    batches: Sequence[TrafficUpdateBatch] | Iterator[TrafficUpdateBatch],
+    meta: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write a batch stream to a JSONL file; returns batches written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(stream_header(meta), sort_keys=True) + "\n"
+        )
+        for batch in batches:
+            handle.write(batch.to_json() + "\n")
+            count += 1
+    return count
+
+
+def read_update_log(
+    path: str | Path,
+) -> Tuple[Dict[str, object], List[TrafficUpdateBatch]]:
+    """Read a JSONL update log; returns ``(header, batches)``.
+
+    Unparseable batch lines are kept as quarantinable faults: each bad
+    line becomes a batch with ``faults=("malformed_batch",)`` and no
+    updates, so a replay exercises the quarantine path instead of
+    crashing the reader.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise TrafficUpdateError("malformed_batch", f"empty update log {path}")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TrafficUpdateError(
+            "malformed_batch", f"unparseable header in {path}: {exc}"
+        ) from exc
+    if header.get("schema") != TRAFFIC_SCHEMA:
+        raise TrafficUpdateError(
+            "malformed_batch",
+            f"{path} is not a {TRAFFIC_SCHEMA} log "
+            f"(schema={header.get('schema')!r})",
+        )
+    batches: List[TrafficUpdateBatch] = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            batches.append(TrafficUpdateBatch.from_json(line))
+        except TrafficUpdateError:
+            batches.append(
+                TrafficUpdateBatch(
+                    seq=-number,
+                    hour=0.0,
+                    updates={},
+                    faults=("malformed_batch",),
+                )
+            )
+    return header, batches

@@ -1,0 +1,291 @@
+"""Tests for CCH-style weight customization and epoch assembly.
+
+The contract under test: for any strictly positive weight vector, the
+customized hierarchy answers the same distances as Dijkstra on those
+weights, whether the customization ran full or incrementally — and the
+epochs :class:`~repro.core.customization.EpochBuilder` assembles carry
+consistent CSR, CH and ALT structures for their weight vector.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.alt import ensure_landmarks
+from repro.core.customization import (
+    CchCustomizer,
+    EpochBuilder,
+    WeightEpoch,
+    base_epoch,
+    rebuild_landmark_tables,
+    reweighted_csr,
+    weight_scale,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.csr import csr_dijkstra, ensure_csr
+
+
+def _perturbed(weights, edges, factor=1.8):
+    out = list(weights)
+    for edge_id in edges:
+        out[edge_id] = out[edge_id] * factor
+    return out
+
+
+def _sample_nodes(network, count, seed=0):
+    rng = random.Random(f"customization:{seed}")
+    return [rng.randrange(network.num_nodes) for _ in range(count)]
+
+
+def _dijkstra_dist(network, csr, source, weights):
+    return csr_dijkstra(network, csr, source, weights=weights).dist
+
+
+class TestReweightedCsr:
+    def test_shares_topology_patches_weights(self, grid10):
+        base = ensure_csr(grid10)
+        weights = _perturbed(grid10.travel_times(), [0, 5, 9])
+        csr = reweighted_csr(grid10, base, weights, [0, 5, 9])
+        assert csr.fwd_offsets is base.fwd_offsets
+        assert csr.fwd_targets is base.fwd_targets
+        assert csr.bwd_offsets is base.bwd_offsets
+        for pos, edge_id in enumerate(csr.fwd_edge_ids):
+            assert csr.fwd_weights[pos] == weights[edge_id]
+        for pos, edge_id in enumerate(csr.bwd_edge_ids):
+            assert csr.bwd_weights[pos] == weights[edge_id]
+
+    def test_arc_tuples_rebuilt_only_for_dirty_nodes(self, grid10):
+        base = ensure_csr(grid10)
+        edge = grid10._edges[0]
+        weights = _perturbed(grid10.travel_times(), [0])
+        csr = reweighted_csr(grid10, base, weights, [0])
+        assert csr.fwd_arcs[edge.u] != base.fwd_arcs[edge.u]
+        untouched = next(
+            u
+            for u in range(grid10.num_nodes)
+            if u not in (edge.u, edge.v)
+        )
+        assert csr.fwd_arcs[untouched] is base.fwd_arcs[untouched]
+
+    def test_does_not_carry_over_attachments(self, grid10):
+        base = ensure_csr(grid10)
+        csr = reweighted_csr(grid10, base, grid10.travel_times(), [])
+        assert csr.landmarks is None
+        assert csr.hierarchy is None
+
+
+class TestWeightScale:
+    def test_identity_is_one(self, grid10):
+        weights = grid10.travel_times()
+        assert weight_scale(weights, weights) == pytest.approx(1.0)
+
+    def test_min_ratio_wins(self):
+        assert weight_scale([2.0, 4.0], [1.0, 8.0]) == pytest.approx(0.5)
+
+    def test_empty_defaults_to_one(self):
+        assert weight_scale([], []) == 1.0
+
+
+class TestRebuildLandmarkTables:
+    def test_tables_match_dijkstra_on_new_weights(self, grid10):
+        csr = ensure_csr(grid10)
+        table = ensure_landmarks(grid10)
+        weights = _perturbed(
+            grid10.travel_times(), range(0, grid10.num_edges, 3)
+        )
+        rebuilt = rebuild_landmark_tables(
+            grid10, csr, table.landmarks, weights, table.seed
+        )
+        assert rebuilt.landmarks == table.landmarks
+        for li, landmark in enumerate(rebuilt.landmarks):
+            expected = _dijkstra_dist(grid10, csr, landmark, weights)
+            assert list(rebuilt.dist_from[li]) == pytest.approx(
+                list(expected)
+            )
+
+    def test_potential_admissible_after_rebuild(self, grid10):
+        csr = ensure_csr(grid10)
+        table = ensure_landmarks(grid10)
+        weights = _perturbed(
+            grid10.travel_times(), range(grid10.num_edges), factor=0.4
+        )
+        rebuilt = rebuild_landmark_tables(
+            grid10, csr, table.landmarks, weights, table.seed
+        )
+        for target in _sample_nodes(grid10, 3):
+            h = rebuilt.potential(target)
+            # forward potential: h(v) <= dist(v, target) — check via
+            # the backward tree from the target.
+            back = csr_dijkstra(
+                grid10, csr, target, weights=weights, forward=False
+            ).dist
+            for v in range(grid10.num_nodes):
+                if back[v] != float("inf"):
+                    assert h(v) <= back[v] + 1e-9
+
+
+class TestCchCustomizer:
+    def test_full_customization_matches_dijkstra(self, grid10):
+        customizer = CchCustomizer(grid10)
+        weights = _perturbed(
+            grid10.travel_times(), range(0, grid10.num_edges, 2)
+        )
+        customizer.customize(weights)
+        backend = customizer.backend()
+        csr = ensure_csr(grid10)
+        for source in _sample_nodes(grid10, 3, seed=1):
+            dist = _dijkstra_dist(grid10, csr, source, weights)
+            for target in _sample_nodes(grid10, 3, seed=2):
+                assert backend.distance(source, target) == pytest.approx(
+                    dist[target]
+                )
+
+    def test_incremental_equals_full(self, grid10):
+        incremental = CchCustomizer(grid10)
+        weights = list(grid10.travel_times())
+        rng = random.Random("incremental")
+        csr = ensure_csr(grid10)
+        for _round in range(4):
+            dirty = [
+                rng.randrange(grid10.num_edges) for _ in range(6)
+            ]
+            for edge_id in dirty:
+                weights[edge_id] *= rng.uniform(0.5, 2.5)
+            incremental.customize(weights, dirty_edges=dirty)
+            fresh = CchCustomizer(grid10)
+            fresh.customize(list(weights))
+            a, b = incremental.backend(), fresh.backend()
+            for source in _sample_nodes(grid10, 2, seed=_round):
+                dist = _dijkstra_dist(grid10, csr, source, weights)
+                for target in _sample_nodes(grid10, 2, seed=_round + 10):
+                    assert a.distance(source, target) == pytest.approx(
+                        dist[target]
+                    )
+                    assert a.distance(source, target) == pytest.approx(
+                        b.distance(source, target)
+                    )
+
+    def test_backend_snapshot_is_immutable(self, grid10):
+        customizer = CchCustomizer(grid10)
+        backend = customizer.backend()
+        source, target = 0, grid10.num_nodes - 1
+        before = backend.distance(source, target)
+        weights = _perturbed(
+            grid10.travel_times(), range(grid10.num_edges), factor=3.0
+        )
+        customizer.customize(weights, dirty_edges=range(grid10.num_edges))
+        assert backend.distance(source, target) == pytest.approx(before)
+        after = customizer.backend().distance(source, target)
+        assert after == pytest.approx(before * 3.0)
+
+    def test_unpacked_path_costs_what_query_reports(self, grid10):
+        customizer = CchCustomizer(grid10)
+        weights = _perturbed(
+            grid10.travel_times(), range(0, grid10.num_edges, 5), 2.2
+        )
+        customizer.customize(
+            weights, dirty_edges=range(0, grid10.num_edges, 5)
+        )
+        backend = customizer.backend()
+        source, target = 0, grid10.num_nodes - 1
+        path = backend.shortest_path(source, target)
+        assert sum(
+            weights[edge_id] for edge_id in path.edge_ids
+        ) == pytest.approx(backend.distance(source, target))
+
+    def test_rejects_short_weight_vector(self, grid10):
+        customizer = CchCustomizer(grid10)
+        with pytest.raises(ConfigurationError):
+            customizer.customize([1.0])
+
+
+class TestEpochBuilder:
+    def test_base_epoch_delegates_to_network(self, grid10):
+        epoch = base_epoch(grid10)
+        assert epoch.csr is None
+        assert epoch.seq == 0
+        assert epoch.origin == "base"
+        assert list(epoch.weights) == grid10.travel_times()
+
+    def test_build_assembles_consistent_epoch(self, grid10):
+        ensure_landmarks(grid10)
+        builder = EpochBuilder(grid10)
+        weights = _perturbed(grid10.travel_times(), [1, 2, 3])
+        epoch = builder.build(
+            weights,
+            frozenset([1, 2, 3]),
+            seq=1,
+            origin="apply",
+            hour=8.0,
+            previous=base_epoch(grid10),
+        )
+        assert isinstance(epoch, WeightEpoch)
+        assert epoch.epoch_id == "epoch-1"
+        assert epoch.hour == 8.0
+        assert epoch.dirty_edges == frozenset([1, 2, 3])
+        csr = epoch.csr
+        assert csr is not None
+        for pos, edge_id in enumerate(csr.fwd_edge_ids):
+            assert csr.fwd_weights[pos] == weights[edge_id]
+        # The epoch's CH answers distances on the epoch's weights.
+        base = ensure_csr(grid10)
+        dist = _dijkstra_dist(grid10, base, 0, weights)
+        assert csr.hierarchy.distance(
+            0, grid10.num_nodes - 1
+        ) == pytest.approx(dist[grid10.num_nodes - 1])
+        # Mild slowdowns keep the scaled table; scale stays admissible.
+        assert csr.landmarks is not None
+        assert csr.landmarks.scale <= 1.0
+
+    def test_landmark_rebuild_below_floor(self, grid10):
+        ensure_landmarks(grid10)
+        builder = EpochBuilder(grid10)
+        assert builder.landmark_rebuilds == 0
+        # Halve every weight: scale 0.5 stays at the floor (keeps the
+        # scaled table); dropping to 0.4 crosses it and rebuilds.
+        fast = [w * 0.4 for w in grid10.travel_times()]
+        epoch = builder.build(
+            fast,
+            frozenset(range(grid10.num_edges)),
+            seq=1,
+            origin="apply",
+        )
+        assert builder.landmark_rebuilds == 1
+        assert epoch.csr.landmarks.scale == 1.0
+
+    def test_reconverges_after_rollback(self, grid10):
+        """A build after rollback diffs real weights, not the claim."""
+        ensure_landmarks(grid10)
+        builder = EpochBuilder(grid10)
+        base = base_epoch(grid10)
+        weights1 = _perturbed(grid10.travel_times(), [0, 1], 2.0)
+        epoch1 = builder.build(
+            weights1, frozenset([0, 1]), seq=1, origin="apply",
+            previous=base,
+        )
+        # Operator rolls back to base: the customizer still holds
+        # weights1.  The next batch claims only edge 7 changed...
+        weights2 = _perturbed(grid10.travel_times(), [7], 1.5)
+        epoch2 = builder.build(
+            weights2, frozenset([7]), seq=2, origin="apply",
+            previous=base,
+        )
+        # ...but the epoch must reflect weights2 exactly: edges 0 and 1
+        # back at their base weights, edge 7 repriced.
+        csr = epoch2.csr
+        for pos, edge_id in enumerate(csr.fwd_edge_ids):
+            assert csr.fwd_weights[pos] == weights2[edge_id]
+        ref = ensure_csr(grid10)
+        dist = _dijkstra_dist(grid10, ref, 3, weights2)
+        assert csr.hierarchy.distance(
+            3, grid10.num_nodes - 1
+        ) == pytest.approx(dist[grid10.num_nodes - 1])
+        assert epoch1.csr.hierarchy is not csr.hierarchy
+
+    def test_rejects_bad_rescale_floor(self, grid10):
+        with pytest.raises(ConfigurationError):
+            EpochBuilder(grid10, landmark_rescale_floor=0.0)
+        with pytest.raises(ConfigurationError):
+            EpochBuilder(grid10, landmark_rescale_floor=1.5)

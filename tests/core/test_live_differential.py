@@ -1,0 +1,136 @@
+"""Live-epoch differential tier: customization never changes answers.
+
+The acceptance criterion for the live-traffic pipeline: after a mixed
+day of applied, quarantined and rolled-back batches, every registered
+planner on the *current epoch* returns route sets identical to
+
+* plain Dijkstra on the same epoch's weights (ground truth computed
+  with no customized structure at all), and
+* a from-scratch rebuild — a fresh :class:`EpochBuilder` customizing
+  the same weight vector in one full pass.
+
+Route-for-route node and edge identity across ch, alt and dijkstra
+backends, for every planner, on all three study cities.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.cities import CITY_BUILDERS
+from repro.core.alt import ensure_landmarks
+from repro.core.ch import ensure_hierarchy
+from repro.core.customization import EpochBuilder
+from repro.core.registry import available_planners, make_planner
+from repro.graph.network import epoch_scope
+from repro.serving import LiveTrafficController
+from repro.traffic import TrafficModel, TrafficUpdateBatch, TrafficUpdateSource
+
+PAIRS_PER_CITY = 2
+
+_EPS = 1e-6
+
+
+def _routable_pairs(network, count=PAIRS_PER_CITY, seed=0):
+    rng = random.Random(f"live-differential:{network.name}:{seed}")
+    pairs = []
+    attempts = 0
+    while len(pairs) < count:
+        attempts += 1
+        assert attempts < 500, "could not find routable pairs"
+        source = rng.randrange(network.num_nodes)
+        tree = dijkstra(network, source)
+        reachable = [
+            node.id
+            for node in network.nodes()
+            if node.id != source and tree.reachable(node.id)
+        ]
+        if len(reachable) < 10:
+            continue
+        target = max(reachable, key=tree.distance)
+        if (source, target) not in pairs:
+            pairs.append((source, target))
+    return pairs
+
+
+def _run_eventful_day(network):
+    """Apply, quarantine and roll back through a scripted feed day."""
+    controller = LiveTrafficController(network)
+    model = TrafficModel(network, seed=0)
+    clean = list(
+        TrafficUpdateSource(model, seed=0, tick_minutes=120.0)
+    )[:4]
+    assert controller.ingest(clean[0]).applied
+    assert controller.ingest(clean[1]).applied
+    # A corrupt batch quarantines (and consumes its slot)...
+    poisoned = TrafficUpdateBatch(
+        seq=clean[2].seq, hour=clean[2].hour, updates={0: math.nan}
+    )
+    assert controller.ingest(poisoned).status == "quarantined"
+    # ...an operator rolls back one epoch...
+    controller.rollback()
+    # ...and the next clean batch re-converges the customizer.
+    assert controller.ingest(clean[3]).applied
+    assert controller.current.seq == clean[3].seq
+    return controller
+
+
+@pytest.fixture(scope="module", params=sorted(CITY_BUILDERS))
+def city(request):
+    """(network, eventful controller, query pairs) per study city."""
+    name = request.param
+    network = CITY_BUILDERS[name](size="small", seed=0)
+    ensure_hierarchy(network)
+    ensure_landmarks(network)
+    controller = _run_eventful_day(network)
+    return network, controller, _routable_pairs(network)
+
+
+def _assert_same_routes(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert a.nodes == b.nodes
+        assert a.edge_ids == b.edge_ids
+        assert a.travel_time_s == pytest.approx(
+            b.travel_time_s, abs=_EPS
+        )
+
+
+@pytest.mark.parametrize("approach", sorted(available_planners()))
+def test_epoch_backends_match_ground_truth(city, approach):
+    """ch and alt on the current epoch == dijkstra on its weights."""
+    network, controller, pairs = city
+    planner = make_planner(approach, network)
+    with epoch_scope(controller.current):
+        for source, target in pairs:
+            truth = planner.plan(source, target, backend="dijkstra")
+            _assert_same_routes(
+                planner.plan(source, target, backend="ch"), truth
+            )
+            _assert_same_routes(
+                planner.plan(source, target, backend="alt"), truth
+            )
+
+
+@pytest.mark.parametrize("approach", sorted(available_planners()))
+def test_incremental_epoch_matches_full_rebuild(city, approach):
+    """The served epoch == a from-scratch rebuild of its weights."""
+    network, controller, pairs = city
+    epoch = controller.current
+    rebuilt = EpochBuilder(network).build(
+        list(epoch.weights),
+        frozenset(range(network.num_edges)),
+        seq=epoch.seq,
+        origin="rebuild",
+    )
+    planner = make_planner(approach, network)
+    for source, target in pairs:
+        with epoch_scope(epoch):
+            served = planner.plan(source, target, backend="ch")
+        with epoch_scope(rebuilt):
+            scratch = planner.plan(source, target, backend="ch")
+        _assert_same_routes(served, scratch)

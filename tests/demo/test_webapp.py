@@ -482,3 +482,54 @@ class TestResilienceEndpoints:
         assert 'repro_circuit_opened_total{approach="Plateaus"}' in text
         assert "# TYPE repro_inflight gauge" in text
         assert "repro_shed_total" in text
+
+
+@pytest.fixture()
+def live_server(grid10):
+    """A demo server whose service follows a live traffic controller."""
+    from repro.serving import LiveTrafficController, RouteService
+
+    live = LiveTrafficController(grid10, breaker_threshold=1)
+    processor = QueryProcessor(grid10, default_planners(grid10))
+    service = RouteService(
+        processor, breaker_threshold=0, max_inflight=0, live=live
+    )
+    demo = DemoServer(
+        processor, store=ResponseStore(), port=0, service=service
+    )
+    demo.start()
+    yield demo, live
+    demo.stop()
+
+
+class TestLiveTrafficHealth:
+    def test_healthz_carries_the_traffic_section(self, live_server):
+        demo, live = live_server
+        payload = get_json(demo, "/healthz")
+        assert payload["status"] == "ok"
+        traffic = payload["traffic"]
+        assert traffic["epoch_id"] == "epoch-0"
+        assert traffic["degraded"] is False
+        assert traffic["feed_breaker"]["state"] == "closed"
+        assert payload["weights_stale_seconds"] >= 0.0
+
+    def test_healthz_degrades_when_the_feed_breaker_opens(
+        self, live_server
+    ):
+        import math
+
+        from repro.traffic import TrafficUpdateBatch
+
+        demo, live = live_server
+        outcome = live.ingest(
+            TrafficUpdateBatch(seq=1, hour=8.0, updates={0: math.nan})
+        )
+        assert outcome.status == "quarantined"
+        payload = get_json(demo, "/healthz")
+        assert payload["status"] == "degraded"
+        traffic = payload["traffic"]
+        assert traffic["degraded"] is True
+        assert traffic["feed_breaker"]["state"] == "open"
+        assert traffic["quarantined_by_reason"]["nan_weight"] == 1
+        # Serving stays up on the last good epoch the whole time.
+        assert traffic["epoch_id"] == "epoch-0"

@@ -42,6 +42,18 @@ PAYLOAD = {
     "cache": {
         "hits": 4, "misses": 8, "evictions": 2, "invalidations": 1,
         "size": 8, "max_size": 1024,
+        "invalidations_by_cause": {"manual": 1, "traffic-epoch": 3},
+    },
+    "traffic": {
+        "epoch_id": "epoch-7",
+        "epoch_seq": 9,
+        "applied": 7,
+        "quarantined": 2,
+        "quarantined_by_reason": {"nan_weight": 1, "sequence_gap": 1},
+        "rollbacks": 1,
+        "weights_stale_seconds": 4.25,
+        "feed_breaker": {"state": "open"},
+        "degraded": True,
     },
 }
 
@@ -104,6 +116,40 @@ class TestRendering:
         assert 'repro_cache_events_total{event="misses"} 8' in text
         assert 'repro_cache_events_total{event="evictions"} 2' in text
         assert 'repro_cache_events_total{event="invalidations"} 1' in text
+
+    def test_cache_invalidations_split_by_cause(self):
+        text = render_prometheus(PAYLOAD)
+        assert (
+            'repro_cache_events_total{event="invalidation",'
+            'cause="manual"} 1' in text
+        )
+        assert (
+            'repro_cache_events_total{event="invalidation",'
+            'cause="traffic-epoch"} 3' in text
+        )
+
+    def test_traffic_counters_and_gauges(self):
+        text = render_prometheus(PAYLOAD)
+        assert "repro_traffic_applied_total 7" in text
+        assert "repro_traffic_quarantined_total 2" in text
+        assert "repro_traffic_rollbacks_total 1" in text
+        assert (
+            'repro_traffic_quarantines_total{reason="nan_weight"} 1'
+            in text
+        )
+        assert (
+            'repro_traffic_quarantines_total{reason="sequence_gap"} 1'
+            in text
+        )
+        assert "repro_weights_stale_seconds 4.25" in text
+        assert "repro_traffic_feed_state 2" in text  # open
+        assert "repro_traffic_degraded 1" in text
+        assert "repro_traffic_epoch_seq 9" in text
+
+    def test_no_traffic_section_renders_no_traffic_series(self):
+        text = render_prometheus({"counters": {"queries.total": 1}})
+        assert "repro_traffic_" not in text
+        assert "repro_weights_stale_seconds" not in text
 
     def test_cache_events_default_to_zero(self):
         # A partial cache payload still renders every event series, so

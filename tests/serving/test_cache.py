@@ -92,5 +92,5 @@ class TestInvalidation:
         payload = RouteCache(max_size=8).stats().to_payload()
         assert set(payload) == {
             "hits", "misses", "evictions", "invalidations",
-            "size", "max_size", "hit_rate",
+            "invalidations_by_cause", "size", "max_size", "hit_rate",
         }

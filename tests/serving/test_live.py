@@ -1,0 +1,479 @@
+"""Tests for the live traffic controller and its serving integration.
+
+Covers the full failure model: every quarantine reason, feed-liveness
+(consume / defer / fast-forward), rollback, the feed circuit breaker
+with an injected clock, scoped cache invalidation by cause, and the
+atomic epoch swap under concurrent queries.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError, TrafficUpdateError
+from repro.serving import (
+    LiveTrafficController,
+    QUARANTINE_REASONS,
+    RouteService,
+    TrafficEvent,
+)
+from repro.traffic import TrafficUpdateBatch
+
+
+def _batch(seq, updates, hour=8.0, faults=()):
+    return TrafficUpdateBatch(
+        seq=seq, hour=hour, updates=updates, faults=tuple(faults)
+    )
+
+
+def _scaled(network, factor):
+    """All-edges absolute-weight update dict at ``factor`` x base."""
+    return {
+        edge_id: weight * factor
+        for edge_id, weight in enumerate(network.travel_times())
+    }
+
+
+@pytest.fixture()
+def controller(grid10):
+    return LiveTrafficController(grid10)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestControllerApply:
+    def test_apply_advances_epoch(self, controller, grid10):
+        assert controller.current.epoch_id == "epoch-0"
+        epoch = controller.apply(_batch(1, {0: 99.0}))
+        assert controller.current is epoch
+        assert epoch.seq == 1
+        assert epoch.weights[0] == 99.0
+        assert epoch.dirty_edges == frozenset([0])
+        assert controller.applied_total == 1
+
+    def test_apply_raises_on_bad_batch(self, controller):
+        with pytest.raises(TrafficUpdateError):
+            controller.apply(_batch(1, {0: -5.0}))
+
+    def test_history_bounded(self, grid10):
+        controller = LiveTrafficController(grid10, history=3)
+        for seq in range(1, 6):
+            controller.apply(_batch(seq, {0: 50.0 + seq}))
+        assert controller.stats_payload()["history"] == 3
+
+    def test_listener_receives_apply_event(self, controller):
+        events = []
+        controller.add_listener(events.append)
+        controller.apply(_batch(1, {0: 99.0, 3: 80.0}))
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, TrafficEvent)
+        assert event.kind == "apply"
+        assert event.dirty_edges == frozenset([0, 3])
+
+    def test_ctor_validation(self, grid10):
+        with pytest.raises(ConfigurationError):
+            LiveTrafficController(grid10, history=1)
+        with pytest.raises(ConfigurationError):
+            LiveTrafficController(grid10, max_weight_ratio=1.0)
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize(
+        "updates, faults, reason",
+        [
+            ({0: math.nan}, (), "nan_weight"),
+            ({0: -1.0}, (), "negative_weight"),
+            ({0: 1e9}, (), "absurd_weight"),
+            ({10_000: 60.0}, (), "unknown_edge"),
+            ({0: 60.0}, ("malformed_batch",), "malformed_batch"),
+        ],
+    )
+    def test_content_reasons(self, controller, updates, faults, reason):
+        outcome = controller.ingest(_batch(1, updates, faults=faults))
+        assert outcome.status == "quarantined"
+        assert outcome.reason == reason
+        assert controller.current.epoch_id == "epoch-0"
+        assert controller.quarantined_by_reason == {reason: 1}
+        assert reason in QUARANTINE_REASONS
+
+    def test_replay_rejected(self, controller):
+        controller.ingest(_batch(1, {0: 60.0}))
+        outcome = controller.ingest(_batch(1, {0: 61.0}))
+        assert outcome.reason == "sequence_replay"
+        assert controller.current.weights[0] == 60.0
+
+    def test_ingest_never_raises(self, controller):
+        outcome = controller.ingest(_batch(1, {0: math.nan}))
+        assert not outcome.applied
+
+    def test_serving_continues_on_last_good_epoch(self, controller):
+        controller.ingest(_batch(1, {0: 55.0}))
+        good = controller.current
+        controller.ingest(_batch(2, {0: math.nan}))
+        assert controller.current is good
+
+    def test_quarantine_event_has_no_dirty_edges(self, controller):
+        events = []
+        controller.add_listener(events.append)
+        controller.ingest(_batch(1, {0: -1.0}))
+        assert events[0].kind == "quarantine"
+        assert events[0].dirty_edges == frozenset()
+
+
+class TestFeedLiveness:
+    def test_content_bad_batch_consumes_its_slot(self, controller):
+        controller.ingest(_batch(1, {0: math.nan}))
+        outcome = controller.ingest(_batch(2, {0: 60.0}))
+        assert outcome.applied
+        assert controller.current.seq == 2
+
+    def test_gap_defers_then_out_of_order_fill_drains(self, controller):
+        # Batch 2 arrives before batch 1: deferred, serving unchanged.
+        deferred = controller.ingest(_batch(2, {0: 70.0}))
+        assert deferred.reason == "sequence_gap"
+        assert controller.stats_payload()["deferred"] == 1
+        # Batch 1 lands: both apply, in order — recovery within one
+        # clean batch.
+        outcome = controller.ingest(_batch(1, {0: 60.0}))
+        assert outcome.applied
+        assert outcome.deferred_applied == (2,)
+        assert controller.current.seq == 2
+        assert controller.current.weights[0] == 70.0
+
+    def test_persistent_hole_fast_forwards(self, controller):
+        controller.ingest(_batch(1, {0: 60.0}))
+        # Batch 2 genuinely dropped; 3 defers, 4 proves the hole is
+        # real and fast-forwards past it.
+        assert controller.ingest(_batch(3, {0: 70.0})).reason == (
+            "sequence_gap"
+        )
+        outcome = controller.ingest(_batch(4, {0: 80.0}))
+        assert outcome.applied
+        assert outcome.deferred_applied == (3,)
+        assert controller.current.seq == 4
+        assert controller.stats_payload()["deferred"] == 0
+        # The feed is clean again: 5 applies directly.
+        assert controller.ingest(_batch(5, {0: 90.0})).applied
+
+    def test_fast_forward_quarantines_bad_held_batch(self, controller):
+        controller.ingest(_batch(3, {0: math.nan}))  # deferred (gap)
+        outcome = controller.ingest(_batch(4, {0: 80.0}))
+        assert outcome.applied
+        assert outcome.deferred_applied == ()
+        assert controller.quarantined_by_reason["nan_weight"] == 1
+        assert controller.current.seq == 4
+
+    def test_fast_forward_with_bad_current_still_advances(
+        self, controller
+    ):
+        controller.ingest(_batch(2, {0: 70.0}))  # deferred (gap)
+        outcome = controller.ingest(_batch(4, {0: math.nan}))
+        assert outcome.status == "quarantined"
+        # The held batch 2 applied; the bad 4 consumed its slot.
+        assert outcome.deferred_applied == (2,)
+        assert controller.current.seq == 2
+        assert controller.ingest(_batch(5, {0: 90.0})).applied
+
+
+class TestRollback:
+    def test_rollback_restores_previous_epoch(self, controller, grid10):
+        base_weight = grid10.travel_times()[0]
+        controller.apply(_batch(1, {0: 60.0}))
+        controller.apply(_batch(2, {0: 70.0}))
+        restored = controller.rollback()
+        assert restored.seq == 1
+        assert controller.current.weights[0] == 60.0
+        restored = controller.rollback()
+        assert restored.seq == 0
+        assert controller.current.weights[0] == base_weight
+
+    def test_rollback_event_scoped_to_differing_edges(self, controller):
+        controller.apply(_batch(1, {0: 60.0}))
+        controller.apply(_batch(2, {0: 70.0, 5: 80.0}))
+        events = []
+        controller.add_listener(events.append)
+        controller.rollback()
+        assert events[0].kind == "rollback"
+        assert events[0].dirty_edges == frozenset([0, 5])
+
+    def test_rollback_does_not_rewind_feed(self, controller):
+        controller.apply(_batch(1, {0: 60.0}))
+        controller.apply(_batch(2, {0: 70.0}))
+        controller.rollback()
+        # The feed already consumed seqs 1-2: replays stay rejected,
+        # the next batch continues from 3.
+        assert controller.ingest(_batch(2, {0: 75.0})).reason == (
+            "sequence_replay"
+        )
+        outcome = controller.ingest(_batch(3, {0: 90.0}))
+        assert outcome.applied
+        assert controller.current.weights[0] == 90.0
+
+    def test_apply_after_rollback_reconverges(self, controller, grid10):
+        controller.apply(_batch(1, _scaled(grid10, 2.0)))
+        controller.rollback()
+        epoch = controller.apply(_batch(2, {0: 61.0}))
+        expected = list(grid10.travel_times())
+        expected[0] = 61.0
+        assert list(epoch.weights) == pytest.approx(expected)
+
+    def test_rollback_validation(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.rollback(0)
+        with pytest.raises(ConfigurationError):
+            controller.rollback(1)  # only the base epoch in history
+        controller.apply(_batch(1, {0: 60.0}))
+        with pytest.raises(ConfigurationError):
+            controller.rollback(2)
+        assert controller.rollback_total == 0
+
+
+class TestFeedBreaker:
+    def test_opens_after_repeated_quarantines(self, grid10):
+        clock = FakeClock()
+        controller = LiveTrafficController(
+            grid10, breaker_threshold=3, clock=clock
+        )
+        assert not controller.degraded
+        for seq in range(1, 4):
+            controller.ingest(_batch(seq, {0: math.nan}))
+        assert controller.degraded
+        assert controller.stats_payload()["feed_breaker"]["state"] == "open"
+
+    def test_clean_apply_closes_breaker(self, grid10):
+        clock = FakeClock()
+        controller = LiveTrafficController(
+            grid10, breaker_threshold=2, breaker_cooldown_s=30.0,
+            clock=clock,
+        )
+        controller.ingest(_batch(1, {0: math.nan}))
+        controller.ingest(_batch(2, {0: math.nan}))
+        assert controller.degraded
+        clock.now += 60.0  # past cooldown
+        controller.ingest(_batch(3, {0: 60.0}))
+        assert not controller.degraded
+
+    def test_weights_stale_seconds_tracks_clock(self, grid10):
+        clock = FakeClock()
+        controller = LiveTrafficController(grid10, clock=clock)
+        clock.now += 12.0
+        assert controller.weights_stale_seconds() == pytest.approx(12.0)
+        controller.apply(_batch(1, {0: 60.0}))
+        assert controller.weights_stale_seconds() == pytest.approx(0.0)
+        clock.now += 5.0
+        assert controller.weights_stale_seconds() == pytest.approx(5.0)
+        assert controller.stats_payload()[
+            "weights_stale_seconds"
+        ] == pytest.approx(5.0)
+
+    def test_stats_payload_shape(self, controller):
+        controller.ingest(_batch(1, {0: 60.0}))
+        controller.ingest(_batch(2, {0: math.nan}))
+        payload = controller.stats_payload()
+        assert payload["epoch_id"] == "epoch-1"
+        assert payload["epoch_seq"] == 1
+        assert payload["feed_seq"] == 2  # bad batch consumed its slot
+        assert payload["applied"] == 1
+        assert payload["quarantined"] == 1
+        assert payload["quarantined_by_reason"] == {"nan_weight": 1}
+        assert payload["rollbacks"] == 0
+        assert payload["degraded"] is False
+
+
+@pytest.fixture()
+def live_service(grid10, grid_processor):
+    live = LiveTrafficController(grid10)
+    service = RouteService(
+        grid_processor, cache_size=64, timeout_s=10.0, live=live
+    )
+    yield service, live
+    service.close()
+
+
+class TestServiceIntegration:
+    def test_rejects_mismatched_network(self, grid_processor, diamond):
+        live = LiveTrafficController(diamond)
+        with pytest.raises(ConfigurationError):
+            RouteService(grid_processor, live=live)
+
+    def test_active_epoch_id_tracks_controller(
+        self, live_service, grid_query
+    ):
+        service, live = live_service
+        assert service.active_epoch_id() == "epoch-0"
+        live.apply(_batch(1, {0: 99.0}))
+        assert service.active_epoch_id() == "epoch-1"
+
+    def test_queries_see_applied_weights(
+        self, live_service, grid_query, grid10
+    ):
+        service, live = live_service
+        before = service.query(grid_query)
+        live.apply(_batch(1, _scaled(grid10, 2.0)))
+        after = service.query(grid_query)
+        # Search-time route costs double with the weights (the demo's
+        # *display* minutes stay on the fixed OSM pricing by design).
+        assert after.route_sets["A"].routes[0].travel_time_s == (
+            pytest.approx(
+                before.route_sets["A"].routes[0].travel_time_s * 2.0
+            )
+        )
+
+    def test_apply_invalidates_cache_scoped(
+        self, live_service, grid_query
+    ):
+        service, live = live_service
+        result = service.query(grid_query)
+        route_edges = result.route_sets["A"].routes[0].edge_ids
+        assert service.cache.stats().size > 0
+        # Touch one edge on the cached route: scoped invalidation
+        # drops the entry (counted as an eviction, cause-labelled).
+        live.apply(_batch(1, {route_edges[0]: 120.0}))
+        stats = service.cache.stats()
+        assert stats.size == 0
+        assert stats.evictions > 0
+        assert stats.invalidations_by_cause == {"traffic-epoch": 1}
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["cache.invalidations.traffic-epoch"] == 1
+
+    def test_apply_keeps_disjoint_cache_entries(
+        self, live_service, grid_query, grid10
+    ):
+        service, live = live_service
+        result = service.query(grid_query)
+        route_edges = set()
+        for route_set in result.route_sets.values():
+            for route in route_set.routes:
+                route_edges.update(route.edge_ids)
+        untouched = next(
+            edge_id
+            for edge_id in range(grid10.num_edges)
+            if edge_id not in route_edges
+        )
+        size_before = service.cache.stats().size
+        live.apply(_batch(1, {untouched: 120.0}))
+        stats = service.cache.stats()
+        assert stats.size == size_before
+        assert stats.invalidations_by_cause == {"traffic-epoch": 1}
+
+    def test_large_dirty_set_full_flush(
+        self, live_service, grid_query, grid10
+    ):
+        service, live = live_service
+        service.query(grid_query)
+        live.apply(_batch(1, _scaled(grid10, 1.5)))
+        stats = service.cache.stats()
+        assert stats.size == 0
+        assert stats.invalidations_by_cause == {"traffic-epoch": 1}
+
+    def test_rollback_cause_labelled(self, live_service, grid_query):
+        service, live = live_service
+        live.apply(_batch(1, {0: 99.0}))
+        service.query(grid_query)
+        live.rollback()
+        causes = service.cache.stats().invalidations_by_cause
+        assert causes.get("rollback") == 1
+
+    def test_quarantine_does_not_invalidate(
+        self, live_service, grid_query
+    ):
+        service, live = live_service
+        service.query(grid_query)
+        size = service.cache.stats().size
+        live.ingest(_batch(1, {0: math.nan}))
+        stats = service.cache.stats()
+        assert stats.size == size
+        assert stats.invalidations == 0
+
+    def test_manual_invalidation_cause(self, live_service, grid_query):
+        service, _live = live_service
+        service.query(grid_query)
+        service.invalidate_cache()
+        causes = service.cache.stats().invalidations_by_cause
+        assert causes == {"manual": 1}
+
+    def test_metrics_payload_has_traffic_section(self, live_service):
+        service, live = live_service
+        live.ingest(_batch(1, {0: 60.0}))
+        payload = service.metrics_payload()
+        assert payload["traffic"]["epoch_id"] == "epoch-1"
+        assert payload["traffic"]["applied"] == 1
+
+    def test_plain_service_has_no_epoch(self, grid_processor):
+        with RouteService(grid_processor, cache_size=0) as service:
+            assert service.active_epoch_id() is None
+            assert "traffic" not in service.metrics_payload()
+
+
+class TestConcurrentSwap:
+    def test_no_query_observes_mixed_epoch_weights(
+        self, grid10, grid_processor, grid_query
+    ):
+        """The atomic-swap contract, empirically.
+
+        Worker threads hammer queries while the main thread flips all
+        edge weights between 1x and 2x.  Every approach inside one
+        result must have been priced on the same epoch: with uniform
+        scaling, each result's route times are either all base or all
+        doubled — any mix means a torn swap.
+        """
+        live = LiveTrafficController(grid10)
+        service = RouteService(
+            grid_processor, cache_size=0, timeout_s=10.0, live=live
+        )
+        base = (
+            service.query(grid_query)
+            .route_sets["A"]
+            .routes[0]
+            .travel_time_s
+        )
+        expected = {
+            round(base, 6): "base",
+            round(base * 2.0, 6): "doubled",
+        }
+        errors = []
+        seen = set()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                result = service.query(grid_query)
+                times = {
+                    round(route_set.routes[0].travel_time_s, 6)
+                    for route_set in result.route_sets.values()
+                }
+                if len(times) != 1:
+                    errors.append(f"mixed-epoch result: {times}")
+                    return
+                time_min = times.pop()
+                if time_min not in expected:
+                    errors.append(f"impossible route time {time_min}")
+                    return
+                seen.add(expected[time_min])
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(3)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for seq in range(1, 9):
+                factor = 2.0 if seq % 2 else 1.0
+                live.apply(_batch(seq, _scaled(grid10, factor)))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            service.close()
+        assert errors == []
+        assert "base" in seen  # the hammer actually observed queries

@@ -162,6 +162,44 @@ class TestSamplingAndMetrics:
         finally:
             service.close()
 
+    def test_live_service_stamps_epoch_fields(
+        self, grid10, grid_processor, grid_query
+    ):
+        from repro.serving import LiveTrafficController
+        from repro.traffic import TrafficUpdateBatch
+
+        log = QueryLog()
+        live = LiveTrafficController(grid10)
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0,
+            query_log=log, live=live,
+        )
+        try:
+            service.query(grid_query)
+            live.apply(
+                TrafficUpdateBatch(seq=1, hour=8.0, updates={0: 99.0})
+            )
+            service.query(grid_query)
+        finally:
+            service.close()
+        records = log.records()
+        assert [
+            (r["epoch_id"], r["weights_seq"]) for r in records
+        ] == [("epoch-0", 0), ("epoch-1", 1)]
+        assert log.meta["live_traffic"] == {
+            "enabled": True,
+            "initial_epoch": "epoch-0",
+        }
+
+    def test_plain_service_records_have_no_epoch_fields(
+        self, logged_service, grid_query
+    ):
+        service, log = logged_service
+        service.query(grid_query)
+        record = log.records()[0]
+        assert "epoch_id" not in record
+        assert "weights_seq" not in record
+
     def test_capture_failure_never_breaks_serving(
         self, grid_processor, grid_query
     ):

@@ -111,6 +111,80 @@ class TestEquivalence:
         assert "mismatch" in text
         assert "EQUIVALENT" not in text
 
+    def test_epoch_drift_is_not_a_mismatch(
+        self, grid10, grid_processor, grid_query
+    ):
+        # Capture on epoch-0, then shift the live weights so the same
+        # query legitimately routes differently: the divergence must be
+        # classified as epoch drift, not a planner regression.
+        from repro.serving import LiveTrafficController
+        from repro.traffic import TrafficUpdateBatch
+
+        log = QueryLog()
+        live = LiveTrafficController(grid10)
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0,
+            query_log=log, live=live,
+        )
+        try:
+            result = service.query(grid_query)
+            records = log.records()
+            assert records[0]["epoch_id"] == "epoch-0"
+            # Price the captured route off the road: x8 stays inside
+            # the controller's absurdity ratio but reroutes the query.
+            base = grid10.travel_times()
+            edge_ids = {
+                edge_id
+                for route_set in result.route_sets.values()
+                for edge_id in route_set.routes[0].edge_ids
+            }
+            outcome = live.ingest(TrafficUpdateBatch(
+                seq=1, hour=8.0,
+                updates={e: base[e] * 8.0 for e in edge_ids},
+            ))
+            assert outcome.applied
+            report = replay_log(service, records)
+        finally:
+            service.close()
+        assert report.epoch_drift == 1
+        assert report.mismatches == 0
+        assert report.matches == 0
+        assert report.equivalent
+        detail = report.mismatch_details[0]
+        assert detail["note"] == "epoch drift"
+        assert detail["captured_epoch"] == "epoch-0"
+        assert detail["serving_epoch"] == "epoch-1"
+        assert detail["routes"]
+        text = format_replay_report(report)
+        assert "1 epoch-drift (weights changed, not a regression)" in text
+        assert "EQUIVALENT" in text
+
+    def test_same_epoch_divergence_still_counts_as_mismatch(
+        self, grid10, grid_processor, grid_query, stub_planners
+    ):
+        # With live traffic attached but the epoch unchanged, a
+        # diverging planner is a real regression, not drift.
+        from repro.serving import LiveTrafficController
+
+        log = QueryLog()
+        live = LiveTrafficController(grid10)
+        service = RouteService(
+            grid_processor, breaker_threshold=0, max_inflight=0,
+            query_log=log, live=live,
+        )
+        try:
+            service.query(grid_query)
+            records = log.records()
+            stub_planners["Plateaus"].empty = True
+            service.invalidate_cache()
+            report = replay_log(service, records)
+        finally:
+            service.close()
+        assert report.mismatches == 1
+        assert report.epoch_drift == 0
+        assert not report.equivalent
+        assert "note" not in report.mismatch_details[0]
+
     def test_empty_replay_is_not_equivalent(self, grid_processor):
         service = RouteService(
             grid_processor, breaker_threshold=0, max_inflight=0

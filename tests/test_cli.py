@@ -109,3 +109,76 @@ class TestFigure:
         out = capsys.readouterr().out
         assert "Figure 4 case study" in out
         assert "winner flips with the dataset: True" in out
+
+
+class TestTraffic:
+    def test_generate_then_replay_round_trip(self, tmp_path, capsys):
+        log = tmp_path / "updates.jsonl"
+        code = main([
+            "traffic", "generate", "--size", "small",
+            "--tick-minutes", "120", "--out", str(log),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote 6 traffic batches" in out
+        assert str(log) in out
+        assert log.exists()
+
+        code = main(["traffic", "replay", str(log), "--json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replaying 6 batches" in out
+        assert "against melbourne/small (seed 0)" in out
+        # A clean log applies everything and keeps the breaker closed.
+        assert "applied 6, quarantined 0" in out
+        stats = json.loads(out.strip().splitlines()[-1])
+        assert stats["epoch_id"] == "epoch-6"
+        assert stats["feed_breaker"]["state"] == "closed"
+
+    def test_replay_verbose_reports_quarantines(self, tmp_path, capsys):
+        log = tmp_path / "faulty.jsonl"
+        code = main([
+            "traffic", "generate", "--size", "small",
+            "--tick-minutes", "120", "--fault-rate", "0.25",
+            "--out", str(log),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(["traffic", "replay", str(log), "--verbose"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied ->" in out  # per-batch lines
+        assert "quarantined" in out
+
+    def test_replay_rejects_a_non_log_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("not a traffic log\n")
+        code = main(["traffic", "replay", str(bogus)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTrafficFeeder:
+    def test_feeder_drives_batches_then_stops(self, grid10):
+        import time
+
+        from repro.cli import _TrafficFeeder
+        from repro.serving import LiveTrafficController
+        from repro.traffic import TrafficModel, TrafficUpdateSource
+
+        live = LiveTrafficController(grid10)
+        batches = list(TrafficUpdateSource(
+            TrafficModel(grid10, seed=0), tick_minutes=240.0
+        ))
+        feeder = _TrafficFeeder(live, batches, interval_s=0.0)
+        feeder.start()
+        deadline = time.monotonic() + 10.0
+        while (
+            live.current.seq < batches[-1].seq
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        feeder.stop()
+        assert live.current.seq == batches[-1].seq
+        assert live.stats_payload()["applied"] == len(batches)

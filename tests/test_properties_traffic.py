@@ -1,0 +1,129 @@
+"""Property-based tests for the live traffic pipeline.
+
+Three contracts that must hold for *any* feed behaviour:
+
+* determinism — the same stream seed produces a byte-identical batch
+  sequence (what makes rush-hour replays reproducible);
+* safety of application — whatever mix of batches is ingested, every
+  weight an applied epoch serves is positive, finite and bounded by
+  the controller's absurdity ratio;
+* safety of quarantine — a fuzzed malformed batch that quarantines
+  never changes a served route.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import grid_network
+from repro.graph.network import epoch_scope
+from repro.algorithms.dijkstra import shortest_path
+from repro.serving import LiveTrafficController
+from repro.traffic import (
+    TrafficModel,
+    TrafficUpdateBatch,
+    TrafficUpdateSource,
+)
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: One shared network: the strategies only vary weights, never topology.
+_NETWORK = grid_network(6, 6)
+_BASE = _NETWORK.travel_times()
+_NUM_EDGES = _NETWORK.num_edges
+
+
+@st.composite
+def fuzzed_batches(draw, seq):
+    """A batch whose updates mix clean, corrupt and unknown entries."""
+    updates = {}
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(
+            st.sampled_from(
+                ("clean", "nan", "negative", "absurd", "unknown")
+            )
+        )
+        edge_id = draw(st.integers(min_value=0, max_value=_NUM_EDGES - 1))
+        base = _BASE[edge_id]
+        if kind == "clean":
+            updates[edge_id] = base * draw(
+                st.floats(min_value=0.5, max_value=2.0)
+            )
+        elif kind == "nan":
+            updates[edge_id] = math.nan
+        elif kind == "negative":
+            updates[edge_id] = -base
+        elif kind == "absurd":
+            updates[edge_id] = base * 1e6
+        else:
+            updates[_NUM_EDGES + edge_id] = base
+    return TrafficUpdateBatch(seq=seq, hour=8.0, updates=updates)
+
+
+@common_settings
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    tick_minutes=st.sampled_from((20.0, 30.0, 60.0)),
+)
+def test_same_seed_byte_identical_stream(seed, tick_minutes):
+    model = TrafficModel(_NETWORK, seed=0)
+
+    def serialised():
+        return b"\n".join(
+            batch.to_json().encode()
+            for batch in TrafficUpdateSource(
+                model, seed=seed, tick_minutes=tick_minutes
+            )
+        )
+
+    assert serialised() == serialised()
+
+
+@common_settings
+@given(data=st.data())
+def test_applied_weights_positive_and_bounded(data):
+    controller = LiveTrafficController(_NETWORK)
+    ratio = controller.max_weight_ratio
+    for seq in range(1, 5):
+        batch = data.draw(fuzzed_batches(seq), label=f"batch {seq}")
+        outcome = controller.ingest(batch)
+        weights = controller.current.weights
+        for edge_id in range(_NUM_EDGES):
+            weight = weights[edge_id]
+            assert weight > 0
+            assert math.isfinite(weight)
+            assert _BASE[edge_id] / ratio <= weight
+            assert weight <= _BASE[edge_id] * ratio
+        if outcome.applied:
+            for edge_id, weight in batch.updates.items():
+                assert weights[edge_id] == weight
+
+
+@common_settings
+@given(data=st.data())
+def test_quarantined_batch_never_changes_served_routes(data):
+    controller = LiveTrafficController(_NETWORK)
+    source, target = 0, _NETWORK.num_nodes - 1
+
+    def served_route():
+        with epoch_scope(controller.current):
+            path = shortest_path(_NETWORK, source, target)
+        return (path.nodes, path.edge_ids, path.travel_time_s)
+
+    for seq in range(1, 5):
+        batch = data.draw(fuzzed_batches(seq), label=f"batch {seq}")
+        before_epoch = controller.current
+        before_route = served_route()
+        outcome = controller.ingest(batch)
+        if outcome.status == "quarantined":
+            assert controller.current is before_epoch
+            assert served_route() == before_route
+        else:
+            assert controller.current is not before_epoch

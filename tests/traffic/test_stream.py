@@ -1,0 +1,265 @@
+"""Tests for the replayable traffic-update stream and fault injector."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, TrafficUpdateError
+from repro.traffic import (
+    FaultInjectingUpdateSource,
+    FaultPlan,
+    TrafficModel,
+    TrafficUpdateBatch,
+    TrafficUpdateSource,
+    read_update_log,
+    stream_header,
+    write_update_log,
+)
+
+
+@pytest.fixture(scope="module")
+def model(grid10):
+    return TrafficModel(grid10, seed=0)
+
+
+@pytest.fixture(scope="module")
+def source(model):
+    return TrafficUpdateSource(model, seed=0)
+
+
+class TestTrafficUpdateSource:
+    def test_same_seed_identical_stream(self, model):
+        a = [b.to_json() for b in TrafficUpdateSource(model, seed=3)]
+        b = [b.to_json() for b in TrafficUpdateSource(model, seed=3)]
+        assert a == b
+
+    def test_different_seeds_differ(self, model):
+        a = [b.to_json() for b in TrafficUpdateSource(model, seed=1)]
+        b = [b.to_json() for b in TrafficUpdateSource(model, seed=2)]
+        assert a != b
+
+    def test_covers_window_with_contiguous_seqs(self, source):
+        batches = list(source)
+        # 07:00-18:00 at 30-minute ticks: 23 batches.
+        assert len(batches) == 23
+        assert [b.seq for b in batches] == list(range(1, 24))
+        assert batches[0].hour == pytest.approx(7.0)
+        assert batches[-1].hour == pytest.approx(18.0)
+
+    def test_weights_positive_and_finite(self, source):
+        for batch in source:
+            for weight in batch.updates.values():
+                assert weight > 0
+                assert math.isfinite(weight)
+
+    def test_deltas_only_resend_moved_edges(self, model, grid10):
+        batches = list(
+            TrafficUpdateSource(
+                model, seed=0, min_delta_ratio=0.5, jitter_edges=0
+            )
+        )
+        # A 50% threshold on a <2x congestion curve: later batches are
+        # near-empty, never the whole network.
+        assert all(
+            len(b.updates) < grid10.num_edges for b in batches[1:]
+        )
+
+    def test_rejects_bad_window(self, model):
+        with pytest.raises(ConfigurationError):
+            TrafficUpdateSource(model, start_hour=9.0, end_hour=8.0)
+        with pytest.raises(ConfigurationError):
+            TrafficUpdateSource(model, tick_minutes=0)
+        with pytest.raises(ConfigurationError):
+            TrafficUpdateSource(model, min_delta_ratio=-0.1)
+        with pytest.raises(ConfigurationError):
+            TrafficUpdateSource(model, jitter_edges=-1)
+
+
+class TestBatchSerialisation:
+    def test_round_trip_exact(self, source):
+        for batch in source:
+            again = TrafficUpdateBatch.from_json(batch.to_json())
+            assert again == batch
+
+    def test_round_trip_preserves_faults_and_stall(self):
+        batch = TrafficUpdateBatch(
+            seq=4,
+            hour=8.5,
+            updates={3: 12.5},
+            stall_s=2.0,
+            faults=("stall",),
+        )
+        again = TrafficUpdateBatch.from_json(batch.to_json())
+        assert again == batch
+
+    def test_malformed_line_raises_typed_error(self):
+        for line in ("{not json", '{"seq": 1}', '{"updates": {"x": 1}}'):
+            with pytest.raises(TrafficUpdateError) as excinfo:
+                TrafficUpdateBatch.from_json(line)
+            assert excinfo.value.reason == "malformed_batch"
+
+
+class TestUpdateLogIO:
+    def test_write_read_round_trip(self, tmp_path, source):
+        path = tmp_path / "updates.jsonl"
+        batches = list(source)
+        count = write_update_log(path, batches, meta={"city": "grid"})
+        assert count == len(batches)
+        header, again = read_update_log(path)
+        assert header["schema"] == "repro.traffic"
+        assert header["meta"] == {"city": "grid"}
+        assert again == batches
+
+    def test_header_builder(self):
+        header = stream_header()
+        assert header == {"schema": "repro.traffic", "v": 1}
+
+    def test_bad_line_becomes_quarantinable_batch(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(
+            json.dumps(stream_header())
+            + "\n"
+            + TrafficUpdateBatch(seq=1, hour=7.0, updates={0: 9.0}).to_json()
+            + "\nNOT JSON AT ALL\n"
+        )
+        _header, batches = read_update_log(path)
+        assert len(batches) == 2
+        assert batches[1].faults == ("malformed_batch",)
+
+    def test_empty_and_misschemaed_files_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(TrafficUpdateError):
+            read_update_log(empty)
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text('{"schema": "repro.querylog", "v": 1}\n')
+        with pytest.raises(TrafficUpdateError):
+            read_update_log(wrong)
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not a header\n")
+        with pytest.raises(TrafficUpdateError):
+            read_update_log(garbage)
+
+
+class TestFaultInjection:
+    def test_deterministic_per_seed(self, source, grid10):
+        plan = FaultPlan(p_corrupt=0.3, p_duplicate=0.2, p_gap=0.2)
+        a = [
+            b.to_json()
+            for b in FaultInjectingUpdateSource(
+                iter(list(source)), plan, grid10.num_edges, seed=5
+            )
+        ]
+        b = [
+            b.to_json()
+            for b in FaultInjectingUpdateSource(
+                iter(list(source)), plan, grid10.num_edges, seed=5
+            )
+        ]
+        assert a == b
+
+    def test_no_faults_passes_through(self, source, grid10):
+        clean = list(source)
+        faulted = list(
+            FaultInjectingUpdateSource(
+                iter(clean), FaultPlan(), grid10.num_edges, seed=0
+            )
+        )
+        assert faulted == clean
+
+    def test_corruption_tags_fault_kind(self, source, grid10):
+        faulted = list(
+            FaultInjectingUpdateSource(
+                iter(list(source)),
+                FaultPlan(p_corrupt=1.0),
+                grid10.num_edges,
+                seed=0,
+            )
+        )
+        kinds = {"nan_weight", "negative_weight", "absurd_weight"}
+        assert all(set(b.faults) & kinds for b in faulted)
+        for batch in faulted:
+            if "nan_weight" in batch.faults:
+                assert any(
+                    w != w for w in batch.updates.values()
+                )
+            elif "negative_weight" in batch.faults:
+                assert any(w < 0 for w in batch.updates.values())
+            else:
+                assert any(w > 1e8 for w in batch.updates.values())
+
+    def test_unknown_edges_point_outside_network(self, source, grid10):
+        faulted = list(
+            FaultInjectingUpdateSource(
+                iter(list(source)),
+                FaultPlan(p_unknown_edge=1.0),
+                grid10.num_edges,
+                seed=0,
+            )
+        )
+        for batch in faulted:
+            assert "unknown_edge" in batch.faults
+            assert any(
+                edge_id >= grid10.num_edges for edge_id in batch.updates
+            )
+
+    def test_gaps_drop_batches(self, source, grid10):
+        clean = list(source)
+        faulted = list(
+            FaultInjectingUpdateSource(
+                iter(clean),
+                FaultPlan(p_gap=0.5),
+                grid10.num_edges,
+                seed=1,
+            )
+        )
+        assert len(faulted) < len(clean)
+        delivered = [b.seq for b in faulted]
+        assert delivered == sorted(delivered)
+
+    def test_duplicates_redeliver_earlier_seq(self, source, grid10):
+        faulted = list(
+            FaultInjectingUpdateSource(
+                iter(list(source)),
+                FaultPlan(p_duplicate=1.0),
+                grid10.num_edges,
+                seed=0,
+            )
+        )
+        seqs = [b.seq for b in faulted]
+        assert len(seqs) > len(set(seqs))
+        assert any("duplicate_seq" in b.faults for b in faulted)
+
+    def test_reorder_swaps_neighbours(self, source, grid10):
+        faulted = list(
+            FaultInjectingUpdateSource(
+                iter(list(source)),
+                FaultPlan(p_reorder=1.0),
+                grid10.num_edges,
+                seed=0,
+            )
+        )
+        seqs = [b.seq for b in faulted]
+        assert seqs != sorted(seqs)
+        assert sorted(seqs) == list(range(1, len(seqs) + 1))
+
+    def test_stall_stamps_delay(self, source, grid10):
+        faulted = list(
+            FaultInjectingUpdateSource(
+                iter(list(source)),
+                FaultPlan(p_stall=1.0, stall_s=7.5),
+                grid10.num_edges,
+                seed=0,
+            )
+        )
+        assert all(b.stall_s == 7.5 for b in faulted)
+        assert all("stall" in b.faults for b in faulted)
+
+    def test_rejects_bad_plan_and_edge_count(self, source):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(p_corrupt=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(stall_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjectingUpdateSource(iter(()), FaultPlan(), 0)
