@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serving bench-chaos bench-csr bench-ch bench-traffic bench-diff replay-smoke traffic-replay-smoke examples report clean
+.PHONY: install test bench bench-serving bench-chaos bench-csr bench-ch bench-traffic bench-load bench-diff loadgen-smoke replay-smoke traffic-replay-smoke examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,14 @@ bench-ch:
 bench-traffic:
 	$(PYTHON) -m pytest benchmarks/bench_traffic.py -q
 
+bench-load:
+	$(PYTHON) -m pytest benchmarks/bench_load.py -q
+
+# The CI-sized open-loop harness run: sharded vs single-process ramp
+# plus the worker-kill availability window, at the small network size.
+loadgen-smoke:
+	REPRO_BENCH_SIZE=small $(PYTHON) -m pytest benchmarks/bench_load.py -q
+
 # Gate fresh BENCH_*.json results against the committed baselines
 # (same comparison CI runs; see docs/observability.md to re-bless).
 bench-diff:
@@ -36,6 +44,7 @@ bench-diff:
 	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_ch.json benchmarks/output/BENCH_bench_ch.json
 	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_chaos.json benchmarks/output/BENCH_bench_chaos.json
 	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_traffic.json benchmarks/output/BENCH_bench_traffic.json
+	$(PYTHON) -m repro bench diff benchmarks/baselines/BENCH_bench_load.json benchmarks/output/BENCH_bench_load.json
 
 replay-smoke:
 	$(PYTHON) -m repro replay benchmarks/data/query_log_tiny.jsonl

@@ -14,6 +14,8 @@ Commands
 ``replay``       re-drive a captured query log against a live service
 ``traffic``      generate or replay a live traffic-update log
 ``bench``        diff machine-readable BENCH_*.json results
+``serve``        run the sharded multi-process route server
+``loadgen``      drive a target with seeded open-loop Poisson load
 """
 
 from __future__ import annotations
@@ -607,6 +609,119 @@ def _cmd_stability(args) -> int:
     return 0
 
 
+def _shard_specs(args):
+    """ShardSpecs from repeated ``--shard city[=snapshot]`` options.
+
+    A bare city builds the network at ``--size/--seed`` and writes a
+    fresh mmap-able v3 snapshot into a temp directory, so the command
+    works without a prior ``repro snapshot build`` step.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.graph.csr import save_snapshot
+    from repro.serving.shard import ShardSpec
+
+    specs = []
+    tmp_dir = None
+    for item in args.shard:
+        city, _sep, path = item.partition("=")
+        if city not in CITY_BUILDERS:
+            raise ReproError(
+                f"unknown city {city!r} (choose from {_CITIES})"
+            )
+        if not path:
+            if tmp_dir is None:
+                tmp_dir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+            path = str(tmp_dir / f"{city}-{args.size}-{args.seed}.rprn")
+            network = CITY_BUILDERS[city](size=args.size, seed=args.seed)
+            save_snapshot(network, path)
+            # status to stderr: loadgen's stdout is a JSON report
+            print(f"built snapshot {path}", file=sys.stderr)
+        specs.append(
+            ShardSpec(
+                city=city,
+                snapshot_path=path,
+                size=args.size,
+                seed=args.seed,
+                live=args.live,
+            )
+        )
+    return specs
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving.frontend import ShardFrontend
+    from repro.serving.shard import ShardRouter
+
+    specs = _shard_specs(args)
+    with ShardRouter(specs) as router:
+        print(
+            f"serving {len(router.cities)} shard(s) "
+            f"({', '.join(router.cities)}) on "
+            f"http://{args.host}:{args.port}"
+        )
+        ShardFrontend(router).run_forever(args.host, args.port)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import contextlib
+
+    from repro.serving.loadgen import (
+        find_max_sustainable_rps,
+        router_target,
+        run_open_loop,
+        sample_queries,
+        services_target,
+    )
+
+    cities = sorted(set(args.cities.split(",")))
+    for city in cities:
+        if city not in CITY_BUILDERS:
+            raise ReproError(
+                f"unknown city {city!r} (choose from {_CITIES})"
+            )
+    networks = {
+        city: CITY_BUILDERS[city](size=args.size, seed=args.seed)
+        for city in cities
+    }
+    queries = sample_queries(networks, args.queries, seed=args.seed)
+
+    with contextlib.ExitStack() as stack:
+        if args.sharded:
+            from repro.serving.shard import ShardRouter
+
+            args.shard = cities
+            args.live = False
+            router = stack.enter_context(ShardRouter(_shard_specs(args)))
+            target = router_target(router)
+        else:
+            from repro.serving import RouteService
+
+            services = {}
+            for city, network in networks.items():
+                service = RouteService.from_network(network)
+                stack.callback(service.close)
+                services[city] = service
+            target = services_target(services)
+
+        if args.ramp:
+            ramp = find_max_sustainable_rps(
+                target, queries,
+                start_rps=args.rate, duration_s=args.duration,
+                seed=args.seed, max_steps=args.ramp_steps,
+            )
+            payload = ramp.to_payload()
+        else:
+            window = run_open_loop(
+                target, queries, args.rate, args.duration, seed=args.seed
+            )
+            payload = window.to_payload()
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Return the configured argument parser."""
     parser = argparse.ArgumentParser(
@@ -946,6 +1061,69 @@ def build_parser() -> argparse.ArgumentParser:
         "without their own threshold (default: 0.20)",
     )
     bench_diff.set_defaults(handler=_cmd_bench_diff)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve routes from per-city worker processes over "
+        "mmap'd snapshots (the sharded deployment)",
+    )
+    serve.add_argument(
+        "--shard", action="append", required=True,
+        metavar="CITY[=SNAPSHOT]",
+        help="one worker shard; repeat per city.  A bare city name "
+        "builds the network at --size/--seed and snapshots it into "
+        "a temp directory first",
+    )
+    serve.add_argument("--size", default="small", choices=_SIZES)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--live", action="store_true",
+        help="attach a live-traffic controller in every worker",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8081)
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a serving deployment with seeded open-loop "
+        "Poisson load and print the latency/availability report",
+    )
+    loadgen.add_argument(
+        "--cities", default="melbourne",
+        help="comma-separated traffic mix (default: melbourne)",
+    )
+    loadgen.add_argument("--size", default="small", choices=_SIZES)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--queries", type=int, default=64,
+        help="distinct sampled queries cycled through (default: 64)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=5.0,
+        help="offered arrival rate in requests/s (ramp start when "
+        "--ramp is given; default: 5)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0,
+        help="measured window length in seconds (per ramp step with "
+        "--ramp; default: 10)",
+    )
+    loadgen.add_argument(
+        "--ramp", action="store_true",
+        help="ramp the rate geometrically and report the max "
+        "sustainable RPS instead of one fixed-rate window",
+    )
+    loadgen.add_argument(
+        "--ramp-steps", type=int, default=8,
+        help="maximum ramp rungs (default: 8)",
+    )
+    loadgen.add_argument(
+        "--sharded", action="store_true",
+        help="drive a spawned ShardRouter deployment instead of "
+        "in-process per-city services",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     return parser
 

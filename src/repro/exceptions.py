@@ -168,3 +168,46 @@ class TrafficUpdateError(ReproError):
 
     def __str__(self) -> str:
         return f"traffic update rejected ({self.reason}): {self.message}"
+
+
+class ShardError(ReproError):
+    """Base of the multi-process shard-serving failure modes.
+
+    ``city`` names the shard so the front end can fail one city while
+    the others keep serving, and callers can assert on exactly which
+    shard misbehaved.
+    """
+
+    def __init__(self, city: str, message: str) -> None:
+        super().__init__(city, message)
+        self.city = city
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"shard {self.city!r}: {self.message}"
+
+
+class ShardCrashedError(ShardError):
+    """The shard's worker process died while this request was in flight.
+
+    The request is *not* transparently retried — a crash mid-query may
+    have been caused by the query — but the pool respawns the worker
+    with backoff, so subsequent requests succeed once the shard
+    recovers.
+    """
+
+
+class ShardUnavailableError(ShardError):
+    """No healthy worker is serving this shard right now.
+
+    Raised while a crashed worker is between respawn attempts (the
+    degraded window ``/healthz`` reports) or for a city no shard was
+    configured for.  Carries ``retry_after_s`` when the pool knows its
+    next respawn time.
+    """
+
+    def __init__(
+        self, city: str, message: str, retry_after_s: float = 0.0
+    ) -> None:
+        super().__init__(city, message)
+        self.retry_after_s = retry_after_s

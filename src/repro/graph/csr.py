@@ -38,12 +38,33 @@ section list is forward-extensible; version-1 files (no section
 block) still load.  Malformed files — bad magic, unsupported version,
 truncation inside the core payload or a section — raise
 :class:`~repro.exceptions.SnapshotError` instead of unpacking garbage.
+
+Version 3 is the *mmap-able* layout.  Instead of streaming the arrays
+inline, the file carries an **array directory** — fixed-width entries
+naming each array (``csr.fwd_tgt``, ``alt.from``, ``ch.wt``, ...)
+with its typecode, element count, absolute byte offset and byte
+length — and every array payload sits at a :data:`SECTION_ALIGNMENT`
+-aligned offset.  That alignment is what lets
+:func:`map_snapshot` expose each array as a ``memoryview`` *cast
+directly over a read-only* ``mmap`` of the file: no bytes are copied,
+and every worker process mapping the same snapshot shares one set of
+physical pages (the kernel's page cache).  The CSR arrays always
+travel in a v3 file (built at save time if needed), and an attached
+ALT landmark table or contraction hierarchy rides along, so
+:meth:`CsrGraph.from_mmap` reassembles the whole accelerated view
+without copying any array.  :func:`load_snapshot` still reads v3
+files on the *copy path* (materialising ``array`` objects) — and v1/
+v2 files load exactly as before — so every existing caller keeps
+working.  Truncated, misaligned or otherwise corrupt directory
+entries raise :class:`~repro.exceptions.SnapshotError`, never a crash
+or silent garbage.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import mmap
 import struct
 import sys
 from array import array
@@ -60,10 +81,10 @@ from repro.observability.search import active_search_stats
 SNAPSHOT_MAGIC = b"RPRN"
 
 #: Current snapshot format version; bump on layout changes.
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 
 #: Versions this build can read (v1 files simply have no sections).
-SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, 3)
 
 #: Tag of the contraction-hierarchy section (rank + augmented arcs).
 CH_SECTION_TAG = b"CHI1"
@@ -71,9 +92,23 @@ CH_SECTION_TAG = b"CHI1"
 #: Human-readable names for known section tags (``snapshot_info``).
 _SECTION_NAMES = {CH_SECTION_TAG: "ch"}
 
+#: Byte alignment of every array payload in a version-3 snapshot.  A
+#: cache-line multiple keeps ``memoryview.cast`` legal for 8-byte
+#: elements and page-friendly for the mmap fast path.
+SECTION_ALIGNMENT = 64
+
+#: Upper bound on directory entries a reader will accept; a corrupt
+#: count field fails fast instead of looping over garbage.
+_MAX_DIRECTORY_ENTRIES = 256
+
 _HEADER = struct.Struct("<4sHHQQ")  # magic, version, reserved, nodes, edges
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
+
+#: Version-3 array-directory entry: 16-byte NUL-padded ASCII name,
+#: 1-byte typecode (``q``/``d``), 7 pad bytes, then element count,
+#: absolute byte offset and byte length as little-endian u64s.
+_DIR_ENTRY = struct.Struct("<16sc7xQQQ")
 
 PathLike = Union[str, FilePath]
 
@@ -181,6 +216,46 @@ class CsrGraph:
         fwd = _flatten(network._out, lambda edge: edge.v)
         bwd = _flatten(network._in, lambda edge: edge.u)
         return cls(n, m, *fwd, *bwd)
+
+    @classmethod
+    def from_mmap(
+        cls,
+        num_nodes: int,
+        num_edges: int,
+        fwd_offsets: Sequence[int],
+        fwd_targets: Sequence[int],
+        fwd_edge_ids: Sequence[int],
+        fwd_weights: Sequence[float],
+        bwd_offsets: Sequence[int],
+        bwd_targets: Sequence[int],
+        bwd_edge_ids: Sequence[int],
+        bwd_weights: Sequence[float],
+    ) -> "CsrGraph":
+        """Assemble a view over buffer-backed arrays without copying.
+
+        The eight flat arrays may be ``memoryview`` casts over an
+        ``mmap`` (the zero-copy path :func:`map_snapshot` takes) or any
+        other int64/float64 sequences; they are stored as-is, never
+        copied, so N worker processes mapping the same snapshot file
+        share one set of physical pages.  Only the derived per-node
+        ``fwd_arcs``/``bwd_arcs`` tuple groups are materialised
+        per-process (they are Python objects and cannot live in a
+        file).  The kernels index the flat arrays and the groups
+        identically either way — behaviour is byte-for-byte that of a
+        :meth:`from_network` build.
+        """
+        return cls(
+            num_nodes,
+            num_edges,
+            fwd_offsets,
+            fwd_targets,
+            fwd_edge_ids,
+            fwd_weights,
+            bwd_offsets,
+            bwd_targets,
+            bwd_edge_ids,
+            bwd_weights,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -352,10 +427,19 @@ def csr_dijkstra(
 # -- snapshots --------------------------------------------------------------
 
 
-def _to_le(arr: array) -> bytes:
-    """Raw little-endian bytes of an array (byteswapping if needed)."""
+def _typecode(arr) -> str:
+    """Array-module typecode of an ``array`` or a cast ``memoryview``."""
+    code = getattr(arr, "typecode", None)
+    if code is None:
+        code = arr.format  # memoryview
+    return code
+
+
+def _to_le(arr) -> bytes:
+    """Raw little-endian bytes of an array or memoryview (byteswapping
+    if needed)."""
     if sys.byteorder == "big":  # pragma: no cover - no BE CI hosts
-        arr = array(arr.typecode, arr)
+        arr = array(_typecode(arr), arr)
         arr.byteswap()
     return arr.tobytes()
 
@@ -394,29 +478,45 @@ def _read_string(handle: BinaryIO, what: str) -> str:
         raise SnapshotError(f"snapshot {what} is not valid UTF-8") from exc
 
 
-def save_snapshot(network: RoadNetwork, path: Union[PathLike, BinaryIO]) -> None:
+def save_snapshot(
+    network: RoadNetwork,
+    path: Union[PathLike, BinaryIO],
+    *,
+    version: int = SNAPSHOT_VERSION,
+) -> None:
     """Write the network to the binary snapshot format.
 
     ``path`` may be a filesystem path or a writable binary file object
-    (the fuzz tier round-trips through ``io.BytesIO``).  When the
-    network has a contraction hierarchy attached (see
-    :func:`~repro.core.ch.ensure_hierarchy`), it is persisted as a
-    ``CHI1`` section so :func:`load_snapshot` restores it without
-    re-contracting.
+    (the fuzz tier round-trips through ``io.BytesIO``).  The default
+    writes the current (mmap-able, version-3) layout: the CSR view is
+    built if absent and its arrays persisted at
+    :data:`SECTION_ALIGNMENT`-aligned offsets, along with an attached
+    ALT landmark table and/or contraction hierarchy, so
+    :func:`map_snapshot` can later expose everything as zero-copy
+    memoryviews.  ``version=2`` writes the legacy streamed layout
+    (with an optional ``CHI1`` hierarchy section) for compatibility
+    with older readers.
     """
+    if version == 3:
+        writer = _write_snapshot_v3
+    elif version == 2:
+        writer = _write_snapshot_v2
+    else:
+        raise ConfigurationError(
+            f"cannot write snapshot version {version}; this build "
+            f"writes versions 2 and 3"
+        )
     if hasattr(path, "write"):
-        _write_snapshot(network, path)
+        writer(network, path)
         return
     with open(path, "wb") as handle:
-        _write_snapshot(network, handle)
+        writer(network, handle)
 
 
-def _write_snapshot(network: RoadNetwork, handle: BinaryIO) -> None:
+def _collect_core_arrays(network: RoadNetwork):
+    """Node/edge payload arrays + shared string table, in wire order."""
     n = network.num_nodes
     m = network.num_edges
-    handle.write(_HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0, n, m))
-    _write_string(handle, network.name)
-
     lats = array("d", [0.0] * n)
     lons = array("d", [0.0] * n)
     osm_ids = array("q", [0] * n)
@@ -456,14 +556,33 @@ def _write_snapshot(network: RoadNetwork, handle: BinaryIO) -> None:
         highway_refs[edge.id] = _intern(edge.highway)
         name_refs[edge.id] = _intern(edge.name)
 
+    core = [
+        ("node.lat", lats),
+        ("node.lon", lons),
+        ("node.osm", osm_ids),
+        ("edge.tail", tails),
+        ("edge.head", heads),
+        ("edge.len", lengths),
+        ("edge.time", times),
+        ("edge.speed", maxspeeds),
+        ("edge.lanes", lanes),
+        ("edge.way", way_ids),
+        ("edge.hwy", highway_refs),
+        ("edge.name", name_refs),
+    ]
+    return strings, core
+
+
+def _write_snapshot_v2(network: RoadNetwork, handle: BinaryIO) -> None:
+    n = network.num_nodes
+    m = network.num_edges
+    handle.write(_HEADER.pack(SNAPSHOT_MAGIC, 2, 0, n, m))
+    _write_string(handle, network.name)
+    strings, core = _collect_core_arrays(network)
     handle.write(_U32.pack(len(strings)))
     for text in strings:
         _write_string(handle, text)
-    for arr in (
-        lats, lons, osm_ids,
-        tails, heads, lengths, times, maxspeeds, lanes, way_ids,
-        highway_refs, name_refs,
-    ):
+    for _name, arr in core:
         handle.write(_to_le(arr))
 
     sections: List[tuple[bytes, bytes]] = []
@@ -475,6 +594,88 @@ def _write_snapshot(network: RoadNetwork, handle: BinaryIO) -> None:
         handle.write(tag)
         handle.write(_U64.pack(len(payload)))
         handle.write(payload)
+
+
+def _write_snapshot_v3(network: RoadNetwork, handle: BinaryIO) -> None:
+    """Write the mmap-able array-directory layout.
+
+    Every array payload lands at a :data:`SECTION_ALIGNMENT`-aligned
+    absolute offset; the directory (written after the string table,
+    back-patched once offsets are known) records name, typecode,
+    element count, offset and byte length per array.  The CSR view is
+    always persisted — built here if the network has none — and an
+    attached landmark table / contraction hierarchy rides along.
+    """
+    n = network.num_nodes
+    m = network.num_edges
+    strings, arrays = _collect_core_arrays(network)
+
+    csr = ensure_csr(network)
+    arrays = list(arrays)
+    arrays += [
+        ("csr.fwd_off", csr.fwd_offsets),
+        ("csr.fwd_tgt", csr.fwd_targets),
+        ("csr.fwd_eid", csr.fwd_edge_ids),
+        ("csr.fwd_wt", csr.fwd_weights),
+        ("csr.bwd_off", csr.bwd_offsets),
+        ("csr.bwd_tgt", csr.bwd_targets),
+        ("csr.bwd_eid", csr.bwd_edge_ids),
+        ("csr.bwd_wt", csr.bwd_weights),
+    ]
+    table = csr.landmarks
+    if table is not None:
+        flat_from = array("d")
+        flat_to = array("d")
+        for row in table.dist_from:
+            flat_from.extend(row)
+        for row in table.dist_to:
+            flat_to.extend(row)
+        arrays += [
+            ("alt.nodes", array("q", table.landmarks)),
+            ("alt.from", flat_from),
+            ("alt.to", flat_to),
+            ("alt.meta", array("q", [table.seed])),
+            ("alt.scale", array("d", [table.scale])),
+        ]
+    hierarchy = csr.hierarchy
+    if hierarchy is not None:
+        arrays += [
+            ("ch.rank", hierarchy.rank),
+            ("ch.tail", hierarchy.arc_tails),
+            ("ch.head", hierarchy.arc_heads),
+            ("ch.eid", hierarchy.arc_edge_ids),
+            ("ch.cup", hierarchy.arc_child_up),
+            ("ch.cdn", hierarchy.arc_child_down),
+            ("ch.wt", hierarchy.arc_weights),
+        ]
+
+    handle.write(_HEADER.pack(SNAPSHOT_MAGIC, 3, 0, n, m))
+    _write_string(handle, network.name)
+    handle.write(_U32.pack(len(strings)))
+    for text in strings:
+        _write_string(handle, text)
+    handle.write(_U32.pack(len(arrays)))
+    directory_pos = handle.tell()
+    handle.write(b"\x00" * (_DIR_ENTRY.size * len(arrays)))
+
+    entries = []
+    for name, arr in arrays:
+        padding = (-handle.tell()) % SECTION_ALIGNMENT
+        if padding:
+            handle.write(b"\x00" * padding)
+        offset = handle.tell()
+        payload = _to_le(arr)
+        handle.write(payload)
+        entries.append(
+            (name.encode("ascii"), _typecode(arr).encode("ascii"),
+             len(arr), offset, len(payload))
+        )
+
+    end = handle.tell()
+    handle.seek(directory_pos)
+    for name, typecode, count, offset, nbytes in entries:
+        handle.write(_DIR_ENTRY.pack(name, typecode, count, offset, nbytes))
+    handle.seek(end)
 
 
 def _ch_section_payload(hierarchy) -> bytes:
@@ -547,27 +748,81 @@ def _read_header(handle: BinaryIO) -> tuple[int, int, int]:
     return version, n, m
 
 
-def load_snapshot(path: Union[PathLike, BinaryIO]) -> RoadNetwork:
-    """Load a network written by :func:`save_snapshot`.
+def load_snapshot(
+    path: Union[PathLike, BinaryIO, bytes, bytearray, memoryview]
+) -> RoadNetwork:
+    """Load a network written by :func:`save_snapshot` (copy path).
+
+    ``path`` may be a filesystem path, a readable binary file object
+    (``mmap.mmap`` objects qualify — they expose ``read``), or an
+    already-mapped buffer (``bytes``/``bytearray``/``memoryview``);
+    buffers are parsed in place, so callers holding a mapped region
+    never pay a second file read.  Arrays are always *materialised*
+    into per-process ``array`` objects here — use :func:`map_snapshot`
+    for the zero-copy shared-page path.
 
     Raises :class:`~repro.exceptions.SnapshotError` for bad magic,
-    unsupported versions and truncated files.  A ``CHI1`` section (see
-    ``repro snapshot build --with-ch``) restores the saved contraction
-    hierarchy onto the returned network's CSR view — no
-    re-contraction; unknown section tags are skipped by length.
-    Networks saved without sections come back with no CSR view
-    attached; call :func:`ensure_csr` (or
+    unsupported versions and truncated files.  A v2 ``CHI1`` section
+    (see ``repro snapshot build --with-ch``) restores the saved
+    contraction hierarchy onto the returned network's CSR view — no
+    re-contraction; unknown section tags are skipped by length.  A v3
+    file restores its CSR view plus any persisted landmark table and
+    hierarchy.  v1/v2 networks saved without sections come back with
+    no CSR view attached; call :func:`ensure_csr` (or
     :func:`~repro.core.alt.ensure_landmarks` /
     :func:`~repro.core.ch.ensure_hierarchy`) to accelerate them.
     """
+    if isinstance(path, (bytes, bytearray, memoryview)):
+        buf = memoryview(path)
+        if buf.format != "B":
+            buf = buf.cast("B")
+        return _read_snapshot(_BufReader(buf))
     if hasattr(path, "read"):
         return _read_snapshot(path)
     with open(path, "rb") as handle:
         return _read_snapshot(handle)
 
 
-def _read_snapshot(handle: BinaryIO) -> RoadNetwork:
+class _BufReader:
+    """Minimal sequential file-like reader over a memoryview.
+
+    Lets the header/string/directory parsing helpers (written against
+    ``handle.read``) run unchanged over an mmap'd buffer; only the
+    small regions actually read are copied out as ``bytes``.
+    """
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: memoryview) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def read(self, count: int = -1) -> bytes:
+        if count < 0:
+            count = len(self.buf) - self.pos
+        data = bytes(self.buf[self.pos : self.pos + count])
+        self.pos += len(data)
+        return data
+
+    def tell(self) -> int:
+        return self.pos
+
+
+def _read_snapshot(handle) -> RoadNetwork:
     version, n, m = _read_header(handle)
+    if version >= 3:
+        if isinstance(handle, _BufReader):
+            buf = handle.buf
+        else:
+            # Materialise the stream once; the v3 parser is
+            # offset-addressed, so rebuild the 24 header bytes it
+            # already consumed in front of the remainder.
+            buf = memoryview(
+                _HEADER.pack(SNAPSHOT_MAGIC, version, 0, n, m)
+                + handle.read()
+            )
+        network, _csr, _directory = _parse_v3(buf, copy=True)
+        return network
     name = _read_string(handle, "network name")
     (string_count,) = _U32.unpack(
         _read_exact(handle, _U32.size, "string-table size")
@@ -590,29 +845,12 @@ def _read_snapshot(handle: BinaryIO) -> RoadNetwork:
     highway_refs = _read_array(handle, "q", m, "edge highway refs")
     name_refs = _read_array(handle, "q", m, "edge name refs")
 
-    try:
-        nodes = [
-            Node(id=i, lat=lats[i], lon=lons[i], osm_id=osm_ids[i])
-            for i in range(n)
-        ]
-        edges = [
-            Edge(
-                id=i,
-                u=tails[i],
-                v=heads[i],
-                length_m=lengths[i],
-                travel_time_s=times[i],
-                highway=strings[highway_refs[i]],
-                maxspeed_kmh=maxspeeds[i],
-                lanes=lanes[i],
-                name=strings[name_refs[i]],
-                way_id=way_ids[i],
-            )
-            for i in range(m)
-        ]
-        network = RoadNetwork(nodes, edges, name=name)
-    except (IndexError, ValueError) as exc:
-        raise SnapshotError(f"inconsistent snapshot payload: {exc}") from exc
+    network = _materialise_network(
+        name, strings, n, m,
+        lats, lons, osm_ids,
+        tails, heads, lengths, times, maxspeeds, lanes, way_ids,
+        highway_refs, name_refs,
+    )
 
     if version >= 2:
         (section_count,) = _U32.unpack(
@@ -633,6 +871,387 @@ def _read_snapshot(handle: BinaryIO) -> RoadNetwork:
     return network
 
 
+def _materialise_network(
+    name, strings, n, m,
+    lats, lons, osm_ids,
+    tails, heads, lengths, times, maxspeeds, lanes, way_ids,
+    highway_refs, name_refs,
+) -> RoadNetwork:
+    """Build the Node/Edge object graph from payload arrays.
+
+    Shared by the v1/v2 streamed reader and both v3 paths; a corrupt
+    string reference or endpoint surfaces as :class:`SnapshotError`.
+    """
+    try:
+        nodes = [
+            Node(id=i, lat=lats[i], lon=lons[i], osm_id=osm_ids[i])
+            for i in range(n)
+        ]
+        edges = [
+            Edge(
+                id=i,
+                u=tails[i],
+                v=heads[i],
+                length_m=lengths[i],
+                travel_time_s=times[i],
+                highway=strings[highway_refs[i]],
+                maxspeed_kmh=maxspeeds[i],
+                lanes=lanes[i],
+                name=strings[name_refs[i]],
+                way_id=way_ids[i],
+            )
+            for i in range(m)
+        ]
+        return RoadNetwork(nodes, edges, name=name)
+    except (IndexError, ValueError) as exc:
+        raise SnapshotError(f"inconsistent snapshot payload: {exc}") from exc
+
+
+def _read_v3_directory(reader, file_bytes: int) -> Dict[str, tuple]:
+    """Parse + validate the v3 array directory from a sequential reader.
+
+    Returns ``{name: (typecode, count, offset, nbytes)}``.  Every
+    corruption mode — implausible counts, non-ASCII names, unknown
+    typecodes, misaligned offsets, payloads past EOF, element counts
+    that do not fill the byte length, duplicate names — raises
+    :class:`SnapshotError` here, before any payload is touched.
+    """
+    (array_count,) = _U32.unpack(
+        _read_exact(reader, _U32.size, "array directory size")
+    )
+    if array_count > _MAX_DIRECTORY_ENTRIES:
+        raise SnapshotError(
+            f"corrupt snapshot: array directory declares {array_count} "
+            f"entries (limit {_MAX_DIRECTORY_ENTRIES})"
+        )
+    directory: Dict[str, tuple] = {}
+    for index in range(array_count):
+        raw = _read_exact(
+            reader, _DIR_ENTRY.size, f"array directory entry {index}"
+        )
+        name_bytes, typecode_byte, count, offset, nbytes = _DIR_ENTRY.unpack(raw)
+        try:
+            arr_name = name_bytes.rstrip(b"\x00").decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(
+                f"corrupt snapshot: array directory entry {index} has a "
+                f"non-ASCII name"
+            ) from exc
+        if not arr_name:
+            raise SnapshotError(
+                f"corrupt snapshot: array directory entry {index} has an "
+                f"empty name"
+            )
+        typecode = typecode_byte.decode("ascii", "replace")
+        if typecode not in ("q", "d"):
+            raise SnapshotError(
+                f"corrupt snapshot: array {arr_name!r} has unknown "
+                f"typecode {typecode!r}"
+            )
+        if offset % SECTION_ALIGNMENT:
+            raise SnapshotError(
+                f"corrupt snapshot: array {arr_name!r} is misaligned "
+                f"(offset {offset} is not a multiple of "
+                f"{SECTION_ALIGNMENT})"
+            )
+        if offset + nbytes > file_bytes:
+            raise SnapshotError(
+                f"truncated snapshot: array {arr_name!r} declares bytes "
+                f"[{offset}, {offset + nbytes}) but the file holds "
+                f"{file_bytes}"
+            )
+        if count * 8 != nbytes:
+            raise SnapshotError(
+                f"corrupt snapshot: array {arr_name!r} declares {count} "
+                f"8-byte elements in {nbytes} bytes"
+            )
+        if arr_name in directory:
+            raise SnapshotError(
+                f"corrupt snapshot: duplicate array {arr_name!r} in "
+                f"directory"
+            )
+        directory[arr_name] = (typecode, count, offset, nbytes)
+    return directory
+
+
+def _check_csr_offsets(offsets, n: int, m: int, what: str) -> None:
+    """Reject non-monotonic / out-of-range CSR offset arrays up front
+    (a corrupt file must raise, never mis-group arcs silently)."""
+    if offsets[0] != 0 or offsets[n] != m:
+        raise SnapshotError(
+            f"corrupt snapshot: {what} offsets span "
+            f"[{offsets[0]}, {offsets[n]}], expected [0, {m}]"
+        )
+    prev = 0
+    for value in offsets:
+        if value < prev:
+            raise SnapshotError(
+                f"corrupt snapshot: {what} offsets are not monotonic"
+            )
+        prev = value
+
+
+def _parse_v3(buf: memoryview, *, copy: bool):
+    """Parse a version-3 snapshot held in ``buf``.
+
+    With ``copy=False`` every array becomes a ``memoryview.cast``
+    directly over ``buf`` — zero bytes copied, the :func:`map_snapshot`
+    path.  With ``copy=True`` arrays are materialised as ``array``
+    objects (the :func:`load_snapshot` copy path).  Returns
+    ``(network, csr, directory)`` with the CSR view — plus any
+    persisted landmark table / hierarchy — attached to the network.
+    """
+    if copy is False and sys.byteorder == "big":  # pragma: no cover
+        raise SnapshotError(
+            "zero-copy snapshot mapping requires a little-endian host"
+        )
+    reader = _BufReader(buf)
+    version, n, m = _read_header(reader)
+    if version != 3:
+        raise SnapshotError(
+            f"snapshot version {version} is not mmap-able; re-save it "
+            f"with save_snapshot() or load it via load_snapshot()"
+        )
+    name = _read_string(reader, "network name")
+    (string_count,) = _U32.unpack(
+        _read_exact(reader, _U32.size, "string-table size")
+    )
+    strings = [
+        _read_string(reader, f"string-table entry {index}")
+        for index in range(string_count)
+    ]
+    directory = _read_v3_directory(reader, len(buf))
+
+    def section(arr_name: str, typecode: str, count: int):
+        entry = directory.get(arr_name)
+        if entry is None:
+            raise SnapshotError(
+                f"corrupt snapshot: required array {arr_name!r} is "
+                f"missing from the directory"
+            )
+        found_typecode, found_count, offset, nbytes = entry
+        if found_typecode != typecode:
+            raise SnapshotError(
+                f"corrupt snapshot: array {arr_name!r} has typecode "
+                f"{found_typecode!r}, expected {typecode!r}"
+            )
+        if found_count != count:
+            raise SnapshotError(
+                f"corrupt snapshot: array {arr_name!r} holds "
+                f"{found_count} elements, expected {count}"
+            )
+        raw = buf[offset : offset + nbytes]
+        if copy:
+            arr = array(typecode)
+            arr.frombytes(bytes(raw))
+            if sys.byteorder == "big":  # pragma: no cover - no BE hosts
+                arr.byteswap()
+            return arr
+        return raw.cast(typecode)
+
+    network = _materialise_network(
+        name, strings, n, m,
+        section("node.lat", "d", n),
+        section("node.lon", "d", n),
+        section("node.osm", "q", n),
+        section("edge.tail", "q", m),
+        section("edge.head", "q", m),
+        section("edge.len", "d", m),
+        section("edge.time", "d", m),
+        section("edge.speed", "d", m),
+        section("edge.lanes", "q", m),
+        section("edge.way", "q", m),
+        section("edge.hwy", "q", m),
+        section("edge.name", "q", m),
+    )
+
+    fwd_offsets = section("csr.fwd_off", "q", n + 1)
+    bwd_offsets = section("csr.bwd_off", "q", n + 1)
+    _check_csr_offsets(fwd_offsets, n, m, "forward CSR")
+    _check_csr_offsets(bwd_offsets, n, m, "backward CSR")
+    csr = CsrGraph.from_mmap(
+        n, m,
+        fwd_offsets,
+        section("csr.fwd_tgt", "q", m),
+        section("csr.fwd_eid", "q", m),
+        section("csr.fwd_wt", "d", m),
+        bwd_offsets,
+        section("csr.bwd_tgt", "q", m),
+        section("csr.bwd_eid", "q", m),
+        section("csr.bwd_wt", "d", m),
+    )
+    network._csr = csr
+
+    if "alt.nodes" in directory:
+        landmark_count = directory["alt.nodes"][1]
+        landmark_nodes = section("alt.nodes", "q", landmark_count)
+        if any(not 0 <= node_id < n for node_id in landmark_nodes):
+            raise SnapshotError(
+                "corrupt snapshot: landmark node id out of range"
+            )
+        flat_from = section("alt.from", "d", landmark_count * n)
+        flat_to = section("alt.to", "d", landmark_count * n)
+        meta = section("alt.meta", "q", 1)
+        scale = section("alt.scale", "d", 1)
+        # Lazy import: repro.core.alt imports this module at load time.
+        from repro.core.alt import LandmarkTable
+
+        csr.landmarks = LandmarkTable(
+            landmarks=tuple(landmark_nodes),
+            dist_from=[
+                flat_from[i * n : (i + 1) * n] for i in range(landmark_count)
+            ],
+            dist_to=[
+                flat_to[i * n : (i + 1) * n] for i in range(landmark_count)
+            ],
+            seed=meta[0],
+            scale=scale[0],
+        )
+
+    if "ch.rank" in directory:
+        if "ch.tail" not in directory:
+            raise SnapshotError(
+                "corrupt snapshot: CH rank present without arc arrays"
+            )
+        num_arcs = directory["ch.tail"][1]
+        # Lazy import: repro.core.ch imports this module at load time.
+        from repro.core.ch import CchBackend
+
+        try:
+            csr.hierarchy = CchBackend.from_arrays(
+                network,
+                section("ch.rank", "q", n),
+                section("ch.tail", "q", num_arcs),
+                section("ch.head", "q", num_arcs),
+                arc_edge_ids=section("ch.eid", "q", num_arcs),
+                arc_weights=section("ch.wt", "d", num_arcs),
+                arc_child_up=section("ch.cup", "q", num_arcs),
+                arc_child_down=section("ch.cdn", "q", num_arcs),
+            )
+        except (ConfigurationError, IndexError) as exc:
+            raise SnapshotError(f"inconsistent CH arrays: {exc}") from exc
+
+    return network, csr, directory
+
+
+#: Directory-name prefixes grouped for ``snapshot_info`` reporting.
+_V3_GROUPS = {"node": "core", "edge": "core"}
+
+
+class MappedSnapshot:
+    """A version-3 snapshot mapped read-only into this process.
+
+    ``network`` is a fully materialised :class:`RoadNetwork` whose
+    attached :class:`CsrGraph` (``.csr``) — including any persisted
+    landmark table and contraction hierarchy — is backed by
+    ``memoryview`` casts straight over the mapped file: the flat
+    arrays occupy *zero* process-private bytes, so every worker
+    mapping the same file shares one set of physical pages.
+
+    Hold the instance for as long as the network serves; dropping all
+    references to the network/CSR first, then calling :meth:`close`,
+    releases the mapping (closing while array views are still alive
+    raises ``BufferError`` — the mapping cannot be yanked out from
+    under a live graph).
+    """
+
+    __slots__ = ("network", "csr", "path", "sections", "_mmap", "_buf")
+
+    def __init__(self, network, csr, path, sections, mapping, buf) -> None:
+        self.network = network
+        self.csr = csr
+        self.path = path
+        self.sections = sections
+        self._mmap = mapping
+        self._buf = buf
+
+    @property
+    def num_nodes(self) -> int:
+        return self.network.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.network.num_edges
+
+    def close(self) -> None:
+        """Drop this handle's graph references and close the map.
+
+        The handle's own ``network``/``csr``/``sections`` references
+        are cleared first, so once the *caller* has dropped theirs the
+        section views die with them and the mapping closes cleanly.
+        Closing while outside references keep views alive raises
+        ``BufferError`` — the mapping cannot be yanked out from under
+        a live graph.
+        """
+        self.network = None
+        self.csr = None
+        self.sections = None
+        self._buf.release()
+        if self._mmap is not None:
+            self._mmap.close()
+
+    def __repr__(self) -> str:
+        if self.network is None:
+            return f"MappedSnapshot(path={str(self.path)!r}, closed)"
+        return (
+            f"MappedSnapshot(path={str(self.path)!r}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"sections={sorted(self.sections)})"
+        )
+
+
+def map_snapshot(
+    source: Union[PathLike, "mmap.mmap", bytes, bytearray, memoryview]
+) -> MappedSnapshot:
+    """Map a version-3 snapshot with zero array copies.
+
+    ``source`` is a snapshot path (mapped read-only via ``mmap``), an
+    existing ``mmap`` object, or any buffer-protocol object — the
+    latter two let N shards of one process group share a single
+    mapping established once by the parent.  Returns a
+    :class:`MappedSnapshot` whose CSR/ALT/CH arrays are ``memoryview``
+    casts over the source buffer.  Raises
+    :class:`~repro.exceptions.SnapshotError` for non-v3 files and
+    every directory corruption mode (truncation, misalignment, bad
+    typecodes, missing arrays).
+    """
+    mapping = None
+    path = None
+    if isinstance(source, (str, FilePath)):
+        path = FilePath(source)
+        with open(path, "rb") as handle:
+            try:
+                mapping = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except ValueError as exc:
+                raise SnapshotError(
+                    f"cannot map empty snapshot file {path}"
+                ) from exc
+        buf = memoryview(mapping)
+    elif isinstance(source, mmap.mmap):
+        buf = memoryview(source)
+    else:
+        buf = memoryview(source)
+        if buf.format != "B":
+            buf = buf.cast("B")
+    try:
+        network, csr, directory = _parse_v3(buf, copy=False)
+    except Exception:
+        buf.release()
+        if mapping is not None:
+            try:
+                mapping.close()
+            except BufferError:  # traceback frames may pin views briefly
+                pass
+        raise
+    sections: Dict[str, int] = {}
+    for arr_name, (_tc, _count, _offset, nbytes) in directory.items():
+        group = _V3_GROUPS.get(arr_name.split(".")[0], arr_name.split(".")[0])
+        sections[group] = sections.get(group, 0) + nbytes
+    return MappedSnapshot(network, csr, path, sections, mapping, buf)
+
+
 def snapshot_info(path: PathLike) -> dict:
     """Metadata of a snapshot file, without loading the arrays.
 
@@ -651,7 +1270,18 @@ def snapshot_info(path: PathLike) -> dict:
     with open(path, "rb") as handle:
         version, n, m = _read_header(handle)
         name = _read_string(handle, "network name")
-        if version >= 2:
+        if version >= 3:
+            (string_count,) = _U32.unpack(
+                _read_exact(handle, _U32.size, "string-table size")
+            )
+            for index in range(string_count):
+                _read_string(handle, f"string-table entry {index}")
+            directory = _read_v3_directory(handle, file_bytes)
+            for arr_name, (_tc, _count, _offset, nbytes) in directory.items():
+                prefix = arr_name.split(".")[0]
+                group = _V3_GROUPS.get(prefix, prefix)
+                sections[group] = sections.get(group, 0) + nbytes
+        elif version >= 2:
             (string_count,) = _U32.unpack(
                 _read_exact(handle, _U32.size, "string-table size")
             )

@@ -50,6 +50,15 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: because serving imports observability, not the other way around).
 CIRCUIT_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
 
+#: Shard lifecycle states as stable numeric gauge values.
+SHARD_STATE_CODES = {
+    "ready": 0,
+    "starting": 1,
+    "degraded": 2,
+    "failed": 3,
+    "stopped": 4,
+}
+
 _NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
 _SEARCH_COUNTER = re.compile(r"^search\.(?P<approach>.+)\.(?P<field>\w+)$")
 _PLAN_EVENT = re.compile(
@@ -262,6 +271,38 @@ def render_prometheus(payload: Mapping, prefix: str = PREFIX) -> str:
         lines.append(
             f"{seq_metric} {_format_value(traffic.get('epoch_seq', 0))}"
         )
+
+    shards = payload.get("shards")
+    if shards:
+        state_metric = f"{prefix}_shard_state"
+        lines.append(
+            f"# HELP {state_metric} shard worker state per city "
+            "(0 ready, 1 starting, 2 degraded, 3 failed, 4 stopped)"
+        )
+        lines.append(f"# TYPE {state_metric} gauge")
+        for city, block in sorted(shards.items()):
+            code = SHARD_STATE_CODES.get(block.get("state"), 3)
+            lines.append(
+                f'{state_metric}{{city="{_escape_label(city)}"}} {code}'
+            )
+        for key, metric_type, help_text in (
+            ("crashes_total", "counter",
+             "worker processes that died per city shard"),
+            ("restarts_total", "counter",
+             "worker respawns per city shard"),
+            ("degraded_seconds_total", "counter",
+             "cumulative seconds each shard spent degraded"),
+            ("last_degraded_window_s", "gauge",
+             "length of each shard's most recent degraded window"),
+        ):
+            metric = f"{prefix}_shard_{_sanitize(key)}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} {metric_type}")
+            for city, block in sorted(shards.items()):
+                lines.append(
+                    f'{metric}{{city="{_escape_label(city)}"}} '
+                    f"{_format_value(block.get(key) or 0)}"
+                )
 
     admission = payload.get("admission")
     if admission:

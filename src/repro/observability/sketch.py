@@ -235,6 +235,49 @@ class QuantileSketch:
                 self._sum,
             )
 
+    # -- cross-process transport ---------------------------------------------
+
+    def to_state(self) -> dict:
+        """A picklable/JSON-safe snapshot of the whole distribution.
+
+        Shard workers ship these over the process boundary; the parent
+        rebuilds with :meth:`from_state` and folds the result in via
+        :meth:`merge`, so fleet-wide quantiles keep the per-sketch rank
+        error guarantee without sharing any memory.
+        """
+        samples, count, lo, hi, total = self._snapshot()
+        state = {
+            "samples": [[value, g] for value, g, _delta in samples],
+            "count": count,
+            "sum": total,
+        }
+        if count:
+            state["min"] = lo
+            state["max"] = hi
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`to_state` output.
+
+        The reconstruction inserts each sample with its preserved rank
+        span (``g``) — exactly what :meth:`merge` does with a live
+        sketch — so counts stay exact and rank error degrades no
+        faster than under an ordinary merge.
+        """
+        sketch = cls()
+        count = state["count"]
+        if count:
+            with sketch._lock:
+                for value, g in state["samples"]:
+                    sketch._insert_weighted_locked(value, g)
+                sketch._count_check()
+                sketch._sum = state["sum"]
+                sketch._min = state["min"]
+                sketch._max = state["max"]
+                sketch._compress_locked()
+        return sketch
+
     def _invariant(self, rank: float, n: int) -> float:
         """Allowed rank span ``f(rank, n)`` of a sample at ``rank``."""
         span = math.inf

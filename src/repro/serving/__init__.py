@@ -15,12 +15,22 @@ Entry point::
     result = service.query(RouteQuery(-37.81, 144.96, -37.75, 145.00))
     result.route_sets["D"]                           # Penalty's routes
     result.errors                                    # {} unless degraded
+
+Multi-process deployment (one worker per city over mmap'd snapshots)::
+
+    from repro.serving import ShardRouter, ShardSpec
+
+    with ShardRouter([ShardSpec("melbourne", "mel.rprn")]) as router:
+        router.route(RouteRequest(...))              # routed by source
 """
 
 from repro.exceptions import (
     CircuitOpenError,
     PlanningTimeout,
     ServiceOverloadedError,
+    ShardCrashedError,
+    ShardError,
+    ShardUnavailableError,
     TrafficUpdateError,
 )
 from repro.serving.cache import (
@@ -29,6 +39,7 @@ from repro.serving.cache import (
     CacheStats,
     RouteCache,
 )
+from repro.serving.frontend import ShardFrontend
 from repro.serving.live import (
     DEFAULT_EPOCH_HISTORY,
     DEFAULT_FEED_BREAKER_THRESHOLD,
@@ -37,6 +48,17 @@ from repro.serving.live import (
     BatchOutcome,
     LiveTrafficController,
     TrafficEvent,
+)
+from repro.serving.loadgen import (
+    FaultAction,
+    LoadResult,
+    RampResult,
+    find_max_sustainable_rps,
+    router_target,
+    run_open_loop,
+    sample_queries,
+    service_target,
+    services_target,
 )
 from repro.serving.metrics import (
     Counter,
@@ -56,6 +78,14 @@ from repro.serving.resilience import (
     InflightGate,
     active_deadline,
     deadline_scope,
+)
+from repro.serving.shard import (
+    SHARD_DEGRADED,
+    SHARD_FAILED,
+    SHARD_READY,
+    ShardHandle,
+    ShardRouter,
+    ShardSpec,
 )
 from repro.serving.service import (
     DEFAULT_BREAKER_COOLDOWN_S,
@@ -89,24 +119,43 @@ __all__ = [
     "DEFAULT_MAX_WORKERS",
     "DEFAULT_TIMEOUT_S",
     "Deadline",
+    "FaultAction",
     "FaultInjectingPlanner",
     "Histogram",
     "INVALIDATION_CAUSES",
     "InflightGate",
     "LiveTrafficController",
+    "LoadResult",
     "MetricsRegistry",
     "PlanningTimeout",
     "QUARANTINE_REASONS",
     "ROUTE_API_VERSION",
+    "RampResult",
     "RouteCache",
     "RouteQuery",
     "RouteRequest",
     "RouteResponse",
     "RouteService",
+    "SHARD_DEGRADED",
+    "SHARD_FAILED",
+    "SHARD_READY",
     "ServiceOverloadedError",
     "ServiceResult",
+    "ShardCrashedError",
+    "ShardError",
+    "ShardFrontend",
+    "ShardHandle",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardUnavailableError",
     "TrafficEvent",
     "TrafficUpdateError",
     "active_deadline",
     "deadline_scope",
+    "find_max_sustainable_rps",
+    "router_target",
+    "run_open_loop",
+    "sample_queries",
+    "service_target",
+    "services_target",
 ]

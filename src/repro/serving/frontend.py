@@ -1,0 +1,251 @@
+"""Asyncio HTTP front end over the sharded worker pool.
+
+One event loop accepts every connection and dispatches requests to the
+per-city worker processes through
+:class:`~repro.serving.shard.ShardRouter`; the blocking queue
+round-trip runs in the loop's default executor so slow shards never
+stall the accept loop or each other.  The surface mirrors the
+single-process webapp where it overlaps:
+
+``POST /api/route``
+    Body: the flat versioned RouteRequest JSON.  Routed by the source
+    coordinate's containing shard, or pinned with ``?city=<name>``.
+    Worker/typed errors map onto the same status codes the webapp
+    uses — 400 for bad queries, 503 + ``Retry-After`` while a shard is
+    degraded, 502 when the worker died mid-request.
+``GET /metrics``
+    Fleet-wide JSON: every worker registry folded through
+    :meth:`~repro.serving.metrics.MetricsRegistry.merge`, plus a
+    per-shard state block.
+``GET /metrics/prometheus``
+    Same, in Prometheus text format (including shard gauges).
+``GET /healthz``
+    200 while every shard is ready; 503 with the degraded shard list
+    (and each shard's respawn ETA) otherwise — other cities keep
+    serving while one shard recovers.
+
+The HTTP layer is deliberately tiny (request line + headers +
+content-length body over asyncio streams); it exists so ``repro serve
+--shards`` needs no web framework, not to be a general server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import (
+    QueryError,
+    ReproError,
+    ServiceOverloadedError,
+    ShardCrashedError,
+    ShardUnavailableError,
+)
+from repro.serving.shard import ShardRouter
+
+logger = logging.getLogger("repro.serving.frontend")
+
+#: Largest request body accepted (a route request is ~200 bytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ShardFrontend:
+    """Serve a :class:`ShardRouter` over asyncio HTTP."""
+
+    def __init__(self, router: ShardRouter) -> None:
+        self.router = router
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- request handling ---------------------------------------------------
+
+    async def handle_route(self, body: Dict, query: Dict) -> Tuple[int, Dict]:
+        city = query.get("city", [None])[0]
+        loop = asyncio.get_running_loop()
+        try:
+            out = await loop.run_in_executor(
+                None, lambda: self.router.route(body, city=city)
+            )
+        except ShardUnavailableError as exc:
+            return 503, {
+                "error": str(exc),
+                "type": "ShardUnavailableError",
+                "city": exc.city,
+                "retry_after_s": exc.retry_after_s,
+            }
+        except ShardCrashedError as exc:
+            return 502, {
+                "error": str(exc),
+                "type": "ShardCrashedError",
+                "city": exc.city,
+            }
+        except ServiceOverloadedError as exc:
+            return 503, {"error": str(exc), "type": type(exc).__name__}
+        except QueryError as exc:
+            return 400, {"error": str(exc), "type": type(exc).__name__}
+        except ReproError as exc:
+            return 500, {"error": str(exc), "type": type(exc).__name__}
+        payload = dict(out["response"])
+        payload["city"] = out["city"]
+        if out.get("epoch") is not None:
+            payload["epoch"] = out["epoch"]
+        return 200, payload
+
+    async def handle_metrics(self) -> Tuple[int, Dict]:
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None, self.router.metrics_payload
+        )
+        return 200, payload
+
+    async def handle_healthz(self) -> Tuple[int, Dict]:
+        payload = self.router.healthz_payload()
+        return (200 if payload["status"] == "ok" else 503), payload
+
+    # -- the HTTP shim ------------------------------------------------------
+
+    async def _client(self, reader, writer) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    return
+                try:
+                    method, target, _version = (
+                        request_line.decode("latin-1").split(maxsplit=2)
+                    )
+                except ValueError:
+                    await self._reply(
+                        writer, 400, {"error": "malformed request line"}
+                    )
+                    return
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _sep, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0) or 0)
+                if length > MAX_BODY_BYTES:
+                    await self._reply(
+                        writer, 413, {"error": "request body too large"}
+                    )
+                    return
+                raw_body = await reader.readexactly(length) if length else b""
+                status, payload, content_type = await self._dispatch(
+                    method, target, raw_body
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                await self._reply(
+                    writer, status, payload,
+                    content_type=content_type, keep_alive=keep_alive,
+                )
+                if not keep_alive:
+                    return
+        except (
+            asyncio.IncompleteReadError, ConnectionError, TimeoutError
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - teardown race
+                pass
+
+    async def _dispatch(self, method: str, target: str, raw_body: bytes):
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+        if method == "POST" and path == "/api/route":
+            try:
+                body = json.loads(raw_body.decode("utf-8") or "{}")
+            except (ValueError, UnicodeDecodeError):
+                return 400, {"error": "request body is not valid JSON"}, None
+            if not isinstance(body, dict):
+                return 400, {"error": "request body must be an object"}, None
+            status, payload = await self.handle_route(body, query)
+            return status, payload, None
+        if method == "GET" and path == "/metrics":
+            status, payload = await self.handle_metrics()
+            return status, payload, None
+        if method == "GET" and path == "/metrics/prometheus":
+            loop = asyncio.get_running_loop()
+            text = await loop.run_in_executor(
+                None, self.router.prometheus_payload
+            )
+            return 200, text, "text/plain; version=0.0.4"
+        if method == "GET" and path == "/healthz":
+            status, payload = await self.handle_healthz()
+            return status, payload, None
+        return 404, {"error": f"no handler for {method} {parts.path}"}, None
+
+    async def _reply(
+        self, writer, status: int, payload,
+        content_type: Optional[str] = None, keep_alive: bool = True,
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            ctype = content_type or "text/plain; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            ctype = content_type or "application/json"
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            413: "Payload Too Large", 502: "Bad Gateway",
+            503: "Service Unavailable",
+        }.get(status, "OK")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if status == 503 and isinstance(payload, dict):
+            retry_after = payload.get("retry_after_s")
+            if retry_after:
+                head.append(f"Retry-After: {max(1, int(retry_after + 0.5))}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8081):
+        """Bind and start accepting (router must already be started)."""
+        self._server = await asyncio.start_server(self._client, host, port)
+        sockets = self._server.sockets or []
+        bound = sockets[0].getsockname() if sockets else (host, port)
+        logger.info(
+            "shard front end listening on %s:%s (%d shards)",
+            bound[0], bound[1], len(self.router.cities),
+        )
+        return self._server
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def run_forever(
+        self, host: str = "127.0.0.1", port: int = 8081
+    ) -> None:
+        """Blocking entry point (``repro serve --shards``)."""
+
+        async def _main() -> None:
+            server = await self.start(host, port)
+            async with server:
+                await server.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass

@@ -1,0 +1,470 @@
+"""Open-loop load generation against the serving layer.
+
+A closed-loop harness (N workers, each issuing its next query the
+moment the last one returns) measures the *server's* pace, not the
+offered load's: under overload a closed loop politely slows down and
+the tail it reports is a fiction.  This module drives the serving
+layer **open-loop**: arrival times are drawn from a seeded Poisson
+process up front and every request is timed from its *scheduled
+arrival*, so queueing delay — the thing that actually blows up a p999
+under saturation — lands in the measured latency where it belongs
+(the coordinated-omission correction).
+
+The generator is target-agnostic.  A *target* is any callable taking
+one :class:`~repro.serving.query.RouteRequest` and returning anything
+(the return value is discarded); :func:`router_target` adapts a
+:class:`~repro.serving.shard.ShardRouter`, :func:`service_target` an
+in-process :class:`~repro.serving.service.RouteService` — the pair the
+sharded-vs-single-process bench compares.
+
+Three layers:
+
+* :func:`sample_queries` — seeded, mixed-city query sampling over one
+  or more networks (the three-city traffic mix of the study).
+* :func:`run_open_loop` — one measured window at a fixed offered rate,
+  with an optional *fault plan* (timed callbacks, e.g. SIGKILL a
+  worker mid-run) and client-side retry of typed shard errors so
+  availability during a respawn window is a property of the retry
+  budget, not luck.
+* :func:`find_max_sustainable_rps` — geometric ramp until a window
+  fails the sustainability criteria (achieved/offered ratio, p99 SLO,
+  availability floor), reporting the last sustained rate.
+
+Everything is seeded and stdlib-only; ``repro loadgen`` and
+``benchmarks/bench_load.py`` are thin wrappers over these functions.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    ConfigurationError,
+    QueryError,
+    ReproError,
+    ShardCrashedError,
+    ShardUnavailableError,
+)
+from repro.observability.sketch import QuantileSketch
+from repro.serving.query import RouteRequest
+
+#: Default per-request retry budget (seconds) for typed shard errors.
+#: Sized to cover one worker respawn at the default backoff base.
+DEFAULT_RETRY_BUDGET_S = 10.0
+
+#: Quantiles reported by :meth:`LoadResult.to_payload`.
+REPORT_QUANTILES = (0.50, 0.95, 0.99, 0.999)
+
+#: Error classes the open loop retries (the shard is expected back) —
+#: everything else fails the request on first raise.
+_RETRYABLE = (ShardUnavailableError, ShardCrashedError)
+
+
+#: A load target: ``(city, request) -> anything``.  The city is the
+#: sampled query's intended shard; single-service targets ignore it.
+Target = Callable[[str, RouteRequest], object]
+
+
+def router_target(router, city: Optional[str] = None) -> Target:
+    """Adapt a :class:`~repro.serving.shard.ShardRouter` as a target.
+
+    Requests are pinned to the sampled query's city (or ``city`` when
+    given), matching a client that knows which deployment it talks to;
+    pass ``city=""`` to force the router's geo-resolution instead.
+    """
+
+    def call(query_city: str, request: RouteRequest):
+        pin = query_city if city is None else (city or None)
+        return router.route(request, city=pin)
+
+    return call
+
+
+def service_target(service) -> Target:
+    """Adapt one in-process RouteService as a target (the baseline)."""
+
+    def call(_city: str, request: RouteRequest):
+        return service.query(request.to_query())
+
+    return call
+
+
+def services_target(services: Mapping[str, object]) -> Target:
+    """Adapt per-city in-process services (the unsharded multi-city
+    baseline: same dispatch-by-city semantics as the router, no
+    process boundary)."""
+
+    def call(city: str, request: RouteRequest):
+        try:
+            service = services[city]
+        except KeyError:
+            raise QueryError(
+                f"no service for city {city!r} "
+                f"(have {sorted(services)})"
+            ) from None
+        return service.query(request.to_query())
+
+    return call
+
+
+def sample_queries(
+    networks: Mapping[str, object],
+    count: int,
+    seed: int = 0,
+    mix: Optional[Mapping[str, float]] = None,
+) -> List[Tuple[str, RouteRequest]]:
+    """Seeded ``(city, request)`` pairs mixing traffic across cities.
+
+    ``mix`` gives per-city weights (default: uniform across
+    ``networks``); node pairs are drawn uniformly per city with
+    source != target.  Sampling is deterministic in ``seed`` and the
+    (sorted) city set, independent of dict iteration order.
+    """
+    if not networks:
+        raise ConfigurationError("sample_queries needs at least one network")
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    cities = sorted(networks)
+    weights = [float(mix[city]) if mix else 1.0 for city in cities]
+    if mix is not None:
+        missing = [city for city in cities if city not in mix]
+        if missing:
+            raise ConfigurationError(
+                f"mix is missing weights for {missing}"
+            )
+    rng = random.Random(f"loadgen:{seed}")
+    queries: List[Tuple[str, RouteRequest]] = []
+    while len(queries) < count:
+        city = rng.choices(cities, weights=weights)[0]
+        network = networks[city]
+        source = network.node(rng.randrange(network.num_nodes))
+        target = network.node(rng.randrange(network.num_nodes))
+        if source.id == target.id:
+            continue
+        queries.append(
+            (
+                city,
+                RouteRequest(
+                    source_lat=source.lat,
+                    source_lon=source.lon,
+                    target_lat=target.lat,
+                    target_lon=target.lon,
+                ),
+            )
+        )
+    return queries
+
+
+@dataclass
+class FaultAction:
+    """One timed action of a fault plan (offset from window start)."""
+
+    at_s: float
+    action: Callable[[], object]
+    label: str = "fault"
+    fired: bool = False
+
+
+@dataclass
+class LoadResult:
+    """Everything one measured open-loop window produced."""
+
+    offered_rps: float
+    duration_s: float
+    sent: int = 0
+    ok: int = 0
+    #: error type name -> count; QueryError is a client error and does
+    #: not count against availability (the HTTP-4xx convention).
+    errors: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    latency: QuantileSketch = field(default_factory=QuantileSketch)
+    faults: List[str] = field(default_factory=list)
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def client_errors(self) -> int:
+        return self.errors.get("QueryError", 0)
+
+    @property
+    def server_errors(self) -> int:
+        return sum(
+            count for name, count in self.errors.items()
+            if name != "QueryError"
+        )
+
+    @property
+    def availability(self) -> float:
+        """ok / (ok + server errors) — client errors don't count."""
+        denominator = self.ok + self.server_errors
+        return self.ok / denominator if denominator else 1.0
+
+    def quantile(self, q: float) -> float:
+        return self.latency.quantile(q)
+
+    def to_payload(self) -> Dict:
+        """JSON-ready summary (the ``repro loadgen`` output shape)."""
+        payload: Dict = {
+            "offered_rps": round(self.offered_rps, 3),
+            "achieved_rps": round(self.achieved_rps, 3),
+            "duration_s": round(self.duration_s, 3),
+            "sent": self.sent,
+            "ok": self.ok,
+            "errors": dict(sorted(self.errors.items())),
+            "retries": self.retries,
+            "availability": round(self.availability, 6),
+        }
+        if self.latency.count:
+            payload["latency_s"] = {
+                f"p{100 * q:g}".replace(".", ""): round(
+                    self.latency.quantile(q), 6
+                )
+                for q in REPORT_QUANTILES
+            }
+        if self.faults:
+            payload["faults"] = list(self.faults)
+        return payload
+
+
+def _arrival_offsets(
+    rate_rps: float, duration_s: float, rng: random.Random
+) -> List[float]:
+    """Poisson arrival offsets within ``[0, duration_s)``."""
+    offsets: List[float] = []
+    t = rng.expovariate(rate_rps)
+    while t < duration_s:
+        offsets.append(t)
+        t += rng.expovariate(rate_rps)
+    return offsets
+
+
+def run_open_loop(
+    target: Target,
+    queries: Sequence[Tuple[str, RouteRequest]],
+    rate_rps: float,
+    duration_s: float,
+    *,
+    seed: int = 0,
+    max_workers: int = 16,
+    retry_budget_s: float = DEFAULT_RETRY_BUDGET_S,
+    fault_plan: Optional[Sequence[FaultAction]] = None,
+) -> LoadResult:
+    """One measured window of Poisson arrivals at ``rate_rps``.
+
+    Arrival times are drawn up front from ``seed``; a dispatcher
+    thread fires each request into a worker pool at its scheduled
+    time regardless of how many are still in flight (the open loop).
+    Latency is measured scheduled-arrival -> completion, so time a
+    request spends queued behind a saturated pool or a degraded shard
+    is *in* the number.
+
+    Typed shard errors (:class:`ShardUnavailableError`,
+    :class:`ShardCrashedError`) are retried with the error's own
+    ``retry_after_s`` hint until ``retry_budget_s`` is exhausted —
+    the client behaviour the operations runbook prescribes — so a
+    worker respawn costs latency, not availability.
+
+    ``fault_plan`` actions run on the dispatcher thread at their
+    scheduled offsets (e.g. ``router.kill_worker`` mid-window).
+    """
+    if rate_rps <= 0:
+        raise ConfigurationError(f"rate_rps must be > 0, got {rate_rps}")
+    if duration_s <= 0:
+        raise ConfigurationError(
+            f"duration_s must be > 0, got {duration_s}"
+        )
+    if not queries:
+        raise ConfigurationError("run_open_loop needs a non-empty query set")
+
+    rng = random.Random(f"loadgen-arrivals:{seed}")
+    offsets = _arrival_offsets(rate_rps, duration_s, rng)
+    plan = sorted(fault_plan or [], key=lambda action: action.at_s)
+
+    result = LoadResult(offered_rps=rate_rps, duration_s=duration_s)
+    lock = threading.Lock()
+
+    def fire(city: str, request: RouteRequest, scheduled: float) -> None:
+        deadline = time.monotonic() + retry_budget_s
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                target(city, request)
+            except _RETRYABLE as exc:
+                wait = max(getattr(exc, "retry_after_s", 0.0) or 0.0, 0.05)
+                if time.monotonic() + wait > deadline:
+                    with lock:
+                        name = type(exc).__name__
+                        result.errors[name] = result.errors.get(name, 0) + 1
+                        result.retries += attempts - 1
+                    return
+                time.sleep(wait)
+                continue
+            except QueryError:
+                with lock:
+                    result.errors["QueryError"] = (
+                        result.errors.get("QueryError", 0) + 1
+                    )
+                    result.retries += attempts - 1
+                return
+            except ReproError as exc:
+                with lock:
+                    name = type(exc).__name__
+                    result.errors[name] = result.errors.get(name, 0) + 1
+                    result.retries += attempts - 1
+                return
+            elapsed = time.monotonic() - scheduled
+            with lock:
+                result.ok += 1
+                result.retries += attempts - 1
+            result.latency.observe(elapsed)
+            return
+
+    started = time.monotonic()
+    plan_index = 0
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        for index, offset in enumerate(offsets):
+            while (
+                plan_index < len(plan)
+                and plan[plan_index].at_s <= offset
+            ):
+                action = plan[plan_index]
+                action.action()
+                action.fired = True
+                with lock:
+                    result.faults.append(
+                        f"{action.label}@{action.at_s:.2f}s"
+                    )
+                plan_index += 1
+            now = time.monotonic() - started
+            if offset > now:
+                time.sleep(offset - now)
+            city, request = queries[index % len(queries)]
+            scheduled = started + offset
+            result.sent += 1
+            pool.submit(fire, city, request, scheduled)
+        # Late fault actions (scheduled after the last arrival) still
+        # fire before the pool drains, so a kill at 0.9 * duration is
+        # honoured even if arrivals thin out.
+        while plan_index < len(plan):
+            action = plan[plan_index]
+            now = time.monotonic() - started
+            if action.at_s > now:
+                time.sleep(action.at_s - now)
+            action.action()
+            action.fired = True
+            with lock:
+                result.faults.append(f"{action.label}@{action.at_s:.2f}s")
+            plan_index += 1
+    return result
+
+
+@dataclass
+class RampStep:
+    """One rung of the max-sustainable-RPS ramp."""
+
+    rate_rps: float
+    result: LoadResult
+    sustained: bool
+    reason: str
+
+
+@dataclass
+class RampResult:
+    """Outcome of :func:`find_max_sustainable_rps`."""
+
+    max_sustainable_rps: float
+    steps: List[RampStep]
+
+    def to_payload(self) -> Dict:
+        return {
+            "max_sustainable_rps": round(self.max_sustainable_rps, 3),
+            "steps": [
+                {
+                    "rate_rps": round(step.rate_rps, 3),
+                    "sustained": step.sustained,
+                    "reason": step.reason,
+                    **step.result.to_payload(),
+                }
+                for step in self.steps
+            ],
+        }
+
+
+def find_max_sustainable_rps(
+    target: Target,
+    queries: Sequence[Tuple[str, RouteRequest]],
+    *,
+    start_rps: float = 2.0,
+    growth: float = 1.6,
+    max_steps: int = 8,
+    duration_s: float = 5.0,
+    seed: int = 0,
+    max_workers: int = 16,
+    achieved_ratio: float = 0.85,
+    p99_slo_s: Optional[float] = None,
+    availability_floor: float = 0.99,
+) -> RampResult:
+    """Geometric ramp until a window stops being sustainable.
+
+    A window *sustains* its offered rate when the achieved/offered
+    ratio stays above ``achieved_ratio``, availability above
+    ``availability_floor``, and (if given) p99 under ``p99_slo_s``.
+    The breaker and load-shedding paths stay engaged throughout —
+    shed requests count as server errors, which is exactly how a
+    saturated deployment fails the availability criterion.
+
+    Returns the last sustained rate (0.0 if even ``start_rps`` fails)
+    plus every step's full :class:`LoadResult` for reporting.
+    """
+    if start_rps <= 0 or growth <= 1.0:
+        raise ConfigurationError(
+            f"need start_rps > 0 and growth > 1, got "
+            f"{start_rps} and {growth}"
+        )
+    steps: List[RampStep] = []
+    best = 0.0
+    rate = start_rps
+    for step_index in range(max_steps):
+        window = run_open_loop(
+            target, queries, rate, duration_s,
+            seed=seed + step_index, max_workers=max_workers,
+        )
+        reasons = []
+        if window.offered_rps > 0 and (
+            window.achieved_rps / window.offered_rps < achieved_ratio
+        ):
+            reasons.append(
+                f"achieved {window.achieved_rps:.1f}/"
+                f"{window.offered_rps:.1f} rps < {achieved_ratio:.0%}"
+            )
+        if window.availability < availability_floor:
+            reasons.append(
+                f"availability {window.availability:.4f} < "
+                f"{availability_floor}"
+            )
+        if p99_slo_s is not None and window.quantile(0.99) > p99_slo_s:
+            reasons.append(
+                f"p99 {window.quantile(0.99):.3f}s > {p99_slo_s}s"
+            )
+        sustained = not reasons
+        steps.append(
+            RampStep(
+                rate_rps=rate,
+                result=window,
+                sustained=sustained,
+                reason="sustained" if sustained else "; ".join(reasons),
+            )
+        )
+        if not sustained:
+            break
+        best = rate
+        rate *= growth
+    return RampResult(max_sustainable_rps=best, steps=steps)

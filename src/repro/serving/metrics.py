@@ -109,6 +109,17 @@ class Histogram:
         self._sketch.merge(other._sketch)
         return self
 
+    def to_state(self) -> Dict:
+        """Picklable snapshot for cross-process transport."""
+        return self._sketch.to_state()
+
+    @classmethod
+    def from_state(cls, name: str, state: Dict) -> "Histogram":
+        """Rebuild a histogram shipped from another process."""
+        histogram = cls(name)
+        histogram._sketch = QuantileSketch.from_state(state)
+        return histogram
+
     def to_payload(self) -> Dict[str, float]:
         """JSON-ready summary for ``/metrics``."""
         count = self._sketch.count
@@ -188,6 +199,40 @@ class MetricsRegistry:
         for name, histogram in histograms.items():
             self.histogram(name).merge(histogram)
         return self
+
+    def to_state(self) -> Dict[str, Dict]:
+        """Picklable snapshot of every metric for process transport.
+
+        Workers serialise their private registry with this; the parent
+        rebuilds via :meth:`from_state` and folds the result into its
+        aggregate with :meth:`merge` — the ``/metrics`` fan-in path of
+        the sharded front end.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counter.value for name, counter in counters.items()
+            },
+            "histograms": {
+                name: histogram.to_state()
+                for name, histogram in histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Dict]) -> "MetricsRegistry":
+        """Rebuild a registry shipped from another process."""
+        registry = cls()
+        for name, value in state.get("counters", {}).items():
+            registry.counter(name).inc(value)
+        with registry._lock:
+            for name, sketch_state in state.get("histograms", {}).items():
+                registry._histograms[name] = Histogram.from_state(
+                    name, sketch_state
+                )
+        return registry
 
     def snapshot(self) -> Dict[str, Dict]:
         """All metrics as one JSON-ready payload."""

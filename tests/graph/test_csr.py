@@ -99,9 +99,9 @@ class TestSnapshots:
         assert list(restored.nodes()) == list(melbourne_small.nodes())
         assert list(restored.edges()) == list(melbourne_small.edges())
 
-    def test_loaded_network_has_no_csr_attached(self, tmp_path, grid10):
+    def test_loaded_v2_network_has_no_csr_attached(self, tmp_path, grid10):
         path = tmp_path / "grid.snap"
-        save_snapshot(grid10, path)
+        save_snapshot(grid10, path, version=2)
         assert attached_csr(load_snapshot(path)) is None
 
     def test_snapshot_info_reads_header_only(self, tmp_path, grid10):
@@ -155,7 +155,13 @@ class TestSnapshots:
 
 
 class TestChSections:
-    """The v2 tagged-section block carrying the contraction hierarchy."""
+    """The v2 tagged-section block carrying the contraction hierarchy.
+
+    Saves pin ``version=2`` — the streamed layout these tests poke at
+    byte-by-byte; the v3 array-directory layout has its own tier
+    (``TestV3Snapshots`` here, ``tests/test_properties_mmap.py`` for
+    the fuzzed round-trips).
+    """
 
     @pytest.fixture()
     def contracted(self):
@@ -172,7 +178,7 @@ class TestChSections:
         import repro.core.ch as ch_module
 
         path = tmp_path / "ch.snap"
-        save_snapshot(contracted, path)
+        save_snapshot(contracted, path, version=2)
         # Any contraction on load would be a regression: the hierarchy
         # must come back from the section bytes alone.
         monkeypatch.setattr(
@@ -194,21 +200,21 @@ class TestChSections:
         self, tmp_path, contracted, grid10
     ):
         with_ch = tmp_path / "with.snap"
-        save_snapshot(contracted, with_ch)
+        save_snapshot(contracted, with_ch, version=2)
         info = snapshot_info(with_ch)
-        assert info["version"] == SNAPSHOT_VERSION
+        assert info["version"] == 2
         assert set(info["sections"]) == {"ch"}
         assert info["sections"]["ch"] > 0
 
         without = tmp_path / "without.snap"
-        save_snapshot(grid10, without)
+        save_snapshot(grid10, without, version=2)
         assert snapshot_info(without)["sections"] == {}
 
     def test_truncated_ch_section_raises_typed_error(
         self, tmp_path, contracted
     ):
         buffer = io.BytesIO()
-        save_snapshot(contracted, buffer)
+        save_snapshot(contracted, buffer, version=2)
         payload = buffer.getvalue()
         path = tmp_path / "cut.snap"
         # Cut into the middle of the CH payload (the file's tail).
@@ -220,7 +226,7 @@ class TestChSections:
 
     def test_unknown_section_tags_are_skipped(self, tmp_path, contracted):
         buffer = io.BytesIO()
-        save_snapshot(contracted, buffer)
+        save_snapshot(contracted, buffer, version=2)
         payload = bytearray(buffer.getvalue())
         # Rewrite the CH tag (first CHI1 occurrence: the section
         # header) to an unknown tag; the loader must hop over the
@@ -240,7 +246,7 @@ class TestChSections:
         self, tmp_path, contracted
     ):
         buffer = io.BytesIO()
-        save_snapshot(contracted, buffer)
+        save_snapshot(contracted, buffer, version=2)
         payload = bytearray(buffer.getvalue())
         tag_at = payload.find(b"CHI1")
         # Poison the rank array (first section field after the arc
@@ -251,3 +257,202 @@ class TestChSections:
         path.write_bytes(bytes(payload))
         with pytest.raises(SnapshotError):
             load_snapshot(path)
+
+
+class TestV3Snapshots:
+    """The v3 mmap-able array-directory layout."""
+
+    @pytest.fixture()
+    def accelerated(self):
+        from repro.cities import melbourne
+        from repro.core.alt import ensure_landmarks
+        from repro.core.ch import ensure_hierarchy
+
+        network = melbourne(size="small")
+        ensure_landmarks(network, count=4, seed=7)
+        ensure_hierarchy(network)
+        return network
+
+    def test_default_version_is_3(self, tmp_path, grid10):
+        path = tmp_path / "grid.snap"
+        save_snapshot(grid10, path)
+        assert snapshot_info(path)["version"] == 3 == SNAPSHOT_VERSION
+
+    def test_v3_load_attaches_csr(self, tmp_path, grid10):
+        path = tmp_path / "grid.snap"
+        save_snapshot(grid10, path)
+        restored = load_snapshot(path)
+        csr = attached_csr(restored)
+        assert csr is not None
+        reference = ensure_csr(grid10)
+        assert list(csr.fwd_targets) == list(reference.fwd_targets)
+        assert list(csr.fwd_offsets) == list(reference.fwd_offsets)
+        assert list(csr.bwd_weights) == list(reference.bwd_weights)
+
+    def test_v3_round_trips_landmarks_and_hierarchy(
+        self, tmp_path, accelerated, monkeypatch
+    ):
+        import repro.core.alt as alt_module
+        import repro.core.ch as ch_module
+
+        path = tmp_path / "acc.snap"
+        save_snapshot(accelerated, path)
+        monkeypatch.setattr(
+            ch_module, "build_hierarchy",
+            lambda *a, **k: pytest.fail("v3 load re-contracted"),
+        )
+        monkeypatch.setattr(
+            alt_module, "build_landmarks",
+            lambda *a, **k: pytest.fail("v3 load rebuilt landmarks"),
+        )
+        restored = load_snapshot(path)
+        csr = attached_csr(restored)
+        original = attached_csr(accelerated)
+        assert csr.landmarks is not None
+        assert tuple(csr.landmarks.landmarks) == original.landmarks.landmarks
+        assert csr.landmarks.seed == original.landmarks.seed
+        for got, want in zip(
+            csr.landmarks.dist_from, original.landmarks.dist_from
+        ):
+            assert list(got) == list(want)
+        assert csr.hierarchy is not None
+        assert csr.hierarchy.num_arcs == original.hierarchy.num_arcs
+        assert csr.hierarchy.shortest_path_nodes(
+            0, 100
+        ) == original.hierarchy.shortest_path_nodes(0, 100)
+
+    def test_map_snapshot_is_zero_copy(self, tmp_path, accelerated):
+        import mmap as mmap_module
+
+        from repro.graph.csr import map_snapshot
+
+        path = tmp_path / "acc.snap"
+        save_snapshot(accelerated, path)
+        snap = map_snapshot(path)
+        csr = snap.csr
+        for view in (
+            csr.fwd_offsets, csr.fwd_targets, csr.fwd_edge_ids,
+            csr.fwd_weights, csr.bwd_offsets, csr.bwd_targets,
+            csr.bwd_edge_ids, csr.bwd_weights,
+            csr.hierarchy.rank, csr.hierarchy.arc_weights,
+        ):
+            # Every flat array is a memoryview cast whose backing
+            # object is the mmap itself — no bytes were copied.
+            assert isinstance(view, memoryview)
+            assert isinstance(view.obj, mmap_module.mmap)
+        reference = ensure_csr(accelerated)
+        assert list(csr.fwd_targets) == list(reference.fwd_targets)
+        tree_a = csr_dijkstra(accelerated, reference, 0)
+        tree_b = csr_dijkstra(snap.network, csr, 0)
+        assert tree_a.dist == tree_b.dist
+        assert tree_a.parent_edge == tree_b.parent_edge
+
+    def test_same_file_mapped_twice_shares_pages(self, tmp_path, grid10):
+        """Regression: two maps of one file must be MAP_SHARED — the
+        kernel then backs both with the same page-cache pages (no
+        double RSS), which is the whole point of the mmap path."""
+        from repro.graph.csr import map_snapshot
+
+        path = tmp_path / "grid.snap"
+        save_snapshot(grid10, path)
+        snap_a = map_snapshot(path)
+        snap_b = map_snapshot(path)
+        assert snap_a.csr.fwd_targets.obj is not snap_b.csr.fwd_targets.obj
+        assert list(snap_a.csr.fwd_targets) == list(snap_b.csr.fwd_targets)
+        maps = open("/proc/self/maps").read()
+        shared = [
+            line for line in maps.splitlines()
+            if str(path) in line and line.split()[1] == "r--s"
+        ]
+        # Both mappings are read-only *shared* mappings of the file.
+        assert len(shared) >= 2, shared
+
+    def test_map_snapshot_accepts_buffers_and_mmap_objects(
+        self, tmp_path, grid10
+    ):
+        import mmap as mmap_module
+
+        from repro.graph.csr import map_snapshot
+
+        path = tmp_path / "grid.snap"
+        save_snapshot(grid10, path)
+        data = path.read_bytes()
+        snap = map_snapshot(data)
+        assert snap.num_nodes == grid10.num_nodes
+        with open(path, "rb") as handle:
+            mapping = mmap_module.mmap(
+                handle.fileno(), 0, access=mmap_module.ACCESS_READ
+            )
+        snap2 = map_snapshot(mapping)
+        assert snap2.num_edges == grid10.num_edges
+        # And the copy path accepts the same already-mapped buffer.
+        copied = load_snapshot(memoryview(mapping))
+        assert copied.num_nodes == grid10.num_nodes
+
+    def test_map_snapshot_rejects_v2_files(self, tmp_path, grid10):
+        from repro.graph.csr import map_snapshot
+
+        path = tmp_path / "grid2.snap"
+        save_snapshot(grid10, path, version=2)
+        with pytest.raises(SnapshotError, match="not mmap-able"):
+            map_snapshot(path)
+
+    def test_map_snapshot_rejects_empty_file(self, tmp_path):
+        from repro.graph.csr import map_snapshot
+
+        path = tmp_path / "empty.snap"
+        path.write_bytes(b"")
+        with pytest.raises(SnapshotError):
+            map_snapshot(path)
+
+    def test_unknown_directory_arrays_are_ignored(self, accelerated):
+        """Forward compatibility: arrays with names this build does
+        not know simply sit in the directory unused."""
+        buffer = io.BytesIO()
+        save_snapshot(accelerated, buffer)
+        payload = bytearray(buffer.getvalue())
+        # Rename the landmark anchor array; the whole alt.* group then
+        # reads as unknown names and the network loads un-accelerated.
+        at = payload.find(b"alt.nodes")
+        assert at != -1
+        payload[at : at + 9] = b"alt.zzzzz"
+        restored = load_snapshot(bytes(payload))
+        csr = attached_csr(restored)
+        assert csr is not None and csr.landmarks is None
+        assert csr.hierarchy is not None
+        # Trailing growth-room bytes after the last payload are fine.
+        payload.extend(b"\x00" * 64)
+        assert load_snapshot(bytes(payload)).num_nodes == \
+            accelerated.num_nodes
+
+    def test_misaligned_directory_offset_raises(self, tmp_path, grid10):
+        from repro.graph.csr import _DIR_ENTRY
+
+        buffer = io.BytesIO()
+        save_snapshot(grid10, buffer)
+        payload = bytearray(buffer.getvalue())
+        at = payload.find(b"node.lat")
+        assert at != -1
+        name, typecode, count, offset, nbytes = _DIR_ENTRY.unpack_from(
+            payload, at
+        )
+        _DIR_ENTRY.pack_into(
+            payload, at, name, typecode, count, offset + 1, nbytes
+        )
+        with pytest.raises(SnapshotError, match="misaligned"):
+            load_snapshot(bytes(payload))
+
+    def test_truncated_v3_payload_raises(self, tmp_path, grid10):
+        buffer = io.BytesIO()
+        save_snapshot(grid10, buffer)
+        payload = buffer.getvalue()
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(payload[: len(payload) - 64])
+
+    def test_snapshot_info_groups_v3_sections(self, tmp_path, accelerated):
+        path = tmp_path / "acc.snap"
+        save_snapshot(accelerated, path)
+        info = snapshot_info(path)
+        assert info["version"] == 3
+        assert set(info["sections"]) == {"core", "csr", "alt", "ch"}
+        assert all(size > 0 for size in info["sections"].values())
