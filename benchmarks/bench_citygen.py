@@ -1,0 +1,224 @@
+"""Streaming vs in-memory city builds: peak RSS and wall clock.
+
+The streaming pipeline's reason to exist is memory: it must build the
+same snapshot as the object pipeline while holding asymptotically less
+of the city resident.  ``ru_maxrss`` is a process-lifetime high-water
+mark, so each build runs in a *fresh child interpreter* and reports its
+own peak — the pytest process's allocations can never leak into a
+measurement, and the two modes cannot contaminate each other.
+
+Per run (one stress factor per ``REPRO_BENCH_SIZE``) the bench:
+
+* builds the stressed Melbourne lattice through both pipelines,
+* asserts the snapshots are byte-identical (sha256 across processes —
+  the equivalence property holding at sizes the unit tier skips),
+* asserts the streaming peak stays under the documented ceiling *and*
+  under the in-memory peak,
+* records RSS/time telemetry for the regression gate.
+
+The million-node "metro" preset (~1.08M nodes / 4.08M edges, measured
+~810 MB peak vs a 1.25 GiB documented budget) takes minutes, so it
+only runs when ``REPRO_BENCH_METRO=1``; ``make citygen-smoke`` runs
+the small stress tier as the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+from conftest import write_artifact
+from telemetry import BenchTelemetry, SEED, SIZE
+
+TELEMETRY = BenchTelemetry("bench_citygen")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
+
+
+#: Stress multiplier applied to the melbourne profile per bench size.
+#: These sit well above the study presets (which top out at 1.0) so
+#: the two pipelines' memory behaviour actually separates from the
+#: interpreter baseline: factor 3 is ~17k nodes / 64k edges, factor 6
+#: ~68k nodes / 253k edges, factor 12 ~286k nodes / 1.07M edges.
+STRESS_FACTORS = {"small": 3.0, "medium": 6.0, "full": 12.0}
+
+#: Documented streaming-build RSS ceilings (KB, ``ru_maxrss`` units on
+#: Linux) per stress tier — roughly 2x the measured peaks (55 MB / 114
+#: MB / 260 MB) so the gate trips on a structural regression (a full
+#: materialisation sneaking back in) without flaking on allocator
+#: variance.
+STREAM_RSS_CEILING_KB = {
+    "small": 128_000,
+    "medium": 256_000,
+    "full": 560_000,
+}
+
+#: The metro preset's documented budget: 1.25 GiB (measured ~810 MB).
+METRO_RSS_BUDGET_KB = 1_310_720
+
+#: Child interpreter code: build melbourne scaled by ``factor`` through
+#: one pipeline, write the snapshot to a temp file, report the
+#: process's own peak RSS plus a content hash.  Runs via ``python -c``
+#: so nothing of the bench process is inherited.
+_CHILD = r"""
+import hashlib, json, os, resource, sys, tempfile, time
+mode, factor, seed = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+from repro.cities import melbourne_profile
+from repro.cities.generator import CityGenerator
+profile = melbourne_profile().scaled(factor)
+fd, out = tempfile.mkstemp(suffix=".rprn")
+os.close(fd)
+started = time.perf_counter()
+if mode == "stream":
+    from repro.graph.assemble import StreamingCsrAssembler
+    from repro.osm.streaming import iter_osm_events, write_osm_xml_stream
+    fd, spool = tempfile.mkstemp(suffix=".osm.xml")
+    os.close(fd)
+    with open(spool, "w", encoding="utf-8") as handle:
+        write_osm_xml_stream(
+            CityGenerator(profile, seed=seed).iter_events(), handle
+        )
+    assembler = StreamingCsrAssembler(name=profile.name)
+    with open(spool, "rb") as handle:
+        assembler.consume(iter_osm_events(handle))
+    os.unlink(spool)
+    graph = assembler.finish()
+    graph.write_snapshot(out)
+    num_nodes, num_edges = graph.num_nodes, graph.num_edges
+elif mode == "inmem":
+    from repro.graph.csr import save_snapshot
+    from repro.osm.constructor import RoadNetworkConstructor
+    from repro.osm.parser import parse_osm_xml, write_osm_xml
+    generator = CityGenerator(profile, seed=seed)
+    document = parse_osm_xml(write_osm_xml(generator.generate_document()))
+    network = RoadNetworkConstructor(bbox=document.bounds).construct(
+        document, name=profile.name
+    )
+    save_snapshot(network, out)
+    num_nodes, num_edges = network.num_nodes, network.num_edges
+else:
+    raise SystemExit(f"unknown mode {mode!r}")
+elapsed = time.perf_counter() - started
+digest = hashlib.sha256()
+with open(out, "rb") as handle:
+    for chunk in iter(lambda: handle.read(1 << 20), b""):
+        digest.update(chunk)
+snapshot_bytes = os.path.getsize(out)
+os.unlink(out)
+print(json.dumps({
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "nodes": num_nodes,
+    "edges": num_edges,
+    "sha256": digest.hexdigest(),
+    "snapshot_bytes": snapshot_bytes,
+    "elapsed_s": elapsed,
+}))
+"""
+
+
+def _measure(mode: str, factor: float, seed: int = SEED) -> dict:
+    """Run one build in a fresh interpreter; return its self-report."""
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(factor), str(seed)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+def test_bench_citygen_stream_vs_inmemory(benchmark):
+    factor = STRESS_FACTORS.get(SIZE, STRESS_FACTORS["medium"])
+    ceiling_kb = STREAM_RSS_CEILING_KB.get(
+        SIZE, STREAM_RSS_CEILING_KB["medium"]
+    )
+    stream = benchmark.pedantic(
+        _measure, args=("stream", factor), rounds=1, iterations=1
+    )
+    inmem = _measure("inmem", factor)
+
+    # Cross-process equivalence: both pipelines emitted the same city.
+    assert stream["sha256"] == inmem["sha256"], (stream, inmem)
+    assert (stream["nodes"], stream["edges"]) == (
+        inmem["nodes"], inmem["edges"],
+    )
+
+    # The point of the streaming path: strictly less resident memory,
+    # and under the documented ceiling for this tier.
+    assert stream["peak_rss_kb"] < inmem["peak_rss_kb"], (stream, inmem)
+    assert stream["peak_rss_kb"] <= ceiling_kb, stream
+
+    rss_ratio = inmem["peak_rss_kb"] / stream["peak_rss_kb"]
+    lines = [
+        f"city build: melbourne x{factor:g} stress (seed {SEED}, "
+        f"{stream['nodes']} nodes, {stream['edges']} edges, "
+        f"{stream['snapshot_bytes']} snapshot bytes)",
+        f"{'mode':8s} {'peak rss':>12s} {'build':>8s}",
+    ]
+    for mode, result in (("stream", stream), ("inmem", inmem)):
+        lines.append(
+            f"{mode:8s} {result['peak_rss_kb']:10d}KB "
+            f"{result['elapsed_s']:7.2f}s"
+        )
+    lines.append(
+        f"rss ratio (inmem/stream): {rss_ratio:.2f}x, "
+        f"stream ceiling: {ceiling_kb}KB"
+    )
+    write_artifact("citygen.txt", "\n".join(lines))
+
+    # RSS is allocator-stable for a fixed city, so it gates with
+    # moderate slack; wall clocks are machine-dependent and stay
+    # informational.
+    TELEMETRY.add_metric(
+        "stream_peak_rss_kb", stream["peak_rss_kb"],
+        unit="KB", direction="lower", threshold=0.5,
+    )
+    TELEMETRY.add_metric("inmem_peak_rss_kb", inmem["peak_rss_kb"], unit="KB")
+    TELEMETRY.add_metric(
+        "rss_ratio", rss_ratio, unit="x", direction="higher", threshold=0.3,
+    )
+    TELEMETRY.add_metric("stream_build_s", stream["elapsed_s"], unit="s")
+    TELEMETRY.add_metric("inmem_build_s", inmem["elapsed_s"], unit="s")
+    TELEMETRY.add_metric("nodes", stream["nodes"])
+    TELEMETRY.add_metric("edges", stream["edges"])
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_METRO"),
+    reason="metro build takes minutes; set REPRO_BENCH_METRO=1",
+)
+def test_bench_citygen_metro_under_budget():
+    """The headline claim: a ~10^6-node metro streams under 1.25 GiB."""
+    from repro.cities import SIZE_FACTORS
+
+    result = _measure("stream", SIZE_FACTORS["metro"])
+    assert result["nodes"] >= 1_000_000, result
+    assert result["peak_rss_kb"] <= METRO_RSS_BUDGET_KB, result
+    write_artifact(
+        "citygen_metro.txt",
+        "\n".join([
+            f"metro stream build: melbourne-metro (seed {SEED})",
+            f"nodes: {result['nodes']}, edges: {result['edges']}",
+            f"snapshot: {result['snapshot_bytes']} bytes",
+            f"peak rss: {result['peak_rss_kb']}KB "
+            f"(budget {METRO_RSS_BUDGET_KB}KB)",
+            f"build: {result['elapsed_s']:.1f}s",
+        ]),
+    )

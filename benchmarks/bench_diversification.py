@@ -1,0 +1,67 @@
+"""Route-diversification metrics suite (study-table analogue).
+
+For each sampled study query and approach: route count, coverage
+(metres of distinct road offered), redundancy (total route metres over
+coverage — 1.0 means no road reused) and mean pairwise dissimilarity.
+These quantify the "alternatives should be genuinely different" axis
+the paper's user ratings respond to; the hand-computable fixture values
+are pinned byte-exact in tests/experiments/test_diversification.py,
+this bench tracks the full-network numbers over time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PAPER_APPROACHES
+from repro.experiments import diversification_study
+
+from conftest import CITY, SEED, SIZE, write_artifact
+from telemetry import BenchTelemetry
+
+TELEMETRY = BenchTelemetry("bench_diversification")
+
+NUM_QUERIES = 12
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
+
+
+def test_bench_diversification(benchmark, study_network):
+    report = benchmark.pedantic(
+        diversification_study,
+        kwargs={
+            "city": CITY,
+            "size": SIZE,
+            "seed": SEED,
+            "num_queries": NUM_QUERIES,
+            "network": study_network,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert list(report.rows) == list(PAPER_APPROACHES)
+    for row in report.rows.values():
+        assert 0 < row.mean_routes <= 3.0
+        assert row.mean_redundancy >= 1.0
+        assert 0.0 <= row.mean_dissimilarity <= 1.0
+
+    write_artifact("diversification.txt", report.formatted())
+
+    overall = sum(
+        row.mean_dissimilarity for row in report.rows.values()
+    ) / len(report.rows)
+    TELEMETRY.add_metric(
+        "mean_pairwise_dissimilarity", overall,
+        direction="higher", threshold=0.25,
+    )
+    for approach, row in report.rows.items():
+        slug = approach.lower().replace(" ", "_")
+        TELEMETRY.add_metric(f"{slug}_mean_routes", row.mean_routes)
+        TELEMETRY.add_metric(
+            f"{slug}_mean_coverage_km", row.mean_coverage_km, unit="km"
+        )
+        TELEMETRY.add_metric(f"{slug}_dissimilarity", row.mean_dissimilarity)

@@ -1,0 +1,68 @@
+"""Destination-perturbation stability suite (study-table analogue).
+
+Moves each sampled query's destination ~100 m and measures, per
+approach, how much of the offered route set survives the re-plan
+(length-weighted route-set Jaccard, top-route overlap, stable rate).
+The artifact is ``stability_perturbation.txt`` — distinct from the
+seed-robustness suite's ``stability_seed.txt`` (bench_stability.py),
+which answers a different question (do the *conclusions* survive a
+different seed, not does the *route set* survive a moved pin).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PAPER_APPROACHES
+from repro.experiments import destination_perturbation
+
+from conftest import CITY, SEED, SIZE, write_artifact
+from telemetry import BenchTelemetry
+
+TELEMETRY = BenchTelemetry("bench_perturbation")
+
+NUM_QUERIES = 12
+RADIUS_M = 100.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
+
+
+def test_bench_destination_perturbation(benchmark, study_network):
+    report = benchmark.pedantic(
+        destination_perturbation,
+        kwargs={
+            "city": CITY,
+            "size": SIZE,
+            "seed": SEED,
+            "num_queries": NUM_QUERIES,
+            "radius_m": RADIUS_M,
+            "network": study_network,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert list(report.rows) == list(PAPER_APPROACHES)
+    for row in report.rows.values():
+        assert len(row.jaccards) == NUM_QUERIES
+        assert all(0.0 <= value <= 1.0 for value in row.jaccards)
+
+    write_artifact("stability_perturbation.txt", report.formatted())
+
+    # The suite is deterministic per (city, size, seed), so the gated
+    # aggregate only moves when planning behaviour moves; per-approach
+    # means stay informational for trend lines.
+    overall = sum(
+        row.mean_jaccard for row in report.rows.values()
+    ) / len(report.rows)
+    TELEMETRY.add_metric(
+        "mean_route_set_jaccard", overall,
+        direction="higher", threshold=0.25,
+    )
+    for approach, row in report.rows.items():
+        slug = approach.lower().replace(" ", "_")
+        TELEMETRY.add_metric(f"{slug}_mean_jaccard", row.mean_jaccard)
+        TELEMETRY.add_metric(f"{slug}_stable_rate", row.stable_rate)

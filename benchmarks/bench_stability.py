@@ -4,11 +4,26 @@ Runs the study across three seeds on the small network and measures how
 often each paper conclusion holds.  The robust conclusions (commercial
 engine trails overall, Plateaus wins long routes) must hold on every
 seed; the documented coin-flip cells are allowed to flip.
+
+The artifact is ``stability_seed.txt``; the destination-perturbation
+suite (bench_perturbation.py) owns ``stability_perturbation.txt`` —
+two different notions of stability, two artifacts, two BENCH keys.
 """
+
+import pytest
 
 from repro.experiments.robustness import seed_stability
 
 from conftest import write_artifact
+from telemetry import BenchTelemetry
+
+TELEMETRY = BenchTelemetry("bench_stability")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry():
+    yield
+    TELEMETRY.write()
 
 
 def test_bench_seed_stability(benchmark):
@@ -23,4 +38,17 @@ def test_bench_seed_stability(benchmark):
     assert report.winner_hold_rate["long"] == 1.0
     # MAE stays small for every seed.
     assert max(report.mean_absolute_errors) < 0.35
-    write_artifact("stability.txt", report.formatted())
+    write_artifact("stability_seed.txt", report.formatted())
+
+    TELEMETRY.add_metric(
+        "commercial_trails_rate", report.commercial_trails_rate,
+        direction="higher", threshold=0.05,
+    )
+    TELEMETRY.add_metric(
+        "winner_hold_rate_long", report.winner_hold_rate["long"],
+        direction="higher", threshold=0.05,
+    )
+    TELEMETRY.add_metric(
+        "max_mae", max(report.mean_absolute_errors),
+        direction="lower", threshold=0.5,
+    )

@@ -22,7 +22,20 @@ from repro.cities.profile import (
     dhaka_profile,
     melbourne_profile,
 )
+from repro.cities.streaming import (
+    StreamBuildReport,
+    stream_build_city,
+    stream_build_graph,
+)
 from repro.graph.network import RoadNetwork
+
+#: Name -> profile factory, for callers that need the profile itself
+#: (the streaming build path takes a profile, not a built network).
+CITY_PROFILES = {
+    "melbourne": melbourne_profile,
+    "dhaka": dhaka_profile,
+    "copenhagen": copenhagen_profile,
+}
 
 
 def melbourne(size: str = "medium", seed: int = 0) -> RoadNetwork:
@@ -49,11 +62,15 @@ CITY_BUILDERS = {
 
 __all__ = [
     "CITY_BUILDERS",
+    "CITY_PROFILES",
     "SIZE_FACTORS",
     "CityGenerator",
     "CityProfile",
+    "StreamBuildReport",
     "build_city_network",
     "build_city_network_with_restrictions",
+    "stream_build_city",
+    "stream_build_graph",
     "copenhagen",
     "copenhagen_profile",
     "dhaka",

@@ -10,14 +10,25 @@ maxspeed / lanes / oneway / name tags, which the road-network
 constructor (:mod:`repro.osm.constructor`) turns into a routable
 network through exactly the code path the paper describes for real OSM
 data.
+
+For million-node metros the document form is too fat to hold at once;
+:meth:`CityGenerator.iter_events` streams the same city — bounds, then
+nodes, ways and restrictions in document order — one element at a
+time, and :meth:`CityGenerator.generate_document` is a thin collector
+over that stream.  The internal state is kept in flat ``array`` planes
+(:class:`_PositionStore`, :class:`_ThroughIndex`) so the generator's
+own working set stays a small multiple of the lattice size, while the
+RNG call order — and therefore every seeded city, byte for byte — is
+identical to the original dict-based implementation.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.geometry import BoundingBox, LocalProjection
@@ -45,6 +56,10 @@ _FREEWAY_SPEC = (100.0, 3)
 _RING_SPEC = (80.0, 2)
 _RAMP_SPEC = (60.0, 1)
 
+#: One streamed city element: the document bounds, then nodes, ways and
+#: restriction relations in OSM-document order.
+CityEvent = Union[BoundingBox, OSMNode, OSMWay, OSMRestriction]
+
 
 @dataclass(frozen=True, slots=True)
 class _Street:
@@ -59,6 +74,225 @@ class _Street:
     bridge: bool = False
 
 
+class _PositionStore:
+    """Lattice positions held in two flat coordinate planes.
+
+    Replaces the ``Dict[int, (x, y)]`` the generator used before the
+    streaming pipeline: ``array('d')`` planes (NaN marks a dropped
+    intersection) hold a million-node lattice in ~16 MB instead of
+    hundreds of MB of tuples.  Membership, ascending-id iteration and
+    nearest-lookup tie-breaking (the smallest node id wins exact
+    distance ties — the first-seen rule of the old ascending-order dict
+    scan) are preserved exactly, which keeps every seeded city byte
+    identical.
+    """
+
+    __slots__ = (
+        "_capacity",
+        "_xs",
+        "_ys",
+        "_count",
+        "_cell_m",
+        "_grid_start",
+        "_grid_nodes",
+        "_minx",
+        "_miny",
+        "_nx",
+        "_ny",
+    )
+
+    def __init__(self, capacity: int, cell_m: float) -> None:
+        self._capacity = capacity
+        self._xs = array("d", [math.nan]) * capacity
+        self._ys = array("d", [math.nan]) * capacity
+        self._count = 0
+        self._cell_m = cell_m
+        self._grid_start: Optional[array] = None
+        self._grid_nodes: Optional[array] = None
+
+    def set(self, node_id: int, x: float, y: float) -> None:
+        index = node_id - 1
+        if math.isnan(self._xs[index]):
+            self._count += 1
+        self._xs[index] = x
+        self._ys[index] = y
+        self._grid_start = None  # nearest-lookup grid is now stale
+
+    def __contains__(self, node_id: int) -> bool:
+        return (
+            1 <= node_id <= self._capacity
+            and not math.isnan(self._xs[node_id - 1])
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+    def get(self, node_id: int) -> Tuple[float, float]:
+        if node_id not in self:
+            raise KeyError(node_id)
+        return self._xs[node_id - 1], self._ys[node_id - 1]
+
+    def iter_sorted(self) -> Iterator[Tuple[int, float, float]]:
+        """Yield ``(node_id, x, y)`` in ascending node-id order."""
+        xs, ys = self._xs, self._ys
+        for index in range(self._capacity):
+            x = xs[index]
+            if not math.isnan(x):
+                yield index + 1, x, ys[index]
+
+    # -- nearest lookup -----------------------------------------------------
+
+    def _build_grid(self) -> None:
+        """Bucket present nodes into a uniform grid (counting sort)."""
+        xs, ys = self._xs, self._ys
+        minx = miny = math.inf
+        maxx = maxy = -math.inf
+        for index in range(self._capacity):
+            x = xs[index]
+            if math.isnan(x):
+                continue
+            y = ys[index]
+            if x < minx:
+                minx = x
+            if x > maxx:
+                maxx = x
+            if y < miny:
+                miny = y
+            if y > maxy:
+                maxy = y
+        cell = self._cell_m
+        self._minx, self._miny = minx, miny
+        self._nx = max(1, int((maxx - minx) / cell) + 1)
+        self._ny = max(1, int((maxy - miny) / cell) + 1)
+        nx, ny = self._nx, self._ny
+        counts = array("q", [0]) * (nx * ny + 1)
+        for index in range(self._capacity):
+            x = xs[index]
+            if math.isnan(x):
+                continue
+            gx = int((x - minx) / cell)
+            gy = int((ys[index] - miny) / cell)
+            counts[gy * nx + gx + 1] += 1
+        for c in range(1, len(counts)):
+            counts[c] += counts[c - 1]
+        cursor = array("q", counts)
+        nodes = array("q", [0]) * self._count
+        for index in range(self._capacity):
+            x = xs[index]
+            if math.isnan(x):
+                continue
+            c = int((ys[index] - miny) / cell) * nx + int((x - minx) / cell)
+            nodes[cursor[c]] = index + 1
+            cursor[c] += 1
+        self._grid_start = counts
+        self._grid_nodes = nodes
+
+    def nearest(self, px: float, py: float) -> Optional[int]:
+        """Node id closest to ``(px, py)``; smallest id wins exact ties.
+
+        Expanding-ring search over the bucket grid: a ring is scanned
+        only while a closer node could still hide in it, so lookups are
+        O(nodes per neighbourhood) instead of a full O(n) scan.
+        """
+        if self._count == 0:
+            return None
+        if self._grid_start is None:
+            self._build_grid()
+        xs, ys = self._xs, self._ys
+        start, nodes = self._grid_start, self._grid_nodes
+        nx, ny, cell = self._nx, self._ny, self._cell_m
+        cix = min(max(int((px - self._minx) / cell), 0), nx - 1)
+        ciy = min(max(int((py - self._miny) / cell), 0), ny - 1)
+        best_id = -1
+        best_d2 = math.inf
+
+        def _scan(gx: int, gy: int) -> None:
+            nonlocal best_id, best_d2
+            c = gy * nx + gx
+            for k in range(start[c], start[c + 1]):
+                node_id = nodes[k]
+                index = node_id - 1
+                d2 = (xs[index] - px) ** 2 + (ys[index] - py) ** 2
+                if d2 < best_d2 or (d2 == best_d2 and node_id < best_id):
+                    best_d2 = d2
+                    best_id = node_id
+
+        max_r = max(cix, nx - 1 - cix, ciy, ny - 1 - ciy)
+        for r in range(max_r + 1):
+            if best_id >= 0:
+                # Any node in ring r sits at least (r - 1) cells away;
+                # stop once even that lower bound cannot beat the best.
+                reach = (r - 1) * cell
+                if reach > 0 and reach * reach > best_d2:
+                    break
+            if r == 0:
+                _scan(cix, ciy)
+                continue
+            x_lo, x_hi = cix - r, cix + r
+            y_lo, y_hi = ciy - r, ciy + r
+            for gx in range(max(x_lo, 0), min(x_hi, nx - 1) + 1):
+                if y_lo >= 0:
+                    _scan(gx, y_lo)
+                if y_hi < ny:
+                    _scan(gx, y_hi)
+            for gy in range(max(y_lo + 1, 0), min(y_hi - 1, ny - 1) + 1):
+                if x_lo >= 0:
+                    _scan(x_lo, gy)
+                if x_hi < nx:
+                    _scan(x_hi, gy)
+        return best_id if best_id >= 0 else None
+
+
+class _ThroughIndex:
+    """``node id -> street indexes through it`` without a dict of lists.
+
+    A lattice node is interior to at most a row street and a column
+    street, so two flat ``array('q')`` slots cover the common case; the
+    rare extras (ring-road interiors, hypothetical third streets) spill
+    into a small dict.  Iteration order matches the old
+    ``sorted(dict)`` exactly: ascending lattice ids first, then the
+    sorted above-lattice ids — valid because the ring/freeway id blocks
+    sit strictly above the lattice block (:meth:`CityGenerator.
+    _check_id_capacity` enforces that).
+    """
+
+    __slots__ = ("_limit", "_first", "_second", "_extra")
+
+    def __init__(self, lattice_limit: int) -> None:
+        self._limit = lattice_limit
+        self._first = array("q", [-1]) * (lattice_limit + 1)
+        self._second = array("q", [-1]) * (lattice_limit + 1)
+        self._extra: Dict[int, List[int]] = {}
+
+    def add(self, node_id: int, street_index: int) -> None:
+        if 1 <= node_id <= self._limit:
+            if self._first[node_id] < 0:
+                self._first[node_id] = street_index
+                return
+            if self._second[node_id] < 0:
+                self._second[node_id] = street_index
+                return
+        self._extra.setdefault(node_id, []).append(street_index)
+
+    def iter_through(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(node_id, street_indexes)`` in ascending node order."""
+        first, second, extra = self._first, self._second, self._extra
+        for node_id in range(1, self._limit + 1):
+            f = first[node_id]
+            if f < 0:
+                continue
+            candidates = [f]
+            s = second[node_id]
+            if s >= 0:
+                candidates.append(s)
+            overflow = extra.get(node_id)
+            if overflow:
+                candidates.extend(overflow)
+            yield node_id, candidates
+        for node_id in sorted(k for k in extra if k > self._limit):
+            yield node_id, extra[node_id]
+
+
 class CityGenerator:
     """Generates one synthetic city from a profile and a seed."""
 
@@ -68,8 +302,20 @@ class CityGenerator:
 
     # -- public API ----------------------------------------------------------
 
-    def generate_document(self) -> OSMDocument:
-        """Return the synthetic city as an OSM document."""
+    def iter_events(self) -> Iterator[CityEvent]:
+        """Stream the city in OSM-document order.
+
+        Yields the expanded :class:`BoundingBox` first (the XML writer
+        emits ``<bounds>`` before any node), then every
+        :class:`OSMNode`, :class:`OSMWay` and :class:`OSMRestriction`.
+        Consumers that persist each element as it arrives — the
+        streaming XML writer, the streaming CSR assembler — never hold
+        the whole document, which is what makes metro-scale builds fit
+        in bounded memory.  The RNG consumption order is identical to
+        :meth:`generate_document`, so both paths emit the same city
+        byte for byte.
+        """
+        self._check_id_capacity()
         # Seed with a string: string seeding is hash-randomisation-free,
         # so the same (seed, city) pair generates the same city in every
         # process.
@@ -87,15 +333,21 @@ class CityGenerator:
             streets.extend(self._ring_road(positions, extra_nodes))
         streets.extend(self._freeways(rng, positions, extra_nodes))
 
-        nodes: List[OSMNode] = []
-        for node_id, (x, y) in sorted(positions.items()):
+        def _latlon_points():
+            for _node_id, x, y in positions.iter_sorted():
+                yield projection.to_latlon(x, y)
+            for _node_id, (x, y) in sorted(extra_nodes.items()):
+                yield projection.to_latlon(x, y)
+
+        yield BoundingBox.from_points(_latlon_points()).expanded(0.002)
+
+        for node_id, x, y in positions.iter_sorted():
             lat, lon = projection.to_latlon(x, y)
-            nodes.append(OSMNode(id=node_id, lat=lat, lon=lon))
+            yield OSMNode(id=node_id, lat=lat, lon=lon)
         for node_id, (x, y) in sorted(extra_nodes.items()):
             lat, lon = projection.to_latlon(x, y)
-            nodes.append(OSMNode(id=node_id, lat=lat, lon=lon))
+            yield OSMNode(id=node_id, lat=lat, lon=lon)
 
-        ways: List[OSMWay] = []
         for index, street in enumerate(streets):
             tags = {
                 "highway": street.highway,
@@ -107,23 +359,62 @@ class CityGenerator:
                 tags["oneway"] = street.oneway
             if street.bridge:
                 tags["bridge"] = "yes"
-            ways.append(
-                OSMWay(
-                    id=_WAY_ID_BASE + index,
-                    node_refs=street.node_ids,
-                    tags=tags,
-                )
+            yield OSMWay(
+                id=_WAY_ID_BASE + index,
+                node_refs=street.node_ids,
+                tags=tags,
             )
 
-        restrictions = self._turn_restrictions(rng, streets)
-        document = OSMDocument(nodes, ways)
-        document = OSMDocument(
-            nodes,
-            ways,
-            bounds=document.computed_bounds().expanded(0.002),
-            restrictions=restrictions,
+        yield from self._turn_restrictions(rng, streets)
+
+    def generate_document(self) -> OSMDocument:
+        """Return the synthetic city as an OSM document."""
+        bounds: Optional[BoundingBox] = None
+        nodes: List[OSMNode] = []
+        ways: List[OSMWay] = []
+        restrictions: List[OSMRestriction] = []
+        for event in self.iter_events():
+            if isinstance(event, OSMNode):
+                nodes.append(event)
+            elif isinstance(event, OSMWay):
+                ways.append(event)
+            elif isinstance(event, OSMRestriction):
+                restrictions.append(event)
+            else:
+                bounds = event
+        return OSMDocument(
+            nodes, ways, bounds=bounds, restrictions=restrictions
         )
-        return document
+
+    def generate_xml(self) -> str:
+        """Return the synthetic city as an OSM XML string."""
+        return write_osm_xml(self.generate_document())
+
+    def _check_id_capacity(self) -> None:
+        """Reject lattices whose ids would collide with other id blocks.
+
+        Node ids are dense from 1; the ring road, freeways and ways
+        live in fixed blocks above the lattice.  A lattice big enough
+        to reach into a block in use would silently corrupt the
+        document, so it is a configuration error.
+        """
+        lattice = self.profile.rows * self.profile.cols
+        if self.profile.has_ring_road and lattice >= _RING_ID_BASE:
+            raise ConfigurationError(
+                f"lattice of {lattice} nodes collides with the ring-road "
+                f"id block at {_RING_ID_BASE}; drop the ring road or "
+                f"shrink the lattice"
+            )
+        if self.profile.num_freeways > 0 and lattice >= _FREEWAY_ID_BASE:
+            raise ConfigurationError(
+                f"lattice of {lattice} nodes collides with the freeway "
+                f"id block at {_FREEWAY_ID_BASE}"
+            )
+        if lattice >= _WAY_ID_BASE:
+            raise ConfigurationError(
+                f"lattice of {lattice} nodes collides with the way id "
+                f"block at {_WAY_ID_BASE}"
+            )
 
     # -- turn restrictions -----------------------------------------------------
 
@@ -140,17 +431,16 @@ class CityGenerator:
         fraction = self.profile.turn_restriction_fraction
         if fraction <= 0.0:
             return []
-        # node -> list of street indexes passing through it (interior).
-        through: Dict[int, List[int]] = {}
+        # node -> street indexes passing through it (interior).
+        through = _ThroughIndex(self.profile.rows * self.profile.cols)
         for index, street in enumerate(streets):
             if street.oneway:
                 continue
             for node_id in street.node_ids[1:-1]:
-                through.setdefault(node_id, []).append(index)
+                through.add(node_id, index)
         restrictions: List[OSMRestriction] = []
         next_id = 50_000_000
-        for node_id in sorted(through):
-            candidates = through[node_id]
+        for node_id, candidates in through.iter_through():
             if len(candidates) < 2:
                 continue
             if rng.random() >= fraction:
@@ -168,10 +458,6 @@ class CityGenerator:
             )
             next_id += 1
         return restrictions
-
-    def generate_xml(self) -> str:
-        """Return the synthetic city as an OSM XML string."""
-        return write_osm_xml(self.generate_document())
 
     # -- lattice --------------------------------------------------------------
 
@@ -228,9 +514,7 @@ class CityGenerator:
                     chosen.append(candidate)
         return frozenset(chosen)
 
-    def _lattice_positions(
-        self, rng: random.Random
-    ) -> Dict[int, Tuple[float, float]]:
+    def _lattice_positions(self, rng: random.Random) -> _PositionStore:
         """Place the jittered lattice, honouring holes and bridge anchors."""
         profile = self.profile
         jitter_sigma = profile.irregularity * profile.spacing_m * 0.22
@@ -238,7 +522,9 @@ class CityGenerator:
         y0 = -(profile.rows - 1) * profile.spacing_m / 2.0
         river_row = self._river_row()
         bridge_cols = self._bridge_columns()
-        positions: Dict[int, Tuple[float, float]] = {}
+        positions = _PositionStore(
+            profile.rows * profile.cols, profile.spacing_m * 2.0
+        )
         for row in range(profile.rows):
             for col in range(profile.cols):
                 is_arterial_junction = (
@@ -257,7 +543,8 @@ class CityGenerator:
                 dy = rng.gauss(0.0, jitter_sigma)
                 if dropped:
                     continue
-                positions[self._node_id(row, col)] = (
+                positions.set(
+                    self._node_id(row, col),
                     x0 + col * profile.spacing_m + dx,
                     y0 + row * profile.spacing_m + dy,
                 )
@@ -270,7 +557,7 @@ class CityGenerator:
         return speed * self.profile.speed_scale, lanes
 
     def _row_streets(
-        self, rng: random.Random, positions: Dict[int, Tuple[float, float]]
+        self, rng: random.Random, positions: _PositionStore
     ) -> List[_Street]:
         profile = self.profile
         streets: List[_Street] = []
@@ -302,7 +589,7 @@ class CityGenerator:
         return streets
 
     def _column_streets(
-        self, rng: random.Random, positions: Dict[int, Tuple[float, float]]
+        self, rng: random.Random, positions: _PositionStore
     ) -> List[_Street]:
         profile = self.profile
         river_row = self._river_row()
@@ -388,7 +675,7 @@ class CityGenerator:
 
     def _ring_road(
         self,
-        positions: Dict[int, Tuple[float, float]],
+        positions: _PositionStore,
         extra_nodes: Dict[int, Tuple[float, float]],
     ) -> List[_Street]:
         profile = self.profile
@@ -438,7 +725,7 @@ class CityGenerator:
     def _freeways(
         self,
         rng: random.Random,
-        positions: Dict[int, Tuple[float, float]],
+        positions: _PositionStore,
         extra_nodes: Dict[int, Tuple[float, float]],
     ) -> List[_Street]:
         profile = self.profile
@@ -503,18 +790,9 @@ class CityGenerator:
 
     @staticmethod
     def _nearest_position(
-        point: Tuple[float, float],
-        positions: Dict[int, Tuple[float, float]],
+        point: Tuple[float, float], positions: _PositionStore
     ) -> Optional[int]:
-        best_id: Optional[int] = None
-        best_d2 = math.inf
-        px, py = point
-        for node_id, (x, y) in positions.items():
-            d2 = (x - px) ** 2 + (y - py) ** 2
-            if d2 < best_d2:
-                best_d2 = d2
-                best_id = node_id
-        return best_id
+        return positions.nearest(point[0], point[1])
 
 
 def build_city_network(

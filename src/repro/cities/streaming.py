@@ -1,0 +1,211 @@
+"""End-to-end streaming city builds (generate → parse → CSR → snapshot).
+
+:func:`~repro.cities.generator.build_city_network` materialises the
+OSM document, the XML string, the re-parsed document and the object
+network — five copies of the city, which caps it at "full" size.  This
+module chains the streaming stages instead:
+
+* :meth:`~repro.cities.generator.CityGenerator.iter_events` emits the
+  city one OSM element at a time;
+* :func:`~repro.osm.streaming.write_osm_xml_stream` spools those
+  elements to an XML file on disk (``via_xml=True``, the paper's exact
+  pipeline) without holding the string;
+* :func:`~repro.osm.streaming.iter_osm_events` re-reads them
+  incrementally;
+* :class:`~repro.graph.assemble.StreamingCsrAssembler` folds the
+  stream into flat CSR arrays and writes the version-3 RPRN snapshot.
+
+No stage ever holds the document, the XML or the object graph, so peak
+RSS is bounded by the assembler's flat arrays plus its node-id dict —
+~2.0 GB for the "metro" preset's ~1.08M-node / ~4.3M-edge Melbourne
+(measured by ``benchmarks/bench_citygen.py``, gated in CI by
+``make citygen-smoke``) where the in-memory path would need well over
+five times that.  The output is **byte-identical** to
+``save_snapshot(build_city_network(...))`` at every size both paths
+can run, which the streaming-equivalence test tier pins.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import resource
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cities.profile import SIZE_FACTORS, CityProfile
+from repro.cities.generator import CityGenerator
+from repro.exceptions import ConfigurationError
+from repro.graph.assemble import AssembledGraph, StreamingCsrAssembler
+from repro.osm.streaming import iter_osm_events, write_osm_xml_stream
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["StreamBuildReport", "stream_build_city", "stream_build_graph"]
+
+
+@dataclass(frozen=True)
+class StreamBuildReport:
+    """What one streaming build produced and what it cost.
+
+    ``peak_rss_kb`` is ``ru_maxrss`` of the *process* at the end of the
+    build (kilobytes on Linux) — a high-water mark that includes
+    whatever ran before, so benchmark comparisons fork a fresh child
+    per build (see ``benchmarks/bench_citygen.py``).
+    """
+
+    city: str
+    size: str
+    seed: int
+    via_xml: bool
+    num_nodes: int
+    num_edges: int
+    document_nodes: int
+    document_ways: int
+    document_restrictions: int
+    snapshot_bytes: int
+    xml_bytes: int
+    elapsed_s: float
+    peak_rss_kb: int
+
+    def formatted(self) -> str:
+        lines = [
+            f"streaming build: {self.city}-{self.size} (seed {self.seed}, "
+            f"via_xml={'yes' if self.via_xml else 'no'})",
+            f"  document: {self.document_nodes} nodes, "
+            f"{self.document_ways} ways, "
+            f"{self.document_restrictions} restrictions",
+            f"  network:  {self.num_nodes} nodes, {self.num_edges} edges",
+            f"  snapshot: {self.snapshot_bytes} bytes",
+        ]
+        if self.via_xml:
+            lines.append(f"  xml:      {self.xml_bytes} chars")
+        lines.append(
+            f"  cost:     {self.elapsed_s:.2f}s, "
+            f"peak rss {self.peak_rss_kb} KB"
+        )
+        return "\n".join(lines)
+
+
+def _scaled_generator(
+    profile: CityProfile, size: str, seed: int
+) -> CityGenerator:
+    try:
+        factor = SIZE_FACTORS[size]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown size {size!r}; choose one of {sorted(SIZE_FACTORS)}"
+        ) from None
+    return CityGenerator(profile.scaled(factor), seed=seed)
+
+
+def stream_build_graph(
+    profile: CityProfile,
+    size: str = "medium",
+    seed: int = 0,
+    via_xml: bool = True,
+    xml_path: Optional[str] = None,
+) -> AssembledGraph:
+    """Stream-build a city and return the assembled CSR arrays.
+
+    ``via_xml=True`` spools the generated elements through an OSM XML
+    file on disk and re-parses it incrementally — the same
+    serialise/parse leg :func:`build_city_network` takes, minus the
+    in-memory copies.  ``xml_path`` keeps that spool file at the given
+    location; by default it is a temporary file deleted on return.
+    ``via_xml=False`` pipes generator events straight into the
+    assembler (no disk spool; byte-identical output, since the XML leg
+    round-trips exactly).
+    """
+    generator = _scaled_generator(profile, size, seed)
+    name = f"{profile.name}-{size}"
+    if not via_xml:
+        assembler = StreamingCsrAssembler(name=name)
+        return assembler.consume(generator.iter_events()).finish()
+
+    spool_is_temp = xml_path is None
+    if spool_is_temp:
+        fd, xml_path = tempfile.mkstemp(
+            prefix=f"{name}-", suffix=".osm.xml"
+        )
+        os.close(fd)
+    try:
+        with open(xml_path, "w", encoding="utf-8") as handle:
+            write_osm_xml_stream(generator.iter_events(), handle)
+        assembler = StreamingCsrAssembler(name=name)
+        with open(xml_path, "rb") as handle:
+            assembler.consume(iter_osm_events(handle))
+        return assembler.finish()
+    finally:
+        if spool_is_temp:
+            os.unlink(xml_path)
+
+
+def stream_build_city(
+    profile: CityProfile,
+    size: str = "medium",
+    seed: int = 0,
+    output: str = "city.rprn",
+    via_xml: bool = True,
+    xml_path: Optional[str] = None,
+) -> StreamBuildReport:
+    """Stream-build a city straight to an RPRN v3 snapshot file.
+
+    The full pipeline of :func:`stream_build_graph` plus the snapshot
+    write, instrumented: returns a :class:`StreamBuildReport` with the
+    element counts, output sizes, wall time and the process's peak RSS.
+    """
+    generator = _scaled_generator(profile, size, seed)
+    name = f"{profile.name}-{size}"
+    started = time.perf_counter()
+
+    xml_bytes = 0
+    spool_is_temp = via_xml and xml_path is None
+    if spool_is_temp:
+        fd, xml_path = tempfile.mkstemp(prefix=f"{name}-", suffix=".osm.xml")
+        os.close(fd)
+    try:
+        assembler = StreamingCsrAssembler(name=name)
+        if via_xml:
+            with open(xml_path, "w", encoding="utf-8") as handle:
+                xml_bytes = write_osm_xml_stream(
+                    generator.iter_events(), handle
+                )
+            with open(xml_path, "rb") as handle:
+                assembler.consume(iter_osm_events(handle))
+        else:
+            assembler.consume(generator.iter_events())
+        document_nodes = assembler.num_document_nodes
+        document_ways = assembler.num_ways
+        document_restrictions = assembler.num_restrictions
+        graph = assembler.finish()
+        del assembler
+        graph.write_snapshot(output)
+    finally:
+        if spool_is_temp:
+            os.unlink(xml_path)
+
+    elapsed = time.perf_counter() - started
+    report = StreamBuildReport(
+        city=profile.name,
+        size=size,
+        seed=seed,
+        via_xml=via_xml,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        document_nodes=document_nodes,
+        document_ways=document_ways,
+        document_restrictions=document_restrictions,
+        snapshot_bytes=os.path.getsize(output),
+        xml_bytes=xml_bytes,
+        elapsed_s=elapsed,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    )
+    logger.info(
+        "stream-built %s: %d nodes, %d edges in %.2fs (peak rss %d KB)",
+        name, report.num_nodes, report.num_edges, elapsed,
+        report.peak_rss_kb,
+    )
+    return report

@@ -10,6 +10,8 @@ Commands
 ``demo``         serve the web demonstration system
 ``figure``       regenerate Figure 1 or the Figure 4 case study
 ``stability``    seed-stability sweep of the reproduced conclusions
+``city``         stream-build a city straight to an RPRN v3 snapshot
+``experiment``   destination-perturbation / diversification suites
 ``log``          tail or summarise a captured query log
 ``replay``       re-drive a captured query log against a live service
 ``traffic``      generate or replay a live traffic-update log
@@ -609,6 +611,68 @@ def _cmd_stability(args) -> int:
     return 0
 
 
+def _cmd_city_build(args) -> int:
+    from repro.cities import CITY_PROFILES
+
+    profile = CITY_PROFILES[args.city]()
+    if args.stream:
+        from repro.cities import stream_build_city
+
+        report = stream_build_city(
+            profile,
+            size=args.size,
+            seed=args.seed,
+            output=args.out,
+            via_xml=not args.no_xml,
+            xml_path=args.xml_spool,
+        )
+        print(report.formatted())
+        print(f"wrote {args.out}")
+        return 0
+    if args.size == "metro":
+        raise ReproError(
+            "the metro preset only fits in memory on the streaming "
+            "path; re-run with --stream"
+        )
+    from repro.cities.generator import build_city_network
+    from repro.graph.csr import save_snapshot
+
+    network = build_city_network(profile, size=args.size, seed=args.seed)
+    save_snapshot(network, args.out)
+    print(
+        f"wrote {args.out} ({network.num_nodes} nodes, "
+        f"{network.num_edges} edges)"
+    )
+    return 0
+
+
+def _cmd_experiment_stability(args) -> int:
+    from repro.experiments import destination_perturbation
+
+    report = destination_perturbation(
+        city=args.city,
+        size=args.size,
+        seed=args.seed,
+        num_queries=args.queries,
+        radius_m=args.radius,
+    )
+    print(report.formatted())
+    return 0
+
+
+def _cmd_experiment_diversify(args) -> int:
+    from repro.experiments import diversification_study
+
+    report = diversification_study(
+        city=args.city,
+        size=args.size,
+        seed=args.seed,
+        num_queries=args.queries,
+    )
+    print(report.formatted())
+    return 0
+
+
 def _shard_specs(args):
     """ShardSpecs from repeated ``--shard city[=snapshot]`` options.
 
@@ -916,6 +980,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_arguments(stability)
     stability.add_argument("--seeds", default="0,1,2")
     stability.set_defaults(handler=_cmd_stability)
+
+    city = commands.add_parser(
+        "city",
+        help="build city networks (streaming path handles the "
+        "million-node metro preset)",
+    )
+    city_commands = city.add_subparsers(dest="city_command", required=True)
+    city_build = city_commands.add_parser(
+        "build",
+        help="build a city straight to an RPRN v3 snapshot",
+    )
+    city_build.add_argument("--city", default="melbourne", choices=_CITIES)
+    city_build.add_argument(
+        "--size", default="small", choices=_SIZES + ["metro"],
+        help='"metro" (~1M nodes) requires --stream',
+    )
+    city_build.add_argument("--seed", type=int, default=0)
+    city_build.add_argument("--out", required=True)
+    city_build.add_argument(
+        "--stream", action="store_true",
+        help="generate, parse and assemble incrementally with bounded "
+        "memory; output is byte-identical to the in-memory path",
+    )
+    city_build.add_argument(
+        "--no-xml", action="store_true",
+        help="streaming only: skip the on-disk OSM XML spool leg "
+        "(same bytes out, less disk and time)",
+    )
+    city_build.add_argument(
+        "--xml-spool", default=None,
+        help="streaming only: keep the intermediate OSM XML at this "
+        "path instead of a deleted temp file",
+    )
+    city_build.set_defaults(handler=_cmd_city_build)
+
+    experiment = commands.add_parser(
+        "experiment",
+        help="run the perturbation-stability / diversification suites",
+    )
+    experiment_commands = experiment.add_subparsers(
+        dest="experiment_command", required=True
+    )
+    experiment_stability = experiment_commands.add_parser(
+        "stability",
+        help="destination-perturbation stability table (re-plan after "
+        "the target moves ~100 m)",
+    )
+    _add_network_arguments(experiment_stability)
+    experiment_stability.add_argument("--queries", type=int, default=20)
+    experiment_stability.add_argument(
+        "--radius", type=float, default=100.0,
+        help="how far the destination moves, in metres",
+    )
+    experiment_stability.set_defaults(handler=_cmd_experiment_stability)
+    experiment_diversify = experiment_commands.add_parser(
+        "diversify",
+        help="route-diversification table (coverage, redundancy, "
+        "pairwise dissimilarity)",
+    )
+    _add_network_arguments(experiment_diversify)
+    experiment_diversify.add_argument("--queries", type=int, default=20)
+    experiment_diversify.set_defaults(handler=_cmd_experiment_diversify)
 
     report = commands.add_parser(
         "report", help="run everything and write a markdown report"

@@ -23,10 +23,27 @@ from repro.experiments.tables import (
     table3,
 )
 from repro.experiments.figures import apparent_detour_case, figure1, figure4
+from repro.experiments.diversification import (
+    DiversificationReport,
+    RouteSetMetrics,
+    diversification_study,
+    route_set_metrics,
+)
+from repro.experiments.perturbation import (
+    PerturbationReport,
+    PerturbationSampler,
+    destination_perturbation,
+    route_set_jaccard,
+)
+from repro.experiments.queries import sample_od_pairs
 
 __all__ = [
     "CellComparison",
+    "DiversificationReport",
     "PAPER_PARAMETERS",
+    "PerturbationReport",
+    "PerturbationSampler",
+    "RouteSetMetrics",
     "TableComparison",
     "anova_report",
     "apparent_detour_case",
@@ -34,9 +51,14 @@ __all__ = [
     "compare_cells_to_paper",
     "compare_to_paper",
     "default_planners",
+    "destination_perturbation",
+    "diversification_study",
     "figure1",
     "figure4",
+    "route_set_jaccard",
+    "route_set_metrics",
     "run_study",
+    "sample_od_pairs",
     "table1",
     "table2",
     "table3",

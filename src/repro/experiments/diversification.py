@@ -1,0 +1,185 @@
+"""Route-diversification metrics for the four approaches.
+
+Tables 1–3 rate the alternatives by user preference; this suite
+measures the *supply side* — how much genuinely different road each
+approach offers:
+
+* **coverage** — total metres of distinct road in the route set (the
+  union of edges across routes);
+* **redundancy** — summed route length over coverage: 1.0 means fully
+  disjoint routes, k means every route re-uses the same road;
+* **pairwise dissimilarity** — the mean of ``1 - sim(p, q)`` over all
+  route pairs, the quantity the Dissimilarity planner thresholds at
+  θ = 0.5.
+
+All three reduce to sums of edge lengths, so the golden table in
+``tests/experiments`` is hand-computable on a four-edge fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.base import AlternativeRoutePlanner
+from repro.core.registry import PAPER_APPROACHES
+from repro.experiments.queries import sample_od_pairs
+from repro.experiments.setup import build_study_network, default_planners
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+from repro.metrics.similarity import dissimilarity
+
+__all__ = [
+    "DiversificationReport",
+    "PlannerDiversity",
+    "RouteSetMetrics",
+    "diversification_study",
+    "route_set_metrics",
+]
+
+
+@dataclass(frozen=True)
+class RouteSetMetrics:
+    """Diversification metrics of one route set."""
+
+    num_routes: int
+    coverage_m: float
+    redundancy: float
+    mean_pairwise_dissimilarity: float
+
+
+def route_set_metrics(routes: Sequence[Path]) -> RouteSetMetrics:
+    """Compute the three diversification metrics for one route set.
+
+    Conventions for degenerate sets: an empty set covers nothing with
+    redundancy 1; a singleton set has pairwise dissimilarity 1 (a lone
+    route is trivially "fully diverse", matching the empty-set
+    convention of
+    :func:`~repro.metrics.similarity.dissimilarity_to_set`).
+    """
+    routes = list(routes)
+    if not routes:
+        return RouteSetMetrics(0, 0.0, 1.0, 1.0)
+    network = routes[0].network
+    union_edges = set()
+    total_m = 0.0
+    for route in routes:
+        union_edges |= route.edge_id_set
+        total_m += route.length_m
+    coverage_m = sum(
+        network.edge(edge_id).length_m for edge_id in union_edges
+    )
+    redundancy = total_m / coverage_m if coverage_m > 0 else 1.0
+    if len(routes) < 2:
+        mean_dis = 1.0
+    else:
+        total_dis = 0.0
+        pairs = 0
+        for i in range(len(routes)):
+            for j in range(i + 1, len(routes)):
+                total_dis += dissimilarity(routes[i], routes[j])
+                pairs += 1
+        mean_dis = total_dis / pairs
+    return RouteSetMetrics(
+        num_routes=len(routes),
+        coverage_m=coverage_m,
+        redundancy=redundancy,
+        mean_pairwise_dissimilarity=mean_dis,
+    )
+
+
+@dataclass(frozen=True)
+class PlannerDiversity:
+    """One approach's diversification averages over the query set."""
+
+    approach: str
+    per_query: tuple
+
+    @property
+    def mean_routes(self) -> float:
+        return sum(m.num_routes for m in self.per_query) / len(self.per_query)
+
+    @property
+    def mean_coverage_km(self) -> float:
+        return sum(m.coverage_m for m in self.per_query) / (
+            1000.0 * len(self.per_query)
+        )
+
+    @property
+    def mean_redundancy(self) -> float:
+        return sum(m.redundancy for m in self.per_query) / len(self.per_query)
+
+    @property
+    def mean_dissimilarity(self) -> float:
+        return sum(
+            m.mean_pairwise_dissimilarity for m in self.per_query
+        ) / len(self.per_query)
+
+
+@dataclass(frozen=True)
+class DiversificationReport:
+    """The diversification table for one city."""
+
+    city: str
+    size: str
+    seed: int
+    num_queries: int
+    rows: Mapping[str, PlannerDiversity]
+
+    def formatted(self) -> str:
+        """Render the diversification table (deterministic bytes)."""
+        lines = [
+            f"route diversification: {self.city}-{self.size} "
+            f"(seed {self.seed}, {self.num_queries} queries)",
+            f"{'approach':14s} {'routes':>7s} {'coverage':>10s} "
+            f"{'redundancy':>11s} {'dissim':>7s}",
+        ]
+        for approach, row in self.rows.items():
+            lines.append(
+                f"{approach:14s} {row.mean_routes:7.2f} "
+                f"{row.mean_coverage_km:8.2f}km "
+                f"{row.mean_redundancy:11.3f} {row.mean_dissimilarity:7.3f}"
+            )
+        return "\n".join(lines)
+
+
+def diversification_study(
+    city: str = "melbourne",
+    size: str = "small",
+    seed: int = 0,
+    num_queries: int = 20,
+    network: Optional[RoadNetwork] = None,
+    planners: Optional[Dict[str, AlternativeRoutePlanner]] = None,
+) -> DiversificationReport:
+    """Run the diversification suite for one city.
+
+    Plans every approach on ``num_queries`` seeded study-scale queries
+    and aggregates :func:`route_set_metrics` per planner.
+    Deterministic per ``(city, size, seed, num_queries)``.
+    """
+    if network is None:
+        network = build_study_network(city=city, size=size, seed=seed)
+    if planners is None:
+        planners = default_planners(network, traffic_seed=seed)
+    queries = sample_od_pairs(
+        network, num_queries, seed=seed, label="diversify"
+    )
+    rows: Dict[str, PlannerDiversity] = {}
+    ordered = [name for name in PAPER_APPROACHES if name in planners]
+    ordered += [name for name in planners if name not in PAPER_APPROACHES]
+    for name in ordered:
+        planner = planners[name]
+        per_query: List[RouteSetMetrics] = []
+        for source, target in queries:
+            route_set = planner.plan(source, target)
+            per_query.append(route_set_metrics(list(route_set)))
+        rows[name] = PlannerDiversity(
+            approach=name, per_query=tuple(per_query)
+        )
+    return DiversificationReport(
+        city=city,
+        size=size,
+        seed=seed,
+        num_queries=num_queries,
+        rows=rows,
+    )

@@ -1,0 +1,267 @@
+"""Destination-perturbation stability of the four approaches.
+
+A user who re-plans after dragging the destination pin ~100 m expects
+"the same" alternatives back; an approach whose route set reshuffles
+under that nudge feels erratic regardless of how its routes rate in
+Tables 1–3.  This suite quantifies that: for each sampled study query
+it plans, moves the destination to a road node roughly ``radius_m``
+away, re-plans, and measures how much of the offered route set
+survived —
+
+* **route-set Jaccard** — length-weighted Jaccard of the union of road
+  segments offered before vs after (1 = identical road coverage);
+* **fastest-route overlap** — the shared-length similarity of the two
+  top routes (the route most users take).
+
+Per-planner distributions of both are the study table analogue: rows
+are approaches, columns the stability statistics, one table per city.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.base import AlternativeRoutePlanner
+from repro.core.registry import PAPER_APPROACHES
+from repro.exceptions import ConfigurationError
+from repro.experiments.queries import sample_od_pairs
+from repro.experiments.setup import build_study_network, default_planners
+from repro.graph.network import RoadNetwork
+from repro.graph.path import Path
+from repro.graph.spatial import SpatialIndex
+from repro.metrics.similarity import similarity
+
+__all__ = [
+    "PerturbationReport",
+    "PerturbationSampler",
+    "PlannerStability",
+    "destination_perturbation",
+    "route_set_jaccard",
+]
+
+#: Metres per degree of latitude (and of longitude at the equator).
+_METRES_PER_DEGREE = 111_320.0
+
+
+class PerturbationSampler:
+    """Deterministically nudges a destination node ~``radius_m`` away.
+
+    For a given ``(seed, target)`` the perturbed node is always the
+    same — the RNG is re-seeded per target with the repo's
+    string-seeding idiom — so suites and tests replay exactly.  The
+    sampler walks seeded random bearings and snaps the offset point to
+    the nearest road node within ``radius_m`` of it; if no bearing
+    lands near a distinct node (sparse fringe), it falls back to the
+    nearest distinct node of the widening neighbourhood, and to the
+    original target only on a single-node island.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        seed: int = 0,
+        radius_m: float = 100.0,
+        index: Optional[SpatialIndex] = None,
+    ) -> None:
+        if radius_m <= 0:
+            raise ConfigurationError("radius_m must be positive")
+        self.network = network
+        self.seed = seed
+        self.radius_m = radius_m
+        self._index = index if index is not None else SpatialIndex(network)
+
+    def perturbed_target(self, target: int) -> int:
+        """Return the (deterministic) perturbed stand-in for ``target``."""
+        rng = random.Random(f"perturb:{self.seed}:{target}")
+        node = self.network.node(target)
+        lat_scale = _METRES_PER_DEGREE
+        lon_scale = _METRES_PER_DEGREE * max(
+            0.01, math.cos(math.radians(node.lat))
+        )
+        for _bearing_try in range(8):
+            bearing = rng.uniform(0.0, 2.0 * math.pi)
+            lat = node.lat + self.radius_m * math.cos(bearing) / lat_scale
+            lon = node.lon + self.radius_m * math.sin(bearing) / lon_scale
+            for candidate in self._index.nodes_within(
+                lat, lon, self.radius_m
+            ):
+                if candidate != target:
+                    return candidate
+        for candidate in self._index.nodes_within(
+            node.lat, node.lon, 4.0 * self.radius_m
+        ):
+            if candidate != target:
+                return candidate
+        return target
+
+
+def route_set_jaccard(
+    before: Iterable[Path], after: Iterable[Path]
+) -> float:
+    """Length-weighted Jaccard of the road segments two route sets offer.
+
+    The union of edge ids across each set is the "roads offered"; the
+    score is shared metres over union metres.  Two empty sets count as
+    identical (1.0); one empty set as disjoint (0.0).
+    """
+    before = list(before)
+    after = list(after)
+    edges_before = set()
+    network = None
+    for path in before:
+        edges_before |= path.edge_id_set
+        network = path.network
+    edges_after = set()
+    for path in after:
+        edges_after |= path.edge_id_set
+        network = path.network
+    if not edges_before and not edges_after:
+        return 1.0
+    if not edges_before or not edges_after:
+        return 0.0
+    union_m = sum(
+        network.edge(edge_id).length_m
+        for edge_id in edges_before | edges_after
+    )
+    if union_m <= 0:
+        return 1.0
+    shared_m = sum(
+        network.edge(edge_id).length_m
+        for edge_id in edges_before & edges_after
+    )
+    return min(1.0, shared_m / union_m)
+
+
+@dataclass(frozen=True)
+class PlannerStability:
+    """One approach's stability distribution over the query set."""
+
+    approach: str
+    jaccards: Tuple[float, ...]
+    fastest_overlaps: Tuple[float, ...]
+
+    @property
+    def mean_jaccard(self) -> float:
+        return sum(self.jaccards) / len(self.jaccards)
+
+    @property
+    def median_jaccard(self) -> float:
+        ordered = sorted(self.jaccards)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    @property
+    def min_jaccard(self) -> float:
+        return min(self.jaccards)
+
+    @property
+    def mean_fastest_overlap(self) -> float:
+        return sum(self.fastest_overlaps) / len(self.fastest_overlaps)
+
+    @property
+    def stable_rate(self) -> float:
+        """Fraction of queries whose offered roads overlap >= 90%."""
+        hits = sum(1 for value in self.jaccards if value >= 0.9)
+        return hits / len(self.jaccards)
+
+
+@dataclass(frozen=True)
+class PerturbationReport:
+    """The destination-perturbation table for one city."""
+
+    city: str
+    size: str
+    seed: int
+    radius_m: float
+    num_queries: int
+    rows: Mapping[str, PlannerStability]
+
+    def formatted(self) -> str:
+        """Render the stability table (deterministic bytes)."""
+        lines = [
+            f"destination-perturbation stability: {self.city}-{self.size} "
+            f"(seed {self.seed}, {self.num_queries} queries, "
+            f"target moved ~{self.radius_m:.0f} m)",
+            f"{'approach':14s} {'jaccard':>8s} {'median':>8s} "
+            f"{'min':>8s} {'top-route':>10s} {'stable':>7s}",
+        ]
+        for approach, row in self.rows.items():
+            lines.append(
+                f"{approach:14s} {row.mean_jaccard:8.3f} "
+                f"{row.median_jaccard:8.3f} {row.min_jaccard:8.3f} "
+                f"{row.mean_fastest_overlap:10.3f} {row.stable_rate:6.0%}"
+            )
+        return "\n".join(lines)
+
+
+def destination_perturbation(
+    city: str = "melbourne",
+    size: str = "small",
+    seed: int = 0,
+    num_queries: int = 20,
+    radius_m: float = 100.0,
+    network: Optional[RoadNetwork] = None,
+    planners: Optional[Dict[str, AlternativeRoutePlanner]] = None,
+) -> PerturbationReport:
+    """Run the destination-perturbation suite for one city.
+
+    Samples ``num_queries`` seeded study-scale queries, perturbs each
+    destination with a :class:`PerturbationSampler`, re-plans every
+    approach on the moved destination and aggregates the per-planner
+    stability distributions.  Deterministic per
+    ``(city, size, seed, num_queries, radius_m)``.
+    """
+    if network is None:
+        network = build_study_network(city=city, size=size, seed=seed)
+    if planners is None:
+        planners = default_planners(network, traffic_seed=seed)
+    queries = sample_od_pairs(
+        network, num_queries, seed=seed, label="perturb"
+    )
+    sampler = PerturbationSampler(network, seed=seed, radius_m=radius_m)
+    moved: List[Tuple[int, int, int]] = [
+        (source, target, sampler.perturbed_target(target))
+        for source, target in queries
+    ]
+    rows: Dict[str, PlannerStability] = {}
+    ordered = [name for name in PAPER_APPROACHES if name in planners]
+    ordered += [name for name in planners if name not in PAPER_APPROACHES]
+    for name in ordered:
+        planner = planners[name]
+        jaccards: List[float] = []
+        overlaps: List[float] = []
+        for source, target, perturbed in moved:
+            before = planner.plan(source, target)
+            if perturbed == target or perturbed == source:
+                # Degenerate islands: the pin did not move; the plan is
+                # trivially stable.
+                jaccards.append(1.0)
+                overlaps.append(1.0)
+                continue
+            after = planner.plan(source, perturbed)
+            jaccards.append(route_set_jaccard(before, after))
+            if before.is_empty or after.is_empty:
+                overlaps.append(0.0 if before.is_empty != after.is_empty
+                                else 1.0)
+            else:
+                overlaps.append(
+                    similarity(before.fastest(), after.fastest())
+                )
+        rows[name] = PlannerStability(
+            approach=name,
+            jaccards=tuple(jaccards),
+            fastest_overlaps=tuple(overlaps),
+        )
+    return PerturbationReport(
+        city=city,
+        size=size,
+        seed=seed,
+        radius_m=radius_m,
+        num_queries=num_queries,
+        rows=rows,
+    )

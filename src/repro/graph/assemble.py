@@ -1,0 +1,562 @@
+"""Streaming two-pass CSR assembly of OSM event streams.
+
+:class:`~repro.osm.constructor.RoadNetworkConstructor` materialises an
+:class:`~repro.osm.model.OSMDocument`, a builder full of ``Node`` /
+``Edge`` objects and finally a :class:`~repro.graph.network.RoadNetwork`
+— three object graphs, each a multiple of the road network's size.
+:class:`StreamingCsrAssembler` is the flat-array counterpart: it
+consumes one OSM element at a time (from
+:func:`~repro.osm.streaming.iter_osm_events` or directly from
+:meth:`~repro.cities.generator.CityGenerator.iter_events`), spools
+coordinates and per-segment edges into ``array`` buffers, then runs an
+array-based largest-SCC pass and emits the dense graph either as a
+version-3 RPRN snapshot or as CSR arrays — without ever holding the
+document, the builder or the network as objects.
+
+Equivalence is the contract, not an aspiration: every rule of the
+object pipeline is replicated decision-for-decision — the routing
+profile's way interpretation, first-seen node registration order,
+zero-length segment dropping, the iterative Tarjan's discovery order
+and strictly-larger component tie-break, ``sorted(keep)`` id
+remapping, first-seen string interning over surviving edges, and the
+per-node ascending-edge-id CSR arc order.  The resulting snapshot is
+therefore **byte-identical** to ``save_snapshot(constructor_network)``;
+the hypothesis tier in ``tests/test_properties_streaming.py`` pins
+that, and :func:`~repro.graph.csr.csr_fingerprint` checks it cheaply
+at metro scale.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import BinaryIO, Dict, Iterable, List, Optional, Set, Union
+
+from repro.exceptions import GraphError, OSMError, OSMParseError
+from repro.geometry import BoundingBox, haversine_m
+from repro.graph.csr import (
+    CsrGraph,
+    PathLike,
+    _materialise_network,
+    csr_array_fingerprint,
+    write_v3_arrays,
+)
+from repro.graph.network import RoadNetwork
+from repro.osm.model import OSMNode, OSMRestriction, OSMWay
+from repro.osm.profile import RoutingProfile
+
+__all__ = ["AssembledGraph", "StreamingCsrAssembler", "assemble_from_events"]
+
+
+class AssembledGraph:
+    """The dense output of one streaming assembly.
+
+    Holds the twelve core payload arrays plus the eight CSR arrays in
+    snapshot wire order.  :meth:`write_snapshot` persists them as a
+    version-3 RPRN file byte-identical to
+    :func:`~repro.graph.csr.save_snapshot` on the equivalent network;
+    :meth:`to_network` materialises the object graph for callers that
+    want to route immediately (tests, the non-snapshot CLI path).
+    """
+
+    __slots__ = ("name", "num_nodes", "num_edges", "strings", "arrays")
+
+    def __init__(self, name, num_nodes, num_edges, strings, arrays) -> None:
+        self.name = name
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.strings = strings
+        #: ordered ``(wire name, array)`` pairs, core then CSR.
+        self.arrays = arrays
+
+    def _array(self, wire_name: str) -> array:
+        for name, arr in self.arrays:
+            if name == wire_name:
+                return arr
+        raise KeyError(wire_name)
+
+    def write_snapshot(self, path: Union[PathLike, BinaryIO]) -> None:
+        """Write the version-3 snapshot to a path or binary handle."""
+        if hasattr(path, "write"):
+            self._write(path)
+            return
+        with open(path, "wb") as handle:
+            self._write(handle)
+
+    def _write(self, handle: BinaryIO) -> None:
+        write_v3_arrays(
+            handle,
+            name=self.name,
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            strings=self.strings,
+            arrays=self.arrays,
+        )
+
+    def csr_fingerprint(self) -> str:
+        """Fingerprint of the CSR arrays (cf. ``csr_fingerprint``).
+
+        Computed straight off the flat arrays — no ``CsrGraph`` (and
+        no per-node tuple groups) is built, so this stays cheap at
+        metro scale.
+        """
+        return csr_array_fingerprint(
+            self.num_nodes,
+            self.num_edges,
+            [arr for name, arr in self.arrays if name.startswith("csr.")],
+        )
+
+    def csr_view(self) -> CsrGraph:
+        """Materialise a :class:`CsrGraph` over the assembled arrays."""
+        csr_arrays = [arr for name, arr in self.arrays if name.startswith("csr.")]
+        return CsrGraph.from_mmap(self.num_nodes, self.num_edges, *csr_arrays)
+
+    def to_network(self) -> RoadNetwork:
+        """Materialise the :class:`RoadNetwork` object graph."""
+        core = {name: arr for name, arr in self.arrays}
+        network = _materialise_network(
+            self.name, self.strings, self.num_nodes, self.num_edges,
+            core["node.lat"], core["node.lon"], core["node.osm"],
+            core["edge.tail"], core["edge.head"], core["edge.len"],
+            core["edge.time"], core["edge.speed"], core["edge.lanes"],
+            core["edge.way"], core["edge.hwy"], core["edge.name"],
+        )
+        return network
+
+
+class StreamingCsrAssembler:
+    """Accumulates an OSM event stream into flat graph arrays.
+
+    Parameters mirror :class:`~repro.osm.constructor.
+    RoadNetworkConstructor`: an optional routing ``profile`` (defaults
+    to the paper's car profile) and ``largest_scc_only`` cleanup.  A
+    :class:`~repro.geometry.BoundingBox` event (or ``bounds=``) clips
+    exactly like the document pipeline's ``filtered_to``: out-of-box
+    nodes are dropped and ways split into their surviving runs (each
+    run keeps its way id — the document path's synthetic ids for
+    re-entrant ways need global way knowledge a stream cannot have).
+
+    Feed events via :meth:`consume` / :meth:`add_node` /
+    :meth:`add_way`, then call :meth:`finish` once.  Dangling way
+    references raise :class:`~repro.exceptions.OSMParseError`; a
+    stream with no routable road raises
+    :class:`~repro.exceptions.OSMError`; an edge-less largest SCC
+    raises :class:`~repro.exceptions.GraphError` — the same taxonomy,
+    at the same decision points, as the object pipeline.
+    """
+
+    def __init__(
+        self,
+        name: str = "osm-network",
+        profile: Optional[RoutingProfile] = None,
+        largest_scc_only: bool = True,
+        bounds: Optional[BoundingBox] = None,
+    ) -> None:
+        self.name = name
+        self.profile = profile if profile is not None else RoutingProfile()
+        self.largest_scc_only = largest_scc_only
+        self.bounds = bounds
+        # Every declared coordinate, keyed by OSM id -> slot.  The dict
+        # is the one per-node Python container the streaming path keeps
+        # (documented in the RSS budget); everything else is flat.
+        self._slot_of: Dict[int, int] = {}
+        self._slot_lat = array("d")
+        self._slot_lon = array("d")
+        self._slot_ext = array("q")
+        #: slot -> dense internal id, -1 until first seen on a segment.
+        self._slot_internal = array("q")
+        #: internal id -> slot, in first-seen registration order.
+        self._order_slots = array("q")
+        self._dropped: Set[int] = set()
+        # Per-directed-edge payloads (compacted in place by finish()).
+        self._e_tail = array("q")
+        self._e_head = array("q")
+        self._e_len = array("d")
+        self._e_time = array("d")
+        self._e_speed = array("d")
+        self._e_lanes = array("q")
+        self._e_way = array("q")
+        self._e_hwy = array("q")
+        self._e_name = array("q")
+        self._strings: List[str] = []
+        self._interned: Dict[str, int] = {}
+        self.num_document_nodes = 0
+        self.num_ways = 0
+        self.num_restrictions = 0
+        self._finished = False
+
+    # -- ingestion ----------------------------------------------------------
+
+    def consume(self, events: Iterable) -> "StreamingCsrAssembler":
+        """Feed a whole event stream; returns self for chaining."""
+        for event in events:
+            if isinstance(event, OSMNode):
+                self.add_node(event)
+            elif isinstance(event, OSMWay):
+                self.add_way(event)
+            elif isinstance(event, BoundingBox):
+                self.bounds = event
+            elif isinstance(event, OSMRestriction):
+                # Snapshots carry no restriction table; count and skip.
+                self.num_restrictions += 1
+            else:
+                raise OSMParseError(
+                    f"cannot assemble stream event of type "
+                    f"{type(event).__name__}"
+                )
+        return self
+
+    def add_node(self, node: OSMNode) -> None:
+        """Register one node's coordinates (must precede its ways)."""
+        self.num_document_nodes += 1
+        if self.bounds is not None and not self.bounds.contains(
+            node.lat, node.lon
+        ):
+            self._dropped.add(node.id)
+            return
+        if node.id in self._slot_of:
+            raise OSMParseError(f"duplicate node id {node.id}")
+        self._slot_of[node.id] = len(self._slot_lat)
+        self._slot_lat.append(node.lat)
+        self._slot_lon.append(node.lon)
+        self._slot_ext.append(node.id)
+        self._slot_internal.append(-1)
+
+    def add_way(self, way: OSMWay) -> None:
+        """Interpret one way and spool its directed segment edges."""
+        self.num_ways += 1
+        if len(way.node_refs) < 2:
+            raise OSMParseError(
+                f"way {way.id} has fewer than two node refs"
+            )
+        routing = self.profile.interpret(way)
+        if not routing.routable:
+            return
+        if self._dropped:
+            runs: List[List[int]] = []
+            current: List[int] = []
+            for ref in way.node_refs:
+                if ref in self._dropped:
+                    if current:
+                        runs.append(current)
+                        current = []
+                else:
+                    current.append(ref)
+            if current:
+                runs.append(current)
+            runs = [run for run in runs if len(run) >= 2]
+        else:
+            runs = [list(way.node_refs)]
+        hwy_ref = self._intern(routing.highway)
+        name_ref = self._intern(routing.name)
+        slot_of = self._slot_of
+        slot_internal = self._slot_internal
+        lats, lons = self._slot_lat, self._slot_lon
+        for run in runs:
+            refs = run[::-1] if routing.reversed_direction else run
+            for u_ref, v_ref in zip(refs, refs[1:]):
+                if u_ref == v_ref:
+                    continue
+                u_slot = slot_of.get(u_ref)
+                if u_slot is None:
+                    raise OSMParseError(
+                        f"way {way.id} references missing node {u_ref}"
+                    )
+                v_slot = slot_of.get(v_ref)
+                if v_slot is None:
+                    raise OSMParseError(
+                        f"way {way.id} references missing node {v_ref}"
+                    )
+                # First-seen dense registration, u before v — the
+                # builder's id-assignment order.
+                u = slot_internal[u_slot]
+                if u < 0:
+                    u = len(self._order_slots)
+                    slot_internal[u_slot] = u
+                    self._order_slots.append(u_slot)
+                v = slot_internal[v_slot]
+                if v < 0:
+                    v = len(self._order_slots)
+                    slot_internal[v_slot] = v
+                    self._order_slots.append(v_slot)
+                length = haversine_m(
+                    lats[u_slot], lons[u_slot], lats[v_slot], lons[v_slot]
+                )
+                if length <= 0:
+                    continue
+                travel_time = self.profile.travel_time_s(length, routing)
+                self._append_edge(
+                    u, v, length, travel_time, routing, way.id,
+                    hwy_ref, name_ref,
+                )
+                if not routing.oneway:
+                    self._append_edge(
+                        v, u, length, travel_time, routing, way.id,
+                        hwy_ref, name_ref,
+                    )
+
+    def _append_edge(
+        self, u, v, length, travel_time, routing, way_id, hwy_ref, name_ref
+    ) -> None:
+        self._e_tail.append(u)
+        self._e_head.append(v)
+        self._e_len.append(length)
+        self._e_time.append(travel_time)
+        self._e_speed.append(routing.speed_kmh)
+        self._e_lanes.append(routing.lanes)
+        self._e_way.append(way_id)
+        self._e_hwy.append(hwy_ref)
+        self._e_name.append(name_ref)
+
+    def _intern(self, text: str) -> int:
+        index = self._interned.get(text)
+        if index is None:
+            index = len(self._strings)
+            self._interned[text] = index
+            self._strings.append(text)
+        return index
+
+    # -- assembly -----------------------------------------------------------
+
+    def finish(self) -> AssembledGraph:
+        """Run SCC cleanup, compact the arrays and return the graph."""
+        if self._finished:
+            raise GraphError("assembler already finished")
+        self._finished = True
+        if not self._e_tail:
+            raise OSMError(
+                "no routable roads found inside the input rectangle"
+            )
+        n_tmp = len(self._order_slots)
+        if self.largest_scc_only:
+            new_id = self._largest_scc_remap(n_tmp)
+        else:
+            new_id = array("q", range(n_tmp))
+        n_final = self._compact_edges(new_id)
+        return self._build_arrays(new_id, n_tmp, n_final)
+
+    def _largest_scc_remap(self, n_tmp: int) -> array:
+        """Dense re-ids of the largest SCC (-1 = dropped).
+
+        An array transliteration of ``RoadNetworkBuilder._largest_scc``:
+        the same iterative Tarjan over the same adjacency order
+        (children ascending by edge id), the same strictly-larger
+        component tie-break, and the same ``sorted(keep)`` renumbering
+        — so the surviving ids match the object pipeline exactly.
+        """
+        e_tail, e_head = self._e_tail, self._e_head
+        m_tmp = len(e_tail)
+        adj_start = array("q", [0]) * (n_tmp + 1)
+        for tail in e_tail:
+            adj_start[tail + 1] += 1
+        for index in range(1, n_tmp + 1):
+            adj_start[index] += adj_start[index - 1]
+        cursor = array("q", adj_start)
+        adj_head = array("q", [0]) * m_tmp
+        for edge_id in range(m_tmp):
+            c = cursor[e_tail[edge_id]]
+            adj_head[c] = e_head[edge_id]
+            cursor[e_tail[edge_id]] = c + 1
+
+        index_of = array("q", [-1]) * n_tmp
+        lowlink = array("q", [0]) * n_tmp
+        on_stack = bytearray(n_tmp)
+        stack = array("q")
+        work_node = array("q")
+        work_pos = array("q")
+        next_index = 0
+        best: List[int] = []
+
+        for root in range(n_tmp):
+            if index_of[root] != -1:
+                continue
+            work_node.append(root)
+            work_pos.append(adj_start[root])
+            while work_node:
+                node = work_node[-1]
+                pos = work_pos[-1]
+                if pos == adj_start[node] and index_of[node] == -1:
+                    index_of[node] = lowlink[node] = next_index
+                    next_index += 1
+                    stack.append(node)
+                    on_stack[node] = 1
+                advanced = False
+                end = adj_start[node + 1]
+                while pos < end:
+                    child = adj_head[pos]
+                    pos += 1
+                    if index_of[child] == -1:
+                        work_pos[-1] = pos
+                        work_node.append(child)
+                        work_pos.append(adj_start[child])
+                        advanced = True
+                        break
+                    if on_stack[child] and index_of[child] < lowlink[node]:
+                        lowlink[node] = index_of[child]
+                if advanced:
+                    continue
+                work_node.pop()
+                work_pos.pop()
+                if work_node:
+                    parent = work_node[-1]
+                    if lowlink[node] < lowlink[parent]:
+                        lowlink[parent] = lowlink[node]
+                if lowlink[node] == index_of[node]:
+                    component: List[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = 0
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > len(best):
+                        best = component
+
+        new_id = array("q", [-1]) * n_tmp
+        for member in best:
+            new_id[member] = 0
+        count = 0
+        for old in range(n_tmp):
+            if new_id[old] == 0:
+                new_id[old] = count
+                count += 1
+        return new_id
+
+    def _compact_edges(self, new_id: array) -> int:
+        """Filter + renumber edges in place; re-intern the strings.
+
+        Runs in edge-id order, so surviving edges keep their relative
+        order (the object pipeline's re-densification) and the final
+        string table is interned first-seen over surviving edges
+        (``_collect_core_arrays``'s order).  Returns the final node
+        count.
+        """
+        e_tail, e_head = self._e_tail, self._e_head
+        e_len, e_time, e_speed = self._e_len, self._e_time, self._e_speed
+        e_lanes, e_way = self._e_lanes, self._e_way
+        e_hwy, e_name = self._e_hwy, self._e_name
+        ref_map = array("q", [-1]) * max(1, len(self._strings))
+        final_strings: List[str] = []
+        write = 0
+        for edge_id in range(len(e_tail)):
+            u = new_id[e_tail[edge_id]]
+            if u < 0:
+                continue
+            v = new_id[e_head[edge_id]]
+            if v < 0:
+                continue
+            e_tail[write] = u
+            e_head[write] = v
+            e_len[write] = e_len[edge_id]
+            e_time[write] = e_time[edge_id]
+            e_speed[write] = e_speed[edge_id]
+            e_lanes[write] = e_lanes[edge_id]
+            e_way[write] = e_way[edge_id]
+            for refs in (e_hwy, e_name):
+                old_ref = refs[edge_id]
+                new_ref = ref_map[old_ref]
+                if new_ref < 0:
+                    new_ref = len(final_strings)
+                    final_strings.append(self._strings[old_ref])
+                    ref_map[old_ref] = new_ref
+                refs[write] = new_ref
+            write += 1
+        if write == 0:
+            raise GraphError(
+                "largest strongly connected component has no edges"
+            )
+        for arr in (
+            e_tail, e_head, e_len, e_time, e_speed, e_lanes, e_way,
+            e_hwy, e_name,
+        ):
+            del arr[write:]
+        self._strings = final_strings
+        count = 0
+        for value in new_id:
+            if value >= 0:
+                count += 1
+        return count
+
+    def _build_arrays(
+        self, new_id: array, n_tmp: int, n_final: int
+    ) -> AssembledGraph:
+        lats = array("d", [0.0]) * n_final
+        lons = array("d", [0.0]) * n_final
+        osm_ids = array("q", [0]) * n_final
+        order_slots = self._order_slots
+        for old in range(n_tmp):
+            dense = new_id[old]
+            if dense < 0:
+                continue
+            slot = order_slots[old]
+            lats[dense] = self._slot_lat[slot]
+            lons[dense] = self._slot_lon[slot]
+            osm_ids[dense] = self._slot_ext[slot]
+
+        m = len(self._e_tail)
+        fwd = self._counting_sort_csr(self._e_tail, self._e_head, n_final, m)
+        bwd = self._counting_sort_csr(self._e_head, self._e_tail, n_final, m)
+
+        arrays = [
+            ("node.lat", lats),
+            ("node.lon", lons),
+            ("node.osm", osm_ids),
+            ("edge.tail", self._e_tail),
+            ("edge.head", self._e_head),
+            ("edge.len", self._e_len),
+            ("edge.time", self._e_time),
+            ("edge.speed", self._e_speed),
+            ("edge.lanes", self._e_lanes),
+            ("edge.way", self._e_way),
+            ("edge.hwy", self._e_hwy),
+            ("edge.name", self._e_name),
+            ("csr.fwd_off", fwd[0]),
+            ("csr.fwd_tgt", fwd[1]),
+            ("csr.fwd_eid", fwd[2]),
+            ("csr.fwd_wt", fwd[3]),
+            ("csr.bwd_off", bwd[0]),
+            ("csr.bwd_tgt", bwd[1]),
+            ("csr.bwd_eid", bwd[2]),
+            ("csr.bwd_wt", bwd[3]),
+        ]
+        return AssembledGraph(
+            self.name, n_final, m, self._strings, arrays
+        )
+
+    def _counting_sort_csr(self, keys: array, targets: array, n: int, m: int):
+        """Stable group-by-``keys`` in ascending edge-id order.
+
+        Exactly the arc order ``CsrGraph.from_network`` produces: the
+        network's adjacency lists append edge ids in edge order, so
+        each node's arcs are its edges ascending by id.
+        """
+        offsets = array("q", [0]) * (n + 1)
+        for key in keys:
+            offsets[key + 1] += 1
+        for index in range(1, n + 1):
+            offsets[index] += offsets[index - 1]
+        cursor = array("q", offsets)
+        out_targets = array("q", [0]) * m
+        out_edge_ids = array("q", [0]) * m
+        out_weights = array("d", [0.0]) * m
+        e_time = self._e_time
+        for edge_id in range(m):
+            key = keys[edge_id]
+            c = cursor[key]
+            out_targets[c] = targets[edge_id]
+            out_edge_ids[c] = edge_id
+            out_weights[c] = e_time[edge_id]
+            cursor[key] = c + 1
+        return offsets, out_targets, out_edge_ids, out_weights
+
+
+def assemble_from_events(
+    events: Iterable,
+    name: str = "osm-network",
+    profile: Optional[RoutingProfile] = None,
+    largest_scc_only: bool = True,
+) -> AssembledGraph:
+    """One-shot streaming assembly of an OSM event stream."""
+    assembler = StreamingCsrAssembler(
+        name=name, profile=profile, largest_scc_only=largest_scc_only
+    )
+    return assembler.consume(events).finish()

@@ -649,8 +649,36 @@ def _write_snapshot_v3(network: RoadNetwork, handle: BinaryIO) -> None:
             ("ch.wt", hierarchy.arc_weights),
         ]
 
-    handle.write(_HEADER.pack(SNAPSHOT_MAGIC, 3, 0, n, m))
-    _write_string(handle, network.name)
+    write_v3_arrays(
+        handle,
+        name=network.name,
+        num_nodes=n,
+        num_edges=m,
+        strings=strings,
+        arrays=arrays,
+    )
+
+
+def write_v3_arrays(
+    handle: BinaryIO,
+    *,
+    name: str,
+    num_nodes: int,
+    num_edges: int,
+    strings: Sequence[str],
+    arrays: Sequence[tuple],
+) -> None:
+    """Write a version-3 snapshot from already-collected arrays.
+
+    ``arrays`` is an ordered ``(name, array)`` sequence — the exact
+    bytes any two writers produce for the same inputs are identical,
+    which is what lets the streaming CSR assembler
+    (:mod:`repro.graph.assemble`) emit snapshots byte-for-byte equal to
+    :func:`save_snapshot` on the materialised network without ever
+    holding that network in memory.
+    """
+    handle.write(_HEADER.pack(SNAPSHOT_MAGIC, 3, 0, num_nodes, num_edges))
+    _write_string(handle, name)
     handle.write(_U32.pack(len(strings)))
     for text in strings:
         _write_string(handle, text)
@@ -659,7 +687,7 @@ def _write_snapshot_v3(network: RoadNetwork, handle: BinaryIO) -> None:
     handle.write(b"\x00" * (_DIR_ENTRY.size * len(arrays)))
 
     entries = []
-    for name, arr in arrays:
+    for arr_name, arr in arrays:
         padding = (-handle.tell()) % SECTION_ALIGNMENT
         if padding:
             handle.write(b"\x00" * padding)
@@ -667,15 +695,61 @@ def _write_snapshot_v3(network: RoadNetwork, handle: BinaryIO) -> None:
         payload = _to_le(arr)
         handle.write(payload)
         entries.append(
-            (name.encode("ascii"), _typecode(arr).encode("ascii"),
+            (arr_name.encode("ascii"), _typecode(arr).encode("ascii"),
              len(arr), offset, len(payload))
         )
 
     end = handle.tell()
     handle.seek(directory_pos)
-    for name, typecode, count, offset, nbytes in entries:
-        handle.write(_DIR_ENTRY.pack(name, typecode, count, offset, nbytes))
+    for arr_name, typecode, count, offset, nbytes in entries:
+        handle.write(
+            _DIR_ENTRY.pack(arr_name, typecode, count, offset, nbytes)
+        )
     handle.seek(end)
+
+
+def csr_fingerprint(csr: CsrGraph) -> str:
+    """Hex digest pinning a CSR view's full structure.
+
+    Hashes the node/edge counts and the little-endian bytes of all
+    eight flat arrays.  Two views fingerprint equal iff every arc —
+    order, endpoints, edge ids and weights — is identical, so the
+    streaming-equivalence tier can compare a streamed build against an
+    in-memory one without materialising either as objects.
+    """
+    return csr_array_fingerprint(
+        csr.num_nodes,
+        csr.num_edges,
+        (
+            csr.fwd_offsets,
+            csr.fwd_targets,
+            csr.fwd_edge_ids,
+            csr.fwd_weights,
+            csr.bwd_offsets,
+            csr.bwd_targets,
+            csr.bwd_edge_ids,
+            csr.bwd_weights,
+        ),
+    )
+
+
+def csr_array_fingerprint(num_nodes, num_edges, arrays) -> str:
+    """:func:`csr_fingerprint` over bare flat arrays.
+
+    ``arrays`` is the eight CSR arrays in wire order (fwd then bwd,
+    offsets/targets/edge ids/weights each).  The streaming assembler
+    fingerprints its output through this without ever building a
+    :class:`CsrGraph` (whose per-node tuple groups would cost hundreds
+    of megabytes at metro scale).
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(_U64.pack(num_nodes))
+    digest.update(_U64.pack(num_edges))
+    for arr in arrays:
+        digest.update(_to_le(arr))
+    return digest.hexdigest()
 
 
 def _ch_section_payload(hierarchy) -> bytes:

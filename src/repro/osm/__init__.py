@@ -12,7 +12,10 @@ that pipeline:
   intersection-delay factor);
 * :mod:`repro.osm.constructor` — rectangle filtering + way splitting +
   largest-component cleanup, producing a
-  :class:`~repro.graph.RoadNetwork`.
+  :class:`~repro.graph.RoadNetwork`;
+* :mod:`repro.osm.streaming` — SAX-style incremental reader and
+  line-at-a-time writer for metro-scale files that never fit in
+  memory as a document.
 
 The synthetic city generators in :mod:`repro.cities` emit documents
 through this same pipeline, so the parser and profile are exercised by
@@ -26,15 +29,23 @@ from repro.osm.profile import (
     INTERSECTION_DELAY_FACTOR,
     RoutingProfile,
 )
+from repro.osm.streaming import (
+    OSMEvent,
+    iter_osm_events,
+    write_osm_xml_stream,
+)
 
 __all__ = [
     "INTERSECTION_DELAY_FACTOR",
     "OSMDocument",
+    "OSMEvent",
     "OSMNode",
     "OSMRestriction",
     "OSMWay",
     "RoadNetworkConstructor",
     "RoutingProfile",
+    "iter_osm_events",
     "parse_osm_xml",
     "write_osm_xml",
+    "write_osm_xml_stream",
 ]

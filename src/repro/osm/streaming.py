@@ -1,0 +1,200 @@
+"""Streaming OSM XML reading and writing.
+
+The document reader/writer pair in :mod:`repro.osm.parser` materialises
+the whole tree — fine for the study cities, fatal for a million-node
+metro.  This module is the SAX-style counterpart: :func:`iter_osm_events`
+parses incrementally via ``xml.etree.ElementTree.iterparse`` and yields
+one element at a time (clearing the tree behind itself, so memory stays
+bounded by the largest single element), and :func:`write_osm_xml_stream`
+serialises an event stream line by line.  Both speak the exact dialect
+of :func:`~repro.osm.parser.parse_osm_xml` /
+:func:`~repro.osm.parser.write_osm_xml`: a document round-tripped
+through either pair is byte-identical, which the streaming-equivalence
+test tier pins.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import IO, Iterable, Iterator, Union
+
+from repro.exceptions import OSMParseError
+from repro.geometry import BoundingBox
+from repro.osm.model import OSMNode, OSMRestriction, OSMWay
+from repro.osm.parser import _parse_restriction, _parse_tags
+
+#: One streamed document element: the bounds (at most once, first),
+#: then nodes, ways and restriction relations in file order.
+OSMEvent = Union[BoundingBox, OSMNode, OSMWay, OSMRestriction]
+
+__all__ = ["OSMEvent", "iter_osm_events", "write_osm_xml_stream"]
+
+
+def iter_osm_events(source: Union[str, IO]) -> Iterator[OSMEvent]:
+    """Incrementally parse OSM XML from a path or binary file object.
+
+    Yields a :class:`~repro.geometry.BoundingBox` for ``<bounds>``,
+    then :class:`OSMNode` / :class:`OSMWay` / :class:`OSMRestriction`
+    values in document order; non-restriction relations are skipped
+    exactly like the document parser.  Each top-level element is
+    dropped from the tree once yielded, so parsing a metro-scale file
+    needs memory for one element, not the document.
+
+    Malformed or truncated XML, ways with fewer than two node refs and
+    unparsable attribute values raise
+    :class:`~repro.exceptions.OSMParseError` — the same taxonomy as
+    :func:`~repro.osm.parser.parse_osm_xml`.  Dangling node references
+    are *not* checked here (a streaming parser holds no node table);
+    consumers that resolve references, like the streaming CSR
+    assembler, raise on the first dangling ref instead.
+    """
+    try:
+        context = ET.iterparse(source, events=("start", "end"))
+        event, root = next(context, (None, None))
+        if root is None:
+            raise OSMParseError("malformed XML: empty document")
+        if root.tag != "osm":
+            raise OSMParseError(f"expected <osm> root, found <{root.tag}>")
+        for event, element in context:
+            if event != "end":
+                continue
+            tag = element.tag
+            if tag == "bounds":
+                try:
+                    yield BoundingBox(
+                        float(element.get("minlat")),
+                        float(element.get("minlon")),
+                        float(element.get("maxlat")),
+                        float(element.get("maxlon")),
+                    )
+                except (TypeError, ValueError) as exc:
+                    raise OSMParseError(
+                        f"malformed <bounds>: {exc}"
+                    ) from exc
+            elif tag == "node":
+                try:
+                    yield OSMNode(
+                        id=int(element.get("id")),
+                        lat=float(element.get("lat")),
+                        lon=float(element.get("lon")),
+                        tags=_parse_tags(element),
+                    )
+                except (TypeError, ValueError) as exc:
+                    raise OSMParseError(f"malformed <node>: {exc}") from exc
+            elif tag == "way":
+                yield _parse_way(element)
+            elif tag == "relation":
+                restriction = _parse_restriction(element)
+                if restriction is not None:
+                    yield restriction
+            else:
+                continue
+            # The element (and any sibling junk accumulated since the
+            # last yield) is fully consumed; drop it from the tree.
+            root.clear()
+    except ET.ParseError as exc:
+        raise OSMParseError(f"malformed XML: {exc}") from exc
+
+
+def _parse_way(element: ET.Element) -> OSMWay:
+    way_id = element.get("id")
+    if way_id is None:
+        raise OSMParseError("<way> without id")
+    refs = []
+    for nd in element.findall("nd"):
+        ref = nd.get("ref")
+        if ref is None:
+            raise OSMParseError(f"<nd> without ref in way {way_id}")
+        refs.append(int(ref))
+    if len(refs) < 2:
+        raise OSMParseError(f"way {way_id} has fewer than two node refs")
+    try:
+        return OSMWay(
+            id=int(way_id),
+            node_refs=tuple(refs),
+            tags=_parse_tags(element),
+        )
+    except (TypeError, ValueError) as exc:
+        raise OSMParseError(f"malformed <way>: {exc}") from exc
+
+
+def write_osm_xml_stream(events: Iterable[OSMEvent], handle: IO[str]) -> int:
+    """Serialise an event stream as OSM XML, one element at a time.
+
+    ``events`` must arrive in document order — bounds (optional,
+    first), then nodes, ways and restrictions — which is the order
+    :meth:`~repro.cities.generator.CityGenerator.iter_events` and
+    :func:`iter_osm_events` both produce.  The bytes written are
+    exactly ``write_osm_xml(document)`` for the equivalent document
+    (including the absence of a trailing newline), so the two writers
+    are interchangeable at every byte.  Returns the number of
+    characters written.
+    """
+    from xml.sax.saxutils import quoteattr
+
+    written = handle.write(
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        '<osm version="0.6" generator="repro">'
+    )
+    for event in events:
+        lines = []
+        if isinstance(event, BoundingBox):
+            lines.append(
+                f'  <bounds minlat="{event.south}" minlon="{event.west}" '
+                f'maxlat="{event.north}" maxlon="{event.east}"/>'
+            )
+        elif isinstance(event, OSMNode):
+            node = event
+            if node.tags:
+                lines.append(
+                    f'  <node id="{node.id}" lat="{node.lat}" '
+                    f'lon="{node.lon}">'
+                )
+                for key, value in node.tags.items():
+                    lines.append(
+                        f"    <tag k={quoteattr(key)} v={quoteattr(value)}/>"
+                    )
+                lines.append("  </node>")
+            else:
+                lines.append(
+                    f'  <node id="{node.id}" lat="{node.lat}" '
+                    f'lon="{node.lon}"/>'
+                )
+        elif isinstance(event, OSMWay):
+            way = event
+            lines.append(f'  <way id="{way.id}">')
+            for ref in way.node_refs:
+                lines.append(f'    <nd ref="{ref}"/>')
+            for key, value in way.tags.items():
+                lines.append(
+                    f"    <tag k={quoteattr(key)} v={quoteattr(value)}/>"
+                )
+            lines.append("  </way>")
+        elif isinstance(event, OSMRestriction):
+            restriction = event
+            lines.append(f'  <relation id="{restriction.id}">')
+            lines.append(
+                f'    <member type="way" ref="{restriction.from_way}" '
+                'role="from"/>'
+            )
+            lines.append(
+                f'    <member type="node" ref="{restriction.via_node}" '
+                'role="via"/>'
+            )
+            lines.append(
+                f'    <member type="way" ref="{restriction.to_way}" '
+                'role="to"/>'
+            )
+            lines.append('    <tag k="type" v="restriction"/>')
+            lines.append(
+                f'    <tag k="restriction" v={quoteattr(restriction.kind)}/>'
+            )
+            lines.append("  </relation>")
+        else:
+            raise OSMParseError(
+                f"cannot serialise stream event of type "
+                f"{type(event).__name__}"
+            )
+        written += handle.write("\n" + "\n".join(lines))
+    written += handle.write("\n</osm>")
+    return written

@@ -1,0 +1,207 @@
+"""The streaming city build vs the in-memory pipeline.
+
+``stream_build_city`` must produce RPRN v3 snapshots byte-identical to
+``save_snapshot(build_city_network(...))`` on every city/size both
+paths can run, stay loadable through both snapshot readers, and report
+honest costs.  The million-node "metro" preset itself is exercised by
+``benchmarks/bench_citygen.py`` (too slow for the unit tier); here we
+pin its configuration and guards.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cities import (
+    CITY_PROFILES,
+    SIZE_FACTORS,
+    dhaka_profile,
+    melbourne_profile,
+    stream_build_city,
+    stream_build_graph,
+)
+from repro.cities.generator import CityGenerator, build_city_network
+from repro.exceptions import ConfigurationError, GraphError, OSMError
+from repro.graph.assemble import StreamingCsrAssembler, assemble_from_events
+from repro.graph.csr import (
+    CsrGraph,
+    csr_fingerprint,
+    load_snapshot,
+    map_snapshot,
+    save_snapshot,
+)
+
+
+def _inmemory_snapshot_bytes(profile, size, seed):
+    network = build_city_network(profile, size=size, seed=seed, via_xml=True)
+    buffer = io.BytesIO()
+    save_snapshot(network, buffer)
+    return network, buffer.getvalue()
+
+
+class TestStreamBuildEquivalence:
+    @pytest.mark.parametrize("city", sorted(CITY_PROFILES))
+    def test_snapshot_bytes_match_inmemory_path(self, city, tmp_path):
+        profile = CITY_PROFILES[city]()
+        _network, expected = _inmemory_snapshot_bytes(profile, "small", 7)
+        out = tmp_path / f"{city}.rprn"
+        stream_build_city(
+            profile, size="small", seed=7, output=str(out)
+        )
+        assert out.read_bytes() == expected
+
+    def test_no_xml_path_matches_via_xml_path(self):
+        profile = melbourne_profile()
+        direct = stream_build_graph(
+            profile, size="small", seed=3, via_xml=False
+        )
+        spooled = stream_build_graph(
+            profile, size="small", seed=3, via_xml=True
+        )
+        a, b = io.BytesIO(), io.BytesIO()
+        direct.write_snapshot(a)
+        spooled.write_snapshot(b)
+        assert a.getvalue() == b.getvalue()
+
+    def test_fingerprint_matches_inmemory_csr(self):
+        profile = dhaka_profile()
+        network, _ = _inmemory_snapshot_bytes(profile, "small", 0)
+        graph = stream_build_graph(
+            profile, size="small", seed=0, via_xml=False
+        )
+        assert graph.csr_fingerprint() == csr_fingerprint(
+            CsrGraph.from_network(network)
+        )
+
+    def test_snapshot_loads_through_both_readers(self, tmp_path):
+        out = tmp_path / "city.rprn"
+        report = stream_build_city(
+            melbourne_profile(), size="small", seed=7, output=str(out)
+        )
+        loaded = load_snapshot(str(out))
+        assert loaded.num_nodes == report.num_nodes
+        assert loaded.num_edges == report.num_edges
+        assert loaded.name == "melbourne-small"
+        mapped = map_snapshot(str(out))
+        assert mapped.network.num_nodes == report.num_nodes
+
+    def test_to_network_equals_inmemory_network(self):
+        profile = melbourne_profile()
+        network, _ = _inmemory_snapshot_bytes(profile, "small", 7)
+        streamed = stream_build_graph(
+            profile, size="small", seed=7, via_xml=False
+        ).to_network()
+        assert streamed.num_nodes == network.num_nodes
+        assert streamed.num_edges == network.num_edges
+        assert [
+            (e.u, e.v, e.length_m, e.travel_time_s, e.highway, e.name)
+            for e in streamed.edges()
+        ] == [
+            (e.u, e.v, e.length_m, e.travel_time_s, e.highway, e.name)
+            for e in network.edges()
+        ]
+
+
+class TestStreamBuildReport:
+    def test_report_fields(self, tmp_path):
+        out = tmp_path / "city.rprn"
+        report = stream_build_city(
+            melbourne_profile(), size="small", seed=7, output=str(out)
+        )
+        assert report.city == "melbourne"
+        assert report.size == "small"
+        assert report.seed == 7
+        assert report.via_xml is True
+        assert report.num_nodes <= report.document_nodes
+        assert report.snapshot_bytes == out.stat().st_size
+        assert report.xml_bytes > 0
+        assert report.elapsed_s > 0
+        assert report.peak_rss_kb > 0
+        text = report.formatted()
+        assert "melbourne-small" in text
+        assert "peak rss" in text
+
+    def test_xml_spool_kept_when_requested(self, tmp_path):
+        out = tmp_path / "city.rprn"
+        spool = tmp_path / "city.osm.xml"
+        report = stream_build_city(
+            melbourne_profile(), size="small", seed=7,
+            output=str(out), xml_path=str(spool),
+        )
+        assert spool.stat().st_size == report.xml_bytes
+
+    def test_unknown_size_raises_typed_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown size"):
+            stream_build_city(
+                melbourne_profile(), size="gigantic",
+                output=str(tmp_path / "x.rprn"),
+            )
+
+    def test_metro_preset_is_registered(self):
+        assert SIZE_FACTORS["metro"] == 24.0
+
+    def test_metro_lattice_is_guarded_against_id_collisions(self):
+        # Cities with a ring road allocate node ids at 1_000_000; a
+        # lattice crossing that must be rejected loudly rather than
+        # silently corrupting the document.  (The three shipped
+        # profiles stay clear at every preset — melbourne-metro's
+        # 1.1M-node lattice is legal because it has no ring road.)
+        from repro.cities import CityProfile, melbourne_profile
+
+        profile = CityProfile(
+            name="giant-ring",
+            center_lat=0.0,
+            center_lon=0.0,
+            rows=1056,
+            cols=1056,
+            has_ring_road=True,
+        )
+        generator = CityGenerator(profile, seed=0)
+        with pytest.raises(ConfigurationError, match="collide"):
+            next(generator.iter_events())
+        metro = melbourne_profile().scaled(SIZE_FACTORS["metro"])
+        assert metro.rows * metro.cols >= 1_000_000
+        CityGenerator(metro, seed=0)._check_id_capacity()
+
+
+class TestAssemblerErrors:
+    def test_empty_stream_raises_osm_error(self):
+        with pytest.raises(OSMError, match="no routable roads"):
+            StreamingCsrAssembler().finish()
+
+    def test_dangling_way_ref_raises_parse_error(self):
+        from repro.exceptions import OSMParseError
+        from repro.osm import OSMNode, OSMWay
+
+        events = [
+            OSMNode(id=1, lat=0.0, lon=0.0),
+            OSMWay(id=10, node_refs=(1, 2), tags={"highway": "residential"}),
+        ]
+        with pytest.raises(OSMParseError, match="missing node 2"):
+            assemble_from_events(events)
+
+    def test_double_finish_raises(self):
+        from repro.osm import OSMNode, OSMWay
+
+        events = [
+            OSMNode(id=1, lat=0.0, lon=0.0),
+            OSMNode(id=2, lat=0.001, lon=0.0),
+            OSMWay(id=10, node_refs=(1, 2), tags={"highway": "residential"}),
+        ]
+        assembler = StreamingCsrAssembler().consume(events)
+        assembler.finish()
+        with pytest.raises(GraphError, match="already finished"):
+            assembler.finish()
+
+    def test_unroutable_ways_only_raises_osm_error(self):
+        from repro.osm import OSMNode, OSMWay
+
+        events = [
+            OSMNode(id=1, lat=0.0, lon=0.0),
+            OSMNode(id=2, lat=0.001, lon=0.0),
+            OSMWay(id=10, node_refs=(1, 2), tags={"highway": "footway"}),
+        ]
+        with pytest.raises(OSMError, match="no routable roads"):
+            assemble_from_events(events)

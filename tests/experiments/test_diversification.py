@@ -1,0 +1,156 @@
+"""Diversification metrics: hand-computed values and byte-pinned golden.
+
+The fixture network's edge lengths are chosen so every metric is exact
+mental arithmetic; the golden table under ``golden/diversification.txt``
+then pins the formatted rendering byte for byte (re-bless with
+``REPRO_UPDATE_GOLDEN=1``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.diversification import (
+    DiversificationReport,
+    PlannerDiversity,
+    diversification_study,
+    route_set_metrics,
+)
+from repro.graph.builder import RoadNetworkBuilder
+from repro.graph.path import Path
+
+from tests.experiments.test_golden import _check_golden
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    """A 4-node network with round-number edge lengths.
+
+    Two-way edges (ids in parentheses are the forward directions used
+    by the paths): A 0-1 1000 m (0), B 1-3 1000 m (2), C 0-2 1500 m
+    (4), D 2-3 1500 m (6), E 0-3 2000 m (8), F 1-3 1200 m (10).
+    """
+    builder = RoadNetworkBuilder(name="diamond")
+    builder.add_node(0, 0.00, 0.00)
+    builder.add_node(1, 0.01, 0.00)
+    builder.add_node(2, 0.00, 0.01)
+    builder.add_node(3, 0.01, 0.01)
+    for u, v, length in [
+        (0, 1, 1000.0),
+        (1, 3, 1000.0),
+        (0, 2, 1500.0),
+        (2, 3, 1500.0),
+        (0, 3, 2000.0),
+        (1, 3, 1200.0),
+    ]:
+        builder.add_edge(
+            u, v, length, length / 10.0, bidirectional=True
+        )
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def fixture_routes(diamond):
+    p_ab = Path.from_edges(diamond, [0, 2])    # 0-1-3, 2000 m
+    p_cd = Path.from_edges(diamond, [4, 6])    # 0-2-3, 3000 m
+    p_e = Path.from_edges(diamond, [8])        # 0-3,   2000 m
+    p_af = Path.from_edges(diamond, [0, 10])   # 0-1-3, 2200 m
+    return p_ab, p_cd, p_e, p_af
+
+
+class TestRouteSetMetrics:
+    def test_fully_disjoint_set(self, fixture_routes):
+        p_ab, p_cd, p_e, _ = fixture_routes
+        metrics = route_set_metrics([p_ab, p_cd, p_e])
+        assert metrics.num_routes == 3
+        # union covers all five roads: 1000+1000+1500+1500+2000
+        assert metrics.coverage_m == pytest.approx(7000.0)
+        # summed route length equals coverage: no road reused
+        assert metrics.redundancy == pytest.approx(1.0)
+        assert metrics.mean_pairwise_dissimilarity == pytest.approx(1.0)
+
+    def test_overlapping_pair(self, fixture_routes):
+        p_ab, _, _, p_af = fixture_routes
+        metrics = route_set_metrics([p_ab, p_af])
+        # union {A, B, F} = 1000 + 1000 + 1200
+        assert metrics.coverage_m == pytest.approx(3200.0)
+        # (2000 + 2200) / 3200
+        assert metrics.redundancy == pytest.approx(4200.0 / 3200.0)
+        # shared A = 1000 over min(2000, 2200) -> sim 0.5, dis 0.5
+        assert metrics.mean_pairwise_dissimilarity == pytest.approx(0.5)
+
+    def test_single_route_is_trivially_diverse(self, fixture_routes):
+        p_ab, _, _, _ = fixture_routes
+        metrics = route_set_metrics([p_ab])
+        assert metrics.num_routes == 1
+        assert metrics.coverage_m == pytest.approx(2000.0)
+        assert metrics.redundancy == pytest.approx(1.0)
+        assert metrics.mean_pairwise_dissimilarity == 1.0
+
+    def test_empty_set(self):
+        metrics = route_set_metrics([])
+        assert metrics.num_routes == 0
+        assert metrics.coverage_m == 0.0
+        assert metrics.redundancy == 1.0
+        assert metrics.mean_pairwise_dissimilarity == 1.0
+
+    def test_duplicate_routes_are_maximally_redundant(self, fixture_routes):
+        p_ab, _, _, _ = fixture_routes
+        metrics = route_set_metrics([p_ab, p_ab, p_ab])
+        assert metrics.coverage_m == pytest.approx(2000.0)
+        assert metrics.redundancy == pytest.approx(3.0)
+        assert metrics.mean_pairwise_dissimilarity == pytest.approx(0.0)
+
+
+def test_golden_diversification_table(fixture_routes):
+    """Byte-pinned rendering of the hand-computed fixture table."""
+    p_ab, p_cd, p_e, p_af = fixture_routes
+    report = DiversificationReport(
+        city="diamond",
+        size="small",
+        seed=0,
+        num_queries=2,
+        rows={
+            "Disjoint": PlannerDiversity(
+                approach="Disjoint",
+                per_query=(
+                    route_set_metrics([p_ab, p_cd, p_e]),
+                    route_set_metrics([p_ab, p_cd]),
+                ),
+            ),
+            "Overlapping": PlannerDiversity(
+                approach="Overlapping",
+                per_query=(
+                    route_set_metrics([p_ab, p_af]),
+                    route_set_metrics([p_ab, p_ab]),
+                ),
+            ),
+        },
+    )
+    _check_golden("diversification.txt", report.formatted() + "\n")
+
+
+class TestDiversificationStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return diversification_study(
+            city="melbourne", size="small", seed=0, num_queries=6
+        )
+
+    def test_covers_all_four_approaches(self, report):
+        assert list(report.rows) == [
+            "Google Maps", "Plateaus", "Dissimilarity", "Penalty",
+        ]
+
+    def test_deterministic(self, report):
+        again = diversification_study(
+            city="melbourne", size="small", seed=0, num_queries=6
+        )
+        assert again.formatted() == report.formatted()
+
+    def test_metrics_are_sane(self, report):
+        for row in report.rows.values():
+            assert 0 < row.mean_routes <= 3.0
+            assert row.mean_coverage_km > 0
+            assert row.mean_redundancy >= 1.0
+            assert 0.0 <= row.mean_dissimilarity <= 1.0

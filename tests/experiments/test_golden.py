@@ -87,4 +87,9 @@ def test_table3_matches_golden(golden_results):
 def test_goldens_are_all_tracked():
     """No stray files: the golden directory holds exactly the tables."""
     names = sorted(p.name for p in GOLDEN_DIR.glob("*.txt"))
-    assert names == ["table1.txt", "table2.txt", "table3.txt"]
+    assert names == [
+        "diversification.txt",
+        "table1.txt",
+        "table2.txt",
+        "table3.txt",
+    ]

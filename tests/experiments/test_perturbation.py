@@ -1,0 +1,112 @@
+"""Destination-perturbation suite: sampler determinism and the table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.perturbation import (
+    PerturbationSampler,
+    destination_perturbation,
+    route_set_jaccard,
+)
+from repro.experiments.queries import sample_od_pairs
+from repro.experiments.setup import build_study_network
+from repro.algorithms.dijkstra import shortest_path
+from repro.geometry import haversine_m
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_study_network(city="melbourne", size="small", seed=0)
+
+
+class TestPerturbationSampler:
+    def test_same_seed_same_perturbation(self, network):
+        first = PerturbationSampler(network, seed=3)
+        second = PerturbationSampler(network, seed=3)
+        targets = range(0, network.num_nodes, 17)
+        assert [first.perturbed_target(t) for t in targets] == [
+            second.perturbed_target(t) for t in targets
+        ]
+
+    def test_perturbation_is_per_target_seeded(self, network):
+        # The RNG re-seeds per target, so perturbing targets in any
+        # order (or skipping some) never changes another's outcome.
+        sampler = PerturbationSampler(network, seed=3)
+        forward = [sampler.perturbed_target(t) for t in (5, 6, 7)]
+        sampler2 = PerturbationSampler(network, seed=3)
+        assert sampler2.perturbed_target(7) == forward[2]
+        assert sampler2.perturbed_target(5) == forward[0]
+
+    def test_moves_to_a_nearby_distinct_node(self, network):
+        sampler = PerturbationSampler(network, seed=0, radius_m=100.0)
+        moved = 0
+        for target in range(0, network.num_nodes, 11):
+            perturbed = sampler.perturbed_target(target)
+            if perturbed == target:
+                continue
+            moved += 1
+            a = network.node(target)
+            b = network.node(perturbed)
+            # Snapped to a road node at most (bearing offset + snap
+            # radius) away, with slack for the fallback neighbourhood.
+            assert haversine_m(a.lat, a.lon, b.lat, b.lon) <= 500.0
+        assert moved > 0
+
+    def test_rejects_nonpositive_radius(self, network):
+        with pytest.raises(ConfigurationError):
+            PerturbationSampler(network, radius_m=0.0)
+
+
+class TestRouteSetJaccard:
+    def test_identical_sets(self, network):
+        pairs = sample_od_pairs(network, 1, seed=0, label="jaccard")
+        source, target = pairs[0]
+        path = shortest_path(network, source, target)
+        assert route_set_jaccard([path], [path]) == 1.0
+
+    def test_empty_sets_are_identical(self):
+        assert route_set_jaccard([], []) == 1.0
+
+    def test_one_empty_set_is_disjoint(self, network):
+        pairs = sample_od_pairs(network, 1, seed=0, label="jaccard")
+        source, target = pairs[0]
+        path = shortest_path(network, source, target)
+        assert route_set_jaccard([path], []) == 0.0
+        assert route_set_jaccard([], [path]) == 0.0
+
+
+class TestDestinationPerturbation:
+    @pytest.fixture(scope="class")
+    def report(self, network):
+        return destination_perturbation(
+            city="melbourne", size="small", seed=0, num_queries=6,
+            network=network,
+        )
+
+    def test_covers_all_four_approaches(self, report):
+        assert list(report.rows) == [
+            "Google Maps", "Plateaus", "Dissimilarity", "Penalty",
+        ]
+
+    def test_deterministic(self, network, report):
+        again = destination_perturbation(
+            city="melbourne", size="small", seed=0, num_queries=6,
+            network=network,
+        )
+        assert again.formatted() == report.formatted()
+
+    def test_statistics_are_bounded(self, report):
+        for row in report.rows.values():
+            assert len(row.jaccards) == report.num_queries
+            assert all(0.0 <= value <= 1.0 for value in row.jaccards)
+            assert all(
+                0.0 <= value <= 1.0 for value in row.fastest_overlaps
+            )
+            assert row.min_jaccard <= row.median_jaccard
+            assert 0.0 <= row.stable_rate <= 1.0
+
+    def test_formatted_has_one_row_per_approach(self, report):
+        lines = report.formatted().splitlines()
+        assert len(lines) == 2 + len(report.rows)

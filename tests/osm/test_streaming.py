@@ -1,0 +1,158 @@
+"""The streaming OSM reader/writer vs the document pair.
+
+The contract is byte-level interchangeability: ``iter_osm_events``
+yields exactly the elements ``parse_osm_xml`` would materialise, and
+``write_osm_xml_stream`` emits exactly the characters
+``write_osm_xml`` would — on every document, in both compositions.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cities import SIZE_FACTORS, melbourne_profile
+from repro.cities.generator import CityGenerator
+from repro.exceptions import OSMParseError
+from repro.geometry import BoundingBox
+from repro.osm import (
+    OSMDocument,
+    OSMNode,
+    OSMRestriction,
+    OSMWay,
+    iter_osm_events,
+    parse_osm_xml,
+    write_osm_xml,
+    write_osm_xml_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def city_document():
+    generator = CityGenerator(
+        melbourne_profile().scaled(SIZE_FACTORS["small"]), seed=7
+    )
+    return generator.generate_document()
+
+
+@pytest.fixture(scope="module")
+def city_xml(city_document):
+    return write_osm_xml(city_document)
+
+
+def _events_to_document(events):
+    bounds = None
+    nodes, ways, restrictions = [], [], []
+    for event in events:
+        if isinstance(event, OSMNode):
+            nodes.append(event)
+        elif isinstance(event, OSMWay):
+            ways.append(event)
+        elif isinstance(event, OSMRestriction):
+            restrictions.append(event)
+        else:
+            bounds = event
+    return OSMDocument(nodes, ways, bounds=bounds, restrictions=restrictions)
+
+
+class TestIterOsmEvents:
+    def test_yields_the_documents_elements(self, city_document, city_xml):
+        streamed = _events_to_document(
+            iter_osm_events(io.BytesIO(city_xml.encode()))
+        )
+        parsed = parse_osm_xml(city_xml)
+        assert streamed.bounds == parsed.bounds
+        assert list(streamed.nodes()) == list(parsed.nodes())
+        assert list(streamed.ways()) == list(parsed.ways())
+        assert list(streamed.restrictions()) == list(parsed.restrictions())
+
+    def test_bounds_event_comes_first(self, city_xml):
+        events = iter_osm_events(io.BytesIO(city_xml.encode()))
+        assert isinstance(next(events), BoundingBox)
+
+    def test_accepts_a_path(self, city_xml, tmp_path):
+        path = tmp_path / "city.osm.xml"
+        path.write_text(city_xml, encoding="utf-8")
+        count = sum(1 for _ in iter_osm_events(str(path)))
+        in_memory = sum(
+            1 for _ in iter_osm_events(io.BytesIO(city_xml.encode()))
+        )
+        assert count == in_memory
+
+    def test_skips_non_restriction_relations(self):
+        xml = (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            '<osm version="0.6" generator="repro">\n'
+            '  <node id="1" lat="0.0" lon="0.0"/>\n'
+            '  <relation id="9">\n'
+            '    <tag k="type" v="route"/>\n'
+            "  </relation>\n"
+            "</osm>"
+        )
+        events = list(iter_osm_events(io.BytesIO(xml.encode())))
+        assert len(events) == 1
+        assert isinstance(events[0], OSMNode)
+
+    def test_truncated_xml_raises_typed_error(self, city_xml):
+        truncated = city_xml[: len(city_xml) // 2]
+        with pytest.raises(OSMParseError):
+            list(iter_osm_events(io.BytesIO(truncated.encode())))
+
+    def test_garbled_xml_raises_typed_error(self, city_xml):
+        garbled = city_xml.replace("<node", "<node<", 1)
+        with pytest.raises(OSMParseError):
+            list(iter_osm_events(io.BytesIO(garbled.encode())))
+
+    def test_empty_input_raises_typed_error(self):
+        with pytest.raises(OSMParseError):
+            list(iter_osm_events(io.BytesIO(b"")))
+
+    def test_wrong_root_raises_typed_error(self):
+        xml = b'<?xml version="1.0"?><gpx><node id="1"/></gpx>'
+        with pytest.raises(OSMParseError, match="expected <osm> root"):
+            list(iter_osm_events(io.BytesIO(xml)))
+
+    def test_way_with_one_ref_raises_typed_error(self):
+        xml = (
+            b'<?xml version="1.0"?><osm>'
+            b'<way id="5"><nd ref="1"/></way></osm>'
+        )
+        with pytest.raises(OSMParseError, match="fewer than two"):
+            list(iter_osm_events(io.BytesIO(xml)))
+
+    def test_nd_without_ref_raises_typed_error(self):
+        xml = (
+            b'<?xml version="1.0"?><osm>'
+            b'<way id="5"><nd/><nd ref="2"/></way></osm>'
+        )
+        with pytest.raises(OSMParseError, match="without ref"):
+            list(iter_osm_events(io.BytesIO(xml)))
+
+    def test_malformed_node_raises_typed_error(self):
+        xml = b'<?xml version="1.0"?><osm><node id="1" lat="x"/></osm>'
+        with pytest.raises(OSMParseError, match="malformed <node>"):
+            list(iter_osm_events(io.BytesIO(xml)))
+
+
+class TestWriteOsmXmlStream:
+    def test_bytes_equal_document_writer(self, city_document, city_xml):
+        buffer = io.StringIO()
+        count = write_osm_xml_stream(
+            iter_osm_events(io.BytesIO(city_xml.encode())), buffer
+        )
+        assert buffer.getvalue() == city_xml
+        assert count == len(city_xml)
+
+    def test_generator_events_equal_document_writer(self, city_xml):
+        generator = CityGenerator(
+            melbourne_profile().scaled(SIZE_FACTORS["small"]), seed=7
+        )
+        buffer = io.StringIO()
+        write_osm_xml_stream(generator.iter_events(), buffer)
+        assert buffer.getvalue() == city_xml
+
+    def test_unknown_event_type_raises_typed_error(self):
+        buffer = io.StringIO()
+        with pytest.raises(OSMParseError, match="cannot serialise"):
+            write_osm_xml_stream([object()], buffer)

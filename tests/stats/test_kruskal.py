@@ -1,5 +1,7 @@
 """Tests for Kruskal-Wallis and the chi-square survival function."""
 
+import math
+
 import numpy as np
 import pytest
 import scipy.stats
@@ -54,9 +56,16 @@ class TestKruskalWallis:
         assert ours.h_statistic == pytest.approx(
             float(reference.statistic), rel=1e-9, abs=1e-9
         )
-        assert ours.p_value == pytest.approx(
-            float(reference.pvalue), abs=1e-9
-        )
+        if math.isnan(float(reference.pvalue)):
+            # When the rank sums are exactly balanced, float error can
+            # leave H a hair below zero; scipy's chi2.sf(H < 0) is NaN
+            # where ours clamps to the exact answer, p = 1.
+            assert abs(ours.h_statistic) < 1e-9
+            assert ours.p_value == 1.0
+        else:
+            assert ours.p_value == pytest.approx(
+                float(reference.pvalue), abs=1e-9
+            )
 
     def test_rating_scale_ties_handled(self):
         rng = np.random.default_rng(7)

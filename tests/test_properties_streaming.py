@@ -1,0 +1,172 @@
+"""Property tier: streaming build ≡ in-memory build, typed failures.
+
+Three families of properties over randomly parameterised synthetic
+cities:
+
+1. **Equivalence** — the streaming pipeline (generator events → XML
+   spool → incremental parse → flat-array assembly → v3 writer)
+   produces *byte-identical* snapshots, and identical CSR
+   fingerprints, to the object pipeline (document → XML string →
+   document parse → builder → network → ``save_snapshot``).  This is
+   the load-bearing property: it is what lets the serving stack trust
+   metro-scale streamed snapshots it could never rebuild in memory.
+2. **Writer equivalence** — the streaming XML writer emits exactly the
+   document writer's characters for every generated city.
+3. **Typed failure** — truncating or garbling the XML at any position
+   surfaces as :class:`~repro.exceptions.OSMParseError`, never a bare
+   ``SyntaxError``/``ValueError`` from the XML machinery.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cities import CityProfile
+from repro.cities.generator import CityGenerator
+from repro.exceptions import OSMParseError
+from repro.graph.assemble import StreamingCsrAssembler
+from repro.graph.csr import (
+    CsrGraph,
+    csr_fingerprint,
+    save_snapshot,
+)
+from repro.osm import (
+    iter_osm_events,
+    parse_osm_xml,
+    write_osm_xml,
+    write_osm_xml_stream,
+)
+from repro.osm.constructor import RoadNetworkConstructor
+
+common_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def city_profiles(draw):
+    """A small random city profile covering the generator's features."""
+    rows = draw(st.integers(min_value=4, max_value=8))
+    cols = draw(st.integers(min_value=4, max_value=8))
+    return CityProfile(
+        name=f"prop-{rows}x{cols}",
+        center_lat=draw(
+            st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+        ),
+        center_lon=draw(
+            st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+        ),
+        rows=rows,
+        cols=cols,
+        spacing_m=draw(st.floats(min_value=150.0, max_value=500.0)),
+        irregularity=draw(st.floats(min_value=0.0, max_value=0.9)),
+        hole_fraction=draw(st.floats(min_value=0.0, max_value=0.2)),
+        arterial_every=draw(st.integers(min_value=2, max_value=5)),
+        secondary_every=draw(st.integers(min_value=2, max_value=4)),
+        num_freeways=draw(st.integers(min_value=0, max_value=2)),
+        ramp_every=draw(st.integers(min_value=2, max_value=4)),
+        has_ring_road=draw(st.booleans()),
+        river_rows=draw(st.integers(min_value=0, max_value=1)),
+        num_bridges=draw(st.integers(min_value=1, max_value=3)),
+        oneway_fraction=draw(st.floats(min_value=0.0, max_value=0.5)),
+        speed_scale=draw(st.floats(min_value=0.5, max_value=1.2)),
+        turn_restriction_fraction=draw(
+            st.floats(min_value=0.0, max_value=0.2)
+        ),
+    )
+
+
+def _inmemory_snapshot(profile, seed):
+    """The object pipeline, exactly as ``build_city_network`` runs it."""
+    generator = CityGenerator(profile, seed=seed)
+    document = parse_osm_xml(write_osm_xml(generator.generate_document()))
+    constructor = RoadNetworkConstructor(bbox=document.bounds)
+    network = constructor.construct(document, name=profile.name)
+    buffer = io.BytesIO()
+    save_snapshot(network, buffer)
+    return network, buffer.getvalue()
+
+
+def _streamed_snapshot(profile, seed):
+    """The streaming pipeline: spooled XML, incremental everything."""
+    generator = CityGenerator(profile, seed=seed)
+    spool = io.StringIO()
+    write_osm_xml_stream(generator.iter_events(), spool)
+    assembler = StreamingCsrAssembler(name=profile.name)
+    assembler.consume(
+        iter_osm_events(io.BytesIO(spool.getvalue().encode()))
+    )
+    graph = assembler.finish()
+    buffer = io.BytesIO()
+    graph.write_snapshot(buffer)
+    return graph, buffer.getvalue()
+
+
+class TestStreamingEquivalence:
+    @common_settings
+    @given(profile=city_profiles(), seed=st.integers(0, 1000))
+    def test_snapshots_byte_identical(self, profile, seed):
+        network, expected = _inmemory_snapshot(profile, seed)
+        graph, actual = _streamed_snapshot(profile, seed)
+        assert graph.num_nodes == network.num_nodes
+        assert graph.num_edges == network.num_edges
+        assert actual == expected
+
+    @common_settings
+    @given(profile=city_profiles(), seed=st.integers(0, 1000))
+    def test_csr_fingerprints_identical(self, profile, seed):
+        network, _ = _inmemory_snapshot(profile, seed)
+        graph, _ = _streamed_snapshot(profile, seed)
+        assert graph.csr_fingerprint() == csr_fingerprint(
+            CsrGraph.from_network(network)
+        )
+
+    @common_settings
+    @given(profile=city_profiles(), seed=st.integers(0, 1000))
+    def test_streaming_writer_matches_document_writer(self, profile, seed):
+        generator = CityGenerator(profile, seed=seed)
+        expected = write_osm_xml(generator.generate_document())
+        spool = io.StringIO()
+        count = write_osm_xml_stream(
+            CityGenerator(profile, seed=seed).iter_events(), spool
+        )
+        assert spool.getvalue() == expected
+        assert count == len(expected)
+
+
+@pytest.fixture(scope="module")
+def small_city_xml():
+    profile = CityProfile(
+        name="prop-fixed", center_lat=1.0, center_lon=1.0, rows=5, cols=5
+    )
+    return CityGenerator(profile, seed=0).generate_xml()
+
+
+class TestTypedFailures:
+    @common_settings
+    @given(data=st.data())
+    def test_truncation_raises_parse_error(self, data, small_city_xml):
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(small_city_xml) - 1)
+        )
+        truncated = small_city_xml[:cut]
+        with pytest.raises(OSMParseError):
+            list(iter_osm_events(io.BytesIO(truncated.encode())))
+
+    @common_settings
+    @given(data=st.data())
+    def test_stray_angle_bracket_raises_parse_error(
+        self, data, small_city_xml
+    ):
+        at = data.draw(
+            st.integers(min_value=0, max_value=len(small_city_xml))
+        )
+        garbled = small_city_xml[:at] + "<" + small_city_xml[at:]
+        with pytest.raises(OSMParseError):
+            list(iter_osm_events(io.BytesIO(garbled.encode())))
